@@ -1,0 +1,54 @@
+//! Criterion benchmarks: end-to-end tracked runs on the paper's dynamic
+//! networks (graph evolution + profiling + simulation per window).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gossip_core::tracking::{run_tracked, ProfileMode};
+use gossip_dynamics::{AbsoluteDiligentNetwork, DiligentNetwork, DynamicNetwork, DynamicStar};
+use gossip_sim::CutRateAsync;
+use gossip_stats::SimRng;
+
+fn bench_tracked_runs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tracked_runs");
+    group.sample_size(10);
+
+    group.bench_function("dynamic_star_n512", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut rng = SimRng::seed_from_u64(seed);
+            let mut net = DynamicStar::new(511).expect("valid");
+            let start = net.suggested_start();
+            let mut proto = CutRateAsync::new();
+            run_tracked(&mut net, &mut proto, start, 1.0, 1e6, ProfileMode::FromNetwork, &mut rng)
+                .expect("valid")
+        });
+    });
+    group.bench_function("diligent_n240_rho02", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut rng = SimRng::seed_from_u64(seed);
+            let mut net = DiligentNetwork::new(240, 0.2).expect("valid");
+            let start = net.suggested_start();
+            let mut proto = CutRateAsync::new();
+            run_tracked(&mut net, &mut proto, start, 1.0, 1e6, ProfileMode::FromNetwork, &mut rng)
+                .expect("valid")
+        });
+    });
+    group.bench_function("absolute_n120_d6", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut rng = SimRng::seed_from_u64(seed);
+            let mut net = AbsoluteDiligentNetwork::with_delta(120, 6).expect("valid");
+            let start = net.suggested_start();
+            let mut proto = CutRateAsync::new();
+            run_tracked(&mut net, &mut proto, start, 1.0, 1e7, ProfileMode::FromNetwork, &mut rng)
+                .expect("valid")
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tracked_runs);
+criterion_main!(benches);

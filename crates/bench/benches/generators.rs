@@ -1,0 +1,34 @@
+//! Criterion benchmarks: graph generator throughput (the adaptive
+//! adversaries rebuild graphs every step, so generation is on the
+//! simulation hot path).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gossip_graph::generators::{self, HkDeltaParams};
+use gossip_stats::SimRng;
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generators");
+
+    group.bench_function("random_regular_1000_d4", |b| {
+        let mut rng = SimRng::seed_from_u64(4);
+        b.iter(|| generators::random_regular(1000, 4, &mut rng).expect("valid"));
+    });
+    group.bench_function("erdos_renyi_1000_p01", |b| {
+        let mut rng = SimRng::seed_from_u64(5);
+        b.iter(|| generators::erdos_renyi(1000, 0.01, &mut rng).expect("valid"));
+    });
+    group.bench_function("h_k_delta_n480", |b| {
+        let a: Vec<u32> = (0..120).collect();
+        let bb: Vec<u32> = (120..480).collect();
+        let params = HkDeltaParams { k: 3, delta: 8 };
+        let mut rng = SimRng::seed_from_u64(6);
+        b.iter(|| generators::h_k_delta(480, &a, &bb, params, &mut rng).expect("valid"));
+    });
+    group.bench_function("near_regular_hub_n1000_d40", |b| {
+        b.iter(|| generators::near_regular_with_hub(1000, 40).expect("valid"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generators);
+criterion_main!(benches);

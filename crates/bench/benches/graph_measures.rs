@@ -1,0 +1,34 @@
+//! Criterion benchmarks: the graph measures (exact exponential-time
+//! conductance/diligence, O(m) absolute diligence, spectral bounds).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gossip_graph::{conductance, diligence, generators, spectral};
+use gossip_stats::SimRng;
+
+fn bench_measures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph_measures");
+
+    for n in [12usize, 16] {
+        let mut rng = SimRng::seed_from_u64(2);
+        let g = generators::erdos_renyi(n, 0.4, &mut rng).expect("valid");
+        group.bench_with_input(BenchmarkId::new("exact_conductance", n), &g, |b, g| {
+            b.iter(|| conductance::exact_conductance(g).expect("non-empty"));
+        });
+        group.bench_with_input(BenchmarkId::new("exact_diligence", n), &g, |b, g| {
+            b.iter(|| diligence::exact_diligence(g).expect("non-empty"));
+        });
+    }
+
+    let mut rng = SimRng::seed_from_u64(3);
+    let big = generators::random_connected_regular(10_000, 4, &mut rng).expect("regular");
+    group.bench_function("absolute_diligence_10k", |b| {
+        b.iter(|| diligence::absolute_diligence(&big));
+    });
+    group.bench_function("spectral_bounds_10k_x200", |b| {
+        b.iter(|| spectral::spectral_bounds(&big, 200).expect("connected"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_measures);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Ablation: Fenwick-tree weighted sampling vs a linear scan.
+//!
+//! The cut-rate simulator re-samples a node proportionally to its in-rate
+//! after every infection and updates `O(deg)` weights per step. A linear
+//! scan is `O(n)` per sample with `O(1)` updates; the Fenwick tree is
+//! `O(log n)` for both. This bench quantifies the crossover that justifies
+//! the Fenwick choice (DESIGN.md §3, `crates/stats`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gossip_stats::{FenwickSampler, SimRng};
+
+/// Reference implementation: linear-scan inverse-CDF sampling.
+struct LinearSampler {
+    weights: Vec<f64>,
+    total: f64,
+}
+
+impl LinearSampler {
+    fn new(n: usize) -> Self {
+        LinearSampler { weights: vec![0.0; n], total: 0.0 }
+    }
+
+    fn set(&mut self, i: usize, w: f64) {
+        self.total += w - self.weights[i];
+        self.weights[i] = w;
+    }
+
+    fn sample(&self, rng: &mut SimRng) -> Option<usize> {
+        if self.total <= 0.0 {
+            return None;
+        }
+        let mut x = rng.uniform_f64() * self.total;
+        for (i, &w) in self.weights.iter().enumerate() {
+            x -= w;
+            if x <= 0.0 && w > 0.0 {
+                return Some(i);
+            }
+        }
+        self.weights.iter().rposition(|&w| w > 0.0)
+    }
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("weighted_sampling");
+    for n in [256usize, 4096, 65_536] {
+        // The simulator's workload: interleaved weight updates and samples.
+        group.bench_with_input(BenchmarkId::new("fenwick", n), &n, |b, &n| {
+            let mut fenwick = FenwickSampler::new(n);
+            let mut rng = SimRng::seed_from_u64(7);
+            for i in 0..n {
+                fenwick.set(i, 1.0 + (i % 7) as f64).expect("finite");
+            }
+            b.iter(|| {
+                let i = rng.index(n);
+                fenwick.set(i, 0.5 + (i % 5) as f64).expect("finite");
+                fenwick.sample(&mut rng)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("linear_scan", n), &n, |b, &n| {
+            let mut linear = LinearSampler::new(n);
+            let mut rng = SimRng::seed_from_u64(7);
+            for i in 0..n {
+                linear.set(i, 1.0 + (i % 7) as f64);
+            }
+            b.iter(|| {
+                let i = rng.index(n);
+                linear.set(i, 0.5 + (i % 5) as f64);
+                linear.sample(&mut rng)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sampling);
+criterion_main!(benches);

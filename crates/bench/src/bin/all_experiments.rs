@@ -1,0 +1,6 @@
+//! Runs the complete experiment suite (E1–E11, X1, X2) and prints every
+//! report — the source of `EXPERIMENTS.md`. Pass `--quick` for CI scale.
+
+fn main() {
+    println!("{}", gossip_bench::experiments::run_all(gossip_bench::scale_from_args()));
+}

@@ -1,0 +1,6 @@
+//! Regenerates experiment E1 (see `gossip_core::experiment`).
+//! Pass `--quick` for a CI-sized run.
+
+fn main() {
+    println!("{}", gossip_bench::experiments::e1::run(gossip_bench::scale_from_args()));
+}

@@ -1,0 +1,6 @@
+//! Regenerates experiment E4 (see `gossip_core::experiment`).
+//! Pass `--quick` for a CI-sized run.
+
+fn main() {
+    println!("{}", gossip_bench::experiments::e4::run(gossip_bench::scale_from_args()));
+}

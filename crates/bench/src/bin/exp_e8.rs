@@ -1,0 +1,6 @@
+//! Regenerates experiment E8 (see `gossip_core::experiment`).
+//! Pass `--quick` for a CI-sized run.
+
+fn main() {
+    println!("{}", gossip_bench::experiments::e8::run(gossip_bench::scale_from_args()));
+}

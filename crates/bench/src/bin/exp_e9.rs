@@ -1,0 +1,6 @@
+//! Regenerates experiment E9 (see `gossip_core::experiment`).
+//! Pass `--quick` for a CI-sized run.
+
+fn main() {
+    println!("{}", gossip_bench::experiments::e9::run(gossip_bench::scale_from_args()));
+}

@@ -1,0 +1,6 @@
+//! Regenerates experiment X4 (see `gossip_core::experiment`).
+//! Pass `--quick` for a CI-sized run.
+
+fn main() {
+    println!("{}", gossip_bench::experiments::x4::run(gossip_bench::scale_from_args()));
+}

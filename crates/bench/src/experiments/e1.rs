@@ -1,0 +1,138 @@
+//! E1 — Theorem 1.1: the spread time never exceeds
+//! `T(G,c) = min{t : Σ Φ(G(p))·ρ(p) ≥ C log n}`.
+//!
+//! Three network families with per-step profiles from three different
+//! sources (closed form, closed form, conservative spectral), each run at
+//! several sizes; the report prints the measured spread time next to the
+//! Theorem 1.1 stopping step and their ratio, which must stay ≤ 1.
+
+use crate::Scale;
+use gossip_core::profile::conservative_profile;
+use gossip_core::tracking::{run_tracked, run_tracked_generic, ProfileMode, TrackedOutcome};
+use gossip_core::{experiment, report};
+use gossip_dynamics::{AlternatingRegular, DynamicNetwork, DynamicStar, StaticNetwork};
+use gossip_graph::generators;
+use gossip_sim::CutRateAsync;
+use gossip_stats::series::Series;
+use gossip_stats::SimRng;
+
+fn track_worst_ratio(outs: &[TrackedOutcome]) -> (f64, f64, f64) {
+    let spread = outs
+        .iter()
+        .filter_map(|o| o.spread_time)
+        .fold(0.0f64, f64::max);
+    let bound = outs
+        .iter()
+        .filter_map(|o| o.theorem_1_1_steps)
+        .fold(0u64, u64::max) as f64;
+    let ratio = outs
+        .iter()
+        .filter_map(|o| o.theorem_1_1_ratio())
+        .fold(0.0f64, f64::max);
+    (spread, bound, ratio)
+}
+
+/// Runs E1 and returns the report.
+pub fn run(scale: Scale) -> String {
+    let spec = experiment::find("E1").expect("catalog has E1");
+    let mut out = report::header(&spec);
+    out.push('\n');
+
+    let sizes: Vec<usize> = scale.pick(vec![48, 96], vec![64, 128, 256, 512, 1024]);
+    let trials = scale.pick(3u64, 10u64);
+    let mut worst_overall: f64 = 0.0;
+
+    let mut series = Series::new(
+        "n",
+        vec![
+            "star spread".into(),
+            "star T11".into(),
+            "alt spread".into(),
+            "alt T11".into(),
+            "reg spread".into(),
+            "reg T11".into(),
+        ],
+    );
+
+    for &n in &sizes {
+        // Dynamic star (closed-form profile).
+        let mut star_outs = Vec::new();
+        for i in 0..trials {
+            let mut rng = SimRng::seed_from_u64(100 + i);
+            let mut net = DynamicStar::new(n - 1).expect("n >= 3");
+            let start = net.suggested_start();
+            let mut proto = CutRateAsync::new();
+            star_outs.push(
+                run_tracked(&mut net, &mut proto, start, 1.0, 1e6, ProfileMode::FromNetwork, &mut rng)
+                    .expect("valid"),
+            );
+        }
+        // Alternating regular (closed-form profile).
+        let mut alt_outs = Vec::new();
+        for i in 0..trials {
+            let mut rng = SimRng::seed_from_u64(200 + i);
+            let mut net = AlternatingRegular::new(n, &mut rng).expect("n >= 6");
+            let mut proto = CutRateAsync::new();
+            alt_outs.push(
+                run_tracked(&mut net, &mut proto, 0, 1.0, 1e6, ProfileMode::FromNetwork, &mut rng)
+                    .expect("valid"),
+            );
+        }
+        // Static 4-regular expander: the graph never changes, so compute
+        // the conservative spectral profile *once* and replay it as a
+        // fixed profile — re-running power iteration for each of the
+        // ~C·log n / (Φ·ρ) accumulation windows would dominate the
+        // experiment's runtime without changing a single digit.
+        let mut reg_outs = Vec::new();
+        for i in 0..trials.min(3) {
+            let mut rng = SimRng::seed_from_u64(300 + i);
+            let g = generators::random_connected_regular(n, 4, &mut rng).expect("even n*d");
+            let profile = conservative_profile(&g, scale.pick(800, 2000));
+            let mut net = StaticNetwork::new(g);
+            let mut proto = CutRateAsync::new();
+            reg_outs.push(
+                run_tracked_generic(
+                    &mut net,
+                    &mut proto,
+                    0,
+                    1.0,
+                    1e5,
+                    ProfileMode::Fixed(profile),
+                    &mut rng,
+                )
+                .expect("valid"),
+            );
+        }
+
+        let (s_spread, s_bound, s_ratio) = track_worst_ratio(&star_outs);
+        let (a_spread, a_bound, a_ratio) = track_worst_ratio(&alt_outs);
+        let (r_spread, r_bound, r_ratio) = track_worst_ratio(&reg_outs);
+        worst_overall = worst_overall.max(s_ratio).max(a_ratio).max(r_ratio);
+        series.push(
+            n as f64,
+            vec![s_spread, s_bound, a_spread, a_bound, r_spread, r_bound],
+        );
+    }
+
+    out.push_str(&report::table(
+        "worst-of-trials measured spread vs Theorem 1.1 stopping step (T11)",
+        &series,
+    ));
+    out.push_str(&report::verdict(
+        worst_overall <= 1.0 && worst_overall > 0.0,
+        &format!("worst measured/bound ratio = {worst_overall:.4} (must be <= 1)"),
+    ));
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_reproduces() {
+        let report = run(Scale::Quick);
+        assert!(report.contains("VERDICT: REPRODUCED"), "{report}");
+    }
+}

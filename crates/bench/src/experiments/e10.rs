@@ -1,0 +1,87 @@
+//! E10 — Lemma 5.2: on a `Δ`-regular graph, within a single unit of time
+//! starting from one informed node, the number of informed nodes satisfies
+//! `E[I_τ] = Θ(1)` and `Var[I_τ] = Θ(1)` — *independently of `Δ` and `n`*.
+//!
+//! This is the engine of the Theorem 1.5 boundary argument: a freshly
+//! bridged `B`-block cannot leak more than O(1) nodes per step. The
+//! experiment runs the 2-push process (equivalent to push–pull on regular
+//! graphs) for one window across a `Δ` sweep.
+
+use crate::Scale;
+use gossip_core::{experiment, report};
+use gossip_graph::{generators, NodeSet};
+use gossip_sim::{Protocol, TwoPush};
+use gossip_stats::series::Series;
+use gossip_stats::{RunningMoments, SimRng};
+
+/// Runs E10 and returns the report.
+pub fn run(scale: Scale) -> String {
+    let spec = experiment::find("E10").expect("catalog has E10");
+    let mut out = report::header(&spec);
+    out.push('\n');
+
+    let m = scale.pick(200, 600);
+    let trials = scale.pick(500u64, 3000u64);
+    let deltas: Vec<usize> = scale.pick(vec![4, 16, 64], vec![4, 8, 16, 32, 64]);
+
+    let mut ok = true;
+    let mut series = Series::new("delta", vec!["E[I_1]".into(), "Var[I_1]".into()]);
+    for &delta in &deltas {
+        let g = generators::regular_circulant(m, delta).expect("delta even, m large");
+        let mut moments = RunningMoments::new();
+        let base = SimRng::seed_from_u64(1010 + delta as u64);
+        for i in 0..trials {
+            let mut rng = base.derive(i);
+            let mut proto = TwoPush::new();
+            proto.begin(m);
+            let mut informed = NodeSet::new(m);
+            informed.insert(0);
+            let _ = proto.advance_window(&g, 0, &mut informed, &mut rng);
+            moments.push(informed.len() as f64);
+        }
+        // Θ(1): bounded above by a small constant and at least the single
+        // starting node.
+        if moments.mean() > 12.0 || moments.mean() < 1.0 || moments.variance() > 40.0 {
+            ok = false;
+        }
+        series.push(delta as f64, vec![moments.mean(), moments.variance()]);
+    }
+    out.push_str(&report::table(
+        &format!("one-window informed count on {m}-node Δ-regular circulants, {trials} trials"),
+        &series,
+    ));
+
+    // Θ(1) signature: saturation, not flatness. With rate-2 pushes the
+    // one-window count approaches the collision-free branching limit
+    // `e² ≈ 7.4` from below as Δ grows (small Δ wastes pushes on informed
+    // neighbors), so E[I_1] *rises then saturates*. Sub-linearity in Δ is
+    // the falsifiable part: quadrupling (or more) Δ must not double the
+    // mean, and the whole sweep must stay inside a fixed constant band.
+    let means = series.column("E[I_1]").expect("column exists");
+    let spread = means.iter().cloned().fold(f64::MIN, f64::max)
+        / means.iter().cloned().fold(f64::MAX, f64::min);
+    let delta_ratio = *deltas.last().expect("nonempty") as f64 / deltas[0] as f64;
+    if spread > 2.0 || delta_ratio < 4.0 {
+        ok = false;
+    }
+    out.push_str(&report::verdict(
+        ok,
+        &format!(
+            "E and Var bounded by constants; max/min of E[I_1] = {spread:.2} (≤ 2) across a \
+             {delta_ratio:.0}x Δ range — saturating, not growing"
+        ),
+    ));
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_reproduces() {
+        let report = run(Scale::Quick);
+        assert!(report.contains("VERDICT: REPRODUCED"), "{report}");
+    }
+}

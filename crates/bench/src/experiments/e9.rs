@@ -1,0 +1,93 @@
+//! E9 — Section 1.2: on the alternating `{d-regular, K_n}` network the
+//! Giakkoupis–Sauerwald–Stauffer \[17\] bound is `Θ(n log n)` (its `M(G)`
+//! factor pays for the degree swing) while this paper's Theorem 1.1 bound
+//! and the true spread time are `O(log n)` — an `Ω̃(n)` improvement.
+
+use crate::Scale;
+use gossip_core::tracking::{run_tracked, ProfileMode};
+use gossip_core::{bounds, experiment, report};
+use gossip_dynamics::{AlternatingRegular, ProfiledNetwork};
+use gossip_graph::NodeSet;
+use gossip_sim::CutRateAsync;
+use gossip_stats::series::Series;
+use gossip_stats::SimRng;
+
+/// Runs E9 and returns the report.
+pub fn run(scale: Scale) -> String {
+    let spec = experiment::find("E9").expect("catalog has E9");
+    let mut out = report::header(&spec);
+    out.push('\n');
+
+    let ns: Vec<usize> = scale.pick(vec![64, 128], vec![64, 128, 256, 512, 1024]);
+    let mut series = Series::new(
+        "n",
+        vec!["measured".into(), "ours T11".into(), "theirs [17]".into(), "theirs/ours".into()],
+    );
+
+    for &n in &ns {
+        let mut rng = SimRng::seed_from_u64(900 + n as u64);
+        let mut net = AlternatingRegular::new(n, &mut rng).expect("n >= 6");
+        let m_factor = net.degree_variation();
+        // Profile schedule for the [17] accumulator: Φ of each layer.
+        let informed = NodeSet::new(n);
+        let mut profiles = Vec::new();
+        for t in 0..2u64 {
+            use gossip_dynamics::DynamicNetwork;
+            let _ = net.topology(t, &informed, &mut rng);
+            profiles.push(net.current_profile());
+        }
+        let theirs = bounds::giakkoupis_bound(
+            gossip_core::profile::cycling(profiles),
+            n,
+            m_factor,
+            1.0,
+            1_000_000_000,
+        )
+        .expect("fires eventually")
+        .steps as f64;
+
+        let mut proto = CutRateAsync::new();
+        let outcome = run_tracked(
+            &mut net,
+            &mut proto,
+            0,
+            1.0,
+            1e6,
+            ProfileMode::FromNetwork,
+            &mut rng,
+        )
+        .expect("valid");
+        let measured = outcome.spread_time.expect("expander sequence finishes");
+        let ours = outcome.theorem_1_1_steps.expect("fires") as f64;
+        series.push(n as f64, vec![measured, ours, theirs, theirs / ours]);
+    }
+    out.push_str(&report::table(
+        "alternating {d-regular, K_n}: measured vs both bounds (c = c_g = 1 scale)",
+        &series,
+    ));
+
+    // Shape: theirs/ours grows ~ linearly in n; ours stays within a
+    // constant·log n of measured.
+    let gap_slope = series.log_log_slope("theirs/ours").unwrap_or(0.0);
+    let ours_loglog = series.log_log_slope("ours T11").unwrap_or(1.0);
+    let ok = gap_slope > 0.7 && ours_loglog < 0.5;
+    out.push_str(&report::verdict(
+        ok,
+        &format!(
+            "[17]/ours gap log-log slope = {gap_slope:.3} (≈ 1: the M(G) = (n-1)/d factor); ours stays logarithmic (slope {ours_loglog:.3})"
+        ),
+    ));
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_reproduces() {
+        let report = run(Scale::Quick);
+        assert!(report.contains("VERDICT: REPRODUCED"), "{report}");
+    }
+}

@@ -1,0 +1,132 @@
+//! X5 (extension) — the static-graph async/sync relation of Giakkoupis,
+//! Nazari & Woelfel \[16\], and how the paper's dynamic constructions break
+//! it.
+//!
+//! On *static* graphs, \[16\] proves `Ta(G) = O(Ts(G) + log n)`: asynchrony
+//! never loses more than an additive logarithm. The paper's Section 6
+//! message is that no such relation survives in dynamic networks —
+//! `G1` has `Ta = Ω(n)` against `Ts = Θ(log n)`.
+//!
+//! This experiment measures both halves: across a portfolio of static
+//! topologies the ratio `Ta/(Ts + ln n)` stays bounded by a small
+//! constant, while on the dynamic `G1` the same ratio grows with `n`.
+
+use crate::Scale;
+use gossip_core::{experiment, report};
+use gossip_dynamics::{CliquePendant, StaticNetwork};
+use gossip_graph::{generators, Graph};
+use gossip_sim::{CutRateAsync, RunConfig, Runner, SyncPushPull};
+use gossip_stats::series::Series;
+use gossip_stats::SimRng;
+
+fn static_ratio(g: Graph, trials: usize, seed: u64) -> (f64, f64, f64) {
+    let n = g.n() as f64;
+    let make = move || StaticNetwork::new(g.clone());
+    let mut sync = Runner::new(trials, seed)
+        .run(make.clone(), SyncPushPull::new, None, RunConfig::with_max_time(1e6))
+        .expect("valid config");
+    let mut async_ = Runner::new(trials, seed + 1)
+        .run(make, CutRateAsync::new, None, RunConfig::with_max_time(1e6))
+        .expect("valid config");
+    let ts = sync.median();
+    let ta = async_.median();
+    (ta, ts, ta / (ts + n.ln()))
+}
+
+/// Runs X5 and returns the report.
+pub fn run(scale: Scale) -> String {
+    let spec = experiment::find("X5").expect("catalog has X5");
+    let mut out = report::header(&spec);
+    out.push('\n');
+
+    let n = scale.pick(64usize, 256usize);
+    let trials = scale.pick(30, 60);
+    let mut rng = SimRng::seed_from_u64(55_000);
+
+    let portfolio: Vec<(&str, Graph)> = vec![
+        ("complete", generators::complete(n).expect("n >= 1")),
+        ("star", generators::star(n).expect("n >= 2")),
+        ("path", generators::path(n).expect("n >= 1")),
+        ("cycle", generators::cycle(n).expect("n >= 3")),
+        ("4-regular", generators::random_connected_regular(n, 4, &mut rng).expect("even nd")),
+        ("hypercube", generators::hypercube((n as f64).log2() as usize).expect("dim >= 1")),
+        ("barbell", generators::barbell(n / 2).expect("k >= 3")),
+    ];
+
+    let mut ok = true;
+    let mut worst: f64 = 0.0;
+    out.push_str(&format!(
+        "static portfolio at n = {n} ({trials} trials): Ta vs Ts + ln n  [16: ratio = O(1)]\n"
+    ));
+    out.push_str(&format!(
+        "  {:<12} {:>12} {:>12} {:>16}\n",
+        "graph", "async med", "sync med", "Ta/(Ts + ln n)"
+    ));
+    for (i, (name, g)) in portfolio.into_iter().enumerate() {
+        let (ta, ts, ratio) = static_ratio(g, trials, 5500 + i as u64 * 10);
+        worst = worst.max(ratio);
+        out.push_str(&format!("  {name:<12} {ta:>12.3} {ts:>12.3} {ratio:>16.3}\n"));
+    }
+    // [16]'s constant is unspecified; empirically async routinely *beats*
+    // sync + ln n. Require a generous but fixed ceiling.
+    if worst > 4.0 {
+        ok = false;
+    }
+
+    // The dynamic counterexample: the same ratio on G1 grows with n.
+    let mut g1_series = Series::new("n", vec!["Ta/(Ts + ln n) on G1".into()]);
+    let mut ratios = Vec::new();
+    for (i, &m) in scale.pick(vec![32usize, 192], vec![64usize, 256, 512]).iter().enumerate() {
+        let mut sync = Runner::new(trials, 5600 + i as u64)
+            .run(
+                move || CliquePendant::new(m).expect("n >= 4"),
+                SyncPushPull::new,
+                None,
+                RunConfig::with_max_time(1e6),
+            )
+            .expect("valid config");
+        let async_ = Runner::new(trials, 5700 + i as u64)
+            .run(
+                move || CliquePendant::new(m).expect("n >= 4"),
+                CutRateAsync::new,
+                None,
+                RunConfig::with_max_time(1e6),
+            )
+            .expect("valid config");
+        // Mean for async: the Ω(n) mode has constant probability (see E6).
+        let ratio = async_.mean() / (sync.median() + (m as f64).ln());
+        ratios.push(ratio);
+        g1_series.push(m as f64, vec![ratio]);
+    }
+    out.push_str(&report::table(
+        "dynamic G1: the [16] static relation fails (ratio must grow)",
+        &g1_series,
+    ));
+    let grows = ratios.last().expect("nonempty") > &(ratios[0] * 1.4);
+    if !grows {
+        ok = false;
+    }
+
+    out.push_str(&report::verdict(
+        ok,
+        &format!(
+            "static ratios bounded (worst = {worst:.3} <= 4, matching [16]); on dynamic G1 the \
+             ratio grows {:.2} -> {:.2} — the relation does not survive dynamics",
+            ratios[0],
+            ratios.last().expect("nonempty")
+        ),
+    ));
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_reproduces() {
+        let report = run(Scale::Quick);
+        assert!(report.contains("VERDICT: REPRODUCED"), "{report}");
+    }
+}

@@ -1,0 +1,36 @@
+//! # gossip-bench
+//!
+//! Experiment and benchmark harness for the `dynamic-rumor` workspace.
+//!
+//! Every theorem-level result of *Tight Analysis of Asynchronous Rumor
+//! Spreading in Dynamic Networks* (Pourmiri & Mans, PODC 2020) has one
+//! experiment module here (see [`experiments`]) and one thin binary under
+//! `src/bin/` that runs it:
+//!
+//! ```text
+//! cargo run -p gossip-bench --release --bin exp_e7            # full scale
+//! cargo run -p gossip-bench --release --bin exp_e7 -- --quick # CI scale
+//! cargo run -p gossip-bench --release --bin all_experiments   # everything
+//! ```
+//!
+//! Each experiment returns its report as a `String` (so the test suite can
+//! execute quick-scale versions and assert the verdicts) and follows the
+//! same layout: header (from the [`gossip_core::experiment`] catalog),
+//! series table, one-line `VERDICT`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+mod scale;
+
+pub use scale::Scale;
+
+/// Parses `--quick` from process arguments (used by every binary).
+pub fn scale_from_args() -> Scale {
+    if std::env::args().any(|a| a == "--quick") {
+        Scale::Quick
+    } else {
+        Scale::Full
+    }
+}

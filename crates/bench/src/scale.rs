@@ -1,0 +1,31 @@
+/// Experiment scale: `Full` regenerates the paper-level sweeps, `Quick`
+/// shrinks sizes/trials so the whole suite runs in seconds (used by the
+/// test suite and CI).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// CI-sized: small `n`, few trials.
+    Quick,
+    /// Paper-sized sweeps.
+    Full,
+}
+
+impl Scale {
+    /// Picks between the quick and full variant of a parameter.
+    pub fn pick<T>(self, quick: T, full: T) -> T {
+        match self {
+            Scale::Quick => quick,
+            Scale::Full => full,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pick_selects() {
+        assert_eq!(Scale::Quick.pick(1, 2), 1);
+        assert_eq!(Scale::Full.pick(1, 2), 2);
+    }
+}

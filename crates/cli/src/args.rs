@@ -1,0 +1,233 @@
+//! A small hand-rolled argument parser.
+//!
+//! The workspace deliberately keeps its dependency set to the offline
+//! whitelist (`DESIGN.md` §6); a few dozen lines of flag parsing do not
+//! justify pulling in a CLI framework. Flags are `--name value` or
+//! boolean `--name`; every flag may appear at most once; unknown flags
+//! are an error so typos fail loudly instead of silently running the
+//! default.
+
+use crate::error::CliError;
+use std::collections::BTreeMap;
+
+/// Parsed command line: a subcommand followed by `--flag [value]` pairs.
+///
+/// Consulted flag names are tracked internally (behind a mutex, so `Args`
+/// can be shared across the trial-runner's threads) and
+/// [`Args::reject_unknown`] reports any flag no command ever read.
+#[derive(Debug, Default)]
+pub struct Args {
+    command: Option<String>,
+    flags: BTreeMap<String, Option<String>>,
+    consumed: std::sync::Mutex<Vec<String>>,
+}
+
+impl Clone for Args {
+    fn clone(&self) -> Self {
+        Args {
+            command: self.command.clone(),
+            flags: self.flags.clone(),
+            consumed: std::sync::Mutex::new(
+                self.consumed.lock().expect("consumed tracker poisoned").clone(),
+            ),
+        }
+    }
+}
+
+impl Args {
+    /// Parses raw arguments (without the program name).
+    ///
+    /// Flags take a value when the next token does not itself start with
+    /// `--`; otherwise they are boolean. Negative numbers are accepted as
+    /// values (`--x -3` works because `-3` does not start with `--`).
+    ///
+    /// # Errors
+    ///
+    /// [`CliError::Usage`] on a repeated flag or a bare value where a
+    /// flag was expected.
+    pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Result<Self, CliError> {
+        let mut it = raw.into_iter().peekable();
+        let command = match it.peek() {
+            Some(first) if !first.starts_with("--") => it.next(),
+            _ => None,
+        };
+        let mut flags = BTreeMap::new();
+        while let Some(tok) = it.next() {
+            let Some(name) = tok.strip_prefix("--") else {
+                return Err(CliError::Usage(format!(
+                    "expected a --flag, found `{tok}` (subcommand must come first)"
+                )));
+            };
+            if name.is_empty() {
+                return Err(CliError::Usage("empty flag `--`".into()));
+            }
+            let value = match it.peek() {
+                Some(v) if !v.starts_with("--") => it.next(),
+                _ => None,
+            };
+            if flags.insert(name.to_string(), value).is_some() {
+                return Err(CliError::Usage(format!("flag --{name} given more than once")));
+            }
+        }
+        Ok(Args { command, flags, consumed: std::sync::Mutex::new(Vec::new()) })
+    }
+
+    /// The subcommand, if any.
+    pub fn command(&self) -> Option<&str> {
+        self.command.as_deref()
+    }
+
+    /// A boolean flag: present (with or without a value) or absent.
+    pub fn flag(&self, name: &str) -> bool {
+        self.mark(name);
+        self.flags.contains_key(name)
+    }
+
+    /// A string-valued flag.
+    ///
+    /// # Errors
+    ///
+    /// [`CliError::Usage`] when the flag is present but has no value.
+    pub fn opt(&self, name: &str) -> Result<Option<&str>, CliError> {
+        self.mark(name);
+        match self.flags.get(name) {
+            None => Ok(None),
+            Some(Some(v)) => Ok(Some(v)),
+            Some(None) => Err(CliError::Usage(format!("flag --{name} needs a value"))),
+        }
+    }
+
+    /// A `usize` flag with a default.
+    ///
+    /// # Errors
+    ///
+    /// [`CliError::Usage`] on a missing or unparsable value.
+    pub fn opt_usize(&self, name: &str, default: usize) -> Result<usize, CliError> {
+        match self.opt(name)? {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError::Usage(format!("--{name} expects an integer, got `{v}`"))),
+        }
+    }
+
+    /// A `u64` flag with a default.
+    ///
+    /// # Errors
+    ///
+    /// [`CliError::Usage`] on a missing or unparsable value.
+    pub fn opt_u64(&self, name: &str, default: u64) -> Result<u64, CliError> {
+        match self.opt(name)? {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError::Usage(format!("--{name} expects an integer, got `{v}`"))),
+        }
+    }
+
+    /// An `f64` flag with a default.
+    ///
+    /// # Errors
+    ///
+    /// [`CliError::Usage`] on a missing or unparsable value.
+    pub fn opt_f64(&self, name: &str, default: f64) -> Result<f64, CliError> {
+        match self.opt(name)? {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError::Usage(format!("--{name} expects a number, got `{v}`"))),
+        }
+    }
+
+    /// Errors on any flag never consulted by the command — catches typos
+    /// like `--trails` that would otherwise silently run defaults.
+    ///
+    /// # Errors
+    ///
+    /// [`CliError::Usage`] listing the unknown flags.
+    pub fn reject_unknown(&self) -> Result<(), CliError> {
+        let consumed = self.consumed.lock().expect("consumed tracker poisoned");
+        let unknown: Vec<&str> = self
+            .flags
+            .keys()
+            .filter(|k| !consumed.iter().any(|c| c == *k))
+            .map(String::as_str)
+            .collect();
+        if unknown.is_empty() {
+            Ok(())
+        } else {
+            Err(CliError::Usage(format!("unknown flag(s): --{}", unknown.join(", --"))))
+        }
+    }
+
+    fn mark(&self, name: &str) {
+        let mut consumed = self.consumed.lock().expect("consumed tracker poisoned");
+        if !consumed.iter().any(|c| c == name) {
+            consumed.push(name.to_string());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Result<Args, CliError> {
+        Args::parse(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn subcommand_and_flags() {
+        let a = parse("run --n 100 --verbose --rho 0.5").unwrap();
+        assert_eq!(a.command(), Some("run"));
+        assert_eq!(a.opt_usize("n", 0).unwrap(), 100);
+        assert!(a.flag("verbose"));
+        assert!((a.opt_f64("rho", 0.0).unwrap() - 0.5).abs() < 1e-12);
+        assert!(!a.flag("quiet"));
+        a.reject_unknown().unwrap();
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = parse("run").unwrap();
+        assert_eq!(a.opt_usize("n", 64).unwrap(), 64);
+        assert_eq!(a.opt_u64("seed", 42).unwrap(), 42);
+    }
+
+    #[test]
+    fn rejects_bad_numbers() {
+        let a = parse("run --n abc").unwrap();
+        assert!(matches!(a.opt_usize("n", 0), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn rejects_repeated_flags() {
+        assert!(parse("run --n 1 --n 2").is_err());
+    }
+
+    #[test]
+    fn rejects_value_before_flag() {
+        assert!(parse("run stray --n 1").is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_flags() {
+        let a = parse("run --n 5 --trails 10").unwrap();
+        let _ = a.opt_usize("n", 0);
+        assert!(matches!(a.reject_unknown(), Err(CliError::Usage(m)) if m.contains("trails")));
+    }
+
+    #[test]
+    fn boolean_then_flag() {
+        let a = parse("run --quick --n 7").unwrap();
+        assert!(a.flag("quick"));
+        assert_eq!(a.opt_usize("n", 0).unwrap(), 7);
+    }
+
+    #[test]
+    fn no_command() {
+        let a = parse("--help").unwrap();
+        assert_eq!(a.command(), None);
+        assert!(a.flag("help"));
+    }
+}

@@ -1,0 +1,495 @@
+//! Subcommand implementations. Each returns the full report as a `String`
+//! so the logic is unit-testable without capturing stdout.
+
+use crate::args::Args;
+use crate::error::CliError;
+use crate::{family, proto};
+use gossip_core::tracking::{run_tracked_generic, ProfileMode};
+use gossip_dynamics::profile::{conservative_profile, exact_profile};
+use gossip_dynamics::DynamicNetwork;
+use gossip_graph::{NodeSet, EXACT_ENUMERATION_LIMIT};
+use gossip_sim::{Protocol, RunConfig, Runner};
+use gossip_stats::SimRng;
+use std::fmt::Write as _;
+
+/// `gossip help` / no arguments.
+pub fn help() -> String {
+    "\
+gossip — asynchronous rumor spreading in dynamic networks (Pourmiri & Mans, PODC 2020)
+
+USAGE:
+    gossip <COMMAND> [--flag value]...
+
+COMMANDS:
+    run          simulate a protocol on a network family, report spread-time statistics
+    profile      walk a trajectory and print per-window conductance / diligence profiles
+    bounds       compare measured spread time against the Theorem 1.1 / 1.3 stopping rules
+    trace        dump informed-count trajectories as CSV (for plotting)
+    experiment   regenerate a paper experiment by id (E1..E11, X1..X5)
+    list         show families, protocols, and the experiment catalog
+    help         show this message
+
+COMMON FLAGS:
+    --family <name>      network family (default: complete; see `gossip list`)
+    --n <int>            number of nodes (default: 64)
+    --protocol <name>    protocol (default: async; see `gossip list`)
+    --trials <int>       independent trials (default: 20)
+    --seed <int>         trial RNG seed (default: 42)
+    --build-seed <int>   family construction seed (default: 1)
+    --start <int>        start node (default: family's suggested start)
+    --max-time <float>   cutoff in time units / rounds (default: 100000)
+    --histogram          render the spread-time distribution (run command)
+
+EXAMPLES:
+    gossip run --family regular --d 4 --n 256 --trials 50
+    gossip run --family dynamic-star --n 200 --protocol sync
+    gossip run --family complete --n 128 --protocol lossy --loss 0.5
+    gossip profile --family clique-pendant --n 16 --windows 12
+    gossip bounds --family absolute-diligent --n 120 --rho 0.125
+    gossip experiment --id E7 --quick
+"
+    .to_string()
+}
+
+/// `gossip list`.
+pub fn list(args: &Args) -> Result<String, CliError> {
+    args.reject_unknown()?;
+    let mut out = String::new();
+    out.push_str("FAMILIES (--family)\n");
+    for f in family::list() {
+        let _ = writeln!(out, "  {:<18} {:<28} {}", f.name, f.flags, f.synopsis);
+    }
+    out.push_str("\nPROTOCOLS (--protocol)\n");
+    for p in proto::list() {
+        let _ = writeln!(out, "  {:<18} {:<28} {}", p.name, p.flags, p.synopsis);
+    }
+    out.push_str("\nEXPERIMENTS (gossip experiment --id <ID> [--quick])\n");
+    for e in gossip_core::experiment::catalog() {
+        let _ = writeln!(out, "  {:<5} {:<42} {}", e.id, e.paper_item, e.claim);
+    }
+    Ok(out)
+}
+
+/// `gossip run`.
+pub fn run(args: &Args) -> Result<String, CliError> {
+    let family_name = args.opt("family")?.unwrap_or("complete").to_string();
+    let proto_name = args.opt("protocol")?.unwrap_or("async").to_string();
+    let trials = args.opt_usize("trials", 20)?;
+    let seed = args.opt_u64("seed", 42)?;
+    let start = args.opt("start")?.map(|s| {
+        s.parse::<u32>()
+            .map_err(|_| CliError::Usage(format!("--start expects a node id, got `{s}`")))
+    });
+    let start = match start {
+        None => None,
+        Some(r) => Some(r?),
+    };
+    let max_time = args.opt_f64("max-time", 1e5)?;
+    let histogram = args.flag("histogram");
+    if trials == 0 {
+        return Err(CliError::Usage("--trials must be at least 1".into()));
+    }
+
+    // Validate the configuration once, eagerly, so a typo fails before
+    // the trial loop spins up threads.
+    let probe_net = family::build(&family_name, args)?;
+    let probe_proto = proto::build(&proto_name, args)?;
+    let n = probe_net.n();
+    args.reject_unknown()?;
+
+    let mut summary = Runner::new(trials, seed)
+        .run(
+            || family::build(&family_name, args).expect("validated above"),
+            || proto::build(&proto_name, args).expect("validated above"),
+            start,
+            RunConfig::with_max_time(max_time),
+        )
+        .map_err(CliError::Sim)?;
+
+    let mut out = String::new();
+    let _ = writeln!(out, "family    : {family_name} (n = {n})");
+    let _ = writeln!(out, "protocol  : {} ", probe_proto.name());
+    let _ = writeln!(out, "trials    : {trials} (seed {seed})");
+    let _ = writeln!(
+        out,
+        "completed : {}/{} ({:.1}%)",
+        summary.completed(),
+        summary.trials(),
+        100.0 * summary.completion_rate()
+    );
+    if summary.completed() > 0 {
+        let _ = writeln!(out, "mean      : {:>10.4}  (std {:.4})", summary.mean(), summary.std_dev());
+        let _ = writeln!(out, "median    : {:>10.4}", summary.median());
+        let _ = writeln!(out, "q90       : {:>10.4}", summary.quantile(0.90));
+        let _ = writeln!(out, "q95 (whp) : {:>10.4}", summary.whp_spread_time());
+        let _ = writeln!(out, "max       : {:>10.4}", summary.max());
+        if histogram {
+            let lo = summary.quantile(0.0);
+            let hi = summary.max();
+            // Widen degenerate ranges so single-valued distributions
+            // (e.g. sync on the dynamic star) still render.
+            let hi = if hi > lo { hi * (1.0 + 1e-9) } else { lo + 1.0 };
+            let buckets = summary.completed().clamp(5, 20);
+            let mut h =
+                gossip_stats::Histogram::new(lo, hi, buckets).expect("range validated above");
+            for &t in summary.sorted_times() {
+                h.record(t);
+            }
+            let _ = writeln!(out, "\nspread-time distribution:\n{}", h.render(44));
+        }
+    } else {
+        let _ = writeln!(out, "no trial completed before the cutoff ({max_time})");
+    }
+    Ok(out)
+}
+
+/// `gossip profile`.
+pub fn profile(args: &Args) -> Result<String, CliError> {
+    let family_name = args.opt("family")?.unwrap_or("complete").to_string();
+    let proto_name = args.opt("protocol")?.unwrap_or("async").to_string();
+    let windows = args.opt_u64("windows", 10)?;
+    let seed = args.opt_u64("seed", 42)?;
+    let iters = args.opt_usize("spectral-iters", 1000)?;
+    let mut net = family::build(&family_name, args)?;
+    let mut protocol = proto::build(&proto_name, args)?;
+    args.reject_unknown()?;
+
+    let n = net.n();
+    let exact = n <= EXACT_ENUMERATION_LIMIT;
+    let mut rng = SimRng::seed_from_u64(seed);
+    net.reset();
+    protocol.begin(n);
+    let start = net.suggested_start();
+    let mut informed = NodeSet::new(n);
+    informed.insert(start);
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "family {family_name} (n = {n}), profile source: {}",
+        if exact { "exact enumeration" } else { "spectral/absolute conservative bounds" }
+    );
+    let _ = writeln!(
+        out,
+        "{:>4} {:>6} {:>10} {:>10} {:>10} {:>6} {:>12} {:>12}",
+        "t", "|I|", "phi", "rho", "rho_abs", "conn", "sum phi*rho", "sum c13"
+    );
+    let mut sum11 = 0.0;
+    let mut sum13 = 0.0;
+    for t in 0..windows {
+        let g = net.topology(t, &informed, &mut rng).clone();
+        let p = if exact {
+            exact_profile(&g).map_err(CliError::Graph)?
+        } else {
+            conservative_profile(&g, iters)
+        };
+        sum11 += p.theorem_1_1_increment();
+        sum13 += p.theorem_1_3_increment();
+        let _ = writeln!(
+            out,
+            "{:>4} {:>6} {:>10.5} {:>10.5} {:>10.5} {:>6} {:>12.5} {:>12.5}",
+            t,
+            informed.len(),
+            p.phi,
+            p.rho,
+            p.rho_abs,
+            if p.connected { "yes" } else { "no" },
+            sum11,
+            sum13
+        );
+        if informed.is_full() {
+            break;
+        }
+        let _ = protocol.advance_window(&g, t, &mut informed, &mut rng);
+    }
+    let _ = writeln!(
+        out,
+        "informed {}/{} after {} windows",
+        informed.len(),
+        n,
+        windows
+    );
+    Ok(out)
+}
+
+/// `gossip bounds`.
+pub fn bounds(args: &Args) -> Result<String, CliError> {
+    let family_name = args.opt("family")?.unwrap_or("complete").to_string();
+    let trials = args.opt_u64("trials", 5)?;
+    let seed = args.opt_u64("seed", 42)?;
+    let c = args.opt_f64("c", 1.0)?;
+    let max_time = args.opt_f64("max-time", 1e5)?;
+    let iters = args.opt_usize("spectral-iters", 1000)?;
+    let mut net = family::build(&family_name, args)?;
+    args.reject_unknown()?;
+
+    let n = net.n();
+    // Static topologies are profiled once and replayed (the accumulators
+    // routinely need hundreds of windows to fire; re-enumerating an
+    // unchanged graph each window would dominate the command's runtime).
+    let mode = if net.is_static() {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let g = net.topology(0, &NodeSet::new(n), &mut rng).clone();
+        net.reset();
+        if n <= EXACT_ENUMERATION_LIMIT {
+            ProfileMode::Fixed(exact_profile(&g).map_err(CliError::Graph)?)
+        } else {
+            ProfileMode::Fixed(conservative_profile(&g, iters))
+        }
+    } else if n <= EXACT_ENUMERATION_LIMIT {
+        ProfileMode::Exact
+    } else {
+        ProfileMode::Conservative(iters)
+    };
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "family {family_name} (n = {n}), c = {c}, profiles: {}",
+        match mode {
+            ProfileMode::Exact => "exact, per window".to_string(),
+            ProfileMode::Conservative(k) => format!("conservative ({k} spectral iters), per window"),
+            ProfileMode::Fixed(_) => "static topology, profiled once".to_string(),
+            _ => unreachable!(),
+        }
+    );
+    let _ = writeln!(
+        out,
+        "{:>6} {:>12} {:>10} {:>10} {:>8}",
+        "trial", "spread", "T11", "T13", "ratio"
+    );
+    let base = SimRng::seed_from_u64(seed);
+    let mut worst: f64 = 0.0;
+    for i in 0..trials {
+        let mut rng = base.derive(i);
+        let mut protocol = gossip_sim::CutRateAsync::new();
+        let start = net.suggested_start();
+        let outcome =
+            run_tracked_generic(&mut net, &mut protocol, start, c, max_time, mode, &mut rng)
+                .map_err(CliError::Sim)?;
+        let spread = outcome.spread_time;
+        let ratio = outcome.theorem_1_1_ratio();
+        if let Some(r) = ratio {
+            worst = worst.max(r);
+        }
+        let _ = writeln!(
+            out,
+            "{:>6} {:>12} {:>10} {:>10} {:>8}",
+            i,
+            spread.map_or("cutoff".into(), |s| format!("{s:.3}")),
+            outcome.theorem_1_1_steps.map_or("n/a".into(), |s| s.to_string()),
+            outcome.theorem_1_3_steps.map_or("n/a".into(), |s| s.to_string()),
+            ratio.map_or("n/a".into(), |r| format!("{r:.4}")),
+        );
+    }
+    let _ = writeln!(
+        out,
+        "worst measured/T11 ratio: {worst:.4} ({})",
+        if worst <= 1.0 { "bound held" } else { "BOUND VIOLATED" }
+    );
+    Ok(out)
+}
+
+/// `gossip trace`: informed-count trajectories as CSV, one row per window
+/// start plus the completion point — ready for gnuplot/matplotlib.
+pub fn trace(args: &Args) -> Result<String, CliError> {
+    let family_name = args.opt("family")?.unwrap_or("complete").to_string();
+    let proto_name = args.opt("protocol")?.unwrap_or("async").to_string();
+    let trials = args.opt_u64("trials", 3)?;
+    let seed = args.opt_u64("seed", 42)?;
+    let max_time = args.opt_f64("max-time", 1e5)?;
+    let mut net = family::build(&family_name, args)?;
+    let mut protocol = proto::build(&proto_name, args)?;
+    args.reject_unknown()?;
+
+    let mut out = String::new();
+    let _ = writeln!(out, "# family={family_name} protocol={} seed={seed}", protocol.name());
+    let _ = writeln!(out, "trial,time,informed");
+    let base = SimRng::seed_from_u64(seed);
+    for i in 0..trials {
+        let mut rng = base.derive(i);
+        let start = net.suggested_start();
+        let outcome =
+            gossip_sim::Simulation::new(&mut protocol, RunConfig::with_max_time(max_time).recording())
+                .run(&mut net, start, &mut rng)
+                .map_err(CliError::Sim)?;
+        for &(time, informed) in outcome.trajectory() {
+            let _ = writeln!(out, "{i},{time},{informed}");
+        }
+    }
+    Ok(out)
+}
+
+/// `gossip experiment`.
+pub fn experiment(args: &Args) -> Result<String, CliError> {
+    let id = args
+        .opt("id")?
+        .ok_or_else(|| CliError::Usage("experiment needs --id (e.g. --id E7)".into()))?
+        .to_uppercase();
+    let scale =
+        if args.flag("quick") { gossip_bench::Scale::Quick } else { gossip_bench::Scale::Full };
+    args.reject_unknown()?;
+    use gossip_bench::experiments as ex;
+    let report = match id.as_str() {
+        "E1" => ex::e1::run(scale),
+        "E2" => ex::e2::run(scale),
+        "E3" => ex::e3::run(scale),
+        "E4" => ex::e4::run(scale),
+        "E5" => ex::e5::run(scale),
+        "E6" => ex::e6::run(scale),
+        "E7" => ex::e7::run(scale),
+        "E8" => ex::e8::run(scale),
+        "E9" => ex::e9::run(scale),
+        "E10" => ex::e10::run(scale),
+        "E11" => ex::e11::run(scale),
+        "X1" => ex::x1::run(scale),
+        "X2" => ex::x2::run(scale),
+        "X3" => ex::x3::run(scale),
+        "X4" => ex::x4::run(scale),
+        "X5" => ex::x5::run(scale),
+        "ALL" => ex::run_all(scale),
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown experiment id `{other}` (E1..E11, X1..X5, or ALL)"
+            )))
+        }
+    };
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from)).unwrap()
+    }
+
+    #[test]
+    fn run_reports_statistics() {
+        let a = args("run --family complete --n 24 --trials 10 --seed 3");
+        let out = run(&a).unwrap();
+        assert!(out.contains("completed : 10/10"), "{out}");
+        assert!(out.contains("median"), "{out}");
+    }
+
+    #[test]
+    fn run_rejects_zero_trials() {
+        let a = args("run --trials 0");
+        assert!(matches!(run(&a), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn run_rejects_unknown_flag() {
+        let a = args("run --family complete --n 16 --trails 9");
+        assert!(matches!(run(&a), Err(CliError::Usage(m)) if m.contains("trails")));
+    }
+
+    #[test]
+    fn run_histogram_renders() {
+        let a = args("run --family complete --n 24 --trials 30 --seed 3 --histogram");
+        let out = run(&a).unwrap();
+        assert!(out.contains("spread-time distribution"), "{out}");
+        // Degenerate (single-valued) distributions must render too.
+        let a = args("run --family dynamic-star --n 20 --protocol sync --trials 5 --histogram");
+        let out = run(&a).unwrap();
+        assert!(out.contains("spread-time distribution"), "{out}");
+    }
+
+    #[test]
+    fn run_with_lossy_protocol() {
+        let a = args("run --family complete --n 16 --protocol lossy --loss 0.3 --trials 5");
+        let out = run(&a).unwrap();
+        assert!(out.contains("lossy"), "{out}");
+    }
+
+    #[test]
+    fn run_incomplete_when_cutoff_tiny() {
+        let a = args("run --family path --n 64 --trials 3 --max-time 0.001");
+        let out = run(&a).unwrap();
+        assert!(out.contains("no trial completed"), "{out}");
+    }
+
+    #[test]
+    fn profile_prints_windows() {
+        let a = args("profile --family dynamic-star --n 12 --windows 6");
+        let out = profile(&a).unwrap();
+        assert!(out.contains("exact enumeration"), "{out}");
+        assert!(out.contains("sum phi*rho"), "{out}");
+    }
+
+    #[test]
+    fn profile_large_uses_conservative() {
+        let a = args("profile --family regular --d 4 --n 64 --windows 2");
+        let out = profile(&a).unwrap();
+        assert!(out.contains("conservative"), "{out}");
+    }
+
+    #[test]
+    fn bounds_holds_on_star() {
+        let a = args("bounds --family star --n 16 --trials 3");
+        let out = bounds(&a).unwrap();
+        assert!(out.contains("bound held"), "{out}");
+        assert!(out.contains("profiled once"), "{out}");
+    }
+
+    #[test]
+    fn bounds_dynamic_family_profiles_per_window() {
+        let a = args("bounds --family dynamic-star --n 10 --trials 2");
+        let out = bounds(&a).unwrap();
+        assert!(out.contains("exact, per window"), "{out}");
+        assert!(out.contains("bound held"), "{out}");
+    }
+
+    #[test]
+    fn trace_emits_csv() {
+        let a = args("trace --family dynamic-star --n 16 --trials 2 --seed 5");
+        let out = trace(&a).unwrap();
+        assert!(out.starts_with("# family=dynamic-star"), "{out}");
+        assert!(out.contains("trial,time,informed"), "{out}");
+        // Both trials appear and each reaches full informed count.
+        assert!(out.lines().any(|l| l.starts_with("0,")), "{out}");
+        assert!(out.lines().any(|l| l.starts_with("1,")), "{out}");
+        assert!(out.lines().any(|l| l.ends_with(",16")), "{out}");
+        // Monotone informed counts within a trial.
+        let counts: Vec<usize> = out
+            .lines()
+            .filter(|l| l.starts_with("0,"))
+            .map(|l| l.rsplit(',').next().unwrap().parse().unwrap())
+            .collect();
+        assert!(counts.windows(2).all(|w| w[0] <= w[1]), "{counts:?}");
+    }
+
+    #[test]
+    fn help_covers_trace() {
+        assert!(help().contains("trace"));
+    }
+
+    #[test]
+    fn experiment_requires_id() {
+        let a = args("experiment");
+        assert!(matches!(experiment(&a), Err(CliError::Usage(_))));
+        let a = args("experiment --id E99");
+        assert!(matches!(experiment(&a), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn list_covers_everything() {
+        let a = args("list");
+        let out = list(&a).unwrap();
+        for f in family::list() {
+            assert!(out.contains(f.name), "missing family {}", f.name);
+        }
+        for p in proto::list() {
+            assert!(out.contains(p.name), "missing protocol {}", p.name);
+        }
+        assert!(out.contains("E11") && out.contains("X4"));
+    }
+
+    #[test]
+    fn help_mentions_all_commands() {
+        let h = help();
+        for cmd in ["run", "profile", "bounds", "experiment", "list"] {
+            assert!(h.contains(cmd), "help missing {cmd}");
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! CLI error type: usage errors (exit code 2) vs runtime failures (1).
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors surfaced to the terminal user.
+#[derive(Debug)]
+pub enum CliError {
+    /// Malformed invocation; printed with a hint to run `gossip help`.
+    Usage(String),
+    /// A graph/network constructor rejected the parameters.
+    Graph(gossip_graph::GraphError),
+    /// A simulation run failed.
+    Sim(gossip_sim::SimError),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(m) => write!(f, "{m}"),
+            CliError::Graph(e) => write!(f, "{e}"),
+            CliError::Sim(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl Error for CliError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CliError::Usage(_) => None,
+            CliError::Graph(e) => Some(e),
+            CliError::Sim(e) => Some(e),
+        }
+    }
+}
+
+impl From<gossip_graph::GraphError> for CliError {
+    fn from(e: gossip_graph::GraphError) -> Self {
+        CliError::Graph(e)
+    }
+}
+
+impl From<gossip_sim::SimError> for CliError {
+    fn from(e: gossip_sim::SimError) -> Self {
+        CliError::Sim(e)
+    }
+}
+
+impl CliError {
+    /// Process exit code: 2 for usage errors, 1 otherwise (the Unix
+    /// convention `grep` and friends follow).
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Usage(_) => 2,
+            _ => 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_codes() {
+        let u = CliError::Usage("bad flag".into());
+        assert_eq!(u.exit_code(), 2);
+        assert_eq!(u.to_string(), "bad flag");
+        let g: CliError = gossip_graph::GraphError::InvalidParameter("p".into()).into();
+        assert_eq!(g.exit_code(), 1);
+        assert!(!g.to_string().is_empty());
+        let s: CliError = gossip_sim::SimError::EmptyNetwork.into();
+        assert_eq!(s.exit_code(), 1);
+        assert!(s.source().is_some());
+    }
+}

@@ -1,0 +1,210 @@
+//! Network-family registry: maps `--family` names to constructed
+//! [`DynamicNetwork`] trait objects.
+//!
+//! Static graphs are wrapped in [`StaticNetwork`]; the paper's adaptive
+//! constructions come from `gossip-dynamics` directly. Every family is
+//! rebuilt deterministically from `--build-seed`, so `gossip run` output
+//! is reproducible from the command line alone.
+
+use crate::args::Args;
+use crate::error::CliError;
+use gossip_dynamics::{
+    AbsoluteDiligentNetwork, AlternatingRegular, CliquePendant, DiligentNetwork, DynamicNetwork,
+    DynamicStar, EdgeMarkovian, MobileAgents, StaticNetwork,
+};
+use gossip_graph::generators;
+use gossip_stats::SimRng;
+
+/// One row of `gossip list` output.
+#[derive(Debug, Clone, Copy)]
+pub struct FamilyInfo {
+    /// The `--family` value.
+    pub name: &'static str,
+    /// Flags the family reads beyond `--n`.
+    pub flags: &'static str,
+    /// One-line description.
+    pub synopsis: &'static str,
+}
+
+/// Every registered family.
+pub fn list() -> Vec<FamilyInfo> {
+    vec![
+        FamilyInfo { name: "complete", flags: "", synopsis: "static complete graph K_n" },
+        FamilyInfo { name: "star", flags: "", synopsis: "static star K_{1,n-1} (node 0 center)" },
+        FamilyInfo { name: "path", flags: "", synopsis: "static path P_n" },
+        FamilyInfo { name: "cycle", flags: "", synopsis: "static cycle C_n" },
+        FamilyInfo {
+            name: "torus",
+            flags: "--rows --cols",
+            synopsis: "static 2-D torus grid (n ignored)",
+        },
+        FamilyInfo { name: "hypercube", flags: "--dim", synopsis: "static 2^dim hypercube (n ignored)" },
+        FamilyInfo {
+            name: "regular",
+            flags: "--d",
+            synopsis: "static random connected d-regular graph (expander w.h.p.)",
+        },
+        FamilyInfo { name: "er", flags: "--p", synopsis: "static Erdős–Rényi G(n,p)" },
+        FamilyInfo {
+            name: "circulant",
+            flags: "--d",
+            synopsis: "static d-regular circulant (consecutive offsets)",
+        },
+        FamilyInfo {
+            name: "dynamic-star",
+            flags: "",
+            synopsis: "G2 of Fig. 1(b): star re-centered on an uninformed node each step",
+        },
+        FamilyInfo {
+            name: "clique-pendant",
+            flags: "",
+            synopsis: "G1 of Fig. 1(a): clique+pendant, then two bridged cliques",
+        },
+        FamilyInfo {
+            name: "diligent",
+            flags: "--rho",
+            synopsis: "Section 4 rho-diligent H_{k,Delta} adversary (Theorem 1.2)",
+        },
+        FamilyInfo {
+            name: "absolute-diligent",
+            flags: "--rho",
+            synopsis: "Section 5.1 absolutely rho-diligent adversary (Theorem 1.5)",
+        },
+        FamilyInfo {
+            name: "alternating",
+            flags: "",
+            synopsis: "Section 1.2 alternating {3-regular, K_n} network (E9)",
+        },
+        FamilyInfo {
+            name: "edge-markovian",
+            flags: "--p --q",
+            synopsis: "edge-Markovian evolving graph of related work [7]",
+        },
+        FamilyInfo {
+            name: "mobile",
+            flags: "--agents --rows --cols --radius",
+            synopsis: "random-walking agents on a torus, proximity contacts [20, 22]",
+        },
+    ]
+}
+
+/// Builds the named family.
+///
+/// # Errors
+///
+/// [`CliError::Usage`] for an unknown name; [`CliError::Graph`] when the
+/// family constructor rejects the parameters.
+pub fn build(name: &str, args: &Args) -> Result<Box<dyn DynamicNetwork>, CliError> {
+    let n = args.opt_usize("n", 64)?;
+    let build_seed = args.opt_u64("build-seed", 1)?;
+    let mut rng = SimRng::seed_from_u64(build_seed);
+    let net: Box<dyn DynamicNetwork> = match name {
+        "complete" => Box::new(StaticNetwork::new(generators::complete(n)?)),
+        "star" => Box::new(StaticNetwork::new(generators::star(n)?)),
+        "path" => Box::new(StaticNetwork::new(generators::path(n)?)),
+        "cycle" => Box::new(StaticNetwork::new(generators::cycle(n)?)),
+        "torus" => {
+            let rows = args.opt_usize("rows", 16)?;
+            let cols = args.opt_usize("cols", 16)?;
+            Box::new(StaticNetwork::new(generators::torus(rows, cols)?))
+        }
+        "hypercube" => {
+            let dim = args.opt_usize("dim", 8)?;
+            Box::new(StaticNetwork::new(generators::hypercube(dim)?))
+        }
+        "regular" => {
+            let d = args.opt_usize("d", 4)?;
+            Box::new(StaticNetwork::new(generators::random_connected_regular(n, d, &mut rng)?))
+        }
+        "er" => {
+            let p = args.opt_f64("p", 0.1)?;
+            Box::new(StaticNetwork::new(generators::erdos_renyi(n, p, &mut rng)?))
+        }
+        "circulant" => {
+            let d = args.opt_usize("d", 4)?;
+            Box::new(StaticNetwork::new(generators::regular_circulant(n, d)?))
+        }
+        "dynamic-star" => Box::new(DynamicStar::new(n.saturating_sub(1))?),
+        "clique-pendant" => Box::new(CliquePendant::new(n)?),
+        "diligent" => {
+            let rho = args.opt_f64("rho", 0.25)?;
+            Box::new(DiligentNetwork::new(n, rho)?)
+        }
+        "absolute-diligent" => {
+            let rho = args.opt_f64("rho", 0.125)?;
+            Box::new(AbsoluteDiligentNetwork::new(n, rho)?)
+        }
+        "alternating" => Box::new(AlternatingRegular::new(n, &mut rng)?),
+        "edge-markovian" => {
+            let p = args.opt_f64("p", 0.1)?;
+            let q = args.opt_f64("q", 0.3)?;
+            let initial = generators::erdos_renyi(n, p, &mut rng)?;
+            Box::new(EdgeMarkovian::new(initial, p, q)?)
+        }
+        "mobile" => {
+            let agents = args.opt_usize("agents", 40)?;
+            let rows = args.opt_usize("rows", 16)?;
+            let cols = args.opt_usize("cols", 16)?;
+            let radius = args.opt_usize("radius", 1)?;
+            Box::new(MobileAgents::new(agents, rows, cols, radius, &mut rng)?)
+        }
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown family `{other}` (see `gossip list`)"
+            )))
+        }
+    };
+    Ok(net)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from)).unwrap()
+    }
+
+    #[test]
+    fn every_listed_family_builds() {
+        for info in list() {
+            // The paper's diligent constructions need room for their
+            // blocks (rho >= 10/n etc.); give them a larger n.
+            let n = match info.name {
+                "diligent" | "absolute-diligent" => 160,
+                _ => 24,
+            };
+            let a = args(&format!(
+                "run --n {n} --rho 0.125 --d 4 --p 0.3 --q 0.4 --dim 4 --rows 5 --cols 5 --agents 10 --radius 1"
+            ));
+            let net = build(info.name, &a)
+                .unwrap_or_else(|e| panic!("family {} failed to build: {e}", info.name));
+            assert!(net.n() > 0, "family {} has no nodes", info.name);
+        }
+    }
+
+    #[test]
+    fn unknown_family_is_usage_error() {
+        let a = args("run --n 10");
+        assert!(matches!(build("nope", &a), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn bad_parameters_surface_graph_errors() {
+        let a = args("run --n 10 --rho -1.0");
+        assert!(matches!(build("absolute-diligent", &a), Err(CliError::Graph(_))));
+    }
+
+    #[test]
+    fn deterministic_given_build_seed() {
+        let a = args("run --n 32 --d 4 --build-seed 9");
+        let mut n1 = build("regular", &a).unwrap();
+        let mut n2 = build("regular", &a).unwrap();
+        let mut rng1 = SimRng::seed_from_u64(0);
+        let mut rng2 = SimRng::seed_from_u64(0);
+        let informed = gossip_graph::NodeSet::new(32);
+        let g1 = n1.topology(0, &informed, &mut rng1).clone();
+        let g2 = n2.topology(0, &informed, &mut rng2);
+        assert_eq!(&g1, g2);
+    }
+}

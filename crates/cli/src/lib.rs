@@ -1,0 +1,78 @@
+//! # gossip-cli
+//!
+//! Command-line interface to the `dynamic-rumor` workspace — simulate
+//! rumor-spreading protocols on static and adaptive dynamic networks,
+//! inspect conductance/diligence profiles, audit the Theorem 1.1 / 1.3
+//! stopping rules, and regenerate any experiment of the paper
+//! reproduction.
+//!
+//! ```text
+//! $ gossip run --family dynamic-star --n 200 --protocol sync
+//! $ gossip bounds --family absolute-diligent --n 120 --rho 0.125
+//! $ gossip experiment --id E7 --quick
+//! ```
+//!
+//! The binary is a thin shim over [`dispatch`]; all command logic lives
+//! in the library so it can be unit-tested.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+pub mod error;
+pub mod family;
+pub mod proto;
+
+pub use args::Args;
+pub use error::CliError;
+
+/// Parses raw arguments and runs the corresponding command, returning the
+/// report to print.
+///
+/// # Errors
+///
+/// [`CliError::Usage`] for unknown commands/flags and malformed values;
+/// [`CliError::Graph`] / [`CliError::Sim`] when construction or
+/// simulation fails.
+pub fn dispatch<I: IntoIterator<Item = String>>(raw: I) -> Result<String, CliError> {
+    let args = Args::parse(raw)?;
+    match args.command() {
+        None | Some("help") => Ok(commands::help()),
+        Some("list") => commands::list(&args),
+        Some("run") => commands::run(&args),
+        Some("profile") => commands::profile(&args),
+        Some("bounds") => commands::bounds(&args),
+        Some("trace") => commands::trace(&args),
+        Some("experiment") => commands::experiment(&args),
+        Some(other) => Err(CliError::Usage(format!(
+            "unknown command `{other}` (run `gossip help`)"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(s: &str) -> Result<String, CliError> {
+        dispatch(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn no_args_prints_help() {
+        assert!(run("").unwrap().contains("USAGE"));
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        let err = run("frobnicate").unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+    }
+
+    #[test]
+    fn end_to_end_run() {
+        let out = run("run --family cycle --n 12 --trials 4 --seed 9").unwrap();
+        assert!(out.contains("completed : 4/4"), "{out}");
+    }
+}

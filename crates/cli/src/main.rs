@@ -1,0 +1,19 @@
+//! `gossip` — see [`gossip_cli`] for the command set.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    match gossip_cli::dispatch(std::env::args().skip(1)) {
+        Ok(report) => {
+            print!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("gossip: {e}");
+            if e.exit_code() == 2 {
+                eprintln!("run `gossip help` for usage");
+            }
+            ExitCode::from(e.exit_code())
+        }
+    }
+}

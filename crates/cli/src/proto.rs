@@ -1,0 +1,118 @@
+//! Protocol registry: maps `--protocol` names to [`Protocol`] trait
+//! objects.
+
+use crate::args::Args;
+use crate::error::CliError;
+use gossip_sim::{
+    AsyncPull, AsyncPush, AsyncPushPull, CutRateAsync, Flooding, LossyAsync, Protocol,
+    SyncPull, SyncPush, SyncPushPull, TwoPush,
+};
+
+/// One row of `gossip list` output.
+#[derive(Debug, Clone, Copy)]
+pub struct ProtocolInfo {
+    /// The `--protocol` value.
+    pub name: &'static str,
+    /// Flags the protocol reads.
+    pub flags: &'static str,
+    /// One-line description.
+    pub synopsis: &'static str,
+}
+
+/// Every registered protocol.
+pub fn list() -> Vec<ProtocolInfo> {
+    vec![
+        ProtocolInfo {
+            name: "async",
+            flags: "",
+            synopsis: "asynchronous push-pull, exact cut-rate simulator (default)",
+        },
+        ProtocolInfo {
+            name: "naive",
+            flags: "",
+            synopsis: "asynchronous push-pull, tick-by-tick ground-truth simulator",
+        },
+        ProtocolInfo { name: "push", flags: "", synopsis: "asynchronous push-only" },
+        ProtocolInfo { name: "pull", flags: "", synopsis: "asynchronous pull-only" },
+        ProtocolInfo {
+            name: "sync",
+            flags: "",
+            synopsis: "synchronous push-pull rounds (Theorem 1.7 comparisons)",
+        },
+        ProtocolInfo { name: "sync-push", flags: "", synopsis: "synchronous push-only rounds" },
+        ProtocolInfo { name: "sync-pull", flags: "", synopsis: "synchronous pull-only rounds" },
+        ProtocolInfo { name: "flooding", flags: "", synopsis: "informed nodes flood all neighbors each round" },
+        ProtocolInfo {
+            name: "two-push",
+            flags: "",
+            synopsis: "rate-2 push (the Section 4 / Lemma 5.2 coupling process)",
+        },
+        ProtocolInfo {
+            name: "lossy",
+            flags: "--loss --downtime",
+            synopsis: "async push-pull with i.i.d. message loss and per-window downtime",
+        },
+    ]
+}
+
+/// Builds the named protocol.
+///
+/// # Errors
+///
+/// [`CliError::Usage`] for an unknown name; [`CliError::Sim`] when the
+/// protocol constructor rejects the parameters.
+pub fn build(name: &str, args: &Args) -> Result<Box<dyn Protocol>, CliError> {
+    let proto: Box<dyn Protocol> = match name {
+        "async" => Box::new(CutRateAsync::new()),
+        "naive" => Box::new(AsyncPushPull::new()),
+        "push" => Box::new(AsyncPush::new()),
+        "pull" => Box::new(AsyncPull::new()),
+        "sync" => Box::new(SyncPushPull::new()),
+        "sync-push" => Box::new(SyncPush::new()),
+        "sync-pull" => Box::new(SyncPull::new()),
+        "flooding" => Box::new(Flooding::new()),
+        "two-push" => Box::new(TwoPush::new()),
+        "lossy" => {
+            let loss = args.opt_f64("loss", 0.0)?;
+            let downtime = args.opt_f64("downtime", 0.0)?;
+            Box::new(LossyAsync::with_downtime(loss, downtime)?)
+        }
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown protocol `{other}` (see `gossip list`)"
+            )))
+        }
+    };
+    Ok(proto)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from)).unwrap()
+    }
+
+    #[test]
+    fn every_listed_protocol_builds() {
+        let a = args("run --loss 0.1 --downtime 0.05");
+        for info in list() {
+            let p = build(info.name, &a)
+                .unwrap_or_else(|e| panic!("protocol {} failed to build: {e}", info.name));
+            assert!(!p.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn unknown_protocol_is_usage_error() {
+        let a = args("run");
+        assert!(matches!(build("telepathy", &a), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn invalid_loss_is_sim_error() {
+        let a = args("run --loss 1.0");
+        assert!(matches!(build("lossy", &a), Err(CliError::Sim(_))));
+    }
+}

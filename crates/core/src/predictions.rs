@@ -1,0 +1,215 @@
+//! The paper's closed-form growth laws, used by the experiment binaries as
+//! the "paper claim" column next to measured values.
+//!
+//! Constants inside `Θ(·)`/`Ω(·)` are not specified by the paper; these
+//! functions return the *scaling term* (the expression inside the
+//! asymptotic notation), and experiments compare shapes — log-log slopes,
+//! ratios across sweeps — rather than absolute values.
+
+/// Theorem 1.1 stopping target: `C·log n` with `C = (10c + 20)/c₀`.
+///
+/// # Panics
+///
+/// Panics when `n < 2` or `c < 1`.
+pub fn theorem_1_1_target(n: usize, c: f64) -> f64 {
+    assert!(n >= 2);
+    gossip_stats::tail::theorem_1_1_constant(c) * (n as f64).ln()
+}
+
+/// Theorem 1.2 lower bound scale for `G(n, ρ)`: `n/(4·k·⌈1/ρ⌉)` — the
+/// proof's Inequality (11), of order `nρ/k`.
+///
+/// # Panics
+///
+/// Panics when `ρ ∉ (0, 1]` or `k == 0`.
+pub fn theorem_1_2_lower(n: usize, rho: f64, k: usize) -> f64 {
+    assert!(rho > 0.0 && rho <= 1.0, "rho must be in (0,1]");
+    assert!(k > 0, "k must be positive");
+    n as f64 / (4.0 * k as f64 * (1.0 / rho).ceil())
+}
+
+/// Theorem 1.2 upper bound scale from Theorem 1.1 on `G(n, ρ)`:
+/// `(k/ρ + nρ)·log n` (Section 4: `O(log n/(ρΦ))` with
+/// `Φ = Θ(1/(k + nρ²))`).
+///
+/// # Panics
+///
+/// Panics when `ρ ∉ (0, 1]` or `k == 0` or `n < 2`.
+pub fn theorem_1_2_upper(n: usize, rho: f64, k: usize) -> f64 {
+    assert!(rho > 0.0 && rho <= 1.0 && k > 0 && n >= 2);
+    (k as f64 / rho + n as f64 * rho) * (n as f64).ln()
+}
+
+/// Theorem 1.5 lower bound scale for the absolutely-`ρ`-diligent family:
+/// `n/ρ` (each of `Θ(n)` boundary crossings waits `(Δ+1)/2` expected
+/// time).
+///
+/// # Panics
+///
+/// Panics when `ρ ∉ (0, 1]`.
+pub fn theorem_1_5_lower(n: usize, rho: f64) -> f64 {
+    assert!(rho > 0.0 && rho <= 1.0, "rho must be in (0,1]");
+    n as f64 / rho
+}
+
+/// Remark 1.4: every connected dynamic network spreads within `O(n²)`;
+/// the explicit Theorem 1.3 form is `2n·(n−1)` steps when
+/// `ρ̄ = 1/(n−1)` at every step.
+///
+/// # Panics
+///
+/// Panics when `n < 2`.
+pub fn remark_1_4_worst_case(n: usize) -> f64 {
+    assert!(n >= 2);
+    2.0 * n as f64 * (n as f64 - 1.0)
+}
+
+/// Theorem 1.7(iii): the dynamic star exceeds time `2k` with probability
+/// at most `e^{−k/2} + e^{−k}` (up to `o(1)`).
+pub fn dynamic_star_tail(k: f64) -> f64 {
+    gossip_stats::tail::dynamic_star_tail_bound(k)
+}
+
+/// The \[17\] bound's scale on the Section 1.2 alternating network:
+/// `M(G)·log n = ((n−1)/d)·log n` steps of `Φ = Θ(1)` each, i.e.
+/// `Θ(n log n)`.
+///
+/// # Panics
+///
+/// Panics when `n < 2` or `d == 0`.
+pub fn giakkoupis_alternating_scale(n: usize, d: usize) -> f64 {
+    assert!(n >= 2 && d > 0);
+    ((n - 1) as f64 / d as f64) * (n as f64).ln()
+}
+
+/// Observation 4.1 conductance of `H_{k,Δ}`: `Δ²/(kΔ² + n)`.
+///
+/// # Panics
+///
+/// Panics when `Δ == 0` or `k == 0`.
+pub fn observation_4_1_phi(n: usize, k: usize, delta: usize) -> f64 {
+    assert!(delta > 0 && k > 0);
+    let d2 = (delta * delta) as f64;
+    d2 / (k as f64 * d2 + n as f64)
+}
+
+/// Observation 4.1 diligence of `H_{k,Δ}`: `1/Δ`.
+///
+/// # Panics
+///
+/// Panics when `Δ == 0`.
+pub fn observation_4_1_rho(delta: usize) -> f64 {
+    assert!(delta > 0);
+    1.0 / delta as f64
+}
+
+/// Lemma 4.2: probability that the rumor crosses the `k`-hop string within
+/// one time unit is at most `2^k·Δ/k!` (by Markov on
+/// `E[I(1,k)] ≤ 2^k Δ/k!`).
+///
+/// # Panics
+///
+/// Panics when `Δ == 0`.
+pub fn lemma_4_2_crossing_bound(k: usize, delta: usize) -> f64 {
+    assert!(delta > 0);
+    let log_bound = k as f64 * core::f64::consts::LN_2 + (delta as f64).ln()
+        - (1..=k).map(|j| (j as f64).ln()).sum::<f64>();
+    log_bound.exp().min(1.0)
+}
+
+/// Static-network baseline from the paper's introduction: any connected
+/// static network finishes in `O(n log n)` asynchronous time \[1\]; scale
+/// `n·log n`.
+///
+/// # Panics
+///
+/// Panics when `n < 2`.
+pub fn static_worst_case(n: usize) -> f64 {
+    assert!(n >= 2);
+    n as f64 * (n as f64).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn theorem_1_2_bounds_ordered() {
+        // Upper must dominate lower across the paper's regime.
+        for n in [256usize, 1024, 4096] {
+            for rho in [0.05, 0.1, 0.5, 1.0] {
+                if rho >= 1.0 / (n as f64).sqrt() {
+                    let k = 3;
+                    assert!(
+                        theorem_1_2_upper(n, rho, k) >= theorem_1_2_lower(n, rho, k),
+                        "n={n}, rho={rho}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn theorem_1_2_lower_matches_nrho_over_k() {
+        // With 1/ρ integral the closed form is exactly nρ/(4k).
+        let v = theorem_1_2_lower(1000, 0.1, 5);
+        assert!((v - 1000.0 * 0.1 / 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gap_is_subpolylog_squared() {
+        // Theorem 1.2's headline: upper/lower = o(log² n) in the main
+        // regime (nρ² >= k). "Little-o" means the ratio normalized by
+        // log²n tends to zero — check it decreases along a geometric n
+        // sweep with k = ln n / ln ln n and nρ² fixed at 100.
+        let normalized = |exp: u32| {
+            let n = 1usize << exp;
+            let rho = (100.0 / n as f64).sqrt();
+            let k = ((n as f64).ln() / (n as f64).ln().ln()).round() as usize;
+            let ratio = theorem_1_2_upper(n, rho, k) / theorem_1_2_lower(n, rho, k);
+            ratio / (n as f64).ln().powi(2)
+        };
+        let seq: Vec<f64> = [16u32, 24, 32, 44].iter().map(|&e| normalized(e)).collect();
+        for w in seq.windows(2) {
+            assert!(w[1] < w[0], "normalized gap not decreasing: {seq:?}");
+        }
+    }
+
+    #[test]
+    fn worst_case_quadratic() {
+        assert!((remark_1_4_worst_case(10) - 180.0).abs() < 1e-9);
+        // Quadratic growth: 2x n -> ~4x bound.
+        let r = remark_1_4_worst_case(2000) / remark_1_4_worst_case(1000);
+        assert!((r - 4.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn star_tail_decreasing() {
+        assert!(dynamic_star_tail(2.0) > dynamic_star_tail(4.0));
+        assert!(dynamic_star_tail(20.0) < 1e-4);
+    }
+
+    #[test]
+    fn giakkoupis_scale_linear_in_n() {
+        let r = giakkoupis_alternating_scale(2048, 3) / giakkoupis_alternating_scale(1024, 3);
+        assert!(r > 1.9 && r < 2.3, "ratio {r}");
+    }
+
+    #[test]
+    fn lemma_4_2_factorial_decay() {
+        let b3 = lemma_4_2_crossing_bound(3, 5);
+        let b8 = lemma_4_2_crossing_bound(8, 5);
+        assert!(b8 < b3 / 10.0);
+        // Large k: underflow-safe and clamped to [0,1].
+        let b = lemma_4_2_crossing_bound(100, 1000);
+        assert!((0.0..=1.0).contains(&b));
+        assert!(b < 1e-30);
+    }
+
+    #[test]
+    fn observation_4_1_limits() {
+        // kΔ² >> n: Φ -> 1/k. n >> kΔ²: Φ -> Δ²/n.
+        assert!((observation_4_1_phi(10, 4, 1000) - 1.0 / 4.0).abs() < 1e-3);
+        assert!((observation_4_1_phi(1_000_000, 2, 3) - 9.0 / 1_000_018.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,58 @@
+//! Per-step profile types and sources.
+//!
+//! Re-exports [`StepProfile`] (defined next to the dynamic networks, which
+//! produce it) and provides helpers for turning graphs and networks into
+//! profile streams for the [`crate::bounds`] calculators.
+
+pub use gossip_dynamics::profile::{
+    conservative_profile, exact_profile, ProfiledNetwork, StepProfile,
+};
+
+/// A constant profile stream (static networks).
+///
+/// # Example
+///
+/// ```
+/// use gossip_core::profile::{constant, StepProfile};
+///
+/// let p = StepProfile { phi: 0.5, rho: 1.0, rho_abs: 0.25, connected: true };
+/// let mut source = constant(p);
+/// assert_eq!(source(0), p);
+/// assert_eq!(source(99), p);
+/// ```
+pub fn constant(p: StepProfile) -> impl FnMut(u64) -> StepProfile {
+    move |_| p
+}
+
+/// A profile stream cycling through a fixed schedule (periodic networks
+/// such as the Section 1.2 alternating example).
+///
+/// # Panics
+///
+/// Panics when `schedule` is empty.
+pub fn cycling(schedule: Vec<StepProfile>) -> impl FnMut(u64) -> StepProfile {
+    assert!(!schedule.is_empty(), "cycling profile needs at least one entry");
+    move |t| schedule[(t % schedule.len() as u64) as usize]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycling_wraps() {
+        let a = StepProfile { phi: 0.1, rho: 1.0, rho_abs: 0.5, connected: true };
+        let b = StepProfile { phi: 0.9, rho: 1.0, rho_abs: 0.5, connected: true };
+        let mut src = cycling(vec![a, b]);
+        assert_eq!(src(0), a);
+        assert_eq!(src(1), b);
+        assert_eq!(src(2), a);
+        assert_eq!(src(101), b);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_schedule_panics() {
+        let _ = cycling(vec![]);
+    }
+}

@@ -1,0 +1,322 @@
+//! The absolutely-`ρ`-diligent dynamic network of Section 5.1 — the family
+//! on which the Theorem 1.3 upper bound is tight up to a constant
+//! (Theorem 1.5), and the `Θ(n²)` worst case of Remark 1.4 at `ρ = Θ(1/n)`.
+//!
+//! `G(t)` consists of `G(A_t, 4, Δ)` — connected, every node degree 4
+//! except one hub of degree `Δ` — and the `Δ`-regular `G(B_t, Δ)`, joined
+//! by a single bridge edge from the hub to a `B`-node. With
+//! `Δ ∈ {⌈1/ρ⌉, ⌈1/ρ⌉+1}` even, the bridge endpoints both have degree
+//! `Δ+1`, so `ρ̄(G(t)) = 1/(Δ+1) = Θ(ρ)` and `Φ(G(t)) = O(1/n)`.
+//!
+//! The adversary moves informed `B`-nodes to the `A` side
+//! (`B_{t+1} = B_t \ I_t`) and rebuilds while `n/6 ≤ |B_{t+1}| < |B_t|`,
+//! which "re-arms" the bridge: every fresh `B`-node must be informed across
+//! a bridge firing at rate `2/(Δ+1)`, costing `(Δ+1)/2` expected time each —
+//! `Ω(n/ρ)` in total (Theorem 1.5's coupling argument).
+
+use crate::{DynamicNetwork, ProfiledNetwork, StepProfile};
+use gossip_graph::generators::{near_regular_with_hub, regular_circulant};
+use gossip_graph::{Graph, GraphBuilder, GraphError, NodeId, NodeSet};
+use gossip_stats::SimRng;
+
+/// The Section 5.1 adaptive network.
+///
+/// # Example
+///
+/// ```
+/// use gossip_dynamics::{AbsoluteDiligentNetwork, DynamicNetwork};
+/// use gossip_graph::NodeSet;
+/// use gossip_stats::SimRng;
+///
+/// let mut net = AbsoluteDiligentNetwork::new(120, 0.1).unwrap();
+/// let mut rng = SimRng::seed_from_u64(1);
+/// let informed = NodeSet::new(net.n());
+/// let g = net.topology(0, &informed, &mut rng);
+/// assert_eq!(g.n(), 120);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AbsoluteDiligentNetwork {
+    n: usize,
+    delta: usize,
+    a_nodes: Vec<NodeId>,
+    b_nodes: Vec<NodeId>,
+    current: Option<Graph>,
+    frozen: bool,
+}
+
+impl AbsoluteDiligentNetwork {
+    /// Builds the network for target absolute diligence `ρ`.
+    ///
+    /// `Δ` is `⌈1/ρ⌉` rounded up to an even number and floored at 4 (the
+    /// paper picks the even member of `{⌈1/ρ⌉, ⌈1/ρ⌉+1}`; degrees below 4
+    /// make `G(A, 4, Δ)` degenerate).
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::InvalidParameter`] when `ρ ∉ (0, 1]` or `n` cannot
+    /// host the construction. The paper's regime `10/n ≤ ρ` translates to
+    /// `Δ ≲ n/10`, which keeps both blocks buildable down to the `n/6`
+    /// freeze threshold.
+    pub fn new(n: usize, rho: f64) -> Result<Self, GraphError> {
+        if !(rho > 0.0 && rho <= 1.0) {
+            return Err(GraphError::InvalidParameter(format!("rho must be in (0, 1], got {rho}")));
+        }
+        let raw = (1.0 / rho).ceil() as usize;
+        let delta = if raw.is_multiple_of(2) { raw } else { raw + 1 }.max(4);
+        Self::with_delta(n, delta)
+    }
+
+    /// Builds the network with an explicit even hub/regular degree `Δ`.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::InvalidParameter`] when `Δ` is odd, `Δ < 4`, or `n`
+    /// is too small (`Δ ≤ n/10` is required, mirroring the paper's
+    /// `ρ ≥ 10/n`).
+    pub fn with_delta(n: usize, delta: usize) -> Result<Self, GraphError> {
+        if delta < 4 || !delta.is_multiple_of(2) {
+            return Err(GraphError::InvalidParameter(format!(
+                "delta must be even and >= 4, got {delta}"
+            )));
+        }
+        if delta > n / 10 {
+            return Err(GraphError::InvalidParameter(format!(
+                "delta {delta} exceeds n/10 = {} (paper regime rho >= 10/n)",
+                n / 10
+            )));
+        }
+        let a_size = n / 2;
+        // G(A,4,Δ) chord capacity: m >= 2Δ + 9 comfortably holds at Δ <= n/10;
+        // G(B,Δ) needs Δ/2 <= (|B|-1)/2 down to |B| = n/6.
+        if a_size < 2 * delta + 9 || n / 6 < delta + 2 {
+            return Err(GraphError::InvalidParameter(format!(
+                "n = {n} too small for delta = {delta}"
+            )));
+        }
+        let a_nodes: Vec<NodeId> = (0..a_size as NodeId).collect();
+        let b_nodes: Vec<NodeId> = (a_size as NodeId..n as NodeId).collect();
+        Ok(AbsoluteDiligentNetwork { n, delta, a_nodes, b_nodes, current: None, frozen: false })
+    }
+
+    /// The block degree `Δ`.
+    pub fn delta(&self) -> usize {
+        self.delta
+    }
+
+    /// The current `B_t` in construction order.
+    pub fn b_nodes(&self) -> &[NodeId] {
+        &self.b_nodes
+    }
+
+    /// The Theorem 1.5 spread-time lower bound scale `n·(Δ+1)/c`: informing
+    /// `Θ(n)` boundary nodes at `(Δ+1)/2` expected time each. Reported as
+    /// `n₀ · Δ/4` with `n₀ = n/10` matching the proof's constants loosely —
+    /// the experiments compare shapes, not constants.
+    pub fn lower_bound_time(&self) -> f64 {
+        (self.n as f64 / 10.0) * (self.delta as f64 + 1.0) / 4.0
+    }
+
+    /// The bridge edge of the current graph: `(hub in A, boundary in B)`.
+    pub fn bridge(&self) -> (NodeId, NodeId) {
+        (self.a_nodes[0], self.b_nodes[0])
+    }
+
+    fn rebuild(&mut self) {
+        let a = &self.a_nodes;
+        let b = &self.b_nodes;
+        let ga = near_regular_with_hub(a.len(), self.delta)
+            .expect("A-side sizes validated at construction");
+        let gb = regular_circulant(b.len(), self.delta)
+            .expect("B-side sizes validated at construction");
+        let mut builder = GraphBuilder::new(self.n);
+        for (u, v) in ga.edges() {
+            builder.add_edge(a[u as usize], a[v as usize]).expect("in range");
+        }
+        for (u, v) in gb.edges() {
+            builder.add_edge(b[u as usize], b[v as usize]).expect("in range");
+        }
+        // Hub (node a[0], the degree-Δ node of G(A,4,Δ)) to an arbitrary
+        // B node (b[0]).
+        builder.add_edge(a[0], b[0]).expect("in range");
+        self.current = Some(builder.build());
+    }
+}
+
+impl DynamicNetwork for AbsoluteDiligentNetwork {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn topology(&mut self, _t: u64, informed: &NodeSet, _rng: &mut SimRng) -> &Graph {
+        if self.current.is_none() {
+            self.rebuild();
+            return self.current.as_ref().expect("just built");
+        }
+        if !self.frozen {
+            let b_new: Vec<NodeId> =
+                self.b_nodes.iter().copied().filter(|&v| !informed.contains(v)).collect();
+            if b_new.len() < self.b_nodes.len() {
+                if b_new.len() >= self.n / 6 {
+                    let moved: Vec<NodeId> = self
+                        .b_nodes
+                        .iter()
+                        .copied()
+                        .filter(|&v| informed.contains(v))
+                        .collect();
+                    self.a_nodes.extend(moved);
+                    self.b_nodes = b_new;
+                    self.rebuild();
+                } else {
+                    self.frozen = true;
+                }
+            }
+        }
+        self.current.as_ref().expect("built on first call")
+    }
+
+    fn reset(&mut self) {
+        let a_size = self.n / 2;
+        self.a_nodes = (0..a_size as NodeId).collect();
+        self.b_nodes = (a_size as NodeId..self.n as NodeId).collect();
+        self.current = None;
+        self.frozen = false;
+    }
+
+    fn name(&self) -> &str {
+        "absolutely rho-diligent (Sec. 5.1)"
+    }
+
+    /// A non-hub node of `G(A_0, 4, Δ)` (the paper injects the rumor into
+    /// the `A` block).
+    fn suggested_start(&self) -> NodeId {
+        1
+    }
+}
+
+impl ProfiledNetwork for AbsoluteDiligentNetwork {
+    /// Closed forms from the construction: the bridge gives
+    /// `ρ̄ = 1/(Δ+1)`; the bridge cut bounds `Φ ≤ 1/min(vol_A, vol_B)`; the
+    /// diligence is `min(1, 4/(Δ+1))` up to constants (the bridge cut's
+    /// smaller side is the 4-regular block once `|B|Δ > 4|A|`).
+    fn current_profile(&self) -> StepProfile {
+        let vol_a = 4 * (self.a_nodes.len() - 1) + self.delta + 1;
+        let vol_b = self.delta * self.b_nodes.len() + 1;
+        StepProfile {
+            phi: 1.0 / vol_a.min(vol_b) as f64,
+            rho: (4.0 / (self.delta as f64 + 1.0)).min(1.0),
+            rho_abs: 1.0 / (self.delta as f64 + 1.0),
+            connected: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gossip_graph::connectivity::is_connected;
+    use gossip_graph::diligence::absolute_diligence;
+
+    #[test]
+    fn initial_graph_structure() {
+        let mut net = AbsoluteDiligentNetwork::with_delta(120, 8).unwrap();
+        let mut rng = SimRng::seed_from_u64(0);
+        let informed = NodeSet::new(120);
+        let g = net.topology(0, &informed, &mut rng).clone();
+        assert!(is_connected(&g));
+        // Hub a[0] = node 0 has degree Δ+1 (hub + bridge).
+        assert_eq!(g.degree(0), 9);
+        // Bridge B endpoint b[0] = node 60 has degree Δ+1.
+        assert_eq!(g.degree(60), 9);
+        // Other A nodes: degree 4; other B nodes: degree Δ.
+        assert_eq!(g.degree(5), 4);
+        assert_eq!(g.degree(70), 8);
+    }
+
+    #[test]
+    fn absolute_diligence_matches_target() {
+        let mut net = AbsoluteDiligentNetwork::with_delta(120, 8).unwrap();
+        let mut rng = SimRng::seed_from_u64(0);
+        let informed = NodeSet::new(120);
+        let g = net.topology(0, &informed, &mut rng);
+        // ρ̄ = 1/(Δ+1): the bridge edge (9,9) gives 1/9; B-interior edges
+        // (8,8) give 1/8; A-interior (4,4) give 1/4.
+        assert!((absolute_diligence(g) - 1.0 / 9.0).abs() < 1e-12);
+        let p = net.current_profile();
+        assert!((p.rho_abs - 1.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rho_to_delta_rounding() {
+        let net = AbsoluteDiligentNetwork::new(200, 0.2).unwrap();
+        // 1/0.2 = 5 -> rounded to even 6.
+        assert_eq!(net.delta(), 6);
+        let net = AbsoluteDiligentNetwork::new(200, 0.125).unwrap();
+        assert_eq!(net.delta(), 8);
+        let net = AbsoluteDiligentNetwork::new(200, 1.0).unwrap();
+        assert_eq!(net.delta(), 4); // floored at 4
+    }
+
+    #[test]
+    fn rebuild_moves_informed_b_nodes() {
+        let mut net = AbsoluteDiligentNetwork::with_delta(120, 6).unwrap();
+        let mut rng = SimRng::seed_from_u64(0);
+        let informed = NodeSet::new(120);
+        let g0 = net.topology(0, &informed, &mut rng).clone();
+        let mut informed = NodeSet::new(120);
+        informed.insert(60); // b[0] becomes informed
+        let g1 = net.topology(1, &informed, &mut rng).clone();
+        assert_ne!(g0, g1);
+        assert!(!net.b_nodes().contains(&60));
+        // The new bridge touches the new b[0] = 61.
+        assert_eq!(net.bridge(), (0, 61));
+        assert!(g1.has_edge(0, 61));
+    }
+
+    #[test]
+    fn freezes_below_sixth() {
+        let n = 120;
+        let mut net = AbsoluteDiligentNetwork::with_delta(n, 6).unwrap();
+        let mut rng = SimRng::seed_from_u64(0);
+        let informed = NodeSet::new(n);
+        let _ = net.topology(0, &informed, &mut rng);
+        // Inform all but 15 B nodes: 15 < 20 = n/6 -> freeze.
+        let mut informed = NodeSet::new(n);
+        for v in 60..105u32 {
+            informed.insert(v);
+        }
+        let g1 = net.topology(1, &informed, &mut rng).clone();
+        let mut more = NodeSet::full(n);
+        more.remove(119);
+        let g2 = net.topology(2, &more, &mut rng);
+        assert_eq!(&g1, g2);
+    }
+
+    #[test]
+    fn validates() {
+        assert!(AbsoluteDiligentNetwork::new(100, 0.0).is_err());
+        assert!(AbsoluteDiligentNetwork::with_delta(100, 7).is_err()); // odd
+        assert!(AbsoluteDiligentNetwork::with_delta(100, 2).is_err()); // < 4
+        assert!(AbsoluteDiligentNetwork::with_delta(100, 30).is_err()); // > n/10
+    }
+
+    #[test]
+    fn reset_restores() {
+        let mut net = AbsoluteDiligentNetwork::with_delta(120, 6).unwrap();
+        let mut rng = SimRng::seed_from_u64(0);
+        let mut informed = NodeSet::new(120);
+        informed.insert(60);
+        let _ = net.topology(0, &informed, &mut rng);
+        let _ = net.topology(1, &informed, &mut rng);
+        assert_eq!(net.b_nodes().len(), 59);
+        net.reset();
+        assert_eq!(net.b_nodes().len(), 60);
+    }
+
+    #[test]
+    fn worst_case_delta_scale() {
+        // Remark 1.4 regime: rho = 10/n -> delta ~ n/10 -> lower bound ~ n²/400.
+        let net = AbsoluteDiligentNetwork::new(400, 10.0 / 400.0).unwrap();
+        assert_eq!(net.delta(), 40);
+        assert!(net.lower_bound_time() > 400.0);
+    }
+}

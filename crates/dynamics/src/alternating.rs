@@ -1,0 +1,188 @@
+//! The Section 1.2 example separating this paper's bound from the
+//! Giakkoupis–Sauerwald–Stauffer bound \[17\].
+//!
+//! The network alternates between a sparse `d`-regular expander
+//! (`d ∈ {3, 4}`) and the complete graph `K_{n}` — both regular, hence
+//! 1-diligent, with `Φ = Θ(1)` at every step, so this paper's Theorem 1.1
+//! stops after `O(log n)` steps. The \[17\] bound instead accumulates
+//! `Σ Φ ≥ c·M(G)·log n` with `M(G) = max_u Δ_u/δ_u = (n−1)/d`, which needs
+//! `Ω(n log n)` steps — an `Ω̃(n)` overestimate on this family.
+
+use crate::{DynamicNetwork, ProfiledNetwork, StepProfile};
+use gossip_graph::{generators, spectral, Graph, GraphError, NodeSet};
+use gossip_stats::SimRng;
+
+/// Alternating `{d-regular, K_n}` dynamic network (Section 1.2).
+///
+/// Even steps expose the sparse regular expander, odd steps the complete
+/// graph.
+///
+/// # Example
+///
+/// ```
+/// use gossip_dynamics::{AlternatingRegular, DynamicNetwork};
+/// use gossip_graph::NodeSet;
+/// use gossip_stats::SimRng;
+///
+/// let mut rng = SimRng::seed_from_u64(1);
+/// let mut net = AlternatingRegular::new(64, &mut rng).unwrap();
+/// let informed = NodeSet::new(64);
+/// assert_eq!(net.topology(0, &informed, &mut rng).degree(0), 3);
+/// assert_eq!(net.topology(1, &informed, &mut rng).degree(0), 63);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AlternatingRegular {
+    sparse: Graph,
+    complete: Graph,
+    d: usize,
+    sparse_phi_lower: f64,
+    parity: u64,
+}
+
+impl AlternatingRegular {
+    /// Builds the alternating network on `n` nodes. The sparse layer is a
+    /// random connected `d`-regular graph with `d = 3` (or `4` when `n` is
+    /// odd, for parity), generated from `rng`.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::InvalidParameter`] when `n < 6`; generation errors
+    /// propagate.
+    pub fn new(n: usize, rng: &mut SimRng) -> Result<Self, GraphError> {
+        if n < 6 {
+            return Err(GraphError::InvalidParameter(format!(
+                "alternating network needs n >= 6, got {n}"
+            )));
+        }
+        let d = if n.is_multiple_of(2) { 3 } else { 4 };
+        let sparse = generators::random_connected_regular(n, d, rng)?;
+        let complete = generators::complete(n)?;
+        // Cache the sparse layer's spectral conductance lower bound once.
+        let sparse_phi_lower = spectral::spectral_bounds(&sparse, 3000)
+            .map(|b| b.conductance_lower)
+            .unwrap_or(0.0);
+        Ok(AlternatingRegular { sparse, complete, d, sparse_phi_lower, parity: 0 })
+    }
+
+    /// Degree of the sparse layer (3 or 4).
+    pub fn sparse_degree(&self) -> usize {
+        self.d
+    }
+
+    /// The \[17\] degree-variation factor `M(G) = max_u Δ_u/δ_u = (n−1)/d`.
+    pub fn degree_variation(&self) -> f64 {
+        (self.complete.n() as f64 - 1.0) / self.d as f64
+    }
+
+    /// Conductance of `K_n` at the balanced cut:
+    /// `⌈n/2⌉·⌊n/2⌋ / (⌊n/2⌋·(n−1))`.
+    pub fn complete_phi(&self) -> f64 {
+        let n = self.complete.n();
+        let s = n / 2;
+        (s * (n - s)) as f64 / (s * (n - 1)) as f64
+    }
+}
+
+impl DynamicNetwork for AlternatingRegular {
+    fn n(&self) -> usize {
+        self.sparse.n()
+    }
+
+    fn topology(&mut self, t: u64, _informed: &NodeSet, _rng: &mut SimRng) -> &Graph {
+        self.parity = t % 2;
+        if self.parity == 0 {
+            &self.sparse
+        } else {
+            &self.complete
+        }
+    }
+
+    fn reset(&mut self) {
+        self.parity = 0;
+    }
+
+    fn name(&self) -> &str {
+        "alternating {d-regular, K_n} (Sec. 1.2)"
+    }
+}
+
+impl ProfiledNetwork for AlternatingRegular {
+    /// Both layers are regular, hence 1-diligent; `Φ` is the cached
+    /// spectral lower bound for the sparse layer and the balanced-cut value
+    /// for `K_n`; `ρ̄` is `1/d` resp. `1/(n−1)`.
+    fn current_profile(&self) -> StepProfile {
+        if self.parity == 0 {
+            StepProfile {
+                phi: self.sparse_phi_lower,
+                rho: 1.0,
+                rho_abs: 1.0 / self.d as f64,
+                connected: true,
+            }
+        } else {
+            StepProfile {
+                phi: self.complete_phi(),
+                rho: 1.0,
+                rho_abs: 1.0 / (self.complete.n() as f64 - 1.0),
+                connected: true,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alternates() {
+        let mut rng = SimRng::seed_from_u64(1);
+        let mut net = AlternatingRegular::new(20, &mut rng).unwrap();
+        let informed = NodeSet::new(20);
+        for t in 0..6 {
+            let g = net.topology(t, &informed, &mut rng);
+            if t % 2 == 0 {
+                assert_eq!(g.degree(0), 3, "t={t}");
+            } else {
+                assert_eq!(g.degree(0), 19, "t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn odd_n_uses_degree_4() {
+        let mut rng = SimRng::seed_from_u64(2);
+        let net = AlternatingRegular::new(21, &mut rng).unwrap();
+        assert_eq!(net.sparse_degree(), 4);
+        assert!((net.degree_variation() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degree_variation_matches_17() {
+        let mut rng = SimRng::seed_from_u64(3);
+        let net = AlternatingRegular::new(30, &mut rng).unwrap();
+        assert!((net.degree_variation() - 29.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn profiles_both_layers() {
+        let mut rng = SimRng::seed_from_u64(4);
+        let mut net = AlternatingRegular::new(24, &mut rng).unwrap();
+        let informed = NodeSet::new(24);
+        net.topology(0, &informed, &mut rng);
+        let sparse = net.current_profile();
+        assert_eq!(sparse.rho, 1.0);
+        assert!(sparse.phi > 0.0);
+        assert!((sparse.rho_abs - 1.0 / 3.0).abs() < 1e-12);
+        net.topology(1, &informed, &mut rng);
+        let dense = net.current_profile();
+        assert_eq!(dense.rho, 1.0);
+        assert!(dense.phi > 0.5);
+        assert!((dense.rho_abs - 1.0 / 23.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validates() {
+        let mut rng = SimRng::seed_from_u64(5);
+        assert!(AlternatingRegular::new(4, &mut rng).is_err());
+    }
+}

@@ -1,0 +1,201 @@
+//! The dynamic network `G1` of Figure 1(a) — Theorem 1.7(i).
+//!
+//! `G(0)` is an `n`-node clique with a pendant edge to node `n+1` (the
+//! rumor's source). For every `t ≥ 1`, `G(t)` consists of two equally-sized
+//! cliques joined by a single bridge edge; the pendant-attachment node sits
+//! in the left clique and the source in the right clique.
+//!
+//! Why it separates the algorithms: in the synchronous algorithm the
+//! pendant node pushes to its unique neighbor with probability 1 in round
+//! 0, so from `t = 1` both cliques contain an informed node and finish in
+//! `Θ(log n)` rounds. Asynchronously, with constant probability the pendant
+//! edge never fires during `[0, 1)`; afterwards the left clique can only be
+//! reached over the bridge, which fires at rate `Θ(1/n)` — so
+//! `Ta(G1) = Ω(n)`.
+
+use crate::DynamicNetwork;
+use gossip_graph::{Graph, GraphBuilder, GraphError, NodeId, NodeSet};
+use gossip_stats::SimRng;
+
+/// Figure 1(a): clique with a pendant source, then two bridged cliques.
+///
+/// Node layout (total `N = clique_size + 1` nodes):
+/// * node `0` — the pendant's attachment point ("node 1" in the figure),
+///   ends up in the left clique;
+/// * node `N−1` — the pendant source ("node n+1"), ends up in the right
+///   clique;
+/// * the bridge at `t ≥ 1` is the edge `{0, N−1}`.
+///
+/// # Example
+///
+/// ```
+/// use gossip_dynamics::{CliquePendant, DynamicNetwork};
+/// use gossip_graph::NodeSet;
+/// use gossip_stats::SimRng;
+///
+/// let mut net = CliquePendant::new(10).unwrap();
+/// let start = net.suggested_start();
+/// assert_eq!(start, 10); // the pendant node
+/// let mut rng = SimRng::seed_from_u64(1);
+/// let informed = NodeSet::new(net.n());
+/// assert_eq!(net.topology(0, &informed, &mut rng).degree(start), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CliquePendant {
+    initial: Graph,
+    later: Graph,
+    current_is_initial: bool,
+}
+
+impl CliquePendant {
+    /// Builds `G1` with an `clique_size`-node initial clique (so
+    /// `clique_size + 1` nodes in total).
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::InvalidParameter`] when `clique_size < 4` (each of the
+    /// two later cliques needs at least 2 nodes).
+    pub fn new(clique_size: usize) -> Result<Self, GraphError> {
+        if clique_size < 4 {
+            return Err(GraphError::InvalidParameter(format!(
+                "clique-pendant network needs clique_size >= 4, got {clique_size}"
+            )));
+        }
+        let n_total = clique_size + 1;
+        let pendant = (n_total - 1) as NodeId;
+
+        let mut b0 = GraphBuilder::new(n_total);
+        for u in 0..clique_size as NodeId {
+            for v in (u + 1)..clique_size as NodeId {
+                b0.add_edge(u, v)?;
+            }
+        }
+        b0.add_edge(0, pendant)?;
+        let initial = b0.build();
+
+        // Two equally-sized cliques partitioning all N nodes; node 0 left,
+        // node N-1 right, bridge {0, N-1}.
+        let left_size = n_total / 2;
+        let mut b1 = GraphBuilder::new(n_total);
+        for u in 0..left_size as NodeId {
+            for v in (u + 1)..left_size as NodeId {
+                b1.add_edge(u, v)?;
+            }
+        }
+        for u in left_size as NodeId..n_total as NodeId {
+            for v in (u + 1)..n_total as NodeId {
+                b1.add_edge(u, v)?;
+            }
+        }
+        b1.add_edge(0, pendant)?;
+        let later = b1.build();
+
+        Ok(CliquePendant { initial, later, current_is_initial: true })
+    }
+
+    /// The graph used from `t = 1` on (two bridged cliques).
+    pub fn later_graph(&self) -> &Graph {
+        &self.later
+    }
+}
+
+impl DynamicNetwork for CliquePendant {
+    fn n(&self) -> usize {
+        self.initial.n()
+    }
+
+    fn topology(&mut self, t: u64, _informed: &NodeSet, _rng: &mut SimRng) -> &Graph {
+        self.current_is_initial = t == 0;
+        if t == 0 {
+            &self.initial
+        } else {
+            &self.later
+        }
+    }
+
+    fn reset(&mut self) {
+        self.current_is_initial = true;
+    }
+
+    fn name(&self) -> &str {
+        "clique-pendant (G1, Fig. 1a)"
+    }
+
+    /// The pendant node `n+1` — where the paper injects the rumor.
+    fn suggested_start(&self) -> NodeId {
+        (self.n() - 1) as NodeId
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_graph_shape() {
+        let mut net = CliquePendant::new(8).unwrap();
+        let informed = NodeSet::new(9);
+        let mut rng = SimRng::seed_from_u64(0);
+        let g0 = net.topology(0, &informed, &mut rng);
+        assert_eq!(g0.n(), 9);
+        // Pendant has degree 1, its attachment has clique degree + 1.
+        assert_eq!(g0.degree(8), 1);
+        assert_eq!(g0.degree(0), 8);
+        assert_eq!(g0.degree(3), 7);
+        assert_eq!(g0.m(), 8 * 7 / 2 + 1);
+    }
+
+    #[test]
+    fn later_graph_two_bridged_cliques() {
+        let mut net = CliquePendant::new(8).unwrap();
+        let informed = NodeSet::new(9);
+        let mut rng = SimRng::seed_from_u64(0);
+        let g1 = net.topology(1, &informed, &mut rng).clone();
+        // left = {0..3}, right = {4..8}: sizes 4 and 5 for N=9.
+        assert!(g1.has_edge(0, 8));
+        assert!(g1.has_edge(0, 1));
+        assert!(g1.has_edge(4, 8));
+        assert!(!g1.has_edge(1, 4));
+        // Same graph forever after.
+        let g5 = net.topology(5, &informed, &mut rng);
+        assert_eq!(&g1, g5);
+    }
+
+    #[test]
+    fn equal_sized_cliques_for_odd_total() {
+        // clique_size = 9 -> N = 10 -> two cliques of 5.
+        let mut net = CliquePendant::new(9).unwrap();
+        let informed = NodeSet::new(10);
+        let mut rng = SimRng::seed_from_u64(0);
+        let g1 = net.topology(1, &informed, &mut rng);
+        // Node 4 in left clique: degree 4; node 5 in right: degree 4;
+        // bridge endpoints have +1.
+        assert_eq!(g1.degree(4), 4);
+        assert_eq!(g1.degree(5), 4);
+        assert_eq!(g1.degree(0), 5);
+        assert_eq!(g1.degree(9), 5);
+    }
+
+    #[test]
+    fn start_is_pendant() {
+        let net = CliquePendant::new(6).unwrap();
+        assert_eq!(net.suggested_start(), 6);
+    }
+
+    #[test]
+    fn reset_restores_initial() {
+        let mut net = CliquePendant::new(6).unwrap();
+        let informed = NodeSet::new(7);
+        let mut rng = SimRng::seed_from_u64(0);
+        net.topology(3, &informed, &mut rng);
+        net.reset();
+        let g = net.topology(0, &informed, &mut rng);
+        assert_eq!(g.degree(6), 1);
+    }
+
+    #[test]
+    fn validates_size() {
+        assert!(CliquePendant::new(3).is_err());
+        assert!(CliquePendant::new(4).is_ok());
+    }
+}

@@ -1,0 +1,301 @@
+//! The `ρ`-diligent dynamic network `G(n, ρ)` of Section 4 — the family on
+//! which the Theorem 1.1 upper bound is almost tight (Theorem 1.2).
+//!
+//! `G(t) = H_{k,Δ}(A_t, B_t)` with `Δ = ⌈1/ρ⌉` and
+//! `k = Θ(log n / log log n)`. The adversary watches the informed set and
+//! moves every informed `B`-node over to the `A` side at each step
+//! (`B_{t+1} = B_t \ I_{t+1}`), rebuilding the graph while
+//! `n/4 ≤ |B_{t+1}| < |B_t|`; once `|B|` would drop below `n/4` the network
+//! stops evolving.
+//!
+//! The effect: the rumor must re-traverse the `k`-hop bipartite string to
+//! reach fresh `B` nodes essentially one "string crossing" at a time, and
+//! Lemma 4.2 bounds each unit step's crossing probability by `2^k Δ / k!` —
+//! yielding the `Ω(nρ/k)` spread-time lower bound while the graph stays
+//! `Θ(ρ)`-diligent with `Φ = Θ(Δ²/(kΔ² + n))` throughout (Observation 4.1).
+
+use crate::{DynamicNetwork, ProfiledNetwork, StepProfile};
+use gossip_graph::generators::{h_k_delta, HkDelta, HkDeltaParams};
+use gossip_graph::{Graph, GraphError, NodeId, NodeSet};
+use gossip_stats::SimRng;
+
+/// The Section 4 adaptive network `G(n, ρ)`.
+///
+/// # Example
+///
+/// ```
+/// use gossip_dynamics::{DiligentNetwork, DynamicNetwork};
+/// use gossip_graph::NodeSet;
+/// use gossip_stats::SimRng;
+///
+/// let mut net = DiligentNetwork::new(240, 0.2).unwrap();
+/// let mut rng = SimRng::seed_from_u64(1);
+/// let mut informed = NodeSet::new(net.n());
+/// informed.insert(net.suggested_start());
+/// let g = net.topology(0, &informed, &mut rng);
+/// assert_eq!(g.n(), 240);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DiligentNetwork {
+    n: usize,
+    params: HkDeltaParams,
+    a_nodes: Vec<NodeId>,
+    b_nodes: Vec<NodeId>,
+    current: Option<HkDelta>,
+    frozen: bool,
+}
+
+impl DiligentNetwork {
+    /// Builds `G(n, ρ)` with the paper's parameter choices
+    /// `Δ = ⌈1/ρ⌉` and `k = max(1, round(ln n / ln ln n))`.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::InvalidParameter`] when `ρ ∉ (0, 1]` or `n` is too
+    /// small to host the construction (the paper's regime is
+    /// `1/√n ≤ ρ ≤ 1`; `|A_0| = n/4` must fit `S_0` plus an expander and
+    /// `|B_0| = 3n/4` must fit `k` clusters plus an expander).
+    pub fn new(n: usize, rho: f64) -> Result<Self, GraphError> {
+        if !(rho > 0.0 && rho <= 1.0) {
+            return Err(GraphError::InvalidParameter(format!("rho must be in (0, 1], got {rho}")));
+        }
+        let delta = (1.0 / rho).ceil() as usize;
+        let ln_n = (n.max(3) as f64).ln();
+        let k = (ln_n / ln_n.ln().max(1.0)).round().max(1.0) as usize;
+        Self::with_params(n, HkDeltaParams { k, delta })
+    }
+
+    /// Builds `G(n, ρ)` with explicit `k` and `Δ`.
+    ///
+    /// # Errors
+    ///
+    /// As [`DiligentNetwork::new`].
+    pub fn with_params(n: usize, params: HkDeltaParams) -> Result<Self, GraphError> {
+        let a_size = n / 4;
+        let b_size = n - a_size;
+        let side_min = params.delta.max(5);
+        if a_size < params.delta + side_min || b_size < params.k * params.delta + side_min {
+            return Err(GraphError::InvalidParameter(format!(
+                "n = {n} too small for H(k={}, delta={}) with |A|=n/4",
+                params.k, params.delta
+            )));
+        }
+        let a_nodes: Vec<NodeId> = (0..a_size as NodeId).collect();
+        let b_nodes: Vec<NodeId> = (a_size as NodeId..n as NodeId).collect();
+        Ok(DiligentNetwork { n, params, a_nodes, b_nodes, current: None, frozen: false })
+    }
+
+    /// The construction parameters (`k`, `Δ`).
+    pub fn params(&self) -> HkDeltaParams {
+        self.params
+    }
+
+    /// The current `B_t` (uninformed side), in construction order.
+    pub fn b_nodes(&self) -> &[NodeId] {
+        &self.b_nodes
+    }
+
+    /// The currently exposed structured graph, if one has been built.
+    pub fn current_structure(&self) -> Option<&HkDelta> {
+        self.current.as_ref()
+    }
+
+    /// The Theorem 1.2 spread-time lower bound for these parameters:
+    /// `n / (4·k·Δ)` (the proof's Inequality (11), of order `nρ/k`).
+    pub fn lower_bound_time(&self) -> f64 {
+        self.n as f64 / (4.0 * self.params.k as f64 * self.params.delta as f64)
+    }
+
+    fn rebuild(&mut self, rng: &mut SimRng) {
+        let h = h_k_delta(self.n, &self.a_nodes, &self.b_nodes, self.params, rng)
+            .expect("sizes validated at construction and |B| only shrinks above n/4");
+        self.current = Some(h);
+    }
+}
+
+impl DynamicNetwork for DiligentNetwork {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn topology(&mut self, _t: u64, informed: &NodeSet, rng: &mut SimRng) -> &Graph {
+        if self.current.is_none() {
+            self.rebuild(rng);
+            return self.current.as_ref().expect("just built").graph();
+        }
+        if !self.frozen {
+            let b_new: Vec<NodeId> =
+                self.b_nodes.iter().copied().filter(|&v| !informed.contains(v)).collect();
+            if b_new.len() < self.b_nodes.len() {
+                if b_new.len() >= self.n / 4 {
+                    let moved: Vec<NodeId> = self
+                        .b_nodes
+                        .iter()
+                        .copied()
+                        .filter(|&v| informed.contains(v))
+                        .collect();
+                    self.a_nodes.extend(moved);
+                    self.b_nodes = b_new;
+                    self.rebuild(rng);
+                } else {
+                    // |B| would fall below n/4: per the paper, the network
+                    // stops evolving (G(t+1) = G(t) from here on).
+                    self.frozen = true;
+                }
+            }
+        }
+        self.current.as_ref().expect("built on first call").graph()
+    }
+
+    fn reset(&mut self) {
+        let a_size = self.n / 4;
+        self.a_nodes = (0..a_size as NodeId).collect();
+        self.b_nodes = (a_size as NodeId..self.n as NodeId).collect();
+        self.current = None;
+        self.frozen = false;
+    }
+
+    fn name(&self) -> &str {
+        "rho-diligent H(k,delta) (Sec. 4)"
+    }
+
+    /// A node of `A_0` (the paper injects the rumor into the `A` side);
+    /// node `0` is in `A_0` but outside `S_0`'s stitched region only for
+    /// `Δ > 0` — any `A` node is admissible, the construction's bound holds
+    /// regardless.
+    fn suggested_start(&self) -> NodeId {
+        0
+    }
+}
+
+impl ProfiledNetwork for DiligentNetwork {
+    /// Observation 4.1 closed forms: `Φ = Δ²/(kΔ² + n)`, `ρ = 1/Δ`; cut
+    /// edges interior to the string have both endpoints of degree `2Δ`, so
+    /// `ρ̄ = 1/(2Δ)`.
+    fn current_profile(&self) -> StepProfile {
+        let delta = self.params.delta as f64;
+        let d2 = delta * delta;
+        StepProfile {
+            phi: d2 / (self.params.k as f64 * d2 + self.n as f64),
+            rho: 1.0 / delta,
+            rho_abs: 1.0 / (2.0 * delta),
+            connected: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gossip_graph::connectivity::is_connected;
+
+    #[test]
+    fn builds_and_stays_connected() {
+        let mut net = DiligentNetwork::new(240, 0.2).unwrap();
+        let mut rng = SimRng::seed_from_u64(1);
+        let informed = NodeSet::new(240);
+        let g = net.topology(0, &informed, &mut rng).clone();
+        assert_eq!(g.n(), 240);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn rebuilds_when_b_nodes_informed() {
+        let mut net = DiligentNetwork::with_params(200, HkDeltaParams { k: 2, delta: 5 }).unwrap();
+        let mut rng = SimRng::seed_from_u64(2);
+        let mut informed = NodeSet::new(200);
+        informed.insert(0);
+        let g0 = net.topology(0, &informed, &mut rng).clone();
+        assert_eq!(net.b_nodes().len(), 150);
+        // Inform a few B-side nodes (ids >= 50).
+        informed.insert(60);
+        informed.insert(61);
+        let g1 = net.topology(1, &informed, &mut rng).clone();
+        assert_eq!(net.b_nodes().len(), 148);
+        assert_ne!(g0, g1);
+        // 60 and 61 moved to the A side; they must not be in B.
+        assert!(!net.b_nodes().contains(&60));
+    }
+
+    #[test]
+    fn no_rebuild_without_b_progress() {
+        let mut net = DiligentNetwork::with_params(200, HkDeltaParams { k: 2, delta: 5 }).unwrap();
+        let mut rng = SimRng::seed_from_u64(3);
+        let mut informed = NodeSet::new(200);
+        informed.insert(0);
+        let g0 = net.topology(0, &informed, &mut rng).clone();
+        // Informing more A-side nodes only must keep the graph identical.
+        informed.insert(1);
+        informed.insert(2);
+        let g1 = net.topology(1, &informed, &mut rng);
+        assert_eq!(&g0, g1);
+    }
+
+    #[test]
+    fn freezes_below_quarter() {
+        let n = 200;
+        let mut net = DiligentNetwork::with_params(n, HkDeltaParams { k: 2, delta: 5 }).unwrap();
+        let mut rng = SimRng::seed_from_u64(4);
+        let informed = NodeSet::new(n);
+        let _ = net.topology(0, &informed, &mut rng);
+        // Inform all but 40 B nodes: |B_new| = 40 < 50 = n/4 -> freeze.
+        let mut informed = NodeSet::new(n);
+        for v in 50..160u32 {
+            informed.insert(v);
+        }
+        let g1 = net.topology(1, &informed, &mut rng).clone();
+        // Further changes keep the same graph.
+        let mut informed2 = NodeSet::full(n);
+        informed2.remove(199);
+        let g2 = net.topology(2, &informed2, &mut rng);
+        assert_eq!(&g1, g2);
+        assert_eq!(net.b_nodes().len(), 150, "frozen network must not mutate B");
+    }
+
+    #[test]
+    fn reset_restores_initial_partition() {
+        let mut net = DiligentNetwork::with_params(200, HkDeltaParams { k: 2, delta: 5 }).unwrap();
+        let mut rng = SimRng::seed_from_u64(5);
+        let mut informed = NodeSet::new(200);
+        for v in 60..70u32 {
+            informed.insert(v);
+        }
+        let _ = net.topology(0, &informed, &mut rng);
+        let _ = net.topology(1, &informed, &mut rng);
+        net.reset();
+        assert_eq!(net.b_nodes().len(), 150);
+        let informed = NodeSet::new(200);
+        let g = net.topology(0, &informed, &mut rng);
+        assert_eq!(g.n(), 200);
+    }
+
+    #[test]
+    fn profile_matches_observation_4_1() {
+        let net = DiligentNetwork::with_params(400, HkDeltaParams { k: 3, delta: 8 }).unwrap();
+        let p = net.current_profile();
+        assert!((p.phi - 64.0 / (3.0 * 64.0 + 400.0)).abs() < 1e-12);
+        assert!((p.rho - 0.125).abs() < 1e-12);
+        assert!((p.rho_abs - 0.0625).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lower_bound_formula() {
+        let net = DiligentNetwork::with_params(400, HkDeltaParams { k: 4, delta: 10 }).unwrap();
+        assert!((net.lower_bound_time() - 400.0 / 160.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validates_parameters() {
+        assert!(DiligentNetwork::new(100, 0.0).is_err());
+        assert!(DiligentNetwork::new(100, 1.5).is_err());
+        // delta too large for n/4.
+        assert!(DiligentNetwork::with_params(100, HkDeltaParams { k: 2, delta: 20 }).is_err());
+    }
+
+    #[test]
+    fn paper_parameter_defaults() {
+        let net = DiligentNetwork::new(1024, 0.1).unwrap();
+        assert_eq!(net.params().delta, 10);
+        assert!(net.params().k >= 2);
+    }
+}

@@ -1,0 +1,191 @@
+//! The dynamic star `G2` of Figure 1(b) — Theorem 1.7(ii)/(iii).
+//!
+//! Every `G(t)` is a star over `n+1` nodes whose *center* is re-chosen at
+//! each integer step to be an uninformed node (an arbitrary node once all
+//! are informed). The rumor starts at a leaf.
+//!
+//! The synchronous algorithm needs exactly `n` rounds: within a round the
+//! fresh center is uninformed at round start, so leaves that pull from it
+//! learn nothing, and the only state change is the center itself becoming
+//! informed (by a leaf's push or its own pull) — one new node per round.
+//! Asynchronously the center is informed within `O(1)` expected time *inside*
+//! the window and the remaining leaves then pull from it in parallel, giving
+//! `Θ(log n)` total and the `Pr[T > 2k] ≤ e^{−k/2} + e^{−k}` tail of
+//! Theorem 1.7(iii).
+//!
+//! This implementation re-centers on the *lowest-indexed* uninformed node —
+//! the paper allows any uninformed choice, and a deterministic rule keeps
+//! trials reproducible.
+
+use crate::{DynamicNetwork, ProfiledNetwork, StepProfile};
+use gossip_graph::{generators, Graph, GraphError, NodeId, NodeSet};
+use gossip_stats::SimRng;
+
+/// Figure 1(b): a star whose center moves to an uninformed node each step.
+///
+/// # Example
+///
+/// ```
+/// use gossip_dynamics::{DynamicNetwork, DynamicStar};
+/// use gossip_graph::NodeSet;
+/// use gossip_stats::SimRng;
+///
+/// let mut net = DynamicStar::new(6).unwrap(); // 7 nodes total
+/// let mut rng = SimRng::seed_from_u64(0);
+/// let mut informed = NodeSet::new(7);
+/// informed.insert(0);
+/// informed.insert(1);
+/// let g = net.topology(1, &informed, &mut rng);
+/// assert_eq!(g.degree(2), 6); // node 2 is the lowest uninformed node
+/// ```
+#[derive(Debug, Clone)]
+pub struct DynamicStar {
+    n_total: usize,
+    current: Graph,
+    current_center: NodeId,
+}
+
+impl DynamicStar {
+    /// Builds `G2` with `leaves` leaves (so `leaves + 1` nodes in total).
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::InvalidParameter`] when `leaves < 2`.
+    pub fn new(leaves: usize) -> Result<Self, GraphError> {
+        if leaves < 2 {
+            return Err(GraphError::InvalidParameter(format!(
+                "dynamic star needs at least 2 leaves, got {leaves}"
+            )));
+        }
+        let n_total = leaves + 1;
+        let current = generators::star_with_center(n_total, 0)?;
+        Ok(DynamicStar { n_total, current, current_center: 0 })
+    }
+
+    /// The center of the currently exposed star.
+    pub fn current_center(&self) -> NodeId {
+        self.current_center
+    }
+}
+
+impl DynamicNetwork for DynamicStar {
+    fn n(&self) -> usize {
+        self.n_total
+    }
+
+    fn topology(&mut self, _t: u64, informed: &NodeSet, _rng: &mut SimRng) -> &Graph {
+        // Lowest uninformed node; node 0 when everyone is informed.
+        let center = informed.iter_complement().next().unwrap_or(0);
+        if center != self.current_center {
+            self.current = generators::star_with_center(self.n_total, center)
+                .expect("center is in range by construction");
+            self.current_center = center;
+        }
+        &self.current
+    }
+
+    fn reset(&mut self) {
+        if self.current_center != 0 {
+            self.current = generators::star_with_center(self.n_total, 0)
+                .expect("center 0 is always valid");
+            self.current_center = 0;
+        }
+    }
+
+    fn name(&self) -> &str {
+        "dynamic star (G2, Fig. 1b)"
+    }
+
+    /// A leaf: with center at the lowest uninformed node, starting at node
+    /// `n` (the highest id) keeps it a leaf at `t = 0`.
+    fn suggested_start(&self) -> NodeId {
+        (self.n_total - 1) as NodeId
+    }
+}
+
+impl ProfiledNetwork for DynamicStar {
+    /// Stars are exactly 1-diligent and absolutely 1-diligent with `Φ = 1`
+    /// (paper Section 1.1 and the proof of Theorem 1.7(ii), which calls the
+    /// dynamic star "an expander graph and 1-diligent").
+    fn current_profile(&self) -> StepProfile {
+        StepProfile { phi: 1.0, rho: 1.0, rho_abs: 1.0, connected: true }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recenters_on_lowest_uninformed() {
+        let mut net = DynamicStar::new(5).unwrap();
+        let mut rng = SimRng::seed_from_u64(0);
+        let mut informed = NodeSet::new(6);
+        informed.insert(0);
+        let g = net.topology(0, &informed, &mut rng);
+        assert_eq!(g.degree(1), 5);
+        assert_eq!(net.current_center(), 1);
+        informed.insert(1);
+        informed.insert(2);
+        let g = net.topology(1, &informed, &mut rng);
+        assert_eq!(g.degree(3), 5);
+    }
+
+    #[test]
+    fn all_informed_falls_back_to_zero() {
+        let mut net = DynamicStar::new(4).unwrap();
+        let mut rng = SimRng::seed_from_u64(0);
+        let informed = NodeSet::full(5);
+        let g = net.topology(7, &informed, &mut rng);
+        assert_eq!(g.degree(0), 4);
+    }
+
+    #[test]
+    fn always_a_star() {
+        let mut net = DynamicStar::new(6).unwrap();
+        let mut rng = SimRng::seed_from_u64(0);
+        let mut informed = NodeSet::new(7);
+        for t in 0..7 {
+            informed.insert(t as NodeId);
+            let g = net.topology(t, &informed, &mut rng);
+            assert_eq!(g.m(), 6);
+            assert_eq!(g.max_degree(), 6);
+        }
+    }
+
+    #[test]
+    fn profile_is_unit() {
+        let net = DynamicStar::new(5).unwrap();
+        let p = net.current_profile();
+        assert_eq!((p.phi, p.rho, p.rho_abs), (1.0, 1.0, 1.0));
+        assert!(p.connected);
+    }
+
+    #[test]
+    fn start_is_a_leaf_initially() {
+        let mut net = DynamicStar::new(5).unwrap();
+        let start = net.suggested_start();
+        let mut rng = SimRng::seed_from_u64(0);
+        let mut informed = NodeSet::new(6);
+        informed.insert(start);
+        let g = net.topology(0, &informed, &mut rng);
+        assert_eq!(g.degree(start), 1);
+    }
+
+    #[test]
+    fn reset_recenters_at_zero() {
+        let mut net = DynamicStar::new(5).unwrap();
+        let mut rng = SimRng::seed_from_u64(0);
+        let mut informed = NodeSet::new(6);
+        informed.insert(0);
+        net.topology(0, &informed, &mut rng);
+        assert_eq!(net.current_center(), 1);
+        net.reset();
+        assert_eq!(net.current_center(), 0);
+    }
+
+    #[test]
+    fn validates() {
+        assert!(DynamicStar::new(1).is_err());
+    }
+}

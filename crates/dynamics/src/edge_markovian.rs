@@ -1,0 +1,194 @@
+//! Edge-Markovian evolving graphs (Clementi et al. \[7\], related work).
+//!
+//! Given birth probability `p` and death probability `q`, each non-edge
+//! appears independently with probability `p` and each edge disappears with
+//! probability `q` at every step. For `p = Ω(1/n)` and constant `q`, the
+//! synchronous push algorithm spreads a rumor in `O(log n)` rounds w.h.p. —
+//! reproduced as extension experiment X1.
+
+use crate::DynamicNetwork;
+use gossip_graph::{Graph, GraphBuilder, GraphError, NodeId, NodeSet};
+use gossip_stats::SimRng;
+
+/// The edge-Markovian evolving network.
+///
+/// The graph evolves exactly once per increasing `t`; calling
+/// [`DynamicNetwork::topology`] repeatedly with the same `t` returns the
+/// same graph.
+///
+/// # Example
+///
+/// ```
+/// use gossip_dynamics::{DynamicNetwork, EdgeMarkovian};
+/// use gossip_graph::{Graph, NodeSet};
+/// use gossip_stats::SimRng;
+///
+/// let initial = Graph::empty(30);
+/// let mut net = EdgeMarkovian::new(initial, 0.1, 0.3).unwrap();
+/// let mut rng = SimRng::seed_from_u64(5);
+/// let informed = NodeSet::new(30);
+/// let g1 = net.topology(1, &informed, &mut rng);
+/// assert!(g1.m() > 0); // births happened
+/// ```
+#[derive(Debug, Clone)]
+pub struct EdgeMarkovian {
+    initial: Graph,
+    current: Graph,
+    p: f64,
+    q: f64,
+    last_step: Option<u64>,
+}
+
+impl EdgeMarkovian {
+    /// Creates the process from an initial graph and transition
+    /// probabilities.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::InvalidParameter`] when `p` or `q` is outside
+    /// `\[0, 1\]`.
+    pub fn new(initial: Graph, p: f64, q: f64) -> Result<Self, GraphError> {
+        if !(0.0..=1.0).contains(&p) || !(0.0..=1.0).contains(&q) {
+            return Err(GraphError::InvalidParameter(format!(
+                "birth/death probabilities must lie in [0,1], got p={p}, q={q}"
+            )));
+        }
+        let current = initial.clone();
+        Ok(EdgeMarkovian { initial, current, p, q, last_step: None })
+    }
+
+    /// Birth probability `p`.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Death probability `q`.
+    pub fn q(&self) -> f64 {
+        self.q
+    }
+
+    /// The stationary edge density `p/(p+q)` of the per-edge two-state
+    /// chain (when `p + q > 0`).
+    pub fn stationary_density(&self) -> f64 {
+        if self.p + self.q > 0.0 {
+            self.p / (self.p + self.q)
+        } else {
+            0.0
+        }
+    }
+
+    fn evolve(&mut self, rng: &mut SimRng) {
+        let n = self.current.n();
+        let mut b = GraphBuilder::new(n);
+        for u in 0..n as NodeId {
+            for v in (u + 1)..n as NodeId {
+                let alive = if self.current.has_edge(u, v) {
+                    !rng.chance(self.q)
+                } else {
+                    rng.chance(self.p)
+                };
+                if alive {
+                    b.add_edge(u, v).expect("in range");
+                }
+            }
+        }
+        self.current = b.build();
+    }
+}
+
+impl DynamicNetwork for EdgeMarkovian {
+    fn n(&self) -> usize {
+        self.current.n()
+    }
+
+    fn topology(&mut self, t: u64, _informed: &NodeSet, rng: &mut SimRng) -> &Graph {
+        match self.last_step {
+            None => {
+                // First exposure: evolve (t - 0) times from the initial graph
+                // if the caller starts late; normally t == 0 and we expose
+                // the initial graph unchanged.
+                for _ in 0..t {
+                    self.evolve(rng);
+                }
+            }
+            Some(prev) if t > prev => {
+                for _ in 0..(t - prev) {
+                    self.evolve(rng);
+                }
+            }
+            _ => {}
+        }
+        self.last_step = Some(t);
+        &self.current
+    }
+
+    fn reset(&mut self) {
+        self.current = self.initial.clone();
+        self.last_step = None;
+    }
+
+    fn name(&self) -> &str {
+        "edge-Markovian [7]"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gossip_graph::generators;
+
+    #[test]
+    fn t0_exposes_initial() {
+        let init = generators::cycle(10).unwrap();
+        let mut net = EdgeMarkovian::new(init.clone(), 0.2, 0.2).unwrap();
+        let mut rng = SimRng::seed_from_u64(1);
+        let informed = NodeSet::new(10);
+        assert_eq!(net.topology(0, &informed, &mut rng), &init);
+        // Repeated call with the same t: unchanged.
+        assert_eq!(net.topology(0, &informed, &mut rng), &init);
+    }
+
+    #[test]
+    fn all_die_all_born_extremes() {
+        let init = generators::complete(8).unwrap();
+        let mut net = EdgeMarkovian::new(init, 0.0, 1.0).unwrap();
+        let mut rng = SimRng::seed_from_u64(2);
+        let informed = NodeSet::new(8);
+        assert_eq!(net.topology(1, &informed, &mut rng).m(), 0);
+
+        let mut net = EdgeMarkovian::new(Graph::empty(8), 1.0, 0.0).unwrap();
+        assert_eq!(net.topology(1, &informed, &mut rng).m(), 28);
+    }
+
+    #[test]
+    fn density_approaches_stationary() {
+        let n = 40;
+        let mut net = EdgeMarkovian::new(Graph::empty(n), 0.3, 0.3).unwrap();
+        assert!((net.stationary_density() - 0.5).abs() < 1e-12);
+        let mut rng = SimRng::seed_from_u64(3);
+        let informed = NodeSet::new(n);
+        let g = net.topology(50, &informed, &mut rng);
+        let pairs = (n * (n - 1) / 2) as f64;
+        let density = g.m() as f64 / pairs;
+        assert!((density - 0.5).abs() < 0.1, "density {density}");
+    }
+
+    #[test]
+    fn reset_restores_initial() {
+        let init = generators::star(9).unwrap();
+        let mut net = EdgeMarkovian::new(init.clone(), 0.5, 0.5).unwrap();
+        let mut rng = SimRng::seed_from_u64(4);
+        let informed = NodeSet::new(9);
+        let _ = net.topology(3, &informed, &mut rng);
+        net.reset();
+        assert_eq!(net.topology(0, &informed, &mut rng), &init);
+    }
+
+    #[test]
+    fn validates_probabilities() {
+        assert!(EdgeMarkovian::new(Graph::empty(5), 1.5, 0.2).is_err());
+        assert!(EdgeMarkovian::new(Graph::empty(5), 0.2, -0.1).is_err());
+    }
+
+    use gossip_graph::Graph;
+}

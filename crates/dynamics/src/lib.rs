@@ -1,0 +1,68 @@
+//! # gossip-dynamics
+//!
+//! Dynamic evolving networks for the `dynamic-rumor` workspace, the Rust
+//! reproduction of *Tight Analysis of Asynchronous Rumor Spreading in
+//! Dynamic Networks* (Pourmiri & Mans, PODC 2020).
+//!
+//! A dynamic evolving network `G = {G(t)}_{t=0,1,…}` is a sequence of graphs
+//! on a fixed node set, exposed at integer times; all continuous-time
+//! activity in `[t, t+1)` happens on `G(t)`. The paper's lower-bound
+//! constructions are *adaptive adversaries*: the next graph may depend on
+//! which nodes are currently informed. The [`DynamicNetwork`] trait models
+//! exactly that interface.
+//!
+//! Implementations:
+//!
+//! * [`StaticNetwork`], [`SequenceNetwork`] — degenerate/scheduled dynamics;
+//! * [`CliquePendant`] — `G1` of Figure 1(a) (Theorem 1.7(i): asynchrony
+//!   loses);
+//! * [`DynamicStar`] — `G2` of Figure 1(b) (Theorem 1.7(ii)/(iii):
+//!   asynchrony wins);
+//! * [`DiligentNetwork`] — the `ρ`-diligent family `G(n, ρ)` of Section 4
+//!   built from `H_{k,Δ}(A_t, B_t)` (Theorem 1.2 lower bound);
+//! * [`AbsoluteDiligentNetwork`] — the absolutely-`ρ`-diligent family of
+//!   Section 5.1 (Theorem 1.5 lower bound, `Θ(n²)` worst case);
+//! * [`AlternatingRegular`] — the Section 1.2 example separating this
+//!   paper's bound from Giakkoupis et al. \[17\];
+//! * [`EdgeMarkovian`] — the related-work random evolving model \[7\];
+//! * [`MobileAgents`] — random-walk agents on a torus (related work
+//!   \[20, 22\]).
+//!
+//! # Example
+//!
+//! ```
+//! use gossip_dynamics::{DynamicNetwork, DynamicStar};
+//! use gossip_graph::NodeSet;
+//! use gossip_stats::SimRng;
+//!
+//! let mut net = DynamicStar::new(8).unwrap();
+//! let mut rng = SimRng::seed_from_u64(3);
+//! let mut informed = NodeSet::new(net.n());
+//! informed.insert(1);
+//! let g = net.topology(0, &informed, &mut rng);
+//! // The center is the lowest uninformed node: node 0.
+//! assert_eq!(g.degree(0), net.n() - 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod absolute;
+mod alternating;
+mod clique_pendant;
+mod diligent;
+mod dynamic_star;
+mod edge_markovian;
+mod mobile;
+mod network;
+pub mod profile;
+
+pub use absolute::AbsoluteDiligentNetwork;
+pub use alternating::AlternatingRegular;
+pub use clique_pendant::CliquePendant;
+pub use diligent::DiligentNetwork;
+pub use dynamic_star::DynamicStar;
+pub use edge_markovian::EdgeMarkovian;
+pub use mobile::MobileAgents;
+pub use network::{DynamicNetwork, SequenceNetwork, StaticNetwork};
+pub use profile::{ProfiledNetwork, StepProfile};

@@ -1,0 +1,238 @@
+//! Mobile agents performing random walks on a torus (related work
+//! \[20, 22\]) — extension experiment X2.
+//!
+//! `n` agents occupy cells of an `rows × cols` torus; at each step every
+//! agent moves to one of its four neighboring cells (or stays put, five
+//! equally likely choices). The exposed graph connects agents within
+//! L∞ distance `radius` — information is transmitted "when they are
+//! sufficiently close". The graph is frequently disconnected, which is
+//! exactly the regime where the paper's `Σ Φ·ρ` accumulation stalls.
+
+use crate::DynamicNetwork;
+use gossip_graph::{Graph, GraphBuilder, GraphError, NodeId, NodeSet};
+use gossip_stats::SimRng;
+
+/// Random-walking agents on a torus with a proximity graph.
+///
+/// # Example
+///
+/// ```
+/// use gossip_dynamics::{DynamicNetwork, MobileAgents};
+/// use gossip_graph::NodeSet;
+/// use gossip_stats::SimRng;
+///
+/// let mut rng = SimRng::seed_from_u64(1);
+/// let mut net = MobileAgents::new(20, 10, 10, 1, &mut rng).unwrap();
+/// let informed = NodeSet::new(20);
+/// let g = net.topology(0, &informed, &mut rng);
+/// assert_eq!(g.n(), 20);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MobileAgents {
+    rows: usize,
+    cols: usize,
+    radius: usize,
+    positions: Vec<(usize, usize)>,
+    initial_positions: Vec<(usize, usize)>,
+    current: Graph,
+    last_step: Option<u64>,
+}
+
+impl MobileAgents {
+    /// Places `agents` agents uniformly at random on the torus.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::InvalidParameter`] when `agents < 2`, the torus is
+    /// smaller than `2×2`, or `radius` reaches half the smaller dimension
+    /// (at which point everything is adjacent and motion is meaningless).
+    pub fn new(
+        agents: usize,
+        rows: usize,
+        cols: usize,
+        radius: usize,
+        rng: &mut SimRng,
+    ) -> Result<Self, GraphError> {
+        if agents < 2 {
+            return Err(GraphError::InvalidParameter(format!("need at least 2 agents, got {agents}")));
+        }
+        if rows < 2 || cols < 2 {
+            return Err(GraphError::InvalidParameter(format!(
+                "torus must be at least 2x2, got {rows}x{cols}"
+            )));
+        }
+        if 2 * radius >= rows.min(cols) {
+            return Err(GraphError::InvalidParameter(format!(
+                "radius {radius} too large for {rows}x{cols} torus"
+            )));
+        }
+        let positions: Vec<(usize, usize)> =
+            (0..agents).map(|_| (rng.index(rows), rng.index(cols))).collect();
+        let current = proximity_graph(&positions, rows, cols, radius);
+        Ok(MobileAgents {
+            rows,
+            cols,
+            radius,
+            initial_positions: positions.clone(),
+            positions,
+            current,
+            last_step: None,
+        })
+    }
+
+    /// Current agent positions (row, col).
+    pub fn positions(&self) -> &[(usize, usize)] {
+        &self.positions
+    }
+
+    /// Torus dimensions (rows, cols).
+    pub fn dimensions(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    fn step(&mut self, rng: &mut SimRng) {
+        for pos in &mut self.positions {
+            let (r, c) = *pos;
+            *pos = match rng.index(5) {
+                0 => ((r + 1) % self.rows, c),
+                1 => ((r + self.rows - 1) % self.rows, c),
+                2 => (r, (c + 1) % self.cols),
+                3 => (r, (c + self.cols - 1) % self.cols),
+                _ => (r, c),
+            };
+        }
+        self.current = proximity_graph(&self.positions, self.rows, self.cols, self.radius);
+    }
+}
+
+/// Builds the graph connecting agents within torus L∞ distance `radius`.
+fn proximity_graph(
+    positions: &[(usize, usize)],
+    rows: usize,
+    cols: usize,
+    radius: usize,
+) -> Graph {
+    let torus_dist = |a: usize, b: usize, len: usize| {
+        let d = a.abs_diff(b);
+        d.min(len - d)
+    };
+    let mut b = GraphBuilder::new(positions.len());
+    for i in 0..positions.len() {
+        for j in (i + 1)..positions.len() {
+            let dr = torus_dist(positions[i].0, positions[j].0, rows);
+            let dc = torus_dist(positions[i].1, positions[j].1, cols);
+            if dr.max(dc) <= radius {
+                b.add_edge(i as NodeId, j as NodeId).expect("in range");
+            }
+        }
+    }
+    b.build()
+}
+
+impl DynamicNetwork for MobileAgents {
+    fn n(&self) -> usize {
+        self.positions.len()
+    }
+
+    fn topology(&mut self, t: u64, _informed: &NodeSet, rng: &mut SimRng) -> &Graph {
+        match self.last_step {
+            None => {
+                for _ in 0..t {
+                    self.step(rng);
+                }
+            }
+            Some(prev) if t > prev => {
+                for _ in 0..(t - prev) {
+                    self.step(rng);
+                }
+            }
+            _ => {}
+        }
+        self.last_step = Some(t);
+        &self.current
+    }
+
+    fn reset(&mut self) {
+        self.positions = self.initial_positions.clone();
+        self.current = proximity_graph(&self.positions, self.rows, self.cols, self.radius);
+        self.last_step = None;
+    }
+
+    fn name(&self) -> &str {
+        "mobile agents on torus [20,22]"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proximity_graph_radius_zero_means_same_cell() {
+        let positions = [(0, 0), (0, 0), (1, 1)];
+        let g = proximity_graph(&positions, 5, 5, 0);
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(0, 2));
+    }
+
+    #[test]
+    fn wraparound_distance() {
+        // Cells (0,0) and (4,0) on a 5-row torus are distance 1 apart.
+        let positions = [(0, 0), (4, 0)];
+        let g = proximity_graph(&positions, 5, 5, 1);
+        assert!(g.has_edge(0, 1));
+    }
+
+    #[test]
+    fn agents_move_one_step() {
+        let mut rng = SimRng::seed_from_u64(2);
+        let mut net = MobileAgents::new(10, 8, 8, 1, &mut rng).unwrap();
+        let before = net.positions().to_vec();
+        let informed = NodeSet::new(10);
+        net.topology(1, &informed, &mut rng);
+        let after = net.positions().to_vec();
+        for (b, a) in before.iter().zip(&after) {
+            let dr = b.0.abs_diff(a.0).min(8 - b.0.abs_diff(a.0));
+            let dc = b.1.abs_diff(a.1).min(8 - b.1.abs_diff(a.1));
+            assert!(dr + dc <= 1, "agent moved more than one step");
+        }
+    }
+
+    #[test]
+    fn same_t_is_stable() {
+        let mut rng = SimRng::seed_from_u64(3);
+        let mut net = MobileAgents::new(12, 6, 6, 1, &mut rng).unwrap();
+        let informed = NodeSet::new(12);
+        let g1 = net.topology(2, &informed, &mut rng).clone();
+        let g2 = net.topology(2, &informed, &mut rng);
+        assert_eq!(&g1, g2);
+    }
+
+    #[test]
+    fn reset_restores_positions() {
+        let mut rng = SimRng::seed_from_u64(4);
+        let mut net = MobileAgents::new(10, 8, 8, 1, &mut rng).unwrap();
+        let initial = net.positions().to_vec();
+        let informed = NodeSet::new(10);
+        net.topology(5, &informed, &mut rng);
+        net.reset();
+        assert_eq!(net.positions(), &initial[..]);
+    }
+
+    #[test]
+    fn validates() {
+        let mut rng = SimRng::seed_from_u64(5);
+        assert!(MobileAgents::new(1, 8, 8, 1, &mut rng).is_err());
+        assert!(MobileAgents::new(5, 1, 8, 1, &mut rng).is_err());
+        assert!(MobileAgents::new(5, 8, 8, 4, &mut rng).is_err());
+    }
+
+    #[test]
+    fn dense_agents_form_connected_graph_often() {
+        // 40 agents with radius 2 on a 6x6 torus: everything is close.
+        let mut rng = SimRng::seed_from_u64(6);
+        let net = MobileAgents::new(40, 6, 6, 2, &mut rng).unwrap();
+        let g = net.current.clone();
+        assert!(g.m() > 40);
+    }
+}

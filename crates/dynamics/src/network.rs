@@ -1,0 +1,313 @@
+use gossip_graph::{Graph, GraphError, NodeId, NodeSet};
+use gossip_stats::SimRng;
+
+/// A dynamic evolving network `G = {G(t)}_{t=0,1,…}` (paper Section 2).
+///
+/// The node set `{0, …, n−1}` is fixed; the edge set may change at every
+/// integer time step. [`DynamicNetwork::topology`] exposes the graph for
+/// the window `[t, t+1)` and receives the informed set, because the
+/// paper's tight lower-bound constructions are *adaptive*: `G(t+1)` in
+/// Sections 4–6 is chosen as a function of `I_t`. Oblivious networks simply
+/// ignore the argument.
+///
+/// The engine guarantees `topology` is called with strictly increasing `t`
+/// (starting at 0) between [`DynamicNetwork::reset`] calls.
+pub trait DynamicNetwork {
+    /// Number of nodes (constant over time).
+    fn n(&self) -> usize;
+
+    /// The graph exposed during `[t, t+1)`.
+    ///
+    /// `informed` is the informed set at time `t` (an adaptive adversary's
+    /// view); `rng` drives any randomized rebuilding.
+    fn topology(&mut self, t: u64, informed: &NodeSet, rng: &mut SimRng) -> &Graph;
+
+    /// Restores the initial state so a fresh trial can run.
+    fn reset(&mut self);
+
+    /// Short human-readable name used in experiment output.
+    fn name(&self) -> &str;
+
+    /// The node the paper's construction injects the rumor at (defaults to
+    /// node 0).
+    fn suggested_start(&self) -> NodeId {
+        0
+    }
+
+    /// `true` when `topology` returns the same graph at every step
+    /// regardless of the informed set. Callers may then profile the
+    /// topology once (e.g. [`exact_profile`](crate::profile::exact_profile))
+    /// instead of re-profiling every window. Defaults to `false`, which is
+    /// always sound.
+    fn is_static(&self) -> bool {
+        false
+    }
+}
+
+impl<T: DynamicNetwork + ?Sized> DynamicNetwork for &mut T {
+    fn n(&self) -> usize {
+        (**self).n()
+    }
+
+    fn topology(&mut self, t: u64, informed: &NodeSet, rng: &mut SimRng) -> &Graph {
+        (**self).topology(t, informed, rng)
+    }
+
+    fn reset(&mut self) {
+        (**self).reset()
+    }
+
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn suggested_start(&self) -> NodeId {
+        (**self).suggested_start()
+    }
+
+    fn is_static(&self) -> bool {
+        (**self).is_static()
+    }
+}
+
+impl<T: DynamicNetwork + ?Sized> DynamicNetwork for Box<T> {
+    fn n(&self) -> usize {
+        (**self).n()
+    }
+
+    fn topology(&mut self, t: u64, informed: &NodeSet, rng: &mut SimRng) -> &Graph {
+        (**self).topology(t, informed, rng)
+    }
+
+    fn reset(&mut self) {
+        (**self).reset()
+    }
+
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn suggested_start(&self) -> NodeId {
+        (**self).suggested_start()
+    }
+
+    fn is_static(&self) -> bool {
+        (**self).is_static()
+    }
+}
+
+/// A static network: the same graph at every step.
+///
+/// Recovers the classical single-graph setting (e.g. the `O(log n / Φ)`
+/// world of Chierichetti et al. cited in the paper's introduction) as a
+/// degenerate dynamic network.
+///
+/// # Example
+///
+/// ```
+/// use gossip_dynamics::{DynamicNetwork, StaticNetwork};
+/// use gossip_graph::{generators, NodeSet};
+/// use gossip_stats::SimRng;
+///
+/// let mut net = StaticNetwork::new(generators::cycle(6).unwrap());
+/// let mut rng = SimRng::seed_from_u64(0);
+/// let informed = NodeSet::new(6);
+/// assert_eq!(net.topology(0, &informed, &mut rng).m(), 6);
+/// assert_eq!(net.topology(5, &informed, &mut rng).m(), 6);
+/// ```
+#[derive(Debug, Clone)]
+pub struct StaticNetwork {
+    graph: Graph,
+}
+
+impl StaticNetwork {
+    /// Wraps a graph as a constant dynamic network.
+    pub fn new(graph: Graph) -> Self {
+        StaticNetwork { graph }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+}
+
+impl DynamicNetwork for StaticNetwork {
+    fn n(&self) -> usize {
+        self.graph.n()
+    }
+
+    fn topology(&mut self, _t: u64, _informed: &NodeSet, _rng: &mut SimRng) -> &Graph {
+        &self.graph
+    }
+
+    fn reset(&mut self) {}
+
+    fn name(&self) -> &str {
+        "static"
+    }
+
+    fn is_static(&self) -> bool {
+        true
+    }
+}
+
+/// A scheduled network cycling through a fixed list of graphs:
+/// `G(t) = graphs[t mod len]` (or clamping at the last graph when built
+/// with [`SequenceNetwork::once`]).
+///
+/// # Example
+///
+/// ```
+/// use gossip_dynamics::{DynamicNetwork, SequenceNetwork};
+/// use gossip_graph::{generators, NodeSet};
+/// use gossip_stats::SimRng;
+///
+/// let g0 = generators::path(4).unwrap();
+/// let g1 = generators::cycle(4).unwrap();
+/// let mut net = SequenceNetwork::cycling(vec![g0, g1]).unwrap();
+/// let mut rng = SimRng::seed_from_u64(0);
+/// let informed = NodeSet::new(4);
+/// assert_eq!(net.topology(0, &informed, &mut rng).m(), 3);
+/// assert_eq!(net.topology(1, &informed, &mut rng).m(), 4);
+/// assert_eq!(net.topology(2, &informed, &mut rng).m(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SequenceNetwork {
+    graphs: Vec<Graph>,
+    cyclic: bool,
+}
+
+impl SequenceNetwork {
+    /// A network cycling through `graphs` forever.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::InvalidParameter`] when `graphs` is empty or the
+    /// graphs disagree on node count.
+    pub fn cycling(graphs: Vec<Graph>) -> Result<Self, GraphError> {
+        Self::validated(graphs, true)
+    }
+
+    /// A network playing `graphs` once, then repeating the last graph
+    /// forever — the shape of the paper's `G1` (one initial graph, then a
+    /// fixed one).
+    ///
+    /// # Errors
+    ///
+    /// As [`SequenceNetwork::cycling`].
+    pub fn once(graphs: Vec<Graph>) -> Result<Self, GraphError> {
+        Self::validated(graphs, false)
+    }
+
+    fn validated(graphs: Vec<Graph>, cyclic: bool) -> Result<Self, GraphError> {
+        if graphs.is_empty() {
+            return Err(GraphError::InvalidParameter("sequence network needs at least one graph".into()));
+        }
+        let n = graphs[0].n();
+        if graphs.iter().any(|g| g.n() != n) {
+            return Err(GraphError::InvalidParameter(
+                "all graphs in a dynamic network must share the node set".into(),
+            ));
+        }
+        Ok(SequenceNetwork { graphs, cyclic })
+    }
+
+    /// Number of scheduled graphs.
+    pub fn len(&self) -> usize {
+        self.graphs.len()
+    }
+
+    /// Whether the schedule is empty (never true for constructed values).
+    pub fn is_empty(&self) -> bool {
+        self.graphs.is_empty()
+    }
+
+    /// The graph scheduled for step `t` (without needing `&mut`).
+    pub fn graph_at(&self, t: u64) -> &Graph {
+        let idx = if self.cyclic {
+            (t % self.graphs.len() as u64) as usize
+        } else {
+            (t as usize).min(self.graphs.len() - 1)
+        };
+        &self.graphs[idx]
+    }
+}
+
+impl DynamicNetwork for SequenceNetwork {
+    fn n(&self) -> usize {
+        self.graphs[0].n()
+    }
+
+    fn topology(&mut self, t: u64, _informed: &NodeSet, _rng: &mut SimRng) -> &Graph {
+        self.graph_at(t)
+    }
+
+    fn reset(&mut self) {}
+
+    fn name(&self) -> &str {
+        "sequence"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gossip_graph::generators;
+
+    #[test]
+    fn static_network_constant() {
+        let mut net = StaticNetwork::new(generators::complete(5).unwrap());
+        assert_eq!(net.n(), 5);
+        let informed = NodeSet::new(5);
+        let mut rng = SimRng::seed_from_u64(0);
+        for t in 0..10 {
+            assert_eq!(net.topology(t, &informed, &mut rng).m(), 10);
+        }
+        net.reset();
+        assert_eq!(net.name(), "static");
+        assert_eq!(net.suggested_start(), 0);
+    }
+
+    #[test]
+    fn sequence_cycles() {
+        let graphs = vec![
+            generators::path(5).unwrap(),
+            generators::cycle(5).unwrap(),
+            generators::star(5).unwrap(),
+        ];
+        let mut net = SequenceNetwork::cycling(graphs).unwrap();
+        let informed = NodeSet::new(5);
+        let mut rng = SimRng::seed_from_u64(0);
+        assert_eq!(net.topology(0, &informed, &mut rng).m(), 4);
+        assert_eq!(net.topology(4, &informed, &mut rng).m(), 5);
+        assert_eq!(net.topology(3, &informed, &mut rng).m(), 4);
+        assert_eq!(net.len(), 3);
+    }
+
+    #[test]
+    fn sequence_once_clamps() {
+        let graphs = vec![generators::path(4).unwrap(), generators::cycle(4).unwrap()];
+        let mut net = SequenceNetwork::once(graphs).unwrap();
+        let informed = NodeSet::new(4);
+        let mut rng = SimRng::seed_from_u64(0);
+        assert_eq!(net.topology(0, &informed, &mut rng).m(), 3);
+        for t in 1..5 {
+            assert_eq!(net.topology(t, &informed, &mut rng).m(), 4);
+        }
+    }
+
+    #[test]
+    fn sequence_validates() {
+        assert!(SequenceNetwork::cycling(vec![]).is_err());
+        let mismatched = vec![generators::path(4).unwrap(), generators::path(5).unwrap()];
+        assert!(SequenceNetwork::cycling(mismatched).is_err());
+    }
+
+    #[test]
+    fn trait_object_safe() {
+        let net = StaticNetwork::new(generators::path(3).unwrap());
+        let boxed: Box<dyn DynamicNetwork> = Box::new(net);
+        assert_eq!(boxed.n(), 3);
+    }
+}

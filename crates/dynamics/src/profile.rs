@@ -1,0 +1,180 @@
+//! Per-step graph profiles feeding the spread-time bound calculators.
+//!
+//! Theorem 1.1 accumulates `Φ(G(t)) · ρ(t)` and Theorem 1.3 accumulates
+//! `⌈Φ(G(t))⌉ · ρ̄(t)`; a [`StepProfile`] carries exactly those per-step
+//! quantities. Profiles come from three sources:
+//!
+//! * [`exact_profile`] — exact enumeration, small graphs only;
+//! * [`conservative_profile`] — sound *lower* bounds on `Φ` and `ρ` at any
+//!   scale (spectral Cheeger bound for `Φ`; `ρ ≥ ρ̄` for connected graphs,
+//!   see below). Lower bounds keep the Theorem 1.1/1.3 stopping times valid
+//!   upper bounds on the spread time — they can only make the predicted `T`
+//!   later, never earlier;
+//! * closed forms on the [`ProfiledNetwork`] implementations (e.g.
+//!   Observation 4.1 for `H_{k,Δ}`).
+//!
+//! Why `ρ(G) ≥ ρ̄(G)` for connected graphs: for any valid cut side `S`,
+//! `d̄(S) ≥ 1`, so
+//! `ρ(S) = min_e max(d̄/d_u, d̄/d_v) ≥ d̄(S) · min_e max(1/d_u, 1/d_v) ≥ ρ̄(G)`.
+
+use crate::DynamicNetwork;
+use gossip_graph::{conductance, connectivity, diligence, spectral, Graph, GraphError};
+use serde::{Deserialize, Serialize};
+
+/// The per-step quantities the paper's bounds consume.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StepProfile {
+    /// Conductance `Φ(G(t))` (or a lower bound on it).
+    pub phi: f64,
+    /// Diligence `ρ(G(t))` (or a lower bound on it); 0 when disconnected.
+    pub rho: f64,
+    /// Absolute diligence `ρ̄(G(t))`.
+    pub rho_abs: f64,
+    /// Whether `G(t)` is connected (`⌈Φ⌉` in Theorem 1.3).
+    pub connected: bool,
+}
+
+impl StepProfile {
+    /// The Theorem 1.1 per-step increment `Φ · ρ`.
+    pub fn theorem_1_1_increment(&self) -> f64 {
+        self.phi * self.rho
+    }
+
+    /// The Theorem 1.3 per-step increment `⌈Φ⌉ · ρ̄`.
+    pub fn theorem_1_3_increment(&self) -> f64 {
+        if self.connected {
+            self.rho_abs
+        } else {
+            0.0
+        }
+    }
+
+    /// A profile for a disconnected step (all increments zero).
+    pub fn disconnected() -> Self {
+        StepProfile { phi: 0.0, rho: 0.0, rho_abs: 0.0, connected: false }
+    }
+}
+
+/// Exact profile by exhaustive enumeration (small graphs; see
+/// [`gossip_graph::EXACT_ENUMERATION_LIMIT`]).
+///
+/// # Errors
+///
+/// Propagates [`GraphError::TooLargeForExact`] / [`GraphError::EmptyGraph`]
+/// from the exact measures. Edgeless graphs yield the disconnected profile
+/// rather than an error when `n ≥ 2`.
+pub fn exact_profile(g: &Graph) -> Result<StepProfile, GraphError> {
+    if g.is_empty_graph() {
+        return Ok(StepProfile::disconnected());
+    }
+    let connected = connectivity::is_connected(g);
+    Ok(StepProfile {
+        phi: conductance::exact_conductance(g)?,
+        rho: diligence::exact_diligence(g)?,
+        rho_abs: diligence::absolute_diligence(g),
+        connected,
+    })
+}
+
+/// Conservative profile at any scale: `phi` is the spectral Cheeger lower
+/// bound `λ₂/2`, `rho` is `max(ρ̄, 1/(n−1))` (both valid lower bounds on
+/// the true values for connected graphs), `rho_abs` is exact.
+///
+/// Feeding conservative profiles into the Theorem 1.1 calculator yields a
+/// *later* stopping time than the true `T(G,c)`, which is still a valid
+/// spread-time upper bound.
+pub fn conservative_profile(g: &Graph, spectral_iters: usize) -> StepProfile {
+    if g.is_empty_graph() || !connectivity::is_connected(g) {
+        return StepProfile {
+            phi: 0.0,
+            rho: 0.0,
+            rho_abs: diligence::absolute_diligence(g),
+            connected: false,
+        };
+    }
+    let rho_abs = diligence::absolute_diligence(g);
+    let phi = spectral::spectral_bounds(g, spectral_iters)
+        .map(|b| b.conductance_lower.max(0.0))
+        .unwrap_or(0.0);
+    let rho = rho_abs.max(diligence::diligence_floor(g.n()));
+    StepProfile { phi, rho, rho_abs, connected: true }
+}
+
+/// A dynamic network that can report the profile of its current graph in
+/// closed form (no exponential enumeration), enabling the bound
+/// calculators at paper scale.
+///
+/// `current_profile` refers to the graph most recently returned by
+/// [`DynamicNetwork::topology`].
+pub trait ProfiledNetwork: DynamicNetwork {
+    /// Profile of the currently exposed graph.
+    fn current_profile(&self) -> StepProfile;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gossip_graph::generators;
+
+    #[test]
+    fn exact_profile_star() {
+        let g = generators::star(6).unwrap();
+        let p = exact_profile(&g).unwrap();
+        assert!((p.phi - 1.0).abs() < 1e-12);
+        assert!((p.rho - 1.0).abs() < 1e-12);
+        assert_eq!(p.rho_abs, 1.0);
+        assert!(p.connected);
+        assert!((p.theorem_1_1_increment() - 1.0).abs() < 1e-12);
+        assert_eq!(p.theorem_1_3_increment(), 1.0);
+    }
+
+    #[test]
+    fn exact_profile_disconnected() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        let p = exact_profile(&g).unwrap();
+        assert_eq!(p.phi, 0.0);
+        assert_eq!(p.rho, 0.0);
+        assert!(!p.connected);
+        assert_eq!(p.theorem_1_1_increment(), 0.0);
+        assert_eq!(p.theorem_1_3_increment(), 0.0);
+        // Absolute diligence is still defined edge-wise.
+        assert!(p.rho_abs > 0.0);
+    }
+
+    #[test]
+    fn edgeless_profile() {
+        let p = exact_profile(&Graph::empty(5)).unwrap();
+        assert_eq!(p, StepProfile::disconnected());
+    }
+
+    #[test]
+    fn conservative_lower_bounds_exact() {
+        for g in [
+            generators::complete(10).unwrap(),
+            generators::cycle(9).unwrap(),
+            generators::barbell(5).unwrap(),
+            generators::star(7).unwrap(),
+            generators::complete_bipartite(4, 6).unwrap(),
+        ] {
+            let exact = exact_profile(&g).unwrap();
+            let cons = conservative_profile(&g, 20_000);
+            assert!(cons.phi <= exact.phi + 1e-4, "phi: {} vs {}", cons.phi, exact.phi);
+            assert!(cons.rho <= exact.rho + 1e-9, "rho: {} vs {}", cons.rho, exact.rho);
+            assert_eq!(cons.rho_abs, exact.rho_abs);
+            assert_eq!(cons.connected, exact.connected);
+            assert!(cons.phi > 0.0);
+            assert!(cons.rho > 0.0);
+        }
+    }
+
+    #[test]
+    fn conservative_disconnected() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        let p = conservative_profile(&g, 100);
+        assert_eq!(p.phi, 0.0);
+        assert_eq!(p.rho, 0.0);
+        assert!(!p.connected);
+    }
+
+    use gossip_graph::Graph;
+}

@@ -1,0 +1,209 @@
+//! Graph conductance `Φ(G)` (paper Equation (2)).
+//!
+//! `Φ(G) = min_{∅≠S⊂V} |E(S,S̄)| / min(vol(S), vol(S̄))`.
+//!
+//! Computing `Φ` exactly is NP-hard in general; this module provides the
+//! exact exponential-time minimum for small graphs (tests, calibration) and
+//! delegates large graphs to the spectral Cheeger estimate in
+//! [`crate::spectral`]. The adversarial families of the paper additionally
+//! have closed forms (Observation 4.1) implemented alongside their
+//! generators.
+
+use crate::subsets::for_each_cut;
+use crate::{connectivity, Graph, GraphError};
+
+/// Exact conductance by enumerating all cuts.
+///
+/// Returns `0` for disconnected graphs (some cut has no crossing edges) and
+/// an error for graphs too large to enumerate.
+///
+/// # Errors
+///
+/// [`GraphError::TooLargeForExact`] above
+/// [`crate::EXACT_ENUMERATION_LIMIT`] nodes; [`GraphError::EmptyGraph`] for
+/// graphs with fewer than two nodes or zero edges.
+///
+/// # Example
+///
+/// ```
+/// use gossip_graph::{conductance, generators};
+///
+/// // Complete graph K4: every cut has Φ-ratio ≥ Φ(K4) = 4/6.
+/// let g = generators::complete(4).unwrap();
+/// let phi = conductance::exact_conductance(&g).unwrap();
+/// assert!((phi - 4.0 / 6.0).abs() < 1e-12);
+/// ```
+pub fn exact_conductance(g: &Graph) -> Result<f64, GraphError> {
+    if g.is_empty_graph() {
+        return Err(GraphError::EmptyGraph);
+    }
+    let mut phi = f64::INFINITY;
+    for_each_cut(g, |c| {
+        let denom = c.min_vol();
+        if denom > 0 {
+            phi = phi.min(c.cut_edges.len() as f64 / denom as f64);
+        }
+    })?;
+    if !connectivity::is_connected(g) {
+        return Ok(0.0);
+    }
+    Ok(phi)
+}
+
+/// The conductance of the best *sweep* cut along a given node ordering —
+/// an upper bound on `Φ(G)` usable at any scale.
+///
+/// For orderings produced by a Fiedler-vector sort (see
+/// [`crate::spectral::fiedler_ordering`]) Cheeger's inequality guarantees
+/// the result is at most `sqrt(2·Φ)`-competitive.
+///
+/// # Errors
+///
+/// [`GraphError::EmptyGraph`] when `g` has no edges;
+/// [`GraphError::InvalidParameter`] when `ordering` is not a permutation of
+/// the nodes.
+pub fn sweep_conductance(g: &Graph, ordering: &[crate::NodeId]) -> Result<f64, GraphError> {
+    if g.is_empty_graph() {
+        return Err(GraphError::EmptyGraph);
+    }
+    let n = g.n();
+    if ordering.len() != n {
+        return Err(GraphError::InvalidParameter(format!(
+            "ordering has {} entries for a {n}-node graph",
+            ordering.len()
+        )));
+    }
+    let mut seen = vec![false; n];
+    for &v in ordering {
+        if (v as usize) >= n || seen[v as usize] {
+            return Err(GraphError::InvalidParameter("ordering is not a permutation".into()));
+        }
+        seen[v as usize] = true;
+    }
+    let total_vol = g.volume();
+    let mut in_s = vec![false; n];
+    let mut vol_s = 0usize;
+    let mut cut = 0i64;
+    let mut best = f64::INFINITY;
+    for &v in &ordering[..n - 1] {
+        in_s[v as usize] = true;
+        vol_s += g.degree(v);
+        for &u in g.neighbors(v) {
+            if in_s[u as usize] {
+                cut -= 1;
+            } else {
+                cut += 1;
+            }
+        }
+        let denom = vol_s.min(total_vol - vol_s);
+        if denom > 0 {
+            best = best.min(cut as f64 / denom as f64);
+        }
+    }
+    Ok(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn complete_graph_formula() {
+        // Φ(K_n) is attained by the most balanced cut:
+        // |S| = floor(n/2), |E| = |S|(n-|S|), vol(S) = |S|(n-1).
+        for n in [3usize, 4, 5, 6, 8] {
+            let g = generators::complete(n).unwrap();
+            let s = n / 2;
+            let expected = (s * (n - s)) as f64 / (s * (n - 1)) as f64;
+            let phi = exact_conductance(&g).unwrap();
+            assert!((phi - expected).abs() < 1e-12, "n={n}: {phi} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn cycle_conductance() {
+        // Φ(C_n) = 2 / (2·floor(n/2)) = 1/floor(n/2).
+        for n in [4usize, 6, 8, 10] {
+            let g = generators::cycle(n).unwrap();
+            let phi = exact_conductance(&g).unwrap();
+            let expected = 1.0 / (n / 2) as f64;
+            assert!((phi - expected).abs() < 1e-12, "n={n}");
+        }
+    }
+
+    #[test]
+    fn path_bottleneck() {
+        // Path of 4: cut in the middle has 1 edge, min vol = 3.
+        let g = generators::path(4).unwrap();
+        let phi = exact_conductance(&g).unwrap();
+        assert!((phi - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn star_conductance_is_one() {
+        // Any S not containing the center has |E(S,S̄)| = |S| = vol(S).
+        for n in [3usize, 5, 9] {
+            let g = generators::star(n).unwrap();
+            let phi = exact_conductance(&g).unwrap();
+            assert!((phi - 1.0).abs() < 1e-12, "n={n}");
+        }
+    }
+
+    #[test]
+    fn disconnected_is_zero() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        assert_eq!(exact_conductance(&g).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn empty_graph_error() {
+        assert!(matches!(
+            exact_conductance(&Graph::empty(4)),
+            Err(GraphError::EmptyGraph)
+        ));
+    }
+
+    #[test]
+    fn barbell_has_small_conductance() {
+        // Two K5s joined by one edge: the bridge cut dominates.
+        let g = generators::barbell(5).unwrap();
+        let phi = exact_conductance(&g).unwrap();
+        // Bridge cut: 1 edge, min vol = 5*4+1 = 21.
+        assert!((phi - 1.0 / 21.0).abs() < 1e-12, "phi = {phi}");
+    }
+
+    #[test]
+    fn sweep_conductance_upper_bounds_exact() {
+        let g = generators::barbell(4).unwrap();
+        let exact = exact_conductance(&g).unwrap();
+        let ordering: Vec<u32> = (0..g.n() as u32).collect();
+        let sweep = sweep_conductance(&g, &ordering).unwrap();
+        assert!(sweep >= exact - 1e-12);
+        // The natural ordering of a barbell actually finds the bridge cut.
+        assert!((sweep - exact).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sweep_rejects_bad_ordering() {
+        let g = generators::complete(3).unwrap();
+        assert!(sweep_conductance(&g, &[0, 1]).is_err());
+        assert!(sweep_conductance(&g, &[0, 1, 1]).is_err());
+        assert!(sweep_conductance(&g, &[0, 1, 7]).is_err());
+    }
+
+    #[test]
+    fn conductance_in_unit_interval() {
+        // Φ ≤ 1 always (each cut edge contributes 1 to each side's volume);
+        // sanity check across families.
+        for g in [
+            generators::complete(7).unwrap(),
+            generators::cycle(9).unwrap(),
+            generators::star(8).unwrap(),
+            generators::complete_bipartite(3, 4).unwrap(),
+        ] {
+            let phi = exact_conductance(&g).unwrap();
+            assert!(phi > 0.0 && phi <= 1.0, "phi = {phi}");
+        }
+    }
+}

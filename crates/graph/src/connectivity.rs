@@ -1,0 +1,180 @@
+//! Connectivity queries: BFS, connected components, distances.
+//!
+//! The paper's measures degrade on disconnected graphs (`ρ(G) = 0`,
+//! `⌈Φ(G)⌉ = 0` in Theorem 1.3), so every generator and bound calculator
+//! leans on this module.
+
+use crate::{Graph, NodeId};
+
+/// Whether the graph is connected.
+///
+/// A graph with zero or one node is connected; a graph with `n ≥ 2` nodes
+/// and an isolated node is not.
+///
+/// # Example
+///
+/// ```
+/// use gossip_graph::{Graph, connectivity};
+///
+/// let path = Graph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+/// assert!(connectivity::is_connected(&path));
+/// let split = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+/// assert!(!connectivity::is_connected(&split));
+/// ```
+pub fn is_connected(g: &Graph) -> bool {
+    let n = g.n();
+    if n <= 1 {
+        return true;
+    }
+    bfs_reach_count(g, 0) == n
+}
+
+/// Number of nodes reachable from `start` (including `start`).
+///
+/// # Panics
+///
+/// Panics if `start` is out of range.
+pub fn bfs_reach_count(g: &Graph, start: NodeId) -> usize {
+    let mut visited = vec![false; g.n()];
+    let mut queue = std::collections::VecDeque::new();
+    visited[start as usize] = true;
+    queue.push_back(start);
+    let mut count = 1usize;
+    while let Some(u) = queue.pop_front() {
+        for &v in g.neighbors(u) {
+            if !visited[v as usize] {
+                visited[v as usize] = true;
+                count += 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    count
+}
+
+/// Connected components as sorted vectors of node ids, ordered by their
+/// smallest member.
+pub fn components(g: &Graph) -> Vec<Vec<NodeId>> {
+    let n = g.n();
+    let mut comp = vec![usize::MAX; n];
+    let mut result: Vec<Vec<NodeId>> = Vec::new();
+    for s in 0..n {
+        if comp[s] != usize::MAX {
+            continue;
+        }
+        let id = result.len();
+        let mut members = vec![s as NodeId];
+        comp[s] = id;
+        let mut queue = std::collections::VecDeque::from([s as NodeId]);
+        while let Some(u) = queue.pop_front() {
+            for &v in g.neighbors(u) {
+                if comp[v as usize] == usize::MAX {
+                    comp[v as usize] = id;
+                    members.push(v);
+                    queue.push_back(v);
+                }
+            }
+        }
+        members.sort_unstable();
+        result.push(members);
+    }
+    result
+}
+
+/// BFS distances from `start`; unreachable nodes get `usize::MAX`.
+///
+/// # Panics
+///
+/// Panics if `start` is out of range.
+pub fn bfs_distances(g: &Graph, start: NodeId) -> Vec<usize> {
+    let mut dist = vec![usize::MAX; g.n()];
+    dist[start as usize] = 0;
+    let mut queue = std::collections::VecDeque::from([start]);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u as usize];
+        for &v in g.neighbors(u) {
+            if dist[v as usize] == usize::MAX {
+                dist[v as usize] = du + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Graph diameter (longest shortest path), or `None` when disconnected or
+/// empty.
+///
+/// O(n·m); intended for test-sized graphs.
+pub fn diameter(g: &Graph) -> Option<usize> {
+    let n = g.n();
+    if n == 0 {
+        return None;
+    }
+    let mut best = 0usize;
+    for s in 0..n {
+        let dist = bfs_distances(g, s as NodeId);
+        for &d in &dist {
+            if d == usize::MAX {
+                return None;
+            }
+            best = best.max(d);
+        }
+    }
+    Some(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Graph;
+
+    #[test]
+    fn trivial_graphs_connected() {
+        assert!(is_connected(&Graph::empty(0)));
+        assert!(is_connected(&Graph::empty(1)));
+        assert!(!is_connected(&Graph::empty(2)));
+    }
+
+    #[test]
+    fn components_of_two_paths() {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (3, 4)]).unwrap();
+        let comps = components(&g);
+        assert_eq!(comps, vec![vec![0, 1, 2], vec![3, 4], vec![5]]);
+    }
+
+    #[test]
+    fn distances_on_path() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        assert_eq!(bfs_distances(&g, 0), vec![0, 1, 2, 3]);
+        assert_eq!(bfs_distances(&g, 2), vec![2, 1, 0, 1]);
+    }
+
+    #[test]
+    fn distances_unreachable() {
+        let g = Graph::from_edges(3, &[(0, 1)]).unwrap();
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d[2], usize::MAX);
+    }
+
+    #[test]
+    fn diameter_of_cycle() {
+        // 6-cycle has diameter 3.
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]).unwrap();
+        assert_eq!(diameter(&g), Some(3));
+    }
+
+    #[test]
+    fn diameter_disconnected_none() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        assert_eq!(diameter(&g), None);
+        assert_eq!(diameter(&Graph::empty(0)), None);
+    }
+
+    #[test]
+    fn reach_count() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2)]).unwrap();
+        assert_eq!(bfs_reach_count(&g, 0), 3);
+        assert_eq!(bfs_reach_count(&g, 3), 1);
+    }
+}

@@ -1,0 +1,212 @@
+//! Cut measurements against an explicit node set.
+//!
+//! The asynchronous push–pull process is driven entirely by the cut between
+//! informed and uninformed nodes: the paper's Equation (1) gives the rate at
+//! which the next node becomes informed as
+//! `λ = Σ_{{u,v} ∈ E(I, U)} (1/d_u + 1/d_v)`. This module computes cut edge
+//! counts, volumes, and that rate for an arbitrary `S` (usually the informed
+//! set).
+
+use crate::{Graph, NodeId, NodeSet};
+
+/// Number of edges crossing `S` and its complement.
+///
+/// # Panics
+///
+/// Panics if `s`'s universe differs from `g.n()`.
+///
+/// # Example
+///
+/// ```
+/// use gossip_graph::{cut, generators, NodeSet};
+///
+/// let g = generators::path(4).unwrap(); // 0-1-2-3
+/// let mut s = NodeSet::new(4);
+/// s.insert(0);
+/// s.insert(1);
+/// assert_eq!(cut::cut_edge_count(&g, &s), 1); // only {1,2} crosses
+/// ```
+pub fn cut_edge_count(g: &Graph, s: &NodeSet) -> usize {
+    check_universe(g, s);
+    let mut count = 0usize;
+    for v in s.iter() {
+        for &u in g.neighbors(v) {
+            if !s.contains(u) {
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+/// The edges crossing `S`, each as `(inside, outside)`.
+pub fn cut_edges(g: &Graph, s: &NodeSet) -> Vec<(NodeId, NodeId)> {
+    check_universe(g, s);
+    let mut edges = Vec::new();
+    for v in s.iter() {
+        for &u in g.neighbors(v) {
+            if !s.contains(u) {
+                edges.push((v, u));
+            }
+        }
+    }
+    edges
+}
+
+/// `vol(S) = Σ_{v∈S} d_v`.
+pub fn volume(g: &Graph, s: &NodeSet) -> usize {
+    check_universe(g, s);
+    s.iter().map(|v| g.degree(v)).sum()
+}
+
+/// The push–pull cut rate of Equation (1):
+/// `λ(S) = Σ_{{u,v} ∈ E(S, S̄)} (1/d_u + 1/d_v)`.
+///
+/// When `S` is the informed set, the first uninformed node becomes informed
+/// after an `Exp(λ)` waiting time.
+pub fn pushpull_cut_rate(g: &Graph, s: &NodeSet) -> f64 {
+    check_universe(g, s);
+    let mut rate = 0.0;
+    for v in s.iter() {
+        let dv = g.degree(v) as f64;
+        for &u in g.neighbors(v) {
+            if !s.contains(u) {
+                rate += 1.0 / dv + 1.0 / g.degree(u) as f64;
+            }
+        }
+    }
+    rate
+}
+
+/// Lower bound on the cut rate used in the paper's Inequality (3):
+/// `Σ_{{u,v} ∈ E(S,S̄)} max(1/d_u, 1/d_v)`.
+pub fn absolute_cut_rate(g: &Graph, s: &NodeSet) -> f64 {
+    check_universe(g, s);
+    let mut rate = 0.0;
+    for v in s.iter() {
+        let dv = g.degree(v) as f64;
+        for &u in g.neighbors(v) {
+            if !s.contains(u) {
+                rate += (1.0 / dv).max(1.0 / g.degree(u) as f64);
+            }
+        }
+    }
+    rate
+}
+
+/// Conductance of the specific cut `{S, S̄}`:
+/// `|E(S,S̄)| / min(vol(S), vol(S̄))`.
+///
+/// Returns `None` when either side has zero volume (the ratio is undefined;
+/// the paper's minimum simply never attains such cuts).
+pub fn cut_conductance(g: &Graph, s: &NodeSet) -> Option<f64> {
+    check_universe(g, s);
+    let vol_s = volume(g, s);
+    let vol_comp = g.volume() - vol_s;
+    let denom = vol_s.min(vol_comp);
+    if denom == 0 {
+        return None;
+    }
+    Some(cut_edge_count(g, s) as f64 / denom as f64)
+}
+
+fn check_universe(g: &Graph, s: &NodeSet) {
+    assert_eq!(
+        s.universe(),
+        g.n(),
+        "node set universe {} does not match graph size {}",
+        s.universe(),
+        g.n()
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    fn set(n: usize, members: &[NodeId]) -> NodeSet {
+        let mut s = NodeSet::new(n);
+        for &v in members {
+            s.insert(v);
+        }
+        s
+    }
+
+    #[test]
+    fn path_cut_basics() {
+        let g = generators::path(4).unwrap();
+        let s = set(4, &[0, 1]);
+        assert_eq!(cut_edge_count(&g, &s), 1);
+        assert_eq!(volume(&g, &s), 3); // d0=1, d1=2
+        // λ across {1,2}: 1/d1 + 1/d2 = 1/2 + 1/2.
+        assert!((pushpull_cut_rate(&g, &s) - 1.0).abs() < 1e-12);
+        // max(1/2, 1/2) = 1/2.
+        assert!((absolute_cut_rate(&g, &s) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn star_center_cut() {
+        // Star with center 0 and 4 leaves: S = {0}.
+        let g = generators::star(5).unwrap();
+        let s = set(5, &[0]);
+        assert_eq!(cut_edge_count(&g, &s), 4);
+        // Each cut edge contributes 1/4 + 1 = 1.25.
+        assert!((pushpull_cut_rate(&g, &s) - 5.0).abs() < 1e-12);
+        // max(1/4, 1) = 1 per edge.
+        assert!((absolute_cut_rate(&g, &s) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cut_rate_symmetric_in_complement() {
+        let g = generators::complete(6).unwrap();
+        let s = set(6, &[0, 1]);
+        let mut comp = NodeSet::new(6);
+        for v in s.iter_complement() {
+            comp.insert(v);
+        }
+        assert!((pushpull_cut_rate(&g, &s) - pushpull_cut_rate(&g, &comp)).abs() < 1e-12);
+        assert_eq!(cut_edge_count(&g, &s), cut_edge_count(&g, &comp));
+    }
+
+    #[test]
+    fn empty_and_full_sets() {
+        let g = generators::complete(4).unwrap();
+        let empty = NodeSet::new(4);
+        assert_eq!(cut_edge_count(&g, &empty), 0);
+        assert_eq!(pushpull_cut_rate(&g, &empty), 0.0);
+        assert_eq!(cut_conductance(&g, &empty), None);
+        let full = NodeSet::full(4);
+        assert_eq!(cut_edge_count(&g, &full), 0);
+        assert_eq!(cut_conductance(&g, &full), None);
+    }
+
+    #[test]
+    fn cut_conductance_of_half_clique() {
+        let g = generators::complete(4).unwrap();
+        let s = set(4, &[0, 1]);
+        // |E(S,S̄)| = 4, min vol = 6 -> 2/3.
+        assert!((cut_conductance(&g, &s).unwrap() - 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cut_edges_list_matches_count() {
+        let g = generators::cycle(8).unwrap();
+        let s = set(8, &[0, 1, 2, 5]);
+        let edges = cut_edges(&g, &s);
+        assert_eq!(edges.len(), cut_edge_count(&g, &s));
+        for (inside, outside) in edges {
+            assert!(s.contains(inside));
+            assert!(!s.contains(outside));
+            assert!(g.has_edge(inside, outside));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn universe_mismatch_panics() {
+        let g = generators::path(4).unwrap();
+        let s = NodeSet::new(5);
+        cut_edge_count(&g, &s);
+    }
+}

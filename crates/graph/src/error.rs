@@ -1,0 +1,92 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for graph construction, generation, and measurement.
+///
+/// # Example
+///
+/// ```
+/// use gossip_graph::{GraphBuilder, GraphError};
+///
+/// let mut b = GraphBuilder::new(3);
+/// assert!(matches!(b.add_edge(1, 1), Err(GraphError::SelfLoop { .. })));
+/// assert!(matches!(b.add_edge(0, 9), Err(GraphError::NodeOutOfRange { .. })));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphError {
+    /// A node index was at least the graph's node count.
+    NodeOutOfRange {
+        /// The offending node index.
+        node: u32,
+        /// The graph's node count.
+        n: usize,
+    },
+    /// An edge `{v, v}` was added; simple graphs have no loops.
+    SelfLoop {
+        /// The node with the attempted loop.
+        node: u32,
+    },
+    /// A generator or measure received a parameter outside its domain.
+    InvalidParameter(String),
+    /// A randomized generator exhausted its retry budget (e.g. the pairing
+    /// model kept producing multigraphs, or connectivity never held).
+    GenerationFailed(String),
+    /// An exact exponential-time measure was asked about a graph above
+    /// [`crate::EXACT_ENUMERATION_LIMIT`] nodes.
+    TooLargeForExact {
+        /// The graph's node count.
+        n: usize,
+        /// The enumeration limit.
+        limit: usize,
+    },
+    /// A measure that requires at least one edge/node was given an empty
+    /// graph.
+    EmptyGraph,
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, n } => {
+                write!(f, "node {node} out of range for graph with {n} nodes")
+            }
+            GraphError::SelfLoop { node } => {
+                write!(f, "self-loop at node {node} not allowed in a simple graph")
+            }
+            GraphError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            GraphError::GenerationFailed(msg) => write!(f, "generation failed: {msg}"),
+            GraphError::TooLargeForExact { n, limit } => {
+                write!(f, "graph with {n} nodes exceeds exact-enumeration limit {limit}")
+            }
+            GraphError::EmptyGraph => write!(f, "operation requires a non-empty graph"),
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        let variants = [
+            GraphError::NodeOutOfRange { node: 5, n: 3 },
+            GraphError::SelfLoop { node: 1 },
+            GraphError::InvalidParameter("p".into()),
+            GraphError::GenerationFailed("g".into()),
+            GraphError::TooLargeForExact { n: 30, limit: 24 },
+            GraphError::EmptyGraph,
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GraphError>();
+    }
+}

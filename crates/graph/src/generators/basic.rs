@@ -1,0 +1,286 @@
+//! Deterministic graph families.
+
+use crate::{Graph, GraphBuilder, GraphError, NodeId};
+
+/// Complete graph `K_n`.
+///
+/// # Errors
+///
+/// [`GraphError::InvalidParameter`] when `n < 2`.
+///
+/// # Example
+///
+/// ```
+/// let g = gossip_graph::generators::complete(5).unwrap();
+/// assert_eq!(g.m(), 10);
+/// assert!(g.is_regular());
+/// ```
+pub fn complete(n: usize) -> Result<Graph, GraphError> {
+    if n < 2 {
+        return Err(GraphError::InvalidParameter(format!("complete graph needs n >= 2, got {n}")));
+    }
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n as NodeId {
+        for v in (u + 1)..n as NodeId {
+            b.add_edge(u, v)?;
+        }
+    }
+    Ok(b.build())
+}
+
+/// Star `K_{1,n−1}` on `n` nodes with center `0`.
+///
+/// The paper's Figure 1(b) network `G2` is a sequence of stars; stars are
+/// 1-diligent and absolutely 1-diligent (Section 1.1).
+///
+/// # Errors
+///
+/// [`GraphError::InvalidParameter`] when `n < 2`.
+pub fn star(n: usize) -> Result<Graph, GraphError> {
+    star_with_center(n, 0)
+}
+
+/// Star on `n` nodes with an arbitrary center — the dynamic star `G2`
+/// re-centers on an uninformed node each step.
+///
+/// # Errors
+///
+/// [`GraphError::InvalidParameter`] when `n < 2` or the center is out of
+/// range.
+pub fn star_with_center(n: usize, center: NodeId) -> Result<Graph, GraphError> {
+    if n < 2 {
+        return Err(GraphError::InvalidParameter(format!("star needs n >= 2, got {n}")));
+    }
+    if center as usize >= n {
+        return Err(GraphError::NodeOutOfRange { node: center, n });
+    }
+    let mut b = GraphBuilder::new(n);
+    for v in 0..n as NodeId {
+        if v != center {
+            b.add_edge(center, v)?;
+        }
+    }
+    Ok(b.build())
+}
+
+/// Path `P_n`: `0 − 1 − … − (n−1)`.
+///
+/// # Errors
+///
+/// [`GraphError::InvalidParameter`] when `n < 2`.
+pub fn path(n: usize) -> Result<Graph, GraphError> {
+    if n < 2 {
+        return Err(GraphError::InvalidParameter(format!("path needs n >= 2, got {n}")));
+    }
+    let mut b = GraphBuilder::new(n);
+    for v in 0..(n - 1) as NodeId {
+        b.add_edge(v, v + 1)?;
+    }
+    Ok(b.build())
+}
+
+/// Cycle `C_n`.
+///
+/// # Errors
+///
+/// [`GraphError::InvalidParameter`] when `n < 3`.
+pub fn cycle(n: usize) -> Result<Graph, GraphError> {
+    if n < 3 {
+        return Err(GraphError::InvalidParameter(format!("cycle needs n >= 3, got {n}")));
+    }
+    let mut b = GraphBuilder::new(n);
+    for v in 0..n as NodeId {
+        b.add_edge(v, ((v as usize + 1) % n) as NodeId)?;
+    }
+    Ok(b.build())
+}
+
+/// Complete bipartite graph `K_{a,b}`: sides `0..a` and `a..a+b`.
+///
+/// The clusters `S_i` of the paper's `H_{k,Δ}` construction are joined by
+/// complete bipartite graphs.
+///
+/// # Errors
+///
+/// [`GraphError::InvalidParameter`] when either side is empty.
+pub fn complete_bipartite(a: usize, b: usize) -> Result<Graph, GraphError> {
+    if a == 0 || b == 0 {
+        return Err(GraphError::InvalidParameter(format!(
+            "complete bipartite needs both sides non-empty, got ({a}, {b})"
+        )));
+    }
+    let mut builder = GraphBuilder::new(a + b);
+    for u in 0..a as NodeId {
+        for v in a as NodeId..(a + b) as NodeId {
+            builder.add_edge(u, v)?;
+        }
+    }
+    Ok(builder.build())
+}
+
+/// Barbell graph: two `K_k` cliques (`0..k` and `k..2k`) joined by the
+/// single bridge edge `{0, k}` — the minimal conductance-bottleneck family,
+/// and the shape of the paper's Figure 1(a) graph `G(1)`.
+///
+/// # Errors
+///
+/// [`GraphError::InvalidParameter`] when `k < 2`.
+pub fn barbell(k: usize) -> Result<Graph, GraphError> {
+    if k < 2 {
+        return Err(GraphError::InvalidParameter(format!("barbell needs k >= 2, got {k}")));
+    }
+    let mut b = GraphBuilder::new(2 * k);
+    for u in 0..k as NodeId {
+        for v in (u + 1)..k as NodeId {
+            b.add_edge(u, v)?;
+            b.add_edge(u + k as NodeId, v + k as NodeId)?;
+        }
+    }
+    b.add_edge(0, k as NodeId)?;
+    Ok(b.build())
+}
+
+/// Hypercube `Q_d` on `2^d` nodes; ids adjacent iff they differ in one bit.
+///
+/// # Errors
+///
+/// [`GraphError::InvalidParameter`] when `d == 0` or `d > 20`.
+pub fn hypercube(d: usize) -> Result<Graph, GraphError> {
+    if d == 0 || d > 20 {
+        return Err(GraphError::InvalidParameter(format!("hypercube dimension {d} out of range 1..=20")));
+    }
+    let n = 1usize << d;
+    let mut b = GraphBuilder::new(n);
+    for v in 0..n {
+        for bit in 0..d {
+            let u = v ^ (1 << bit);
+            if u > v {
+                b.add_edge(v as NodeId, u as NodeId)?;
+            }
+        }
+    }
+    Ok(b.build())
+}
+
+/// 2-D torus grid with `rows × cols` nodes and wrap-around edges — the
+/// substrate for the mobile-agents extension (related work \[20, 22\]).
+///
+/// Node `(r, c)` is id `r*cols + c`. Dimension of size 1 contributes no
+/// edges; size 2 contributes a single (deduplicated) edge.
+///
+/// # Errors
+///
+/// [`GraphError::InvalidParameter`] when `rows*cols < 2`.
+pub fn torus(rows: usize, cols: usize) -> Result<Graph, GraphError> {
+    if rows * cols < 2 {
+        return Err(GraphError::InvalidParameter(format!(
+            "torus needs at least 2 nodes, got {rows}x{cols}"
+        )));
+    }
+    let id = |r: usize, c: usize| (r * cols + c) as NodeId;
+    let mut b = GraphBuilder::new(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            if cols > 1 {
+                b.add_edge(id(r, c), id(r, (c + 1) % cols))?;
+            }
+            if rows > 1 {
+                b.add_edge(id(r, c), id((r + 1) % rows, c))?;
+            }
+        }
+    }
+    Ok(b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connectivity::is_connected;
+
+    #[test]
+    fn complete_counts() {
+        let g = complete(6).unwrap();
+        assert_eq!(g.n(), 6);
+        assert_eq!(g.m(), 15);
+        assert!(g.is_regular());
+        assert!(is_connected(&g));
+        assert!(complete(1).is_err());
+    }
+
+    #[test]
+    fn star_shape() {
+        let g = star(6).unwrap();
+        assert_eq!(g.degree(0), 5);
+        for v in 1..6 {
+            assert_eq!(g.degree(v), 1);
+        }
+        assert!(star(1).is_err());
+    }
+
+    #[test]
+    fn star_with_other_center() {
+        let g = star_with_center(5, 3).unwrap();
+        assert_eq!(g.degree(3), 4);
+        assert_eq!(g.degree(0), 1);
+        assert!(star_with_center(5, 5).is_err());
+    }
+
+    #[test]
+    fn path_and_cycle() {
+        let p = path(5).unwrap();
+        assert_eq!(p.m(), 4);
+        assert_eq!(p.degree(0), 1);
+        assert_eq!(p.degree(2), 2);
+        let c = cycle(5).unwrap();
+        assert_eq!(c.m(), 5);
+        assert!(c.is_regular());
+        assert!(cycle(2).is_err());
+    }
+
+    #[test]
+    fn bipartite_counts() {
+        let g = complete_bipartite(3, 4).unwrap();
+        assert_eq!(g.m(), 12);
+        assert_eq!(g.degree(0), 4);
+        assert_eq!(g.degree(3), 3);
+        assert!(complete_bipartite(0, 3).is_err());
+    }
+
+    #[test]
+    fn barbell_shape() {
+        let g = barbell(4).unwrap();
+        assert_eq!(g.n(), 8);
+        assert_eq!(g.m(), 2 * 6 + 1);
+        assert_eq!(g.degree(0), 4); // clique 3 + bridge
+        assert_eq!(g.degree(1), 3);
+        assert!(g.has_edge(0, 4));
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn hypercube_regular() {
+        let g = hypercube(4).unwrap();
+        assert_eq!(g.n(), 16);
+        assert!(g.is_regular());
+        assert_eq!(g.degree(0), 4);
+        assert!(is_connected(&g));
+        assert!(hypercube(0).is_err());
+    }
+
+    #[test]
+    fn torus_shapes() {
+        let g = torus(4, 5).unwrap();
+        assert_eq!(g.n(), 20);
+        assert!(g.is_regular());
+        assert_eq!(g.degree(0), 4);
+        assert!(is_connected(&g));
+        // Degenerate sizes.
+        let ring = torus(1, 6).unwrap();
+        assert!(ring.is_regular());
+        assert_eq!(ring.degree(0), 2);
+        let ladder = torus(2, 3).unwrap();
+        assert!(is_connected(&ladder));
+        assert_eq!(ladder.degree(0), 3); // two row nbrs + one (deduped) col nbr
+        assert!(torus(1, 1).is_err());
+    }
+}

@@ -1,0 +1,227 @@
+//! Circulant graphs and the near-regular hub construction of Section 5.1.
+//!
+//! The paper's absolutely-`ρ`-diligent dynamic network joins
+//! `G(A, 4, Δ)` — a connected graph where every node has degree 4 except one
+//! hub of degree `Δ` — to a `Δ`-regular graph `G(B, Δ)` by a single bridge
+//! edge. The paper only asserts such graphs exist for even degrees; this
+//! module constructs them explicitly:
+//!
+//! * [`regular_circulant`] gives connected `Δ`-regular graphs (offsets
+//!   `1..Δ/2`);
+//! * [`near_regular_with_hub`] starts from the 4-regular circulant
+//!   `C(m; 1, 2)` and re-routes `(Δ−4)/2` distance-2 chords through the hub,
+//!   which raises the hub's degree by 2 per re-route while every other
+//!   degree is unchanged and the base cycle keeps the graph connected.
+
+use crate::{Graph, GraphBuilder, GraphError, NodeId};
+
+/// Circulant graph `C(n; offsets)`: node `i` is adjacent to `i ± o (mod n)`
+/// for each offset `o`.
+///
+/// # Errors
+///
+/// [`GraphError::InvalidParameter`] when `n < 3`, offsets are empty,
+/// repeated, zero, or exceed `n/2`.
+///
+/// # Example
+///
+/// ```
+/// // C(8; 1, 2) is the 4-regular "squared cycle".
+/// let g = gossip_graph::generators::circulant(8, &[1, 2]).unwrap();
+/// assert!(g.is_regular());
+/// assert_eq!(g.degree(0), 4);
+/// ```
+pub fn circulant(n: usize, offsets: &[usize]) -> Result<Graph, GraphError> {
+    if n < 3 {
+        return Err(GraphError::InvalidParameter(format!("circulant needs n >= 3, got {n}")));
+    }
+    if offsets.is_empty() {
+        return Err(GraphError::InvalidParameter("circulant needs at least one offset".into()));
+    }
+    let mut sorted = offsets.to_vec();
+    sorted.sort_unstable();
+    for w in sorted.windows(2) {
+        if w[0] == w[1] {
+            return Err(GraphError::InvalidParameter(format!("repeated offset {}", w[0])));
+        }
+    }
+    for &o in offsets {
+        if o == 0 || o > n / 2 {
+            return Err(GraphError::InvalidParameter(format!(
+                "offset {o} outside 1..={} for n = {n}",
+                n / 2
+            )));
+        }
+    }
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n {
+        for &o in offsets {
+            let j = (i + o) % n;
+            if i != j {
+                b.add_edge(i as NodeId, j as NodeId)?;
+            }
+        }
+    }
+    Ok(b.build())
+}
+
+/// Connected `d`-regular circulant on `m` nodes (offsets `1..=d/2`) — the
+/// paper's `G(A, d)` building block (Section 5.1).
+///
+/// # Errors
+///
+/// [`GraphError::InvalidParameter`] when `d` is odd, zero, or too large
+/// (`d/2` must not exceed `(m−1)/2`, so every offset contributes degree 2).
+pub fn regular_circulant(m: usize, d: usize) -> Result<Graph, GraphError> {
+    if d == 0 || !d.is_multiple_of(2) {
+        return Err(GraphError::InvalidParameter(format!(
+            "regular circulant needs even positive degree, got {d}"
+        )));
+    }
+    if d / 2 > (m.saturating_sub(1)) / 2 {
+        return Err(GraphError::InvalidParameter(format!(
+            "degree {d} too large for {m} nodes (need d/2 <= (m-1)/2)"
+        )));
+    }
+    let offsets: Vec<usize> = (1..=d / 2).collect();
+    circulant(m, &offsets)
+}
+
+/// The Section 5.1 construction `G(A, 4, Δ)`: a connected simple graph on
+/// `m` nodes where every node has degree 4 except node `0`, the *hub*, of
+/// degree `hub_degree`.
+///
+/// Built from the 4-regular circulant `C(m; 1, 2)` by re-routing
+/// `(hub_degree − 4)/2` distance-2 chords `{a, a+2}` (chosen disjoint and
+/// away from the hub's neighborhood) into the pair `{0, a}, {0, a+2}`: the
+/// chord endpoints keep degree 4 while the hub gains 2 per re-route.
+///
+/// # Errors
+///
+/// [`GraphError::InvalidParameter`] when `hub_degree` is odd or `< 4`, or
+/// when `m` is too small to host the required number of disjoint chords
+/// (roughly `m ≥ 2·hub_degree + 9`).
+///
+/// # Example
+///
+/// ```
+/// let g = gossip_graph::generators::near_regular_with_hub(40, 10).unwrap();
+/// assert_eq!(g.degree(0), 10);
+/// assert!((1..40).all(|v| g.degree(v) == 4));
+/// ```
+pub fn near_regular_with_hub(m: usize, hub_degree: usize) -> Result<Graph, GraphError> {
+    if hub_degree < 4 || !hub_degree.is_multiple_of(2) {
+        return Err(GraphError::InvalidParameter(format!(
+            "hub degree must be even and >= 4, got {hub_degree}"
+        )));
+    }
+    let extra = (hub_degree - 4) / 2;
+    // Chords {a, a+2} for a = 4, 8, 12, ..., all endpoints within 3..m-3 so
+    // they avoid the hub's circulant neighborhood {1, 2, m-2, m-1}.
+    let last_start = 4 + 4 * extra.saturating_sub(1);
+    if extra > 0 && last_start + 2 > m.saturating_sub(3) {
+        return Err(GraphError::InvalidParameter(format!(
+            "{m} nodes cannot host {extra} disjoint re-routed chords for hub degree {hub_degree}"
+        )));
+    }
+    if m < 5 {
+        return Err(GraphError::InvalidParameter(format!(
+            "near-regular hub graph needs m >= 5, got {m}"
+        )));
+    }
+    let base = circulant(m, &[1, 2])?;
+    let mut b = GraphBuilder::new(m);
+    for (u, v) in base.edges() {
+        b.add_edge(u, v)?;
+    }
+    for i in 0..extra {
+        let a = (4 + 4 * i) as NodeId;
+        let removed = b.remove_edge(a, a + 2);
+        debug_assert!(removed, "chord {{{a}, {}}} missing from C(m;1,2)", a + 2);
+        b.add_edge(0, a)?;
+        b.add_edge(0, a + 2)?;
+    }
+    Ok(b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connectivity::is_connected;
+    use crate::diligence::absolute_diligence;
+
+    #[test]
+    fn circulant_validates() {
+        assert!(circulant(2, &[1]).is_err());
+        assert!(circulant(8, &[]).is_err());
+        assert!(circulant(8, &[0]).is_err());
+        assert!(circulant(8, &[5]).is_err());
+        assert!(circulant(8, &[1, 1]).is_err());
+    }
+
+    #[test]
+    fn circulant_degrees() {
+        let g = circulant(9, &[1, 2, 3]).unwrap();
+        assert!(g.is_regular());
+        assert_eq!(g.degree(0), 6);
+        // Half-offset on even n gives degree contribution 1.
+        let h = circulant(8, &[1, 4]).unwrap();
+        assert!(h.is_regular());
+        assert_eq!(h.degree(0), 3);
+    }
+
+    #[test]
+    fn regular_circulant_matches_degree() {
+        for (m, d) in [(11usize, 4usize), (20, 6), (9, 2), (50, 12)] {
+            let g = regular_circulant(m, d).unwrap();
+            assert!(g.is_regular(), "({m},{d})");
+            assert_eq!(g.degree(0), d);
+            assert!(is_connected(&g));
+        }
+        assert!(regular_circulant(10, 3).is_err()); // odd
+        assert!(regular_circulant(10, 10).is_err()); // too large
+    }
+
+    #[test]
+    fn regular_circulant_absolute_diligence() {
+        // Δ-regular => ρ̄ = 1/Δ (paper Section 5.1 uses exactly this).
+        let g = regular_circulant(30, 6).unwrap();
+        assert!((absolute_diligence(&g) - 1.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hub_graph_degree_sequence() {
+        for (m, hub) in [(40usize, 10usize), (25, 4), (100, 20), (29, 8)] {
+            let g = near_regular_with_hub(m, hub).unwrap();
+            assert_eq!(g.degree(0), hub, "hub degree ({m},{hub})");
+            for v in 1..m as NodeId {
+                assert_eq!(g.degree(v), 4, "node {v} in ({m},{hub})");
+            }
+            assert!(is_connected(&g));
+        }
+    }
+
+    #[test]
+    fn hub_graph_validates() {
+        assert!(near_regular_with_hub(40, 5).is_err()); // odd
+        assert!(near_regular_with_hub(40, 2).is_err()); // < 4
+        assert!(near_regular_with_hub(10, 20).is_err()); // too many chords
+        assert!(near_regular_with_hub(4, 4).is_err()); // m too small
+    }
+
+    #[test]
+    fn hub_graph_stays_simple() {
+        let g = near_regular_with_hub(60, 16).unwrap();
+        // Volume = 59*4 + 16.
+        assert_eq!(g.volume(), 59 * 4 + 16);
+        // No duplicate edges: m = volume/2 exactly.
+        assert_eq!(g.m(), (59 * 4 + 16) / 2);
+    }
+
+    #[test]
+    fn hub_degree_4_is_plain_circulant() {
+        let g = near_regular_with_hub(12, 4).unwrap();
+        let c = circulant(12, &[1, 2]).unwrap();
+        assert_eq!(g, c);
+    }
+}

@@ -1,0 +1,385 @@
+use crate::GraphError;
+use serde::{Deserialize, Serialize};
+
+/// Index of a node in a [`Graph`]. Graphs in this workspace always have node
+/// set `{0, 1, …, n−1}`.
+pub type NodeId = u32;
+
+/// An immutable simple undirected graph in CSR (compressed sparse row) form.
+///
+/// Degrees are O(1), neighbor lists are contiguous sorted slices, and the
+/// representation is cache-friendly — the cut-rate simulator touches
+/// `neighbors(v)` on every infection, so this layout is the hot path of the
+/// whole reproduction.
+///
+/// Construct with [`GraphBuilder`] or [`Graph::from_edges`].
+///
+/// # Example
+///
+/// ```
+/// use gossip_graph::Graph;
+///
+/// let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+/// assert_eq!(g.n(), 4);
+/// assert_eq!(g.m(), 3);
+/// assert_eq!(g.degree(1), 2);
+/// assert_eq!(g.neighbors(1), &[0, 2]);
+/// assert!(g.has_edge(2, 3));
+/// assert!(!g.has_edge(0, 3));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Graph {
+    /// `offsets[v]..offsets[v+1]` indexes `neighbors` for node `v`.
+    offsets: Vec<u32>,
+    /// Concatenated sorted adjacency lists.
+    neighbors: Vec<NodeId>,
+}
+
+impl Graph {
+    /// Builds a graph with `n` nodes from an edge list.
+    ///
+    /// Duplicate edges are merged; `(u, v)` and `(v, u)` denote the same
+    /// edge.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::SelfLoop`] or [`GraphError::NodeOutOfRange`]
+    /// for invalid edges.
+    pub fn from_edges(n: usize, edges: &[(NodeId, NodeId)]) -> Result<Self, GraphError> {
+        let mut b = GraphBuilder::new(n);
+        for &(u, v) in edges {
+            b.add_edge(u, v)?;
+        }
+        Ok(b.build())
+    }
+
+    /// A graph with `n` nodes and no edges.
+    pub fn empty(n: usize) -> Self {
+        Graph { offsets: vec![0; n + 1], neighbors: Vec::new() }
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of edges.
+    pub fn m(&self) -> usize {
+        self.neighbors.len() / 2
+    }
+
+    /// Whether the graph has no edges.
+    pub fn is_empty_graph(&self) -> bool {
+        self.neighbors.is_empty()
+    }
+
+    /// Degree of node `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn degree(&self, v: NodeId) -> usize {
+        let v = v as usize;
+        (self.offsets[v + 1] - self.offsets[v]) as usize
+    }
+
+    /// Sorted slice of the neighbors of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        let v = v as usize;
+        &self.neighbors[self.offsets[v] as usize..self.offsets[v + 1] as usize]
+    }
+
+    /// Whether the edge `{u, v}` exists (binary search, O(log deg)).
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        if (u as usize) >= self.n() || (v as usize) >= self.n() {
+            return false;
+        }
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Total volume `Σ_v d_v = 2m`.
+    pub fn volume(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// Maximum degree (0 for an edgeless graph).
+    pub fn max_degree(&self) -> usize {
+        (0..self.n()).map(|v| self.degree(v as NodeId)).max().unwrap_or(0)
+    }
+
+    /// Minimum degree (0 for an edgeless graph).
+    pub fn min_degree(&self) -> usize {
+        (0..self.n()).map(|v| self.degree(v as NodeId)).min().unwrap_or(0)
+    }
+
+    /// Average degree `2m/n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for a graph with zero nodes.
+    pub fn avg_degree(&self) -> f64 {
+        assert!(self.n() > 0, "average degree of a zero-node graph");
+        self.volume() as f64 / self.n() as f64
+    }
+
+    /// Whether every node has the same degree.
+    pub fn is_regular(&self) -> bool {
+        self.n() == 0 || self.max_degree() == self.min_degree()
+    }
+
+    /// Iterates every edge once as `(u, v)` with `u < v`.
+    pub fn edges(&self) -> Edges<'_> {
+        Edges { graph: self, u: 0, idx: 0 }
+    }
+
+    /// Iterates all node ids `0..n`.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        0..self.n() as NodeId
+    }
+}
+
+/// Iterator over the edges of a [`Graph`], produced by [`Graph::edges`].
+#[derive(Debug, Clone)]
+pub struct Edges<'a> {
+    graph: &'a Graph,
+    u: NodeId,
+    idx: usize,
+}
+
+impl Iterator for Edges<'_> {
+    type Item = (NodeId, NodeId);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let n = self.graph.n() as NodeId;
+        while self.u < n {
+            let nbrs = self.graph.neighbors(self.u);
+            while self.idx < nbrs.len() {
+                let v = nbrs[self.idx];
+                self.idx += 1;
+                if v > self.u {
+                    return Some((self.u, v));
+                }
+            }
+            self.u += 1;
+            self.idx = 0;
+        }
+        None
+    }
+}
+
+/// Incremental builder for [`Graph`].
+///
+/// Edges may be added in any order; duplicates are merged at
+/// [`GraphBuilder::build`] time.
+///
+/// # Example
+///
+/// ```
+/// # use gossip_graph::GraphBuilder;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = GraphBuilder::new(3);
+/// b.add_edge(0, 1)?;
+/// b.add_edge(1, 2)?;
+/// b.add_edge(2, 1)?; // duplicate, merged
+/// let g = b.build();
+/// assert_eq!(g.m(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<(NodeId, NodeId)>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph with `n` nodes and no edges.
+    pub fn new(n: usize) -> Self {
+        GraphBuilder { n, edges: Vec::new() }
+    }
+
+    /// Number of nodes the built graph will have.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Adds the undirected edge `{u, v}`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::SelfLoop`] when `u == v` and
+    /// [`GraphError::NodeOutOfRange`] when either endpoint is `≥ n`.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> Result<&mut Self, GraphError> {
+        if u == v {
+            return Err(GraphError::SelfLoop { node: u });
+        }
+        if (u as usize) >= self.n {
+            return Err(GraphError::NodeOutOfRange { node: u, n: self.n });
+        }
+        if (v as usize) >= self.n {
+            return Err(GraphError::NodeOutOfRange { node: v, n: self.n });
+        }
+        self.edges.push(if u < v { (u, v) } else { (v, u) });
+        Ok(self)
+    }
+
+    /// Whether the (possibly not yet deduplicated) edge `{u, v}` has been
+    /// added.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        let key = if u < v { (u, v) } else { (v, u) };
+        self.edges.contains(&key)
+    }
+
+    /// Removes the edge `{u, v}` if present; returns whether it was.
+    pub fn remove_edge(&mut self, u: NodeId, v: NodeId) -> bool {
+        let key = if u < v { (u, v) } else { (v, u) };
+        let before = self.edges.len();
+        self.edges.retain(|e| *e != key);
+        self.edges.len() != before
+    }
+
+    /// Number of (not yet deduplicated) edges added so far.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Finishes the graph, sorting adjacency lists and merging duplicates.
+    pub fn build(mut self) -> Graph {
+        self.edges.sort_unstable();
+        self.edges.dedup();
+        let mut degree = vec![0u32; self.n];
+        for &(u, v) in &self.edges {
+            degree[u as usize] += 1;
+            degree[v as usize] += 1;
+        }
+        let mut offsets = vec![0u32; self.n + 1];
+        for v in 0..self.n {
+            offsets[v + 1] = offsets[v] + degree[v];
+        }
+        let mut cursor: Vec<u32> = offsets[..self.n].to_vec();
+        let mut neighbors = vec![0 as NodeId; offsets[self.n] as usize];
+        for &(u, v) in &self.edges {
+            neighbors[cursor[u as usize] as usize] = v;
+            cursor[u as usize] += 1;
+            neighbors[cursor[v as usize] as usize] = u;
+            cursor[v as usize] += 1;
+        }
+        // Adjacency of u is filled in increasing v for the (u, v) half, but
+        // the (v, u) halves interleave; sort each list.
+        for v in 0..self.n {
+            neighbors[offsets[v] as usize..offsets[v + 1] as usize].sort_unstable();
+        }
+        Graph { offsets, neighbors }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::empty(5);
+        assert_eq!(g.n(), 5);
+        assert_eq!(g.m(), 0);
+        assert!(g.is_empty_graph());
+        assert_eq!(g.max_degree(), 0);
+        assert_eq!(g.edges().count(), 0);
+    }
+
+    #[test]
+    fn zero_node_graph() {
+        let g = Graph::empty(0);
+        assert_eq!(g.n(), 0);
+        assert_eq!(g.nodes().count(), 0);
+    }
+
+    #[test]
+    fn triangle() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2), (0, 2)]).unwrap();
+        assert_eq!(g.m(), 3);
+        assert_eq!(g.volume(), 6);
+        assert!(g.is_regular());
+        for v in 0..3 {
+            assert_eq!(g.degree(v), 2);
+        }
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (0, 2), (1, 2)]);
+    }
+
+    #[test]
+    fn duplicate_edges_merged() {
+        let g = Graph::from_edges(2, &[(0, 1), (1, 0), (0, 1)]).unwrap();
+        assert_eq!(g.m(), 1);
+        assert_eq!(g.degree(0), 1);
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        assert!(matches!(
+            Graph::from_edges(2, &[(1, 1)]),
+            Err(GraphError::SelfLoop { node: 1 })
+        ));
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        assert!(matches!(
+            Graph::from_edges(2, &[(0, 5)]),
+            Err(GraphError::NodeOutOfRange { node: 5, n: 2 })
+        ));
+    }
+
+    #[test]
+    fn neighbors_sorted() {
+        let g = Graph::from_edges(5, &[(2, 4), (2, 0), (2, 3), (2, 1)]).unwrap();
+        assert_eq!(g.neighbors(2), &[0, 1, 3, 4]);
+        assert_eq!(g.degree(2), 4);
+    }
+
+    #[test]
+    fn has_edge_both_directions() {
+        let g = Graph::from_edges(3, &[(0, 2)]).unwrap();
+        assert!(g.has_edge(0, 2));
+        assert!(g.has_edge(2, 0));
+        assert!(!g.has_edge(0, 1));
+        assert!(!g.has_edge(0, 99));
+    }
+
+    #[test]
+    fn builder_remove_edge() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1).unwrap();
+        b.add_edge(1, 2).unwrap();
+        assert!(b.remove_edge(1, 0));
+        assert!(!b.remove_edge(1, 0));
+        let g = b.build();
+        assert_eq!(g.m(), 1);
+        assert!(g.has_edge(1, 2));
+    }
+
+    #[test]
+    fn degrees_and_means() {
+        // Path 0-1-2-3.
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        assert_eq!(g.min_degree(), 1);
+        assert_eq!(g.max_degree(), 2);
+        assert!((g.avg_degree() - 1.5).abs() < 1e-12);
+        assert!(!g.is_regular());
+    }
+
+    #[test]
+    fn edges_iterator_covers_all_once() {
+        let edge_list = [(0, 3), (1, 3), (2, 3), (0, 1)];
+        let g = Graph::from_edges(4, &edge_list).unwrap();
+        let mut seen: Vec<_> = g.edges().collect();
+        seen.sort_unstable();
+        let mut expected: Vec<(NodeId, NodeId)> = vec![(0, 1), (0, 3), (1, 3), (2, 3)];
+        expected.sort_unstable();
+        assert_eq!(seen, expected);
+    }
+}

@@ -1,0 +1,255 @@
+use crate::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// A fixed-universe bitset over node ids `0..n`.
+///
+/// Represents informed sets and cut sides with O(1) membership tests,
+/// O(1) amortized insertion, and word-at-a-time iteration. The simulators
+/// query membership on every contact, so this type is deliberately minimal.
+///
+/// # Example
+///
+/// ```
+/// use gossip_graph::NodeSet;
+///
+/// let mut s = NodeSet::new(10);
+/// s.insert(3);
+/// s.insert(7);
+/// assert!(s.contains(3));
+/// assert_eq!(s.len(), 2);
+/// assert_eq!(s.iter().collect::<Vec<_>>(), vec![3, 7]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeSet {
+    words: Vec<u64>,
+    universe: usize,
+    len: usize,
+}
+
+impl NodeSet {
+    /// Creates an empty set over the universe `0..n`.
+    pub fn new(n: usize) -> Self {
+        NodeSet { words: vec![0; n.div_ceil(64)], universe: n, len: 0 }
+    }
+
+    /// Creates a set containing every node of the universe `0..n`.
+    pub fn full(n: usize) -> Self {
+        let mut s = NodeSet::new(n);
+        for v in 0..n {
+            s.insert(v as NodeId);
+        }
+        s
+    }
+
+    /// Size of the universe this set ranges over.
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the set has no members.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether the set contains every node of its universe.
+    pub fn is_full(&self) -> bool {
+        self.len == self.universe
+    }
+
+    /// Membership test.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is outside the universe.
+    pub fn contains(&self, v: NodeId) -> bool {
+        let v = v as usize;
+        assert!(v < self.universe, "node {v} outside universe {}", self.universe);
+        self.words[v / 64] >> (v % 64) & 1 == 1
+    }
+
+    /// Inserts `v`; returns `true` if it was newly added.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is outside the universe.
+    pub fn insert(&mut self, v: NodeId) -> bool {
+        let vu = v as usize;
+        assert!(vu < self.universe, "node {vu} outside universe {}", self.universe);
+        let mask = 1u64 << (vu % 64);
+        let word = &mut self.words[vu / 64];
+        if *word & mask == 0 {
+            *word |= mask;
+            self.len += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes `v`; returns `true` if it was present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is outside the universe.
+    pub fn remove(&mut self, v: NodeId) -> bool {
+        let vu = v as usize;
+        assert!(vu < self.universe, "node {vu} outside universe {}", self.universe);
+        let mask = 1u64 << (vu % 64);
+        let word = &mut self.words[vu / 64];
+        if *word & mask != 0 {
+            *word &= !mask;
+            self.len -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes every member.
+    pub fn clear(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+        self.len = 0;
+    }
+
+    /// Iterates members in increasing order.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter { set: self, word_idx: 0, current: self.words.first().copied().unwrap_or(0) }
+    }
+
+    /// Iterates the complement (non-members) in increasing order.
+    pub fn iter_complement(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.universe as NodeId).filter(move |&v| !self.contains(v))
+    }
+
+    /// Collects members into a vector.
+    pub fn to_vec(&self) -> Vec<NodeId> {
+        self.iter().collect()
+    }
+}
+
+impl FromIterator<NodeId> for NodeSet {
+    /// Builds a set whose universe is one past the largest element (or 0).
+    fn from_iter<T: IntoIterator<Item = NodeId>>(iter: T) -> Self {
+        let items: Vec<NodeId> = iter.into_iter().collect();
+        let universe = items.iter().map(|&v| v as usize + 1).max().unwrap_or(0);
+        let mut s = NodeSet::new(universe);
+        for v in items {
+            s.insert(v);
+        }
+        s
+    }
+}
+
+/// Iterator over members of a [`NodeSet`], produced by [`NodeSet::iter`].
+#[derive(Debug, Clone)]
+pub struct Iter<'a> {
+    set: &'a NodeSet,
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                return Some((self.word_idx * 64 + bit) as NodeId);
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.set.words.len() {
+                return None;
+            }
+            self.current = self.set.words[self.word_idx];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_membership() {
+        let mut s = NodeSet::new(100);
+        assert!(s.is_empty());
+        assert!(s.insert(0));
+        assert!(s.insert(63));
+        assert!(s.insert(64));
+        assert!(s.insert(99));
+        assert!(!s.insert(0));
+        assert_eq!(s.len(), 4);
+        assert!(s.contains(63) && s.contains(64));
+        assert!(!s.contains(1));
+    }
+
+    #[test]
+    fn remove_and_clear() {
+        let mut s = NodeSet::new(10);
+        s.insert(5);
+        assert!(s.remove(5));
+        assert!(!s.remove(5));
+        assert!(s.is_empty());
+        s.insert(1);
+        s.insert(2);
+        s.clear();
+        assert_eq!(s.len(), 0);
+        assert!(!s.contains(1));
+    }
+
+    #[test]
+    fn full_set() {
+        let s = NodeSet::full(130);
+        assert!(s.is_full());
+        assert_eq!(s.len(), 130);
+        assert_eq!(s.iter().count(), 130);
+        assert_eq!(s.iter_complement().count(), 0);
+    }
+
+    #[test]
+    fn iteration_order() {
+        let mut s = NodeSet::new(200);
+        for v in [150u32, 3, 64, 127, 128] {
+            s.insert(v);
+        }
+        assert_eq!(s.to_vec(), vec![3, 64, 127, 128, 150]);
+    }
+
+    #[test]
+    fn complement_iteration() {
+        let mut s = NodeSet::new(6);
+        s.insert(0);
+        s.insert(2);
+        s.insert(4);
+        let comp: Vec<_> = s.iter_complement().collect();
+        assert_eq!(comp, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn from_iterator() {
+        let s: NodeSet = [5u32, 1, 3].into_iter().collect();
+        assert_eq!(s.universe(), 6);
+        assert_eq!(s.to_vec(), vec![1, 3, 5]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn contains_out_of_universe_panics() {
+        NodeSet::new(4).contains(4);
+    }
+
+    #[test]
+    fn empty_universe() {
+        let s = NodeSet::new(0);
+        assert!(s.is_empty());
+        assert!(s.is_full());
+        assert_eq!(s.iter().count(), 0);
+    }
+}

@@ -1,0 +1,243 @@
+//! Spectral conductance estimation for graphs too large to enumerate.
+//!
+//! Cheeger's inequality bounds conductance by the second-smallest eigenvalue
+//! `λ₂` of the normalized Laplacian: `λ₂/2 ≤ Φ(G) ≤ sqrt(2·λ₂)`. This module
+//! computes `λ₂` by deflated power iteration on the normalized adjacency
+//! operator — pure Rust, no linear-algebra dependency — and derives sweep-cut
+//! upper bounds from the Fiedler ordering.
+//!
+//! The reproduction uses these estimates only as *cross-checks*: the bound
+//! calculators consume exact small-graph values or the paper's closed forms
+//! (Observation 4.1) for the adversarial families.
+
+use crate::{connectivity, Graph, GraphError, NodeId};
+
+/// Result of a spectral analysis of a connected graph.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpectralBounds {
+    /// Second-smallest eigenvalue of the normalized Laplacian.
+    pub lambda2: f64,
+    /// Cheeger lower bound `λ₂ / 2 ≤ Φ`.
+    pub conductance_lower: f64,
+    /// Cheeger upper bound `Φ ≤ sqrt(2 λ₂)`.
+    pub conductance_upper: f64,
+}
+
+/// Estimates `λ₂` of the normalized Laplacian by deflated power iteration
+/// and returns the Cheeger bounds on conductance.
+///
+/// # Errors
+///
+/// [`GraphError::EmptyGraph`] when the graph has no edges;
+/// [`GraphError::InvalidParameter`] when it is disconnected (λ₂ = 0 exactly;
+/// callers should treat Φ as 0) or has an isolated node.
+///
+/// # Example
+///
+/// ```
+/// use gossip_graph::{generators, spectral, conductance};
+///
+/// let g = generators::complete(12).unwrap();
+/// let bounds = spectral::spectral_bounds(&g, 2000).unwrap();
+/// let phi = conductance::exact_conductance(&g).unwrap();
+/// assert!(bounds.conductance_lower <= phi + 1e-6);
+/// assert!(phi <= bounds.conductance_upper + 1e-6);
+/// ```
+pub fn spectral_bounds(g: &Graph, iterations: usize) -> Result<SpectralBounds, GraphError> {
+    let lambda2 = normalized_lambda2(g, iterations)?;
+    Ok(SpectralBounds {
+        lambda2,
+        conductance_lower: lambda2 / 2.0,
+        conductance_upper: (2.0 * lambda2).sqrt(),
+    })
+}
+
+/// Second-smallest eigenvalue of the normalized Laplacian
+/// `L = I − D^{-1/2} A D^{-1/2}`.
+///
+/// # Errors
+///
+/// See [`spectral_bounds`].
+pub fn normalized_lambda2(g: &Graph, iterations: usize) -> Result<f64, GraphError> {
+    let (_, mu2) = second_adjacency_eigenpair(g, iterations)?;
+    Ok((1.0 - mu2).max(0.0))
+}
+
+/// Orders nodes by their Fiedler-vector coordinate (`D^{-1/2}`-scaled second
+/// eigenvector); feeding this into
+/// [`crate::conductance::sweep_conductance`] yields the classic spectral
+/// partitioning upper bound on `Φ`.
+///
+/// # Errors
+///
+/// See [`spectral_bounds`].
+pub fn fiedler_ordering(g: &Graph, iterations: usize) -> Result<Vec<NodeId>, GraphError> {
+    let (vec2, _) = second_adjacency_eigenpair(g, iterations)?;
+    let mut order: Vec<NodeId> = (0..g.n() as NodeId).collect();
+    // Scale by D^{-1/2} to go from the symmetric operator's eigenvector to
+    // the random-walk embedding.
+    let coord = |v: NodeId| vec2[v as usize] / (g.degree(v) as f64).sqrt();
+    order.sort_by(|&a, &b| coord(a).partial_cmp(&coord(b)).expect("NaN fiedler coordinate"));
+    Ok(order)
+}
+
+/// Computes the second eigenpair `(v₂, μ₂)` of the normalized adjacency
+/// `M = D^{-1/2} A D^{-1/2}` (whose top eigenpair is
+/// `(D^{1/2} 1, 1)` for connected graphs).
+fn second_adjacency_eigenpair(
+    g: &Graph,
+    iterations: usize,
+) -> Result<(Vec<f64>, f64), GraphError> {
+    let n = g.n();
+    if g.is_empty_graph() || n < 2 {
+        return Err(GraphError::EmptyGraph);
+    }
+    if g.min_degree() == 0 || !connectivity::is_connected(g) {
+        return Err(GraphError::InvalidParameter(
+            "spectral bounds require a connected graph with no isolated nodes".into(),
+        ));
+    }
+    let sqrt_deg: Vec<f64> = (0..n).map(|v| (g.degree(v as NodeId) as f64).sqrt()).collect();
+    // Top eigenvector of M, normalized.
+    let norm1: f64 = sqrt_deg.iter().map(|x| x * x).sum::<f64>().sqrt();
+    let v1: Vec<f64> = sqrt_deg.iter().map(|x| x / norm1).collect();
+
+    // Deterministic pseudo-random start vector (no RNG dependency needed).
+    let mut x: Vec<f64> = (0..n)
+        .map(|i| {
+            let h = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 33;
+            (h as f64 / (1u64 << 31) as f64) - 0.5
+        })
+        .collect();
+    deflate(&mut x, &v1);
+    normalize(&mut x);
+
+    let mut y = vec![0.0; n];
+    let mut mu_shifted = 0.0;
+    for _ in 0..iterations.max(8) {
+        // y = (M + I)/2 · x, keeping the spectrum in [0, 1] so the dominant
+        // remaining eigenvalue is (μ₂+1)/2 even for bipartite graphs.
+        for v in 0..n {
+            let mut acc = 0.0;
+            for &u in g.neighbors(v as NodeId) {
+                acc += x[u as usize] / (sqrt_deg[v] * sqrt_deg[u as usize]);
+            }
+            y[v] = 0.5 * (acc + x[v]);
+        }
+        deflate(&mut y, &v1);
+        mu_shifted = norm(&y);
+        if mu_shifted < 1e-300 {
+            // x was (numerically) entirely in the top eigenspace: λ2 ≈ large.
+            return Ok((x, 0.0));
+        }
+        for v in 0..n {
+            x[v] = y[v] / mu_shifted;
+        }
+    }
+    let mu2 = 2.0 * mu_shifted - 1.0;
+    Ok((x, mu2.clamp(-1.0, 1.0)))
+}
+
+fn deflate(x: &mut [f64], v1: &[f64]) {
+    let proj: f64 = x.iter().zip(v1).map(|(a, b)| a * b).sum();
+    for (xi, v1i) in x.iter_mut().zip(v1) {
+        *xi -= proj * v1i;
+    }
+}
+
+fn norm(x: &[f64]) -> f64 {
+    x.iter().map(|a| a * a).sum::<f64>().sqrt()
+}
+
+fn normalize(x: &mut [f64]) {
+    let nm = norm(x);
+    if nm > 0.0 {
+        x.iter_mut().for_each(|a| *a /= nm);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conductance::{exact_conductance, sweep_conductance};
+    use crate::generators;
+
+    #[test]
+    fn complete_graph_lambda2() {
+        // Normalized Laplacian of K_n has λ₂ = n/(n-1).
+        for n in [4usize, 8, 16] {
+            let g = generators::complete(n).unwrap();
+            let l2 = normalized_lambda2(&g, 4000).unwrap();
+            let expected = n as f64 / (n - 1) as f64;
+            assert!((l2 - expected).abs() < 1e-3, "n={n}: {l2} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn cycle_lambda2() {
+        // Normalized Laplacian of C_n has λ₂ = 1 − cos(2π/n).
+        for n in [6usize, 12, 24] {
+            let g = generators::cycle(n).unwrap();
+            let l2 = normalized_lambda2(&g, 20_000).unwrap();
+            let expected = 1.0 - (2.0 * std::f64::consts::PI / n as f64).cos();
+            assert!((l2 - expected).abs() < 1e-3, "n={n}: {l2} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn cheeger_bounds_sandwich_exact_phi() {
+        for g in [
+            generators::complete(10).unwrap(),
+            generators::cycle(10).unwrap(),
+            generators::barbell(5).unwrap(),
+            generators::star(9).unwrap(),
+            generators::complete_bipartite(4, 5).unwrap(),
+        ] {
+            let phi = exact_conductance(&g).unwrap();
+            let b = spectral_bounds(&g, 20_000).unwrap();
+            assert!(
+                b.conductance_lower <= phi + 1e-4,
+                "lower {l} > phi {phi}",
+                l = b.conductance_lower
+            );
+            assert!(
+                phi <= b.conductance_upper + 1e-4,
+                "phi {phi} > upper {u}",
+                u = b.conductance_upper
+            );
+        }
+    }
+
+    #[test]
+    fn bipartite_handled_despite_negative_spectrum() {
+        // K_{a,b} has eigenvalue −1; the shifted iteration must not lock
+        // onto it.
+        let g = generators::complete_bipartite(5, 5).unwrap();
+        let l2 = normalized_lambda2(&g, 20_000).unwrap();
+        // λ₂(K_{n,n}) = 1.
+        assert!((l2 - 1.0).abs() < 1e-3, "λ₂ = {l2}");
+    }
+
+    #[test]
+    fn fiedler_sweep_finds_barbell_bottleneck() {
+        let g = generators::barbell(6).unwrap();
+        let order = fiedler_ordering(&g, 20_000).unwrap();
+        let sweep = sweep_conductance(&g, &order).unwrap();
+        let exact = exact_conductance(&g).unwrap();
+        // The Fiedler sweep should find the bridge cut exactly here.
+        assert!((sweep - exact).abs() < 1e-9, "sweep {sweep} vs exact {exact}");
+    }
+
+    #[test]
+    fn disconnected_rejected() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        assert!(spectral_bounds(&g, 100).is_err());
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert!(spectral_bounds(&Graph::empty(3), 100).is_err());
+    }
+
+    use crate::Graph;
+}

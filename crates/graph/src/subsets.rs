@@ -1,0 +1,170 @@
+//! Exhaustive cut enumeration for the exact graph measures.
+//!
+//! Conductance and diligence are minima over exponentially many cuts; for
+//! graphs up to [`crate::EXACT_ENUMERATION_LIMIT`] nodes this module visits
+//! every unordered partition `{S, S̄}` exactly once and hands the visitor
+//! the cut's side sizes, volumes, and crossing edges. Both exact measures
+//! and several tests are built on it, so its own correctness is tested
+//! against independent brute-force counts.
+
+use crate::{Graph, GraphError, NodeId, EXACT_ENUMERATION_LIMIT};
+
+/// A view of one cut `{S, S̄}` during enumeration.
+///
+/// `S` is the side *not* containing the highest-numbered node, so each
+/// unordered partition is visited exactly once.
+#[derive(Debug)]
+pub struct CutView<'a> {
+    /// Bitmask of `S`: bit `v` set means node `v ∈ S`.
+    pub mask: u64,
+    /// `|S|`.
+    pub size_s: usize,
+    /// `vol(S) = Σ_{v∈S} d_v`.
+    pub vol_s: usize,
+    /// `vol(S̄)`.
+    pub vol_comp: usize,
+    /// The edges crossing the cut, as stored in the graph (`u < v`).
+    pub cut_edges: &'a [(NodeId, NodeId)],
+}
+
+impl CutView<'_> {
+    /// Whether node `v` lies in `S`.
+    pub fn in_s(&self, v: NodeId) -> bool {
+        self.mask >> v & 1 == 1
+    }
+
+    /// `min(vol(S), vol(S̄))`.
+    pub fn min_vol(&self) -> usize {
+        self.vol_s.min(self.vol_comp)
+    }
+
+    /// Size of the smaller-volume side (`|S|` if `vol(S) ≤ vol(S̄)`, else
+    /// `n − |S|`).
+    pub fn smaller_side_size(&self, n: usize) -> usize {
+        if self.vol_s <= self.vol_comp {
+            self.size_s
+        } else {
+            n - self.size_s
+        }
+    }
+}
+
+/// Visits every unordered nonempty proper cut `{S, S̄}` of `g` exactly once.
+///
+/// The visitor receives a [`CutView`] whose `cut_edges` buffer is reused
+/// between calls.
+///
+/// # Errors
+///
+/// Returns [`GraphError::TooLargeForExact`] when `g.n()` exceeds
+/// [`EXACT_ENUMERATION_LIMIT`] and [`GraphError::EmptyGraph`] when `g` has
+/// fewer than two nodes (no proper cuts exist).
+pub fn for_each_cut<F: FnMut(&CutView<'_>)>(g: &Graph, mut visit: F) -> Result<(), GraphError> {
+    let n = g.n();
+    if n > EXACT_ENUMERATION_LIMIT {
+        return Err(GraphError::TooLargeForExact { n, limit: EXACT_ENUMERATION_LIMIT });
+    }
+    if n < 2 {
+        return Err(GraphError::EmptyGraph);
+    }
+    let edges: Vec<(NodeId, NodeId)> = g.edges().collect();
+    let degrees: Vec<usize> = (0..n).map(|v| g.degree(v as NodeId)).collect();
+    let total_vol: usize = degrees.iter().sum();
+    let mut cut_edges: Vec<(NodeId, NodeId)> = Vec::with_capacity(edges.len());
+
+    // Node n-1 stays in the complement: masks range over subsets of 0..n-1.
+    let limit: u64 = 1u64 << (n - 1);
+    for mask in 1..limit {
+        cut_edges.clear();
+        for &(u, v) in &edges {
+            if (mask >> u & 1) != (mask >> v & 1) {
+                cut_edges.push((u, v));
+            }
+        }
+        let mut vol_s = 0usize;
+        let mut m = mask;
+        while m != 0 {
+            let v = m.trailing_zeros() as usize;
+            vol_s += degrees[v];
+            m &= m - 1;
+        }
+        let view = CutView {
+            mask,
+            size_s: mask.count_ones() as usize,
+            vol_s,
+            vol_comp: total_vol - vol_s,
+            cut_edges: &cut_edges,
+        };
+        visit(&view);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn cut_count_is_2_pow_n_minus_1_minus_1() {
+        let g = generators::complete(5).unwrap();
+        let mut count = 0usize;
+        for_each_cut(&g, |_| count += 1).unwrap();
+        assert_eq!(count, (1 << 4) - 1);
+    }
+
+    #[test]
+    fn volumes_always_sum_to_total() {
+        let g = generators::path(6).unwrap();
+        let total = g.volume();
+        for_each_cut(&g, |c| {
+            assert_eq!(c.vol_s + c.vol_comp, total);
+            assert!(c.size_s >= 1 && c.size_s < 6);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn cut_edges_match_manual_count_on_triangle() {
+        let g = generators::complete(3).unwrap();
+        // Every proper cut of K3 has exactly 2 crossing edges.
+        for_each_cut(&g, |c| assert_eq!(c.cut_edges.len(), 2)).unwrap();
+    }
+
+    #[test]
+    fn in_s_consistent_with_mask() {
+        let g = generators::cycle(4).unwrap();
+        for_each_cut(&g, |c| {
+            let members = (0..4u32).filter(|&v| c.in_s(v)).count();
+            assert_eq!(members, c.size_s);
+            // Highest node always outside S.
+            assert!(!c.in_s(3));
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn rejects_large_and_tiny() {
+        let big = crate::Graph::empty(EXACT_ENUMERATION_LIMIT + 1);
+        assert!(matches!(
+            for_each_cut(&big, |_| {}),
+            Err(GraphError::TooLargeForExact { .. })
+        ));
+        let tiny = crate::Graph::empty(1);
+        assert!(matches!(for_each_cut(&tiny, |_| {}), Err(GraphError::EmptyGraph)));
+    }
+
+    #[test]
+    fn smaller_side_size_reflects_volumes() {
+        // Star: center has degree n-1, each leaf 1.
+        let g = generators::star(5).unwrap();
+        for_each_cut(&g, |c| {
+            let small = c.smaller_side_size(5);
+            assert!(small >= 1);
+            if c.vol_s <= c.vol_comp {
+                assert_eq!(small, c.size_s);
+            }
+        })
+        .unwrap();
+    }
+}

@@ -1,0 +1,270 @@
+use crate::{Protocol, SimError};
+use gossip_dynamics::DynamicNetwork;
+use gossip_graph::{NodeId, NodeSet};
+use gossip_stats::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a single simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RunConfig {
+    /// Hard time cutoff: the run aborts (incomplete) when the next window
+    /// would start at or beyond this time. Guards against dynamic networks
+    /// whose accumulated bound never reaches the target (e.g. disconnected
+    /// forever).
+    pub max_time: f64,
+    /// Record the informed-count trajectory at every window start.
+    pub record_trajectory: bool,
+}
+
+impl Default for RunConfig {
+    /// One million time units, no trajectory.
+    fn default() -> Self {
+        RunConfig { max_time: 1e6, record_trajectory: false }
+    }
+}
+
+impl RunConfig {
+    /// Config with a custom cutoff.
+    pub fn with_max_time(max_time: f64) -> Self {
+        RunConfig { max_time, ..Default::default() }
+    }
+
+    /// Enables trajectory recording.
+    pub fn recording(mut self) -> Self {
+        self.record_trajectory = true;
+        self
+    }
+}
+
+/// The result of one simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpreadOutcome {
+    spread_time: Option<f64>,
+    windows: u64,
+    n: usize,
+    informed: NodeSet,
+    trajectory: Vec<(f64, usize)>,
+}
+
+impl SpreadOutcome {
+    /// The absolute time at which the last node was informed, or `None`
+    /// when the cutoff was reached first.
+    pub fn spread_time(&self) -> Option<f64> {
+        self.spread_time
+    }
+
+    /// Whether every node was informed before the cutoff.
+    pub fn complete(&self) -> bool {
+        self.spread_time.is_some()
+    }
+
+    /// Number of unit windows the run advanced through.
+    pub fn windows(&self) -> u64 {
+        self.windows
+    }
+
+    /// Network size.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of informed nodes at the end of the run.
+    pub fn informed_count(&self) -> usize {
+        self.informed.len()
+    }
+
+    /// The final informed set.
+    pub fn informed(&self) -> &NodeSet {
+        &self.informed
+    }
+
+    /// `(time, informed count)` samples taken at each window start (plus
+    /// the completion point), when recording was enabled.
+    pub fn trajectory(&self) -> &[(f64, usize)] {
+        &self.trajectory
+    }
+}
+
+/// Drives a [`Protocol`] over a [`DynamicNetwork`] window by window.
+///
+/// # Example
+///
+/// ```
+/// use gossip_dynamics::StaticNetwork;
+/// use gossip_graph::generators;
+/// use gossip_sim::{RunConfig, Simulation, SyncPushPull};
+/// use gossip_stats::SimRng;
+///
+/// let mut net = StaticNetwork::new(generators::star(16).unwrap());
+/// let mut rng = SimRng::seed_from_u64(2);
+/// let outcome = Simulation::new(SyncPushPull::new(), RunConfig::default())
+///     .run(&mut net, 0, &mut rng)
+///     .unwrap();
+/// assert!(outcome.complete());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Simulation<P> {
+    protocol: P,
+    config: RunConfig,
+}
+
+impl<P: Protocol> Simulation<P> {
+    /// Creates an engine from a protocol and a run configuration.
+    pub fn new(protocol: P, config: RunConfig) -> Self {
+        Simulation { protocol, config }
+    }
+
+    /// Access to the wrapped protocol.
+    pub fn protocol(&self) -> &P {
+        &self.protocol
+    }
+
+    /// Runs the protocol from `start` until every node is informed or the
+    /// cutoff hits. The network is [`DynamicNetwork::reset`] first, so the
+    /// same network value can be reused across trials.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::EmptyNetwork`], [`SimError::StartOutOfRange`], or
+    /// [`SimError::InvalidTimeLimit`] on invalid inputs.
+    pub fn run<N: DynamicNetwork>(
+        &mut self,
+        net: &mut N,
+        start: NodeId,
+        rng: &mut SimRng,
+    ) -> Result<SpreadOutcome, SimError> {
+        let n = net.n();
+        if n == 0 {
+            return Err(SimError::EmptyNetwork);
+        }
+        if start as usize >= n {
+            return Err(SimError::StartOutOfRange { start, n });
+        }
+        // Negated form deliberately rejects NaN cutoffs too.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        if !(self.config.max_time > 0.0) {
+            return Err(SimError::InvalidTimeLimit(self.config.max_time));
+        }
+
+        net.reset();
+        self.protocol.begin(n);
+        let mut informed = NodeSet::new(n);
+        informed.insert(start);
+        let mut trajectory = Vec::new();
+
+        if informed.is_full() {
+            // Single-node network: informed at time 0.
+            return Ok(SpreadOutcome {
+                spread_time: Some(0.0),
+                windows: 0,
+                n,
+                informed,
+                trajectory,
+            });
+        }
+
+        let mut t: u64 = 0;
+        loop {
+            let g = net.topology(t, &informed, rng);
+            if self.config.record_trajectory {
+                trajectory.push((t as f64, informed.len()));
+            }
+            if let Some(tau) = self.protocol.advance_window(g, t, &mut informed, rng) {
+                debug_assert!(informed.is_full(), "protocol reported completion early");
+                if self.config.record_trajectory {
+                    trajectory.push((tau, informed.len()));
+                }
+                return Ok(SpreadOutcome {
+                    spread_time: Some(tau),
+                    windows: t + 1,
+                    n,
+                    informed,
+                    trajectory,
+                });
+            }
+            t += 1;
+            if t as f64 >= self.config.max_time {
+                return Ok(SpreadOutcome { spread_time: None, windows: t, n, informed, trajectory });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AsyncPushPull, SyncPushPull};
+    use gossip_dynamics::StaticNetwork;
+    use gossip_graph::generators;
+
+    #[test]
+    fn completes_on_complete_graph() {
+        let mut net = StaticNetwork::new(generators::complete(16).unwrap());
+        let mut rng = SimRng::seed_from_u64(1);
+        let outcome = Simulation::new(AsyncPushPull::new(), RunConfig::default())
+            .run(&mut net, 3, &mut rng)
+            .unwrap();
+        assert!(outcome.complete());
+        assert_eq!(outcome.informed_count(), 16);
+        assert!(outcome.spread_time().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn cutoff_on_disconnected() {
+        let g = gossip_graph::Graph::from_edges(4, &[(0, 1)]).unwrap();
+        let mut net = StaticNetwork::new(g);
+        let mut rng = SimRng::seed_from_u64(2);
+        let outcome = Simulation::new(AsyncPushPull::new(), RunConfig::with_max_time(20.0))
+            .run(&mut net, 0, &mut rng)
+            .unwrap();
+        assert!(!outcome.complete());
+        assert_eq!(outcome.windows(), 20);
+        assert!(outcome.informed_count() <= 2);
+    }
+
+    #[test]
+    fn start_validation() {
+        let mut net = StaticNetwork::new(generators::path(3).unwrap());
+        let mut rng = SimRng::seed_from_u64(3);
+        let err = Simulation::new(AsyncPushPull::new(), RunConfig::default())
+            .run(&mut net, 3, &mut rng)
+            .unwrap_err();
+        assert_eq!(err, SimError::StartOutOfRange { start: 3, n: 3 });
+    }
+
+    #[test]
+    fn invalid_time_limit() {
+        let mut net = StaticNetwork::new(generators::path(3).unwrap());
+        let mut rng = SimRng::seed_from_u64(4);
+        let err = Simulation::new(AsyncPushPull::new(), RunConfig::with_max_time(0.0))
+            .run(&mut net, 0, &mut rng)
+            .unwrap_err();
+        assert_eq!(err, SimError::InvalidTimeLimit(0.0));
+    }
+
+    #[test]
+    fn trajectory_recorded_and_monotone() {
+        let mut net = StaticNetwork::new(generators::cycle(24).unwrap());
+        let mut rng = SimRng::seed_from_u64(5);
+        let outcome = Simulation::new(SyncPushPull::new(), RunConfig::default().recording())
+            .run(&mut net, 0, &mut rng)
+            .unwrap();
+        let traj = outcome.trajectory();
+        assert!(traj.len() >= 2);
+        for w in traj.windows(2) {
+            assert!(w[0].0 <= w[1].0, "time not monotone");
+            assert!(w[0].1 <= w[1].1, "informed count not monotone");
+        }
+        assert_eq!(traj.last().unwrap().1, 24);
+    }
+
+    #[test]
+    fn rerun_resets_network_and_protocol() {
+        let mut net = StaticNetwork::new(generators::complete(8).unwrap());
+        let mut rng = SimRng::seed_from_u64(6);
+        let mut sim = Simulation::new(AsyncPushPull::new(), RunConfig::default());
+        let o1 = sim.run(&mut net, 0, &mut rng).unwrap();
+        let o2 = sim.run(&mut net, 0, &mut rng).unwrap();
+        assert!(o1.complete() && o2.complete());
+    }
+}

@@ -1,0 +1,120 @@
+//! Synchronous flooding (related work \[3, 8, 9\]).
+//!
+//! In every round each informed node sends the rumor to *all* neighbors —
+//! the fastest synchronous dissemination primitive and a useful baseline:
+//! its spread time equals the dynamic diameter of the network.
+
+use crate::Protocol;
+use gossip_graph::{Graph, NodeSet};
+use gossip_stats::SimRng;
+
+/// Flooding: informed nodes inform their whole neighborhood each round.
+///
+/// # Example
+///
+/// ```
+/// use gossip_dynamics::StaticNetwork;
+/// use gossip_graph::generators;
+/// use gossip_sim::{Flooding, RunConfig, Simulation};
+/// use gossip_stats::SimRng;
+///
+/// // Flooding on a path completes in exactly (diameter from start) rounds.
+/// let mut net = StaticNetwork::new(generators::path(6).unwrap());
+/// let mut rng = SimRng::seed_from_u64(0);
+/// let outcome = Simulation::new(Flooding::new(), RunConfig::default())
+///     .run(&mut net, 0, &mut rng)
+///     .unwrap();
+/// assert_eq!(outcome.spread_time(), Some(5.0));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Flooding {
+    frontier: Vec<u32>,
+}
+
+impl Flooding {
+    /// Creates the protocol.
+    pub fn new() -> Self {
+        Flooding::default()
+    }
+}
+
+impl Protocol for Flooding {
+    fn name(&self) -> &'static str {
+        "flooding"
+    }
+
+    fn begin(&mut self, n: usize) {
+        self.frontier = Vec::with_capacity(n);
+    }
+
+    fn advance_window(
+        &mut self,
+        g: &Graph,
+        t: u64,
+        informed: &mut NodeSet,
+        _rng: &mut SimRng,
+    ) -> Option<f64> {
+        self.frontier.clear();
+        for u in informed.iter() {
+            for &v in g.neighbors(u) {
+                if !informed.contains(v) {
+                    self.frontier.push(v);
+                }
+            }
+        }
+        for &v in &self.frontier {
+            informed.insert(v);
+        }
+        if informed.is_full() {
+            Some((t + 1) as f64)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{RunConfig, Simulation};
+    use gossip_dynamics::StaticNetwork;
+    use gossip_graph::generators;
+
+    #[test]
+    fn flooding_time_is_eccentricity() {
+        // From the center of a star: 1 round. From a leaf: 2 rounds.
+        let mut rng = SimRng::seed_from_u64(1);
+        let mut net = StaticNetwork::new(generators::star(8).unwrap());
+        let o = Simulation::new(Flooding::new(), RunConfig::default())
+            .run(&mut net, 0, &mut rng)
+            .unwrap();
+        assert_eq!(o.spread_time(), Some(1.0));
+        let o = Simulation::new(Flooding::new(), RunConfig::default())
+            .run(&mut net, 1, &mut rng)
+            .unwrap();
+        assert_eq!(o.spread_time(), Some(2.0));
+    }
+
+    #[test]
+    fn flooding_cycle() {
+        // n-cycle from any node: ceil((n-1)/2)... eccentricity = floor(n/2).
+        let mut rng = SimRng::seed_from_u64(2);
+        let mut net = StaticNetwork::new(generators::cycle(9).unwrap());
+        let o = Simulation::new(Flooding::new(), RunConfig::default())
+            .run(&mut net, 0, &mut rng)
+            .unwrap();
+        assert_eq!(o.spread_time(), Some(4.0));
+    }
+
+    #[test]
+    fn flooding_stalls_on_disconnected() {
+        let g = gossip_graph::Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        let mut net = StaticNetwork::new(g);
+        let mut rng = SimRng::seed_from_u64(3);
+        let o = Simulation::new(Flooding::new(), RunConfig::with_max_time(10.0))
+            .run(&mut net, 0, &mut rng)
+            .unwrap();
+        assert!(!o.complete());
+        assert_eq!(o.informed_count(), 2);
+    }
+}

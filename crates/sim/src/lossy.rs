@@ -1,0 +1,299 @@
+//! Fault-injected asynchronous push–pull.
+//!
+//! The epidemic-algorithm literature the paper builds on (Demers et al.
+//! \[11\], Feige et al. \[14\]) motivates randomized rumor spreading precisely
+//! by its robustness to message loss and transient node failures. This
+//! module makes those faults first-class so the robustness claims can be
+//! *measured* rather than asserted:
+//!
+//! * **message loss** — every contact is independently dropped with
+//!   probability `loss` before any exchange happens;
+//! * **transient downtime** — at each window boundary every node is
+//!   independently down for that whole window with probability
+//!   `downtime`; a down node's clock does not tick and contacts *to* it
+//!   fail (it neither pushes, pulls, nor answers).
+//!
+//! # Exact thinning identity
+//!
+//! With `downtime = 0`, dropping each contact independently with
+//! probability `loss` thins every contact Poisson process by a factor
+//! `1 − loss`, which is distributionally identical to running the
+//! *lossless* process on a slowed clock: `T_lossy ~ T_lossless/(1−loss)`.
+//! The X4 experiment and this module's tests check exactly this — the
+//! measured mean spread time times `1 − loss` is constant across `loss`.
+//! Per-window downtime has no such identity (failures are correlated
+//! across a whole window), and the measured penalty grows faster; that
+//! contrast is the experiment's point.
+
+use crate::{Protocol, SimError};
+use gossip_graph::{Graph, NodeSet};
+use gossip_stats::{Exponential, SimRng};
+
+/// Asynchronous push–pull under message loss and transient node downtime.
+///
+/// # Example
+///
+/// ```
+/// use gossip_dynamics::StaticNetwork;
+/// use gossip_graph::generators;
+/// use gossip_sim::{LossyAsync, RunConfig, Simulation};
+/// use gossip_stats::SimRng;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut net = StaticNetwork::new(generators::complete(32)?);
+/// let mut rng = SimRng::seed_from_u64(3);
+/// let proto = LossyAsync::new(0.3)?; // 30% of contacts dropped
+/// let outcome = Simulation::new(proto, RunConfig::default())
+///     .run(&mut net, 0, &mut rng)?;
+/// assert!(outcome.complete());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct LossyAsync {
+    loss: f64,
+    downtime: f64,
+    down: NodeSet,
+    down_window: Option<u64>,
+}
+
+impl LossyAsync {
+    /// Creates the protocol with per-contact loss probability `loss` and
+    /// no downtime.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidProbability`] when `loss ∉ [0, 1)` (`loss = 1`
+    /// would drop every contact and the process could never complete).
+    pub fn new(loss: f64) -> Result<Self, SimError> {
+        Self::with_downtime(loss, 0.0)
+    }
+
+    /// Creates the protocol with per-contact loss probability `loss` and
+    /// per-window node downtime probability `downtime`.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidProbability`] when either parameter is outside
+    /// `[0, 1)`.
+    pub fn with_downtime(loss: f64, downtime: f64) -> Result<Self, SimError> {
+        if !(0.0..1.0).contains(&loss) {
+            return Err(SimError::InvalidProbability { name: "loss", value: loss });
+        }
+        if !(0.0..1.0).contains(&downtime) {
+            return Err(SimError::InvalidProbability { name: "downtime", value: downtime });
+        }
+        Ok(LossyAsync { loss, downtime, down: NodeSet::new(0), down_window: None })
+    }
+
+    /// The per-contact message-loss probability.
+    pub fn loss(&self) -> f64 {
+        self.loss
+    }
+
+    /// The per-window downtime probability.
+    pub fn downtime(&self) -> f64 {
+        self.downtime
+    }
+
+    /// Redraws the down set for window `t` (each node independently down
+    /// with probability `downtime`).
+    fn redraw_down(&mut self, n: usize, t: u64, rng: &mut SimRng) {
+        if self.down.universe() != n {
+            self.down = NodeSet::new(n);
+        } else {
+            self.down.clear();
+        }
+        self.down_window = Some(t);
+        if self.downtime == 0.0 {
+            return;
+        }
+        for v in 0..n as u32 {
+            if rng.chance(self.downtime) {
+                self.down.insert(v);
+            }
+        }
+    }
+}
+
+impl Protocol for LossyAsync {
+    fn name(&self) -> &'static str {
+        "async push-pull (lossy)"
+    }
+
+    fn begin(&mut self, n: usize) {
+        self.down = NodeSet::new(n);
+        self.down_window = None;
+    }
+
+    fn advance_window(
+        &mut self,
+        g: &Graph,
+        t: u64,
+        informed: &mut NodeSet,
+        rng: &mut SimRng,
+    ) -> Option<f64> {
+        let n = g.n();
+        debug_assert_eq!(informed.universe(), n);
+        if self.down_window != Some(t) {
+            self.redraw_down(n, t, rng);
+        }
+        // Superposed clock over all n nodes; down callers are thinned
+        // after the tick so the event stream stays a rate-n Poisson
+        // process regardless of the down set.
+        let clock = Exponential::new(n as f64).expect("n >= 1");
+        let mut tau = t as f64;
+        let end = (t + 1) as f64;
+        loop {
+            tau += clock.sample(rng);
+            if tau >= end {
+                return None;
+            }
+            let caller = rng.index(n) as u32;
+            if self.down.contains(caller) {
+                continue;
+            }
+            let nbrs = g.neighbors(caller);
+            if nbrs.is_empty() {
+                continue;
+            }
+            let callee = nbrs[rng.index(nbrs.len())];
+            if self.down.contains(callee) {
+                continue;
+            }
+            if self.loss > 0.0 && rng.chance(self.loss) {
+                continue;
+            }
+            let caller_informed = informed.contains(caller);
+            if caller_informed && !informed.contains(callee) {
+                informed.insert(callee);
+            } else if !caller_informed && informed.contains(callee) {
+                informed.insert(caller);
+            }
+            if informed.is_full() {
+                return Some(tau);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AsyncPushPull, RunConfig, Simulation};
+    use gossip_dynamics::StaticNetwork;
+    use gossip_graph::generators;
+    use gossip_stats::RunningMoments;
+
+    fn mean_spread(proto: impl Fn() -> LossyAsync, trials: u64, seed: u64) -> f64 {
+        let mut net = StaticNetwork::new(generators::complete(24).unwrap());
+        let base = SimRng::seed_from_u64(seed);
+        let mut m = RunningMoments::new();
+        for i in 0..trials {
+            let mut rng = base.derive(i);
+            let o = Simulation::new(proto(), RunConfig::with_max_time(1e4))
+                .run(&mut net, 0, &mut rng)
+                .unwrap();
+            m.push(o.spread_time().unwrap());
+        }
+        m.mean()
+    }
+
+    #[test]
+    fn validates_probabilities() {
+        assert!(LossyAsync::new(0.0).is_ok());
+        assert!(LossyAsync::new(0.999).is_ok());
+        assert!(matches!(
+            LossyAsync::new(1.0),
+            Err(SimError::InvalidProbability { name: "loss", .. })
+        ));
+        assert!(LossyAsync::new(-0.1).is_err());
+        assert!(matches!(
+            LossyAsync::with_downtime(0.1, 1.5),
+            Err(SimError::InvalidProbability { name: "downtime", .. })
+        ));
+    }
+
+    #[test]
+    fn zero_loss_matches_lossless_distribution() {
+        // With loss = downtime = 0 the event loop consumes the RNG
+        // differently than AsyncPushPull (no loss draws), so compare
+        // distributions rather than trajectories: means within noise.
+        let lossless = {
+            let mut net = StaticNetwork::new(generators::complete(24).unwrap());
+            let base = SimRng::seed_from_u64(40);
+            let mut m = RunningMoments::new();
+            for i in 0..600 {
+                let mut rng = base.derive(i);
+                let o = Simulation::new(AsyncPushPull::new(), RunConfig::default())
+                    .run(&mut net, 0, &mut rng)
+                    .unwrap();
+                m.push(o.spread_time().unwrap());
+            }
+            m.mean()
+        };
+        let lossy = mean_spread(|| LossyAsync::new(0.0).unwrap(), 600, 41);
+        assert!(
+            (lossless - lossy).abs() < 0.35,
+            "zero-loss LossyAsync should match AsyncPushPull: {lossless} vs {lossy}"
+        );
+    }
+
+    #[test]
+    fn thinning_identity_rescales_time() {
+        // T_lossy * (1 - loss) should be constant across loss levels.
+        let t0 = mean_spread(|| LossyAsync::new(0.0).unwrap(), 500, 42);
+        let t_half = mean_spread(|| LossyAsync::new(0.5).unwrap(), 500, 43);
+        let rescaled = t_half * 0.5;
+        assert!(
+            (rescaled - t0).abs() / t0 < 0.12,
+            "thinning identity violated: t0 = {t0}, t(0.5)*(0.5) = {rescaled}"
+        );
+    }
+
+    #[test]
+    fn downtime_slows_more_than_thinning() {
+        // Per-window downtime of d removes a node from *both* sides of
+        // every contact for a whole window — strictly worse than dropping
+        // each contact independently with the same marginal probability
+        // 1-(1-d)^2 of at least one endpoint being down.
+        let d: f64 = 0.4;
+        let equivalent_loss = 1.0 - (1.0 - d) * (1.0 - d);
+        let with_down =
+            mean_spread(|| LossyAsync::with_downtime(0.0, d).unwrap(), 500, 44);
+        let with_loss =
+            mean_spread(|| LossyAsync::new(equivalent_loss).unwrap(), 500, 45);
+        assert!(
+            with_down > with_loss,
+            "correlated downtime ({with_down}) should cost more than i.i.d. loss ({with_loss})"
+        );
+    }
+
+    #[test]
+    fn heavy_loss_still_completes() {
+        let t = mean_spread(|| LossyAsync::new(0.9).unwrap(), 50, 46);
+        assert!(t.is_finite() && t > 0.0);
+    }
+
+    #[test]
+    fn down_set_redrawn_per_window() {
+        // With heavy downtime the spread stalls in some windows but
+        // recovers in others; over a long horizon it still completes.
+        let mut net = StaticNetwork::new(generators::cycle(12).unwrap());
+        let base = SimRng::seed_from_u64(47);
+        let mut completed = 0;
+        for i in 0..50 {
+            let mut rng = base.derive(i);
+            let o = Simulation::new(
+                LossyAsync::with_downtime(0.0, 0.6).unwrap(),
+                RunConfig::with_max_time(500.0),
+            )
+            .run(&mut net, 0, &mut rng)
+            .unwrap();
+            if o.complete() {
+                completed += 1;
+            }
+        }
+        assert!(completed >= 48, "only {completed}/50 completed under 60% downtime");
+    }
+}

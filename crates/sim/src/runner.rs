@@ -1,0 +1,282 @@
+//! Multi-trial experiment runner.
+//!
+//! The paper defines spread time as the first time by which all nodes are
+//! informed *with high probability*; empirically that is a high quantile of
+//! per-trial completion times. The runner executes independent trials with
+//! per-trial derived seeds (reproducible regardless of thread scheduling)
+//! and summarizes the distribution.
+
+use crate::{Protocol, RunConfig, SimError, Simulation};
+use gossip_dynamics::DynamicNetwork;
+use gossip_graph::NodeId;
+use gossip_stats::{Quantiles, RunningMoments, SimRng};
+
+/// Summary of a batch of simulation trials.
+#[derive(Debug, Clone)]
+pub struct TrialSummary {
+    times: Quantiles,
+    moments: RunningMoments,
+    trials: usize,
+    completed: usize,
+}
+
+impl TrialSummary {
+    /// Number of trials run.
+    pub fn trials(&self) -> usize {
+        self.trials
+    }
+
+    /// Number of trials that finished before the cutoff.
+    pub fn completed(&self) -> usize {
+        self.completed
+    }
+
+    /// Fraction of trials that completed.
+    pub fn completion_rate(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            self.completed as f64 / self.trials as f64
+        }
+    }
+
+    /// Mean spread time over completed trials.
+    pub fn mean(&self) -> f64 {
+        self.moments.mean()
+    }
+
+    /// Standard deviation over completed trials.
+    pub fn std_dev(&self) -> f64 {
+        self.moments.std_dev()
+    }
+
+    /// Median spread time over completed trials.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no trial completed.
+    pub fn median(&mut self) -> f64 {
+        self.times.median().expect("no completed trials")
+    }
+
+    /// Empirical `q`-quantile of the spread time.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no trial completed or `q ∉ \[0, 1\]`.
+    pub fn quantile(&mut self, q: f64) -> f64 {
+        self.times.quantile(q).expect("no completed trials")
+    }
+
+    /// The empirical "w.h.p. spread time": the 0.95 quantile (all trials
+    /// beyond it are the `n^{-c}` failure tail the paper's definition
+    /// tolerates).
+    ///
+    /// # Panics
+    ///
+    /// Panics when no trial completed.
+    pub fn whp_spread_time(&mut self) -> f64 {
+        self.quantile(0.95)
+    }
+
+    /// Largest observed spread time.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no trial completed.
+    pub fn max(&mut self) -> f64 {
+        self.times.max().expect("no completed trials")
+    }
+
+    /// Empirical tail `Pr[T > x]` over completed trials (incomplete trials
+    /// count as exceeding any `x` below the cutoff).
+    pub fn tail_fraction(&mut self, x: f64) -> f64 {
+        let incomplete = (self.trials - self.completed) as f64;
+        let over = self.times.tail_fraction(x) * self.completed as f64;
+        (over + incomplete) / self.trials as f64
+    }
+
+    /// All completed-trial spread times, sorted ascending — for histogram
+    /// rendering or custom statistics beyond the provided quantiles.
+    pub fn sorted_times(&mut self) -> &[f64] {
+        self.times.sorted_values()
+    }
+}
+
+/// Runs batches of independent trials, optionally across threads.
+///
+/// Trial `i` always consumes the RNG stream derived from `(base_seed, i)`,
+/// so results are identical whether run on one thread or many.
+///
+/// # Example
+///
+/// ```
+/// use gossip_dynamics::StaticNetwork;
+/// use gossip_graph::generators;
+/// use gossip_sim::{CutRateAsync, RunConfig, Runner};
+///
+/// let runner = Runner::new(64, 42);
+/// let mut summary = runner
+///     .run(
+///         || StaticNetwork::new(generators::complete(32).unwrap()),
+///         CutRateAsync::new,
+///         None,
+///         RunConfig::default(),
+///     )
+///     .unwrap();
+/// assert_eq!(summary.trials(), 64);
+/// assert!(summary.completion_rate() > 0.99);
+/// let _t = summary.whp_spread_time();
+/// ```
+#[derive(Debug, Clone)]
+pub struct Runner {
+    trials: usize,
+    base_seed: u64,
+    threads: usize,
+}
+
+impl Runner {
+    /// Creates a runner for `trials` trials seeded from `base_seed`, using
+    /// all available parallelism.
+    pub fn new(trials: usize, base_seed: u64) -> Self {
+        let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+        Runner { trials, base_seed, threads: threads.min(trials.max(1)) }
+    }
+
+    /// Restricts the runner to a fixed number of threads (1 = sequential).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Runs all trials: `make_net`/`make_proto` build fresh instances per
+    /// thread, `start` overrides the network's suggested start node.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`SimError`] any trial produced (configuration
+    /// errors surface identically on every trial).
+    pub fn run<N, P>(
+        &self,
+        make_net: impl Fn() -> N + Sync,
+        make_proto: impl Fn() -> P + Sync,
+        start: Option<NodeId>,
+        config: RunConfig,
+    ) -> Result<TrialSummary, SimError>
+    where
+        N: DynamicNetwork,
+        P: Protocol,
+    {
+        let base = SimRng::seed_from_u64(self.base_seed);
+        let threads = self.threads.min(self.trials.max(1));
+        let results: Vec<Result<Vec<Option<f64>>, SimError>> = std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(threads);
+            for tid in 0..threads {
+                let base = base.clone();
+                let make_net = &make_net;
+                let make_proto = &make_proto;
+                let trials = self.trials;
+                handles.push(scope.spawn(move || {
+                    let mut out = Vec::new();
+                    let mut net = make_net();
+                    let mut sim = Simulation::new(make_proto(), config);
+                    let start = start.unwrap_or_else(|| net.suggested_start());
+                    let mut i = tid;
+                    while i < trials {
+                        let mut rng = base.derive(i as u64);
+                        let outcome = sim.run(&mut net, start, &mut rng)?;
+                        out.push(outcome.spread_time());
+                        i += threads;
+                    }
+                    Ok(out)
+                }));
+            }
+            handles.into_iter().map(|h| h.join().expect("trial thread panicked")).collect()
+        });
+
+        let mut times = Quantiles::new();
+        let mut moments = RunningMoments::new();
+        let mut completed = 0usize;
+        for r in results {
+            for t in r?.into_iter().flatten() {
+                times.push(t);
+                moments.push(t);
+                completed += 1;
+            }
+        }
+        Ok(TrialSummary { times, moments, trials: self.trials, completed })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AsyncPushPull, CutRateAsync};
+    use gossip_dynamics::StaticNetwork;
+    use gossip_graph::generators;
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        let make = || StaticNetwork::new(generators::complete(12).unwrap());
+        let seq = Runner::new(40, 7)
+            .with_threads(1)
+            .run(make, CutRateAsync::new, None, RunConfig::default())
+            .unwrap();
+        let par = Runner::new(40, 7)
+            .with_threads(4)
+            .run(make, CutRateAsync::new, None, RunConfig::default())
+            .unwrap();
+        assert_eq!(seq.completed(), par.completed());
+        assert!((seq.mean() - par.mean()).abs() < 1e-12, "trial seeding is order-dependent");
+    }
+
+    #[test]
+    fn summary_statistics_consistent() {
+        let make = || StaticNetwork::new(generators::complete(16).unwrap());
+        let mut s = Runner::new(50, 3)
+            .run(make, AsyncPushPull::new, None, RunConfig::default())
+            .unwrap();
+        assert_eq!(s.trials(), 50);
+        assert_eq!(s.completed(), 50);
+        assert!(s.completion_rate() == 1.0);
+        let med = s.median();
+        let whp = s.whp_spread_time();
+        let max = s.max();
+        assert!(med <= whp && whp <= max);
+        assert!(s.mean() > 0.0);
+    }
+
+    #[test]
+    fn incomplete_trials_counted() {
+        // Disconnected graph: nothing ever completes.
+        let g = gossip_graph::Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        let make = move || StaticNetwork::new(g.clone());
+        let mut s = Runner::new(10, 1)
+            .run(make, AsyncPushPull::new, None, RunConfig::with_max_time(5.0))
+            .unwrap();
+        assert_eq!(s.completed(), 0);
+        assert_eq!(s.completion_rate(), 0.0);
+        assert_eq!(s.tail_fraction(3.0), 1.0);
+    }
+
+    #[test]
+    fn error_propagates() {
+        let make = || StaticNetwork::new(generators::path(3).unwrap());
+        let err = Runner::new(4, 1)
+            .run(make, AsyncPushPull::new, Some(99), RunConfig::default())
+            .unwrap_err();
+        assert!(matches!(err, SimError::StartOutOfRange { .. }));
+    }
+
+    #[test]
+    fn tail_fraction_mixes_incomplete() {
+        let make = || StaticNetwork::new(generators::complete(8).unwrap());
+        let mut s = Runner::new(20, 9)
+            .run(make, AsyncPushPull::new, None, RunConfig::default())
+            .unwrap();
+        // All complete: tail at 0 is 1, tail beyond max is 0.
+        assert_eq!(s.tail_fraction(0.0), 1.0);
+        let max = s.max();
+        assert_eq!(s.tail_fraction(max + 1.0), 0.0);
+    }
+}

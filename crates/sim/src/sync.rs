@@ -1,0 +1,402 @@
+//! The synchronous push–pull algorithm.
+//!
+//! One round per unit window, synchronized with the network dynamics
+//! (paper Section 6: "the synchronous algorithm whose steps are
+//! synchronized with the dynamics of the network"). In a round every node
+//! contacts a uniformly random neighbor; exchanges are resolved against the
+//! informed set *at the start of the round* — a node informed mid-round
+//! neither pushes nor serves pulls until the next round. This round
+//! semantics is exactly what makes `Ts(G2) = n` on the dynamic star
+//! (Theorem 1.7(ii)): the fresh center is uninformed at round start, so
+//! leaves pulling from it learn nothing, and only the center itself gains
+//! the rumor.
+
+use crate::Protocol;
+use gossip_graph::{Graph, NodeSet};
+use gossip_stats::SimRng;
+
+/// Synchronous push–pull, one round per window.
+///
+/// Completion time is reported in rounds: finishing in round `t` (windows
+/// are zero-indexed) yields spread time `t + 1`.
+///
+/// # Example
+///
+/// ```
+/// use gossip_dynamics::StaticNetwork;
+/// use gossip_graph::generators;
+/// use gossip_sim::{RunConfig, Simulation, SyncPushPull};
+/// use gossip_stats::SimRng;
+///
+/// let mut net = StaticNetwork::new(generators::complete(64).unwrap());
+/// let mut rng = SimRng::seed_from_u64(4);
+/// let outcome = Simulation::new(SyncPushPull::new(), RunConfig::default())
+///     .run(&mut net, 0, &mut rng)
+///     .unwrap();
+/// // K_64 finishes in Θ(log n) rounds.
+/// assert!(outcome.spread_time().unwrap() < 20.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SyncPushPull {
+    newly: Vec<u32>,
+}
+
+impl SyncPushPull {
+    /// Creates the protocol.
+    pub fn new() -> Self {
+        SyncPushPull::default()
+    }
+}
+
+impl Protocol for SyncPushPull {
+    fn name(&self) -> &'static str {
+        "sync push-pull"
+    }
+
+    fn begin(&mut self, n: usize) {
+        self.newly = Vec::with_capacity(n);
+    }
+
+    fn advance_window(
+        &mut self,
+        g: &Graph,
+        t: u64,
+        informed: &mut NodeSet,
+        rng: &mut SimRng,
+    ) -> Option<f64> {
+        let n = g.n();
+        self.newly.clear();
+        for caller in 0..n as u32 {
+            let nbrs = g.neighbors(caller);
+            if nbrs.is_empty() {
+                continue;
+            }
+            let callee = nbrs[rng.index(nbrs.len())];
+            // Resolved against round-start state.
+            match (informed.contains(caller), informed.contains(callee)) {
+                (true, false) => self.newly.push(callee),
+                (false, true) => self.newly.push(caller),
+                _ => {}
+            }
+        }
+        for &v in &self.newly {
+            informed.insert(v);
+        }
+        if informed.is_full() {
+            Some((t + 1) as f64)
+        } else {
+            None
+        }
+    }
+}
+
+/// Synchronous push-only algorithm: in each round every *informed* node
+/// contacts a uniformly random neighbor and sends it the rumor.
+///
+/// This is the algorithm analyzed on edge-Markovian evolving graphs by
+/// Clementi et al. \[7\] (the paper's related work), reproduced as extension
+/// experiment X1.
+///
+/// # Example
+///
+/// ```
+/// use gossip_dynamics::StaticNetwork;
+/// use gossip_graph::generators;
+/// use gossip_sim::{RunConfig, Simulation, SyncPush};
+/// use gossip_stats::SimRng;
+///
+/// let mut net = StaticNetwork::new(generators::complete(64).unwrap());
+/// let mut rng = SimRng::seed_from_u64(8);
+/// let outcome = Simulation::new(SyncPush::new(), RunConfig::default())
+///     .run(&mut net, 0, &mut rng)
+///     .unwrap();
+/// assert!(outcome.complete());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SyncPush {
+    newly: Vec<u32>,
+}
+
+impl SyncPush {
+    /// Creates the protocol.
+    pub fn new() -> Self {
+        SyncPush::default()
+    }
+}
+
+impl Protocol for SyncPush {
+    fn name(&self) -> &'static str {
+        "sync push"
+    }
+
+    fn begin(&mut self, n: usize) {
+        self.newly = Vec::with_capacity(n);
+    }
+
+    fn advance_window(
+        &mut self,
+        g: &Graph,
+        t: u64,
+        informed: &mut NodeSet,
+        rng: &mut SimRng,
+    ) -> Option<f64> {
+        self.newly.clear();
+        for caller in informed.iter() {
+            let nbrs = g.neighbors(caller);
+            if nbrs.is_empty() {
+                continue;
+            }
+            let callee = nbrs[rng.index(nbrs.len())];
+            if !informed.contains(callee) {
+                self.newly.push(callee);
+            }
+        }
+        for &v in &self.newly {
+            informed.insert(v);
+        }
+        if informed.is_full() {
+            Some((t + 1) as f64)
+        } else {
+            None
+        }
+    }
+}
+
+/// Synchronous pull-only algorithm: in each round every *uninformed* node
+/// contacts a uniformly random neighbor and asks for the rumor, learning
+/// it if the neighbor was informed at round start.
+///
+/// Completes the push/pull/push–pull matrix on the synchronous side
+/// (the asynchronous side has [`crate::AsyncPush`]/[`crate::AsyncPull`]).
+/// Pull dominates on stars from the center (every leaf pulls in round 1);
+/// push dominates on stars from a leaf.
+///
+/// # Example
+///
+/// ```
+/// use gossip_dynamics::StaticNetwork;
+/// use gossip_graph::generators;
+/// use gossip_sim::{RunConfig, Simulation, SyncPull};
+/// use gossip_stats::SimRng;
+///
+/// let mut net = StaticNetwork::new(generators::complete(64).unwrap());
+/// let mut rng = SimRng::seed_from_u64(9);
+/// let outcome = Simulation::new(SyncPull::new(), RunConfig::default())
+///     .run(&mut net, 0, &mut rng)
+///     .unwrap();
+/// assert!(outcome.complete());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SyncPull {
+    newly: Vec<u32>,
+}
+
+impl SyncPull {
+    /// Creates the protocol.
+    pub fn new() -> Self {
+        SyncPull::default()
+    }
+}
+
+impl Protocol for SyncPull {
+    fn name(&self) -> &'static str {
+        "sync pull"
+    }
+
+    fn begin(&mut self, n: usize) {
+        self.newly = Vec::with_capacity(n);
+    }
+
+    fn advance_window(
+        &mut self,
+        g: &Graph,
+        t: u64,
+        informed: &mut NodeSet,
+        rng: &mut SimRng,
+    ) -> Option<f64> {
+        self.newly.clear();
+        for caller in informed.iter_complement() {
+            let nbrs = g.neighbors(caller);
+            if nbrs.is_empty() {
+                continue;
+            }
+            let callee = nbrs[rng.index(nbrs.len())];
+            if informed.contains(callee) {
+                self.newly.push(caller);
+            }
+        }
+        for &v in &self.newly {
+            informed.insert(v);
+        }
+        if informed.is_full() {
+            Some((t + 1) as f64)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{RunConfig, Simulation};
+    use gossip_dynamics::{DynamicNetwork, DynamicStar, StaticNetwork};
+    use gossip_graph::generators;
+
+    #[test]
+    fn two_nodes_one_round() {
+        let mut net = StaticNetwork::new(generators::path(2).unwrap());
+        let mut rng = SimRng::seed_from_u64(1);
+        let o = Simulation::new(SyncPushPull::new(), RunConfig::default())
+            .run(&mut net, 0, &mut rng)
+            .unwrap();
+        assert_eq!(o.spread_time(), Some(1.0));
+    }
+
+    #[test]
+    fn star_from_center_one_round() {
+        // Center informed: every leaf pulls from the center... no — leaves
+        // contact the center (their only neighbor) and pull; the center
+        // pushes to one leaf. All leaves learn in round 1 via their own
+        // pull (caller uninformed, callee informed).
+        let mut net = StaticNetwork::new(generators::star(10).unwrap());
+        let mut rng = SimRng::seed_from_u64(2);
+        let o = Simulation::new(SyncPushPull::new(), RunConfig::default())
+            .run(&mut net, 0, &mut rng)
+            .unwrap();
+        assert_eq!(o.spread_time(), Some(1.0));
+    }
+
+    #[test]
+    fn round_start_semantics_no_chaining() {
+        // Path 0-1-2, rumor at 0. Node 2 can never learn in round 1: node 1
+        // is uninformed at round start, so even if node 1 learns this round,
+        // node 2's pull from node 1 fails.
+        let base = SimRng::seed_from_u64(3);
+        for i in 0..200 {
+            let mut rng = base.derive(i);
+            let mut net = StaticNetwork::new(generators::path(3).unwrap());
+            let o = Simulation::new(SyncPushPull::new(), RunConfig::default())
+                .run(&mut net, 0, &mut rng)
+                .unwrap();
+            assert!(o.spread_time().unwrap() >= 2.0, "chained in one round");
+        }
+    }
+
+    /// Theorem 1.7(ii): the dynamic star takes exactly n rounds.
+    #[test]
+    fn dynamic_star_takes_exactly_n_rounds() {
+        for leaves in [5usize, 9, 17] {
+            let base = SimRng::seed_from_u64(4 + leaves as u64);
+            for i in 0..20 {
+                let mut rng = base.derive(i);
+                let mut net = DynamicStar::new(leaves).unwrap();
+                let start = net.suggested_start();
+                let o = Simulation::new(SyncPushPull::new(), RunConfig::default())
+                    .run(&mut net, start, &mut rng)
+                    .unwrap();
+                // n = leaves + 1 nodes, one starts informed: exactly n-1
+                // additional nodes, one per round... The paper counts
+                // Ts(G2) = n with n+1 nodes; with our `leaves` = paper's n,
+                // spread time must be exactly `leaves`.
+                assert_eq!(
+                    o.spread_time(),
+                    Some(leaves as f64),
+                    "leaves = {leaves}, trial {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn complete_graph_logarithmic_rounds() {
+        let mut rng = SimRng::seed_from_u64(5);
+        let mut net = StaticNetwork::new(generators::complete(256).unwrap());
+        let o = Simulation::new(SyncPushPull::new(), RunConfig::default())
+            .run(&mut net, 0, &mut rng)
+            .unwrap();
+        let t = o.spread_time().unwrap();
+        assert!(t <= 4.0 * (256f64).log2(), "t = {t}");
+        assert!(t >= (256f64).log2() / 2.0, "t = {t} suspiciously fast");
+    }
+
+    #[test]
+    fn sync_push_star_from_center_coupon_collector() {
+        // Push-only from the center: one leaf per round at best; the median
+        // over trials must far exceed the push-pull time of 1.
+        let mut rng = SimRng::seed_from_u64(7);
+        let mut net = StaticNetwork::new(generators::star(12).unwrap());
+        let o = Simulation::new(SyncPush::new(), RunConfig::default())
+            .run(&mut net, 0, &mut rng)
+            .unwrap();
+        assert!(o.spread_time().unwrap() >= 11.0, "push can inform at most one leaf per round");
+    }
+
+    #[test]
+    fn sync_push_completes_on_complete_graph() {
+        let mut rng = SimRng::seed_from_u64(8);
+        let mut net = StaticNetwork::new(generators::complete(128).unwrap());
+        let o = Simulation::new(SyncPush::new(), RunConfig::default())
+            .run(&mut net, 0, &mut rng)
+            .unwrap();
+        let t = o.spread_time().unwrap();
+        // Push on K_n is Θ(log n).
+        assert!(t < 6.0 * (128f64).log2(), "t = {t}");
+    }
+
+    #[test]
+    fn sync_pull_star_from_center_one_round() {
+        // Pull-only from the center: every leaf pulls from its unique
+        // neighbor (the informed center) in round 1.
+        let mut rng = SimRng::seed_from_u64(9);
+        let mut net = StaticNetwork::new(generators::star(12).unwrap());
+        let o = Simulation::new(SyncPull::new(), RunConfig::default())
+            .run(&mut net, 0, &mut rng)
+            .unwrap();
+        assert_eq!(o.spread_time(), Some(1.0));
+    }
+
+    #[test]
+    fn sync_pull_star_from_leaf_two_phase() {
+        // From a leaf: the center pulls w.p. 1/n per round (it picks the
+        // informed leaf among n), then every leaf pulls in the next round.
+        // Completion is therefore at least 2 rounds and the center-pull
+        // phase is geometric.
+        let base = SimRng::seed_from_u64(10);
+        let mut worst = 0.0f64;
+        for i in 0..50 {
+            let mut rng = base.derive(i);
+            let mut net = StaticNetwork::new(generators::star(8).unwrap());
+            let o = Simulation::new(SyncPull::new(), RunConfig::default())
+                .run(&mut net, 3, &mut rng)
+                .unwrap();
+            let t = o.spread_time().unwrap();
+            assert!(t >= 2.0, "pull cannot finish a star from a leaf in one round");
+            worst = worst.max(t);
+        }
+        assert!(worst >= 3.0, "geometric center-pull phase never exceeded 2 rounds");
+    }
+
+    #[test]
+    fn sync_pull_completes_on_complete_graph() {
+        let mut rng = SimRng::seed_from_u64(11);
+        let mut net = StaticNetwork::new(generators::complete(128).unwrap());
+        let o = Simulation::new(SyncPull::new(), RunConfig::default())
+            .run(&mut net, 0, &mut rng)
+            .unwrap();
+        // Pull on K_n is Θ(log n) once a constant fraction is informed;
+        // the start-up phase is logarithmic too (doubling).
+        assert!(o.spread_time().unwrap() < 8.0 * (128f64).log2());
+    }
+
+    #[test]
+    fn isolated_node_stalls() {
+        let g = gossip_graph::Graph::from_edges(3, &[(0, 1)]).unwrap();
+        let mut net = StaticNetwork::new(g);
+        let mut rng = SimRng::seed_from_u64(6);
+        let o = Simulation::new(SyncPushPull::new(), RunConfig::with_max_time(10.0))
+            .run(&mut net, 0, &mut rng)
+            .unwrap();
+        assert!(!o.complete());
+    }
+}

@@ -1,0 +1,79 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for invalid statistical parameters.
+///
+/// Returned by distribution constructors and estimators when an argument is
+/// outside its mathematical domain (for example a non-positive rate for an
+/// exponential distribution).
+///
+/// # Example
+///
+/// ```
+/// use gossip_stats::Exponential;
+///
+/// let err = Exponential::new(-1.0).unwrap_err();
+/// assert!(err.to_string().contains("rate"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum StatsError {
+    /// A rate parameter was non-positive or non-finite.
+    InvalidRate(f64),
+    /// A probability parameter was outside `\[0, 1\]` (or outside `(0, 1]`
+    /// where a zero probability is meaningless, as for geometric trials).
+    InvalidProbability(f64),
+    /// A weight passed to a weighted sampler was negative or non-finite.
+    InvalidWeight {
+        /// Index of the offending weight.
+        index: usize,
+        /// The offending value.
+        weight: f64,
+    },
+    /// An operation required at least one sample/element but none was given.
+    Empty,
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::InvalidRate(r) => {
+                write!(f, "rate must be positive and finite, got {r}")
+            }
+            StatsError::InvalidProbability(p) => {
+                write!(f, "probability must lie in [0, 1], got {p}")
+            }
+            StatsError::InvalidWeight { index, weight } => {
+                write!(f, "weight at index {index} must be non-negative and finite, got {weight}")
+            }
+            StatsError::Empty => write!(f, "operation requires at least one element"),
+        }
+    }
+}
+
+impl Error for StatsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let variants = [
+            StatsError::InvalidRate(-1.0),
+            StatsError::InvalidProbability(2.0),
+            StatsError::InvalidWeight { index: 3, weight: f64::NAN },
+            StatsError::Empty,
+        ];
+        for v in variants {
+            let s = v.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<StatsError>();
+    }
+}

@@ -1,0 +1,298 @@
+use crate::{SimRng, StatsError};
+
+/// A Fenwick (binary indexed) tree over non-negative weights supporting
+/// O(log n) point updates and O(log n) sampling proportional to weight.
+///
+/// This is the engine of the exact cut-rate simulator: every uninformed node
+/// `v` carries the rate `r_v = Σ_{u ∈ I ∩ N(v)} (1/d_u + 1/d_v)` at which it
+/// would be informed (the order statistics of Equation (1) in the paper);
+/// the next informed node is drawn proportionally to `r_v` in `O(log n)`.
+///
+/// # Example
+///
+/// ```
+/// # use gossip_stats::{FenwickSampler, SimRng};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut sampler = FenwickSampler::new(4);
+/// sampler.set(0, 1.0)?;
+/// sampler.set(2, 3.0)?;
+/// assert!((sampler.total() - 4.0).abs() < 1e-12);
+/// let mut rng = SimRng::seed_from_u64(1);
+/// let drawn = sampler.sample(&mut rng).unwrap();
+/// assert!(drawn == 0 || drawn == 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct FenwickSampler {
+    /// 1-indexed Fenwick array of prefix-sum deltas.
+    tree: Vec<f64>,
+    /// Current weight per index, kept for exact reads and resets.
+    weights: Vec<f64>,
+    /// Cached sum of all weights.
+    total: f64,
+}
+
+impl FenwickSampler {
+    /// Creates a sampler over `n` indices, all with weight zero.
+    pub fn new(n: usize) -> Self {
+        FenwickSampler { tree: vec![0.0; n + 1], weights: vec![0.0; n], total: 0.0 }
+    }
+
+    /// Number of indices.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Whether the sampler has no indices at all.
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// Sum of all weights.
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// Current weight at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn weight(&self, index: usize) -> f64 {
+        self.weights[index]
+    }
+
+    /// Sets the weight at `index` to `w`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidWeight`] when `w` is negative or not
+    /// finite.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn set(&mut self, index: usize, w: f64) -> Result<(), StatsError> {
+        if !w.is_finite() || w < 0.0 {
+            return Err(StatsError::InvalidWeight { index, weight: w });
+        }
+        let delta = w - self.weights[index];
+        self.weights[index] = w;
+        self.total += delta;
+        let mut i = index + 1;
+        while i < self.tree.len() {
+            self.tree[i] += delta;
+            i += i & i.wrapping_neg();
+        }
+        Ok(())
+    }
+
+    /// Adds `delta` to the weight at `index` (clamping tiny negative
+    /// round-off results to zero).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidWeight`] if the resulting weight would be
+    /// meaningfully negative or non-finite.
+    pub fn add(&mut self, index: usize, delta: f64) -> Result<(), StatsError> {
+        let mut w = self.weights[index] + delta;
+        if w < 0.0 && w > -1e-9 {
+            w = 0.0;
+        }
+        self.set(index, w)
+    }
+
+    /// Resets every weight to zero in O(n).
+    pub fn clear(&mut self) {
+        self.tree.iter_mut().for_each(|x| *x = 0.0);
+        self.weights.iter_mut().for_each(|x| *x = 0.0);
+        self.total = 0.0;
+    }
+
+    /// Prefix sum of weights over `0..=index`.
+    pub fn prefix_sum(&self, index: usize) -> f64 {
+        let mut i = index + 1;
+        let mut sum = 0.0;
+        while i > 0 {
+            sum += self.tree[i];
+            i -= i & i.wrapping_neg();
+        }
+        sum
+    }
+
+    /// Draws an index with probability proportional to its weight, or
+    /// `None` when the total weight is (numerically) zero.
+    pub fn sample(&self, rng: &mut SimRng) -> Option<usize> {
+        if self.total <= 0.0 {
+            return None;
+        }
+        let target = rng.uniform_f64() * self.total;
+        Some(self.find_by_prefix(target))
+    }
+
+    /// Returns the smallest index whose prefix sum exceeds `target`.
+    ///
+    /// Standard Fenwick descent; `target` must lie in `[0, total)`. Floating
+    /// round-off near the right edge is resolved by walking back to the last
+    /// index with positive weight, so a positive-total sampler always
+    /// returns a positively-weighted index.
+    fn find_by_prefix(&self, mut target: f64) -> usize {
+        let n = self.weights.len();
+        let mut pos = 0usize; // 1-indexed position accumulator
+        let mut step = n.next_power_of_two();
+        while step > 0 {
+            let next = pos + step;
+            if next <= n && self.tree[next] <= target {
+                target -= self.tree[next];
+                pos = next;
+            }
+            step >>= 1;
+        }
+        // pos is now the count of indices whose cumulative weight is <= target,
+        // i.e. the 0-based answer. Guard against landing on zero weight at the
+        // extreme right edge due to round-off.
+        let mut idx = pos.min(n - 1);
+        while idx > 0 && self.weights[idx] == 0.0 {
+            idx -= 1;
+        }
+        if self.weights[idx] == 0.0 {
+            // All mass is to the right instead; scan forward.
+            idx = self.weights.iter().position(|&w| w > 0.0).unwrap_or(0);
+        }
+        idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_total_zero() {
+        let s = FenwickSampler::new(8);
+        assert_eq!(s.total(), 0.0);
+        assert!(!s.is_empty());
+        assert!(FenwickSampler::new(0).is_empty());
+    }
+
+    #[test]
+    fn sample_none_when_zero_mass() {
+        let s = FenwickSampler::new(5);
+        let mut rng = SimRng::seed_from_u64(1);
+        assert_eq!(s.sample(&mut rng), None);
+    }
+
+    #[test]
+    fn set_and_prefix_sums() {
+        let mut s = FenwickSampler::new(6);
+        for (i, w) in [1.0, 0.0, 2.0, 0.5, 0.0, 3.0].iter().enumerate() {
+            s.set(i, *w).unwrap();
+        }
+        assert!((s.prefix_sum(0) - 1.0).abs() < 1e-12);
+        assert!((s.prefix_sum(2) - 3.0).abs() < 1e-12);
+        assert!((s.prefix_sum(5) - 6.5).abs() < 1e-12);
+        assert!((s.total() - 6.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_bad_weights() {
+        let mut s = FenwickSampler::new(2);
+        assert!(s.set(0, -1.0).is_err());
+        assert!(s.set(0, f64::NAN).is_err());
+        assert!(s.set(0, f64::INFINITY).is_err());
+        assert_eq!(s.total(), 0.0);
+    }
+
+    #[test]
+    fn add_accumulates_and_clamps() {
+        let mut s = FenwickSampler::new(3);
+        s.add(1, 0.75).unwrap();
+        s.add(1, 0.25).unwrap();
+        assert!((s.weight(1) - 1.0).abs() < 1e-12);
+        // Clamp tiny negative round-off.
+        s.add(1, -1.0 - 1e-12).unwrap();
+        assert_eq!(s.weight(1), 0.0);
+        // Meaningful negatives rejected.
+        assert!(s.add(1, -0.5).is_err());
+    }
+
+    #[test]
+    fn sampling_matches_weights() {
+        let mut s = FenwickSampler::new(4);
+        s.set(0, 1.0).unwrap();
+        s.set(1, 2.0).unwrap();
+        s.set(2, 3.0).unwrap();
+        s.set(3, 4.0).unwrap();
+        let mut rng = SimRng::seed_from_u64(2);
+        let mut counts = [0usize; 4];
+        let n = 100_000;
+        for _ in 0..n {
+            counts[s.sample(&mut rng).unwrap()] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let expected = (i + 1) as f64 / 10.0;
+            let freq = c as f64 / n as f64;
+            assert!((freq - expected).abs() < 0.01, "index {i}: freq {freq} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn zero_weight_indices_never_sampled() {
+        let mut s = FenwickSampler::new(5);
+        s.set(1, 2.0).unwrap();
+        s.set(3, 1.0).unwrap();
+        let mut rng = SimRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let i = s.sample(&mut rng).unwrap();
+            assert!(i == 1 || i == 3, "sampled zero-weight index {i}");
+        }
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut s = FenwickSampler::new(4);
+        s.set(2, 5.0).unwrap();
+        s.clear();
+        assert_eq!(s.total(), 0.0);
+        assert_eq!(s.weight(2), 0.0);
+        let mut rng = SimRng::seed_from_u64(4);
+        assert_eq!(s.sample(&mut rng), None);
+    }
+
+    #[test]
+    fn single_index_sampler() {
+        let mut s = FenwickSampler::new(1);
+        s.set(0, 0.001).unwrap();
+        let mut rng = SimRng::seed_from_u64(5);
+        for _ in 0..100 {
+            assert_eq!(s.sample(&mut rng), Some(0));
+        }
+    }
+
+    #[test]
+    fn update_then_sample_consistency() {
+        // Removing mass from one index shifts samples to the other.
+        let mut s = FenwickSampler::new(2);
+        s.set(0, 1.0).unwrap();
+        s.set(1, 1.0).unwrap();
+        s.set(0, 0.0).unwrap();
+        let mut rng = SimRng::seed_from_u64(6);
+        for _ in 0..1000 {
+            assert_eq!(s.sample(&mut rng), Some(1));
+        }
+    }
+
+    #[test]
+    fn non_power_of_two_sizes() {
+        for n in [3usize, 7, 13, 100] {
+            let mut s = FenwickSampler::new(n);
+            for i in 0..n {
+                s.set(i, (i + 1) as f64).unwrap();
+            }
+            let expected_total = (n * (n + 1)) as f64 / 2.0;
+            assert!((s.total() - expected_total).abs() < 1e-9);
+            assert!((s.prefix_sum(n - 1) - expected_total).abs() < 1e-9);
+        }
+    }
+}

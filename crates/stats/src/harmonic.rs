@@ -1,0 +1,92 @@
+/// The `k`-th harmonic number `H_k = Σ_{j=1}^k 1/j`.
+///
+/// Harmonic sums appear in the paper's Lemma 5.2: the expected time for the
+/// 2-push process on a regular graph to reach `k` informed nodes is bounded
+/// by `H_k / 2`. Exact summation below 10⁶, asymptotic expansion above.
+///
+/// # Example
+///
+/// ```
+/// use gossip_stats::harmonic;
+///
+/// assert_eq!(harmonic(0), 0.0);
+/// assert!((harmonic(4) - (1.0 + 0.5 + 1.0/3.0 + 0.25)).abs() < 1e-12);
+/// ```
+pub fn harmonic(k: u64) -> f64 {
+    if k == 0 {
+        return 0.0;
+    }
+    if k <= 1_000_000 {
+        // Sum smallest-first for accuracy.
+        let mut s = 0.0;
+        for j in (1..=k).rev() {
+            s += 1.0 / j as f64;
+        }
+        return s;
+    }
+    // H_k ≈ ln k + γ + 1/(2k) − 1/(12k²); error < 1e-24 for k > 10⁶.
+    const EULER_GAMMA: f64 = 0.577_215_664_901_532_9;
+    let x = k as f64;
+    x.ln() + EULER_GAMMA + 1.0 / (2.0 * x) - 1.0 / (12.0 * x * x)
+}
+
+/// `H_k / ln k`, the ratio the paper's `H_k = log k + O(1)` estimate relies
+/// on (tends to 1).
+///
+/// # Panics
+///
+/// Panics if `k < 2` (the ratio is undefined at `ln 1 = 0`).
+pub fn harmonic_ratio(k: u64) -> f64 {
+    assert!(k >= 2, "harmonic_ratio requires k >= 2");
+    harmonic(k) / (k as f64).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_exact() {
+        assert_eq!(harmonic(0), 0.0);
+        assert_eq!(harmonic(1), 1.0);
+        assert!((harmonic(2) - 1.5).abs() < 1e-15);
+        assert!((harmonic(3) - 11.0 / 6.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn asymptotic_branch_matches_exact_summation() {
+        // Compare the expansion against exact summation just above the cut.
+        let k = 1_000_001u64;
+        let exact: f64 = (1..=k).rev().map(|j| 1.0 / j as f64).sum();
+        assert!((harmonic(k) - exact).abs() < 1e-9);
+    }
+
+    #[test]
+    fn monotone_increasing() {
+        let mut prev = 0.0;
+        for k in 1..100 {
+            let h = harmonic(k);
+            assert!(h > prev);
+            prev = h;
+        }
+    }
+
+    #[test]
+    fn log_plus_gamma_approximation() {
+        // H_k − ln k → γ.
+        let diff = harmonic(100_000) - (100_000f64).ln();
+        assert!((diff - 0.577_215_664_9).abs() < 1e-5, "diff {diff}");
+    }
+
+    #[test]
+    fn ratio_tends_to_one() {
+        assert!(harmonic_ratio(1_000_000) < 1.1);
+        assert!(harmonic_ratio(1_000_000) > 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn ratio_rejects_small_k() {
+        harmonic_ratio(1);
+    }
+}

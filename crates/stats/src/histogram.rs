@@ -1,0 +1,166 @@
+use crate::StatsError;
+use serde::{Deserialize, Serialize};
+
+/// Fixed-width histogram over `[lo, hi)` with overflow/underflow buckets.
+///
+/// The experiment binaries use histograms to render spread-time
+/// distributions (e.g. the Theorem 1.7(iii) tail experiment) as text.
+///
+/// # Example
+///
+/// ```
+/// # use gossip_stats::Histogram;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut h = Histogram::new(0.0, 10.0, 5)?;
+/// h.record(2.5);
+/// h.record(7.5);
+/// h.record(-1.0); // underflow
+/// assert_eq!(h.count(), 3);
+/// assert_eq!(h.bucket_count(1), 1);
+/// assert_eq!(h.underflow(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    buckets: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `buckets` equal-width bins over `[lo, hi)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::Empty`] when `buckets == 0` and
+    /// [`StatsError::InvalidRate`] when the range is empty or not finite.
+    pub fn new(lo: f64, hi: f64, buckets: usize) -> Result<Self, StatsError> {
+        if buckets == 0 {
+            return Err(StatsError::Empty);
+        }
+        if !(lo.is_finite() && hi.is_finite() && lo < hi) {
+            return Err(StatsError::InvalidRate(hi - lo));
+        }
+        Ok(Histogram { lo, hi, buckets: vec![0; buckets], underflow: 0, overflow: 0 })
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, x: f64) {
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let width = (self.hi - self.lo) / self.buckets.len() as f64;
+            let idx = ((x - self.lo) / width) as usize;
+            let idx = idx.min(self.buckets.len() - 1);
+            self.buckets[idx] += 1;
+        }
+    }
+
+    /// Total number of recorded observations (including out-of-range).
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// Count in bucket `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn bucket_count(&self, i: usize) -> u64 {
+        self.buckets[i]
+    }
+
+    /// Number of buckets.
+    pub fn buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Inclusive-exclusive bounds of bucket `i`.
+    pub fn bucket_range(&self, i: usize) -> (f64, f64) {
+        let width = (self.hi - self.lo) / self.buckets.len() as f64;
+        (self.lo + i as f64 * width, self.lo + (i + 1) as f64 * width)
+    }
+
+    /// Observations below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above the upper bound.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Renders an ASCII bar chart, one line per bucket.
+    pub fn render(&self, width: usize) -> String {
+        let max = self.buckets.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (i, &c) in self.buckets.iter().enumerate() {
+            let (a, b) = self.bucket_range(i);
+            let bar_len = (c as usize * width) / max as usize;
+            out.push_str(&format!("[{a:>10.3}, {b:>10.3}) {c:>8} {}\n", "#".repeat(bar_len)));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_construction() {
+        assert!(Histogram::new(0.0, 1.0, 0).is_err());
+        assert!(Histogram::new(1.0, 1.0, 4).is_err());
+        assert!(Histogram::new(2.0, 1.0, 4).is_err());
+        assert!(Histogram::new(f64::NAN, 1.0, 4).is_err());
+    }
+
+    #[test]
+    fn bucket_assignment() {
+        let mut h = Histogram::new(0.0, 10.0, 10).unwrap();
+        h.record(0.0);
+        h.record(0.999);
+        h.record(9.999);
+        assert_eq!(h.bucket_count(0), 2);
+        assert_eq!(h.bucket_count(9), 1);
+    }
+
+    #[test]
+    fn under_over_flow() {
+        let mut h = Histogram::new(0.0, 1.0, 2).unwrap();
+        h.record(-0.01);
+        h.record(1.0); // hi is exclusive
+        h.record(100.0);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.count(), 3);
+    }
+
+    #[test]
+    fn ranges_partition_interval() {
+        let h = Histogram::new(-1.0, 1.0, 4).unwrap();
+        let (a0, b0) = h.bucket_range(0);
+        let (a3, b3) = h.bucket_range(3);
+        assert_eq!(a0, -1.0);
+        assert!((b0 - -0.5).abs() < 1e-12);
+        assert!((a3 - 0.5).abs() < 1e-12);
+        assert_eq!(b3, 1.0);
+    }
+
+    #[test]
+    fn render_nonempty() {
+        let mut h = Histogram::new(0.0, 4.0, 4).unwrap();
+        for x in [0.5, 1.5, 1.6, 2.5] {
+            h.record(x);
+        }
+        let s = h.render(20);
+        assert_eq!(s.lines().count(), 4);
+        assert!(s.contains('#'));
+    }
+}

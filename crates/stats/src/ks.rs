@@ -1,0 +1,127 @@
+//! Two-sample Kolmogorov–Smirnov distance and significance.
+//!
+//! Used by the test suite to verify that the naive event-driven simulator
+//! and the accelerated cut-rate simulator produce the *same distribution*
+//! of spread times — both are exact samplers of the asynchronous push–pull
+//! process, so their KS distance must be statistically indistinguishable
+//! from zero.
+
+/// The two-sample Kolmogorov–Smirnov statistic
+/// `D = sup_x |F_a(x) − F_b(x)|` between the empirical CDFs of two samples.
+///
+/// # Panics
+///
+/// Panics if either sample is empty or contains NaN.
+///
+/// # Example
+///
+/// ```
+/// use gossip_stats::ks::ks_statistic;
+///
+/// let a = [1.0, 2.0, 3.0];
+/// let b = [1.0, 2.0, 3.0];
+/// assert!(ks_statistic(&a, &b) < 1e-12);
+/// ```
+pub fn ks_statistic(a: &[f64], b: &[f64]) -> f64 {
+    assert!(!a.is_empty() && !b.is_empty(), "KS requires non-empty samples");
+    let mut sa: Vec<f64> = a.to_vec();
+    let mut sb: Vec<f64> = b.to_vec();
+    sa.sort_by(|x, y| x.partial_cmp(y).expect("NaN in KS sample"));
+    sb.sort_by(|x, y| x.partial_cmp(y).expect("NaN in KS sample"));
+    let (na, nb) = (sa.len() as f64, sb.len() as f64);
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut d: f64 = 0.0;
+    while i < sa.len() && j < sb.len() {
+        let x = sa[i].min(sb[j]);
+        while i < sa.len() && sa[i] <= x {
+            i += 1;
+        }
+        while j < sb.len() && sb[j] <= x {
+            j += 1;
+        }
+        d = d.max((i as f64 / na - j as f64 / nb).abs());
+    }
+    d
+}
+
+/// Critical KS distance at significance `alpha` for samples of sizes
+/// `na` and `nb` (asymptotic Smirnov formula).
+///
+/// Two samples from the same distribution exceed this distance with
+/// probability roughly `alpha`.
+///
+/// # Panics
+///
+/// Panics unless `0 < alpha < 1` and both sizes are positive.
+pub fn ks_critical(na: usize, nb: usize, alpha: f64) -> f64 {
+    assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0,1)");
+    assert!(na > 0 && nb > 0, "sample sizes must be positive");
+    let c = (-0.5 * (alpha / 2.0).ln()).sqrt();
+    let n = (na * nb) as f64 / (na + nb) as f64;
+    c / n.sqrt()
+}
+
+/// Convenience check: are two samples plausibly from one distribution at
+/// significance `alpha`?
+pub fn same_distribution(a: &[f64], b: &[f64], alpha: f64) -> bool {
+    ks_statistic(a, b) <= ks_critical(a.len(), b.len(), alpha)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Exponential, SimRng};
+
+    #[test]
+    fn identical_samples_zero_distance() {
+        let a = [0.5, 1.5, 2.5, 3.5];
+        assert_eq!(ks_statistic(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn disjoint_samples_distance_one() {
+        let a = [1.0, 2.0];
+        let b = [10.0, 20.0];
+        assert!((ks_statistic(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = [1.0, 3.0, 5.0, 7.0];
+        let b = [2.0, 3.0, 4.0];
+        assert_eq!(ks_statistic(&a, &b), ks_statistic(&b, &a));
+    }
+
+    #[test]
+    fn same_exponential_passes() {
+        let exp = Exponential::new(1.0).unwrap();
+        let mut rng = SimRng::seed_from_u64(21);
+        let a: Vec<f64> = (0..2000).map(|_| exp.sample(&mut rng)).collect();
+        let b: Vec<f64> = (0..2000).map(|_| exp.sample(&mut rng)).collect();
+        assert!(same_distribution(&a, &b, 0.001));
+    }
+
+    #[test]
+    fn different_rates_fail() {
+        let e1 = Exponential::new(1.0).unwrap();
+        let e2 = Exponential::new(2.0).unwrap();
+        let mut rng = SimRng::seed_from_u64(22);
+        let a: Vec<f64> = (0..2000).map(|_| e1.sample(&mut rng)).collect();
+        let b: Vec<f64> = (0..2000).map(|_| e2.sample(&mut rng)).collect();
+        assert!(!same_distribution(&a, &b, 0.001));
+    }
+
+    #[test]
+    fn critical_decreases_with_size() {
+        assert!(ks_critical(100, 100, 0.01) > ks_critical(10_000, 10_000, 0.01));
+    }
+
+    #[test]
+    fn ties_handled() {
+        let a = [1.0, 1.0, 1.0, 2.0];
+        let b = [1.0, 2.0, 2.0, 2.0];
+        let d = ks_statistic(&a, &b);
+        // F_a(1)=0.75, F_b(1)=0.25 -> D=0.5
+        assert!((d - 0.5).abs() < 1e-12);
+    }
+}

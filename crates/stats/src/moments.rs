@@ -1,0 +1,208 @@
+use serde::{Deserialize, Serialize};
+
+/// Numerically stable running mean/variance accumulator (Welford).
+///
+/// Used throughout the experiment harness and to validate Lemma 5.2 of the
+/// paper (`E[I_τ] = Θ(1)` and `Var[I_τ] = Θ(1)` on regular graphs within one
+/// time unit).
+///
+/// # Example
+///
+/// ```
+/// use gossip_stats::RunningMoments;
+///
+/// let mut m = RunningMoments::new();
+/// for x in [1.0, 2.0, 3.0] {
+///     m.push(x);
+/// }
+/// assert_eq!(m.count(), 3);
+/// assert!((m.mean() - 2.0).abs() < 1e-12);
+/// assert!((m.variance() - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunningMoments {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningMoments {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        RunningMoments { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merges another accumulator into this one (parallel-trial reduction).
+    pub fn merge(&mut self, other: &RunningMoments) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance (0 with fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Standard error of the mean.
+    pub fn std_error(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.std_dev() / (self.count as f64).sqrt()
+        }
+    }
+
+    /// Smallest observation (`+inf` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`-inf` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Two-sided normal-approximation confidence interval for the mean at
+    /// `z` standard errors (e.g. `z = 1.96` for ~95%).
+    pub fn mean_ci(&self, z: f64) -> (f64, f64) {
+        let half = z * self.std_error();
+        (self.mean() - half, self.mean() + half)
+    }
+}
+
+impl Extend<f64> for RunningMoments {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+impl FromIterator<f64> for RunningMoments {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut m = RunningMoments::new();
+        m.extend(iter);
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_defaults() {
+        let m = RunningMoments::new();
+        assert_eq!(m.count(), 0);
+        assert_eq!(m.mean(), 0.0);
+        assert_eq!(m.variance(), 0.0);
+        assert_eq!(m.std_error(), 0.0);
+    }
+
+    #[test]
+    fn single_observation() {
+        let m: RunningMoments = [5.0].into_iter().collect();
+        assert_eq!(m.count(), 1);
+        assert_eq!(m.mean(), 5.0);
+        assert_eq!(m.variance(), 0.0);
+        assert_eq!(m.min(), 5.0);
+        assert_eq!(m.max(), 5.0);
+    }
+
+    #[test]
+    fn known_variance() {
+        let m: RunningMoments = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        assert!((m.mean() - 5.0).abs() < 1e-12);
+        // Unbiased variance of this classic sample is 32/7.
+        assert!((m.variance() - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64) * 0.37 - 3.0).collect();
+        let all: RunningMoments = data.iter().copied().collect();
+        let mut left: RunningMoments = data[..37].iter().copied().collect();
+        let right: RunningMoments = data[37..].iter().copied().collect();
+        left.merge(&right);
+        assert_eq!(left.count(), all.count());
+        assert!((left.mean() - all.mean()).abs() < 1e-10);
+        assert!((left.variance() - all.variance()).abs() < 1e-10);
+        assert_eq!(left.min(), all.min());
+        assert_eq!(left.max(), all.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut m: RunningMoments = [1.0, 2.0].into_iter().collect();
+        let before = m;
+        m.merge(&RunningMoments::new());
+        assert_eq!(m, before);
+        let mut empty = RunningMoments::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn numerical_stability_large_offset() {
+        // Classic catastrophic-cancellation scenario.
+        let m: RunningMoments = [1e9 + 4.0, 1e9 + 7.0, 1e9 + 13.0, 1e9 + 16.0].into_iter().collect();
+        assert!((m.variance() - 30.0).abs() < 1e-6, "var {}", m.variance());
+    }
+
+    #[test]
+    fn confidence_interval_contains_mean() {
+        let m: RunningMoments = (0..1000).map(|i| (i % 10) as f64).collect();
+        let (lo, hi) = m.mean_ci(1.96);
+        assert!(lo <= m.mean() && m.mean() <= hi);
+        assert!(hi - lo > 0.0);
+    }
+}

@@ -1,0 +1,209 @@
+use crate::StatsError;
+use serde::{Deserialize, Serialize};
+
+/// Exact empirical quantiles over a stored sample.
+///
+/// The experiment harness uses quantiles to report the empirical
+/// "with-high-probability spread time": the paper defines spread time as the
+/// first time by which *all* nodes are informed w.h.p., so the measured
+/// analogue is a high quantile (e.g. 0.95) of per-trial completion times.
+///
+/// # Example
+///
+/// ```
+/// use gossip_stats::Quantiles;
+///
+/// let mut q: Quantiles = (0..=100).map(|i| i as f64).collect();
+/// assert_eq!(q.quantile(0.5).unwrap(), 50.0);
+/// assert_eq!(q.max().unwrap(), 100.0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Quantiles {
+    sorted: Vec<f64>,
+    dirty: Vec<f64>,
+}
+
+impl Quantiles {
+    /// Creates an empty sample.
+    pub fn new() -> Self {
+        Quantiles::default()
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.dirty.push(x);
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.sorted.len() + self.dirty.len()
+    }
+
+    /// Whether the sample is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.dirty.is_empty() {
+            self.sorted.append(&mut self.dirty);
+            self.sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile sample"));
+        }
+    }
+
+    /// The empirical `q`-quantile (nearest-rank with linear interpolation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::Empty`] for an empty sample and
+    /// [`StatsError::InvalidProbability`] when `q ∉ \[0, 1\]`.
+    pub fn quantile(&mut self, q: f64) -> Result<f64, StatsError> {
+        if !(0.0..=1.0).contains(&q) {
+            return Err(StatsError::InvalidProbability(q));
+        }
+        if self.is_empty() {
+            return Err(StatsError::Empty);
+        }
+        self.ensure_sorted();
+        let n = self.sorted.len();
+        if n == 1 {
+            return Ok(self.sorted[0]);
+        }
+        let pos = q * (n - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        let frac = pos - lo as f64;
+        Ok(self.sorted[lo] * (1.0 - frac) + self.sorted[hi] * frac)
+    }
+
+    /// The median (0.5-quantile).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::Empty`] for an empty sample.
+    pub fn median(&mut self) -> Result<f64, StatsError> {
+        self.quantile(0.5)
+    }
+
+    /// Smallest observation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::Empty`] for an empty sample.
+    pub fn min(&mut self) -> Result<f64, StatsError> {
+        self.quantile(0.0)
+    }
+
+    /// Largest observation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::Empty`] for an empty sample.
+    pub fn max(&mut self) -> Result<f64, StatsError> {
+        self.quantile(1.0)
+    }
+
+    /// Fraction of observations strictly greater than `x` — the empirical
+    /// tail `Pr[X > x]`, used for Theorem 1.7(iii)'s tail comparison.
+    pub fn tail_fraction(&mut self, x: f64) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        self.ensure_sorted();
+        let n = self.sorted.len();
+        // First index with value > x.
+        let idx = self.sorted.partition_point(|&v| v <= x);
+        (n - idx) as f64 / n as f64
+    }
+
+    /// Read-only view of the sorted sample.
+    pub fn sorted_values(&mut self) -> &[f64] {
+        self.ensure_sorted();
+        &self.sorted
+    }
+}
+
+impl Extend<f64> for Quantiles {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        self.dirty.extend(iter);
+    }
+}
+
+impl FromIterator<f64> for Quantiles {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut q = Quantiles::new();
+        q.extend(iter);
+        q
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_errors() {
+        let mut q = Quantiles::new();
+        assert_eq!(q.median().unwrap_err(), StatsError::Empty);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn invalid_q_rejected() {
+        let mut q: Quantiles = [1.0].into_iter().collect();
+        assert!(matches!(q.quantile(-0.1), Err(StatsError::InvalidProbability(_))));
+        assert!(matches!(q.quantile(1.1), Err(StatsError::InvalidProbability(_))));
+    }
+
+    #[test]
+    fn single_value_all_quantiles() {
+        let mut q: Quantiles = [7.0].into_iter().collect();
+        for p in [0.0, 0.25, 0.5, 1.0] {
+            assert_eq!(q.quantile(p).unwrap(), 7.0);
+        }
+    }
+
+    #[test]
+    fn interpolation() {
+        let mut q: Quantiles = [0.0, 10.0].into_iter().collect();
+        assert_eq!(q.quantile(0.5).unwrap(), 5.0);
+        assert_eq!(q.quantile(0.25).unwrap(), 2.5);
+    }
+
+    #[test]
+    fn median_of_odd_sample() {
+        let mut q: Quantiles = [5.0, 1.0, 3.0].into_iter().collect();
+        assert_eq!(q.median().unwrap(), 3.0);
+    }
+
+    #[test]
+    fn incremental_pushes_resort() {
+        let mut q = Quantiles::new();
+        q.push(3.0);
+        q.push(1.0);
+        assert_eq!(q.min().unwrap(), 1.0);
+        q.push(0.5);
+        assert_eq!(q.min().unwrap(), 0.5);
+        assert_eq!(q.max().unwrap(), 3.0);
+        assert_eq!(q.len(), 3);
+    }
+
+    #[test]
+    fn tail_fraction_counts_strictly_greater() {
+        let mut q: Quantiles = [1.0, 2.0, 2.0, 3.0].into_iter().collect();
+        assert_eq!(q.tail_fraction(2.0), 0.25);
+        assert_eq!(q.tail_fraction(0.0), 1.0);
+        assert_eq!(q.tail_fraction(3.0), 0.0);
+    }
+
+    #[test]
+    fn quantiles_monotone() {
+        let mut q: Quantiles = (0..57).map(|i| ((i * 31) % 57) as f64).collect();
+        let mut prev = f64::NEG_INFINITY;
+        for i in 0..=20 {
+            let v = q.quantile(i as f64 / 20.0).unwrap();
+            assert!(v >= prev);
+            prev = v;
+        }
+    }
+}

@@ -1,0 +1,267 @@
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// The deterministic random source used by every stochastic component in the
+/// workspace.
+///
+/// `SimRng` wraps a fast non-cryptographic generator and exposes exactly the
+/// operations the rumor-spreading processes need. Constructing two instances
+/// from the same seed yields identical streams, which makes every experiment
+/// in the repository reproducible from a single `u64`.
+///
+/// # Example
+///
+/// ```
+/// use gossip_stats::SimRng;
+///
+/// let mut a = SimRng::seed_from_u64(7);
+/// let mut b = SimRng::seed_from_u64(7);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: SmallRng,
+    base_seed: u64,
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SimRng { inner: SmallRng::seed_from_u64(seed), base_seed: seed }
+    }
+
+    /// Returns the seed this generator was created from.
+    pub fn base_seed(&self) -> u64 {
+        self.base_seed
+    }
+
+    /// Derives an independent child generator for trial `index`.
+    ///
+    /// Used by the multi-trial runner so that trials can run in parallel yet
+    /// stay reproducible and order-independent: trial `i` always sees the
+    /// stream of `derive(i)` regardless of scheduling.
+    pub fn derive(&self, index: u64) -> Self {
+        // SplitMix64-style mixing of (base, index) into a fresh seed keeps
+        // the child streams decorrelated even for adjacent indices.
+        let mut z = self
+            .base_seed
+            .wrapping_add(0x1234_5678_9ABC_DEF1)
+            .wrapping_add(index.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        SimRng::seed_from_u64(z ^ (z >> 31))
+    }
+
+    /// Draws the next raw 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Draws a uniform `f64` in the half-open interval `[0, 1)`.
+    pub fn uniform_f64(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Draws a uniform `f64` in the open interval `(0, 1)`.
+    ///
+    /// Useful for inverse-CDF sampling where `ln(0)` must be avoided.
+    pub fn uniform_open(&mut self) -> f64 {
+        loop {
+            let u = self.inner.gen::<f64>();
+            if u > 0.0 {
+                return u;
+            }
+        }
+    }
+
+    /// Draws a uniform index in `0..n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "cannot draw an index from an empty range");
+        self.inner.gen_range(0..n)
+    }
+
+    /// Draws a uniform integer in the inclusive range `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn range_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "empty range [{lo}, {hi}]");
+        self.inner.gen_range(lo..=hi)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `\[0, 1\]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.uniform_f64() < p
+        }
+    }
+
+    /// Chooses a uniformly random element of a slice.
+    ///
+    /// Returns `None` when the slice is empty.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> Option<&'a T> {
+        if items.is_empty() {
+            None
+        } else {
+            let i = self.index(items.len());
+            Some(&items[i])
+        }
+    }
+
+    /// Shuffles a slice in place (Fisher–Yates).
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        if items.len() < 2 {
+            return;
+        }
+        for i in (1..items.len()).rev() {
+            let j = self.index(i + 1);
+            items.swap(i, j);
+        }
+    }
+
+    /// Samples `k` distinct indices from `0..n` (uniform without
+    /// replacement), in selection order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > n`.
+    pub fn sample_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+        assert!(k <= n, "cannot sample {k} distinct indices from 0..{n}");
+        // Partial Fisher-Yates over a scratch identity map; O(n) memory is
+        // fine at the sizes the simulators use.
+        let mut pool: Vec<usize> = (0..n).collect();
+        for i in 0..k {
+            let j = i + self.index(n - i);
+            pool.swap(i, j);
+        }
+        pool.truncate(k);
+        pool
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = SimRng::seed_from_u64(123);
+        let mut b = SimRng::seed_from_u64(123);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn derive_is_stable_and_decorrelated() {
+        let base = SimRng::seed_from_u64(9);
+        let mut c1 = base.derive(0);
+        let mut c2 = base.derive(1);
+        let mut c1b = base.derive(0);
+        assert_eq!(c1.next_u64(), c1b.next_u64());
+        // Not a proof of independence, but adjacent children must differ.
+        let x: Vec<u64> = (0..8).map(|_| c1.next_u64()).collect();
+        let y: Vec<u64> = (0..8).map(|_| c2.next_u64()).collect();
+        assert_ne!(x, y);
+    }
+
+    #[test]
+    fn derive_differs_from_parent_stream() {
+        let base = SimRng::seed_from_u64(0);
+        let mut child = base.derive(0);
+        let mut parent = SimRng::seed_from_u64(0);
+        let x: Vec<u64> = (0..8).map(|_| child.next_u64()).collect();
+        let y: Vec<u64> = (0..8).map(|_| parent.next_u64()).collect();
+        assert_ne!(x, y);
+    }
+
+    #[test]
+    fn uniform_f64_in_unit_interval() {
+        let mut rng = SimRng::seed_from_u64(5);
+        for _ in 0..1000 {
+            let u = rng.uniform_f64();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn uniform_open_strictly_positive() {
+        let mut rng = SimRng::seed_from_u64(11);
+        for _ in 0..1000 {
+            assert!(rng.uniform_open() > 0.0);
+        }
+    }
+
+    #[test]
+    fn index_respects_bound() {
+        let mut rng = SimRng::seed_from_u64(1);
+        for n in 1..32 {
+            for _ in 0..100 {
+                assert!(rng.index(n) < n);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn index_zero_panics() {
+        SimRng::seed_from_u64(0).index(0);
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = SimRng::seed_from_u64(2);
+        let mut v: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sample_indices_distinct() {
+        let mut rng = SimRng::seed_from_u64(3);
+        let sample = rng.sample_indices(100, 30);
+        assert_eq!(sample.len(), 30);
+        let mut sorted = sample.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 30);
+        assert!(sorted.iter().all(|&i| i < 100));
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::seed_from_u64(4);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+        assert!(!rng.chance(-0.5));
+        assert!(rng.chance(1.5));
+    }
+
+    #[test]
+    fn chance_frequency_close_to_p() {
+        let mut rng = SimRng::seed_from_u64(6);
+        let trials = 20_000;
+        let hits = (0..trials).filter(|_| rng.chance(0.3)).count();
+        let freq = hits as f64 / trials as f64;
+        assert!((freq - 0.3).abs() < 0.02, "freq {freq}");
+    }
+
+    #[test]
+    fn choose_none_on_empty() {
+        let mut rng = SimRng::seed_from_u64(8);
+        let empty: [u8; 0] = [];
+        assert!(rng.choose(&empty).is_none());
+        assert_eq!(rng.choose(&[42]), Some(&42));
+    }
+}

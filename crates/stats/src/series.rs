@@ -1,0 +1,216 @@
+//! Labeled numeric series for experiment output.
+//!
+//! Every experiment binary in `gossip-bench` emits its results as a
+//! [`Series`] table: a sweep variable (`n`, `ρ`, `k`, ...) against one or
+//! more measured and predicted columns. Keeping the rendering here means
+//! all experiments print in the same aligned, diff-friendly format that is
+//! copied into `EXPERIMENTS.md`.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A table of experiment results: one sweep column plus named value columns.
+///
+/// # Example
+///
+/// ```
+/// use gossip_stats::series::Series;
+///
+/// let mut s = Series::new("n", vec!["measured".into(), "bound".into()]);
+/// s.push(64.0, vec![10.0, 30.0]);
+/// s.push(128.0, vec![12.0, 35.0]);
+/// let text = s.to_string();
+/// assert!(text.contains("measured"));
+/// assert!(text.lines().count() >= 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    sweep_name: String,
+    columns: Vec<String>,
+    rows: Vec<(f64, Vec<f64>)>,
+}
+
+impl Series {
+    /// Creates an empty series with a sweep-variable name and column names.
+    pub fn new(sweep_name: impl Into<String>, columns: Vec<String>) -> Self {
+        Series { sweep_name: sweep_name.into(), columns, rows: Vec::new() }
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len()` differs from the number of columns.
+    pub fn push(&mut self, sweep: f64, values: Vec<f64>) {
+        assert_eq!(
+            values.len(),
+            self.columns.len(),
+            "row has {} values but series has {} columns",
+            values.len(),
+            self.columns.len()
+        );
+        self.rows.push((sweep, values));
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the series has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Column names.
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// Iterates over `(sweep, values)` rows.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, &[f64])> {
+        self.rows.iter().map(|(s, v)| (*s, v.as_slice()))
+    }
+
+    /// Values of a named column.
+    pub fn column(&self, name: &str) -> Option<Vec<f64>> {
+        let idx = self.columns.iter().position(|c| c == name)?;
+        Some(self.rows.iter().map(|(_, v)| v[idx]).collect())
+    }
+
+    /// Least-squares slope of `log(column)` against `log(sweep)` — the
+    /// empirical polynomial growth exponent, the primary "shape" statistic
+    /// the reproduction compares against the paper's bounds.
+    ///
+    /// Rows with non-positive sweep or value are skipped. Returns `None`
+    /// with fewer than two usable rows.
+    pub fn log_log_slope(&self, column: &str) -> Option<f64> {
+        let idx = self.columns.iter().position(|c| c == column)?;
+        let pts: Vec<(f64, f64)> = self
+            .rows
+            .iter()
+            .filter(|(s, v)| *s > 0.0 && v[idx] > 0.0)
+            .map(|(s, v)| (s.ln(), v[idx].ln()))
+            .collect();
+        slope(&pts)
+    }
+
+    /// Least-squares slope of `column` against `log(sweep)` — detects
+    /// logarithmic growth (slope stabilizes) vs polynomial (slope diverges).
+    pub fn semilog_slope(&self, column: &str) -> Option<f64> {
+        let idx = self.columns.iter().position(|c| c == column)?;
+        let pts: Vec<(f64, f64)> = self
+            .rows
+            .iter()
+            .filter(|(s, _)| *s > 0.0)
+            .map(|(s, v)| (s.ln(), v[idx]))
+            .collect();
+        slope(&pts)
+    }
+}
+
+/// Ordinary least-squares slope of `y` on `x`.
+fn slope(pts: &[(f64, f64)]) -> Option<f64> {
+    if pts.len() < 2 {
+        return None;
+    }
+    let n = pts.len() as f64;
+    let sx: f64 = pts.iter().map(|(x, _)| x).sum();
+    let sy: f64 = pts.iter().map(|(_, y)| y).sum();
+    let sxx: f64 = pts.iter().map(|(x, _)| x * x).sum();
+    let sxy: f64 = pts.iter().map(|(x, y)| x * y).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-12 {
+        None
+    } else {
+        Some((n * sxy - sx * sy) / denom)
+    }
+}
+
+impl fmt::Display for Series {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:>12}", self.sweep_name)?;
+        for c in &self.columns {
+            write!(f, " {c:>14}")?;
+        }
+        writeln!(f)?;
+        for (sweep, values) in self.iter() {
+            write!(f, "{sweep:>12.4}")?;
+            for v in values {
+                write!(f, " {v:>14.4}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quadratic_series() -> Series {
+        let mut s = Series::new("n", vec!["t".into()]);
+        for n in [8.0, 16.0, 32.0, 64.0, 128.0] {
+            s.push(n, vec![3.0 * n * n]);
+        }
+        s
+    }
+
+    #[test]
+    fn log_log_slope_detects_quadratic() {
+        let s = quadratic_series();
+        let slope = s.log_log_slope("t").unwrap();
+        assert!((slope - 2.0).abs() < 1e-9, "slope {slope}");
+    }
+
+    #[test]
+    fn log_log_slope_detects_linear() {
+        let mut s = Series::new("n", vec!["t".into()]);
+        for n in [10.0, 100.0, 1000.0] {
+            s.push(n, vec![0.5 * n]);
+        }
+        assert!((s.log_log_slope("t").unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn semilog_slope_detects_logarithmic() {
+        let mut s = Series::new("n", vec!["t".into()]);
+        for n in [8.0, 64.0, 512.0, 4096.0] {
+            s.push(n, vec![7.0 * n.ln() + 1.0]);
+        }
+        assert!((s.semilog_slope("t").unwrap() - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn column_extraction() {
+        let s = quadratic_series();
+        let col = s.column("t").unwrap();
+        assert_eq!(col.len(), 5);
+        assert!(s.column("missing").is_none());
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_row_panics() {
+        let mut s = Series::new("n", vec!["a".into(), "b".into()]);
+        s.push(1.0, vec![1.0]);
+    }
+
+    #[test]
+    fn display_aligned() {
+        let s = quadratic_series();
+        let text = s.to_string();
+        assert_eq!(text.lines().count(), 6);
+        let widths: Vec<usize> = text.lines().map(|l| l.len()).collect();
+        assert!(widths.windows(2).all(|w| w[0] == w[1]), "ragged table:\n{text}");
+    }
+
+    #[test]
+    fn slope_requires_two_points() {
+        let mut s = Series::new("n", vec!["t".into()]);
+        assert!(s.log_log_slope("t").is_none());
+        s.push(10.0, vec![5.0]);
+        assert!(s.log_log_slope("t").is_none());
+    }
+}

@@ -1,0 +1,196 @@
+//! The paper's tail bounds as executable functions.
+//!
+//! These are the probabilistic workhorses of the analysis:
+//!
+//! * [`poisson_lower_tail_bound`] — Lemma 2.2: for Poisson `X` with rate `r`,
+//!   `Pr[X ≤ r/2] ≤ e^{r(1/e + 1/2 − 1)}`.
+//! * [`chernoff_upper`] / [`chernoff_lower`] / [`chernoff_two_sided`] —
+//!   Theorem A.1 (standard multiplicative Chernoff bounds for sums of
+//!   independent `{0,1}` variables).
+//! * [`c0`] and [`theorem_1_1_constant`] — the explicit constants
+//!   `c₀ = 1/2 − 1/e` and `C = (10c + 20)/c₀` appearing in Theorem 1.1
+//!   (the paper writes `c₀` equivalently as `1 − 1/2 − 1/e`).
+//!
+//! The tests check the bounds against exact Poisson/Binomial tail sums, so
+//! a transcription error in a constant would fail the suite.
+
+/// Lemma 2.2: upper bound on `Pr[X ≤ r/2]` for `X ~ Poisson(r)`.
+///
+/// # Panics
+///
+/// Panics if `r` is not positive and finite.
+///
+/// # Example
+///
+/// ```
+/// let bound = gossip_stats::tail::poisson_lower_tail_bound(40.0);
+/// assert!(bound < 1e-2);
+/// ```
+pub fn poisson_lower_tail_bound(r: f64) -> f64 {
+    assert!(r.is_finite() && r > 0.0, "rate must be positive, got {r}");
+    // e^{r(1/e + 1/2 - 1)}; the exponent coefficient is -c0.
+    (r * (1.0 / core::f64::consts::E - 0.5)).exp()
+}
+
+/// Theorem A.1, upper tail: `Pr[X ≥ (1+δ)·E X] ≤ exp(−δ²·E X / 2)` for a sum
+/// of independent `{0,1}` variables with mean `mu` and `δ ∈ (0, 1)`.
+///
+/// # Panics
+///
+/// Panics unless `0 < delta < 1` and `mu > 0`.
+pub fn chernoff_upper(mu: f64, delta: f64) -> f64 {
+    assert!(delta > 0.0 && delta < 1.0, "delta must be in (0,1), got {delta}");
+    assert!(mu > 0.0, "mean must be positive, got {mu}");
+    (-delta * delta * mu / 2.0).exp()
+}
+
+/// Theorem A.1, lower tail: `Pr[X ≤ (1−δ)·E X] ≤ exp(−δ²·E X / 3)`.
+///
+/// # Panics
+///
+/// Panics unless `0 < delta < 1` and `mu > 0`.
+pub fn chernoff_lower(mu: f64, delta: f64) -> f64 {
+    assert!(delta > 0.0 && delta < 1.0, "delta must be in (0,1), got {delta}");
+    assert!(mu > 0.0, "mean must be positive, got {mu}");
+    (-delta * delta * mu / 3.0).exp()
+}
+
+/// Theorem A.1, two-sided: `Pr[|X − E X| ≥ δ·E X] ≤ 2·exp(−δ²·E X / 3)`.
+///
+/// # Panics
+///
+/// Panics unless `0 < delta < 1` and `mu > 0`.
+pub fn chernoff_two_sided(mu: f64, delta: f64) -> f64 {
+    (2.0 * chernoff_lower(mu, delta)).min(1.0)
+}
+
+/// The constant `c₀ = 1/2 − 1/e` of Theorem 1.1, computed at runtime.
+pub fn c0() -> f64 {
+    0.5 - 1.0 / core::f64::consts::E
+}
+
+/// The constant `C = (10c + 20)/c₀` of Theorem 1.1 for failure-probability
+/// exponent `c`.
+///
+/// Theorem 1.1: with probability `1 − n^{−c}`, the asynchronous push–pull
+/// algorithm finishes by `T(G,c) = min{t : Σ_{p≤t} Φ(G(p))·ρ(p) ≥ C·log n}`.
+///
+/// # Panics
+///
+/// Panics unless `c ≥ 1` (the paper requires an arbitrary constant `c > 1`;
+/// `c = 1` is allowed here as the boundary case).
+pub fn theorem_1_1_constant(c: f64) -> f64 {
+    assert!(c >= 1.0, "theorem 1.1 requires c >= 1, got {c}");
+    (10.0 * c + 20.0) / c0()
+}
+
+/// Theorem 1.7(iii) tail prediction: the probability that the asynchronous
+/// algorithm on the dynamic star exceeds time `2k` is at most
+/// `e^{−k/2} + e^{−k}` (up to `o(1)` factors).
+pub fn dynamic_star_tail_bound(k: f64) -> f64 {
+    ((-k / 2.0).exp() + (-k).exp()).min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampling::ln_factorial;
+
+    /// Exact `Pr[X <= m]` for `X ~ Poisson(r)`.
+    fn poisson_cdf_exact(r: f64, m: u64) -> f64 {
+        (0..=m).map(|k| (-r + k as f64 * r.ln() - ln_factorial(k)).exp()).sum()
+    }
+
+    #[test]
+    fn c0_value() {
+        assert!((c0() - 0.132_120_558_8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn theorem_constant_at_c1() {
+        // C = 30 / c0 ≈ 227.07 for c = 1.
+        let c = theorem_1_1_constant(1.0);
+        assert!((c - 30.0 / c0()).abs() < 1e-12);
+        assert!(c > 225.0 && c < 230.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn theorem_constant_rejects_small_c() {
+        theorem_1_1_constant(0.5);
+    }
+
+    #[test]
+    fn lemma_2_2_dominates_exact_tail() {
+        // The bound must hold for every rate; check a spread of rates.
+        for r in [1.0f64, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0] {
+            let exact = poisson_cdf_exact(r, (r / 2.0).floor() as u64);
+            let bound = poisson_lower_tail_bound(r);
+            assert!(
+                exact <= bound + 1e-12,
+                "r={r}: exact {exact} exceeds Lemma 2.2 bound {bound}"
+            );
+        }
+    }
+
+    #[test]
+    fn lemma_2_2_decays_exponentially() {
+        let b10 = poisson_lower_tail_bound(10.0);
+        let b20 = poisson_lower_tail_bound(20.0);
+        // Doubling the rate should square the bound.
+        assert!((b20 - b10 * b10).abs() < 1e-12);
+    }
+
+    /// Exact `Pr[X >= m]` for `X ~ Binomial(n, p)`.
+    fn binomial_upper_tail(n: u64, p: f64, m: u64) -> f64 {
+        let ln_choose = |n: u64, k: u64| ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k);
+        (m..=n)
+            .map(|k| {
+                (ln_choose(n, k) + k as f64 * p.ln() + (n - k) as f64 * (1.0 - p).ln()).exp()
+            })
+            .sum()
+    }
+
+    #[test]
+    fn chernoff_upper_dominates_binomial() {
+        let n = 200u64;
+        let p = 0.3;
+        let mu = n as f64 * p;
+        for delta in [0.1, 0.3, 0.5, 0.9] {
+            let threshold = ((1.0 + delta) * mu).ceil() as u64;
+            let exact = binomial_upper_tail(n, p, threshold);
+            let bound = chernoff_upper(mu, delta);
+            assert!(exact <= bound + 1e-12, "delta={delta}: {exact} > {bound}");
+        }
+    }
+
+    #[test]
+    fn chernoff_lower_dominates_binomial() {
+        let n = 200u64;
+        let p = 0.3;
+        let mu = n as f64 * p;
+        for delta in [0.1, 0.3, 0.5, 0.9] {
+            let threshold = ((1.0 - delta) * mu).floor() as u64;
+            // Pr[X <= threshold] = 1 - Pr[X >= threshold+1]
+            let exact = 1.0 - binomial_upper_tail(n, p, threshold + 1);
+            let bound = chernoff_lower(mu, delta);
+            assert!(exact <= bound + 1e-9, "delta={delta}: {exact} > {bound}");
+        }
+    }
+
+    #[test]
+    fn two_sided_clamped() {
+        assert!(chernoff_two_sided(0.001, 0.5) <= 1.0);
+    }
+
+    #[test]
+    fn star_tail_bound_monotone_decreasing() {
+        let mut prev = f64::INFINITY;
+        for k in 1..20 {
+            let b = dynamic_star_tail_bound(k as f64);
+            assert!(b < prev);
+            prev = b;
+        }
+        assert!(dynamic_star_tail_bound(0.0) == 1.0);
+    }
+}

@@ -1,0 +1,60 @@
+//! Watch Theorem 1.1 fire in real time: run the asynchronous algorithm on
+//! the dynamic star while printing the accumulated `Σ Φ(G(p))·ρ(p)` next
+//! to the informed count, window by window.
+//!
+//! ```text
+//! cargo run --release --example bound_tracker
+//! ```
+
+use rumor_spreading::bounds::predictions;
+use rumor_spreading::bounds::tracking::{run_tracked, ProfileMode};
+use rumor_spreading::prelude::*;
+
+fn main() {
+    let leaves = 300;
+    let mut net = DynamicStar::new(leaves).expect("leaves >= 2");
+    let n = net.n();
+    let start = net.suggested_start();
+    let mut protocol = CutRateAsync::new();
+    let mut rng = SimRng::seed_from_u64(2024);
+
+    let outcome = run_tracked(
+        &mut net,
+        &mut protocol,
+        start,
+        1.0,
+        1e5,
+        ProfileMode::FromNetwork,
+        &mut rng,
+    )
+    .expect("valid configuration");
+
+    let target = predictions::theorem_1_1_target(n, 1.0);
+    println!("dynamic star, n = {n}; Theorem 1.1 target C·log n = {target:.1}");
+    println!("{:>6} {:>16} {:>16}", "t", "Σ Φ·ρ so far", "status");
+    let mut sum = 0.0;
+    for (t, p) in outcome.profiles.iter().enumerate() {
+        sum += p.theorem_1_1_increment();
+        let status = if Some((t + 1) as u64) == outcome.theorem_1_1_steps {
+            "<- bound fires"
+        } else if (t as f64) < outcome.spread_time.unwrap_or(f64::MAX)
+            && outcome.spread_time.map(|s| s < (t + 1) as f64).unwrap_or(false)
+        {
+            "<- all informed"
+        } else {
+            ""
+        };
+        // Print a sparse view: first windows, the completion window, the
+        // firing window, and every 50th.
+        if t < 5 || !status.is_empty() || t % 50 == 0 {
+            println!("{t:>6} {sum:>16.2} {status:>16}");
+        }
+    }
+    println!();
+    println!(
+        "measured spread time {:.2} vs Theorem 1.1 stopping step {:?} — the bound's",
+        outcome.spread_time.expect("star finishes"),
+        outcome.theorem_1_1_steps
+    );
+    println!("slack here is exactly the constant C ≈ 227 the paper does not optimize.");
+}

@@ -1,0 +1,57 @@
+//! Figure 1 / Theorem 1.7: the synchronous–asynchronous dichotomy.
+//!
+//! Reproduces both directions of the paper's separation:
+//!
+//! * `G1` (clique + pendant, then two bridged cliques): synchrony wins —
+//!   `Ts = Θ(log n)` but `Ta = Ω(n)`;
+//! * `G2` (re-centered dynamic star): asynchrony wins — `Ta = Θ(log n)`
+//!   but `Ts = n` exactly.
+//!
+//! ```text
+//! cargo run --release --example dichotomy
+//! ```
+
+use rumor_spreading::prelude::*;
+
+/// `mean = true` reports the trial mean instead of the median. On `G1` the
+/// async completion times are bimodal (the pendant edge fires in `[0,1)`
+/// with probability `≈ 1 − e⁻¹`, else the run waits on the `Θ(1/n)`-rate
+/// bridge), so the `Ω(n)` behavior shows in the mean while the median sits
+/// in the fast mode.
+fn measure<N: DynamicNetwork>(
+    make: impl Fn() -> N + Sync,
+    sync: bool,
+    trials: usize,
+    mean: bool,
+) -> f64 {
+    let runner = Runner::new(trials, 7);
+    let config = RunConfig::with_max_time(1e6);
+    let mut summary = if sync {
+        runner.run(&make, SyncPushPull::new, None, config).expect("valid config")
+    } else {
+        runner.run(&make, CutRateAsync::new, None, config).expect("valid config")
+    };
+    if mean {
+        summary.mean()
+    } else {
+        summary.median()
+    }
+}
+
+fn main() {
+    println!(
+        "{:>6} {:>14} {:>14} {:>14} {:>14}",
+        "n", "G1 sync med", "G1 async mean", "G2 sync med", "G2 async med"
+    );
+    for n in [32usize, 64, 128, 256, 512] {
+        let g1_sync = measure(|| CliquePendant::new(n).expect("n >= 4"), true, 30, false);
+        let g1_async = measure(|| CliquePendant::new(n).expect("n >= 4"), false, 30, true);
+        let g2_sync = measure(|| DynamicStar::new(n).expect("n >= 2"), true, 15, false);
+        let g2_async = measure(|| DynamicStar::new(n).expect("n >= 2"), false, 15, false);
+        println!("{n:>6} {g1_sync:>14.2} {g1_async:>14.2} {g2_sync:>14.2} {g2_async:>14.2}");
+    }
+    println!();
+    println!("expected shapes (paper Theorem 1.7):");
+    println!("  G1: sync ~ log n          async ~ n   (asynchrony loses on the bridge)");
+    println!("  G2: sync = n exactly      async ~ log n (asynchrony pipelines inside a window)");
+}

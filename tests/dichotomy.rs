@@ -1,0 +1,108 @@
+//! Integration tests for the Theorem 1.7 dichotomy (Figure 1), exercised
+//! through the facade exactly as a downstream user would.
+
+use rumor_spreading::prelude::*;
+
+/// Theorem 1.7(ii): the synchronous algorithm takes *exactly* n rounds on
+/// the dynamic star, for every trial and size.
+#[test]
+fn sync_dynamic_star_exact_n() {
+    for leaves in [10usize, 25, 50] {
+        let runner = Runner::new(8, leaves as u64);
+        let mut summary = runner
+            .run(
+                move || DynamicStar::new(leaves).expect("valid"),
+                SyncPushPull::new,
+                None,
+                RunConfig::with_max_time(1e6),
+            )
+            .expect("valid");
+        assert_eq!(summary.completed(), 8);
+        assert_eq!(summary.quantile(0.0), leaves as f64);
+        assert_eq!(summary.max(), leaves as f64);
+    }
+}
+
+/// Theorem 1.7(ii): asynchronously the dynamic star finishes in Θ(log n) —
+/// doubling n adds roughly a constant, far from doubling the time.
+#[test]
+fn async_dynamic_star_logarithmic() {
+    let median = |leaves: usize| {
+        let runner = Runner::new(10, 99);
+        let mut s = runner
+            .run(
+                move || DynamicStar::new(leaves).expect("valid"),
+                CutRateAsync::new,
+                None,
+                RunConfig::with_max_time(1e6),
+            )
+            .expect("valid");
+        s.median()
+    };
+    let t200 = median(200);
+    let t800 = median(800);
+    assert!(t800 < 2.0 * t200, "quadrupling n more than doubled async time: {t200} -> {t800}");
+    assert!(t800 < 40.0, "async star time {t800} not logarithmic");
+}
+
+/// Theorem 1.7(i): on G1 the asynchronous algorithm is linear while the
+/// synchronous one is logarithmic.
+///
+/// Async completion times on G1 are bimodal — with probability ≈ 1 − e⁻¹
+/// the pendant edge fires inside [0,1) and the run is logarithmic, else
+/// it waits on the Θ(1/n)-rate bridge — so the linear-in-n behavior shows
+/// in the *mean* (≈ e⁻¹·Θ(n)), not the median.
+#[test]
+fn clique_pendant_dichotomy() {
+    let measure = |n: usize, sync: bool| {
+        let runner = Runner::new(30, 5);
+        let config = RunConfig::with_max_time(1e6);
+        if sync {
+            runner
+                .run(
+                    move || CliquePendant::new(n).expect("valid"),
+                    SyncPushPull::new,
+                    None,
+                    config,
+                )
+                .expect("valid")
+                .median()
+        } else {
+            runner
+                .run(
+                    move || CliquePendant::new(n).expect("valid"),
+                    CutRateAsync::new,
+                    None,
+                    config,
+                )
+                .expect("valid")
+                .mean()
+        }
+    };
+    let sync_256 = measure(256, true);
+    let async_256 = measure(256, false);
+    // Sync: a handful of rounds. Async: constant-probability bridge wait
+    // of order n dominates the mean.
+    assert!(sync_256 <= 20.0, "sync on G1 should be logarithmic, got {sync_256}");
+    assert!(async_256 >= 15.0, "async on G1 should be linear-ish, got {async_256}");
+    // And the gap widens with n.
+    let async_64 = measure(64, false);
+    assert!(async_256 > 2.0 * async_64, "async G1 gap did not widen: {async_64} -> {async_256}");
+}
+
+/// The dichotomy is *dynamic-only*: on the static star, async and sync are
+/// both logarithmic-ish — no n-vs-log-n split (Giakkoupis et al. \[16\]
+/// relate them on static graphs).
+#[test]
+fn no_dichotomy_on_static_star() {
+    let n = 200;
+    let make = move || StaticNetwork::new(generators::star(n).expect("valid"));
+    let mut sync = Runner::new(10, 1)
+        .run(make, SyncPushPull::new, Some(1), RunConfig::default())
+        .expect("valid");
+    let mut async_ = Runner::new(10, 2)
+        .run(make, CutRateAsync::new, Some(1), RunConfig::default())
+        .expect("valid");
+    assert!(sync.median() <= 4.0, "static star sync is O(1) rounds");
+    assert!(async_.median() <= 20.0, "static star async is O(log n)");
+}

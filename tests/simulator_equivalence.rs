@@ -1,0 +1,50 @@
+//! Integration test: the two exact asynchronous simulators agree in
+//! distribution on a *dynamic* network, end-to-end through the facade.
+//!
+//! (Per-crate unit tests cover static graphs; this exercises the window
+//! slicing against an adaptive adversary.)
+
+use rumor_spreading::prelude::*;
+use rumor_spreading::stats::ks;
+
+fn spread_times<P: Protocol>(
+    make_proto: impl Fn() -> P,
+    trials: u64,
+    seed: u64,
+) -> Vec<f64> {
+    let base = SimRng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    for i in 0..trials {
+        let mut rng = base.derive(i);
+        let mut net = DiligentNetwork::with_params(
+            120,
+            rumor_spreading::graph::generators::HkDeltaParams { k: 2, delta: 5 },
+        )
+        .expect("valid");
+        let start = net.suggested_start();
+        let outcome = Simulation::new(make_proto(), RunConfig::with_max_time(1e5))
+            .run(&mut net, start, &mut rng)
+            .expect("valid");
+        out.push(outcome.spread_time().expect("connected adversary finishes"));
+    }
+    out
+}
+
+#[test]
+fn naive_and_cut_rate_agree_on_adaptive_adversary() {
+    let naive = spread_times(AsyncPushPull::new, 400, 10);
+    let fast = spread_times(CutRateAsync::new, 400, 20);
+    assert!(
+        ks::same_distribution(&naive, &fast, 0.001),
+        "KS distance {} exceeds critical {}",
+        ks::ks_statistic(&naive, &fast),
+        ks::ks_critical(naive.len(), fast.len(), 0.001)
+    );
+}
+
+#[test]
+fn deterministic_replay_through_facade() {
+    let a = spread_times(CutRateAsync::new, 20, 123);
+    let b = spread_times(CutRateAsync::new, 20, 123);
+    assert_eq!(a, b, "same seed must replay identically");
+}
