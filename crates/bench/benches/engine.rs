@@ -1,0 +1,97 @@
+//! Incremental (event-stream) vs window-based engine comparison.
+//!
+//! Benchmarks full spread-to-completion runs of `CutRateAsync` through
+//! both engines on complete and circulant (d = 16) graphs across
+//! n ∈ {1e3, 1e4, 1e5}, then records the per-size speedups and writes
+//! everything to `BENCH_engine.json` in the invoking directory.
+//!
+//! The window engine rebuilds the cut rates from scratch at every unit
+//! window (`O(vol(smaller cut side))` per window); the event engine builds
+//! them once and repairs them per informed node (`O(deg(v))`). On sparse
+//! circulants, where the spread crosses thousands of windows, the gap is
+//! the whole point of the event-stream architecture.
+//!
+//! `complete/100000` is gated behind `BENCH_ENGINE_FULL=1`: its CSR
+//! representation alone is ≈ 40 GB and generation dominates any timing.
+//!
+//! Run with: `cargo bench -p gossip-bench --bench engine`
+
+use criterion::{BenchmarkId, Criterion};
+use gossip_dynamics::StaticNetwork;
+use gossip_graph::{generators, Graph};
+use gossip_sim::{CutRateAsync, EventSimulation, RunConfig, Simulation};
+use gossip_stats::SimRng;
+use std::time::Duration;
+
+const CIRCULANT_DEGREE: usize = 16;
+
+fn bench_pair(c: &mut Criterion, family: &str, n: usize, graph: &Graph) {
+    let mut group = c.benchmark_group(format!("engine_{family}"));
+    group.sample_size(if n >= 100_000 { 3 } else { 5 });
+
+    group.bench_with_input(BenchmarkId::new("window", n), &n, |b, _| {
+        let mut net = StaticNetwork::new(graph.clone());
+        let mut sim = Simulation::new(CutRateAsync::new(), RunConfig::default());
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut rng = SimRng::seed_from_u64(seed);
+            let o = sim.run(&mut net, 0, &mut rng).expect("valid");
+            assert!(o.complete());
+            o
+        });
+    });
+    group.bench_with_input(BenchmarkId::new("event", n), &n, |b, _| {
+        let mut net = StaticNetwork::new(graph.clone());
+        let mut sim = EventSimulation::new(CutRateAsync::new(), RunConfig::default());
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut rng = SimRng::seed_from_u64(seed);
+            let o = sim.run(&mut net, 0, &mut rng).expect("valid");
+            assert!(o.complete());
+            o
+        });
+    });
+    group.finish();
+
+    let window = c
+        .measurement_ns(&format!("engine_{family}/window/{n}"))
+        .expect("window measurement recorded");
+    let event = c
+        .measurement_ns(&format!("engine_{family}/event/{n}"))
+        .expect("event measurement recorded");
+    c.record_metric(format!("speedup/{family}/{n}"), window / event);
+}
+
+fn main() {
+    let full = std::env::var("BENCH_ENGINE_FULL").is_ok_and(|v| v == "1");
+    let mut c = Criterion::default()
+        .sample_size(5)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(2));
+
+    let complete_sizes: &[usize] = if full {
+        &[1_000, 10_000, 100_000]
+    } else {
+        &[1_000, 10_000]
+    };
+    for &n in complete_sizes {
+        let graph = generators::complete(n).expect("valid n");
+        bench_pair(&mut c, "complete", n, &graph);
+    }
+    if !full {
+        println!("skipped complete/100000 (≈ 40 GB CSR); set BENCH_ENGINE_FULL=1 to include it");
+    }
+
+    for &n in &[1_000usize, 10_000, 100_000] {
+        let graph = generators::regular_circulant(n, CIRCULANT_DEGREE).expect("valid circulant");
+        bench_pair(&mut c, "circulant", n, &graph);
+    }
+
+    // Cargo runs benches with the package directory as cwd; anchor the
+    // summary at the workspace root instead.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
+    c.write_json(path).expect("write BENCH_engine.json");
+    println!("wrote {path}");
+}

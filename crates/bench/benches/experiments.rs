@@ -19,8 +19,16 @@ fn bench_tracked_runs(c: &mut Criterion) {
             let mut net = DynamicStar::new(511).expect("valid");
             let start = net.suggested_start();
             let mut proto = CutRateAsync::new();
-            run_tracked(&mut net, &mut proto, start, 1.0, 1e6, ProfileMode::FromNetwork, &mut rng)
-                .expect("valid")
+            run_tracked(
+                &mut net,
+                &mut proto,
+                start,
+                1.0,
+                1e6,
+                ProfileMode::FromNetwork,
+                &mut rng,
+            )
+            .expect("valid")
         });
     });
     group.bench_function("diligent_n240_rho02", |b| {
@@ -31,8 +39,16 @@ fn bench_tracked_runs(c: &mut Criterion) {
             let mut net = DiligentNetwork::new(240, 0.2).expect("valid");
             let start = net.suggested_start();
             let mut proto = CutRateAsync::new();
-            run_tracked(&mut net, &mut proto, start, 1.0, 1e6, ProfileMode::FromNetwork, &mut rng)
-                .expect("valid")
+            run_tracked(
+                &mut net,
+                &mut proto,
+                start,
+                1.0,
+                1e6,
+                ProfileMode::FromNetwork,
+                &mut rng,
+            )
+            .expect("valid")
         });
     });
     group.bench_function("absolute_n120_d6", |b| {
@@ -43,8 +59,16 @@ fn bench_tracked_runs(c: &mut Criterion) {
             let mut net = AbsoluteDiligentNetwork::with_delta(120, 6).expect("valid");
             let start = net.suggested_start();
             let mut proto = CutRateAsync::new();
-            run_tracked(&mut net, &mut proto, start, 1.0, 1e7, ProfileMode::FromNetwork, &mut rng)
-                .expect("valid")
+            run_tracked(
+                &mut net,
+                &mut proto,
+                start,
+                1.0,
+                1e7,
+                ProfileMode::FromNetwork,
+                &mut rng,
+            )
+            .expect("valid")
         });
     });
     group.finish();

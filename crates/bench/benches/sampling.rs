@@ -17,7 +17,10 @@ struct LinearSampler {
 
 impl LinearSampler {
     fn new(n: usize) -> Self {
-        LinearSampler { weights: vec![0.0; n], total: 0.0 }
+        LinearSampler {
+            weights: vec![0.0; n],
+            total: 0.0,
+        }
     }
 
     fn set(&mut self, i: usize, w: f64) {

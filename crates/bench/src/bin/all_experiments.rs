@@ -2,5 +2,8 @@
 //! report — the source of `EXPERIMENTS.md`. Pass `--quick` for CI scale.
 
 fn main() {
-    println!("{}", gossip_bench::experiments::run_all(gossip_bench::scale_from_args()));
+    println!(
+        "{}",
+        gossip_bench::experiments::run_all(gossip_bench::scale_from_args())
+    );
 }

@@ -2,5 +2,8 @@
 //! Pass `--quick` for a CI-sized run.
 
 fn main() {
-    println!("{}", gossip_bench::experiments::e3::run(gossip_bench::scale_from_args()));
+    println!(
+        "{}",
+        gossip_bench::experiments::e3::run(gossip_bench::scale_from_args())
+    );
 }

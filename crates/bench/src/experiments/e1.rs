@@ -63,8 +63,16 @@ pub fn run(scale: Scale) -> String {
             let start = net.suggested_start();
             let mut proto = CutRateAsync::new();
             star_outs.push(
-                run_tracked(&mut net, &mut proto, start, 1.0, 1e6, ProfileMode::FromNetwork, &mut rng)
-                    .expect("valid"),
+                run_tracked(
+                    &mut net,
+                    &mut proto,
+                    start,
+                    1.0,
+                    1e6,
+                    ProfileMode::FromNetwork,
+                    &mut rng,
+                )
+                .expect("valid"),
             );
         }
         // Alternating regular (closed-form profile).
@@ -74,8 +82,16 @@ pub fn run(scale: Scale) -> String {
             let mut net = AlternatingRegular::new(n, &mut rng).expect("n >= 6");
             let mut proto = CutRateAsync::new();
             alt_outs.push(
-                run_tracked(&mut net, &mut proto, 0, 1.0, 1e6, ProfileMode::FromNetwork, &mut rng)
-                    .expect("valid"),
+                run_tracked(
+                    &mut net,
+                    &mut proto,
+                    0,
+                    1.0,
+                    1e6,
+                    ProfileMode::FromNetwork,
+                    &mut rng,
+                )
+                .expect("valid"),
             );
         }
         // Static 4-regular expander: the graph never changes, so compute

@@ -19,8 +19,9 @@ use gossip_stats::SimRng;
 fn bipartite_string(k: usize, delta: usize) -> (gossip_graph::Graph, Vec<Vec<NodeId>>) {
     let layers = k + 1;
     let n = layers * delta;
-    let clusters: Vec<Vec<NodeId>> =
-        (0..layers).map(|i| ((i * delta) as u32..((i + 1) * delta) as u32).collect()).collect();
+    let clusters: Vec<Vec<NodeId>> = (0..layers)
+        .map(|i| ((i * delta) as u32..((i + 1) * delta) as u32).collect())
+        .collect();
     let mut b = GraphBuilder::new(n);
     for w in clusters.windows(2) {
         for &u in &w[0] {
@@ -43,8 +44,10 @@ pub fn run(scale: Scale) -> String {
     let ks: Vec<usize> = scale.pick(vec![3, 6], vec![2, 3, 4, 5, 6, 7, 8]);
 
     let mut ok = true;
-    let mut series =
-        Series::new("k", vec!["empirical P[cross]".into(), "bound 2^k D/k!".into()]);
+    let mut series = Series::new(
+        "k",
+        vec!["empirical P[cross]".into(), "bound 2^k D/k!".into()],
+    );
     for &k in &ks {
         let (g, clusters) = bipartite_string(k, delta);
         let n = g.n();

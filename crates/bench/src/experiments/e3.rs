@@ -23,8 +23,16 @@ fn run_one<N: gossip_core::profile::ProfiledNetwork>(
     let mut rng = SimRng::seed_from_u64(seed);
     let start = net.suggested_start();
     let mut proto = CutRateAsync::new();
-    run_tracked(&mut net, &mut proto, start, 1.0, max_time, ProfileMode::FromNetwork, &mut rng)
-        .expect("valid")
+    run_tracked(
+        &mut net,
+        &mut proto,
+        start,
+        1.0,
+        max_time,
+        ProfileMode::FromNetwork,
+        &mut rng,
+    )
+    .expect("valid")
 }
 
 /// Runs E3 and returns the report.

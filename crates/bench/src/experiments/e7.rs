@@ -5,49 +5,72 @@
 //! Together with E6 this is the paper's dichotomy: neither algorithm's
 //! dynamic-network spread time can generally be estimated by the other's
 //! (unlike the static case, Giakkoupis et al. \[16\]).
+//!
+//! Built on the scenario registry: the sweep is a declarative
+//! [`ScenarioSpec`] run once per protocol — `sync` on the window engine,
+//! `async` on the event-stream engine.
 
 use crate::Scale;
+use gossip_core::scenario::{run_scenario, FamilySpec, ProtocolSpec, ScenarioSpec, SweepSpec};
 use gossip_core::{experiment, report};
-use gossip_dynamics::DynamicStar;
-use gossip_sim::{CutRateAsync, RunConfig, Runner, SyncPushPull};
 use gossip_stats::series::Series;
+
+/// The shared E7 sweep, parameterized by protocol.
+fn spec(protocol: &str, sizes: &[usize], trials: usize, seed: u64) -> ScenarioSpec {
+    let mut sweep = SweepSpec::over(sizes.to_vec());
+    sweep.trials = Some(trials);
+    sweep.seed = Some(seed);
+    sweep.max_time = Some(1e6);
+    ScenarioSpec {
+        name: format!("e7-dynamic-star-{protocol}"),
+        description: None,
+        family: FamilySpec::new("dynamic-star"),
+        protocol: ProtocolSpec::new(protocol),
+        sweep,
+    }
+}
 
 /// Runs E7 and returns the report.
 pub fn run(scale: Scale) -> String {
-    let spec = experiment::find("E7").expect("catalog has E7");
-    let mut out = report::header(&spec);
+    let cat = experiment::find("E7").expect("catalog has E7");
+    let mut out = report::header(&cat);
     out.push('\n');
 
     let leaves: Vec<usize> = scale.pick(vec![32, 64], vec![32, 64, 128, 256, 512, 1024]);
+    // The registry's dynamic-star family maps size -> size nodes
+    // (= size − 1 leaves), so sweep at leaves + 1.
+    let sizes: Vec<usize> = leaves.iter().map(|&l| l + 1).collect();
     let trials = scale.pick(5, 20);
-    let mut sync_exact = true;
-    let mut series =
-        Series::new("n", vec!["sync median".into(), "async median".into(), "ln n".into()]);
 
-    for &n in &leaves {
-        let mut sync = Runner::new(trials, 71)
-            .run(
-                || DynamicStar::new(n).expect("n >= 2"),
-                SyncPushPull::new,
-                None,
-                RunConfig::with_max_time(1e6),
-            )
-            .expect("valid config");
-        // Theorem 1.7(ii) is not just Θ(n) — it is exactly n rounds.
-        if sync.median() != n as f64 || sync.max() != n as f64 {
+    let sync = run_scenario(&spec("sync", &sizes, trials, 71)).expect("valid scenario");
+    let async_ = run_scenario(&spec("async", &sizes, trials, 72)).expect("valid scenario");
+    debug_assert_eq!(sync.engine, "window");
+    debug_assert_eq!(async_.engine, "event");
+
+    let mut sync_exact = true;
+    let mut series = Series::new(
+        "n",
+        vec!["sync median".into(), "async median".into(), "ln n".into()],
+    );
+    for (s_row, a_row) in sync.rows.iter().zip(&async_.rows) {
+        let n = (s_row.n - 1) as f64; // leaves
+                                      // Theorem 1.7(ii) is not just Θ(n) — it is exactly n rounds.
+        if s_row.median != Some(n) || s_row.max != Some(n) {
             sync_exact = false;
         }
-        let mut async_ = Runner::new(trials, 72)
-            .run(
-                || DynamicStar::new(n).expect("n >= 2"),
-                CutRateAsync::new,
-                None,
-                RunConfig::with_max_time(1e6),
-            )
-            .expect("valid config");
-        series.push(n as f64, vec![sync.median(), async_.median(), (n as f64).ln()]);
+        series.push(
+            n,
+            vec![
+                s_row.median.unwrap_or(f64::NAN),
+                a_row.median.unwrap_or(f64::NAN),
+                n.ln(),
+            ],
+        );
     }
-    out.push_str(&report::table("G2: sync rounds vs async time (medians)", &series));
+    out.push_str(&report::table(
+        "G2: sync rounds vs async time (medians)",
+        &series,
+    ));
 
     let async_semilog = series.semilog_slope("async median").unwrap_or(f64::MAX);
     let async_loglog = series.log_log_slope("async median").unwrap_or(f64::MAX);

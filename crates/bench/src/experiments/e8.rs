@@ -33,7 +33,7 @@ pub fn run(scale: Scale) -> String {
 
     let leaves = scale.pick(100, 300);
     let trials = scale.pick(800, 4000);
-    let mut summary = Runner::new(trials, 888)
+    let summary = Runner::new(trials, 888)
         .run(
             || DynamicStar::new(leaves).expect("n >= 2"),
             CutRateAsync::new,
@@ -42,8 +42,10 @@ pub fn run(scale: Scale) -> String {
         )
         .expect("valid config");
 
-    let mut series =
-        Series::new("k", vec!["empirical P[T>2k]".into(), "bound e^-k/2 + e^-k".into()]);
+    let mut series = Series::new(
+        "k",
+        vec!["empirical P[T>2k]".into(), "bound e^-k/2 + e^-k".into()],
+    );
     let mut rows = Vec::new();
     for k in 1..=12 {
         let empirical = summary.tail_fraction(2.0 * k as f64);

@@ -21,7 +21,12 @@ pub fn run(scale: Scale) -> String {
     let ns: Vec<usize> = scale.pick(vec![64, 128], vec![64, 128, 256, 512, 1024]);
     let mut series = Series::new(
         "n",
-        vec!["measured".into(), "ours T11".into(), "theirs [17]".into(), "theirs/ours".into()],
+        vec![
+            "measured".into(),
+            "ours T11".into(),
+            "theirs [17]".into(),
+            "theirs/ours".into(),
+        ],
     );
 
     for &n in &ns {

@@ -29,7 +29,7 @@ pub fn run(scale: Scale) -> String {
     for &n in &ns {
         let p = 4.0 / n as f64;
         let density = p / (p + q);
-        let mut summary = Runner::new(trials, 4100 + n as u64)
+        let summary = Runner::new(trials, 4100 + n as u64)
             .run(
                 move || {
                     let mut rng = SimRng::seed_from_u64(n as u64);

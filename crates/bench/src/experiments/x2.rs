@@ -22,12 +22,14 @@ pub fn run(scale: Scale) -> String {
     let grid = scale.pick(16, 24);
     let trials = scale.pick(4, 10);
     let agent_counts: Vec<usize> = scale.pick(vec![20, 60], vec![15, 30, 60, 120, 240]);
-    let mut series =
-        Series::new("agents", vec!["median spread".into(), "completion rate".into()]);
+    let mut series = Series::new(
+        "agents",
+        vec!["median spread".into(), "completion rate".into()],
+    );
 
     let mut medians = Vec::new();
     for &agents in &agent_counts {
-        let mut summary = Runner::new(trials, 4200 + agents as u64)
+        let summary = Runner::new(trials, 4200 + agents as u64)
             .run(
                 move || {
                     let mut rng = SimRng::seed_from_u64(agents as u64 * 13);

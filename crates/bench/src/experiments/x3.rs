@@ -15,9 +15,7 @@
 
 use crate::Scale;
 use gossip_core::{experiment, report};
-use gossip_dynamics::{
-    CliquePendant, DynamicNetwork, DynamicStar, EdgeMarkovian, StaticNetwork,
-};
+use gossip_dynamics::{CliquePendant, DynamicNetwork, DynamicStar, EdgeMarkovian, StaticNetwork};
 use gossip_graph::cut::{absolute_cut_rate, pushpull_cut_rate};
 use gossip_graph::{generators, NodeSet};
 use gossip_sim::{CutRateAsync, Protocol};
@@ -93,8 +91,14 @@ pub fn run(scale: Scale) -> String {
     let em_initial = generators::erdos_renyi(n, 0.3, &mut rng).expect("valid p");
 
     let runs: Vec<(&str, (f64, f64, usize))> = vec![
-        ("dynamic-star", min_ratios(DynamicStar::new(n - 1).expect("n >= 2"), trials, 1, 200)),
-        ("clique-pendant", min_ratios(CliquePendant::new(n).expect("n >= 4"), trials, 2, 400)),
+        (
+            "dynamic-star",
+            min_ratios(DynamicStar::new(n - 1).expect("n >= 2"), trials, 1, 200),
+        ),
+        (
+            "clique-pendant",
+            min_ratios(CliquePendant::new(n).expect("n >= 4"), trials, 2, 400),
+        ),
         (
             "edge-markovian",
             min_ratios(
@@ -104,7 +108,10 @@ pub fn run(scale: Scale) -> String {
                 400,
             ),
         ),
-        ("static-er", min_ratios(StaticNetwork::new(er), trials, 4, 400)),
+        (
+            "static-er",
+            min_ratios(StaticNetwork::new(er), trials, 4, 400),
+        ),
         (
             "static-cycle",
             min_ratios(
@@ -118,7 +125,11 @@ pub fn run(scale: Scale) -> String {
 
     let mut series = Series::new(
         "family",
-        vec!["min rate ratio (Thm 1.1)".into(), "min rate ratio (Thm 1.3)".into(), "windows".into()],
+        vec![
+            "min rate ratio (Thm 1.1)".into(),
+            "min rate ratio (Thm 1.3)".into(),
+            "windows".into(),
+        ],
     );
     let mut all_ok = true;
     let mut worst = f64::INFINITY;

@@ -14,29 +14,32 @@
 //! the strict ordering `downtime penalty > equivalent-loss penalty`.
 
 use crate::Scale;
+use gossip_core::scenario::{run_scenario, FamilySpec, ProtocolSpec, ScenarioSpec, SweepSpec};
 use gossip_core::{experiment, report};
-use gossip_dynamics::StaticNetwork;
-use gossip_graph::generators;
-use gossip_sim::{LossyAsync, RunConfig, Runner};
 use gossip_stats::series::Series;
-use gossip_stats::SimRng;
 
+/// One registry sweep at a single size: lossy async push-pull on a
+/// 6-regular expander (event-stream engine via engine auto-selection).
 fn mean_spread(n: usize, loss: f64, downtime: f64, trials: usize, seed: u64) -> f64 {
-    let make_net = move || {
-        let mut rng = SimRng::seed_from_u64(4400 + n as u64);
-        StaticNetwork::new(
-            generators::random_connected_regular(n, 6, &mut rng).expect("even n*d"),
-        )
+    let mut family = FamilySpec::new("regular");
+    family.d = Some(6);
+    family.build_seed = Some(4400 + n as u64);
+    let mut protocol = ProtocolSpec::new("lossy");
+    protocol.loss = Some(loss);
+    protocol.downtime = Some(downtime);
+    let mut sweep = SweepSpec::over(vec![n]);
+    sweep.trials = Some(trials);
+    sweep.seed = Some(seed);
+    sweep.max_time = Some(1e5);
+    sweep.start = Some(0);
+    let spec = ScenarioSpec {
+        name: format!("x4-lossy-{loss}-{downtime}"),
+        description: None,
+        family,
+        protocol,
+        sweep,
     };
-    let summary = Runner::new(trials, seed)
-        .run(
-            make_net,
-            move || LossyAsync::with_downtime(loss, downtime).expect("validated"),
-            Some(0),
-            RunConfig::with_max_time(1e5),
-        )
-        .expect("valid config");
-    summary.mean()
+    run_scenario(&spec).expect("valid scenario").rows[0].mean
 }
 
 /// Runs X4 and returns the report.
@@ -53,7 +56,11 @@ pub fn run(scale: Scale) -> String {
     let mut ok = true;
     let mut series = Series::new(
         "loss",
-        vec!["mean spread".into(), "x (1-loss)".into(), "predicted (t0)".into()],
+        vec![
+            "mean spread".into(),
+            "x (1-loss)".into(),
+            "predicted (t0)".into(),
+        ],
     );
     for (i, &f) in losses.iter().enumerate() {
         let tf = mean_spread(n, f, 0.0, trials, 4000 + i as u64);
@@ -75,8 +82,10 @@ pub fn run(scale: Scale) -> String {
     let equivalent = 1.0 - (1.0 - d) * (1.0 - d);
     let t_down = mean_spread(n, 0.0, d, trials, 4800);
     let t_equiv = mean_spread(n, equivalent, 0.0, trials, 4801);
-    let mut down_series =
-        Series::new("model", vec!["mean spread".into(), "penalty vs lossless".into()]);
+    let mut down_series = Series::new(
+        "model",
+        vec!["mean spread".into(), "penalty vs lossless".into()],
+    );
     down_series.push(0.0, vec![t_down, t_down / t0]);
     down_series.push(1.0, vec![t_equiv, t_equiv / t0]);
     out.push_str(&report::table(

@@ -22,10 +22,15 @@ use gossip_stats::SimRng;
 fn static_ratio(g: Graph, trials: usize, seed: u64) -> (f64, f64, f64) {
     let n = g.n() as f64;
     let make = move || StaticNetwork::new(g.clone());
-    let mut sync = Runner::new(trials, seed)
-        .run(make.clone(), SyncPushPull::new, None, RunConfig::with_max_time(1e6))
+    let sync = Runner::new(trials, seed)
+        .run(
+            make.clone(),
+            SyncPushPull::new,
+            None,
+            RunConfig::with_max_time(1e6),
+        )
         .expect("valid config");
-    let mut async_ = Runner::new(trials, seed + 1)
+    let async_ = Runner::new(trials, seed + 1)
         .run(make, CutRateAsync::new, None, RunConfig::with_max_time(1e6))
         .expect("valid config");
     let ts = sync.median();
@@ -48,8 +53,14 @@ pub fn run(scale: Scale) -> String {
         ("star", generators::star(n).expect("n >= 2")),
         ("path", generators::path(n).expect("n >= 1")),
         ("cycle", generators::cycle(n).expect("n >= 3")),
-        ("4-regular", generators::random_connected_regular(n, 4, &mut rng).expect("even nd")),
-        ("hypercube", generators::hypercube((n as f64).log2() as usize).expect("dim >= 1")),
+        (
+            "4-regular",
+            generators::random_connected_regular(n, 4, &mut rng).expect("even nd"),
+        ),
+        (
+            "hypercube",
+            generators::hypercube((n as f64).log2() as usize).expect("dim >= 1"),
+        ),
         ("barbell", generators::barbell(n / 2).expect("k >= 3")),
     ];
 
@@ -65,7 +76,9 @@ pub fn run(scale: Scale) -> String {
     for (i, (name, g)) in portfolio.into_iter().enumerate() {
         let (ta, ts, ratio) = static_ratio(g, trials, 5500 + i as u64 * 10);
         worst = worst.max(ratio);
-        out.push_str(&format!("  {name:<12} {ta:>12.3} {ts:>12.3} {ratio:>16.3}\n"));
+        out.push_str(&format!(
+            "  {name:<12} {ta:>12.3} {ts:>12.3} {ratio:>16.3}\n"
+        ));
     }
     // [16]'s constant is unspecified; empirically async routinely *beats*
     // sync + ln n. Require a generous but fixed ceiling.
@@ -76,8 +89,12 @@ pub fn run(scale: Scale) -> String {
     // The dynamic counterexample: the same ratio on G1 grows with n.
     let mut g1_series = Series::new("n", vec!["Ta/(Ts + ln n) on G1".into()]);
     let mut ratios = Vec::new();
-    for (i, &m) in scale.pick(vec![32usize, 192], vec![64usize, 256, 512]).iter().enumerate() {
-        let mut sync = Runner::new(trials, 5600 + i as u64)
+    for (i, &m) in scale
+        .pick(vec![32usize, 192], vec![64usize, 256, 512])
+        .iter()
+        .enumerate()
+    {
+        let sync = Runner::new(trials, 5600 + i as u64)
             .run(
                 move || CliquePendant::new(m).expect("n >= 4"),
                 SyncPushPull::new,

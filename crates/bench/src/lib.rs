@@ -18,6 +18,10 @@
 //! same layout: header (from the [`gossip_core::experiment`] catalog),
 //! series table, one-line `VERDICT`.
 
+//!
+//! See the workspace `README.md` (repo root) for the crate map and the
+//! window / event-stream engine duality.
+
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 

@@ -28,7 +28,10 @@ impl Clone for Args {
             command: self.command.clone(),
             flags: self.flags.clone(),
             consumed: std::sync::Mutex::new(
-                self.consumed.lock().expect("consumed tracker poisoned").clone(),
+                self.consumed
+                    .lock()
+                    .expect("consumed tracker poisoned")
+                    .clone(),
             ),
         }
     }
@@ -66,10 +69,16 @@ impl Args {
                 _ => None,
             };
             if flags.insert(name.to_string(), value).is_some() {
-                return Err(CliError::Usage(format!("flag --{name} given more than once")));
+                return Err(CliError::Usage(format!(
+                    "flag --{name} given more than once"
+                )));
             }
         }
-        Ok(Args { command, flags, consumed: std::sync::Mutex::new(Vec::new()) })
+        Ok(Args {
+            command,
+            flags,
+            consumed: std::sync::Mutex::new(Vec::new()),
+        })
     }
 
     /// The subcommand, if any.
@@ -156,7 +165,10 @@ impl Args {
         if unknown.is_empty() {
             Ok(())
         } else {
-            Err(CliError::Usage(format!("unknown flag(s): --{}", unknown.join(", --"))))
+            Err(CliError::Usage(format!(
+                "unknown flag(s): --{}",
+                unknown.join(", --")
+            )))
         }
     }
 

@@ -22,6 +22,7 @@ USAGE:
 
 COMMANDS:
     run          simulate a protocol on a network family, report spread-time statistics
+    scenario     run declarative experiment files: scenario run|check|init|list
     profile      walk a trajectory and print per-window conductance / diligence profiles
     bounds       compare measured spread time against the Theorem 1.1 / 1.3 stopping rules
     trace        dump informed-count trajectories as CSV (for plotting)
@@ -44,11 +45,101 @@ EXAMPLES:
     gossip run --family regular --d 4 --n 256 --trials 50
     gossip run --family dynamic-star --n 200 --protocol sync
     gossip run --family complete --n 128 --protocol lossy --loss 0.5
+    gossip scenario init sweep.toml && gossip scenario run sweep.toml
+    gossip scenario run sweep.toml --engine window --json
     gossip profile --family clique-pendant --n 16 --windows 12
     gossip bounds --family absolute-diligent --n 120 --rho 0.125
     gossip experiment --id E7 --quick
 "
     .to_string()
+}
+
+/// `gossip scenario <action> [file] [--flags]`: the declarative-experiment
+/// front end over [`gossip_core::scenario`].
+pub fn scenario(action: Option<&str>, file: Option<&str>, args: &Args) -> Result<String, CliError> {
+    use gossip_core::scenario::{run_scenario, ScenarioSpec};
+    match action {
+        Some("run") => {
+            let path = file.ok_or_else(|| {
+                CliError::Usage("scenario run needs a file: `gossip scenario run <file>`".into())
+            })?;
+            let engine = args.opt("engine")?.map(str::to_string);
+            let json = args.flag("json");
+            args.reject_unknown()?;
+            let mut spec =
+                ScenarioSpec::from_path(std::path::Path::new(path)).map_err(CliError::from)?;
+            if let Some(engine) = engine {
+                spec.sweep.engine = Some(engine);
+            }
+            let report = run_scenario(&spec).map_err(CliError::from)?;
+            if json {
+                Ok(serde_json::to_string_pretty(&report) + "\n")
+            } else {
+                Ok(report.to_string())
+            }
+        }
+        Some("check") => {
+            let path = file.ok_or_else(|| {
+                CliError::Usage(
+                    "scenario check needs a file: `gossip scenario check <file>`".into(),
+                )
+            })?;
+            args.reject_unknown()?;
+            let spec =
+                ScenarioSpec::from_path(std::path::Path::new(path)).map_err(CliError::from)?;
+            spec.validate().map_err(CliError::from)?;
+            Ok(format!(
+                "ok: scenario `{}` — family {}, protocol {}, {} size(s), {} trial(s) each\n",
+                spec.name,
+                spec.family.kind,
+                spec.protocol.kind,
+                spec.sweep.sizes.len(),
+                spec.sweep.trials_or_default(),
+            ))
+        }
+        Some("init") => {
+            args.reject_unknown()?;
+            let template = ScenarioSpec::template().to_toml_string();
+            match file {
+                Some(path) => {
+                    std::fs::write(path, &template)
+                        .map_err(|e| CliError::Scenario(format!("cannot write {path}: {e}")))?;
+                    Ok(format!("wrote scenario template to {path}\n"))
+                }
+                None => Ok(template),
+            }
+        }
+        Some("list") => {
+            args.reject_unknown()?;
+            let mut out = String::new();
+            out.push_str("SCENARIO FAMILIES (family.kind)\n");
+            for f in gossip_core::scenario::families() {
+                let _ = writeln!(
+                    out,
+                    "  {:<18} {:<28} {}",
+                    f.name,
+                    f.params.join(" "),
+                    f.synopsis
+                );
+            }
+            out.push_str("\nSCENARIO PROTOCOLS (protocol.kind)\n");
+            for p in gossip_core::scenario::protocols() {
+                let incr = if gossip_core::scenario::protocol_is_incremental(p.name) {
+                    "event+window"
+                } else {
+                    "window only"
+                };
+                let _ = writeln!(out, "  {:<18} {:<12} {}", p.name, incr, p.synopsis);
+            }
+            Ok(out)
+        }
+        Some(other) => Err(CliError::Usage(format!(
+            "unknown scenario action `{other}` (run, check, init, list)"
+        ))),
+        None => Err(CliError::Usage(
+            "scenario needs an action: `gossip scenario run|check|init|list [file]`".into(),
+        )),
+    }
 }
 
 /// `gossip list`.
@@ -97,7 +188,7 @@ pub fn run(args: &Args) -> Result<String, CliError> {
     let n = probe_net.n();
     args.reject_unknown()?;
 
-    let mut summary = Runner::new(trials, seed)
+    let summary = Runner::new(trials, seed)
         .run(
             || family::build(&family_name, args).expect("validated above"),
             || proto::build(&proto_name, args).expect("validated above"),
@@ -118,7 +209,12 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         100.0 * summary.completion_rate()
     );
     if summary.completed() > 0 {
-        let _ = writeln!(out, "mean      : {:>10.4}  (std {:.4})", summary.mean(), summary.std_dev());
+        let _ = writeln!(
+            out,
+            "mean      : {:>10.4}  (std {:.4})",
+            summary.mean(),
+            summary.std_dev()
+        );
         let _ = writeln!(out, "median    : {:>10.4}", summary.median());
         let _ = writeln!(out, "q90       : {:>10.4}", summary.quantile(0.90));
         let _ = writeln!(out, "q95 (whp) : {:>10.4}", summary.whp_spread_time());
@@ -167,7 +263,11 @@ pub fn profile(args: &Args) -> Result<String, CliError> {
     let _ = writeln!(
         out,
         "family {family_name} (n = {n}), profile source: {}",
-        if exact { "exact enumeration" } else { "spectral/absolute conservative bounds" }
+        if exact {
+            "exact enumeration"
+        } else {
+            "spectral/absolute conservative bounds"
+        }
     );
     let _ = writeln!(
         out,
@@ -247,7 +347,8 @@ pub fn bounds(args: &Args) -> Result<String, CliError> {
         "family {family_name} (n = {n}), c = {c}, profiles: {}",
         match mode {
             ProfileMode::Exact => "exact, per window".to_string(),
-            ProfileMode::Conservative(k) => format!("conservative ({k} spectral iters), per window"),
+            ProfileMode::Conservative(k) =>
+                format!("conservative ({k} spectral iters), per window"),
             ProfileMode::Fixed(_) => "static topology, profiled once".to_string(),
             _ => unreachable!(),
         }
@@ -276,15 +377,23 @@ pub fn bounds(args: &Args) -> Result<String, CliError> {
             "{:>6} {:>12} {:>10} {:>10} {:>8}",
             i,
             spread.map_or("cutoff".into(), |s| format!("{s:.3}")),
-            outcome.theorem_1_1_steps.map_or("n/a".into(), |s| s.to_string()),
-            outcome.theorem_1_3_steps.map_or("n/a".into(), |s| s.to_string()),
+            outcome
+                .theorem_1_1_steps
+                .map_or("n/a".into(), |s| s.to_string()),
+            outcome
+                .theorem_1_3_steps
+                .map_or("n/a".into(), |s| s.to_string()),
             ratio.map_or("n/a".into(), |r| format!("{r:.4}")),
         );
     }
     let _ = writeln!(
         out,
         "worst measured/T11 ratio: {worst:.4} ({})",
-        if worst <= 1.0 { "bound held" } else { "BOUND VIOLATED" }
+        if worst <= 1.0 {
+            "bound held"
+        } else {
+            "BOUND VIOLATED"
+        }
     );
     Ok(out)
 }
@@ -302,16 +411,22 @@ pub fn trace(args: &Args) -> Result<String, CliError> {
     args.reject_unknown()?;
 
     let mut out = String::new();
-    let _ = writeln!(out, "# family={family_name} protocol={} seed={seed}", protocol.name());
+    let _ = writeln!(
+        out,
+        "# family={family_name} protocol={} seed={seed}",
+        protocol.name()
+    );
     let _ = writeln!(out, "trial,time,informed");
     let base = SimRng::seed_from_u64(seed);
     for i in 0..trials {
         let mut rng = base.derive(i);
         let start = net.suggested_start();
-        let outcome =
-            gossip_sim::Simulation::new(&mut protocol, RunConfig::with_max_time(max_time).recording())
-                .run(&mut net, start, &mut rng)
-                .map_err(CliError::Sim)?;
+        let outcome = gossip_sim::Simulation::new(
+            &mut protocol,
+            RunConfig::with_max_time(max_time).recording(),
+        )
+        .run(&mut net, start, &mut rng)
+        .map_err(CliError::Sim)?;
         for &(time, informed) in outcome.trajectory() {
             let _ = writeln!(out, "{i},{time},{informed}");
         }
@@ -325,8 +440,11 @@ pub fn experiment(args: &Args) -> Result<String, CliError> {
         .opt("id")?
         .ok_or_else(|| CliError::Usage("experiment needs --id (e.g. --id E7)".into()))?
         .to_uppercase();
-    let scale =
-        if args.flag("quick") { gossip_bench::Scale::Quick } else { gossip_bench::Scale::Full };
+    let scale = if args.flag("quick") {
+        gossip_bench::Scale::Quick
+    } else {
+        gossip_bench::Scale::Full
+    };
     args.reject_unknown()?;
     use gossip_bench::experiments as ex;
     let report = match id.as_str() {

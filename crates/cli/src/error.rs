@@ -12,6 +12,8 @@ pub enum CliError {
     Graph(gossip_graph::GraphError),
     /// A simulation run failed.
     Sim(gossip_sim::SimError),
+    /// A scenario file failed to parse, validate, or execute.
+    Scenario(String),
 }
 
 impl fmt::Display for CliError {
@@ -20,6 +22,7 @@ impl fmt::Display for CliError {
             CliError::Usage(m) => write!(f, "{m}"),
             CliError::Graph(e) => write!(f, "{e}"),
             CliError::Sim(e) => write!(f, "{e}"),
+            CliError::Scenario(m) => write!(f, "{m}"),
         }
     }
 }
@@ -27,9 +30,26 @@ impl fmt::Display for CliError {
 impl Error for CliError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
-            CliError::Usage(_) => None,
+            CliError::Usage(_) | CliError::Scenario(_) => None,
             CliError::Graph(e) => Some(e),
             CliError::Sim(e) => Some(e),
+        }
+    }
+}
+
+impl From<gossip_core::scenario::ScenarioError> for CliError {
+    fn from(e: gossip_core::scenario::ScenarioError) -> Self {
+        use gossip_core::scenario::ScenarioError as SE;
+        match e {
+            SE::Graph(g) => CliError::Graph(g),
+            SE::Sim(s) => CliError::Sim(s),
+            SE::UnknownFamily(k) => {
+                CliError::Usage(format!("unknown family `{k}` (see `gossip list`)"))
+            }
+            SE::UnknownProtocol(k) => {
+                CliError::Usage(format!("unknown protocol `{k}` (see `gossip list`)"))
+            }
+            other => CliError::Scenario(other.to_string()),
         }
     }
 }

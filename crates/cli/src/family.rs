@@ -1,94 +1,95 @@
-//! Network-family registry: maps `--family` names to constructed
-//! [`DynamicNetwork`] trait objects.
+//! Network-family registry adapter: maps `--family` names and flags onto
+//! the unified scenario registry in [`gossip_core::scenario`].
 //!
-//! Static graphs are wrapped in [`StaticNetwork`]; the paper's adaptive
-//! constructions come from `gossip-dynamics` directly. Every family is
-//! rebuilt deterministically from `--build-seed`, so `gossip run` output
-//! is reproducible from the command line alone.
+//! The registry (names, parameters, constructors) lives in core so the
+//! CLI, the scenario files, and the bench experiments all resolve the same
+//! tables; this module only translates command-line flags into a
+//! [`FamilySpec`]. Every family is rebuilt deterministically from
+//! `--build-seed`, so `gossip run` output is reproducible from the command
+//! line alone.
 
 use crate::args::Args;
 use crate::error::CliError;
-use gossip_dynamics::{
-    AbsoluteDiligentNetwork, AlternatingRegular, CliquePendant, DiligentNetwork, DynamicNetwork,
-    DynamicStar, EdgeMarkovian, MobileAgents, StaticNetwork,
-};
-use gossip_graph::generators;
-use gossip_stats::SimRng;
+use gossip_core::scenario::{self, FamilySpec};
+use gossip_dynamics::DynamicNetwork;
 
 /// One row of `gossip list` output.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct FamilyInfo {
     /// The `--family` value.
     pub name: &'static str,
     /// Flags the family reads beyond `--n`.
-    pub flags: &'static str,
+    pub flags: String,
     /// One-line description.
     pub synopsis: &'static str,
 }
 
-/// Every registered family.
+/// Every registered family (from the scenario registry).
 pub fn list() -> Vec<FamilyInfo> {
-    vec![
-        FamilyInfo { name: "complete", flags: "", synopsis: "static complete graph K_n" },
-        FamilyInfo { name: "star", flags: "", synopsis: "static star K_{1,n-1} (node 0 center)" },
-        FamilyInfo { name: "path", flags: "", synopsis: "static path P_n" },
-        FamilyInfo { name: "cycle", flags: "", synopsis: "static cycle C_n" },
-        FamilyInfo {
-            name: "torus",
-            flags: "--rows --cols",
-            synopsis: "static 2-D torus grid (n ignored)",
-        },
-        FamilyInfo { name: "hypercube", flags: "--dim", synopsis: "static 2^dim hypercube (n ignored)" },
-        FamilyInfo {
-            name: "regular",
-            flags: "--d",
-            synopsis: "static random connected d-regular graph (expander w.h.p.)",
-        },
-        FamilyInfo { name: "er", flags: "--p", synopsis: "static Erdős–Rényi G(n,p)" },
-        FamilyInfo {
-            name: "circulant",
-            flags: "--d",
-            synopsis: "static d-regular circulant (consecutive offsets)",
-        },
-        FamilyInfo {
-            name: "dynamic-star",
-            flags: "",
-            synopsis: "G2 of Fig. 1(b): star re-centered on an uninformed node each step",
-        },
-        FamilyInfo {
-            name: "clique-pendant",
-            flags: "",
-            synopsis: "G1 of Fig. 1(a): clique+pendant, then two bridged cliques",
-        },
-        FamilyInfo {
-            name: "diligent",
-            flags: "--rho",
-            synopsis: "Section 4 rho-diligent H_{k,Delta} adversary (Theorem 1.2)",
-        },
-        FamilyInfo {
-            name: "absolute-diligent",
-            flags: "--rho",
-            synopsis: "Section 5.1 absolutely rho-diligent adversary (Theorem 1.5)",
-        },
-        FamilyInfo {
-            name: "alternating",
-            flags: "",
-            synopsis: "Section 1.2 alternating {3-regular, K_n} network (E9)",
-        },
-        FamilyInfo {
-            name: "edge-markovian",
-            flags: "--p --q",
-            synopsis: "edge-Markovian evolving graph of related work [7]",
-        },
-        FamilyInfo {
-            name: "mobile",
-            flags: "--agents --rows --cols --radius",
-            synopsis: "random-walking agents on a torus, proximity contacts [20, 22]",
-        },
-    ]
+    scenario::families()
+        .into_iter()
+        .map(|e| FamilyInfo {
+            name: e.name,
+            flags: e
+                .params
+                .iter()
+                .map(|p| format!("--{p}"))
+                .collect::<Vec<_>>()
+                .join(" "),
+            synopsis: e.synopsis,
+        })
+        .collect()
 }
 
-/// Builds the named family.
+/// Builds a [`FamilySpec`] from the flags the named family declares (so
+/// unknown-flag detection still catches typos for other families).
+///
+/// # Errors
+///
+/// [`CliError::Usage`] for an unknown name or malformed flag values.
+pub fn spec_from_args(name: &str, args: &Args) -> Result<FamilySpec, CliError> {
+    let entry = scenario::families()
+        .into_iter()
+        .find(|e| e.name == name)
+        .ok_or_else(|| CliError::Usage(format!("unknown family `{name}` (see `gossip list`)")))?;
+    let mut spec = FamilySpec::new(name);
+    spec.build_seed = Some(args.opt_u64("build-seed", 1)?);
+    for &param in entry.params {
+        match param {
+            "d" => spec.d = opt_usize(args, "d")?,
+            "p" => spec.p = opt_f64(args, "p")?,
+            "q" => spec.q = opt_f64(args, "q")?,
+            "rho" => spec.rho = opt_f64(args, "rho")?,
+            "rows" => spec.rows = opt_usize(args, "rows")?,
+            "cols" => spec.cols = opt_usize(args, "cols")?,
+            "agents" => spec.agents = opt_usize(args, "agents")?,
+            "radius" => spec.radius = opt_usize(args, "radius")?,
+            "dim" => spec.dim = opt_usize(args, "dim")?,
+            other => unreachable!("unmapped registry param `{other}`"),
+        }
+    }
+    Ok(spec)
+}
+
+fn opt_usize(args: &Args, name: &str) -> Result<Option<usize>, CliError> {
+    args.opt(name)?
+        .map(|v| {
+            v.parse()
+                .map_err(|_| CliError::Usage(format!("--{name} expects an integer, got `{v}`")))
+        })
+        .transpose()
+}
+
+fn opt_f64(args: &Args, name: &str) -> Result<Option<f64>, CliError> {
+    args.opt(name)?
+        .map(|v| {
+            v.parse()
+                .map_err(|_| CliError::Usage(format!("--{name} expects a number, got `{v}`")))
+        })
+        .transpose()
+}
+
+/// Builds the named family at size `--n` (default 64).
 ///
 /// # Errors
 ///
@@ -96,65 +97,8 @@ pub fn list() -> Vec<FamilyInfo> {
 /// family constructor rejects the parameters.
 pub fn build(name: &str, args: &Args) -> Result<Box<dyn DynamicNetwork>, CliError> {
     let n = args.opt_usize("n", 64)?;
-    let build_seed = args.opt_u64("build-seed", 1)?;
-    let mut rng = SimRng::seed_from_u64(build_seed);
-    let net: Box<dyn DynamicNetwork> = match name {
-        "complete" => Box::new(StaticNetwork::new(generators::complete(n)?)),
-        "star" => Box::new(StaticNetwork::new(generators::star(n)?)),
-        "path" => Box::new(StaticNetwork::new(generators::path(n)?)),
-        "cycle" => Box::new(StaticNetwork::new(generators::cycle(n)?)),
-        "torus" => {
-            let rows = args.opt_usize("rows", 16)?;
-            let cols = args.opt_usize("cols", 16)?;
-            Box::new(StaticNetwork::new(generators::torus(rows, cols)?))
-        }
-        "hypercube" => {
-            let dim = args.opt_usize("dim", 8)?;
-            Box::new(StaticNetwork::new(generators::hypercube(dim)?))
-        }
-        "regular" => {
-            let d = args.opt_usize("d", 4)?;
-            Box::new(StaticNetwork::new(generators::random_connected_regular(n, d, &mut rng)?))
-        }
-        "er" => {
-            let p = args.opt_f64("p", 0.1)?;
-            Box::new(StaticNetwork::new(generators::erdos_renyi(n, p, &mut rng)?))
-        }
-        "circulant" => {
-            let d = args.opt_usize("d", 4)?;
-            Box::new(StaticNetwork::new(generators::regular_circulant(n, d)?))
-        }
-        "dynamic-star" => Box::new(DynamicStar::new(n.saturating_sub(1))?),
-        "clique-pendant" => Box::new(CliquePendant::new(n)?),
-        "diligent" => {
-            let rho = args.opt_f64("rho", 0.25)?;
-            Box::new(DiligentNetwork::new(n, rho)?)
-        }
-        "absolute-diligent" => {
-            let rho = args.opt_f64("rho", 0.125)?;
-            Box::new(AbsoluteDiligentNetwork::new(n, rho)?)
-        }
-        "alternating" => Box::new(AlternatingRegular::new(n, &mut rng)?),
-        "edge-markovian" => {
-            let p = args.opt_f64("p", 0.1)?;
-            let q = args.opt_f64("q", 0.3)?;
-            let initial = generators::erdos_renyi(n, p, &mut rng)?;
-            Box::new(EdgeMarkovian::new(initial, p, q)?)
-        }
-        "mobile" => {
-            let agents = args.opt_usize("agents", 40)?;
-            let rows = args.opt_usize("rows", 16)?;
-            let cols = args.opt_usize("cols", 16)?;
-            let radius = args.opt_usize("radius", 1)?;
-            Box::new(MobileAgents::new(agents, rows, cols, radius, &mut rng)?)
-        }
-        other => {
-            return Err(CliError::Usage(format!(
-                "unknown family `{other}` (see `gossip list`)"
-            )))
-        }
-    };
-    Ok(net)
+    let spec = spec_from_args(name, args)?;
+    scenario::build_family(&spec, n).map_err(CliError::from)
 }
 
 #[cfg(test)]
@@ -192,7 +136,19 @@ mod tests {
     #[test]
     fn bad_parameters_surface_graph_errors() {
         let a = args("run --n 10 --rho -1.0");
-        assert!(matches!(build("absolute-diligent", &a), Err(CliError::Graph(_))));
+        assert!(matches!(
+            build("absolute-diligent", &a),
+            Err(CliError::Graph(_))
+        ));
+    }
+
+    #[test]
+    fn unread_flags_stay_unconsumed() {
+        // A family that does not read --rho must leave it for the
+        // unknown-flag check.
+        let a = args("run --n 8 --rho 0.5");
+        let _ = build("complete", &a).unwrap();
+        assert!(matches!(a.reject_unknown(), Err(CliError::Usage(m)) if m.contains("rho")));
     }
 
     #[test]
@@ -200,8 +156,8 @@ mod tests {
         let a = args("run --n 32 --d 4 --build-seed 9");
         let mut n1 = build("regular", &a).unwrap();
         let mut n2 = build("regular", &a).unwrap();
-        let mut rng1 = SimRng::seed_from_u64(0);
-        let mut rng2 = SimRng::seed_from_u64(0);
+        let mut rng1 = gossip_stats::SimRng::seed_from_u64(0);
+        let mut rng2 = gossip_stats::SimRng::seed_from_u64(0);
         let informed = gossip_graph::NodeSet::new(32);
         let g1 = n1.topology(0, &informed, &mut rng1).clone();
         let g2 = n2.topology(0, &informed, &mut rng2);

@@ -15,6 +15,10 @@
 //! The binary is a thin shim over [`dispatch`]; all command logic lives
 //! in the library so it can be unit-tested.
 
+//!
+//! See the workspace `README.md` (repo root) for the crate map and the
+//! window / event-stream engine duality.
+
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
@@ -36,6 +40,22 @@ pub use error::CliError;
 /// [`CliError::Graph`] / [`CliError::Sim`] when construction or
 /// simulation fails.
 pub fn dispatch<I: IntoIterator<Item = String>>(raw: I) -> Result<String, CliError> {
+    let mut raw: Vec<String> = raw.into_iter().collect();
+    // `scenario` takes positional operands (`scenario run <file>`), which
+    // the flag parser does not model; peel them off before Args::parse.
+    if raw.first().map(String::as_str) == Some("scenario") {
+        let mut it = raw.drain(..).skip(1).peekable();
+        let action = match it.peek() {
+            Some(tok) if !tok.starts_with("--") => it.next(),
+            _ => None,
+        };
+        let file = match it.peek() {
+            Some(tok) if !tok.starts_with("--") => it.next(),
+            _ => None,
+        };
+        let args = Args::parse(it)?;
+        return commands::scenario(action.as_deref(), file.as_deref(), &args);
+    }
     let args = Args::parse(raw)?;
     match args.command() {
         None | Some("help") => Ok(commands::help()),
@@ -74,5 +94,50 @@ mod tests {
     fn end_to_end_run() {
         let out = run("run --family cycle --n 12 --trials 4 --seed 9").unwrap();
         assert!(out.contains("completed : 4/4"), "{out}");
+    }
+
+    #[test]
+    fn scenario_list_and_init() {
+        let out = run("scenario list").unwrap();
+        assert!(
+            out.contains("dynamic-star") && out.contains("event+window"),
+            "{out}"
+        );
+        let template = run("scenario init").unwrap();
+        assert!(template.contains("[sweep]"), "{template}");
+    }
+
+    #[test]
+    fn scenario_end_to_end_from_file() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("gossip_cli_scenario_test.toml");
+        let path_str = path.to_str().unwrap().to_string();
+        let spec = "\
+name = \"cli-e2e\"\n\n[family]\nkind = \"complete\"\n\n[protocol]\nkind = \"async\"\n\n\
+[sweep]\nsizes = [16]\ntrials = 5\nseed = 3\n";
+        std::fs::write(&path, spec).unwrap();
+        let out = run(&format!("scenario run {path_str}")).unwrap();
+        assert!(out.contains("cli-e2e") && out.contains("5/5"), "{out}");
+        let out = run(&format!("scenario run {path_str} --engine window")).unwrap();
+        assert!(out.contains("engine    : window"), "{out}");
+        let out = run(&format!("scenario run {path_str} --json")).unwrap();
+        assert!(out.trim_start().starts_with('{'), "{out}");
+        let out = run(&format!("scenario check {path_str}")).unwrap();
+        assert!(out.starts_with("ok:"), "{out}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn scenario_usage_errors() {
+        assert_eq!(run("scenario").unwrap_err().exit_code(), 2);
+        assert_eq!(run("scenario frobnicate").unwrap_err().exit_code(), 2);
+        assert_eq!(run("scenario run").unwrap_err().exit_code(), 2);
+        // Missing file is a runtime error, not usage.
+        assert_eq!(
+            run("scenario run /nonexistent/spec.toml")
+                .unwrap_err()
+                .exit_code(),
+            1
+        );
     }
 }

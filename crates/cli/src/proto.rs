@@ -1,58 +1,65 @@
-//! Protocol registry: maps `--protocol` names to [`Protocol`] trait
-//! objects.
+//! Protocol registry adapter: maps `--protocol` names and flags onto the
+//! unified scenario registry in [`gossip_core::scenario`].
 
 use crate::args::Args;
 use crate::error::CliError;
-use gossip_sim::{
-    AsyncPull, AsyncPush, AsyncPushPull, CutRateAsync, Flooding, LossyAsync, Protocol,
-    SyncPull, SyncPush, SyncPushPull, TwoPush,
-};
+use gossip_core::scenario::{self, ProtocolSpec};
+use gossip_sim::Protocol;
 
 /// One row of `gossip list` output.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ProtocolInfo {
     /// The `--protocol` value.
     pub name: &'static str,
     /// Flags the protocol reads.
-    pub flags: &'static str,
+    pub flags: String,
     /// One-line description.
     pub synopsis: &'static str,
 }
 
-/// Every registered protocol.
+/// Every registered protocol (from the scenario registry).
 pub fn list() -> Vec<ProtocolInfo> {
-    vec![
-        ProtocolInfo {
-            name: "async",
-            flags: "",
-            synopsis: "asynchronous push-pull, exact cut-rate simulator (default)",
-        },
-        ProtocolInfo {
-            name: "naive",
-            flags: "",
-            synopsis: "asynchronous push-pull, tick-by-tick ground-truth simulator",
-        },
-        ProtocolInfo { name: "push", flags: "", synopsis: "asynchronous push-only" },
-        ProtocolInfo { name: "pull", flags: "", synopsis: "asynchronous pull-only" },
-        ProtocolInfo {
-            name: "sync",
-            flags: "",
-            synopsis: "synchronous push-pull rounds (Theorem 1.7 comparisons)",
-        },
-        ProtocolInfo { name: "sync-push", flags: "", synopsis: "synchronous push-only rounds" },
-        ProtocolInfo { name: "sync-pull", flags: "", synopsis: "synchronous pull-only rounds" },
-        ProtocolInfo { name: "flooding", flags: "", synopsis: "informed nodes flood all neighbors each round" },
-        ProtocolInfo {
-            name: "two-push",
-            flags: "",
-            synopsis: "rate-2 push (the Section 4 / Lemma 5.2 coupling process)",
-        },
-        ProtocolInfo {
-            name: "lossy",
-            flags: "--loss --downtime",
-            synopsis: "async push-pull with i.i.d. message loss and per-window downtime",
-        },
-    ]
+    scenario::protocols()
+        .into_iter()
+        .map(|e| ProtocolInfo {
+            name: e.name,
+            flags: e
+                .params
+                .iter()
+                .map(|p| format!("--{p}"))
+                .collect::<Vec<_>>()
+                .join(" "),
+            synopsis: e.synopsis,
+        })
+        .collect()
+}
+
+/// Builds a [`ProtocolSpec`] from the flags the named protocol declares.
+///
+/// # Errors
+///
+/// [`CliError::Usage`] for an unknown name or malformed flag values.
+pub fn spec_from_args(name: &str, args: &Args) -> Result<ProtocolSpec, CliError> {
+    let entry = scenario::protocols()
+        .into_iter()
+        .find(|e| e.name == name)
+        .ok_or_else(|| CliError::Usage(format!("unknown protocol `{name}` (see `gossip list`)")))?;
+    let mut spec = ProtocolSpec::new(name);
+    for &param in entry.params {
+        let value = args
+            .opt(param)?
+            .map(|v| {
+                v.parse::<f64>()
+                    .map_err(|_| CliError::Usage(format!("--{param} expects a number, got `{v}`")))
+            })
+            .transpose()?;
+        match param {
+            "loss" => spec.loss = value,
+            "downtime" => spec.downtime = value,
+            other => unreachable!("unmapped registry param `{other}`"),
+        }
+    }
+    Ok(spec)
 }
 
 /// Builds the named protocol.
@@ -62,28 +69,8 @@ pub fn list() -> Vec<ProtocolInfo> {
 /// [`CliError::Usage`] for an unknown name; [`CliError::Sim`] when the
 /// protocol constructor rejects the parameters.
 pub fn build(name: &str, args: &Args) -> Result<Box<dyn Protocol>, CliError> {
-    let proto: Box<dyn Protocol> = match name {
-        "async" => Box::new(CutRateAsync::new()),
-        "naive" => Box::new(AsyncPushPull::new()),
-        "push" => Box::new(AsyncPush::new()),
-        "pull" => Box::new(AsyncPull::new()),
-        "sync" => Box::new(SyncPushPull::new()),
-        "sync-push" => Box::new(SyncPush::new()),
-        "sync-pull" => Box::new(SyncPull::new()),
-        "flooding" => Box::new(Flooding::new()),
-        "two-push" => Box::new(TwoPush::new()),
-        "lossy" => {
-            let loss = args.opt_f64("loss", 0.0)?;
-            let downtime = args.opt_f64("downtime", 0.0)?;
-            Box::new(LossyAsync::with_downtime(loss, downtime)?)
-        }
-        other => {
-            return Err(CliError::Usage(format!(
-                "unknown protocol `{other}` (see `gossip list`)"
-            )))
-        }
-    };
-    Ok(proto)
+    let spec = spec_from_args(name, args)?;
+    scenario::build_protocol(&spec).map_err(CliError::from)
 }
 
 #[cfg(test)]

@@ -99,10 +99,18 @@ pub fn corollary_1_6(
         sum_11 += p.theorem_1_1_increment();
         sum_13 += p.theorem_1_3_increment();
         if sum_11 >= target_11 {
-            return Some(BoundResult { steps: t + 1, accumulated: sum_11, target: target_11 });
+            return Some(BoundResult {
+                steps: t + 1,
+                accumulated: sum_11,
+                target: target_11,
+            });
         }
         if sum_13 >= target_13 {
-            return Some(BoundResult { steps: t + 1, accumulated: sum_13, target: target_13 });
+            return Some(BoundResult {
+                steps: t + 1,
+                accumulated: sum_13,
+                target: target_13,
+            });
         }
     }
     None
@@ -146,7 +154,11 @@ fn accumulate(
     for t in 0..max_steps {
         sum += increment(t);
         if sum >= target {
-            return Some(BoundResult { steps: t + 1, accumulated: sum, target });
+            return Some(BoundResult {
+                steps: t + 1,
+                accumulated: sum,
+                target,
+            });
         }
     }
     None
@@ -158,7 +170,12 @@ mod tests {
     use crate::profile::{constant, cycling};
 
     fn unit_profile() -> StepProfile {
-        StepProfile { phi: 1.0, rho: 1.0, rho_abs: 1.0, connected: true }
+        StepProfile {
+            phi: 1.0,
+            rho: 1.0,
+            rho_abs: 1.0,
+            connected: true,
+        }
     }
 
     #[test]
@@ -174,11 +191,20 @@ mod tests {
     #[test]
     fn theorem_1_1_scales_with_phi_rho() {
         // Halving Φ·ρ doubles the stopping time.
-        let weak = StepProfile { phi: 0.5, rho: 1.0, rho_abs: 1.0, connected: true };
+        let weak = StepProfile {
+            phi: 0.5,
+            rho: 1.0,
+            rho_abs: 1.0,
+            connected: true,
+        };
         let strong = unit_profile();
         let n = 256;
-        let t_weak = theorem_1_1(constant(weak), n, 1.0, 1_000_000).unwrap().steps;
-        let t_strong = theorem_1_1(constant(strong), n, 1.0, 1_000_000).unwrap().steps;
+        let t_weak = theorem_1_1(constant(weak), n, 1.0, 1_000_000)
+            .unwrap()
+            .steps;
+        let t_strong = theorem_1_1(constant(strong), n, 1.0, 1_000_000)
+            .unwrap()
+            .steps;
         assert!((t_weak as f64 / t_strong as f64 - 2.0).abs() < 0.02);
     }
 
@@ -200,30 +226,51 @@ mod tests {
         };
         let r = theorem_1_3(constant(p), n, 10_000_000).unwrap();
         // ±1 step of slack for floating accumulation of 1/31.
-        assert!((r.steps as i64 - 2 * 32 * 31).unsigned_abs() <= 1, "steps {}", r.steps);
+        assert!(
+            (r.steps as i64 - 2 * 32 * 31).unsigned_abs() <= 1,
+            "steps {}",
+            r.steps
+        );
     }
 
     #[test]
     fn theorem_1_3_skips_disconnected_steps() {
         // Alternate connected/disconnected: exactly twice as many steps.
-        let con = StepProfile { phi: 0.5, rho: 1.0, rho_abs: 1.0, connected: true };
+        let con = StepProfile {
+            phi: 0.5,
+            rho: 1.0,
+            rho_abs: 1.0,
+            connected: true,
+        };
         let dis = StepProfile::disconnected();
         let n = 16;
         let t_all = theorem_1_3(constant(con), n, 1_000_000).unwrap().steps;
-        let t_half = theorem_1_3(cycling(vec![con, dis]), n, 1_000_000).unwrap().steps;
+        let t_half = theorem_1_3(cycling(vec![con, dis]), n, 1_000_000)
+            .unwrap()
+            .steps;
         assert_eq!(t_half, 2 * t_all - 1);
     }
 
     #[test]
     fn corollary_picks_the_smaller() {
         // High Φ·ρ, tiny ρ̄: Theorem 1.1 fires first.
-        let p = StepProfile { phi: 1.0, rho: 1.0, rho_abs: 1e-6, connected: true };
+        let p = StepProfile {
+            phi: 1.0,
+            rho: 1.0,
+            rho_abs: 1e-6,
+            connected: true,
+        };
         let n = 64;
         let min = corollary_1_6(constant(p), n, 1.0, 10_000_000).unwrap();
         let t11 = theorem_1_1(constant(p), n, 1.0, 10_000_000).unwrap();
         assert_eq!(min.steps, t11.steps);
         // Tiny Φ (never accumulates), decent ρ̄: Theorem 1.3 fires first.
-        let p = StepProfile { phi: 1e-9, rho: 1e-9, rho_abs: 0.5, connected: true };
+        let p = StepProfile {
+            phi: 1e-9,
+            rho: 1e-9,
+            rho_abs: 0.5,
+            connected: true,
+        };
         let min = corollary_1_6(constant(p), n, 1.0, 10_000_000).unwrap();
         let t13 = theorem_1_3(constant(p), n, 10_000_000).unwrap();
         assert_eq!(min.steps, t13.steps);
@@ -232,11 +279,18 @@ mod tests {
     #[test]
     fn giakkoupis_blows_up_with_m() {
         // Same Φ stream; M = (n-1)/3 makes the bound ~n/ (Φ log n) steps.
-        let p = StepProfile { phi: 0.5, rho: 1.0, rho_abs: 0.3, connected: true };
+        let p = StepProfile {
+            phi: 0.5,
+            rho: 1.0,
+            rho_abs: 0.3,
+            connected: true,
+        };
         let n = 128;
         let ours = theorem_1_1(constant(p), n, 1.0, 10_000_000).unwrap().steps;
         let m = (n as f64 - 1.0) / 3.0;
-        let theirs = giakkoupis_bound(constant(p), n, m, 1.0, 10_000_000).unwrap().steps;
+        let theirs = giakkoupis_bound(constant(p), n, m, 1.0, 10_000_000)
+            .unwrap()
+            .steps;
         // With c_g = 1 vs our large constant C ≈ 227, the M factor must
         // still dominate: theirs/ours ≈ M/C.
         assert!(
@@ -247,7 +301,12 @@ mod tests {
 
     #[test]
     fn max_steps_respected() {
-        let p = StepProfile { phi: 1e-12, rho: 1e-12, rho_abs: 1e-12, connected: true };
+        let p = StepProfile {
+            phi: 1e-12,
+            rho: 1e-12,
+            rho_abs: 1e-12,
+            connected: true,
+        };
         assert!(theorem_1_1(constant(p), 64, 1.0, 100).is_none());
         assert!(theorem_1_3(constant(p), 64, 100).is_none());
         assert!(corollary_1_6(constant(p), 64, 1.0, 100).is_none());

@@ -170,9 +170,10 @@ mod tests {
     #[test]
     fn catalog_covers_all_theorems() {
         let ids: Vec<&str> = catalog().iter().map(|e| e.id).collect();
-        for required in
-            ["E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "X1", "X2", "X3", "X4", "X5"]
-        {
+        for required in [
+            "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "X1", "X2", "X3",
+            "X4", "X5",
+        ] {
             assert!(ids.contains(&required), "missing {required}");
         }
     }
@@ -198,7 +199,10 @@ mod tests {
 
     #[test]
     fn find_works() {
-        assert_eq!(find("E7").unwrap().paper_item, "Theorem 1.7(ii) / Figure 1(b)");
+        assert_eq!(
+            find("E7").unwrap().paper_item,
+            "Theorem 1.7(ii) / Figure 1(b)"
+        );
         assert!(find("E99").is_none());
     }
 }

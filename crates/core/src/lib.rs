@@ -35,6 +35,10 @@
 //! assert_eq!(result.steps, expected.ceil() as u64);
 //! ```
 
+//!
+//! See the workspace `README.md` (repo root) for the crate map and the
+//! window / event-stream engine duality.
+
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
@@ -43,4 +47,5 @@ pub mod experiment;
 pub mod predictions;
 pub mod profile;
 pub mod report;
+pub mod scenario;
 pub mod tracking;

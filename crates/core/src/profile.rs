@@ -31,7 +31,10 @@ pub fn constant(p: StepProfile) -> impl FnMut(u64) -> StepProfile {
 ///
 /// Panics when `schedule` is empty.
 pub fn cycling(schedule: Vec<StepProfile>) -> impl FnMut(u64) -> StepProfile {
-    assert!(!schedule.is_empty(), "cycling profile needs at least one entry");
+    assert!(
+        !schedule.is_empty(),
+        "cycling profile needs at least one entry"
+    );
     move |t| schedule[(t % schedule.len() as u64) as usize]
 }
 
@@ -41,8 +44,18 @@ mod tests {
 
     #[test]
     fn cycling_wraps() {
-        let a = StepProfile { phi: 0.1, rho: 1.0, rho_abs: 0.5, connected: true };
-        let b = StepProfile { phi: 0.9, rho: 1.0, rho_abs: 0.5, connected: true };
+        let a = StepProfile {
+            phi: 0.1,
+            rho: 1.0,
+            rho_abs: 0.5,
+            connected: true,
+        };
+        let b = StepProfile {
+            phi: 0.9,
+            rho: 1.0,
+            rho_abs: 0.5,
+            connected: true,
+        };
         let mut src = cycling(vec![a, b]);
         assert_eq!(src(0), a);
         assert_eq!(src(1), b);

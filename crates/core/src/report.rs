@@ -35,8 +35,14 @@ pub fn verdict(ok: bool, detail: &str) -> String {
 
 /// Formats a measured-vs-predicted pair with their ratio.
 pub fn comparison(name: &str, measured: f64, predicted: f64) -> String {
-    let ratio = if predicted != 0.0 { measured / predicted } else { f64::NAN };
-    format!("{name}: measured = {measured:.4}, predicted scale = {predicted:.4}, ratio = {ratio:.4}")
+    let ratio = if predicted != 0.0 {
+        measured / predicted
+    } else {
+        f64::NAN
+    };
+    format!(
+        "{name}: measured = {measured:.4}, predicted scale = {predicted:.4}, ratio = {ratio:.4}"
+    )
 }
 
 #[cfg(test)]

@@ -1,0 +1,982 @@
+//! The unified scenario registry.
+//!
+//! A **scenario** is a declarative experiment: a network family, a
+//! protocol, a size sweep, and trial parameters, expressed as a
+//! serde-backed [`ScenarioSpec`] that round-trips through TOML and JSON.
+//! The registry replaces per-experiment hard-coding: the CLI's `scenario`
+//! subcommand runs a spec straight from a file, the `gossip-bench`
+//! experiments build their sweeps on [`run_scenario`], and the family /
+//! protocol name tables below are the single source of truth the CLI's
+//! `--family` / `--protocol` flags resolve against.
+//!
+//! ```toml
+//! name = "dichotomy-async"
+//!
+//! [family]
+//! kind = "dynamic-star"
+//!
+//! [protocol]
+//! kind = "async"
+//!
+//! [sweep]
+//! sizes = [64, 128, 256]
+//! trials = 20
+//! seed = 42
+//! ```
+//!
+//! Engines: by default a scenario runs on the event-stream engine
+//! ([`gossip_sim::EventSimulation`]) whenever the protocol implements
+//! [`IncrementalProtocol`], and falls back to the window-based reference
+//! engine otherwise; `engine = "window"` or `engine = "event"` in
+//! `[sweep]` forces a choice.
+
+use gossip_dynamics::{
+    AbsoluteDiligentNetwork, AlternatingRegular, CliquePendant, DiligentNetwork, DynamicNetwork,
+    DynamicStar, EdgeMarkovian, MobileAgents, StaticNetwork,
+};
+use gossip_graph::{generators, GraphError};
+use gossip_sim::{
+    AsyncPull, AsyncPush, AsyncPushPull, CutRateAsync, Flooding, IncrementalProtocol, LossyAsync,
+    Protocol, RunConfig, Runner, SimError, SyncPull, SyncPush, SyncPushPull, TwoPush,
+};
+use gossip_stats::SimRng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+// ---------------------------------------------------------------------------
+// Spec types
+// ---------------------------------------------------------------------------
+
+/// A complete declarative experiment: family + protocol + sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioSpec {
+    /// Scenario name (used in reports and file names).
+    pub name: String,
+    /// Optional free-text description.
+    pub description: Option<String>,
+    /// The network family to build at each sweep size.
+    pub family: FamilySpec,
+    /// The protocol to run.
+    pub protocol: ProtocolSpec,
+    /// Sizes, trials, seeds, cutoff, engine.
+    pub sweep: SweepSpec,
+}
+
+/// Network-family selection plus the per-family parameters.
+///
+/// Unset parameters take the same defaults as the CLI flags; parameters a
+/// family does not read are ignored.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FamilySpec {
+    /// Family name (see [`families`]).
+    pub kind: String,
+    /// Degree (`regular`, `circulant`).
+    pub d: Option<usize>,
+    /// Edge probability (`er`) / birth probability (`edge-markovian`).
+    pub p: Option<f64>,
+    /// Death probability (`edge-markovian`).
+    pub q: Option<f64>,
+    /// Diligence parameter (`diligent`, `absolute-diligent`).
+    pub rho: Option<f64>,
+    /// Grid rows (`torus`, `mobile`).
+    pub rows: Option<usize>,
+    /// Grid columns (`torus`, `mobile`).
+    pub cols: Option<usize>,
+    /// Agent count (`mobile`).
+    pub agents: Option<usize>,
+    /// Contact radius (`mobile`).
+    pub radius: Option<usize>,
+    /// Hypercube dimension (`hypercube`).
+    pub dim: Option<usize>,
+    /// Seed for randomized family construction (default 1).
+    pub build_seed: Option<u64>,
+}
+
+impl FamilySpec {
+    /// A spec selecting `kind` with every parameter at its default.
+    pub fn new(kind: impl Into<String>) -> Self {
+        FamilySpec {
+            kind: kind.into(),
+            d: None,
+            p: None,
+            q: None,
+            rho: None,
+            rows: None,
+            cols: None,
+            agents: None,
+            radius: None,
+            dim: None,
+            build_seed: None,
+        }
+    }
+}
+
+/// Protocol selection plus protocol parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProtocolSpec {
+    /// Protocol name (see [`protocols`]).
+    pub kind: String,
+    /// Per-contact message-loss probability (`lossy`, default 0).
+    pub loss: Option<f64>,
+    /// Per-window node downtime probability (`lossy`, default 0).
+    pub downtime: Option<f64>,
+}
+
+impl ProtocolSpec {
+    /// A spec selecting `kind` with default parameters.
+    pub fn new(kind: impl Into<String>) -> Self {
+        ProtocolSpec {
+            kind: kind.into(),
+            loss: None,
+            downtime: None,
+        }
+    }
+}
+
+/// Sweep and trial parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepSpec {
+    /// Network sizes to sweep (the `--n` of each run).
+    pub sizes: Vec<usize>,
+    /// Independent trials per size (default 20).
+    pub trials: Option<usize>,
+    /// Trial RNG seed (default 42).
+    pub seed: Option<u64>,
+    /// Time cutoff per run (default 1e5).
+    pub max_time: Option<f64>,
+    /// `"auto"` (default), `"event"`, or `"window"`.
+    pub engine: Option<String>,
+    /// Start node override (default: the family's suggested start).
+    pub start: Option<u32>,
+}
+
+impl SweepSpec {
+    /// A sweep over `sizes` with every other parameter at its default.
+    pub fn over(sizes: Vec<usize>) -> Self {
+        SweepSpec {
+            sizes,
+            trials: None,
+            seed: None,
+            max_time: None,
+            engine: None,
+            start: None,
+        }
+    }
+
+    /// Trials per size (default 20).
+    pub fn trials_or_default(&self) -> usize {
+        self.trials.unwrap_or(20)
+    }
+
+    /// Trial seed (default 42).
+    pub fn seed_or_default(&self) -> u64 {
+        self.seed.unwrap_or(42)
+    }
+
+    /// Cutoff (default 1e5).
+    pub fn max_time_or_default(&self) -> f64 {
+        self.max_time.unwrap_or(1e5)
+    }
+}
+
+/// Which engine a scenario requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineChoice {
+    /// Event-stream when the protocol supports it, window otherwise.
+    Auto,
+    /// Force the event-stream engine (error for window-only protocols).
+    Event,
+    /// Force the window-based reference engine.
+    Window,
+}
+
+impl EngineChoice {
+    fn parse(s: Option<&str>) -> Result<Self, ScenarioError> {
+        match s.unwrap_or("auto") {
+            "auto" => Ok(EngineChoice::Auto),
+            "event" => Ok(EngineChoice::Event),
+            "window" => Ok(EngineChoice::Window),
+            other => Err(ScenarioError::Invalid(format!(
+                "unknown engine `{other}` (auto, event, window)"
+            ))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------
+
+/// Scenario construction / execution errors.
+#[derive(Debug)]
+pub enum ScenarioError {
+    /// The spec file could not be parsed.
+    Parse(String),
+    /// `family.kind` is not a registered family.
+    UnknownFamily(String),
+    /// `protocol.kind` is not a registered protocol.
+    UnknownProtocol(String),
+    /// A structurally invalid spec (empty sweep, bad engine, …).
+    Invalid(String),
+    /// A family constructor rejected its parameters.
+    Graph(GraphError),
+    /// A simulation run failed.
+    Sim(SimError),
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::Parse(m) => write!(f, "scenario parse error: {m}"),
+            ScenarioError::UnknownFamily(k) => {
+                write!(f, "unknown family `{k}` (see the scenario registry)")
+            }
+            ScenarioError::UnknownProtocol(k) => {
+                write!(f, "unknown protocol `{k}` (see the scenario registry)")
+            }
+            ScenarioError::Invalid(m) => write!(f, "invalid scenario: {m}"),
+            ScenarioError::Graph(e) => write!(f, "{e}"),
+            ScenarioError::Sim(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ScenarioError::Graph(e) => Some(e),
+            ScenarioError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for ScenarioError {
+    fn from(e: GraphError) -> Self {
+        ScenarioError::Graph(e)
+    }
+}
+
+impl From<SimError> for ScenarioError {
+    fn from(e: SimError) -> Self {
+        ScenarioError::Sim(e)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registry tables
+// ---------------------------------------------------------------------------
+
+/// One registry row: a name, the spec parameters it reads, a synopsis.
+#[derive(Debug, Clone, Copy)]
+pub struct RegistryEntry {
+    /// The `kind` string.
+    pub name: &'static str,
+    /// Parameter names the entry reads (spec fields / CLI flags).
+    pub params: &'static [&'static str],
+    /// One-line description.
+    pub synopsis: &'static str,
+}
+
+/// Every registered network family.
+pub fn families() -> Vec<RegistryEntry> {
+    vec![
+        RegistryEntry {
+            name: "complete",
+            params: &[],
+            synopsis: "static complete graph K_n",
+        },
+        RegistryEntry {
+            name: "star",
+            params: &[],
+            synopsis: "static star K_{1,n-1} (node 0 center)",
+        },
+        RegistryEntry {
+            name: "path",
+            params: &[],
+            synopsis: "static path P_n",
+        },
+        RegistryEntry {
+            name: "cycle",
+            params: &[],
+            synopsis: "static cycle C_n",
+        },
+        RegistryEntry {
+            name: "torus",
+            params: &["rows", "cols"],
+            synopsis: "static 2-D torus grid (n ignored)",
+        },
+        RegistryEntry {
+            name: "hypercube",
+            params: &["dim"],
+            synopsis: "static 2^dim hypercube (n ignored)",
+        },
+        RegistryEntry {
+            name: "regular",
+            params: &["d"],
+            synopsis: "static random connected d-regular graph (expander w.h.p.)",
+        },
+        RegistryEntry {
+            name: "er",
+            params: &["p"],
+            synopsis: "static Erdős–Rényi G(n,p)",
+        },
+        RegistryEntry {
+            name: "circulant",
+            params: &["d"],
+            synopsis: "static d-regular circulant (consecutive offsets)",
+        },
+        RegistryEntry {
+            name: "dynamic-star",
+            params: &[],
+            synopsis: "G2 of Fig. 1(b): star re-centered on an uninformed node each step",
+        },
+        RegistryEntry {
+            name: "clique-pendant",
+            params: &[],
+            synopsis: "G1 of Fig. 1(a): clique+pendant, then two bridged cliques",
+        },
+        RegistryEntry {
+            name: "diligent",
+            params: &["rho"],
+            synopsis: "Section 4 rho-diligent H_{k,Delta} adversary (Theorem 1.2)",
+        },
+        RegistryEntry {
+            name: "absolute-diligent",
+            params: &["rho"],
+            synopsis: "Section 5.1 absolutely rho-diligent adversary (Theorem 1.5)",
+        },
+        RegistryEntry {
+            name: "alternating",
+            params: &[],
+            synopsis: "Section 1.2 alternating {3-regular, K_n} network (E9)",
+        },
+        RegistryEntry {
+            name: "edge-markovian",
+            params: &["p", "q"],
+            synopsis: "edge-Markovian evolving graph of related work [7]",
+        },
+        RegistryEntry {
+            name: "mobile",
+            params: &["agents", "rows", "cols", "radius"],
+            synopsis: "random-walking agents on a torus, proximity contacts [20, 22]",
+        },
+    ]
+}
+
+/// Every registered protocol. `params` lists spec fields; protocols marked
+/// incremental run on the event-stream engine by default.
+pub fn protocols() -> Vec<RegistryEntry> {
+    vec![
+        RegistryEntry {
+            name: "async",
+            params: &[],
+            synopsis: "asynchronous push-pull, exact cut-rate simulator (default)",
+        },
+        RegistryEntry {
+            name: "naive",
+            params: &[],
+            synopsis: "asynchronous push-pull, tick-by-tick ground-truth simulator",
+        },
+        RegistryEntry {
+            name: "push",
+            params: &[],
+            synopsis: "asynchronous push-only",
+        },
+        RegistryEntry {
+            name: "pull",
+            params: &[],
+            synopsis: "asynchronous pull-only",
+        },
+        RegistryEntry {
+            name: "sync",
+            params: &[],
+            synopsis: "synchronous push-pull rounds (Theorem 1.7 comparisons)",
+        },
+        RegistryEntry {
+            name: "sync-push",
+            params: &[],
+            synopsis: "synchronous push-only rounds",
+        },
+        RegistryEntry {
+            name: "sync-pull",
+            params: &[],
+            synopsis: "synchronous pull-only rounds",
+        },
+        RegistryEntry {
+            name: "flooding",
+            params: &[],
+            synopsis: "informed nodes flood all neighbors each round",
+        },
+        RegistryEntry {
+            name: "two-push",
+            params: &[],
+            synopsis: "rate-2 push (the Section 4 / Lemma 5.2 coupling process)",
+        },
+        RegistryEntry {
+            name: "lossy",
+            params: &["loss", "downtime"],
+            synopsis: "async push-pull with i.i.d. message loss and per-window downtime",
+        },
+    ]
+}
+
+/// Whether `kind` names a protocol with an [`IncrementalProtocol`]
+/// implementation (eligible for the event-stream engine).
+pub fn protocol_is_incremental(kind: &str) -> bool {
+    matches!(
+        kind,
+        "async" | "naive" | "push" | "pull" | "two-push" | "lossy"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Builders
+// ---------------------------------------------------------------------------
+
+/// Builds the family selected by `spec` at size `n`.
+///
+/// # Errors
+///
+/// [`ScenarioError::UnknownFamily`] for unregistered kinds;
+/// [`ScenarioError::Graph`] when the constructor rejects the parameters.
+pub fn build_family(spec: &FamilySpec, n: usize) -> Result<Box<dyn DynamicNetwork>, ScenarioError> {
+    let mut rng = SimRng::seed_from_u64(spec.build_seed.unwrap_or(1));
+    let net: Box<dyn DynamicNetwork> = match spec.kind.as_str() {
+        "complete" => Box::new(StaticNetwork::new(generators::complete(n)?)),
+        "star" => Box::new(StaticNetwork::new(generators::star(n)?)),
+        "path" => Box::new(StaticNetwork::new(generators::path(n)?)),
+        "cycle" => Box::new(StaticNetwork::new(generators::cycle(n)?)),
+        "torus" => {
+            let rows = spec.rows.unwrap_or(16);
+            let cols = spec.cols.unwrap_or(16);
+            Box::new(StaticNetwork::new(generators::torus(rows, cols)?))
+        }
+        "hypercube" => {
+            let dim = spec.dim.unwrap_or(8);
+            Box::new(StaticNetwork::new(generators::hypercube(dim)?))
+        }
+        "regular" => {
+            let d = spec.d.unwrap_or(4);
+            Box::new(StaticNetwork::new(generators::random_connected_regular(
+                n, d, &mut rng,
+            )?))
+        }
+        "er" => {
+            let p = spec.p.unwrap_or(0.1);
+            Box::new(StaticNetwork::new(generators::erdos_renyi(n, p, &mut rng)?))
+        }
+        "circulant" => {
+            let d = spec.d.unwrap_or(4);
+            Box::new(StaticNetwork::new(generators::regular_circulant(n, d)?))
+        }
+        "dynamic-star" => Box::new(DynamicStar::new(n.saturating_sub(1))?),
+        "clique-pendant" => Box::new(CliquePendant::new(n)?),
+        "diligent" => {
+            let rho = spec.rho.unwrap_or(0.25);
+            Box::new(DiligentNetwork::new(n, rho)?)
+        }
+        "absolute-diligent" => {
+            let rho = spec.rho.unwrap_or(0.125);
+            Box::new(AbsoluteDiligentNetwork::new(n, rho)?)
+        }
+        "alternating" => Box::new(AlternatingRegular::new(n, &mut rng)?),
+        "edge-markovian" => {
+            let p = spec.p.unwrap_or(0.1);
+            let q = spec.q.unwrap_or(0.3);
+            let initial = generators::erdos_renyi(n, p, &mut rng)?;
+            Box::new(EdgeMarkovian::new(initial, p, q)?)
+        }
+        "mobile" => {
+            let agents = spec.agents.unwrap_or(40);
+            let rows = spec.rows.unwrap_or(16);
+            let cols = spec.cols.unwrap_or(16);
+            let radius = spec.radius.unwrap_or(1);
+            Box::new(MobileAgents::new(agents, rows, cols, radius, &mut rng)?)
+        }
+        other => return Err(ScenarioError::UnknownFamily(other.to_string())),
+    };
+    Ok(net)
+}
+
+/// Builds the protocol selected by `spec` as a window-engine trait object
+/// (every protocol supports this).
+///
+/// # Errors
+///
+/// [`ScenarioError::UnknownProtocol`] for unregistered kinds;
+/// [`ScenarioError::Sim`] when parameters are rejected.
+pub fn build_protocol(spec: &ProtocolSpec) -> Result<Box<dyn Protocol>, ScenarioError> {
+    let proto: Box<dyn Protocol> = match spec.kind.as_str() {
+        "async" => Box::new(CutRateAsync::new()),
+        "naive" => Box::new(AsyncPushPull::new()),
+        "push" => Box::new(AsyncPush::new()),
+        "pull" => Box::new(AsyncPull::new()),
+        "sync" => Box::new(SyncPushPull::new()),
+        "sync-push" => Box::new(SyncPush::new()),
+        "sync-pull" => Box::new(SyncPull::new()),
+        "flooding" => Box::new(Flooding::new()),
+        "two-push" => Box::new(TwoPush::new()),
+        "lossy" => Box::new(LossyAsync::with_downtime(
+            spec.loss.unwrap_or(0.0),
+            spec.downtime.unwrap_or(0.0),
+        )?),
+        other => return Err(ScenarioError::UnknownProtocol(other.to_string())),
+    };
+    Ok(proto)
+}
+
+/// Builds the protocol as an event-engine trait object.
+///
+/// # Errors
+///
+/// [`ScenarioError::Invalid`] when the protocol has no incremental
+/// implementation; otherwise as [`build_protocol`].
+pub fn build_incremental_protocol(
+    spec: &ProtocolSpec,
+) -> Result<Box<dyn IncrementalProtocol>, ScenarioError> {
+    let proto: Box<dyn IncrementalProtocol> = match spec.kind.as_str() {
+        "async" => Box::new(CutRateAsync::new()),
+        "naive" => Box::new(AsyncPushPull::new()),
+        "push" => Box::new(AsyncPush::new()),
+        "pull" => Box::new(AsyncPull::new()),
+        "two-push" => Box::new(TwoPush::new()),
+        "lossy" => Box::new(LossyAsync::with_downtime(
+            spec.loss.unwrap_or(0.0),
+            spec.downtime.unwrap_or(0.0),
+        )?),
+        other if protocols().iter().any(|p| p.name == other) => {
+            return Err(ScenarioError::Invalid(format!(
+                "protocol `{other}` is window-based only; use engine = \"window\" (or \"auto\")"
+            )))
+        }
+        other => return Err(ScenarioError::UnknownProtocol(other.to_string())),
+    };
+    Ok(proto)
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+impl ScenarioSpec {
+    /// Parses a spec from TOML text.
+    ///
+    /// # Errors
+    ///
+    /// [`ScenarioError::Parse`] on malformed input.
+    pub fn from_toml_str(text: &str) -> Result<Self, ScenarioError> {
+        toml::from_str(text).map_err(|e| ScenarioError::Parse(e.to_string()))
+    }
+
+    /// Parses a spec from JSON text.
+    ///
+    /// # Errors
+    ///
+    /// [`ScenarioError::Parse`] on malformed input.
+    pub fn from_json_str(text: &str) -> Result<Self, ScenarioError> {
+        serde_json::from_str(text).map_err(|e| ScenarioError::Parse(e.to_string()))
+    }
+
+    /// Loads a spec from a file: `.json` parses as JSON, everything else
+    /// as TOML.
+    ///
+    /// # Errors
+    ///
+    /// [`ScenarioError::Parse`] on I/O or syntax errors.
+    pub fn from_path(path: &std::path::Path) -> Result<Self, ScenarioError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| ScenarioError::Parse(format!("{}: {e}", path.display())))?;
+        if path
+            .extension()
+            .is_some_and(|e| e.eq_ignore_ascii_case("json"))
+        {
+            Self::from_json_str(&text)
+        } else {
+            Self::from_toml_str(&text)
+        }
+    }
+
+    /// Renders the spec as TOML.
+    pub fn to_toml_string(&self) -> String {
+        toml::to_string(self).expect("scenario specs always render")
+    }
+
+    /// Renders the spec as pretty JSON.
+    pub fn to_json_string(&self) -> String {
+        serde_json::to_string_pretty(self)
+    }
+
+    /// Structural validation: known names, non-empty sweep, valid engine.
+    /// Does not construct networks (sizes may be expensive).
+    ///
+    /// # Errors
+    ///
+    /// A [`ScenarioError`] naming the first problem found.
+    pub fn validate(&self) -> Result<(), ScenarioError> {
+        if self.name.trim().is_empty() {
+            return Err(ScenarioError::Invalid("scenario name is empty".into()));
+        }
+        if !families().iter().any(|f| f.name == self.family.kind) {
+            return Err(ScenarioError::UnknownFamily(self.family.kind.clone()));
+        }
+        if !protocols().iter().any(|p| p.name == self.protocol.kind) {
+            return Err(ScenarioError::UnknownProtocol(self.protocol.kind.clone()));
+        }
+        if self.sweep.sizes.is_empty() {
+            return Err(ScenarioError::Invalid("sweep.sizes is empty".into()));
+        }
+        if self.sweep.trials_or_default() == 0 {
+            return Err(ScenarioError::Invalid(
+                "sweep.trials must be at least 1".into(),
+            ));
+        }
+        let engine = EngineChoice::parse(self.sweep.engine.as_deref())?;
+        if engine == EngineChoice::Event && !protocol_is_incremental(&self.protocol.kind) {
+            return Err(ScenarioError::Invalid(format!(
+                "protocol `{}` cannot run on the event engine",
+                self.protocol.kind
+            )));
+        }
+        Ok(())
+    }
+
+    /// A documented template spec (what `gossip scenario init` prints).
+    pub fn template() -> Self {
+        ScenarioSpec {
+            name: "example-sweep".into(),
+            description: Some(
+                "async push-pull on the dynamic star; edit family/protocol/sizes".into(),
+            ),
+            family: FamilySpec::new("dynamic-star"),
+            protocol: ProtocolSpec::new("async"),
+            sweep: SweepSpec {
+                sizes: vec![64, 128, 256],
+                trials: Some(20),
+                seed: Some(42),
+                max_time: Some(1e5),
+                engine: Some("auto".into()),
+                start: None,
+            },
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------------
+
+/// Per-size result row of a scenario run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioRow {
+    /// Sweep size (`n`).
+    pub n: usize,
+    /// Trials run.
+    pub trials: usize,
+    /// Trials completed before the cutoff.
+    pub completed: usize,
+    /// Mean spread time over completed trials (0 when none completed).
+    pub mean: f64,
+    /// Standard deviation over completed trials.
+    pub std_dev: f64,
+    /// Median spread time (`None` when no trial completed).
+    pub median: Option<f64>,
+    /// 0.95 quantile — the empirical w.h.p. spread time.
+    pub q95: Option<f64>,
+    /// Largest completed spread time.
+    pub max: Option<f64>,
+}
+
+/// The result of running a scenario: one row per sweep size.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioReport {
+    /// Scenario name (from the spec).
+    pub scenario: String,
+    /// Family kind.
+    pub family: String,
+    /// Protocol display name.
+    pub protocol: String,
+    /// `"event"` or `"window"`.
+    pub engine: String,
+    /// Per-size results, in sweep order.
+    pub rows: Vec<ScenarioRow>,
+}
+
+impl ScenarioReport {
+    /// Extracts `(n, median)` pairs into a [`gossip_stats::series::Series`]
+    /// with the given extra columns appended per row by `extra`.
+    pub fn to_series(
+        &self,
+        columns: Vec<String>,
+        mut extra: impl FnMut(&ScenarioRow) -> Vec<f64>,
+    ) -> gossip_stats::series::Series {
+        let mut series = gossip_stats::series::Series::new("n", columns);
+        for row in &self.rows {
+            series.push(row.n as f64, extra(row));
+        }
+        series
+    }
+}
+
+impl fmt::Display for ScenarioReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "scenario  : {}\nfamily    : {}\nprotocol  : {}\nengine    : {}",
+            self.scenario, self.family, self.protocol, self.engine
+        )?;
+        writeln!(
+            f,
+            "{:>8} {:>7} {:>10} {:>10} {:>10} {:>10} {:>10}",
+            "n", "done", "mean", "std", "median", "q95", "max"
+        )?;
+        for r in &self.rows {
+            let opt = |v: Option<f64>| match v {
+                Some(x) => format!("{x:.4}"),
+                None => "-".to_string(),
+            };
+            writeln!(
+                f,
+                "{:>8} {:>7} {:>10.4} {:>10.4} {:>10} {:>10} {:>10}",
+                r.n,
+                format!("{}/{}", r.completed, r.trials),
+                r.mean,
+                r.std_dev,
+                opt(r.median),
+                opt(r.q95),
+                opt(r.max),
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Runs a scenario end to end: for each sweep size, builds the family and
+/// protocol and executes the trial batch on the selected engine.
+///
+/// # Errors
+///
+/// Validation errors up front; [`ScenarioError::Sim`] when a run fails.
+pub fn run_scenario(spec: &ScenarioSpec) -> Result<ScenarioReport, ScenarioError> {
+    spec.validate()?;
+    let engine = EngineChoice::parse(spec.sweep.engine.as_deref())?;
+    let incremental = match engine {
+        EngineChoice::Auto => protocol_is_incremental(&spec.protocol.kind),
+        EngineChoice::Event => true,
+        EngineChoice::Window => false,
+    };
+    // Probe the protocol once so bad parameters fail before any sweep work.
+    let protocol_name = build_protocol(&spec.protocol)?.name().to_string();
+    if incremental {
+        build_incremental_protocol(&spec.protocol)?;
+    }
+
+    let trials = spec.sweep.trials_or_default();
+    let seed = spec.sweep.seed_or_default();
+    let config = RunConfig::with_max_time(spec.sweep.max_time_or_default());
+    let mut rows = Vec::with_capacity(spec.sweep.sizes.len());
+    for &n in &spec.sweep.sizes {
+        // Probe the family so constructor errors surface as errors, not
+        // panics inside the runner's make_net closure.
+        build_family(&spec.family, n)?;
+        let runner = Runner::new(trials, seed);
+        let make_net = || build_family(&spec.family, n).expect("probed above");
+        let summary = if incremental {
+            runner.run_incremental(
+                make_net,
+                || build_incremental_protocol(&spec.protocol).expect("probed above"),
+                spec.sweep.start,
+                config,
+            )?
+        } else {
+            runner.run(
+                make_net,
+                || build_protocol(&spec.protocol).expect("probed above"),
+                spec.sweep.start,
+                config,
+            )?
+        };
+        rows.push(ScenarioRow {
+            n,
+            trials: summary.trials(),
+            completed: summary.completed(),
+            mean: summary.mean(),
+            std_dev: summary.std_dev(),
+            median: (summary.completed() > 0).then(|| summary.median()),
+            q95: (summary.completed() > 0).then(|| summary.whp_spread_time()),
+            max: (summary.completed() > 0).then(|| summary.max()),
+        });
+    }
+    Ok(ScenarioReport {
+        scenario: spec.name.clone(),
+        family: spec.family.kind.clone(),
+        protocol: protocol_name,
+        engine: if incremental {
+            "event".into()
+        } else {
+            "window".into()
+        },
+        rows,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOML_SPEC: &str = r#"
+name = "toml-demo"
+description = "complete-graph async sweep"
+
+[family]
+kind = "complete"
+
+[protocol]
+kind = "async"
+
+[sweep]
+sizes = [16, 32]
+trials = 8
+seed = 7
+max_time = 1e4
+"#;
+
+    #[test]
+    fn toml_round_trip_and_run() {
+        let spec = ScenarioSpec::from_toml_str(TOML_SPEC).unwrap();
+        assert_eq!(spec.name, "toml-demo");
+        assert_eq!(spec.sweep.sizes, vec![16, 32]);
+        let rendered = spec.to_toml_string();
+        let back = ScenarioSpec::from_toml_str(&rendered).unwrap();
+        assert_eq!(spec, back);
+
+        let report = run_scenario(&spec).unwrap();
+        assert_eq!(report.engine, "event");
+        assert_eq!(report.rows.len(), 2);
+        assert!(report.rows.iter().all(|r| r.completed == 8));
+        assert!(report.rows[0].median.unwrap() > 0.0);
+        let text = report.to_string();
+        assert!(
+            text.contains("toml-demo") && text.contains("median"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let spec = ScenarioSpec::template();
+        let json = spec.to_json_string();
+        let back = ScenarioSpec::from_json_str(&json).unwrap();
+        assert_eq!(spec, back);
+    }
+
+    #[test]
+    fn window_engine_forced() {
+        let mut spec = ScenarioSpec::from_toml_str(TOML_SPEC).unwrap();
+        spec.sweep.engine = Some("window".into());
+        let report = run_scenario(&spec).unwrap();
+        assert_eq!(report.engine, "window");
+    }
+
+    #[test]
+    fn sync_protocol_auto_selects_window() {
+        let mut spec = ScenarioSpec::from_toml_str(TOML_SPEC).unwrap();
+        spec.protocol = ProtocolSpec::new("sync");
+        let report = run_scenario(&spec).unwrap();
+        assert_eq!(report.engine, "window");
+    }
+
+    #[test]
+    fn event_engine_rejected_for_window_only_protocols() {
+        let mut spec = ScenarioSpec::from_toml_str(TOML_SPEC).unwrap();
+        spec.protocol = ProtocolSpec::new("sync");
+        spec.sweep.engine = Some("event".into());
+        assert!(matches!(spec.validate(), Err(ScenarioError::Invalid(_))));
+    }
+
+    #[test]
+    fn validation_catches_unknown_names() {
+        let mut spec = ScenarioSpec::template();
+        spec.family.kind = "klein-bottle".into();
+        assert!(matches!(
+            spec.validate(),
+            Err(ScenarioError::UnknownFamily(_))
+        ));
+        let mut spec = ScenarioSpec::template();
+        spec.protocol.kind = "telepathy".into();
+        assert!(matches!(
+            spec.validate(),
+            Err(ScenarioError::UnknownProtocol(_))
+        ));
+        let mut spec = ScenarioSpec::template();
+        spec.sweep.sizes.clear();
+        assert!(matches!(spec.validate(), Err(ScenarioError::Invalid(_))));
+    }
+
+    #[test]
+    fn every_family_registry_entry_builds() {
+        for entry in families() {
+            let n = match entry.name {
+                "diligent" | "absolute-diligent" => 160,
+                _ => 24,
+            };
+            let mut spec = FamilySpec::new(entry.name);
+            spec.rho = Some(0.125);
+            spec.d = Some(4);
+            spec.p = Some(0.3);
+            spec.q = Some(0.4);
+            spec.dim = Some(4);
+            spec.rows = Some(5);
+            spec.cols = Some(5);
+            spec.agents = Some(10);
+            spec.radius = Some(1);
+            let net = build_family(&spec, n)
+                .unwrap_or_else(|e| panic!("family {} failed: {e}", entry.name));
+            assert!(net.n() > 0);
+        }
+    }
+
+    #[test]
+    fn every_protocol_registry_entry_builds() {
+        for entry in protocols() {
+            let mut spec = ProtocolSpec::new(entry.name);
+            spec.loss = Some(0.1);
+            spec.downtime = Some(0.05);
+            let p = build_protocol(&spec)
+                .unwrap_or_else(|e| panic!("protocol {} failed: {e}", entry.name));
+            assert!(!p.name().is_empty());
+            if protocol_is_incremental(entry.name) {
+                build_incremental_protocol(&spec)
+                    .unwrap_or_else(|e| panic!("incremental {} failed: {e}", entry.name));
+            } else {
+                assert!(build_incremental_protocol(&spec).is_err());
+            }
+        }
+    }
+
+    #[test]
+    fn lossy_probability_errors_surface() {
+        let mut spec = ProtocolSpec::new("lossy");
+        spec.loss = Some(1.0);
+        assert!(matches!(build_protocol(&spec), Err(ScenarioError::Sim(_))));
+    }
+
+    #[test]
+    fn engines_agree_on_medians() {
+        // The same scenario through both engines: medians within noise.
+        let mut spec = ScenarioSpec::from_toml_str(TOML_SPEC).unwrap();
+        spec.sweep.trials = Some(40);
+        spec.sweep.engine = Some("event".into());
+        let event = run_scenario(&spec).unwrap();
+        spec.sweep.engine = Some("window".into());
+        let window = run_scenario(&spec).unwrap();
+        for (e, w) in event.rows.iter().zip(&window.rows) {
+            let (me, mw) = (e.median.unwrap(), w.median.unwrap());
+            assert!(
+                (me - mw).abs() / mw < 0.5,
+                "medians diverged at n = {}: {me} vs {mw}",
+                e.n
+            );
+        }
+    }
+}

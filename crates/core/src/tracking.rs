@@ -106,24 +106,32 @@ where
     N: ProfiledNetwork,
     P: Protocol,
 {
-    run_tracked_with(net, protocol, start, c, max_time, rng, move |net, informed, t, rng| {
-        match mode {
-            ProfileMode::Exact => {
-                let g = net.topology(t, informed, rng);
-                exact_profile(g).expect("graph small enough for exact profiling")
+    run_tracked_with(
+        net,
+        protocol,
+        start,
+        c,
+        max_time,
+        rng,
+        move |net, informed, t, rng| {
+            match mode {
+                ProfileMode::Exact => {
+                    let g = net.topology(t, informed, rng);
+                    exact_profile(g).expect("graph small enough for exact profiling")
+                }
+                ProfileMode::Conservative(iters) => {
+                    let g = net.topology(t, informed, rng);
+                    conservative_profile(g, iters)
+                }
+                ProfileMode::FromNetwork => {
+                    // Ensure the network has exposed (and so knows) G(t).
+                    let _ = net.topology(t, informed, rng);
+                    net.current_profile()
+                }
+                ProfileMode::Fixed(p) => p,
             }
-            ProfileMode::Conservative(iters) => {
-                let g = net.topology(t, informed, rng);
-                conservative_profile(g, iters)
-            }
-            ProfileMode::FromNetwork => {
-                // Ensure the network has exposed (and so knows) G(t).
-                let _ = net.topology(t, informed, rng);
-                net.current_profile()
-            }
-            ProfileMode::Fixed(p) => p,
-        }
-    })
+        },
+    )
 }
 
 /// As [`run_tracked`] for networks without closed-form profiles; only
@@ -149,24 +157,32 @@ where
     N: DynamicNetwork,
     P: Protocol,
 {
-    run_tracked_with(net, protocol, start, c, max_time, rng, move |net, informed, t, rng| {
-        if let ProfileMode::Fixed(p) = mode {
-            // No need to expose the topology just to profile it: the
-            // caller asserts the profile is time-invariant.
-            return p;
-        }
-        let g = net.topology(t, informed, rng);
-        match mode {
-            ProfileMode::Exact => {
-                exact_profile(g).expect("graph small enough for exact profiling")
+    run_tracked_with(
+        net,
+        protocol,
+        start,
+        c,
+        max_time,
+        rng,
+        move |net, informed, t, rng| {
+            if let ProfileMode::Fixed(p) = mode {
+                // No need to expose the topology just to profile it: the
+                // caller asserts the profile is time-invariant.
+                return p;
             }
-            ProfileMode::Conservative(iters) => conservative_profile(g, iters),
-            ProfileMode::FromNetwork => {
-                panic!("FromNetwork profiling requires a ProfiledNetwork; use run_tracked")
+            let g = net.topology(t, informed, rng);
+            match mode {
+                ProfileMode::Exact => {
+                    exact_profile(g).expect("graph small enough for exact profiling")
+                }
+                ProfileMode::Conservative(iters) => conservative_profile(g, iters),
+                ProfileMode::FromNetwork => {
+                    panic!("FromNetwork profiling requires a ProfiledNetwork; use run_tracked")
+                }
+                ProfileMode::Fixed(_) => unreachable!("handled above"),
             }
-            ProfileMode::Fixed(_) => unreachable!("handled above"),
-        }
-    })
+        },
+    )
 }
 
 fn run_tracked_with<N, P>(
@@ -287,7 +303,10 @@ mod tests {
         let spread = out.spread_time.unwrap();
         let bound = out.theorem_1_1_steps.unwrap() as f64;
         assert!(spread <= bound, "spread {spread} exceeded bound {bound}");
-        assert!(spread < 30.0, "dynamic star should finish in Θ(log n), got {spread}");
+        assert!(
+            spread < 30.0,
+            "dynamic star should finish in Θ(log n), got {spread}"
+        );
     }
 
     #[test]
@@ -399,7 +418,10 @@ mod tests {
         };
         assert_eq!(out.corollary_1_6_steps(), Some(32));
         assert!((out.theorem_1_1_ratio().unwrap() - 0.125).abs() < 1e-12);
-        let out2 = TrackedOutcome { theorem_1_1_steps: None, ..out };
+        let out2 = TrackedOutcome {
+            theorem_1_1_steps: None,
+            ..out
+        };
         assert_eq!(out2.corollary_1_6_steps(), Some(32));
     }
 

@@ -59,7 +59,9 @@ impl AbsoluteDiligentNetwork {
     /// freeze threshold.
     pub fn new(n: usize, rho: f64) -> Result<Self, GraphError> {
         if !(rho > 0.0 && rho <= 1.0) {
-            return Err(GraphError::InvalidParameter(format!("rho must be in (0, 1], got {rho}")));
+            return Err(GraphError::InvalidParameter(format!(
+                "rho must be in (0, 1], got {rho}"
+            )));
         }
         let raw = (1.0 / rho).ceil() as usize;
         let delta = if raw.is_multiple_of(2) { raw } else { raw + 1 }.max(4);
@@ -95,7 +97,14 @@ impl AbsoluteDiligentNetwork {
         }
         let a_nodes: Vec<NodeId> = (0..a_size as NodeId).collect();
         let b_nodes: Vec<NodeId> = (a_size as NodeId..n as NodeId).collect();
-        Ok(AbsoluteDiligentNetwork { n, delta, a_nodes, b_nodes, current: None, frozen: false })
+        Ok(AbsoluteDiligentNetwork {
+            n,
+            delta,
+            a_nodes,
+            b_nodes,
+            current: None,
+            frozen: false,
+        })
     }
 
     /// The block degree `Δ`.
@@ -126,14 +135,18 @@ impl AbsoluteDiligentNetwork {
         let b = &self.b_nodes;
         let ga = near_regular_with_hub(a.len(), self.delta)
             .expect("A-side sizes validated at construction");
-        let gb = regular_circulant(b.len(), self.delta)
-            .expect("B-side sizes validated at construction");
+        let gb =
+            regular_circulant(b.len(), self.delta).expect("B-side sizes validated at construction");
         let mut builder = GraphBuilder::new(self.n);
         for (u, v) in ga.edges() {
-            builder.add_edge(a[u as usize], a[v as usize]).expect("in range");
+            builder
+                .add_edge(a[u as usize], a[v as usize])
+                .expect("in range");
         }
         for (u, v) in gb.edges() {
-            builder.add_edge(b[u as usize], b[v as usize]).expect("in range");
+            builder
+                .add_edge(b[u as usize], b[v as usize])
+                .expect("in range");
         }
         // Hub (node a[0], the degree-Δ node of G(A,4,Δ)) to an arbitrary
         // B node (b[0]).
@@ -153,8 +166,12 @@ impl DynamicNetwork for AbsoluteDiligentNetwork {
             return self.current.as_ref().expect("just built");
         }
         if !self.frozen {
-            let b_new: Vec<NodeId> =
-                self.b_nodes.iter().copied().filter(|&v| !informed.contains(v)).collect();
+            let b_new: Vec<NodeId> = self
+                .b_nodes
+                .iter()
+                .copied()
+                .filter(|&v| !informed.contains(v))
+                .collect();
             if b_new.len() < self.b_nodes.len() {
                 if b_new.len() >= self.n / 6 {
                     let moved: Vec<NodeId> = self

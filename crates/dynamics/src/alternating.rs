@@ -8,7 +8,7 @@
 //! `Σ Φ ≥ c·M(G)·log n` with `M(G) = max_u Δ_u/δ_u = (n−1)/d`, which needs
 //! `Ω(n log n)` steps — an `Ω̃(n)` overestimate on this family.
 
-use crate::{DynamicNetwork, ProfiledNetwork, StepProfile};
+use crate::{DynamicNetwork, EdgeDelta, ProfiledNetwork, StepProfile};
 use gossip_graph::{generators, spectral, Graph, GraphError, NodeSet};
 use gossip_stats::SimRng;
 
@@ -37,6 +37,9 @@ pub struct AlternatingRegular {
     d: usize,
     sparse_phi_lower: f64,
     parity: u64,
+    /// Memoized sparse → complete diff; the odd → even diff is its
+    /// inverse. Computed on first request.
+    densify_delta: Option<EdgeDelta>,
 }
 
 impl AlternatingRegular {
@@ -61,7 +64,14 @@ impl AlternatingRegular {
         let sparse_phi_lower = spectral::spectral_bounds(&sparse, 3000)
             .map(|b| b.conductance_lower)
             .unwrap_or(0.0);
-        Ok(AlternatingRegular { sparse, complete, d, sparse_phi_lower, parity: 0 })
+        Ok(AlternatingRegular {
+            sparse,
+            complete,
+            d,
+            sparse_phi_lower,
+            parity: 0,
+            densify_delta: None,
+        })
     }
 
     /// Degree of the sparse layer (3 or 4).
@@ -103,6 +113,30 @@ impl DynamicNetwork for AlternatingRegular {
 
     fn name(&self) -> &str {
         "alternating {d-regular, K_n} (Sec. 1.2)"
+    }
+
+    /// The alternation replays one memoized diff (and its inverse), so the
+    /// two symmetric differences are computed once per network lifetime
+    /// instead of the graphs being re-scanned every window.
+    fn edges_changed(
+        &mut self,
+        t: u64,
+        _informed: &NodeSet,
+        _rng: &mut SimRng,
+    ) -> Option<EdgeDelta> {
+        self.parity = t % 2;
+        if t == 0 {
+            return Some(EdgeDelta::empty());
+        }
+        if self.densify_delta.is_none() {
+            self.densify_delta = Some(EdgeDelta::between(&self.sparse, &self.complete));
+        }
+        let densify = self.densify_delta.as_ref().expect("just memoized");
+        if self.parity == 1 {
+            Some(densify.clone())
+        } else {
+            Some(densify.inverted())
+        }
     }
 }
 

@@ -13,7 +13,7 @@
 //! reached over the bridge, which fires at rate `Θ(1/n)` — so
 //! `Ta(G1) = Ω(n)`.
 
-use crate::DynamicNetwork;
+use crate::{DynamicNetwork, EdgeDelta};
 use gossip_graph::{Graph, GraphBuilder, GraphError, NodeId, NodeSet};
 use gossip_stats::SimRng;
 
@@ -45,6 +45,9 @@ pub struct CliquePendant {
     initial: Graph,
     later: Graph,
     current_is_initial: bool,
+    /// Memoized one-time switch diff (initial → later), computed on first
+    /// request.
+    switch_delta: Option<EdgeDelta>,
 }
 
 impl CliquePendant {
@@ -90,7 +93,12 @@ impl CliquePendant {
         b1.add_edge(0, pendant)?;
         let later = b1.build();
 
-        Ok(CliquePendant { initial, later, current_is_initial: true })
+        Ok(CliquePendant {
+            initial,
+            later,
+            current_is_initial: true,
+            switch_delta: None,
+        })
     }
 
     /// The graph used from `t = 1` on (two bridged cliques).
@@ -124,6 +132,26 @@ impl DynamicNetwork for CliquePendant {
     /// The pendant node `n+1` — where the paper injects the rumor.
     fn suggested_start(&self) -> NodeId {
         (self.n() - 1) as NodeId
+    }
+
+    /// One topology change, ever: the `t = 1` switch from clique+pendant to
+    /// two bridged cliques. Every later window is unchanged.
+    fn edges_changed(
+        &mut self,
+        t: u64,
+        _informed: &NodeSet,
+        _rng: &mut SimRng,
+    ) -> Option<EdgeDelta> {
+        if t == 1 {
+            self.current_is_initial = false;
+            if self.switch_delta.is_none() {
+                self.switch_delta = Some(EdgeDelta::between(&self.initial, &self.later));
+            }
+            self.switch_delta.clone()
+        } else {
+            self.current_is_initial = t == 0;
+            Some(EdgeDelta::empty())
+        }
     }
 }
 

@@ -1,0 +1,198 @@
+//! Edge-level diffs between consecutive windows of a dynamic network.
+//!
+//! The event-stream engine (`gossip-sim`) maintains per-node cut rates
+//! incrementally; when the topology changes it only needs to know *which
+//! edges* changed, not the whole new graph. [`EdgeDelta`] carries exactly
+//! that, and [`EdgeDelta::between`] computes it for network families whose
+//! consecutive graphs are built independently.
+
+use gossip_graph::{Graph, NodeId};
+
+/// The symmetric difference between the edge sets of `G(t−1)` and `G(t)`.
+///
+/// An **empty** delta means "the graph did not change" — the cheapest
+/// possible answer, letting engines skip all per-window topology work. A
+/// non-empty delta lists added and removed edges (each with `u < v`); every
+/// node whose degree or incident cut edges changed is an endpoint of some
+/// listed edge.
+///
+/// # Example
+///
+/// ```
+/// use gossip_dynamics::EdgeDelta;
+/// use gossip_graph::Graph;
+///
+/// let old = Graph::from_edges(4, &[(0, 1), (1, 2)]).unwrap();
+/// let new = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+/// let delta = EdgeDelta::between(&old, &new);
+/// assert_eq!(delta.added(), &[(2, 3)]);
+/// assert_eq!(delta.removed(), &[(1, 2)]);
+/// assert!(!delta.is_empty());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EdgeDelta {
+    added: Vec<(NodeId, NodeId)>,
+    removed: Vec<(NodeId, NodeId)>,
+}
+
+impl EdgeDelta {
+    /// The "nothing changed" delta.
+    pub fn empty() -> Self {
+        EdgeDelta::default()
+    }
+
+    /// Builds a delta from explicit edge lists (endpoints are normalized to
+    /// `u < v`).
+    pub fn new(added: Vec<(NodeId, NodeId)>, removed: Vec<(NodeId, NodeId)>) -> Self {
+        let normalize = |mut edges: Vec<(NodeId, NodeId)>| {
+            for e in &mut edges {
+                if e.0 > e.1 {
+                    *e = (e.1, e.0);
+                }
+            }
+            edges
+        };
+        EdgeDelta {
+            added: normalize(added),
+            removed: normalize(removed),
+        }
+    }
+
+    /// Computes the symmetric difference of two graphs over the same node
+    /// set, in `O(vol(old) + vol(new))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graphs disagree on node count (dynamic networks keep
+    /// the node set fixed).
+    pub fn between(old: &Graph, new: &Graph) -> Self {
+        assert_eq!(old.n(), new.n(), "dynamic networks have a fixed node set");
+        let mut added = Vec::new();
+        let mut removed = Vec::new();
+        for v in 0..old.n() as NodeId {
+            // Merge the two sorted neighbor slices, keeping u < v edges.
+            let (a, b) = (old.neighbors(v), new.neighbors(v));
+            let (mut i, mut j) = (0, 0);
+            loop {
+                match (a.get(i).copied(), b.get(j).copied()) {
+                    (Some(x), Some(y)) if x == y => {
+                        i += 1;
+                        j += 1;
+                    }
+                    (Some(x), Some(y)) if x < y => {
+                        if x > v {
+                            removed.push((v, x));
+                        }
+                        i += 1;
+                    }
+                    (Some(x), None) => {
+                        if x > v {
+                            removed.push((v, x));
+                        }
+                        i += 1;
+                    }
+                    (_, Some(y)) => {
+                        if y > v {
+                            added.push((v, y));
+                        }
+                        j += 1;
+                    }
+                    (None, None) => break,
+                }
+            }
+        }
+        EdgeDelta { added, removed }
+    }
+
+    /// Edges present in `G(t)` but not `G(t−1)`, as `(u, v)` with `u < v`.
+    pub fn added(&self) -> &[(NodeId, NodeId)] {
+        &self.added
+    }
+
+    /// Edges present in `G(t−1)` but not `G(t)`, as `(u, v)` with `u < v`.
+    pub fn removed(&self) -> &[(NodeId, NodeId)] {
+        &self.removed
+    }
+
+    /// Whether nothing changed.
+    pub fn is_empty(&self) -> bool {
+        self.added.is_empty() && self.removed.is_empty()
+    }
+
+    /// Total number of changed edges.
+    pub fn len(&self) -> usize {
+        self.added.len() + self.removed.len()
+    }
+
+    /// Iterates every endpoint of every changed edge (with repetitions).
+    pub fn touched_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.added
+            .iter()
+            .chain(self.removed.iter())
+            .flat_map(|&(u, v)| [u, v])
+    }
+
+    /// Reverses direction: the delta from `G(t)` back to `G(t−1)`.
+    pub fn inverted(&self) -> Self {
+        EdgeDelta {
+            added: self.removed.clone(),
+            removed: self.added.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gossip_graph::generators;
+
+    #[test]
+    fn identical_graphs_empty_delta() {
+        let g = generators::cycle(8).unwrap();
+        let d = EdgeDelta::between(&g, &g);
+        assert!(d.is_empty());
+        assert_eq!(d.len(), 0);
+    }
+
+    #[test]
+    fn between_is_exact_symmetric_difference() {
+        let old = generators::path(6).unwrap(); // 0-1-2-3-4-5
+        let new = generators::cycle(6).unwrap(); // path + (5,0)
+        let d = EdgeDelta::between(&old, &new);
+        assert_eq!(d.added(), &[(0, 5)]);
+        assert!(d.removed().is_empty());
+        let back = EdgeDelta::between(&new, &old);
+        assert_eq!(back, d.inverted());
+    }
+
+    #[test]
+    fn dense_vs_sparse() {
+        let sparse = generators::cycle(5).unwrap();
+        let dense = generators::complete(5).unwrap();
+        let d = EdgeDelta::between(&sparse, &dense);
+        assert_eq!(d.added().len(), dense.m() - sparse.m());
+        assert!(d.removed().is_empty());
+        // Applying the delta to the sparse edge set gives the dense set.
+        let mut edges: Vec<(u32, u32)> = sparse.edges().collect();
+        edges.extend_from_slice(d.added());
+        let rebuilt = Graph::from_edges(5, &edges).unwrap();
+        assert_eq!(rebuilt, dense);
+    }
+
+    #[test]
+    fn touched_nodes_covers_endpoints() {
+        let d = EdgeDelta::new(vec![(3, 1)], vec![(0, 2)]);
+        assert_eq!(d.added(), &[(1, 3)]); // normalized
+        let mut touched: Vec<u32> = d.touched_nodes().collect();
+        touched.sort_unstable();
+        assert_eq!(touched, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_sizes_panic() {
+        let a = generators::path(4).unwrap();
+        let b = generators::path(5).unwrap();
+        EdgeDelta::between(&a, &b);
+    }
+}

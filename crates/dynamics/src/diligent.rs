@@ -57,7 +57,9 @@ impl DiligentNetwork {
     /// `|B_0| = 3n/4` must fit `k` clusters plus an expander).
     pub fn new(n: usize, rho: f64) -> Result<Self, GraphError> {
         if !(rho > 0.0 && rho <= 1.0) {
-            return Err(GraphError::InvalidParameter(format!("rho must be in (0, 1], got {rho}")));
+            return Err(GraphError::InvalidParameter(format!(
+                "rho must be in (0, 1], got {rho}"
+            )));
         }
         let delta = (1.0 / rho).ceil() as usize;
         let ln_n = (n.max(3) as f64).ln();
@@ -82,7 +84,14 @@ impl DiligentNetwork {
         }
         let a_nodes: Vec<NodeId> = (0..a_size as NodeId).collect();
         let b_nodes: Vec<NodeId> = (a_size as NodeId..n as NodeId).collect();
-        Ok(DiligentNetwork { n, params, a_nodes, b_nodes, current: None, frozen: false })
+        Ok(DiligentNetwork {
+            n,
+            params,
+            a_nodes,
+            b_nodes,
+            current: None,
+            frozen: false,
+        })
     }
 
     /// The construction parameters (`k`, `Δ`).
@@ -124,8 +133,12 @@ impl DynamicNetwork for DiligentNetwork {
             return self.current.as_ref().expect("just built").graph();
         }
         if !self.frozen {
-            let b_new: Vec<NodeId> =
-                self.b_nodes.iter().copied().filter(|&v| !informed.contains(v)).collect();
+            let b_new: Vec<NodeId> = self
+                .b_nodes
+                .iter()
+                .copied()
+                .filter(|&v| !informed.contains(v))
+                .collect();
             if b_new.len() < self.b_nodes.len() {
                 if b_new.len() >= self.n / 4 {
                     let moved: Vec<NodeId> = self

@@ -59,7 +59,11 @@ impl DynamicStar {
         }
         let n_total = leaves + 1;
         let current = generators::star_with_center(n_total, 0)?;
-        Ok(DynamicStar { n_total, current, current_center: 0 })
+        Ok(DynamicStar {
+            n_total,
+            current,
+            current_center: 0,
+        })
     }
 
     /// The center of the currently exposed star.
@@ -86,8 +90,8 @@ impl DynamicNetwork for DynamicStar {
 
     fn reset(&mut self) {
         if self.current_center != 0 {
-            self.current = generators::star_with_center(self.n_total, 0)
-                .expect("center 0 is always valid");
+            self.current =
+                generators::star_with_center(self.n_total, 0).expect("center 0 is always valid");
             self.current_center = 0;
         }
     }
@@ -108,7 +112,12 @@ impl ProfiledNetwork for DynamicStar {
     /// (paper Section 1.1 and the proof of Theorem 1.7(ii), which calls the
     /// dynamic star "an expander graph and 1-diligent").
     fn current_profile(&self) -> StepProfile {
-        StepProfile { phi: 1.0, rho: 1.0, rho_abs: 1.0, connected: true }
+        StepProfile {
+            phi: 1.0,
+            rho: 1.0,
+            rho_abs: 1.0,
+            connected: true,
+        }
     }
 }
 

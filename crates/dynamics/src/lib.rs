@@ -44,12 +44,17 @@
 //! assert_eq!(g.degree(0), net.n() - 1);
 //! ```
 
+//!
+//! See the workspace `README.md` (repo root) for the crate map and the
+//! window / event-stream engine duality.
+
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod absolute;
 mod alternating;
 mod clique_pendant;
+mod delta;
 mod diligent;
 mod dynamic_star;
 mod edge_markovian;
@@ -60,6 +65,7 @@ pub mod profile;
 pub use absolute::AbsoluteDiligentNetwork;
 pub use alternating::AlternatingRegular;
 pub use clique_pendant::CliquePendant;
+pub use delta::EdgeDelta;
 pub use diligent::DiligentNetwork;
 pub use dynamic_star::DynamicStar;
 pub use edge_markovian::EdgeMarkovian;

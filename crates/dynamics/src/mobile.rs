@@ -54,7 +54,9 @@ impl MobileAgents {
         rng: &mut SimRng,
     ) -> Result<Self, GraphError> {
         if agents < 2 {
-            return Err(GraphError::InvalidParameter(format!("need at least 2 agents, got {agents}")));
+            return Err(GraphError::InvalidParameter(format!(
+                "need at least 2 agents, got {agents}"
+            )));
         }
         if rows < 2 || cols < 2 {
             return Err(GraphError::InvalidParameter(format!(
@@ -66,8 +68,9 @@ impl MobileAgents {
                 "radius {radius} too large for {rows}x{cols} torus"
             )));
         }
-        let positions: Vec<(usize, usize)> =
-            (0..agents).map(|_| (rng.index(rows), rng.index(cols))).collect();
+        let positions: Vec<(usize, usize)> = (0..agents)
+            .map(|_| (rng.index(rows), rng.index(cols)))
+            .collect();
         let current = proximity_graph(&positions, rows, cols, radius);
         Ok(MobileAgents {
             rows,
@@ -106,12 +109,7 @@ impl MobileAgents {
 }
 
 /// Builds the graph connecting agents within torus L∞ distance `radius`.
-fn proximity_graph(
-    positions: &[(usize, usize)],
-    rows: usize,
-    cols: usize,
-    radius: usize,
-) -> Graph {
+fn proximity_graph(positions: &[(usize, usize)], rows: usize, cols: usize, radius: usize) -> Graph {
     let torus_dist = |a: usize, b: usize, len: usize| {
         let d = a.abs_diff(b);
         d.min(len - d)

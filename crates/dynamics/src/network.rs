@@ -1,3 +1,4 @@
+use crate::EdgeDelta;
 use gossip_graph::{Graph, GraphError, NodeId, NodeSet};
 use gossip_stats::SimRng;
 
@@ -42,6 +43,29 @@ pub trait DynamicNetwork {
     fn is_static(&self) -> bool {
         false
     }
+
+    /// The edge diff from `G(t−1)` to `G(t)`, for engines that maintain
+    /// per-node state incrementally instead of rescanning the graph every
+    /// window.
+    ///
+    /// Contract (for `t ≥ 1`, with the same strictly-increasing-`t`
+    /// guarantee as [`DynamicNetwork::topology`]):
+    ///
+    /// * `Some(delta)` — the network has advanced its internal state to
+    ///   window `t`; a following `topology(t, …)` call returns the
+    ///   post-delta graph **without evolving again**, and `delta` is the
+    ///   exact symmetric difference between that graph and the previous
+    ///   window's. An empty delta means the graph is unchanged.
+    /// * `None` — the network cannot (or chooses not to) report a diff;
+    ///   the caller must fetch `topology(t, …)` and rebuild from scratch.
+    ///   This is the default, which is always sound.
+    ///
+    /// Engines call this **instead of leading with** `topology` at each
+    /// boundary, so implementations may evolve their graph here.
+    fn edges_changed(&mut self, t: u64, informed: &NodeSet, rng: &mut SimRng) -> Option<EdgeDelta> {
+        let _ = (t, informed, rng);
+        None
+    }
 }
 
 impl<T: DynamicNetwork + ?Sized> DynamicNetwork for &mut T {
@@ -68,6 +92,10 @@ impl<T: DynamicNetwork + ?Sized> DynamicNetwork for &mut T {
     fn is_static(&self) -> bool {
         (**self).is_static()
     }
+
+    fn edges_changed(&mut self, t: u64, informed: &NodeSet, rng: &mut SimRng) -> Option<EdgeDelta> {
+        (**self).edges_changed(t, informed, rng)
+    }
 }
 
 impl<T: DynamicNetwork + ?Sized> DynamicNetwork for Box<T> {
@@ -93,6 +121,10 @@ impl<T: DynamicNetwork + ?Sized> DynamicNetwork for Box<T> {
 
     fn is_static(&self) -> bool {
         (**self).is_static()
+    }
+
+    fn edges_changed(&mut self, t: u64, informed: &NodeSet, rng: &mut SimRng) -> Option<EdgeDelta> {
+        (**self).edges_changed(t, informed, rng)
     }
 }
 
@@ -150,6 +182,16 @@ impl DynamicNetwork for StaticNetwork {
     fn is_static(&self) -> bool {
         true
     }
+
+    /// Never changes: always the empty delta.
+    fn edges_changed(
+        &mut self,
+        _t: u64,
+        _informed: &NodeSet,
+        _rng: &mut SimRng,
+    ) -> Option<EdgeDelta> {
+        Some(EdgeDelta::empty())
+    }
 }
 
 /// A scheduled network cycling through a fixed list of graphs:
@@ -176,6 +218,9 @@ impl DynamicNetwork for StaticNetwork {
 pub struct SequenceNetwork {
     graphs: Vec<Graph>,
     cyclic: bool,
+    /// Memoized diff from schedule position `i` to `i + 1` (cyclically),
+    /// computed on first request — the schedule replays them forever.
+    step_deltas: Vec<Option<EdgeDelta>>,
 }
 
 impl SequenceNetwork {
@@ -202,7 +247,9 @@ impl SequenceNetwork {
 
     fn validated(graphs: Vec<Graph>, cyclic: bool) -> Result<Self, GraphError> {
         if graphs.is_empty() {
-            return Err(GraphError::InvalidParameter("sequence network needs at least one graph".into()));
+            return Err(GraphError::InvalidParameter(
+                "sequence network needs at least one graph".into(),
+            ));
         }
         let n = graphs[0].n();
         if graphs.iter().any(|g| g.n() != n) {
@@ -210,7 +257,12 @@ impl SequenceNetwork {
                 "all graphs in a dynamic network must share the node set".into(),
             ));
         }
-        Ok(SequenceNetwork { graphs, cyclic })
+        let step_deltas = vec![None; graphs.len()];
+        Ok(SequenceNetwork {
+            graphs,
+            cyclic,
+            step_deltas,
+        })
     }
 
     /// Number of scheduled graphs.
@@ -225,12 +277,15 @@ impl SequenceNetwork {
 
     /// The graph scheduled for step `t` (without needing `&mut`).
     pub fn graph_at(&self, t: u64) -> &Graph {
-        let idx = if self.cyclic {
+        &self.graphs[self.index_at(t)]
+    }
+
+    fn index_at(&self, t: u64) -> usize {
+        if self.cyclic {
             (t % self.graphs.len() as u64) as usize
         } else {
             (t as usize).min(self.graphs.len() - 1)
-        };
-        &self.graphs[idx]
+        }
     }
 }
 
@@ -247,6 +302,29 @@ impl DynamicNetwork for SequenceNetwork {
 
     fn name(&self) -> &str {
         "sequence"
+    }
+
+    /// Diff between consecutive schedule positions, memoized: a `k`-graph
+    /// schedule pays at most `k` symmetric-difference computations total.
+    fn edges_changed(
+        &mut self,
+        t: u64,
+        _informed: &NodeSet,
+        _rng: &mut SimRng,
+    ) -> Option<EdgeDelta> {
+        if t == 0 {
+            return Some(EdgeDelta::empty());
+        }
+        let prev = self.index_at(t - 1);
+        let next = self.index_at(t);
+        if prev == next {
+            return Some(EdgeDelta::empty());
+        }
+        if self.step_deltas[prev].is_none() {
+            self.step_deltas[prev] =
+                Some(EdgeDelta::between(&self.graphs[prev], &self.graphs[next]));
+        }
+        self.step_deltas[prev].clone()
     }
 }
 

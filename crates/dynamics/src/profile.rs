@@ -51,7 +51,12 @@ impl StepProfile {
 
     /// A profile for a disconnected step (all increments zero).
     pub fn disconnected() -> Self {
-        StepProfile { phi: 0.0, rho: 0.0, rho_abs: 0.0, connected: false }
+        StepProfile {
+            phi: 0.0,
+            rho: 0.0,
+            rho_abs: 0.0,
+            connected: false,
+        }
     }
 }
 
@@ -97,7 +102,12 @@ pub fn conservative_profile(g: &Graph, spectral_iters: usize) -> StepProfile {
         .map(|b| b.conductance_lower.max(0.0))
         .unwrap_or(0.0);
     let rho = rho_abs.max(diligence::diligence_floor(g.n()));
-    StepProfile { phi, rho, rho_abs, connected: true }
+    StepProfile {
+        phi,
+        rho,
+        rho_abs,
+        connected: true,
+    }
 }
 
 /// A dynamic network that can report the profile of its current graph in
@@ -158,8 +168,18 @@ mod tests {
         ] {
             let exact = exact_profile(&g).unwrap();
             let cons = conservative_profile(&g, 20_000);
-            assert!(cons.phi <= exact.phi + 1e-4, "phi: {} vs {}", cons.phi, exact.phi);
-            assert!(cons.rho <= exact.rho + 1e-9, "rho: {} vs {}", cons.rho, exact.rho);
+            assert!(
+                cons.phi <= exact.phi + 1e-4,
+                "phi: {} vs {}",
+                cons.phi,
+                exact.phi
+            );
+            assert!(
+                cons.rho <= exact.rho + 1e-9,
+                "rho: {} vs {}",
+                cons.rho,
+                exact.rho
+            );
             assert_eq!(cons.rho_abs, exact.rho_abs);
             assert_eq!(cons.connected, exact.connected);
             assert!(cons.phi > 0.0);

@@ -1,0 +1,127 @@
+//! Contract tests for [`DynamicNetwork::edges_changed`]: whenever a network
+//! reports `Some(delta)`, the delta must be the exact symmetric difference
+//! between the previous window's graph and what `topology(t, …)` returns
+//! afterwards — the incremental engine's correctness rests on this.
+
+use gossip_dynamics::{
+    AlternatingRegular, CliquePendant, DynamicNetwork, EdgeDelta, EdgeMarkovian, SequenceNetwork,
+    StaticNetwork,
+};
+use gossip_graph::{generators, Graph, NodeSet};
+use gossip_stats::SimRng;
+
+/// Walks `windows` windows, asserting the reported delta matches the
+/// observed graph change at every boundary. Returns how many boundaries
+/// reported a delta (vs the `None` rebuild fallback).
+fn check_delta_contract<N: DynamicNetwork>(net: &mut N, windows: u64, seed: u64) -> usize {
+    let mut rng = SimRng::seed_from_u64(seed);
+    let n = net.n();
+    let informed = NodeSet::new(n);
+    net.reset();
+    let mut prev: Option<Graph> = None;
+    let mut reported = 0;
+    for t in 0..windows {
+        let delta = net.edges_changed(t, &informed, &mut rng);
+        let current = net.topology(t, &informed, &mut rng).clone();
+        if let (Some(delta), Some(prev)) = (&delta, &prev) {
+            let expected = EdgeDelta::between(prev, &current);
+            assert_eq!(
+                delta,
+                &expected,
+                "window {t} ({}): reported delta disagrees with the graph diff",
+                net.name()
+            );
+        }
+        if delta.is_some() {
+            reported += 1;
+        }
+        prev = Some(current);
+    }
+    reported
+}
+
+#[test]
+fn static_network_reports_empty_deltas() {
+    let mut net = StaticNetwork::new(generators::cycle(12).unwrap());
+    assert_eq!(check_delta_contract(&mut net, 8, 1), 8);
+}
+
+#[test]
+fn sequence_network_reports_schedule_diffs() {
+    let graphs = vec![
+        generators::path(10).unwrap(),
+        generators::cycle(10).unwrap(),
+        generators::star(10).unwrap(),
+    ];
+    let mut net = SequenceNetwork::cycling(graphs).unwrap();
+    assert_eq!(check_delta_contract(&mut net, 10, 2), 10);
+
+    let graphs = vec![
+        generators::path(8).unwrap(),
+        generators::complete(8).unwrap(),
+    ];
+    let mut net = SequenceNetwork::once(graphs).unwrap();
+    assert_eq!(check_delta_contract(&mut net, 6, 3), 6);
+}
+
+#[test]
+fn clique_pendant_reports_one_switch() {
+    let mut net = CliquePendant::new(8).unwrap();
+    assert_eq!(check_delta_contract(&mut net, 6, 4), 6);
+    // The t = 1 switch is the only non-empty delta.
+    let mut rng = SimRng::seed_from_u64(5);
+    let informed = NodeSet::new(net.n());
+    net.reset();
+    let _ = net.topology(0, &informed, &mut rng);
+    let d1 = net.edges_changed(1, &informed, &mut rng).unwrap();
+    assert!(!d1.is_empty());
+    let d2 = net.edges_changed(2, &informed, &mut rng).unwrap();
+    assert!(d2.is_empty());
+}
+
+#[test]
+fn alternating_replays_inverse_deltas() {
+    let mut build_rng = SimRng::seed_from_u64(6);
+    let mut net = AlternatingRegular::new(16, &mut build_rng).unwrap();
+    assert_eq!(check_delta_contract(&mut net, 7, 7), 7);
+    // Odd boundaries densify, even boundaries sparsify; they are inverses.
+    let mut rng = SimRng::seed_from_u64(8);
+    let informed = NodeSet::new(16);
+    net.reset();
+    let _ = net.topology(0, &informed, &mut rng);
+    let densify = net.edges_changed(1, &informed, &mut rng).unwrap();
+    let sparsify = net.edges_changed(2, &informed, &mut rng).unwrap();
+    assert_eq!(densify.inverted(), sparsify);
+    assert!(!densify.is_empty());
+}
+
+#[test]
+fn edge_markovian_reports_flips() {
+    let initial = generators::cycle(20).unwrap();
+    let mut net = EdgeMarkovian::new(initial, 0.05, 0.3).unwrap();
+    let reported = check_delta_contract(&mut net, 12, 9);
+    assert_eq!(reported, 12, "single-step advances always report a delta");
+}
+
+#[test]
+fn edge_markovian_none_on_window_jump() {
+    let initial = generators::cycle(10).unwrap();
+    let mut net = EdgeMarkovian::new(initial, 0.1, 0.1).unwrap();
+    let mut rng = SimRng::seed_from_u64(10);
+    let informed = NodeSet::new(10);
+    assert!(net.edges_changed(0, &informed, &mut rng).is_some());
+    // Jumping from t = 0 to t = 5 skips four evolutions: no diff available.
+    assert!(net.edges_changed(5, &informed, &mut rng).is_none());
+    // topology() still fast-forwards correctly after the refusal.
+    let _ = net.topology(5, &informed, &mut rng);
+}
+
+#[test]
+fn default_implementation_declines() {
+    // DynamicStar keeps the default: recentering rewires Θ(n) edges, so a
+    // rebuild is the honest answer.
+    let mut net = gossip_dynamics::DynamicStar::new(6).unwrap();
+    let mut rng = SimRng::seed_from_u64(11);
+    let informed = NodeSet::new(net.n());
+    assert!(net.edges_changed(1, &informed, &mut rng).is_none());
+}

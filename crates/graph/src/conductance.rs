@@ -76,7 +76,9 @@ pub fn sweep_conductance(g: &Graph, ordering: &[crate::NodeId]) -> Result<f64, G
     let mut seen = vec![false; n];
     for &v in ordering {
         if (v as usize) >= n || seen[v as usize] {
-            return Err(GraphError::InvalidParameter("ordering is not a permutation".into()));
+            return Err(GraphError::InvalidParameter(
+                "ordering is not a permutation".into(),
+            ));
         }
         seen[v as usize] = true;
     }

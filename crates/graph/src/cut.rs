@@ -139,7 +139,7 @@ mod tests {
         let s = set(4, &[0, 1]);
         assert_eq!(cut_edge_count(&g, &s), 1);
         assert_eq!(volume(&g, &s), 3); // d0=1, d1=2
-        // λ across {1,2}: 1/d1 + 1/d2 = 1/2 + 1/2.
+                                       // λ across {1,2}: 1/d1 + 1/d2 = 1/2 + 1/2.
         assert!((pushpull_cut_rate(&g, &s) - 1.0).abs() < 1e-12);
         // max(1/2, 1/2) = 1/2.
         assert!((absolute_cut_rate(&g, &s) - 0.5).abs() < 1e-12);

@@ -296,7 +296,10 @@ mod tests {
 
     #[test]
     fn empty_graph_error() {
-        assert!(matches!(exact_diligence(&Graph::empty(3)), Err(GraphError::EmptyGraph)));
+        assert!(matches!(
+            exact_diligence(&Graph::empty(3)),
+            Err(GraphError::EmptyGraph)
+        ));
     }
 
     use crate::Graph;

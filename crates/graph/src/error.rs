@@ -56,7 +56,10 @@ impl fmt::Display for GraphError {
             GraphError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
             GraphError::GenerationFailed(msg) => write!(f, "generation failed: {msg}"),
             GraphError::TooLargeForExact { n, limit } => {
-                write!(f, "graph with {n} nodes exceeds exact-enumeration limit {limit}")
+                write!(
+                    f,
+                    "graph with {n} nodes exceeds exact-enumeration limit {limit}"
+                )
             }
             GraphError::EmptyGraph => write!(f, "operation requires a non-empty graph"),
         }

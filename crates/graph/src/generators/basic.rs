@@ -17,7 +17,9 @@ use crate::{Graph, GraphBuilder, GraphError, NodeId};
 /// ```
 pub fn complete(n: usize) -> Result<Graph, GraphError> {
     if n < 2 {
-        return Err(GraphError::InvalidParameter(format!("complete graph needs n >= 2, got {n}")));
+        return Err(GraphError::InvalidParameter(format!(
+            "complete graph needs n >= 2, got {n}"
+        )));
     }
     let mut b = GraphBuilder::new(n);
     for u in 0..n as NodeId {
@@ -49,7 +51,9 @@ pub fn star(n: usize) -> Result<Graph, GraphError> {
 /// range.
 pub fn star_with_center(n: usize, center: NodeId) -> Result<Graph, GraphError> {
     if n < 2 {
-        return Err(GraphError::InvalidParameter(format!("star needs n >= 2, got {n}")));
+        return Err(GraphError::InvalidParameter(format!(
+            "star needs n >= 2, got {n}"
+        )));
     }
     if center as usize >= n {
         return Err(GraphError::NodeOutOfRange { node: center, n });
@@ -70,7 +74,9 @@ pub fn star_with_center(n: usize, center: NodeId) -> Result<Graph, GraphError> {
 /// [`GraphError::InvalidParameter`] when `n < 2`.
 pub fn path(n: usize) -> Result<Graph, GraphError> {
     if n < 2 {
-        return Err(GraphError::InvalidParameter(format!("path needs n >= 2, got {n}")));
+        return Err(GraphError::InvalidParameter(format!(
+            "path needs n >= 2, got {n}"
+        )));
     }
     let mut b = GraphBuilder::new(n);
     for v in 0..(n - 1) as NodeId {
@@ -86,7 +92,9 @@ pub fn path(n: usize) -> Result<Graph, GraphError> {
 /// [`GraphError::InvalidParameter`] when `n < 3`.
 pub fn cycle(n: usize) -> Result<Graph, GraphError> {
     if n < 3 {
-        return Err(GraphError::InvalidParameter(format!("cycle needs n >= 3, got {n}")));
+        return Err(GraphError::InvalidParameter(format!(
+            "cycle needs n >= 3, got {n}"
+        )));
     }
     let mut b = GraphBuilder::new(n);
     for v in 0..n as NodeId {
@@ -127,7 +135,9 @@ pub fn complete_bipartite(a: usize, b: usize) -> Result<Graph, GraphError> {
 /// [`GraphError::InvalidParameter`] when `k < 2`.
 pub fn barbell(k: usize) -> Result<Graph, GraphError> {
     if k < 2 {
-        return Err(GraphError::InvalidParameter(format!("barbell needs k >= 2, got {k}")));
+        return Err(GraphError::InvalidParameter(format!(
+            "barbell needs k >= 2, got {k}"
+        )));
     }
     let mut b = GraphBuilder::new(2 * k);
     for u in 0..k as NodeId {
@@ -147,7 +157,9 @@ pub fn barbell(k: usize) -> Result<Graph, GraphError> {
 /// [`GraphError::InvalidParameter`] when `d == 0` or `d > 20`.
 pub fn hypercube(d: usize) -> Result<Graph, GraphError> {
     if d == 0 || d > 20 {
-        return Err(GraphError::InvalidParameter(format!("hypercube dimension {d} out of range 1..=20")));
+        return Err(GraphError::InvalidParameter(format!(
+            "hypercube dimension {d} out of range 1..=20"
+        )));
     }
     let n = 1usize << d;
     let mut b = GraphBuilder::new(n);

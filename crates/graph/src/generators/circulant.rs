@@ -33,16 +33,23 @@ use crate::{Graph, GraphBuilder, GraphError, NodeId};
 /// ```
 pub fn circulant(n: usize, offsets: &[usize]) -> Result<Graph, GraphError> {
     if n < 3 {
-        return Err(GraphError::InvalidParameter(format!("circulant needs n >= 3, got {n}")));
+        return Err(GraphError::InvalidParameter(format!(
+            "circulant needs n >= 3, got {n}"
+        )));
     }
     if offsets.is_empty() {
-        return Err(GraphError::InvalidParameter("circulant needs at least one offset".into()));
+        return Err(GraphError::InvalidParameter(
+            "circulant needs at least one offset".into(),
+        ));
     }
     let mut sorted = offsets.to_vec();
     sorted.sort_unstable();
     for w in sorted.windows(2) {
         if w[0] == w[1] {
-            return Err(GraphError::InvalidParameter(format!("repeated offset {}", w[0])));
+            return Err(GraphError::InvalidParameter(format!(
+                "repeated offset {}",
+                w[0]
+            )));
         }
     }
     for &o in offsets {

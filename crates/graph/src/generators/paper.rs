@@ -155,8 +155,17 @@ pub fn h_k_delta(
     stitch(&mut builder, &clusters[k], &b_rest, delta)?;
 
     let graph = builder.build();
-    debug_assert!(connectivity::is_connected(&graph), "H_k_delta must be connected");
-    Ok(HkDelta { graph, clusters, a_rest, b_rest, params })
+    debug_assert!(
+        connectivity::is_connected(&graph),
+        "H_k_delta must be connected"
+    );
+    Ok(HkDelta {
+        graph,
+        clusters,
+        a_rest,
+        b_rest,
+        params,
+    })
 }
 
 /// Adds a random connected 4-regular graph on `nodes` (complete graph when
@@ -190,7 +199,10 @@ fn stitch(
     targets: &[NodeId],
     delta: usize,
 ) -> Result<(), GraphError> {
-    debug_assert!(targets.len() >= delta, "stitching needs at least delta targets");
+    debug_assert!(
+        targets.len() >= delta,
+        "stitching needs at least delta targets"
+    );
     for (x, &u) in cluster.iter().enumerate() {
         for j in 0..delta {
             let t = targets[(x * delta + j) % targets.len()];
@@ -214,7 +226,9 @@ fn validate_partition(n: usize, a: &[NodeId], b: &[NodeId]) -> Result<(), GraphE
             return Err(GraphError::NodeOutOfRange { node: v, n });
         }
         if seen[vu] {
-            return Err(GraphError::InvalidParameter(format!("node {v} appears twice in A ∪ B")));
+            return Err(GraphError::InvalidParameter(format!(
+                "node {v} appears twice in A ∪ B"
+            )));
         }
         seen[vu] = true;
     }

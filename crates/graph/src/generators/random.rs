@@ -21,10 +21,14 @@ use gossip_stats::SimRng;
 /// ```
 pub fn erdos_renyi(n: usize, p: f64, rng: &mut SimRng) -> Result<Graph, GraphError> {
     if n < 2 {
-        return Err(GraphError::InvalidParameter(format!("erdos-renyi needs n >= 2, got {n}")));
+        return Err(GraphError::InvalidParameter(format!(
+            "erdos-renyi needs n >= 2, got {n}"
+        )));
     }
     if !(0.0..=1.0).contains(&p) {
-        return Err(GraphError::InvalidParameter(format!("probability {p} outside [0, 1]")));
+        return Err(GraphError::InvalidParameter(format!(
+            "probability {p} outside [0, 1]"
+        )));
     }
     let mut b = GraphBuilder::new(n);
     for u in 0..n as NodeId {
@@ -149,7 +153,11 @@ fn repair_pairing(edges: &mut [(NodeId, NodeId)], rng: &mut SimRng) -> bool {
             }
             // Randomize the orientation so the swap chain mixes over both
             // rewirings of the 2-switch.
-            let (x, y) = if rng.chance(0.5) { edges[j] } else { (edges[j].1, edges[j].0) };
+            let (x, y) = if rng.chance(0.5) {
+                edges[j]
+            } else {
+                (edges[j].1, edges[j].0)
+            };
             if u == x || v == y {
                 continue;
             }
@@ -225,7 +233,10 @@ mod tests {
         let g = erdos_renyi(n, p, &mut rng).unwrap();
         let expected = p * (n * (n - 1) / 2) as f64;
         let got = g.m() as f64;
-        assert!((got - expected).abs() < 0.15 * expected, "m = {got}, expected ~{expected}");
+        assert!(
+            (got - expected).abs() < 0.15 * expected,
+            "m = {got}, expected ~{expected}"
+        );
     }
 
     #[test]

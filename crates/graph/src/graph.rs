@@ -55,7 +55,10 @@ impl Graph {
 
     /// A graph with `n` nodes and no edges.
     pub fn empty(n: usize) -> Self {
-        Graph { offsets: vec![0; n + 1], neighbors: Vec::new() }
+        Graph {
+            offsets: vec![0; n + 1],
+            neighbors: Vec::new(),
+        }
     }
 
     /// Number of nodes.
@@ -108,12 +111,18 @@ impl Graph {
 
     /// Maximum degree (0 for an edgeless graph).
     pub fn max_degree(&self) -> usize {
-        (0..self.n()).map(|v| self.degree(v as NodeId)).max().unwrap_or(0)
+        (0..self.n())
+            .map(|v| self.degree(v as NodeId))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Minimum degree (0 for an edgeless graph).
     pub fn min_degree(&self) -> usize {
-        (0..self.n()).map(|v| self.degree(v as NodeId)).min().unwrap_or(0)
+        (0..self.n())
+            .map(|v| self.degree(v as NodeId))
+            .min()
+            .unwrap_or(0)
     }
 
     /// Average degree `2m/n`.
@@ -133,7 +142,11 @@ impl Graph {
 
     /// Iterates every edge once as `(u, v)` with `u < v`.
     pub fn edges(&self) -> Edges<'_> {
-        Edges { graph: self, u: 0, idx: 0 }
+        Edges {
+            graph: self,
+            u: 0,
+            idx: 0,
+        }
     }
 
     /// Iterates all node ids `0..n`.
@@ -199,7 +212,10 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// Creates a builder for a graph with `n` nodes and no edges.
     pub fn new(n: usize) -> Self {
-        GraphBuilder { n, edges: Vec::new() }
+        GraphBuilder {
+            n,
+            edges: Vec::new(),
+        }
     }
 
     /// Number of nodes the built graph will have.

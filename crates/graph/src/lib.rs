@@ -34,6 +34,10 @@
 //! assert!(phi > 0.0);
 //! ```
 
+//!
+//! See the workspace `README.md` (repo root) for the crate map and the
+//! window / event-stream engine duality.
+
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 

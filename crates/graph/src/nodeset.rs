@@ -29,7 +29,11 @@ pub struct NodeSet {
 impl NodeSet {
     /// Creates an empty set over the universe `0..n`.
     pub fn new(n: usize) -> Self {
-        NodeSet { words: vec![0; n.div_ceil(64)], universe: n, len: 0 }
+        NodeSet {
+            words: vec![0; n.div_ceil(64)],
+            universe: n,
+            len: 0,
+        }
     }
 
     /// Creates a set containing every node of the universe `0..n`.
@@ -68,7 +72,11 @@ impl NodeSet {
     /// Panics if `v` is outside the universe.
     pub fn contains(&self, v: NodeId) -> bool {
         let v = v as usize;
-        assert!(v < self.universe, "node {v} outside universe {}", self.universe);
+        assert!(
+            v < self.universe,
+            "node {v} outside universe {}",
+            self.universe
+        );
         self.words[v / 64] >> (v % 64) & 1 == 1
     }
 
@@ -79,7 +87,11 @@ impl NodeSet {
     /// Panics if `v` is outside the universe.
     pub fn insert(&mut self, v: NodeId) -> bool {
         let vu = v as usize;
-        assert!(vu < self.universe, "node {vu} outside universe {}", self.universe);
+        assert!(
+            vu < self.universe,
+            "node {vu} outside universe {}",
+            self.universe
+        );
         let mask = 1u64 << (vu % 64);
         let word = &mut self.words[vu / 64];
         if *word & mask == 0 {
@@ -98,7 +110,11 @@ impl NodeSet {
     /// Panics if `v` is outside the universe.
     pub fn remove(&mut self, v: NodeId) -> bool {
         let vu = v as usize;
-        assert!(vu < self.universe, "node {vu} outside universe {}", self.universe);
+        assert!(
+            vu < self.universe,
+            "node {vu} outside universe {}",
+            self.universe
+        );
         let mask = 1u64 << (vu % 64);
         let word = &mut self.words[vu / 64];
         if *word & mask != 0 {
@@ -118,7 +134,11 @@ impl NodeSet {
 
     /// Iterates members in increasing order.
     pub fn iter(&self) -> Iter<'_> {
-        Iter { set: self, word_idx: 0, current: self.words.first().copied().unwrap_or(0) }
+        Iter {
+            set: self,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
     }
 
     /// Iterates the complement (non-members) in increasing order.

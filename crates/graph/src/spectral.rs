@@ -77,17 +77,18 @@ pub fn fiedler_ordering(g: &Graph, iterations: usize) -> Result<Vec<NodeId>, Gra
     // Scale by D^{-1/2} to go from the symmetric operator's eigenvector to
     // the random-walk embedding.
     let coord = |v: NodeId| vec2[v as usize] / (g.degree(v) as f64).sqrt();
-    order.sort_by(|&a, &b| coord(a).partial_cmp(&coord(b)).expect("NaN fiedler coordinate"));
+    order.sort_by(|&a, &b| {
+        coord(a)
+            .partial_cmp(&coord(b))
+            .expect("NaN fiedler coordinate")
+    });
     Ok(order)
 }
 
 /// Computes the second eigenpair `(v₂, μ₂)` of the normalized adjacency
 /// `M = D^{-1/2} A D^{-1/2}` (whose top eigenpair is
 /// `(D^{1/2} 1, 1)` for connected graphs).
-fn second_adjacency_eigenpair(
-    g: &Graph,
-    iterations: usize,
-) -> Result<(Vec<f64>, f64), GraphError> {
+fn second_adjacency_eigenpair(g: &Graph, iterations: usize) -> Result<(Vec<f64>, f64), GraphError> {
     let n = g.n();
     if g.is_empty_graph() || n < 2 {
         return Err(GraphError::EmptyGraph);
@@ -97,7 +98,9 @@ fn second_adjacency_eigenpair(
             "spectral bounds require a connected graph with no isolated nodes".into(),
         ));
     }
-    let sqrt_deg: Vec<f64> = (0..n).map(|v| (g.degree(v as NodeId) as f64).sqrt()).collect();
+    let sqrt_deg: Vec<f64> = (0..n)
+        .map(|v| (g.degree(v as NodeId) as f64).sqrt())
+        .collect();
     // Top eigenvector of M, normalized.
     let norm1: f64 = sqrt_deg.iter().map(|x| x * x).sum::<f64>().sqrt();
     let v1: Vec<f64> = sqrt_deg.iter().map(|x| x / norm1).collect();
@@ -225,7 +228,10 @@ mod tests {
         let sweep = sweep_conductance(&g, &order).unwrap();
         let exact = exact_conductance(&g).unwrap();
         // The Fiedler sweep should find the bridge cut exactly here.
-        assert!((sweep - exact).abs() < 1e-9, "sweep {sweep} vs exact {exact}");
+        assert!(
+            (sweep - exact).abs() < 1e-9,
+            "sweep {sweep} vs exact {exact}"
+        );
     }
 
     #[test]

@@ -62,7 +62,10 @@ impl CutView<'_> {
 pub fn for_each_cut<F: FnMut(&CutView<'_>)>(g: &Graph, mut visit: F) -> Result<(), GraphError> {
     let n = g.n();
     if n > EXACT_ENUMERATION_LIMIT {
-        return Err(GraphError::TooLargeForExact { n, limit: EXACT_ENUMERATION_LIMIT });
+        return Err(GraphError::TooLargeForExact {
+            n,
+            limit: EXACT_ENUMERATION_LIMIT,
+        });
     }
     if n < 2 {
         return Err(GraphError::EmptyGraph);
@@ -151,7 +154,10 @@ mod tests {
             Err(GraphError::TooLargeForExact { .. })
         ));
         let tiny = crate::Graph::empty(1);
-        assert!(matches!(for_each_cut(&tiny, |_| {}), Err(GraphError::EmptyGraph)));
+        assert!(matches!(
+            for_each_cut(&tiny, |_| {}),
+            Err(GraphError::EmptyGraph)
+        ));
     }
 
     #[test]

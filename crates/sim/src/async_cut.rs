@@ -50,39 +50,132 @@ impl CutRateAsync {
     }
 
     /// Rebuilds the per-node in-rates for the current graph and informed
-    /// set, iterating over the smaller side of the cut.
-    fn rebuild_rates(&mut self, g: &Graph, informed: &NodeSet) {
+    /// set, iterating over the smaller side of the cut. Weights are
+    /// accumulated in bulk (one O(n) tree build) instead of one O(log n)
+    /// Fenwick update per cut edge.
+    pub(crate) fn rebuild_rates(&mut self, g: &Graph, informed: &NodeSet) {
         let n = g.n();
         let rates = self.rates.as_mut().expect("begin() allocates the sampler");
-        rates.clear();
-        if informed.len() * 2 <= n {
-            for u in informed.iter() {
-                let du_inv = 1.0 / g.degree(u) as f64;
-                for &v in g.neighbors(u) {
-                    if !informed.contains(v) {
-                        let dv_inv = 1.0 / g.degree(v) as f64;
-                        rates.add(v as usize, du_inv + dv_inv).expect("rates are finite");
+        rates
+            .set_bulk(|w| {
+                w.iter_mut().for_each(|x| *x = 0.0);
+                if informed.len() * 2 <= n {
+                    for u in informed.iter() {
+                        let du_inv = 1.0 / g.degree(u) as f64;
+                        for &v in g.neighbors(u) {
+                            if !informed.contains(v) {
+                                w[v as usize] += du_inv + 1.0 / g.degree(v) as f64;
+                            }
+                        }
+                    }
+                } else {
+                    for v in informed.iter_complement() {
+                        let dv = g.degree(v);
+                        if dv == 0 {
+                            continue;
+                        }
+                        let dv_inv = 1.0 / dv as f64;
+                        let mut r = 0.0;
+                        for &u in g.neighbors(v) {
+                            if informed.contains(u) {
+                                r += 1.0 / g.degree(u) as f64 + dv_inv;
+                            }
+                        }
+                        w[v as usize] = r;
                     }
                 }
-            }
+            })
+            .expect("rates are finite");
+    }
+
+    /// Total cut rate `λ` (0 before `begin`, or when no informative edge
+    /// exists).
+    pub(crate) fn total_rate(&self) -> f64 {
+        self.rates.as_ref().map_or(0.0, |r| r.total())
+    }
+
+    /// The current in-rate of node `v` (0 before `begin`).
+    #[cfg(test)]
+    pub(crate) fn rate_of(&self, v: gossip_graph::NodeId) -> f64 {
+        self.rates.as_ref().map_or(0.0, |r| r.weight(v as usize))
+    }
+
+    /// Draws the next node to inform, proportionally to its in-rate.
+    pub(crate) fn sample_next(&mut self, rng: &mut SimRng) -> Option<gossip_graph::NodeId> {
+        self.rates
+            .as_ref()
+            .expect("begin() allocates the sampler")
+            .sample(rng)
+            .map(|v| v as gossip_graph::NodeId)
+    }
+
+    /// Frontier update after `v` became informed: `v` stops being a target
+    /// and starts pressuring its uninformed neighbors.
+    ///
+    /// Density-adaptive: at most `min(deg(v), |U|)` point updates at
+    /// `O(log n)` each, so once that projected cost exceeds the ~4 linear
+    /// passes of an O(n) bulk tree rebuild (only plausible for very
+    /// high-degree nodes mid-spread) the batch goes through
+    /// [`FenwickSampler::set_bulk`] instead.
+    pub(crate) fn absorb_informed(
+        &mut self,
+        g: &Graph,
+        v: gossip_graph::NodeId,
+        informed: &NodeSet,
+    ) {
+        let rates = self.rates.as_mut().expect("begin() allocates the sampler");
+        let n = g.n();
+        let dv_inv = 1.0 / g.degree(v) as f64;
+        let log2n = usize::BITS.saturating_sub(n.leading_zeros()) as usize;
+        let updates = g.degree(v).min(n - informed.len());
+        if updates.saturating_mul(log2n) >= 4 * n {
+            rates
+                .set_bulk(|w| {
+                    w[v as usize] = 0.0;
+                    for &u in g.neighbors(v) {
+                        if !informed.contains(u) {
+                            w[u as usize] += dv_inv + 1.0 / g.degree(u) as f64;
+                        }
+                    }
+                })
+                .expect("rates are finite");
         } else {
-            for v in informed.iter_complement() {
-                let dv = g.degree(v);
-                if dv == 0 {
-                    continue;
-                }
-                let dv_inv = 1.0 / dv as f64;
-                let mut r = 0.0;
-                for &u in g.neighbors(v) {
-                    if informed.contains(u) {
-                        r += 1.0 / g.degree(u) as f64 + dv_inv;
-                    }
-                }
-                if r > 0.0 {
-                    rates.set(v as usize, r).expect("rates are finite");
+            rates.set(v as usize, 0.0).expect("zero is valid");
+            for &u in g.neighbors(v) {
+                if !informed.contains(u) {
+                    let du_inv = 1.0 / g.degree(u) as f64;
+                    rates
+                        .add(u as usize, dv_inv + du_inv)
+                        .expect("rates are finite");
                 }
             }
         }
+    }
+
+    /// Recomputes one uninformed node's in-rate from scratch (`O(deg(v))`),
+    /// used by the delta-repair path after a topology change.
+    pub(crate) fn recompute_rate(
+        &mut self,
+        g: &Graph,
+        v: gossip_graph::NodeId,
+        informed: &NodeSet,
+    ) {
+        debug_assert!(!informed.contains(v), "informed nodes carry no in-rate");
+        let dv = g.degree(v);
+        let mut r = 0.0;
+        if dv > 0 {
+            let dv_inv = 1.0 / dv as f64;
+            for &u in g.neighbors(v) {
+                if informed.contains(u) {
+                    r += 1.0 / g.degree(u) as f64 + dv_inv;
+                }
+            }
+        }
+        self.rates
+            .as_mut()
+            .expect("begin() allocates the sampler")
+            .set(v as usize, r)
+            .expect("rates are finite");
     }
 }
 
@@ -108,8 +201,7 @@ impl Protocol for CutRateAsync {
         let mut tau = t as f64;
         let end = (t + 1) as f64;
         loop {
-            let rates = self.rates.as_mut().expect("begin() ran");
-            let lambda = rates.total();
+            let lambda = self.total_rate();
             if lambda <= 0.0 {
                 // No informative edge exists under this graph; idle until
                 // the next topology change.
@@ -119,23 +211,13 @@ impl Protocol for CutRateAsync {
             if tau >= end {
                 return None;
             }
-            let v = rates.sample(rng).expect("lambda > 0") as u32;
+            let v = self.sample_next(rng).expect("lambda > 0");
             debug_assert!(!informed.contains(v), "sampled an informed node");
             informed.insert(v);
-            rates.set(v as usize, 0.0).expect("zero is valid");
             if informed.is_full() {
                 return Some(tau);
             }
-            // The freshly informed node now pressures its uninformed
-            // neighbors.
-            let dv_inv = 1.0 / g.degree(v) as f64;
-            let rates = self.rates.as_mut().expect("begin() ran");
-            for &u in g.neighbors(v) {
-                if !informed.contains(u) {
-                    let du_inv = 1.0 / g.degree(u) as f64;
-                    rates.add(u as usize, dv_inv + du_inv).expect("rates are finite");
-                }
-            }
+            self.absorb_informed(g, v, informed);
         }
     }
 }

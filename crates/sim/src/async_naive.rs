@@ -15,10 +15,39 @@ use gossip_stats::{Exponential, SimRng};
 
 /// Which directions the rumor crosses on a contact.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Direction {
+pub(crate) enum Direction {
     PushPull,
     Push,
     Pull,
+}
+
+/// Resolves one tick of the rate-`n` superposed clock: uniform caller,
+/// uniform neighbor, rumor crosses per `direction`. Returns the newly
+/// informed node, if the contact was informative. Shared by the
+/// window-based loop below and the event-stream engine.
+pub(crate) fn resolve_tick(
+    direction: Direction,
+    g: &Graph,
+    informed: &NodeSet,
+    rng: &mut SimRng,
+) -> Option<u32> {
+    let caller = rng.index(g.n()) as u32;
+    let nbrs = g.neighbors(caller);
+    if nbrs.is_empty() {
+        return None;
+    }
+    let callee = nbrs[rng.index(nbrs.len())];
+    let caller_informed = informed.contains(caller);
+    let callee_informed = informed.contains(callee);
+    match direction {
+        Direction::PushPull => match (caller_informed, callee_informed) {
+            (true, false) => Some(callee),
+            (false, true) => Some(caller),
+            _ => None,
+        },
+        Direction::Push => (caller_informed && !callee_informed).then_some(callee),
+        Direction::Pull => (!caller_informed && callee_informed).then_some(caller),
+    }
 }
 
 /// Core event loop shared by the three variants.
@@ -40,35 +69,11 @@ fn advance(
         if tau >= end {
             return None;
         }
-        let caller = rng.index(n) as u32;
-        let nbrs = g.neighbors(caller);
-        if nbrs.is_empty() {
-            continue;
-        }
-        let callee = nbrs[rng.index(nbrs.len())];
-        let caller_informed = informed.contains(caller);
-        let callee_informed = informed.contains(callee);
-        match direction {
-            Direction::PushPull => {
-                if caller_informed && !callee_informed {
-                    informed.insert(callee);
-                } else if !caller_informed && callee_informed {
-                    informed.insert(caller);
-                }
+        if let Some(v) = resolve_tick(direction, g, informed, rng) {
+            informed.insert(v);
+            if informed.is_full() {
+                return Some(tau);
             }
-            Direction::Push => {
-                if caller_informed && !callee_informed {
-                    informed.insert(callee);
-                }
-            }
-            Direction::Pull => {
-                if !caller_informed && callee_informed {
-                    informed.insert(caller);
-                }
-            }
-        }
-        if informed.is_full() {
-            return Some(tau);
         }
     }
 }

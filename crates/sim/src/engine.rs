@@ -19,14 +19,20 @@ pub struct RunConfig {
 impl Default for RunConfig {
     /// One million time units, no trajectory.
     fn default() -> Self {
-        RunConfig { max_time: 1e6, record_trajectory: false }
+        RunConfig {
+            max_time: 1e6,
+            record_trajectory: false,
+        }
     }
 }
 
 impl RunConfig {
     /// Config with a custom cutoff.
     pub fn with_max_time(max_time: f64) -> Self {
-        RunConfig { max_time, ..Default::default() }
+        RunConfig {
+            max_time,
+            ..Default::default()
+        }
     }
 
     /// Enables trajectory recording.
@@ -47,6 +53,40 @@ pub struct SpreadOutcome {
 }
 
 impl SpreadOutcome {
+    /// A completed run (engine-internal constructor, shared with the
+    /// event-stream engine).
+    pub(crate) fn finished(
+        spread_time: f64,
+        windows: u64,
+        n: usize,
+        informed: NodeSet,
+        trajectory: Vec<(f64, usize)>,
+    ) -> Self {
+        SpreadOutcome {
+            spread_time: Some(spread_time),
+            windows,
+            n,
+            informed,
+            trajectory,
+        }
+    }
+
+    /// A run cut off before completion (engine-internal constructor).
+    pub(crate) fn unfinished(
+        windows: u64,
+        n: usize,
+        informed: NodeSet,
+        trajectory: Vec<(f64, usize)>,
+    ) -> Self {
+        SpreadOutcome {
+            spread_time: None,
+            windows,
+            n,
+            informed,
+            trajectory,
+        }
+    }
+
     /// The absolute time at which the last node was informed, or `None`
     /// when the cutoff was reached first.
     pub fn spread_time(&self) -> Option<f64> {
@@ -184,7 +224,13 @@ impl<P: Protocol> Simulation<P> {
             }
             t += 1;
             if t as f64 >= self.config.max_time {
-                return Ok(SpreadOutcome { spread_time: None, windows: t, n, informed, trajectory });
+                return Ok(SpreadOutcome {
+                    spread_time: None,
+                    windows: t,
+                    n,
+                    informed,
+                    trajectory,
+                });
             }
         }
     }

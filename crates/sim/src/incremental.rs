@@ -1,0 +1,351 @@
+//! The event-stream protocol interface.
+//!
+//! [`crate::Protocol::advance_window`] hands a protocol one whole window and
+//! lets it rescan the graph at every boundary — `O(n + m)` work per window
+//! even when nothing changed. [`IncrementalProtocol`] decomposes the same
+//! process into the pieces the [`crate::EventSimulation`] engine schedules:
+//!
+//! * [`IncrementalProtocol::rebuild`] — full state construction (graph
+//!   replaced wholesale);
+//! * [`IncrementalProtocol::apply_delta`] — `O(|delta| · deg)` repair after
+//!   a reported [`EdgeDelta`];
+//! * [`IncrementalProtocol::event_rate`] — the total rate `λ` of the
+//!   protocol's superposed Poisson event clock;
+//! * [`IncrementalProtocol::resolve_event`] — resolve one clock tick,
+//!   possibly informing a node;
+//! * [`IncrementalProtocol::commit`] — `O(deg(v))` frontier update after
+//!   `v` joined the informed set.
+//!
+//! Each migrated protocol keeps its window-based `advance_window`
+//! implementation as the independently-tested reference; the equivalence
+//! tests cross-validate the two engines' spread-time distributions.
+
+use crate::async_naive::{resolve_tick, Direction};
+use crate::{AsyncPull, AsyncPush, AsyncPushPull, CutRateAsync, LossyAsync, Protocol, TwoPush};
+use gossip_dynamics::EdgeDelta;
+use gossip_graph::{Graph, NodeId, NodeSet};
+use gossip_stats::SimRng;
+
+/// A protocol whose per-node state advances event by event instead of
+/// window by window.
+///
+/// Implementations must keep the sampled process distribution identical to
+/// their [`Protocol::advance_window`] reference: the engine draws the next
+/// event after `Exp(event_rate)` and resolves it through
+/// [`IncrementalProtocol::resolve_event`].
+pub trait IncrementalProtocol: Protocol {
+    /// Rebuilds all internal event state for graph `g` and the informed
+    /// set (called at the start of a run and whenever the network declines
+    /// to report a delta).
+    fn rebuild(&mut self, g: &Graph, informed: &NodeSet);
+
+    /// Repairs internal state after a topology delta (the graph `g` is the
+    /// *post-delta* graph). The default falls back to a full rebuild.
+    fn apply_delta(&mut self, g: &Graph, delta: &EdgeDelta, informed: &NodeSet) {
+        let _ = delta;
+        self.rebuild(g, informed);
+    }
+
+    /// Hook at each unit-window boundary for state that is redrawn per
+    /// window (e.g. [`LossyAsync`] downtime). Default: nothing.
+    fn on_window(&mut self, g: &Graph, t: u64, informed: &NodeSet, rng: &mut SimRng) {
+        let _ = (g, t, informed, rng);
+    }
+
+    /// Total rate `λ` of the protocol's event clock in its current state;
+    /// `0` means no event can change anything under this graph (the engine
+    /// idles to the next window).
+    fn event_rate(&self, g: &Graph, informed: &NodeSet) -> f64;
+
+    /// Resolves one event of the superposed clock: returns the node that
+    /// becomes informed, or `None` for a non-informative event (the clock
+    /// tick of an uninformed node, a dropped message, …).
+    ///
+    /// The engine inserts the returned node into `informed` and then calls
+    /// [`IncrementalProtocol::commit`]; `resolve_event` itself must not
+    /// mutate the informed set.
+    fn resolve_event(&mut self, g: &Graph, informed: &NodeSet, rng: &mut SimRng) -> Option<NodeId>;
+
+    /// `O(deg(v))` state update after `v` was inserted into `informed`.
+    fn commit(&mut self, g: &Graph, v: NodeId, informed: &NodeSet);
+}
+
+impl<T: IncrementalProtocol + ?Sized> IncrementalProtocol for &mut T {
+    fn rebuild(&mut self, g: &Graph, informed: &NodeSet) {
+        (**self).rebuild(g, informed)
+    }
+
+    fn apply_delta(&mut self, g: &Graph, delta: &EdgeDelta, informed: &NodeSet) {
+        (**self).apply_delta(g, delta, informed)
+    }
+
+    fn on_window(&mut self, g: &Graph, t: u64, informed: &NodeSet, rng: &mut SimRng) {
+        (**self).on_window(g, t, informed, rng)
+    }
+
+    fn event_rate(&self, g: &Graph, informed: &NodeSet) -> f64 {
+        (**self).event_rate(g, informed)
+    }
+
+    fn resolve_event(&mut self, g: &Graph, informed: &NodeSet, rng: &mut SimRng) -> Option<NodeId> {
+        (**self).resolve_event(g, informed, rng)
+    }
+
+    fn commit(&mut self, g: &Graph, v: NodeId, informed: &NodeSet) {
+        (**self).commit(g, v, informed)
+    }
+}
+
+impl<T: IncrementalProtocol + ?Sized> IncrementalProtocol for Box<T> {
+    fn rebuild(&mut self, g: &Graph, informed: &NodeSet) {
+        (**self).rebuild(g, informed)
+    }
+
+    fn apply_delta(&mut self, g: &Graph, delta: &EdgeDelta, informed: &NodeSet) {
+        (**self).apply_delta(g, delta, informed)
+    }
+
+    fn on_window(&mut self, g: &Graph, t: u64, informed: &NodeSet, rng: &mut SimRng) {
+        (**self).on_window(g, t, informed, rng)
+    }
+
+    fn event_rate(&self, g: &Graph, informed: &NodeSet) -> f64 {
+        (**self).event_rate(g, informed)
+    }
+
+    fn resolve_event(&mut self, g: &Graph, informed: &NodeSet, rng: &mut SimRng) -> Option<NodeId> {
+        (**self).resolve_event(g, informed, rng)
+    }
+
+    fn commit(&mut self, g: &Graph, v: NodeId, informed: &NodeSet) {
+        (**self).commit(g, v, informed)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CutRateAsync: the protocol the event stream was designed around. Only
+// informative events are scheduled (λ = the paper's Equation (1) cut rate),
+// so every resolve_event informs a node.
+// ---------------------------------------------------------------------------
+
+impl IncrementalProtocol for CutRateAsync {
+    fn rebuild(&mut self, g: &Graph, informed: &NodeSet) {
+        self.rebuild_rates(g, informed);
+    }
+
+    /// Repairs only the nodes whose in-rate could have moved: uninformed
+    /// endpoints of changed edges, and uninformed neighbors of informed
+    /// endpoints (whose `1/d_u` contribution shifted with `u`'s degree).
+    fn apply_delta(&mut self, g: &Graph, delta: &EdgeDelta, informed: &NodeSet) {
+        let mut stale = Vec::new();
+        for e in delta.touched_nodes() {
+            if informed.contains(e) {
+                for &w in g.neighbors(e) {
+                    if !informed.contains(w) {
+                        stale.push(w);
+                    }
+                }
+            } else {
+                stale.push(e);
+            }
+        }
+        stale.sort_unstable();
+        stale.dedup();
+        for v in stale {
+            self.recompute_rate(g, v, informed);
+        }
+    }
+
+    fn event_rate(&self, _g: &Graph, _informed: &NodeSet) -> f64 {
+        self.total_rate()
+    }
+
+    fn resolve_event(
+        &mut self,
+        _g: &Graph,
+        informed: &NodeSet,
+        rng: &mut SimRng,
+    ) -> Option<NodeId> {
+        let v = self.sample_next(rng);
+        debug_assert!(
+            v.is_none_or(|v| !informed.contains(v)),
+            "cut-rate sampler returned an informed node"
+        );
+        v
+    }
+
+    fn commit(&mut self, g: &Graph, v: NodeId, informed: &NodeSet) {
+        self.absorb_informed(g, v, informed);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Naive tick-by-tick protocols: the event clock is every node's rate-1
+// clock superposed (λ = n), resolution replays exactly the window-based
+// loop body. No per-topology state at all.
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_incremental_naive {
+    ($ty:ty, $rate:expr, $resolve:expr) => {
+        impl IncrementalProtocol for $ty {
+            fn rebuild(&mut self, _g: &Graph, _informed: &NodeSet) {}
+
+            fn apply_delta(&mut self, _g: &Graph, _delta: &EdgeDelta, _informed: &NodeSet) {}
+
+            fn event_rate(&self, g: &Graph, _informed: &NodeSet) -> f64 {
+                #[allow(clippy::redundant_closure_call)]
+                ($rate)(g)
+            }
+
+            fn resolve_event(
+                &mut self,
+                g: &Graph,
+                informed: &NodeSet,
+                rng: &mut SimRng,
+            ) -> Option<NodeId> {
+                #[allow(clippy::redundant_closure_call)]
+                ($resolve)(g, informed, rng)
+            }
+
+            fn commit(&mut self, _g: &Graph, _v: NodeId, _informed: &NodeSet) {}
+        }
+    };
+}
+
+impl_incremental_naive!(
+    AsyncPushPull,
+    |g: &Graph| g.n() as f64,
+    |g: &Graph, informed: &NodeSet, rng: &mut SimRng| resolve_tick(
+        Direction::PushPull,
+        g,
+        informed,
+        rng
+    )
+);
+impl_incremental_naive!(
+    AsyncPush,
+    |g: &Graph| g.n() as f64,
+    |g: &Graph, informed: &NodeSet, rng: &mut SimRng| resolve_tick(
+        Direction::Push,
+        g,
+        informed,
+        rng
+    )
+);
+impl_incremental_naive!(
+    AsyncPull,
+    |g: &Graph| g.n() as f64,
+    |g: &Graph, informed: &NodeSet, rng: &mut SimRng| resolve_tick(
+        Direction::Pull,
+        g,
+        informed,
+        rng
+    )
+);
+
+// 2-push: rate-2 clocks, informed callers push to a uniform neighbor.
+impl_incremental_naive!(
+    TwoPush,
+    |g: &Graph| 2.0 * g.n() as f64,
+    |g: &Graph, informed: &NodeSet, rng: &mut SimRng| {
+        let caller = rng.index(g.n()) as NodeId;
+        if !informed.contains(caller) {
+            return None;
+        }
+        let nbrs = g.neighbors(caller);
+        if nbrs.is_empty() {
+            return None;
+        }
+        let callee = nbrs[rng.index(nbrs.len())];
+        (!informed.contains(callee)).then_some(callee)
+    }
+);
+
+// ---------------------------------------------------------------------------
+// LossyAsync: the naive clock plus fault injection; the per-window down set
+// is redrawn in on_window, exactly as advance_window does at entry.
+// ---------------------------------------------------------------------------
+
+impl IncrementalProtocol for LossyAsync {
+    fn rebuild(&mut self, _g: &Graph, _informed: &NodeSet) {}
+
+    fn apply_delta(&mut self, _g: &Graph, _delta: &EdgeDelta, _informed: &NodeSet) {}
+
+    fn on_window(&mut self, g: &Graph, t: u64, _informed: &NodeSet, rng: &mut SimRng) {
+        self.ensure_down_window(g.n(), t, rng);
+    }
+
+    fn event_rate(&self, g: &Graph, _informed: &NodeSet) -> f64 {
+        g.n() as f64
+    }
+
+    fn resolve_event(&mut self, g: &Graph, informed: &NodeSet, rng: &mut SimRng) -> Option<NodeId> {
+        self.resolve_contact(g, informed, rng)
+    }
+
+    fn commit(&mut self, _g: &Graph, _v: NodeId, _informed: &NodeSet) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_safe() {
+        let mut boxed: Box<dyn IncrementalProtocol> = Box::new(AsyncPushPull::new());
+        let g = Graph::from_edges(2, &[(0, 1)]).unwrap();
+        let mut informed = NodeSet::new(2);
+        informed.insert(0);
+        boxed.begin(2);
+        boxed.rebuild(&g, &informed);
+        assert_eq!(boxed.event_rate(&g, &informed), 2.0);
+        let mut rng = SimRng::seed_from_u64(1);
+        // On a 2-path with one informed node, every contact is informative.
+        assert_eq!(boxed.resolve_event(&g, &informed, &mut rng), Some(1));
+    }
+
+    #[test]
+    fn cut_rate_delta_repair_matches_rebuild() {
+        // Repairing after a delta must leave identical rates to a fresh
+        // rebuild on the new graph.
+        let old = gossip_graph::generators::cycle(10).unwrap();
+        let new = {
+            let mut edges: Vec<(u32, u32)> = old.edges().collect();
+            edges.retain(|&e| e != (3, 4));
+            edges.push((0, 5));
+            edges.push((2, 7));
+            Graph::from_edges(10, &edges).unwrap()
+        };
+        let delta = EdgeDelta::between(&old, &new);
+        let mut informed = NodeSet::new(10);
+        for v in [0, 1, 2, 3] {
+            informed.insert(v);
+        }
+
+        let mut repaired = CutRateAsync::new();
+        repaired.begin(10);
+        repaired.rebuild(&old, &informed);
+        repaired.apply_delta(&new, &delta, &informed);
+
+        let mut fresh = CutRateAsync::new();
+        fresh.begin(10);
+        fresh.rebuild(&new, &informed);
+
+        for v in 0..10u32 {
+            assert!(
+                (repaired.rate_of(v) - fresh.rate_of(v)).abs() < 1e-12,
+                "rate mismatch at node {v}: {} vs {}",
+                repaired.rate_of(v),
+                fresh.rate_of(v)
+            );
+        }
+    }
+
+    #[test]
+    fn two_push_rate_doubles() {
+        let g = gossip_graph::generators::cycle(5).unwrap();
+        let informed = NodeSet::new(5);
+        let p = TwoPush::new();
+        assert_eq!(p.event_rate(&g, &informed), 10.0);
+    }
+}

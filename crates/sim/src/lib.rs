@@ -46,6 +46,10 @@
 //! assert!(outcome.spread_time().unwrap() < 20.0);
 //! ```
 
+//!
+//! See the workspace `README.md` (repo root) for the crate map and the
+//! window / event-stream engine duality.
+
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
@@ -53,7 +57,9 @@ mod async_cut;
 mod async_naive;
 mod engine;
 mod error;
+mod event;
 mod flooding;
+mod incremental;
 mod lossy;
 mod protocol;
 mod runner;
@@ -64,7 +70,9 @@ pub use async_cut::CutRateAsync;
 pub use async_naive::{AsyncPull, AsyncPush, AsyncPushPull};
 pub use engine::{RunConfig, Simulation, SpreadOutcome};
 pub use error::SimError;
+pub use event::EventSimulation;
 pub use flooding::Flooding;
+pub use incremental::IncrementalProtocol;
 pub use lossy::LossyAsync;
 pub use protocol::Protocol;
 pub use runner::{Runner, TrialSummary};

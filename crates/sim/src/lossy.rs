@@ -78,12 +78,23 @@ impl LossyAsync {
     /// `[0, 1)`.
     pub fn with_downtime(loss: f64, downtime: f64) -> Result<Self, SimError> {
         if !(0.0..1.0).contains(&loss) {
-            return Err(SimError::InvalidProbability { name: "loss", value: loss });
+            return Err(SimError::InvalidProbability {
+                name: "loss",
+                value: loss,
+            });
         }
         if !(0.0..1.0).contains(&downtime) {
-            return Err(SimError::InvalidProbability { name: "downtime", value: downtime });
+            return Err(SimError::InvalidProbability {
+                name: "downtime",
+                value: downtime,
+            });
         }
-        Ok(LossyAsync { loss, downtime, down: NodeSet::new(0), down_window: None })
+        Ok(LossyAsync {
+            loss,
+            downtime,
+            down: NodeSet::new(0),
+            down_window: None,
+        })
     }
 
     /// The per-contact message-loss probability.
@@ -94,6 +105,45 @@ impl LossyAsync {
     /// The per-window downtime probability.
     pub fn downtime(&self) -> f64 {
         self.downtime
+    }
+
+    /// Ensures the down set was drawn for window `t` (idempotent per
+    /// window; shared by both engines).
+    pub(crate) fn ensure_down_window(&mut self, n: usize, t: u64, rng: &mut SimRng) {
+        if self.down_window != Some(t) {
+            self.redraw_down(n, t, rng);
+        }
+    }
+
+    /// Resolves one tick of the rate-`n` superposed clock under loss and
+    /// downtime: returns the newly informed node, if any. Shared by the
+    /// window loop and the event-stream engine.
+    pub(crate) fn resolve_contact(
+        &mut self,
+        g: &Graph,
+        informed: &NodeSet,
+        rng: &mut SimRng,
+    ) -> Option<gossip_graph::NodeId> {
+        let caller = rng.index(g.n()) as gossip_graph::NodeId;
+        if self.down.contains(caller) {
+            return None;
+        }
+        let nbrs = g.neighbors(caller);
+        if nbrs.is_empty() {
+            return None;
+        }
+        let callee = nbrs[rng.index(nbrs.len())];
+        if self.down.contains(callee) {
+            return None;
+        }
+        if self.loss > 0.0 && rng.chance(self.loss) {
+            return None;
+        }
+        match (informed.contains(caller), informed.contains(callee)) {
+            (true, false) => Some(callee),
+            (false, true) => Some(caller),
+            _ => None,
+        }
     }
 
     /// Redraws the down set for window `t` (each node independently down
@@ -135,9 +185,7 @@ impl Protocol for LossyAsync {
     ) -> Option<f64> {
         let n = g.n();
         debug_assert_eq!(informed.universe(), n);
-        if self.down_window != Some(t) {
-            self.redraw_down(n, t, rng);
-        }
+        self.ensure_down_window(n, t, rng);
         // Superposed clock over all n nodes; down callers are thinned
         // after the tick so the event stream stays a rate-n Poisson
         // process regardless of the down set.
@@ -149,29 +197,11 @@ impl Protocol for LossyAsync {
             if tau >= end {
                 return None;
             }
-            let caller = rng.index(n) as u32;
-            if self.down.contains(caller) {
-                continue;
-            }
-            let nbrs = g.neighbors(caller);
-            if nbrs.is_empty() {
-                continue;
-            }
-            let callee = nbrs[rng.index(nbrs.len())];
-            if self.down.contains(callee) {
-                continue;
-            }
-            if self.loss > 0.0 && rng.chance(self.loss) {
-                continue;
-            }
-            let caller_informed = informed.contains(caller);
-            if caller_informed && !informed.contains(callee) {
-                informed.insert(callee);
-            } else if !caller_informed && informed.contains(callee) {
-                informed.insert(caller);
-            }
-            if informed.is_full() {
-                return Some(tau);
+            if let Some(v) = self.resolve_contact(g, informed, rng) {
+                informed.insert(v);
+                if informed.is_full() {
+                    return Some(tau);
+                }
             }
         }
     }
@@ -210,7 +240,10 @@ mod tests {
         assert!(LossyAsync::new(-0.1).is_err());
         assert!(matches!(
             LossyAsync::with_downtime(0.1, 1.5),
-            Err(SimError::InvalidProbability { name: "downtime", .. })
+            Err(SimError::InvalidProbability {
+                name: "downtime",
+                ..
+            })
         ));
     }
 
@@ -259,10 +292,8 @@ mod tests {
         // 1-(1-d)^2 of at least one endpoint being down.
         let d: f64 = 0.4;
         let equivalent_loss = 1.0 - (1.0 - d) * (1.0 - d);
-        let with_down =
-            mean_spread(|| LossyAsync::with_downtime(0.0, d).unwrap(), 500, 44);
-        let with_loss =
-            mean_spread(|| LossyAsync::new(equivalent_loss).unwrap(), 500, 45);
+        let with_down = mean_spread(|| LossyAsync::with_downtime(0.0, d).unwrap(), 500, 44);
+        let with_loss = mean_spread(|| LossyAsync::new(equivalent_loss).unwrap(), 500, 45);
         assert!(
             with_down > with_loss,
             "correlated downtime ({with_down}) should cost more than i.i.d. loss ({with_loss})"
@@ -294,6 +325,9 @@ mod tests {
                 completed += 1;
             }
         }
-        assert!(completed >= 48, "only {completed}/50 completed under 60% downtime");
+        assert!(
+            completed >= 48,
+            "only {completed}/50 completed under 60% downtime"
+        );
     }
 }

@@ -6,15 +6,21 @@
 //! per-trial derived seeds (reproducible regardless of thread scheduling)
 //! and summarizes the distribution.
 
-use crate::{Protocol, RunConfig, SimError, Simulation};
+use crate::{
+    EventSimulation, IncrementalProtocol, Protocol, RunConfig, SimError, Simulation, SpreadOutcome,
+};
 use gossip_dynamics::DynamicNetwork;
 use gossip_graph::NodeId;
-use gossip_stats::{Quantiles, RunningMoments, SimRng};
+use gossip_stats::{RunningMoments, SimRng, SortedSample};
 
 /// Summary of a batch of simulation trials.
+///
+/// Completed-trial spread times are sorted **once** at construction
+/// ([`SortedSample`]), so every accessor takes `&self` and summaries can be
+/// read through shared references.
 #[derive(Debug, Clone)]
 pub struct TrialSummary {
-    times: Quantiles,
+    times: SortedSample,
     moments: RunningMoments,
     trials: usize,
     completed: usize,
@@ -55,7 +61,7 @@ impl TrialSummary {
     /// # Panics
     ///
     /// Panics when no trial completed.
-    pub fn median(&mut self) -> f64 {
+    pub fn median(&self) -> f64 {
         self.times.median().expect("no completed trials")
     }
 
@@ -64,7 +70,7 @@ impl TrialSummary {
     /// # Panics
     ///
     /// Panics when no trial completed or `q ∉ \[0, 1\]`.
-    pub fn quantile(&mut self, q: f64) -> f64 {
+    pub fn quantile(&self, q: f64) -> f64 {
         self.times.quantile(q).expect("no completed trials")
     }
 
@@ -75,7 +81,7 @@ impl TrialSummary {
     /// # Panics
     ///
     /// Panics when no trial completed.
-    pub fn whp_spread_time(&mut self) -> f64 {
+    pub fn whp_spread_time(&self) -> f64 {
         self.quantile(0.95)
     }
 
@@ -84,13 +90,13 @@ impl TrialSummary {
     /// # Panics
     ///
     /// Panics when no trial completed.
-    pub fn max(&mut self) -> f64 {
+    pub fn max(&self) -> f64 {
         self.times.max().expect("no completed trials")
     }
 
     /// Empirical tail `Pr[T > x]` over completed trials (incomplete trials
     /// count as exceeding any `x` below the cutoff).
-    pub fn tail_fraction(&mut self, x: f64) -> f64 {
+    pub fn tail_fraction(&self, x: f64) -> f64 {
         let incomplete = (self.trials - self.completed) as f64;
         let over = self.times.tail_fraction(x) * self.completed as f64;
         (over + incomplete) / self.trials as f64
@@ -98,8 +104,8 @@ impl TrialSummary {
 
     /// All completed-trial spread times, sorted ascending — for histogram
     /// rendering or custom statistics beyond the provided quantiles.
-    pub fn sorted_times(&mut self) -> &[f64] {
-        self.times.sorted_values()
+    pub fn sorted_times(&self) -> &[f64] {
+        self.times.values()
     }
 }
 
@@ -116,7 +122,7 @@ impl TrialSummary {
 /// use gossip_sim::{CutRateAsync, RunConfig, Runner};
 ///
 /// let runner = Runner::new(64, 42);
-/// let mut summary = runner
+/// let summary = runner
 ///     .run(
 ///         || StaticNetwork::new(generators::complete(32).unwrap()),
 ///         CutRateAsync::new,
@@ -139,8 +145,14 @@ impl Runner {
     /// Creates a runner for `trials` trials seeded from `base_seed`, using
     /// all available parallelism.
     pub fn new(trials: usize, base_seed: u64) -> Self {
-        let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
-        Runner { trials, base_seed, threads: threads.min(trials.max(1)) }
+        let threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        Runner {
+            trials,
+            base_seed,
+            threads: threads.min(trials.max(1)),
+        }
     }
 
     /// Restricts the runner to a fixed number of threads (1 = sequential).
@@ -167,6 +179,50 @@ impl Runner {
         N: DynamicNetwork,
         P: Protocol,
     {
+        self.run_trials(make_net, start, || {
+            let mut sim = Simulation::new(make_proto(), config);
+            move |net: &mut N, start, rng: &mut SimRng| sim.run(net, start, rng)
+        })
+    }
+
+    /// Runs all trials on the event-stream engine ([`EventSimulation`])
+    /// instead of the window-based one. Same seeding contract as
+    /// [`Runner::run`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Runner::run`].
+    pub fn run_incremental<N, P>(
+        &self,
+        make_net: impl Fn() -> N + Sync,
+        make_proto: impl Fn() -> P + Sync,
+        start: Option<NodeId>,
+        config: RunConfig,
+    ) -> Result<TrialSummary, SimError>
+    where
+        N: DynamicNetwork,
+        P: IncrementalProtocol,
+    {
+        self.run_trials(make_net, start, || {
+            let mut sim = EventSimulation::new(make_proto(), config);
+            move |net: &mut N, start, rng: &mut SimRng| sim.run(net, start, rng)
+        })
+    }
+
+    /// The shared trial scaffolding both engines run through: per-thread
+    /// network + trial closure, interleaved trial indices, and per-trial
+    /// derived RNG streams — so the two engines have the identical seeding
+    /// contract by construction.
+    fn run_trials<N, F>(
+        &self,
+        make_net: impl Fn() -> N + Sync,
+        start: Option<NodeId>,
+        make_trial: impl Fn() -> F + Sync,
+    ) -> Result<TrialSummary, SimError>
+    where
+        N: DynamicNetwork,
+        F: FnMut(&mut N, NodeId, &mut SimRng) -> Result<SpreadOutcome, SimError>,
+    {
         let base = SimRng::seed_from_u64(self.base_seed);
         let threads = self.threads.min(self.trials.max(1));
         let results: Vec<Result<Vec<Option<f64>>, SimError>> = std::thread::scope(|scope| {
@@ -174,37 +230,52 @@ impl Runner {
             for tid in 0..threads {
                 let base = base.clone();
                 let make_net = &make_net;
-                let make_proto = &make_proto;
+                let make_trial = &make_trial;
                 let trials = self.trials;
                 handles.push(scope.spawn(move || {
                     let mut out = Vec::new();
                     let mut net = make_net();
-                    let mut sim = Simulation::new(make_proto(), config);
+                    let mut trial = make_trial();
                     let start = start.unwrap_or_else(|| net.suggested_start());
                     let mut i = tid;
                     while i < trials {
                         let mut rng = base.derive(i as u64);
-                        let outcome = sim.run(&mut net, start, &mut rng)?;
+                        let outcome = trial(&mut net, start, &mut rng)?;
                         out.push(outcome.spread_time());
                         i += threads;
                     }
                     Ok(out)
                 }));
             }
-            handles.into_iter().map(|h| h.join().expect("trial thread panicked")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("trial thread panicked"))
+                .collect()
         });
+        self.summarize(results)
+    }
 
-        let mut times = Quantiles::new();
+    fn summarize(
+        &self,
+        results: Vec<Result<Vec<Option<f64>>, SimError>>,
+    ) -> Result<TrialSummary, SimError> {
+        let mut times = Vec::new();
         let mut moments = RunningMoments::new();
-        let mut completed = 0usize;
         for r in results {
             for t in r?.into_iter().flatten() {
                 times.push(t);
                 moments.push(t);
-                completed += 1;
             }
         }
-        Ok(TrialSummary { times, moments, trials: self.trials, completed })
+        let completed = times.len();
+        // Sort once here; every TrialSummary accessor is &self.
+        let times = SortedSample::from_values(times);
+        Ok(TrialSummary {
+            times,
+            moments,
+            trials: self.trials,
+            completed,
+        })
     }
 }
 
@@ -227,13 +298,16 @@ mod tests {
             .run(make, CutRateAsync::new, None, RunConfig::default())
             .unwrap();
         assert_eq!(seq.completed(), par.completed());
-        assert!((seq.mean() - par.mean()).abs() < 1e-12, "trial seeding is order-dependent");
+        assert!(
+            (seq.mean() - par.mean()).abs() < 1e-12,
+            "trial seeding is order-dependent"
+        );
     }
 
     #[test]
     fn summary_statistics_consistent() {
         let make = || StaticNetwork::new(generators::complete(16).unwrap());
-        let mut s = Runner::new(50, 3)
+        let s = Runner::new(50, 3)
             .run(make, AsyncPushPull::new, None, RunConfig::default())
             .unwrap();
         assert_eq!(s.trials(), 50);
@@ -251,12 +325,36 @@ mod tests {
         // Disconnected graph: nothing ever completes.
         let g = gossip_graph::Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
         let make = move || StaticNetwork::new(g.clone());
-        let mut s = Runner::new(10, 1)
-            .run(make, AsyncPushPull::new, None, RunConfig::with_max_time(5.0))
+        let s = Runner::new(10, 1)
+            .run(
+                make,
+                AsyncPushPull::new,
+                None,
+                RunConfig::with_max_time(5.0),
+            )
             .unwrap();
         assert_eq!(s.completed(), 0);
         assert_eq!(s.completion_rate(), 0.0);
         assert_eq!(s.tail_fraction(3.0), 1.0);
+    }
+
+    #[test]
+    fn incremental_runner_matches_window_runner_on_static() {
+        // Same trial seeding + same event sequence per trial on static
+        // networks; times agree up to float summation order (the window
+        // engine re-sums the cut rate per window, the event engine
+        // maintains it incrementally).
+        let make = || StaticNetwork::new(generators::complete(16).unwrap());
+        let window = Runner::new(30, 5)
+            .run(make, CutRateAsync::new, None, RunConfig::default())
+            .unwrap();
+        let event = Runner::new(30, 5)
+            .run_incremental(make, CutRateAsync::new, None, RunConfig::default())
+            .unwrap();
+        assert_eq!(window.completed(), event.completed());
+        for (a, b) in window.sorted_times().iter().zip(event.sorted_times()) {
+            assert!((a - b).abs() < 1e-9, "trial time drifted: {a} vs {b}");
+        }
     }
 
     #[test]
@@ -271,7 +369,7 @@ mod tests {
     #[test]
     fn tail_fraction_mixes_incomplete() {
         let make = || StaticNetwork::new(generators::complete(8).unwrap());
-        let mut s = Runner::new(20, 9)
+        let s = Runner::new(20, 9)
             .run(make, AsyncPushPull::new, None, RunConfig::default())
             .unwrap();
         // All complete: tail at 0 is 1, tail beyond max is 0.

@@ -329,7 +329,10 @@ mod tests {
         let o = Simulation::new(SyncPush::new(), RunConfig::default())
             .run(&mut net, 0, &mut rng)
             .unwrap();
-        assert!(o.spread_time().unwrap() >= 11.0, "push can inform at most one leaf per round");
+        assert!(
+            o.spread_time().unwrap() >= 11.0,
+            "push can inform at most one leaf per round"
+        );
     }
 
     #[test]
@@ -371,10 +374,16 @@ mod tests {
                 .run(&mut net, 3, &mut rng)
                 .unwrap();
             let t = o.spread_time().unwrap();
-            assert!(t >= 2.0, "pull cannot finish a star from a leaf in one round");
+            assert!(
+                t >= 2.0,
+                "pull cannot finish a star from a leaf in one round"
+            );
             worst = worst.max(t);
         }
-        assert!(worst >= 3.0, "geometric center-pull phase never exceeded 2 rounds");
+        assert!(
+            worst >= 3.0,
+            "geometric center-pull phase never exceeded 2 rounds"
+        );
     }
 
     #[test]

@@ -119,7 +119,10 @@ impl ForwardTwoPush {
                 layer[v as usize] = Some(i);
             }
         }
-        ForwardTwoPush { layer, layers: clusters.len() }
+        ForwardTwoPush {
+            layer,
+            layers: clusters.len(),
+        }
     }
 
     /// The layer of node `v`, if any.
@@ -134,7 +137,11 @@ impl Protocol for ForwardTwoPush {
     }
 
     fn begin(&mut self, n: usize) {
-        assert_eq!(self.layer.len(), n, "layer structure sized for a different network");
+        assert_eq!(
+            self.layer.len(),
+            n,
+            "layer structure sized for a different network"
+        );
     }
 
     fn advance_window(
@@ -157,7 +164,9 @@ impl Protocol for ForwardTwoPush {
             if !informed.contains(caller) {
                 continue;
             }
-            let Some(i) = self.layer[caller as usize] else { continue };
+            let Some(i) = self.layer[caller as usize] else {
+                continue;
+            };
             if i + 1 >= self.layers {
                 continue;
             }
@@ -243,8 +252,14 @@ mod tests {
             let done = proto.advance_window(&g, t, &mut informed, &mut rng);
             assert!(done.is_none());
         }
-        assert!(!informed.contains(1), "forward push leaked to the same layer");
-        assert!(informed.contains(2) && informed.contains(3), "forward targets unreached");
+        assert!(
+            !informed.contains(1),
+            "forward push leaked to the same layer"
+        );
+        assert!(
+            informed.contains(2) && informed.contains(3),
+            "forward targets unreached"
+        );
     }
 
     #[test]
@@ -292,7 +307,10 @@ mod tests {
         // Lemma 4.2 bound at k=7: 2^7 · 3 / 7! ≈ 0.076; the factorial decay
         // is what matters.
         assert!(p7 < p2 / 3.0, "p2 = {p2}, p7 = {p7}");
-        assert!(p7 < 0.09, "p7 = {p7} exceeds the Lemma 4.2 bound 0.076 plus noise");
+        assert!(
+            p7 < 0.09,
+            "p7 = {p7} exceeds the Lemma 4.2 bound 0.076 plus noise"
+        );
     }
 
     #[test]

@@ -175,16 +175,16 @@ fn lossy_zero_matches_naive_distribution() {
                 let mut rng = base.derive(i + if lossy { 100_000 } else { 0 });
                 let mut net = make();
                 let outcome = if lossy {
-                    Simulation::new(
-                        LossyAsync::new(0.0).expect("valid"),
-                        RunConfig::default(),
-                    )
-                    .run(&mut net, 0, &mut rng)
+                    Simulation::new(LossyAsync::new(0.0).expect("valid"), RunConfig::default())
+                        .run(&mut net, 0, &mut rng)
                 } else {
                     Simulation::new(AsyncPushPull::new(), RunConfig::default())
                         .run(&mut net, 0, &mut rng)
                 };
-                outcome.expect("valid").spread_time().expect("complete graph finishes")
+                outcome
+                    .expect("valid")
+                    .spread_time()
+                    .expect("complete graph finishes")
             })
             .collect()
     };

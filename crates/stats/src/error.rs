@@ -43,7 +43,10 @@ impl fmt::Display for StatsError {
                 write!(f, "probability must lie in [0, 1], got {p}")
             }
             StatsError::InvalidWeight { index, weight } => {
-                write!(f, "weight at index {index} must be non-negative and finite, got {weight}")
+                write!(
+                    f,
+                    "weight at index {index} must be non-negative and finite, got {weight}"
+                )
             }
             StatsError::Empty => write!(f, "operation requires at least one element"),
         }
@@ -61,7 +64,10 @@ mod tests {
         let variants = [
             StatsError::InvalidRate(-1.0),
             StatsError::InvalidProbability(2.0),
-            StatsError::InvalidWeight { index: 3, weight: f64::NAN },
+            StatsError::InvalidWeight {
+                index: 3,
+                weight: f64::NAN,
+            },
             StatsError::Empty,
         ];
         for v in variants {

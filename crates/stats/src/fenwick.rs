@@ -36,7 +36,11 @@ pub struct FenwickSampler {
 impl FenwickSampler {
     /// Creates a sampler over `n` indices, all with weight zero.
     pub fn new(n: usize) -> Self {
-        FenwickSampler { tree: vec![0.0; n + 1], weights: vec![0.0; n], total: 0.0 }
+        FenwickSampler {
+            tree: vec![0.0; n + 1],
+            weights: vec![0.0; n],
+            total: 0.0,
+        }
     }
 
     /// Number of indices.
@@ -108,6 +112,46 @@ impl FenwickSampler {
         self.tree.iter_mut().for_each(|x| *x = 0.0);
         self.weights.iter_mut().for_each(|x| *x = 0.0);
         self.total = 0.0;
+    }
+
+    /// Applies a batch of weight mutations through `edit` (a mutable view
+    /// of the raw weight array), then rebuilds the tree in **O(n)** total.
+    ///
+    /// Point updates cost `O(log n)` each, so a batch touching `k` indices
+    /// is cheaper through this path once `k · log n` exceeds `n` — the
+    /// cut-rate simulator uses exactly that threshold when absorbing
+    /// high-degree nodes. Tiny negative round-off results are clamped to
+    /// zero, matching [`FenwickSampler::add`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidWeight`] (with the sampler left
+    /// cleared) if any resulting weight is meaningfully negative or
+    /// non-finite.
+    pub fn set_bulk(&mut self, edit: impl FnOnce(&mut [f64])) -> Result<(), StatsError> {
+        edit(&mut self.weights);
+        let n = self.weights.len();
+        self.total = 0.0;
+        for (i, w) in self.weights.iter_mut().enumerate() {
+            if *w < 0.0 && *w > -1e-9 {
+                *w = 0.0;
+            }
+            if !w.is_finite() || *w < 0.0 {
+                let weight = *w;
+                self.clear();
+                return Err(StatsError::InvalidWeight { index: i, weight });
+            }
+            self.total += *w;
+        }
+        // Bottom-up O(n) Fenwick construction.
+        self.tree[1..].copy_from_slice(&self.weights);
+        for i in 1..=n {
+            let parent = i + (i & i.wrapping_neg());
+            if parent <= n {
+                self.tree[parent] += self.tree[i];
+            }
+        }
+        Ok(())
     }
 
     /// Prefix sum of weights over `0..=index`.
@@ -196,6 +240,45 @@ mod tests {
     }
 
     #[test]
+    fn set_bulk_matches_point_updates() {
+        let mut point = FenwickSampler::new(9);
+        let mut bulk = FenwickSampler::new(9);
+        let weights = [0.5, 0.0, 3.0, 1.25, 0.0, 2.0, 0.0, 0.75, 4.0];
+        for (i, &w) in weights.iter().enumerate() {
+            point.set(i, w).unwrap();
+        }
+        bulk.set_bulk(|w| w.copy_from_slice(&weights)).unwrap();
+        assert!((point.total() - bulk.total()).abs() < 1e-12);
+        for i in 0..9 {
+            assert_eq!(point.weight(i), bulk.weight(i));
+            assert!(
+                (point.prefix_sum(i) - bulk.prefix_sum(i)).abs() < 1e-12,
+                "prefix {i}"
+            );
+        }
+        // Sampling agrees too (same prefix sums, same descent).
+        let mut r1 = SimRng::seed_from_u64(5);
+        let mut r2 = SimRng::seed_from_u64(5);
+        for _ in 0..200 {
+            assert_eq!(point.sample(&mut r1), bulk.sample(&mut r2));
+        }
+        // Incremental point updates keep working after a bulk rebuild.
+        bulk.add(1, 2.5).unwrap();
+        point.add(1, 2.5).unwrap();
+        assert!((point.prefix_sum(8) - bulk.prefix_sum(8)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn set_bulk_rejects_bad_weights() {
+        let mut s = FenwickSampler::new(3);
+        assert!(s.set_bulk(|w| w[1] = -1.0).is_err());
+        // The sampler is left in a clean (cleared) state.
+        assert_eq!(s.total(), 0.0);
+        assert!(s.set_bulk(|w| w[2] = 2.0).is_ok());
+        assert_eq!(s.weight(2), 2.0);
+    }
+
+    #[test]
     fn rejects_bad_weights() {
         let mut s = FenwickSampler::new(2);
         assert!(s.set(0, -1.0).is_err());
@@ -233,7 +316,10 @@ mod tests {
         for (i, &c) in counts.iter().enumerate() {
             let expected = (i + 1) as f64 / 10.0;
             let freq = c as f64 / n as f64;
-            assert!((freq - expected).abs() < 0.01, "index {i}: freq {freq} vs {expected}");
+            assert!(
+                (freq - expected).abs() < 0.01,
+                "index {i}: freq {freq} vs {expected}"
+            );
         }
     }
 

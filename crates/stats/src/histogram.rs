@@ -44,7 +44,13 @@ impl Histogram {
         if !(lo.is_finite() && hi.is_finite() && lo < hi) {
             return Err(StatsError::InvalidRate(hi - lo));
         }
-        Ok(Histogram { lo, hi, buckets: vec![0; buckets], underflow: 0, overflow: 0 })
+        Ok(Histogram {
+            lo,
+            hi,
+            buckets: vec![0; buckets],
+            underflow: 0,
+            overflow: 0,
+        })
     }
 
     /// Records one observation.
@@ -103,7 +109,10 @@ impl Histogram {
         for (i, &c) in self.buckets.iter().enumerate() {
             let (a, b) = self.bucket_range(i);
             let bar_len = (c as usize * width) / max as usize;
-            out.push_str(&format!("[{a:>10.3}, {b:>10.3}) {c:>8} {}\n", "#".repeat(bar_len)));
+            out.push_str(&format!(
+                "[{a:>10.3}, {b:>10.3}) {c:>8} {}\n",
+                "#".repeat(bar_len)
+            ));
         }
         out
     }

@@ -23,7 +23,10 @@
 /// assert!(ks_statistic(&a, &b) < 1e-12);
 /// ```
 pub fn ks_statistic(a: &[f64], b: &[f64]) -> f64 {
-    assert!(!a.is_empty() && !b.is_empty(), "KS requires non-empty samples");
+    assert!(
+        !a.is_empty() && !b.is_empty(),
+        "KS requires non-empty samples"
+    );
     let mut sa: Vec<f64> = a.to_vec();
     let mut sb: Vec<f64> = b.to_vec();
     sa.sort_by(|x, y| x.partial_cmp(y).expect("NaN in KS sample"));

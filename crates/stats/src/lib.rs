@@ -32,6 +32,10 @@
 //! assert!(x >= 0.0);
 //! ```
 
+//!
+//! See the workspace `README.md` (repo root) for the crate map and the
+//! window / event-stream engine duality.
+
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
@@ -45,6 +49,7 @@ mod quantiles;
 mod rng;
 mod sampling;
 pub mod series;
+mod sorted;
 pub mod tail;
 
 pub use error::StatsError;
@@ -55,3 +60,4 @@ pub use moments::RunningMoments;
 pub use quantiles::Quantiles;
 pub use rng::SimRng;
 pub use sampling::{Bernoulli, Exponential, Geometric, Nhpp, Poisson};
+pub use sorted::SortedSample;

@@ -31,7 +31,13 @@ pub struct RunningMoments {
 impl RunningMoments {
     /// Creates an empty accumulator.
     pub fn new() -> Self {
-        RunningMoments { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        RunningMoments {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Adds one observation.
@@ -160,7 +166,9 @@ mod tests {
 
     #[test]
     fn known_variance() {
-        let m: RunningMoments = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        let m: RunningMoments = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+            .into_iter()
+            .collect();
         assert!((m.mean() - 5.0).abs() < 1e-12);
         // Unbiased variance of this classic sample is 32/7.
         assert!((m.variance() - 32.0 / 7.0).abs() < 1e-12);
@@ -194,7 +202,9 @@ mod tests {
     #[test]
     fn numerical_stability_large_offset() {
         // Classic catastrophic-cancellation scenario.
-        let m: RunningMoments = [1e9 + 4.0, 1e9 + 7.0, 1e9 + 13.0, 1e9 + 16.0].into_iter().collect();
+        let m: RunningMoments = [1e9 + 4.0, 1e9 + 7.0, 1e9 + 13.0, 1e9 + 16.0]
+            .into_iter()
+            .collect();
         assert!((m.variance() - 30.0).abs() < 1e-6, "var {}", m.variance());
     }
 

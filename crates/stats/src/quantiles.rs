@@ -47,7 +47,8 @@ impl Quantiles {
     fn ensure_sorted(&mut self) {
         if !self.dirty.is_empty() {
             self.sorted.append(&mut self.dirty);
-            self.sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile sample"));
+            self.sorted
+                .sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile sample"));
         }
     }
 
@@ -121,6 +122,13 @@ impl Quantiles {
         self.ensure_sorted();
         &self.sorted
     }
+
+    /// All observations in one buffer (sorted prefix + dirty tail), for
+    /// [`crate::SortedSample`] to take over without re-copying.
+    pub(crate) fn all_values_mut(&mut self) -> &mut Vec<f64> {
+        self.sorted.append(&mut self.dirty);
+        &mut self.sorted
+    }
 }
 
 impl Extend<f64> for Quantiles {
@@ -151,8 +159,14 @@ mod tests {
     #[test]
     fn invalid_q_rejected() {
         let mut q: Quantiles = [1.0].into_iter().collect();
-        assert!(matches!(q.quantile(-0.1), Err(StatsError::InvalidProbability(_))));
-        assert!(matches!(q.quantile(1.1), Err(StatsError::InvalidProbability(_))));
+        assert!(matches!(
+            q.quantile(-0.1),
+            Err(StatsError::InvalidProbability(_))
+        ));
+        assert!(matches!(
+            q.quantile(1.1),
+            Err(StatsError::InvalidProbability(_))
+        ));
     }
 
     #[test]

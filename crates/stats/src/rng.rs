@@ -27,7 +27,10 @@ pub struct SimRng {
 impl SimRng {
     /// Creates a generator from a 64-bit seed.
     pub fn seed_from_u64(seed: u64) -> Self {
-        SimRng { inner: SmallRng::seed_from_u64(seed), base_seed: seed }
+        SimRng {
+            inner: SmallRng::seed_from_u64(seed),
+            base_seed: seed,
+        }
     }
 
     /// Returns the seed this generator was created from.

@@ -288,7 +288,10 @@ impl<F: Fn(f64) -> f64> Nhpp<F> {
     /// sampled over; thinning silently under-counts otherwise (checked with
     /// a debug assertion at sample time).
     pub fn new(rate_fn: F, rate_bound: f64) -> Self {
-        Nhpp { rate_fn, rate_bound }
+        Nhpp {
+            rate_fn,
+            rate_bound,
+        }
     }
 
     /// Evaluates the instantaneous rate at `t`.
@@ -343,7 +346,9 @@ impl<F: Fn(f64) -> f64> Nhpp<F> {
 
 impl<F> std::fmt::Debug for Nhpp<F> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Nhpp").field("rate_bound", &self.rate_bound).finish()
+        f.debug_struct("Nhpp")
+            .field("rate_bound", &self.rate_bound)
+            .finish()
     }
 }
 

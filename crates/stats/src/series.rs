@@ -33,7 +33,11 @@ pub struct Series {
 impl Series {
     /// Creates an empty series with a sweep-variable name and column names.
     pub fn new(sweep_name: impl Into<String>, columns: Vec<String>) -> Self {
-        Series { sweep_name: sweep_name.into(), columns, rows: Vec::new() }
+        Series {
+            sweep_name: sweep_name.into(),
+            columns,
+            rows: Vec::new(),
+        }
     }
 
     /// Appends one row.
@@ -203,7 +207,10 @@ mod tests {
         let text = s.to_string();
         assert_eq!(text.lines().count(), 6);
         let widths: Vec<usize> = text.lines().map(|l| l.len()).collect();
-        assert!(widths.windows(2).all(|w| w[0] == w[1]), "ragged table:\n{text}");
+        assert!(
+            widths.windows(2).all(|w| w[0] == w[1]),
+            "ragged table:\n{text}"
+        );
     }
 
     #[test]

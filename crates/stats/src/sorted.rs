@@ -1,0 +1,189 @@
+use crate::{Quantiles, StatsError};
+use serde::{Deserialize, Serialize};
+
+/// An immutable, pre-sorted sample: sort once at construction, then every
+/// accessor is `&self`.
+///
+/// [`Quantiles`] stays the *collector* (cheap `push`, lazily sorted under
+/// `&mut self`); `SortedSample` is the *frozen view* the multi-trial
+/// summary hands out, so summary statistics can be read through shared
+/// references — e.g. from several reporting threads, or from accessors
+/// that have no business mutating their receiver.
+///
+/// # Example
+///
+/// ```
+/// use gossip_stats::SortedSample;
+///
+/// let s = SortedSample::from_values(vec![3.0, 1.0, 2.0]);
+/// assert_eq!(s.median().unwrap(), 2.0);
+/// assert_eq!(s.values(), &[1.0, 2.0, 3.0]);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SortedSample {
+    values: Vec<f64>,
+}
+
+impl SortedSample {
+    /// Sorts `values` once and freezes them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any value is NaN (a NaN observation is always a bug in
+    /// the producing simulation).
+    pub fn from_values(mut values: Vec<f64>) -> Self {
+        values.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+        SortedSample { values }
+    }
+
+    /// An empty sample.
+    pub fn new() -> Self {
+        SortedSample::default()
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the sample is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The sorted observations.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// The empirical `q`-quantile (nearest-rank with linear interpolation,
+    /// matching [`Quantiles::quantile`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::Empty`] for an empty sample and
+    /// [`StatsError::InvalidProbability`] when `q ∉ \[0, 1\]`.
+    pub fn quantile(&self, q: f64) -> Result<f64, StatsError> {
+        if !(0.0..=1.0).contains(&q) {
+            return Err(StatsError::InvalidProbability(q));
+        }
+        let n = self.values.len();
+        if n == 0 {
+            return Err(StatsError::Empty);
+        }
+        if n == 1 {
+            return Ok(self.values[0]);
+        }
+        let pos = q * (n - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        let frac = pos - lo as f64;
+        Ok(self.values[lo] * (1.0 - frac) + self.values[hi] * frac)
+    }
+
+    /// The median (0.5-quantile).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::Empty`] for an empty sample.
+    pub fn median(&self) -> Result<f64, StatsError> {
+        self.quantile(0.5)
+    }
+
+    /// Smallest observation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::Empty`] for an empty sample.
+    pub fn min(&self) -> Result<f64, StatsError> {
+        self.quantile(0.0)
+    }
+
+    /// Largest observation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::Empty`] for an empty sample.
+    pub fn max(&self) -> Result<f64, StatsError> {
+        self.quantile(1.0)
+    }
+
+    /// Fraction of observations strictly greater than `x` — the empirical
+    /// tail `Pr[X > x]` (0 for an empty sample).
+    pub fn tail_fraction(&self, x: f64) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        let idx = self.values.partition_point(|&v| v <= x);
+        (self.values.len() - idx) as f64 / self.values.len() as f64
+    }
+}
+
+impl Quantiles {
+    /// Freezes the collected sample into a [`SortedSample`] (one final
+    /// sort; all further accessors are `&self`).
+    pub fn into_sorted(mut self) -> SortedSample {
+        SortedSample::from_values(std::mem::take(self.all_values_mut()))
+    }
+}
+
+impl FromIterator<f64> for SortedSample {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        SortedSample::from_values(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_quantiles_semantics() {
+        let data: Vec<f64> = (0..57).map(|i| ((i * 31) % 57) as f64).collect();
+        let mut q: Quantiles = data.iter().copied().collect();
+        let s = SortedSample::from_values(data);
+        for i in 0..=20 {
+            let p = i as f64 / 20.0;
+            assert_eq!(s.quantile(p).unwrap(), q.quantile(p).unwrap());
+        }
+        assert_eq!(s.tail_fraction(28.0), q.tail_fraction(28.0));
+    }
+
+    #[test]
+    fn empty_errors() {
+        let s = SortedSample::new();
+        assert_eq!(s.median().unwrap_err(), StatsError::Empty);
+        assert_eq!(s.tail_fraction(0.0), 0.0);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn invalid_probability() {
+        let s = SortedSample::from_values(vec![1.0]);
+        assert!(matches!(
+            s.quantile(-0.5),
+            Err(StatsError::InvalidProbability(_))
+        ));
+        assert!(matches!(
+            s.quantile(1.5),
+            Err(StatsError::InvalidProbability(_))
+        ));
+    }
+
+    #[test]
+    fn quantiles_freeze_round_trip() {
+        let mut q = Quantiles::new();
+        q.push(5.0);
+        q.push(1.0);
+        let _ = q.median().unwrap(); // partially sorted state
+        q.push(3.0); // plus a dirty tail
+        let s = q.into_sorted();
+        assert_eq!(s.values(), &[1.0, 3.0, 5.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn nan_panics() {
+        SortedSample::from_values(vec![1.0, f64::NAN]);
+    }
+}

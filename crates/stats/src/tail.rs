@@ -39,7 +39,10 @@ pub fn poisson_lower_tail_bound(r: f64) -> f64 {
 ///
 /// Panics unless `0 < delta < 1` and `mu > 0`.
 pub fn chernoff_upper(mu: f64, delta: f64) -> f64 {
-    assert!(delta > 0.0 && delta < 1.0, "delta must be in (0,1), got {delta}");
+    assert!(
+        delta > 0.0 && delta < 1.0,
+        "delta must be in (0,1), got {delta}"
+    );
     assert!(mu > 0.0, "mean must be positive, got {mu}");
     (-delta * delta * mu / 2.0).exp()
 }
@@ -50,7 +53,10 @@ pub fn chernoff_upper(mu: f64, delta: f64) -> f64 {
 ///
 /// Panics unless `0 < delta < 1` and `mu > 0`.
 pub fn chernoff_lower(mu: f64, delta: f64) -> f64 {
-    assert!(delta > 0.0 && delta < 1.0, "delta must be in (0,1), got {delta}");
+    assert!(
+        delta > 0.0 && delta < 1.0,
+        "delta must be in (0,1), got {delta}"
+    );
     assert!(mu > 0.0, "mean must be positive, got {mu}");
     (-delta * delta * mu / 3.0).exp()
 }
@@ -98,7 +104,9 @@ mod tests {
 
     /// Exact `Pr[X <= m]` for `X ~ Poisson(r)`.
     fn poisson_cdf_exact(r: f64, m: u64) -> f64 {
-        (0..=m).map(|k| (-r + k as f64 * r.ln() - ln_factorial(k)).exp()).sum()
+        (0..=m)
+            .map(|k| (-r + k as f64 * r.ln() - ln_factorial(k)).exp())
+            .sum()
     }
 
     #[test]
@@ -145,9 +153,7 @@ mod tests {
     fn binomial_upper_tail(n: u64, p: f64, m: u64) -> f64 {
         let ln_choose = |n: u64, k: u64| ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k);
         (m..=n)
-            .map(|k| {
-                (ln_choose(n, k) + k as f64 * p.ln() + (n - k) as f64 * (1.0 - p).ln()).exp()
-            })
+            .map(|k| (ln_choose(n, k) + k as f64 * p.ln() + (n - k) as f64 * (1.0 - p).ln()).exp())
             .sum()
     }
 

@@ -19,7 +19,7 @@ fn main() {
         let net = DiligentNetwork::new(n, rho).expect("n large enough for this rho");
         let params = net.params();
         let runner = Runner::new(10, 99);
-        let mut summary = runner
+        let summary = runner
             .run(
                 || DiligentNetwork::new(n, rho).expect("validated above"),
                 CutRateAsync::new,

@@ -38,7 +38,10 @@ fn main() {
         let status = if Some((t + 1) as u64) == outcome.theorem_1_1_steps {
             "<- bound fires"
         } else if (t as f64) < outcome.spread_time.unwrap_or(f64::MAX)
-            && outcome.spread_time.map(|s| s < (t + 1) as f64).unwrap_or(false)
+            && outcome
+                .spread_time
+                .map(|s| s < (t + 1) as f64)
+                .unwrap_or(false)
         {
             "<- all informed"
         } else {

@@ -26,10 +26,14 @@ fn measure<N: DynamicNetwork>(
 ) -> f64 {
     let runner = Runner::new(trials, 7);
     let config = RunConfig::with_max_time(1e6);
-    let mut summary = if sync {
-        runner.run(&make, SyncPushPull::new, None, config).expect("valid config")
+    let summary = if sync {
+        runner
+            .run(&make, SyncPushPull::new, None, config)
+            .expect("valid config")
     } else {
-        runner.run(&make, CutRateAsync::new, None, config).expect("valid config")
+        runner
+            .run(&make, CutRateAsync::new, None, config)
+            .expect("valid config")
     };
     if mean {
         summary.mean()

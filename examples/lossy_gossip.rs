@@ -15,9 +15,7 @@ use rumor_spreading::prelude::*;
 fn mean_spread(loss: f64, downtime: f64, n: usize, trials: usize, seed: u64) -> f64 {
     let make_net = move || {
         let mut rng = SimRng::seed_from_u64(7);
-        StaticNetwork::new(
-            generators::random_connected_regular(n, 6, &mut rng).expect("even n*d"),
-        )
+        StaticNetwork::new(generators::random_connected_regular(n, 6, &mut rng).expect("even n*d"))
     };
     Runner::new(trials, seed)
         .run(
@@ -38,23 +36,38 @@ fn main() {
     let t0 = mean_spread(0.0, 0.0, n, trials, 100);
     println!("lossless mean spread time: {t0:.3}\n");
 
-    println!("{:>8} {:>14} {:>14} {:>10}", "loss", "measured mean", "1/(1-f) pred", "error");
+    println!(
+        "{:>8} {:>14} {:>14} {:>10}",
+        "loss", "measured mean", "1/(1-f) pred", "error"
+    );
     for f in [0.1, 0.25, 0.5, 0.75, 0.9] {
         let tf = mean_spread(f, 0.0, n, trials, 101 + (f * 100.0) as u64);
         let predicted = t0 / (1.0 - f);
         let err = (tf - predicted).abs() / predicted;
-        println!("{f:>8.2} {tf:>14.3} {predicted:>14.3} {:>9.1}%", 100.0 * err);
+        println!(
+            "{f:>8.2} {tf:>14.3} {predicted:>14.3} {:>9.1}%",
+            100.0 * err
+        );
     }
     println!("\n  i.i.d. loss only slows the clock: dropping each contact with probability f");
     println!("  thins every contact Poisson process by (1-f) — the process is otherwise");
     println!("  unchanged, so even at 90% loss the rumor reaches everyone.\n");
 
-    println!("{:>8} {:>14} {:>16}", "downtime", "measured mean", "vs i.i.d. equiv");
+    println!(
+        "{:>8} {:>14} {:>16}",
+        "downtime", "measured mean", "vs i.i.d. equiv"
+    );
     for d in [0.1, 0.25, 0.5] {
         let td = mean_spread(0.0, d, n, trials, 200 + (d * 100.0) as u64);
         // A node pair loses a contact when either endpoint is down:
         // marginally equivalent i.i.d. loss is 1-(1-d)^2.
-        let equiv = mean_spread(1.0 - (1.0 - d) * (1.0 - d), 0.0, n, trials, 300 + (d * 100.0) as u64);
+        let equiv = mean_spread(
+            1.0 - (1.0 - d) * (1.0 - d),
+            0.0,
+            n,
+            trials,
+            300 + (d * 100.0) as u64,
+        );
         println!("{d:>8.2} {td:>14.3} {equiv:>16.3}");
     }
     println!("\n  downtime correlates failures across whole windows, which costs more than");

@@ -19,7 +19,7 @@ fn main() {
     );
     for (agents, radius) in [(20usize, 1usize), (40, 1), (80, 1), (40, 2), (80, 2)] {
         let runner = Runner::new(10, 1234);
-        let mut summary = runner
+        let summary = runner
             .run(
                 || {
                     let mut rng = SimRng::seed_from_u64(agents as u64 * 31 + radius as u64);
@@ -32,7 +32,11 @@ fn main() {
             )
             .expect("valid config");
         let rate = summary.completion_rate();
-        let median = if summary.completed() > 0 { summary.median() } else { f64::NAN };
+        let median = if summary.completed() > 0 {
+            summary.median()
+        } else {
+            f64::NAN
+        };
         println!("{agents:>8} {radius:>10} {median:>16.1} {rate:>18.2}");
     }
     println!();

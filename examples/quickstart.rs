@@ -60,7 +60,7 @@ fn main() {
     // Multi-trial summary: the paper's spread time is a w.h.p. notion, so
     // report a high quantile over independent trials.
     let runner = Runner::new(50, seed);
-    let mut summary = runner
+    let summary = runner
         .run(
             || {
                 let mut rng = SimRng::seed_from_u64(seed);

@@ -31,6 +31,10 @@
 //! assert!(outcome.complete());
 //! ```
 
+//!
+//! See the workspace `README.md` (repo root) for the crate map and the
+//! window / event-stream engine duality.
+
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
@@ -40,18 +44,25 @@ pub use gossip_graph as graph;
 pub use gossip_sim as sim;
 pub use gossip_stats as stats;
 
+/// The declarative scenario registry (families, protocols, sweeps).
+pub use gossip_core::scenario;
+
 /// Commonly used items in one import.
 pub mod prelude {
     pub use gossip_core::bounds::{corollary_1_6, giakkoupis_bound, theorem_1_1, theorem_1_3};
     pub use gossip_core::profile::StepProfile;
+    pub use gossip_core::scenario::{
+        run_scenario, FamilySpec, ProtocolSpec, ScenarioReport, ScenarioSpec, SweepSpec,
+    };
     pub use gossip_dynamics::{
-        AbsoluteDiligentNetwork, AlternatingRegular, CliquePendant, DiligentNetwork, DynamicNetwork,
-        DynamicStar, EdgeMarkovian, MobileAgents, SequenceNetwork, StaticNetwork,
+        AbsoluteDiligentNetwork, AlternatingRegular, CliquePendant, DiligentNetwork,
+        DynamicNetwork, DynamicStar, EdgeDelta, EdgeMarkovian, MobileAgents, SequenceNetwork,
+        StaticNetwork,
     };
     pub use gossip_graph::{conductance, diligence, generators, Graph, GraphBuilder, NodeSet};
     pub use gossip_sim::{
-        AsyncPushPull, CutRateAsync, Flooding, LossyAsync, Protocol, RunConfig, Runner,
-        Simulation, SpreadOutcome, SyncPushPull,
+        AsyncPushPull, CutRateAsync, EventSimulation, Flooding, IncrementalProtocol, LossyAsync,
+        Protocol, RunConfig, Runner, Simulation, SpreadOutcome, SyncPushPull,
     };
-    pub use gossip_stats::{RunningMoments, Quantiles, SimRng};
+    pub use gossip_stats::{Quantiles, RunningMoments, SimRng, SortedSample};
 }

@@ -9,7 +9,7 @@ use rumor_spreading::prelude::*;
 fn sync_dynamic_star_exact_n() {
     for leaves in [10usize, 25, 50] {
         let runner = Runner::new(8, leaves as u64);
-        let mut summary = runner
+        let summary = runner
             .run(
                 move || DynamicStar::new(leaves).expect("valid"),
                 SyncPushPull::new,
@@ -29,7 +29,7 @@ fn sync_dynamic_star_exact_n() {
 fn async_dynamic_star_logarithmic() {
     let median = |leaves: usize| {
         let runner = Runner::new(10, 99);
-        let mut s = runner
+        let s = runner
             .run(
                 move || DynamicStar::new(leaves).expect("valid"),
                 CutRateAsync::new,
@@ -41,7 +41,10 @@ fn async_dynamic_star_logarithmic() {
     };
     let t200 = median(200);
     let t800 = median(800);
-    assert!(t800 < 2.0 * t200, "quadrupling n more than doubled async time: {t200} -> {t800}");
+    assert!(
+        t800 < 2.0 * t200,
+        "quadrupling n more than doubled async time: {t200} -> {t800}"
+    );
     assert!(t800 < 40.0, "async star time {t800} not logarithmic");
 }
 
@@ -83,11 +86,20 @@ fn clique_pendant_dichotomy() {
     let async_256 = measure(256, false);
     // Sync: a handful of rounds. Async: constant-probability bridge wait
     // of order n dominates the mean.
-    assert!(sync_256 <= 20.0, "sync on G1 should be logarithmic, got {sync_256}");
-    assert!(async_256 >= 15.0, "async on G1 should be linear-ish, got {async_256}");
+    assert!(
+        sync_256 <= 20.0,
+        "sync on G1 should be logarithmic, got {sync_256}"
+    );
+    assert!(
+        async_256 >= 15.0,
+        "async on G1 should be linear-ish, got {async_256}"
+    );
     // And the gap widens with n.
     let async_64 = measure(64, false);
-    assert!(async_256 > 2.0 * async_64, "async G1 gap did not widen: {async_64} -> {async_256}");
+    assert!(
+        async_256 > 2.0 * async_64,
+        "async G1 gap did not widen: {async_64} -> {async_256}"
+    );
 }
 
 /// The dichotomy is *dynamic-only*: on the static star, async and sync are
@@ -97,10 +109,10 @@ fn clique_pendant_dichotomy() {
 fn no_dichotomy_on_static_star() {
     let n = 200;
     let make = move || StaticNetwork::new(generators::star(n).expect("valid"));
-    let mut sync = Runner::new(10, 1)
+    let sync = Runner::new(10, 1)
         .run(make, SyncPushPull::new, Some(1), RunConfig::default())
         .expect("valid");
-    let mut async_ = Runner::new(10, 2)
+    let async_ = Runner::new(10, 2)
         .run(make, CutRateAsync::new, Some(1), RunConfig::default())
         .expect("valid");
     assert!(sync.median() <= 4.0, "static star sync is O(1) rounds");

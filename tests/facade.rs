@@ -18,7 +18,12 @@ fn prelude_covers_a_full_workflow() {
         .expect("valid");
     assert!(outcome.complete());
 
-    let profile = StepProfile { phi: 0.1, rho: 0.25, rho_abs: 0.25, connected: true };
+    let profile = StepProfile {
+        phi: 0.1,
+        rho: 0.25,
+        rho_abs: 0.25,
+        connected: true,
+    };
     let bound = theorem_1_1(|_| profile, 100, 1.0, 10_000_000).expect("fires");
     assert!(bound.steps > 0);
     let t_abs = theorem_1_3(|_| profile, 100, 10_000_000).expect("fires");
@@ -95,7 +100,12 @@ fn all_protocols_run_on_all_networks() {
 #[test]
 fn bound_modules_accessible_via_alias() {
     // The facade re-exports gossip-core as `bounds`.
-    let star = StepProfile { phi: 1.0, rho: 1.0, rho_abs: 1.0, connected: true };
+    let star = StepProfile {
+        phi: 1.0,
+        rho: 1.0,
+        rho_abs: 1.0,
+        connected: true,
+    };
     let r = bounds::bounds::theorem_1_1(|_| star, 64, 1.0, 100_000).expect("fires");
     assert!(r.accumulated >= r.target);
 }

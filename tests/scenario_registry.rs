@@ -1,0 +1,62 @@
+//! Facade-level integration: the scenario registry and the event-stream
+//! engine are reachable and consistent through `rumor_spreading::prelude`.
+
+use rumor_spreading::prelude::*;
+
+#[test]
+fn scenario_runs_through_the_facade() {
+    let spec = ScenarioSpec {
+        name: "facade-smoke".into(),
+        description: None,
+        family: FamilySpec::new("cycle"),
+        protocol: ProtocolSpec::new("async"),
+        sweep: {
+            let mut s = SweepSpec::over(vec![24, 48]);
+            s.trials = Some(6);
+            s.seed = Some(11);
+            s
+        },
+    };
+    let report: ScenarioReport = run_scenario(&spec).unwrap();
+    assert_eq!(report.engine, "event");
+    assert_eq!(report.rows.len(), 2);
+    assert!(report.rows.iter().all(|r| r.completed == 6));
+    // Cycles spread in Θ(n): doubling n should not shrink the median.
+    assert!(report.rows[1].median.unwrap() > report.rows[0].median.unwrap());
+}
+
+#[test]
+fn event_engine_and_scenario_agree() {
+    // Running the same protocol/network directly through EventSimulation
+    // matches what the registry reports (same seeds, same runner).
+    let mut spec = ScenarioSpec {
+        name: "facade-direct".into(),
+        description: None,
+        family: FamilySpec::new("complete"),
+        protocol: ProtocolSpec::new("async"),
+        sweep: SweepSpec::over(vec![16]),
+    };
+    spec.sweep.trials = Some(10);
+    spec.sweep.seed = Some(5);
+    let report = run_scenario(&spec).unwrap();
+
+    let runner = Runner::new(10, 5);
+    let summary = runner
+        .run_incremental(
+            || StaticNetwork::new(generators::complete(16).unwrap()),
+            CutRateAsync::new,
+            None,
+            RunConfig::with_max_time(1e5),
+        )
+        .unwrap();
+    assert_eq!(report.rows[0].completed, summary.completed());
+    assert!((report.rows[0].median.unwrap() - summary.median()).abs() < 1e-12);
+}
+
+#[test]
+fn toml_spec_round_trips_through_facade() {
+    let spec = ScenarioSpec::template();
+    let text = spec.to_toml_string();
+    let back = ScenarioSpec::from_toml_str(&text).unwrap();
+    assert_eq!(spec, back);
+}

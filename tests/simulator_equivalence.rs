@@ -7,11 +7,7 @@
 use rumor_spreading::prelude::*;
 use rumor_spreading::stats::ks;
 
-fn spread_times<P: Protocol>(
-    make_proto: impl Fn() -> P,
-    trials: u64,
-    seed: u64,
-) -> Vec<f64> {
+fn spread_times<P: Protocol>(make_proto: impl Fn() -> P, trials: u64, seed: u64) -> Vec<f64> {
     let base = SimRng::seed_from_u64(seed);
     let mut out = Vec::new();
     for i in 0..trials {

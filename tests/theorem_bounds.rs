@@ -25,7 +25,10 @@ fn theorem_1_1_holds_on_dynamic_star() {
         .expect("valid");
         let spread = out.spread_time.expect("star finishes");
         let bound = out.theorem_1_1_steps.expect("Φρ = 1 per step fires") as f64;
-        assert!(spread <= bound, "leaves={leaves}: spread {spread} > bound {bound}");
+        assert!(
+            spread <= bound,
+            "leaves={leaves}: spread {spread} > bound {bound}"
+        );
     }
 }
 
@@ -90,7 +93,7 @@ fn remark_1_4_ceiling_holds() {
     let n = 80;
     let delta = 8;
     let runner = Runner::new(5, 13);
-    let mut summary = runner
+    let summary = runner
         .run(
             move || AbsoluteDiligentNetwork::with_delta(n, delta).expect("valid"),
             CutRateAsync::new,
@@ -100,7 +103,11 @@ fn remark_1_4_ceiling_holds() {
         .expect("valid");
     assert_eq!(summary.completed(), 5);
     let ceiling = 2.0 * n as f64 * (n as f64 - 1.0);
-    assert!(summary.max() <= ceiling, "max {} above 2n(n-1) = {ceiling}", summary.max());
+    assert!(
+        summary.max() <= ceiling,
+        "max {} above 2n(n-1) = {ceiling}",
+        summary.max()
+    );
 }
 
 /// Corollary 1.6 via the facade: min of the two bounds is a valid bound on
@@ -124,5 +131,8 @@ fn corollary_1_6_on_alternating_regular() {
     .expect("valid");
     let spread = out.spread_time.expect("expander sequence finishes");
     let min_bound = out.corollary_1_6_steps().expect("at least one rule fires") as f64;
-    assert!(spread <= min_bound, "spread {spread} > min bound {min_bound}");
+    assert!(
+        spread <= min_bound,
+        "spread {spread} > min bound {min_bound}"
+    );
 }

@@ -1,0 +1,397 @@
+//! Offline vendored stand-in for `criterion`.
+//!
+//! Wall-clock benchmarking with the API subset the workspace's benches use:
+//! [`Criterion::benchmark_group`], `bench_function`, `bench_with_input`,
+//! [`BenchmarkId::new`], `group.sample_size`, [`criterion_group!`] and
+//! [`criterion_main!`]. No statistical machinery — each benchmark is warmed
+//! up briefly, then timed over an adaptive number of iterations and
+//! reported as mean ns/iter (plus min/max over samples).
+//!
+//! Extras this stand-in adds (used by the engine-comparison bench):
+//!
+//! * every measurement is recorded on the [`Criterion`] value and can be
+//!   read back with [`Criterion::measurement_ns`];
+//! * [`Criterion::record_metric`] stores derived scalar metrics (e.g.
+//!   speedup ratios);
+//! * [`Criterion::write_json`] dumps everything to a JSON file.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from discarding a computed value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier for one benchmark within a group: `function/parameter`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// One completed measurement.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Full benchmark path `group/function/parameter`.
+    pub id: String,
+    /// Mean wall-clock nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Fastest sample (ns/iter).
+    pub min_ns: f64,
+    /// Slowest sample (ns/iter).
+    pub max_ns: f64,
+    /// Total iterations timed.
+    pub iterations: u64,
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<(u64, Duration)>,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: also calibrates how many iterations fit in a sample.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+        let budget = self.measurement_time.as_secs_f64();
+        let total_iters = ((budget / per_iter.max(1e-9)) as u64).max(self.sample_size as u64);
+        let iters_per_sample = (total_iters / self.sample_size as u64).max(1);
+
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            self.samples.push((iters_per_sample, start.elapsed()));
+        }
+    }
+
+    fn finish(self, id: &str) -> Measurement {
+        let mut total_iters = 0u64;
+        let mut total = Duration::ZERO;
+        let mut min_ns = f64::INFINITY;
+        let mut max_ns: f64 = 0.0;
+        for &(iters, elapsed) in &self.samples {
+            total_iters += iters;
+            total += elapsed;
+            let per = elapsed.as_nanos() as f64 / iters.max(1) as f64;
+            min_ns = min_ns.min(per);
+            max_ns = max_ns.max(per);
+        }
+        let mean_ns = if total_iters == 0 {
+            0.0
+        } else {
+            total.as_nanos() as f64 / total_iters as f64
+        };
+        Measurement {
+            id: id.to_string(),
+            mean_ns,
+            min_ns: if min_ns.is_finite() { min_ns } else { 0.0 },
+            max_ns,
+            iterations: total_iters,
+        }
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// The benchmark harness: collects measurements across groups.
+pub struct Criterion {
+    measurements: Vec<Measurement>,
+    metrics: Vec<(String, f64)>,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurements: Vec::new(),
+            metrics: Vec::new(),
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets the warm-up budget.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    /// Benchmarks a function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        self.run_one(id.to_string(), None, f);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: String,
+        sample_size: Option<usize>,
+        mut f: F,
+    ) {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: sample_size.unwrap_or(self.sample_size),
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+        };
+        f(&mut bencher);
+        let m = bencher.finish(&id);
+        println!(
+            "{:<50} time: {:>12}/iter  ({} iters, min {}, max {})",
+            m.id,
+            format_ns(m.mean_ns),
+            m.iterations,
+            format_ns(m.min_ns),
+            format_ns(m.max_ns),
+        );
+        self.measurements.push(m);
+    }
+
+    /// Mean ns/iter of a completed benchmark, by full path.
+    pub fn measurement_ns(&self, id: &str) -> Option<f64> {
+        self.measurements
+            .iter()
+            .find(|m| m.id == id)
+            .map(|m| m.mean_ns)
+    }
+
+    /// All completed measurements.
+    pub fn measurements(&self) -> &[Measurement] {
+        &self.measurements
+    }
+
+    /// Records a derived scalar metric (reported alongside measurements).
+    pub fn record_metric(&mut self, name: impl Into<String>, value: f64) {
+        let name = name.into();
+        println!("{name:<50} metric: {value:.4}");
+        self.metrics.push((name, value));
+    }
+
+    /// Writes every measurement and metric to a JSON file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn write_json(&self, path: &str) -> std::io::Result<()> {
+        use serde::Value;
+        let benchmarks = Value::Seq(
+            self.measurements
+                .iter()
+                .map(|m| {
+                    Value::Map(vec![
+                        ("id".into(), Value::Str(m.id.clone())),
+                        ("mean_ns".into(), Value::Float(m.mean_ns)),
+                        ("min_ns".into(), Value::Float(m.min_ns)),
+                        ("max_ns".into(), Value::Float(m.max_ns)),
+                        ("iterations".into(), Value::Int(m.iterations as i64)),
+                    ])
+                })
+                .collect(),
+        );
+        let metrics = Value::Map(
+            self.metrics
+                .iter()
+                .map(|(k, v)| (k.clone(), Value::Float(*v)))
+                .collect(),
+        );
+        let doc = Value::Map(vec![
+            ("benchmarks".into(), benchmarks),
+            ("metrics".into(), metrics),
+        ]);
+        std::fs::write(path, serde_json::to_string_pretty(&doc) + "\n")
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    /// Benchmarks a closure under `group_name/id`.
+    pub fn bench_function<I: Into<BenchmarkId>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into().id);
+        self.criterion.run_one(full, self.sample_size, f);
+        self
+    }
+
+    /// Benchmarks a closure that receives a borrowed input.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        self.criterion
+            .run_one(full, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark entry point running the listed target functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+            $crate::finalize(&criterion);
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares `main` running one or more [`criterion_group!`]s.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+/// Writes collected results to `$CRITERION_JSON` when set; called by the
+/// [`criterion_group!`] runner after all targets complete.
+pub fn finalize(criterion: &Criterion) {
+    if let Ok(path) = std::env::var("CRITERION_JSON") {
+        if !path.is_empty() {
+            match criterion.write_json(&path) {
+                Ok(()) => println!("wrote benchmark JSON to {path}"),
+                Err(e) => eprintln!("failed to write {path}: {e}"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(20))
+    }
+
+    #[test]
+    fn times_a_cheap_function() {
+        let mut c = quick();
+        let mut group = c.benchmark_group("demo");
+        group.bench_with_input(BenchmarkId::new("square", 7usize), &7usize, |b, &x| {
+            b.iter(|| black_box(x * x))
+        });
+        group.finish();
+        let ns = c.measurement_ns("demo/square/7").expect("recorded");
+        assert!(ns > 0.0 && ns < 1e7, "implausible timing {ns}");
+    }
+
+    #[test]
+    fn json_output_round_trips() {
+        let mut c = quick();
+        c.bench_function("solo", |b| b.iter(|| black_box(1 + 1)));
+        c.record_metric("speedup/demo", 2.5);
+        let path = std::env::temp_dir().join("criterion_stub_test.json");
+        let path = path.to_str().unwrap();
+        c.write_json(path).unwrap();
+        let text = std::fs::read_to_string(path).unwrap();
+        let v = serde_json::parse_value(&text).unwrap();
+        assert!(v.get("benchmarks").is_some());
+        assert_eq!(
+            v.get("metrics").unwrap().get("speedup/demo"),
+            Some(&serde::Value::Float(2.5))
+        );
+        let _ = std::fs::remove_file(path);
+    }
+}

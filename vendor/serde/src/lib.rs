@@ -1,0 +1,459 @@
+//! Offline vendored stand-in for `serde`.
+//!
+//! The workspace builds hermetically (no crates.io), so this crate provides
+//! the serde surface the code base actually uses: `#[derive(Serialize,
+//! Deserialize)]` on named-field structs, plus blanket implementations for
+//! the standard types those structs contain. Instead of serde's
+//! visitor-based zero-copy architecture, everything round-trips through a
+//! self-describing [`Value`] tree — a deliberate simplification that the
+//! companion `serde_json` and `toml` vendored crates render to and parse
+//! from text.
+//!
+//! Semantics worth knowing:
+//!
+//! * a missing map key deserializes as [`Value::Null`], so `Option<T>`
+//!   fields are optional and everything else reports a descriptive error;
+//! * integers widen/narrow between `i64`/`u64`/`usize` with range checks;
+//! * floats accept integer-shaped input (TOML `max_time = 100000`);
+//! * `&'static str` deserializes by leaking — acceptable for the small
+//!   static catalogs that use it.
+
+#![forbid(unsafe_code)]
+
+// Lets the derive-generated `::serde::...` paths resolve inside this crate
+// itself (used by the unit tests below).
+extern crate self as serde;
+
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing data tree: the interchange format between
+/// [`Serialize`]/[`Deserialize`] and the text formats.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Absent / null.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer (covers every integer the workspace serializes).
+    Int(i64),
+    /// A double-precision float.
+    Float(f64),
+    /// A UTF-8 string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Value>),
+    /// An ordered string-keyed map (insertion order preserved).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Map accessor; `None` when the value is not a map.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// Sequence accessor; `None` when the value is not a sequence.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Looks up a key in a map value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_map()?
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+
+    /// A short name for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        }
+    }
+}
+
+/// Deserialization error: what was expected, what was found, where.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    message: String,
+}
+
+impl DeError {
+    /// Builds an error from a message.
+    pub fn message(message: impl Into<String>) -> Self {
+        DeError {
+            message: message.into(),
+        }
+    }
+
+    /// Builds an "expected X, found Y" error.
+    pub fn expected(expected: &str, found: &Value) -> Self {
+        DeError {
+            message: format!("expected {expected}, found {}", found.kind()),
+        }
+    }
+
+    /// Prefixes the error with a field-path context.
+    pub fn context(self, ctx: &str) -> Self {
+        DeError {
+            message: format!("{ctx}: {}", self.message),
+        }
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Conversion into a [`Value`] tree.
+pub trait Serialize {
+    /// Serializes `self` as a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// Conversion from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Deserializes from a [`Value`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeError`] when the value's shape does not match `Self`.
+    fn from_value(value: &Value) -> Result<Self, DeError>;
+}
+
+/// Looks up `key` in a struct map and deserializes the field, treating a
+/// missing key as [`Value::Null`] (so `Option` fields are optional).
+/// Used by the derive macro.
+pub fn de_field<T: Deserialize>(map: &[(String, Value)], key: &str) -> Result<T, DeError> {
+    match map.iter().find(|(k, _)| k == key) {
+        Some((_, v)) => T::from_value(v).map_err(|e| e.context(key)),
+        None => T::from_value(&Value::Null)
+            .map_err(|_| DeError::message(format!("missing field `{key}`"))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serialize impls
+// ---------------------------------------------------------------------------
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+macro_rules! impl_ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+    )*};
+}
+
+impl_ser_int!(i8, i16, i32, i64, u8, u16, u32);
+
+impl Serialize for u64 {
+    fn to_value(&self) -> Value {
+        i64::try_from(*self)
+            .map(Value::Int)
+            .unwrap_or(Value::Float(*self as f64))
+    }
+}
+
+impl Serialize for usize {
+    fn to_value(&self) -> Value {
+        i64::try_from(*self)
+            .map(Value::Int)
+            .unwrap_or(Value::Float(*self as f64))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Serialize for &str {
+    fn to_value(&self) -> Value {
+        Value::Str((*self).to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Seq(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_value(&self) -> Value {
+        Value::Seq(vec![
+            self.0.to_value(),
+            self.1.to_value(),
+            self.2.to_value(),
+        ])
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls
+// ---------------------------------------------------------------------------
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::expected("bool", other)),
+        }
+    }
+}
+
+fn value_to_i64(value: &Value) -> Result<i64, DeError> {
+    match value {
+        Value::Int(i) => Ok(*i),
+        Value::Float(f) if f.fract() == 0.0 && f.abs() < 2f64.powi(63) => Ok(*f as i64),
+        other => Err(DeError::expected("integer", other)),
+    }
+}
+
+macro_rules! impl_de_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let wide = value_to_i64(value)?;
+                <$t>::try_from(wide).map_err(|_| {
+                    DeError::message(format!(
+                        "integer {wide} out of range for {}", stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+
+impl_de_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize);
+
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Float(f) => Ok(*f),
+            Value::Int(i) => Ok(*i as f64),
+            other => Err(DeError::expected("float", other)),
+        }
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        f64::from_value(value).map(|f| f as f32)
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::expected("string", other)),
+        }
+    }
+}
+
+impl Deserialize for &'static str {
+    /// Leaks the string — only the small static experiment catalogs
+    /// deserialize into `&'static str`.
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        String::from_value(value).map(|s| &*Box::leak(s.into_boxed_str()))
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError::expected("sequence", other)),
+        }
+    }
+}
+
+fn seq_of_len(value: &Value, len: usize) -> Result<&[Value], DeError> {
+    let items = value
+        .as_seq()
+        .ok_or_else(|| DeError::expected("sequence (tuple)", value))?;
+    if items.len() != len {
+        return Err(DeError::message(format!(
+            "expected a {len}-tuple, found a sequence of {}",
+            items.len()
+        )));
+    }
+    Ok(items)
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let items = seq_of_len(value, 2)?;
+        Ok((A::from_value(&items[0])?, B::from_value(&items[1])?))
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let items = seq_of_len(value, 3)?;
+        Ok((
+            A::from_value(&items[0])?,
+            B::from_value(&items[1])?,
+            C::from_value(&items[2])?,
+        ))
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        Ok(value.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Inner {
+        x: f64,
+        tags: Vec<String>,
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Outer {
+        name: String,
+        count: usize,
+        maybe: Option<u64>,
+        pairs: Vec<(f64, usize)>,
+        inner: Inner,
+    }
+
+    #[test]
+    fn derive_round_trip() {
+        let v = Outer {
+            name: "demo".into(),
+            count: 3,
+            maybe: None,
+            pairs: vec![(0.5, 1), (1.5, 2)],
+            inner: Inner {
+                x: -2.25,
+                tags: vec!["a".into(), "b".into()],
+            },
+        };
+        let tree = v.to_value();
+        let back = Outer::from_value(&tree).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn missing_optional_field_is_none() {
+        let tree = Value::Map(vec![
+            ("name".into(), Value::Str("x".into())),
+            ("count".into(), Value::Int(0)),
+            ("pairs".into(), Value::Seq(vec![])),
+            (
+                "inner".into(),
+                Value::Map(vec![
+                    ("x".into(), Value::Int(1)),
+                    ("tags".into(), Value::Seq(vec![])),
+                ]),
+            ),
+        ]);
+        let v = Outer::from_value(&tree).unwrap();
+        assert_eq!(v.maybe, None);
+        assert_eq!(v.inner.x, 1.0);
+    }
+
+    #[test]
+    fn missing_required_field_errors() {
+        let tree = Value::Map(vec![("name".into(), Value::Str("x".into()))]);
+        let err = Outer::from_value(&tree).unwrap_err();
+        assert!(err.to_string().contains("count"), "{err}");
+    }
+
+    #[test]
+    fn int_range_checks() {
+        assert!(u8::from_value(&Value::Int(300)).is_err());
+        assert_eq!(u8::from_value(&Value::Int(255)).unwrap(), 255);
+        assert_eq!(f64::from_value(&Value::Int(7)).unwrap(), 7.0);
+    }
+}

@@ -1,0 +1,182 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! Written against raw `proc_macro` (no `syn`/`quote`: the build is
+//! hermetic). Supports exactly what the workspace derives on: plain,
+//! non-generic structs with named fields. Attributes (including doc
+//! comments) and visibility markers on the struct and its fields are
+//! skipped; anything else — enums, tuple structs, generics — produces a
+//! compile error naming the limitation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the deriving struct: its name and field names.
+struct StructShape {
+    name: String,
+    fields: Vec<String>,
+}
+
+fn parse_struct(input: TokenStream) -> Result<StructShape, String> {
+    let mut trees = input.into_iter().peekable();
+
+    // Skip outer attributes and visibility.
+    loop {
+        match trees.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                trees.next();
+                trees.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                trees.next();
+                // Optional pub(...) restriction.
+                if let Some(TokenTree::Group(g)) = trees.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        trees.next();
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    match trees.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => {}
+        Some(TokenTree::Ident(id)) => {
+            return Err(format!(
+                "vendored serde derive supports only structs, found `{id}`"
+            ));
+        }
+        other => return Err(format!("expected `struct`, found {other:?}")),
+    }
+
+    let name = match trees.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct name, found {other:?}")),
+    };
+
+    let body = loop {
+        match trees.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g,
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                return Err(format!(
+                    "vendored serde derive does not support generics (struct `{name}`)"
+                ));
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                return Err(format!(
+                    "vendored serde derive does not support tuple structs (struct `{name}`)"
+                ));
+            }
+            Some(_) => continue,
+            None => {
+                return Err(format!(
+                    "vendored serde derive needs named fields (struct `{name}`)"
+                ));
+            }
+        }
+    };
+
+    // Walk the field list: [attrs] [vis] name ':' type ','
+    let mut fields = Vec::new();
+    let mut body_trees = body.stream().into_iter().peekable();
+    loop {
+        // Skip attributes and visibility before the field name.
+        loop {
+            match body_trees.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    body_trees.next();
+                    body_trees.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    body_trees.next();
+                    if let Some(TokenTree::Group(g)) = body_trees.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            body_trees.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let field = match body_trees.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        match body_trees.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after `{field}`, found {other:?}")),
+        }
+        // Consume the type: everything until a top-level ','. Track angle
+        // bracket depth so `Vec<(f64, usize)>` commas don't split early
+        // (parenthesized tuples arrive as single Group trees).
+        let mut angle_depth = 0i32;
+        for tree in body_trees.by_ref() {
+            match &tree {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+        fields.push(field);
+    }
+
+    Ok(StructShape { name, fields })
+}
+
+fn compile_error(message: &str) -> TokenStream {
+    format!("compile_error!({message:?});")
+        .parse()
+        .expect("valid error tokens")
+}
+
+/// Derives `serde::Serialize` for a named-field struct.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_struct(input) {
+        Ok(s) => s,
+        Err(e) => return compile_error(&e),
+    };
+    let entries: String = shape
+        .fields
+        .iter()
+        .map(|f| format!("({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f})),"))
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Map(vec![{entries}])\n\
+             }}\n\
+         }}",
+        name = shape.name
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` for a named-field struct.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_struct(input) {
+        Ok(s) => s,
+        Err(e) => return compile_error(&e),
+    };
+    let fields: String = shape
+        .fields
+        .iter()
+        .map(|f| format!("{f}: ::serde::de_field(map, {f:?})?,"))
+        .collect();
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 let map = value.as_map().ok_or_else(|| {{\n\
+                     ::serde::DeError::expected(\"map for struct {name}\", value)\n\
+                 }})?;\n\
+                 ::std::result::Result::Ok({name} {{ {fields} }})\n\
+             }}\n\
+         }}",
+        name = shape.name
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}

@@ -1,0 +1,404 @@
+//! Offline vendored JSON front-end for the serde stand-in.
+//!
+//! Full JSON (RFC 8259) text ↔ [`serde::Value`] tree, plus the usual
+//! `from_str` / `to_string` / `to_string_pretty` entry points over the
+//! vendored [`serde::Serialize`]/[`serde::Deserialize`] traits.
+
+#![forbid(unsafe_code)]
+
+use serde::{DeError, Deserialize, Serialize, Value};
+use std::fmt;
+
+/// JSON parse or shape error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    fn new(message: impl Into<String>) -> Self {
+        Error {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<DeError> for Error {
+    fn from(e: DeError) -> Self {
+        Error::new(e.to_string())
+    }
+}
+
+/// Deserializes a value from JSON text.
+///
+/// # Errors
+///
+/// Returns [`Error`] on malformed JSON or a shape mismatch.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let value = parse_value(s)?;
+    Ok(T::from_value(&value)?)
+}
+
+/// Parses JSON text into a raw [`Value`].
+///
+/// # Errors
+///
+/// Returns [`Error`] on malformed JSON.
+pub fn parse_value(s: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after JSON value"));
+    }
+    Ok(v)
+}
+
+/// Serializes a value to compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(v: &T) -> String {
+    let mut out = String::new();
+    write_value(&v.to_value(), &mut out, None, 0);
+    out
+}
+
+/// Serializes a value to human-indented JSON.
+pub fn to_string_pretty<T: Serialize + ?Sized>(v: &T) -> String {
+    let mut out = String::new();
+    write_value(&v.to_value(), &mut out, Some(2), 0);
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+fn write_value(v: &Value, out: &mut String, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::Float(f) => write_float(*f, out),
+        Value::Str(s) => write_string(s, out),
+        Value::Seq(items) => write_compound(out, indent, depth, '[', ']', items.len(), |out, i| {
+            write_value(&items[i], out, indent, depth + 1);
+        }),
+        Value::Map(entries) => {
+            write_compound(out, indent, depth, '{', '}', entries.len(), |out, i| {
+                write_string(&entries[i].0, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(&entries[i].1, out, indent, depth + 1);
+            })
+        }
+    }
+}
+
+fn write_compound(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize),
+) {
+    out.push(open);
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(width) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(width * (depth + 1)));
+        }
+        item(out, i);
+    }
+    if len > 0 {
+        if let Some(width) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(width * depth));
+        }
+    }
+    out.push(close);
+}
+
+fn write_float(f: f64, out: &mut String) {
+    if f.is_finite() {
+        let s = format!("{f}");
+        out.push_str(&s);
+        // Keep the float/integer distinction round-trippable.
+        if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+            out.push_str(".0");
+        }
+    } else {
+        // JSON has no NaN/Inf; null is the conventional fallback.
+        out.push_str("null");
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: &str) -> Error {
+        Error::new(format!("{message} at byte {}", self.pos))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, value: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected `{lit}`")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => self.seq(),
+            Some(b'{') => self.map(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn seq(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Seq(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn map(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Map(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Map(entries));
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| self.err("invalid \\u escape"))?,
+                                16,
+                            )
+                            .map_err(|_| self.err("invalid \\u escape"))?;
+                            // Surrogates are not paired here; replace them.
+                            out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    let c = rest.chars().next().expect("non-empty checked above");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        if is_float {
+            text.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|_| self.err("invalid number"))
+        } else {
+            text.parse::<i64>()
+                .map(Value::Int)
+                .or_else(|_| text.parse::<f64>().map(Value::Float))
+                .map_err(|_| self.err("invalid number"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_value_tree() {
+        let text = r#"{"a": [1, 2.5, -3], "b": {"nested": true}, "c": null, "s": "hi\nthere"}"#;
+        let v = parse_value(text).unwrap();
+        assert_eq!(v.get("c"), Some(&Value::Null));
+        let rendered = to_string(&v);
+        let back = parse_value(&rendered).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn pretty_output_is_indented_and_parsable() {
+        let v = parse_value(r#"{"k": [1, 2], "m": {"x": 1.5}}"#).unwrap();
+        let pretty = to_string_pretty(&v);
+        assert!(pretty.contains("\n  "));
+        assert_eq!(parse_value(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_value("{broken").is_err());
+        assert!(parse_value("[1,]").is_err());
+        assert!(parse_value("12 34").is_err());
+    }
+
+    #[test]
+    fn int_float_distinction_preserved() {
+        assert_eq!(parse_value("3").unwrap(), Value::Int(3));
+        assert_eq!(parse_value("3.0").unwrap(), Value::Float(3.0));
+        assert_eq!(parse_value("1e6").unwrap(), Value::Float(1e6));
+        assert_eq!(to_string(&Value::Float(2.0)), "2.0");
+    }
+}

@@ -1,0 +1,506 @@
+//! Offline vendored TOML front-end for the serde stand-in.
+//!
+//! Implements the pragmatic subset of TOML the workspace's scenario files
+//! use:
+//!
+//! * `#` comments and blank lines;
+//! * `[table]` and `[dotted.table]` headers (created on demand);
+//! * `key = value` with basic strings (`"..."` with escapes), literal
+//!   strings (`'...'`), integers (with `_` separators), floats (including
+//!   exponent notation), booleans, and homogeneous-or-not arrays
+//!   `[v1, v2, ...]` spanning a single line;
+//! * bare and quoted keys, and dotted keys (`a.b = 1`).
+//!
+//! Multi-line strings, datetimes, arrays-of-tables (`[[x]]`), and inline
+//! tables are **not** supported and produce a descriptive error.
+
+#![forbid(unsafe_code)]
+
+use serde::{DeError, Deserialize, Serialize, Value};
+use std::fmt;
+
+/// TOML parse or shape error, with a line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    fn at(line_no: usize, message: impl Into<String>) -> Self {
+        Error {
+            message: format!("line {line_no}: {}", message.into()),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<DeError> for Error {
+    fn from(e: DeError) -> Self {
+        Error {
+            message: e.to_string(),
+        }
+    }
+}
+
+/// Deserializes a value from TOML text.
+///
+/// # Errors
+///
+/// Returns [`Error`] on unsupported or malformed TOML, or a shape mismatch.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let value = parse_value(s)?;
+    Ok(T::from_value(&value)?)
+}
+
+/// Parses TOML text into a raw [`Value`] map.
+///
+/// # Errors
+///
+/// Returns [`Error`] on unsupported or malformed TOML.
+pub fn parse_value(s: &str) -> Result<Value, Error> {
+    let mut root: Vec<(String, Value)> = Vec::new();
+    // Path of the currently open [table]; empty = root.
+    let mut current_path: Vec<String> = Vec::new();
+
+    for (idx, raw_line) in s.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = strip_comment(raw_line).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('[') {
+            if header.starts_with('[') {
+                return Err(Error::at(
+                    line_no,
+                    "arrays of tables `[[...]]` are not supported",
+                ));
+            }
+            let header = header
+                .strip_suffix(']')
+                .ok_or_else(|| Error::at(line_no, "unterminated table header"))?;
+            current_path = parse_key_path(header, line_no)?;
+            // Materialize the table so empty tables still deserialize.
+            ensure_table(&mut root, &current_path, line_no)?;
+            continue;
+        }
+        let eq =
+            find_unquoted(line, '=').ok_or_else(|| Error::at(line_no, "expected `key = value`"))?;
+        let key_part = line[..eq].trim();
+        let value_part = line[eq + 1..].trim();
+        if key_part.is_empty() {
+            return Err(Error::at(line_no, "empty key"));
+        }
+        if value_part.is_empty() {
+            return Err(Error::at(
+                line_no,
+                "missing value (multi-line values unsupported)",
+            ));
+        }
+        let mut path = current_path.clone();
+        path.extend(parse_key_path(key_part, line_no)?);
+        let value = parse_scalar_or_array(value_part, line_no)?;
+        insert(&mut root, &path, value, line_no)?;
+    }
+    Ok(Value::Map(root))
+}
+
+/// Serializes a value to TOML text (maps of scalars/arrays, with nested
+/// maps rendered as `[table]` sections).
+///
+/// # Errors
+///
+/// Returns [`Error`] when the value is not a map at the top level or nests
+/// maps inside arrays (unrepresentable in this subset).
+pub fn to_string<T: Serialize + ?Sized>(v: &T) -> Result<String, Error> {
+    let value = v.to_value();
+    let Value::Map(entries) = &value else {
+        return Err(Error {
+            message: "top-level TOML value must be a table".into(),
+        });
+    };
+    let mut out = String::new();
+    render_table(entries, "", &mut out)?;
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Rendering
+// ---------------------------------------------------------------------------
+
+fn render_table(entries: &[(String, Value)], prefix: &str, out: &mut String) -> Result<(), Error> {
+    // Scalars first, then sub-tables, per TOML convention. Null entries
+    // (unset Options) are omitted: a missing key deserializes to None.
+    for (k, v) in entries {
+        if matches!(v, Value::Null) {
+            continue;
+        }
+        if !matches!(v, Value::Map(_)) {
+            out.push_str(k);
+            out.push_str(" = ");
+            render_inline(v, out)?;
+            out.push('\n');
+        }
+    }
+    for (k, v) in entries {
+        if let Value::Map(sub) = v {
+            let path = if prefix.is_empty() {
+                k.clone()
+            } else {
+                format!("{prefix}.{k}")
+            };
+            out.push('\n');
+            out.push('[');
+            out.push_str(&path);
+            out.push_str("]\n");
+            render_table(sub, &path, out)?;
+        }
+    }
+    Ok(())
+}
+
+fn render_inline(v: &Value, out: &mut String) -> Result<(), Error> {
+    match v {
+        Value::Null => out.push_str("\"\""),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::Float(f) => {
+            let s = format!("{f}");
+            out.push_str(&s);
+            if !s.contains('.') && !s.contains('e') && !s.contains('E') && f.is_finite() {
+                out.push_str(".0");
+            }
+        }
+        Value::Str(s) => {
+            out.push('"');
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    c => out.push(c),
+                }
+            }
+            out.push('"');
+        }
+        Value::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                render_inline(item, out)?;
+            }
+            out.push(']');
+        }
+        Value::Map(_) => {
+            return Err(Error {
+                message: "inline tables are not representable".into(),
+            })
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Parsing helpers
+// ---------------------------------------------------------------------------
+
+/// Strips a `#` comment that is not inside a quoted string.
+fn strip_comment(line: &str) -> &str {
+    match find_unquoted(line, '#') {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+/// Finds the first `target` character outside single/double quotes.
+fn find_unquoted(line: &str, target: char) -> Option<usize> {
+    let mut in_double = false;
+    let mut in_single = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_double => escaped = true,
+            '"' if !in_single => in_double = !in_double,
+            '\'' if !in_double => in_single = !in_single,
+            c if c == target && !in_double && !in_single => return Some(i),
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Splits `a.b."c d"` into path segments.
+fn parse_key_path(s: &str, line_no: usize) -> Result<Vec<String>, Error> {
+    let mut parts = Vec::new();
+    for segment in split_unquoted(s, '.') {
+        let segment = segment.trim();
+        if segment.is_empty() {
+            return Err(Error::at(line_no, "empty key segment"));
+        }
+        let cleaned = if (segment.starts_with('"') && segment.ends_with('"') && segment.len() >= 2)
+            || (segment.starts_with('\'') && segment.ends_with('\'') && segment.len() >= 2)
+        {
+            segment[1..segment.len() - 1].to_string()
+        } else {
+            if !segment
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+            {
+                return Err(Error::at(line_no, format!("invalid bare key `{segment}`")));
+            }
+            segment.to_string()
+        };
+        parts.push(cleaned);
+    }
+    Ok(parts)
+}
+
+fn split_unquoted(s: &str, sep: char) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut start = 0;
+    let mut rest = s;
+    let mut offset = 0;
+    while let Some(i) = find_unquoted(rest, sep) {
+        parts.push(&s[start..offset + i]);
+        start = offset + i + sep.len_utf8();
+        rest = &s[start..];
+        offset = start;
+    }
+    parts.push(&s[start..]);
+    parts
+}
+
+fn ensure_table<'m>(
+    root: &'m mut Vec<(String, Value)>,
+    path: &[String],
+    line_no: usize,
+) -> Result<&'m mut Vec<(String, Value)>, Error> {
+    let mut current = root;
+    for segment in path {
+        let idx = match current.iter().position(|(k, _)| k == segment) {
+            Some(i) => i,
+            None => {
+                current.push((segment.clone(), Value::Map(Vec::new())));
+                current.len() - 1
+            }
+        };
+        match &mut current[idx].1 {
+            Value::Map(sub) => current = sub,
+            _ => {
+                return Err(Error::at(
+                    line_no,
+                    format!("key `{segment}` is both a value and a table"),
+                ))
+            }
+        }
+    }
+    Ok(current)
+}
+
+fn insert(
+    root: &mut Vec<(String, Value)>,
+    path: &[String],
+    value: Value,
+    line_no: usize,
+) -> Result<(), Error> {
+    let (last, parents) = path.split_last().expect("key paths are non-empty");
+    let table = ensure_table(root, parents, line_no)?;
+    if table.iter().any(|(k, _)| k == last) {
+        return Err(Error::at(line_no, format!("duplicate key `{last}`")));
+    }
+    table.push((last.clone(), value));
+    Ok(())
+}
+
+fn parse_scalar_or_array(s: &str, line_no: usize) -> Result<Value, Error> {
+    let s = s.trim();
+    if let Some(body) = s.strip_prefix('[') {
+        let body = body
+            .strip_suffix(']')
+            .ok_or_else(|| Error::at(line_no, "unterminated array (arrays must be one line)"))?;
+        let body = body.trim();
+        if body.is_empty() {
+            return Ok(Value::Seq(Vec::new()));
+        }
+        let mut items = Vec::new();
+        for part in split_top_level_commas(body) {
+            let part = part.trim();
+            if part.is_empty() {
+                continue; // trailing comma
+            }
+            items.push(parse_scalar_or_array(part, line_no)?);
+        }
+        return Ok(Value::Seq(items));
+    }
+    if s.starts_with('{') {
+        return Err(Error::at(line_no, "inline tables are not supported"));
+    }
+    parse_scalar(s, line_no)
+}
+
+/// Splits an array body on commas that are outside quotes and brackets.
+fn split_top_level_commas(s: &str) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut depth = 0i32;
+    let mut in_double = false;
+    let mut in_single = false;
+    let mut escaped = false;
+    let mut start = 0;
+    for (i, c) in s.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_double => escaped = true,
+            '"' if !in_single => in_double = !in_double,
+            '\'' if !in_double => in_single = !in_single,
+            '[' if !in_double && !in_single => depth += 1,
+            ']' if !in_double && !in_single => depth -= 1,
+            ',' if !in_double && !in_single && depth == 0 => {
+                parts.push(&s[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    parts.push(&s[start..]);
+    parts
+}
+
+fn parse_scalar(s: &str, line_no: usize) -> Result<Value, Error> {
+    if let Some(body) = s.strip_prefix('"') {
+        let body = body
+            .strip_suffix('"')
+            .ok_or_else(|| Error::at(line_no, "unterminated string"))?;
+        return Ok(Value::Str(unescape(body, line_no)?));
+    }
+    if let Some(body) = s.strip_prefix('\'') {
+        let body = body
+            .strip_suffix('\'')
+            .ok_or_else(|| Error::at(line_no, "unterminated literal string"))?;
+        return Ok(Value::Str(body.to_string()));
+    }
+    match s {
+        "true" => return Ok(Value::Bool(true)),
+        "false" => return Ok(Value::Bool(false)),
+        _ => {}
+    }
+    let numeric: String = s.chars().filter(|&c| c != '_').collect();
+    if !numeric.contains(['.', 'e', 'E']) {
+        if let Ok(i) = numeric.parse::<i64>() {
+            return Ok(Value::Int(i));
+        }
+    }
+    if let Ok(f) = numeric.parse::<f64>() {
+        return Ok(Value::Float(f));
+    }
+    Err(Error::at(line_no, format!("unsupported value `{s}`")))
+}
+
+fn unescape(s: &str, line_no: usize) -> Result<String, Error> {
+    let mut out = String::new();
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push('\n'),
+            Some('t') => out.push('\t'),
+            Some('r') => out.push('\r'),
+            Some('"') => out.push('"'),
+            Some('\\') => out.push('\\'),
+            Some('u') => {
+                let hex: String = chars.by_ref().take(4).collect();
+                let code = u32::from_str_radix(&hex, 16)
+                    .map_err(|_| Error::at(line_no, "invalid \\u escape"))?;
+                out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+            }
+            other => return Err(Error::at(line_no, format!("invalid escape `\\{other:?}`"))),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_tables_and_scalars() {
+        let text = r#"
+# scenario
+name = "demo"          # inline comment
+count = 1_000
+rate = 1e6
+half = 0.5
+on = true
+
+[family]
+kind = "edge-markovian"
+p = 0.1
+sizes = [32, 64, 128]
+
+[family.deep]
+label = 'lit # not comment'
+"#;
+        let v = parse_value(text).unwrap();
+        assert_eq!(v.get("name"), Some(&Value::Str("demo".into())));
+        assert_eq!(v.get("count"), Some(&Value::Int(1000)));
+        assert_eq!(v.get("rate"), Some(&Value::Float(1e6)));
+        assert_eq!(v.get("on"), Some(&Value::Bool(true)));
+        let family = v.get("family").unwrap();
+        assert_eq!(family.get("p"), Some(&Value::Float(0.1)));
+        assert_eq!(
+            family.get("sizes"),
+            Some(&Value::Seq(vec![
+                Value::Int(32),
+                Value::Int(64),
+                Value::Int(128)
+            ]))
+        );
+        assert_eq!(
+            family.get("deep").unwrap().get("label"),
+            Some(&Value::Str("lit # not comment".into()))
+        );
+    }
+
+    #[test]
+    fn dotted_keys() {
+        let v = parse_value("a.b = 2\n").unwrap();
+        assert_eq!(v.get("a").unwrap().get("b"), Some(&Value::Int(2)));
+    }
+
+    #[test]
+    fn duplicate_key_rejected() {
+        assert!(parse_value("a = 1\na = 2\n").is_err());
+    }
+
+    #[test]
+    fn unsupported_syntax_rejected() {
+        assert!(parse_value("[[points]]\n").is_err());
+        assert!(parse_value("x = {a = 1}\n").is_err());
+    }
+
+    #[test]
+    fn render_round_trip() {
+        let text = "name = \"demo\"\ncount = 7\n\n[sub]\nxs = [1, 2, 3]\nf = 0.25\n";
+        let v = parse_value(text).unwrap();
+        let rendered = to_string(&v).unwrap();
+        assert_eq!(parse_value(&rendered).unwrap(), v);
+    }
+}
