@@ -1,36 +1,58 @@
-//! Incremental (event-stream) vs window-based engine comparison.
+//! Incremental (event-stream) vs window-based engine comparison, and
+//! implicit vs materialized topology-backend comparison.
 //!
-//! Benchmarks full spread-to-completion runs of `CutRateAsync` through
-//! both engines on complete and circulant (d = 16) graphs across
-//! n ∈ {1e3, 1e4, 1e5}, then records the per-size speedups and writes
-//! everything to `BENCH_engine.json` in the invoking directory.
+//! Benchmarks full spread-to-completion runs of `CutRateAsync`:
 //!
-//! The window engine rebuilds the cut rates from scratch at every unit
-//! window (`O(vol(smaller cut side))` per window); the event engine builds
-//! them once and repairs them per informed node (`O(deg(v))`). On sparse
-//! circulants, where the spread crosses thousands of windows, the gap is
-//! the whole point of the event-stream architecture.
+//! * `engine_complete` — the **implicit** complete-graph backend (the
+//!   default since the topology-backend PR) across n ∈ {1e3, 1e4, 1e5}.
+//!   The closed-form cut rate makes a run O(n) total, so n = 1e5 — whose
+//!   CSR adjacency alone would be ≈ 40 GB — runs in milliseconds with
+//!   O(n) peak memory.
+//! * `engine_complete_mat` — the materialized CSR baseline (what every
+//!   run paid before this PR) at n ∈ {1e3, 1e4}; the
+//!   `backend_speedup/complete/n` metrics quantify implicit ÷ materialized
+//!   on the event engine.
+//! * `engine_circulant` — sparse d = 16 circulant (materialized), where
+//!   the window-vs-event gap is the original event-stream story.
 //!
-//! `complete/100000` is gated behind `BENCH_ENGINE_FULL=1`: its CSR
-//! representation alone is ≈ 40 GB and generation dominates any timing.
+//! Metrics written to `BENCH_engine.json` (workspace root):
+//! `speedup/<family>/<n>` = window ÷ event per backend, and
+//! `backend_speedup/complete/<n>` = materialized-event ÷ implicit-event.
+//!
+//! Env knobs:
+//! * `BENCH_ENGINE_SMOKE=1` — one fast iteration per group, no JSON
+//!   rewrite: the CI regression tripwire (a backend perf regression shows
+//!   up as a wall-clock blowout or an assertion failure, loudly).
+//! * `BENCH_ENGINE_FULL=1` — adds the materialized complete graph at
+//!   n = 1e5 (≈ 40 GB CSR; generation dominates) — normally pointless,
+//!   kept for one-off comparisons on big-memory hosts.
 //!
 //! Run with: `cargo bench -p gossip-bench --bench engine`
 
 use criterion::{BenchmarkId, Criterion};
 use gossip_dynamics::StaticNetwork;
-use gossip_graph::{generators, Graph};
+use gossip_graph::{generators, Topology};
 use gossip_sim::{CutRateAsync, EventSimulation, RunConfig, Simulation};
 use gossip_stats::SimRng;
 use std::time::Duration;
 
 const CIRCULANT_DEGREE: usize = 16;
 
-fn bench_pair(c: &mut Criterion, family: &str, n: usize, graph: &Graph) {
-    let mut group = c.benchmark_group(format!("engine_{family}"));
-    group.sample_size(if n >= 100_000 { 3 } else { 5 });
+struct Knobs {
+    smoke: bool,
+    full: bool,
+}
 
-    group.bench_with_input(BenchmarkId::new("window", n), &n, |b, _| {
-        let mut net = StaticNetwork::new(graph.clone());
+fn bench_pair(c: &mut Criterion, group: &str, n: usize, topology: &Topology, knobs: &Knobs) {
+    let mut g = c.benchmark_group(group);
+    if knobs.smoke {
+        g.sample_size(2);
+    } else {
+        g.sample_size(if n >= 100_000 { 3 } else { 5 });
+    }
+
+    g.bench_with_input(BenchmarkId::new("window", n), &n, |b, _| {
+        let mut net = StaticNetwork::from_topology(topology.clone());
         let mut sim = Simulation::new(CutRateAsync::new(), RunConfig::default());
         let mut seed = 0u64;
         b.iter(|| {
@@ -41,8 +63,8 @@ fn bench_pair(c: &mut Criterion, family: &str, n: usize, graph: &Graph) {
             o
         });
     });
-    group.bench_with_input(BenchmarkId::new("event", n), &n, |b, _| {
-        let mut net = StaticNetwork::new(graph.clone());
+    g.bench_with_input(BenchmarkId::new("event", n), &n, |b, _| {
+        let mut net = StaticNetwork::from_topology(topology.clone());
         let mut sim = EventSimulation::new(CutRateAsync::new(), RunConfig::default());
         let mut seed = 0u64;
         b.iter(|| {
@@ -53,42 +75,78 @@ fn bench_pair(c: &mut Criterion, family: &str, n: usize, graph: &Graph) {
             o
         });
     });
-    group.finish();
+    g.finish();
 
     let window = c
-        .measurement_ns(&format!("engine_{family}/window/{n}"))
+        .measurement_ns(&format!("{group}/window/{n}"))
         .expect("window measurement recorded");
     let event = c
-        .measurement_ns(&format!("engine_{family}/event/{n}"))
+        .measurement_ns(&format!("{group}/event/{n}"))
         .expect("event measurement recorded");
+    let family = group.strip_prefix("engine_").unwrap_or(group);
     c.record_metric(format!("speedup/{family}/{n}"), window / event);
 }
 
 fn main() {
-    let full = std::env::var("BENCH_ENGINE_FULL").is_ok_and(|v| v == "1");
+    let knobs = Knobs {
+        smoke: std::env::var("BENCH_ENGINE_SMOKE").is_ok_and(|v| v == "1"),
+        full: std::env::var("BENCH_ENGINE_FULL").is_ok_and(|v| v == "1"),
+    };
     let mut c = Criterion::default()
         .sample_size(5)
-        .warm_up_time(Duration::from_millis(200))
-        .measurement_time(Duration::from_secs(2));
+        .warm_up_time(Duration::from_millis(if knobs.smoke { 10 } else { 200 }))
+        .measurement_time(Duration::from_millis(if knobs.smoke { 50 } else { 2000 }));
 
-    let complete_sizes: &[usize] = if full {
+    // Implicit complete backend: O(n) per run, so 1e5 is routine.
+    let implicit_sizes: &[usize] = if knobs.smoke {
+        &[1_000]
+    } else {
+        &[1_000, 10_000, 100_000]
+    };
+    for &n in implicit_sizes {
+        let topology = Topology::complete(n).expect("valid n");
+        bench_pair(&mut c, "engine_complete", n, &topology, &knobs);
+    }
+
+    // Materialized CSR baseline for the implicit-vs-materialized metric.
+    let mat_sizes: &[usize] = if knobs.smoke {
+        &[1_000]
+    } else if knobs.full {
         &[1_000, 10_000, 100_000]
     } else {
         &[1_000, 10_000]
     };
-    for &n in complete_sizes {
-        let graph = generators::complete(n).expect("valid n");
-        bench_pair(&mut c, "complete", n, &graph);
+    for &n in mat_sizes {
+        let topology = Topology::materialized(generators::complete(n).expect("valid n"));
+        bench_pair(&mut c, "engine_complete_mat", n, &topology, &knobs);
+        let implicit_event = c.measurement_ns(&format!("engine_complete/event/{n}"));
+        let mat_event = c.measurement_ns(&format!("engine_complete_mat/event/{n}"));
+        if let (Some(imp), Some(mat)) = (implicit_event, mat_event) {
+            c.record_metric(format!("backend_speedup/complete/{n}"), mat / imp);
+        }
     }
-    if !full {
-        println!("skipped complete/100000 (≈ 40 GB CSR); set BENCH_ENGINE_FULL=1 to include it");
+    if !knobs.full && !knobs.smoke {
+        println!(
+            "skipped engine_complete_mat/100000 (≈ 40 GB CSR); set BENCH_ENGINE_FULL=1 to include"
+        );
     }
 
-    for &n in &[1_000usize, 10_000, 100_000] {
-        let graph = generators::regular_circulant(n, CIRCULANT_DEGREE).expect("valid circulant");
-        bench_pair(&mut c, "circulant", n, &graph);
+    let circulant_sizes: &[usize] = if knobs.smoke {
+        &[1_000]
+    } else {
+        &[1_000, 10_000, 100_000]
+    };
+    for &n in circulant_sizes {
+        let topology = Topology::materialized(
+            generators::regular_circulant(n, CIRCULANT_DEGREE).expect("valid circulant"),
+        );
+        bench_pair(&mut c, "engine_circulant", n, &topology, &knobs);
     }
 
+    if knobs.smoke {
+        println!("smoke mode: measurements not persisted");
+        return;
+    }
     // Cargo runs benches with the package directory as cwd; anchor the
     // summary at the workspace root instead.
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");

@@ -9,7 +9,7 @@
 
 use crate::Scale;
 use gossip_core::{experiment, report};
-use gossip_graph::{generators, NodeSet};
+use gossip_graph::{NodeSet, Topology};
 use gossip_sim::{Protocol, TwoPush};
 use gossip_stats::series::Series;
 use gossip_stats::{RunningMoments, SimRng};
@@ -27,7 +27,7 @@ pub fn run(scale: Scale) -> String {
     let mut ok = true;
     let mut series = Series::new("delta", vec!["E[I_1]".into(), "Var[I_1]".into()]);
     for &delta in &deltas {
-        let g = generators::regular_circulant(m, delta).expect("delta even, m large");
+        let g = Topology::regular_circulant(m, delta).expect("delta even, m large");
         let mut moments = RunningMoments::new();
         let base = SimRng::seed_from_u64(1010 + delta as u64);
         for i in 0..trials {

@@ -10,13 +10,13 @@
 
 use crate::Scale;
 use gossip_core::{experiment, predictions, report};
-use gossip_graph::{GraphBuilder, NodeId, NodeSet};
+use gossip_graph::{GraphBuilder, NodeId, NodeSet, Topology};
 use gossip_sim::{ForwardTwoPush, Protocol};
 use gossip_stats::series::Series;
 use gossip_stats::SimRng;
 
 /// Builds the string of complete bipartite clusters and its cluster list.
-fn bipartite_string(k: usize, delta: usize) -> (gossip_graph::Graph, Vec<Vec<NodeId>>) {
+fn bipartite_string(k: usize, delta: usize) -> (Topology, Vec<Vec<NodeId>>) {
     let layers = k + 1;
     let n = layers * delta;
     let clusters: Vec<Vec<NodeId>> = (0..layers)
@@ -30,7 +30,7 @@ fn bipartite_string(k: usize, delta: usize) -> (gossip_graph::Graph, Vec<Vec<Nod
             }
         }
     }
-    (b.build(), clusters)
+    (Topology::materialized(b.build()), clusters)
 }
 
 /// Runs E11 and returns the report.

@@ -49,9 +49,10 @@ fn min_ratios<N: DynamicNetwork>(
                 break;
             }
             let g = net.topology(t, &informed, &mut rng).clone();
-            let lambda = pushpull_cut_rate(&g, &informed);
-            let abs_rate = absolute_cut_rate(&g, &informed);
-            let profile = gossip_dynamics::profile::exact_profile(&g)
+            let graph = g.graph_cow();
+            let lambda = pushpull_cut_rate(&graph, &informed);
+            let abs_rate = absolute_cut_rate(&graph, &informed);
+            let profile = gossip_dynamics::profile::exact_profile(&graph)
                 .expect("families sized for exact enumeration");
             let m = informed.len().min(n - informed.len()) as f64;
             let bound_11 = profile.phi * profile.rho * m;

@@ -278,10 +278,13 @@ pub fn profile(args: &Args) -> Result<String, CliError> {
     let mut sum13 = 0.0;
     for t in 0..windows {
         let g = net.topology(t, &informed, &mut rng).clone();
-        let p = if exact {
-            exact_profile(&g).map_err(CliError::Graph)?
-        } else {
-            conservative_profile(&g, iters)
+        let p = {
+            let graph = g.graph_cow();
+            if exact {
+                exact_profile(&graph).map_err(CliError::Graph)?
+            } else {
+                conservative_profile(&graph, iters)
+            }
         };
         sum11 += p.theorem_1_1_increment();
         sum13 += p.theorem_1_3_increment();
@@ -329,7 +332,10 @@ pub fn bounds(args: &Args) -> Result<String, CliError> {
     // unchanged graph each window would dominate the command's runtime).
     let mode = if net.is_static() {
         let mut rng = SimRng::seed_from_u64(seed);
-        let g = net.topology(0, &NodeSet::new(n), &mut rng).clone();
+        let g = net
+            .topology(0, &NodeSet::new(n), &mut rng)
+            .graph_cow()
+            .into_owned();
         net.reset();
         if n <= EXACT_ENUMERATION_LIMIT {
             ProfileMode::Fixed(exact_profile(&g).map_err(CliError::Graph)?)

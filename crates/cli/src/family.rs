@@ -65,6 +65,7 @@ pub fn spec_from_args(name: &str, args: &Args) -> Result<FamilySpec, CliError> {
             "agents" => spec.agents = opt_usize(args, "agents")?,
             "radius" => spec.radius = opt_usize(args, "radius")?,
             "dim" => spec.dim = opt_usize(args, "dim")?,
+            "backend" => spec.backend = args.opt("backend")?.map(str::to_string),
             other => unreachable!("unmapped registry param `{other}`"),
         }
     }

@@ -14,6 +14,8 @@
 //!
 //! [family]
 //! kind = "dynamic-star"
+//! # backend = "auto" | "implicit" | "materialized" (structured static
+//! # families; implicit closed-form representation is the default)
 //!
 //! [protocol]
 //! kind = "async"
@@ -34,7 +36,7 @@ use gossip_dynamics::{
     AbsoluteDiligentNetwork, AlternatingRegular, CliquePendant, DiligentNetwork, DynamicNetwork,
     DynamicStar, EdgeMarkovian, MobileAgents, StaticNetwork,
 };
-use gossip_graph::{generators, GraphError};
+use gossip_graph::{generators, GraphError, Topology};
 use gossip_sim::{
     AsyncPull, AsyncPush, AsyncPushPull, CutRateAsync, Flooding, IncrementalProtocol, LossyAsync,
     Protocol, RunConfig, Runner, SimError, SyncPull, SyncPush, SyncPushPull, TwoPush,
@@ -88,6 +90,12 @@ pub struct FamilySpec {
     pub radius: Option<usize>,
     /// Hypercube dimension (`hypercube`).
     pub dim: Option<usize>,
+    /// Topology backend: `"auto"` (default — closed-form implicit
+    /// representation where one exists), `"implicit"` (require it), or
+    /// `"materialized"` (force CSR adjacency; for equivalence checks and
+    /// baselines). Families without the requested representation reject
+    /// non-`auto` values at build time.
+    pub backend: Option<String>,
     /// Seed for randomized family construction (default 1).
     pub build_seed: Option<u64>,
 }
@@ -106,6 +114,7 @@ impl FamilySpec {
             agents: None,
             radius: None,
             dim: None,
+            backend: None,
             build_seed: None,
         }
     }
@@ -283,13 +292,13 @@ pub fn families() -> Vec<RegistryEntry> {
     vec![
         RegistryEntry {
             name: "complete",
-            params: &[],
-            synopsis: "static complete graph K_n",
+            params: &["backend"],
+            synopsis: "static complete graph K_n (implicit by default)",
         },
         RegistryEntry {
             name: "star",
-            params: &[],
-            synopsis: "static star K_{1,n-1} (node 0 center)",
+            params: &["backend"],
+            synopsis: "static star K_{1,n-1} (node 0 center, implicit by default)",
         },
         RegistryEntry {
             name: "path",
@@ -323,8 +332,8 @@ pub fn families() -> Vec<RegistryEntry> {
         },
         RegistryEntry {
             name: "circulant",
-            params: &["d"],
-            synopsis: "static d-regular circulant (consecutive offsets)",
+            params: &["d", "backend"],
+            synopsis: "static d-regular circulant (consecutive offsets, implicit by default)",
         },
         RegistryEntry {
             name: "dynamic-star",
@@ -434,60 +443,139 @@ pub fn protocol_is_incremental(kind: &str) -> bool {
 // Builders
 // ---------------------------------------------------------------------------
 
+/// Which topology representation a family spec requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BackendChoice {
+    /// Closed-form implicit representation where one exists.
+    Auto,
+    /// Require the implicit representation (error where none exists).
+    Implicit,
+    /// Force CSR adjacency lists.
+    Materialized,
+}
+
+impl BackendChoice {
+    fn parse(s: Option<&str>) -> Result<Self, ScenarioError> {
+        match s.unwrap_or("auto") {
+            "auto" => Ok(BackendChoice::Auto),
+            "implicit" => Ok(BackendChoice::Implicit),
+            "materialized" => Ok(BackendChoice::Materialized),
+            other => Err(ScenarioError::Invalid(format!(
+                "unknown backend `{other}` (auto, implicit, materialized)"
+            ))),
+        }
+    }
+}
+
 /// Builds the family selected by `spec` at size `n`.
 ///
 /// # Errors
 ///
 /// [`ScenarioError::UnknownFamily`] for unregistered kinds;
-/// [`ScenarioError::Graph`] when the constructor rejects the parameters.
+/// [`ScenarioError::Graph`] when the constructor rejects the parameters;
+/// [`ScenarioError::Invalid`] when `backend` requests a representation the
+/// family does not have.
 pub fn build_family(spec: &FamilySpec, n: usize) -> Result<Box<dyn DynamicNetwork>, ScenarioError> {
     let mut rng = SimRng::seed_from_u64(spec.build_seed.unwrap_or(1));
+    let backend = BackendChoice::parse(spec.backend.as_deref())?;
+    // Static structured families: implicit unless materialization is
+    // forced.
+    let choose = |topo: Topology| -> Box<dyn DynamicNetwork> {
+        if backend == BackendChoice::Materialized {
+            Box::new(StaticNetwork::new(topo.materialize()))
+        } else {
+            Box::new(StaticNetwork::from_topology(topo))
+        }
+    };
+    // Families with only one representation reject explicit requests for
+    // the other one.
+    let implicit_only = || -> Result<(), ScenarioError> {
+        if backend == BackendChoice::Materialized {
+            return Err(ScenarioError::Invalid(format!(
+                "family `{}` has no materialized backend",
+                spec.kind
+            )));
+        }
+        Ok(())
+    };
+    let materialized_only = || -> Result<(), ScenarioError> {
+        if backend == BackendChoice::Implicit {
+            return Err(ScenarioError::Invalid(format!(
+                "family `{}` has no implicit backend",
+                spec.kind
+            )));
+        }
+        Ok(())
+    };
     let net: Box<dyn DynamicNetwork> = match spec.kind.as_str() {
-        "complete" => Box::new(StaticNetwork::new(generators::complete(n)?)),
-        "star" => Box::new(StaticNetwork::new(generators::star(n)?)),
-        "path" => Box::new(StaticNetwork::new(generators::path(n)?)),
-        "cycle" => Box::new(StaticNetwork::new(generators::cycle(n)?)),
+        "complete" => choose(Topology::complete(n)?),
+        "star" => choose(Topology::star(n, 0)?),
+        "path" => {
+            materialized_only()?;
+            Box::new(StaticNetwork::new(generators::path(n)?))
+        }
+        "cycle" => {
+            materialized_only()?;
+            Box::new(StaticNetwork::new(generators::cycle(n)?))
+        }
         "torus" => {
+            materialized_only()?;
             let rows = spec.rows.unwrap_or(16);
             let cols = spec.cols.unwrap_or(16);
             Box::new(StaticNetwork::new(generators::torus(rows, cols)?))
         }
         "hypercube" => {
+            materialized_only()?;
             let dim = spec.dim.unwrap_or(8);
             Box::new(StaticNetwork::new(generators::hypercube(dim)?))
         }
         "regular" => {
+            materialized_only()?;
             let d = spec.d.unwrap_or(4);
             Box::new(StaticNetwork::new(generators::random_connected_regular(
                 n, d, &mut rng,
             )?))
         }
         "er" => {
+            materialized_only()?;
             let p = spec.p.unwrap_or(0.1);
             Box::new(StaticNetwork::new(generators::erdos_renyi(n, p, &mut rng)?))
         }
         "circulant" => {
             let d = spec.d.unwrap_or(4);
-            Box::new(StaticNetwork::new(generators::regular_circulant(n, d)?))
+            choose(Topology::regular_circulant(n, d)?)
         }
-        "dynamic-star" => Box::new(DynamicStar::new(n.saturating_sub(1))?),
-        "clique-pendant" => Box::new(CliquePendant::new(n)?),
+        "dynamic-star" => {
+            implicit_only()?;
+            Box::new(DynamicStar::new(n.saturating_sub(1))?)
+        }
+        "clique-pendant" => {
+            implicit_only()?;
+            Box::new(CliquePendant::new(n)?)
+        }
         "diligent" => {
+            materialized_only()?;
             let rho = spec.rho.unwrap_or(0.25);
             Box::new(DiligentNetwork::new(n, rho)?)
         }
         "absolute-diligent" => {
+            materialized_only()?;
             let rho = spec.rho.unwrap_or(0.125);
             Box::new(AbsoluteDiligentNetwork::new(n, rho)?)
         }
-        "alternating" => Box::new(AlternatingRegular::new(n, &mut rng)?),
+        "alternating" => {
+            materialized_only()?;
+            Box::new(AlternatingRegular::new(n, &mut rng)?)
+        }
         "edge-markovian" => {
+            materialized_only()?;
             let p = spec.p.unwrap_or(0.1);
             let q = spec.q.unwrap_or(0.3);
             let initial = generators::erdos_renyi(n, p, &mut rng)?;
             Box::new(EdgeMarkovian::new(initial, p, q)?)
         }
         "mobile" => {
+            materialized_only()?;
             let agents = spec.agents.unwrap_or(40);
             let rows = spec.rows.unwrap_or(16);
             let cols = spec.cols.unwrap_or(16);
@@ -631,6 +719,7 @@ impl ScenarioSpec {
                 "sweep.trials must be at least 1".into(),
             ));
         }
+        BackendChoice::parse(self.family.backend.as_deref())?;
         let engine = EngineChoice::parse(self.sweep.engine.as_deref())?;
         if engine == EngineChoice::Event && !protocol_is_incremental(&self.protocol.kind) {
             return Err(ScenarioError::Invalid(format!(
@@ -951,6 +1040,55 @@ max_time = 1e4
             } else {
                 assert!(build_incremental_protocol(&spec).is_err());
             }
+        }
+    }
+
+    #[test]
+    fn backend_knob_selects_representation() {
+        // Implicit (default) and materialized complete backends both
+        // build; the networks agree on every queryable property.
+        let auto = build_family(&FamilySpec::new("complete"), 32).unwrap();
+        assert_eq!(auto.n(), 32);
+        let mut spec = FamilySpec::new("complete");
+        spec.backend = Some("materialized".into());
+        let mat = build_family(&spec, 32).unwrap();
+        assert_eq!(mat.n(), 32);
+        spec.backend = Some("implicit".into());
+        assert!(build_family(&spec, 32).is_ok());
+        // Families without the requested representation reject it.
+        let mut spec = FamilySpec::new("dynamic-star");
+        spec.backend = Some("materialized".into());
+        assert!(matches!(
+            build_family(&spec, 32),
+            Err(ScenarioError::Invalid(_))
+        ));
+        let mut spec = FamilySpec::new("er");
+        spec.backend = Some("implicit".into());
+        assert!(matches!(
+            build_family(&spec, 32),
+            Err(ScenarioError::Invalid(_))
+        ));
+        // Unknown backend strings fail validation up front.
+        let mut spec = ScenarioSpec::template();
+        spec.family = FamilySpec::new("complete");
+        spec.family.backend = Some("holographic".into());
+        assert!(matches!(spec.validate(), Err(ScenarioError::Invalid(_))));
+    }
+
+    #[test]
+    fn backend_representations_agree_on_medians() {
+        let mut spec = ScenarioSpec::from_toml_str(TOML_SPEC).unwrap();
+        spec.sweep.trials = Some(40);
+        let implicit = run_scenario(&spec).unwrap();
+        spec.family.backend = Some("materialized".into());
+        let materialized = run_scenario(&spec).unwrap();
+        for (a, b) in implicit.rows.iter().zip(&materialized.rows) {
+            let (ma, mb) = (a.median.unwrap(), b.median.unwrap());
+            assert!(
+                (ma - mb).abs() / mb < 0.5,
+                "medians diverged at n = {}: {ma} vs {mb}",
+                a.n
+            );
         }
     }
 

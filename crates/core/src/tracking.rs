@@ -116,12 +116,12 @@ where
         move |net, informed, t, rng| {
             match mode {
                 ProfileMode::Exact => {
-                    let g = net.topology(t, informed, rng);
-                    exact_profile(g).expect("graph small enough for exact profiling")
+                    let g = net.topology(t, informed, rng).graph_cow();
+                    exact_profile(&g).expect("graph small enough for exact profiling")
                 }
                 ProfileMode::Conservative(iters) => {
-                    let g = net.topology(t, informed, rng);
-                    conservative_profile(g, iters)
+                    let g = net.topology(t, informed, rng).graph_cow();
+                    conservative_profile(&g, iters)
                 }
                 ProfileMode::FromNetwork => {
                     // Ensure the network has exposed (and so knows) G(t).
@@ -170,12 +170,12 @@ where
                 // caller asserts the profile is time-invariant.
                 return p;
             }
-            let g = net.topology(t, informed, rng);
+            let g = net.topology(t, informed, rng).graph_cow();
             match mode {
                 ProfileMode::Exact => {
-                    exact_profile(g).expect("graph small enough for exact profiling")
+                    exact_profile(&g).expect("graph small enough for exact profiling")
                 }
-                ProfileMode::Conservative(iters) => conservative_profile(g, iters),
+                ProfileMode::Conservative(iters) => conservative_profile(&g, iters),
                 ProfileMode::FromNetwork => {
                     panic!("FromNetwork profiling requires a ProfiledNetwork; use run_tracked")
                 }

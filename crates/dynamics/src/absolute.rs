@@ -14,9 +14,9 @@
 //! a bridge firing at rate `2/(Δ+1)`, costing `(Δ+1)/2` expected time each —
 //! `Ω(n/ρ)` in total (Theorem 1.5's coupling argument).
 
-use crate::{DynamicNetwork, ProfiledNetwork, StepProfile};
+use crate::{DynamicNetwork, EdgeDelta, ProfiledNetwork, StepProfile};
 use gossip_graph::generators::{near_regular_with_hub, regular_circulant};
-use gossip_graph::{Graph, GraphBuilder, GraphError, NodeId, NodeSet};
+use gossip_graph::{GraphBuilder, GraphError, NodeId, NodeSet, Topology};
 use gossip_stats::SimRng;
 
 /// The Section 5.1 adaptive network.
@@ -40,7 +40,7 @@ pub struct AbsoluteDiligentNetwork {
     delta: usize,
     a_nodes: Vec<NodeId>,
     b_nodes: Vec<NodeId>,
-    current: Option<Graph>,
+    current: Option<Topology>,
     frozen: bool,
 }
 
@@ -151,7 +151,7 @@ impl AbsoluteDiligentNetwork {
         // Hub (node a[0], the degree-Δ node of G(A,4,Δ)) to an arbitrary
         // B node (b[0]).
         builder.add_edge(a[0], b[0]).expect("in range");
-        self.current = Some(builder.build());
+        self.current = Some(Topology::materialized(builder.build()));
     }
 }
 
@@ -160,7 +160,7 @@ impl DynamicNetwork for AbsoluteDiligentNetwork {
         self.n
     }
 
-    fn topology(&mut self, _t: u64, informed: &NodeSet, _rng: &mut SimRng) -> &Graph {
+    fn topology(&mut self, _t: u64, informed: &NodeSet, _rng: &mut SimRng) -> &Topology {
         if self.current.is_none() {
             self.rebuild();
             return self.current.as_ref().expect("just built");
@@ -208,6 +208,24 @@ impl DynamicNetwork for AbsoluteDiligentNetwork {
     fn suggested_start(&self) -> NodeId {
         1
     }
+
+    /// The adversary only acts when the rumor reached a fresh `B` node, so
+    /// most windows (the `Θ(Δ)` waits between bridge crossings, and
+    /// everything after the freeze) report the empty delta and the event
+    /// engine skips all per-window work. Windows where `B` shrinks rebuild
+    /// both blocks wholesale — `None` (rebuild) is the honest answer there.
+    fn edges_changed(
+        &mut self,
+        _t: u64,
+        informed: &NodeSet,
+        _rng: &mut SimRng,
+    ) -> Option<EdgeDelta> {
+        self.current.as_ref()?;
+        if self.frozen || !self.b_nodes.iter().any(|&v| informed.contains(v)) {
+            return Some(EdgeDelta::empty());
+        }
+        None
+    }
 }
 
 impl ProfiledNetwork for AbsoluteDiligentNetwork {
@@ -238,7 +256,7 @@ mod tests {
         let mut net = AbsoluteDiligentNetwork::with_delta(120, 8).unwrap();
         let mut rng = SimRng::seed_from_u64(0);
         let informed = NodeSet::new(120);
-        let g = net.topology(0, &informed, &mut rng).clone();
+        let g = net.topology(0, &informed, &mut rng).materialize();
         assert!(is_connected(&g));
         // Hub a[0] = node 0 has degree Δ+1 (hub + bridge).
         assert_eq!(g.degree(0), 9);
@@ -254,10 +272,10 @@ mod tests {
         let mut net = AbsoluteDiligentNetwork::with_delta(120, 8).unwrap();
         let mut rng = SimRng::seed_from_u64(0);
         let informed = NodeSet::new(120);
-        let g = net.topology(0, &informed, &mut rng);
+        let g = net.topology(0, &informed, &mut rng).materialize();
         // ρ̄ = 1/(Δ+1): the bridge edge (9,9) gives 1/9; B-interior edges
         // (8,8) give 1/8; A-interior (4,4) give 1/4.
-        assert!((absolute_diligence(g) - 1.0 / 9.0).abs() < 1e-12);
+        assert!((absolute_diligence(&g) - 1.0 / 9.0).abs() < 1e-12);
         let p = net.current_profile();
         assert!((p.rho_abs - 1.0 / 9.0).abs() < 1e-12);
     }

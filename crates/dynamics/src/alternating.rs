@@ -9,7 +9,7 @@
 //! `Ω(n log n)` steps — an `Ω̃(n)` overestimate on this family.
 
 use crate::{DynamicNetwork, EdgeDelta, ProfiledNetwork, StepProfile};
-use gossip_graph::{generators, spectral, Graph, GraphError, NodeSet};
+use gossip_graph::{generators, spectral, GraphError, NodeSet, Topology};
 use gossip_stats::SimRng;
 
 /// Alternating `{d-regular, K_n}` dynamic network (Section 1.2).
@@ -32,8 +32,8 @@ use gossip_stats::SimRng;
 /// ```
 #[derive(Debug, Clone)]
 pub struct AlternatingRegular {
-    sparse: Graph,
-    complete: Graph,
+    sparse: Topology,
+    complete: Topology,
     d: usize,
     sparse_phi_lower: f64,
     parity: u64,
@@ -59,11 +59,12 @@ impl AlternatingRegular {
         }
         let d = if n.is_multiple_of(2) { 3 } else { 4 };
         let sparse = generators::random_connected_regular(n, d, rng)?;
-        let complete = generators::complete(n)?;
         // Cache the sparse layer's spectral conductance lower bound once.
         let sparse_phi_lower = spectral::spectral_bounds(&sparse, 3000)
             .map(|b| b.conductance_lower)
             .unwrap_or(0.0);
+        let sparse = Topology::materialized(sparse);
+        let complete = Topology::materialized(generators::complete(n)?);
         Ok(AlternatingRegular {
             sparse,
             complete,
@@ -98,7 +99,7 @@ impl DynamicNetwork for AlternatingRegular {
         self.sparse.n()
     }
 
-    fn topology(&mut self, t: u64, _informed: &NodeSet, _rng: &mut SimRng) -> &Graph {
+    fn topology(&mut self, t: u64, _informed: &NodeSet, _rng: &mut SimRng) -> &Topology {
         self.parity = t % 2;
         if self.parity == 0 {
             &self.sparse
@@ -129,7 +130,10 @@ impl DynamicNetwork for AlternatingRegular {
             return Some(EdgeDelta::empty());
         }
         if self.densify_delta.is_none() {
-            self.densify_delta = Some(EdgeDelta::between(&self.sparse, &self.complete));
+            self.densify_delta = Some(EdgeDelta::between(
+                self.sparse.as_graph().expect("materialized"),
+                self.complete.as_graph().expect("materialized"),
+            ));
         }
         let densify = self.densify_delta.as_ref().expect("just memoized");
         if self.parity == 1 {

@@ -12,9 +12,15 @@
 //! edge never fires during `[0, 1)`; afterwards the left clique can only be
 //! reached over the bridge, which fires at rate `Θ(1/n)` — so
 //! `Ta(G1) = Ω(n)`.
+//!
+//! Both phases are instances of the implicit [`Topology::two_cliques`]
+//! backend (`G(0)` is the degenerate split whose right "clique" is the lone
+//! pendant node), so the family holds O(1) state instead of two `Θ(n²)`
+//! CSR graphs and scales to the sizes where the `Ω(n)` asynchronous lower
+//! bound separates cleanly from `Θ(log n)`.
 
 use crate::{DynamicNetwork, EdgeDelta};
-use gossip_graph::{Graph, GraphBuilder, GraphError, NodeId, NodeSet};
+use gossip_graph::{GraphError, NodeId, NodeSet, Topology};
 use gossip_stats::SimRng;
 
 /// Figure 1(a): clique with a pendant source, then two bridged cliques.
@@ -24,7 +30,7 @@ use gossip_stats::SimRng;
 ///   ends up in the left clique;
 /// * node `N−1` — the pendant source ("node n+1"), ends up in the right
 ///   clique;
-/// * the bridge at `t ≥ 1` is the edge `{0, N−1}`.
+/// * the bridge at every step is the edge `{0, N−1}`.
 ///
 /// # Example
 ///
@@ -42,12 +48,9 @@ use gossip_stats::SimRng;
 /// ```
 #[derive(Debug, Clone)]
 pub struct CliquePendant {
-    initial: Graph,
-    later: Graph,
+    initial: Topology,
+    later: Topology,
     current_is_initial: bool,
-    /// Memoized one-time switch diff (initial → later), computed on first
-    /// request.
-    switch_delta: Option<EdgeDelta>,
 }
 
 impl CliquePendant {
@@ -67,42 +70,22 @@ impl CliquePendant {
         let n_total = clique_size + 1;
         let pendant = (n_total - 1) as NodeId;
 
-        let mut b0 = GraphBuilder::new(n_total);
-        for u in 0..clique_size as NodeId {
-            for v in (u + 1)..clique_size as NodeId {
-                b0.add_edge(u, v)?;
-            }
-        }
-        b0.add_edge(0, pendant)?;
-        let initial = b0.build();
-
-        // Two equally-sized cliques partitioning all N nodes; node 0 left,
-        // node N-1 right, bridge {0, N-1}.
-        let left_size = n_total / 2;
-        let mut b1 = GraphBuilder::new(n_total);
-        for u in 0..left_size as NodeId {
-            for v in (u + 1)..left_size as NodeId {
-                b1.add_edge(u, v)?;
-            }
-        }
-        for u in left_size as NodeId..n_total as NodeId {
-            for v in (u + 1)..n_total as NodeId {
-                b1.add_edge(u, v)?;
-            }
-        }
-        b1.add_edge(0, pendant)?;
-        let later = b1.build();
+        // G(0): the full clique on the left, the pendant alone on the
+        // right, joined by the pendant edge {0, N-1}.
+        let initial = Topology::two_cliques(n_total, clique_size, (0, pendant))?;
+        // G(t >= 1): two equally-sized cliques partitioning all N nodes;
+        // node 0 left, node N-1 right, bridge {0, N-1}.
+        let later = Topology::two_cliques(n_total, n_total / 2, (0, pendant))?;
 
         Ok(CliquePendant {
             initial,
             later,
             current_is_initial: true,
-            switch_delta: None,
         })
     }
 
-    /// The graph used from `t = 1` on (two bridged cliques).
-    pub fn later_graph(&self) -> &Graph {
+    /// The topology used from `t = 1` on (two bridged cliques).
+    pub fn later_topology(&self) -> &Topology {
         &self.later
     }
 }
@@ -112,7 +95,7 @@ impl DynamicNetwork for CliquePendant {
         self.initial.n()
     }
 
-    fn topology(&mut self, t: u64, _informed: &NodeSet, _rng: &mut SimRng) -> &Graph {
+    fn topology(&mut self, t: u64, _informed: &NodeSet, _rng: &mut SimRng) -> &Topology {
         self.current_is_initial = t == 0;
         if t == 0 {
             &self.initial
@@ -135,7 +118,9 @@ impl DynamicNetwork for CliquePendant {
     }
 
     /// One topology change, ever: the `t = 1` switch from clique+pendant to
-    /// two bridged cliques. Every later window is unchanged.
+    /// two bridged cliques. The switch rewires `Θ(n²)` edges, so the diff
+    /// is declined (`None` — the engine rebuilds once); every later window
+    /// reports the empty delta.
     fn edges_changed(
         &mut self,
         t: u64,
@@ -144,10 +129,7 @@ impl DynamicNetwork for CliquePendant {
     ) -> Option<EdgeDelta> {
         if t == 1 {
             self.current_is_initial = false;
-            if self.switch_delta.is_none() {
-                self.switch_delta = Some(EdgeDelta::between(&self.initial, &self.later));
-            }
-            self.switch_delta.clone()
+            None
         } else {
             self.current_is_initial = t == 0;
             Some(EdgeDelta::empty())
@@ -171,6 +153,7 @@ mod tests {
         assert_eq!(g0.degree(0), 8);
         assert_eq!(g0.degree(3), 7);
         assert_eq!(g0.m(), 8 * 7 / 2 + 1);
+        assert!(g0.is_implicit());
     }
 
     #[test]
@@ -219,6 +202,18 @@ mod tests {
         net.reset();
         let g = net.topology(0, &informed, &mut rng);
         assert_eq!(g.degree(6), 1);
+    }
+
+    #[test]
+    fn switch_declines_delta_then_reports_empty() {
+        let mut net = CliquePendant::new(6).unwrap();
+        let informed = NodeSet::new(7);
+        let mut rng = SimRng::seed_from_u64(0);
+        assert!(net.edges_changed(0, &informed, &mut rng).is_some());
+        assert!(net.edges_changed(1, &informed, &mut rng).is_none());
+        assert!(net
+            .edges_changed(2, &informed, &mut rng)
+            .is_some_and(|d| d.is_empty()));
     }
 
     #[test]

@@ -14,9 +14,9 @@
 //! yielding the `Ω(nρ/k)` spread-time lower bound while the graph stays
 //! `Θ(ρ)`-diligent with `Φ = Θ(Δ²/(kΔ² + n))` throughout (Observation 4.1).
 
-use crate::{DynamicNetwork, ProfiledNetwork, StepProfile};
-use gossip_graph::generators::{h_k_delta, HkDelta, HkDeltaParams};
-use gossip_graph::{Graph, GraphError, NodeId, NodeSet};
+use crate::{DynamicNetwork, EdgeDelta, ProfiledNetwork, StepProfile};
+use gossip_graph::generators::{h_k_delta, HkDeltaParams};
+use gossip_graph::{GraphError, NodeId, NodeSet, Topology};
 use gossip_stats::SimRng;
 
 /// The Section 4 adaptive network `G(n, ρ)`.
@@ -41,7 +41,8 @@ pub struct DiligentNetwork {
     params: HkDeltaParams,
     a_nodes: Vec<NodeId>,
     b_nodes: Vec<NodeId>,
-    current: Option<HkDelta>,
+    /// The exposed window (materialized backend over the `H_{k,Δ}` build).
+    current: Option<Topology>,
     frozen: bool,
 }
 
@@ -104,11 +105,6 @@ impl DiligentNetwork {
         &self.b_nodes
     }
 
-    /// The currently exposed structured graph, if one has been built.
-    pub fn current_structure(&self) -> Option<&HkDelta> {
-        self.current.as_ref()
-    }
-
     /// The Theorem 1.2 spread-time lower bound for these parameters:
     /// `n / (4·k·Δ)` (the proof's Inequality (11), of order `nρ/k`).
     pub fn lower_bound_time(&self) -> f64 {
@@ -118,7 +114,7 @@ impl DiligentNetwork {
     fn rebuild(&mut self, rng: &mut SimRng) {
         let h = h_k_delta(self.n, &self.a_nodes, &self.b_nodes, self.params, rng)
             .expect("sizes validated at construction and |B| only shrinks above n/4");
-        self.current = Some(h);
+        self.current = Some(Topology::materialized(h.into_graph()));
     }
 }
 
@@ -127,10 +123,10 @@ impl DynamicNetwork for DiligentNetwork {
         self.n
     }
 
-    fn topology(&mut self, _t: u64, informed: &NodeSet, rng: &mut SimRng) -> &Graph {
+    fn topology(&mut self, _t: u64, informed: &NodeSet, rng: &mut SimRng) -> &Topology {
         if self.current.is_none() {
             self.rebuild(rng);
-            return self.current.as_ref().expect("just built").graph();
+            return self.current.as_ref().expect("just built");
         }
         if !self.frozen {
             let b_new: Vec<NodeId> = self
@@ -157,7 +153,7 @@ impl DynamicNetwork for DiligentNetwork {
                 }
             }
         }
-        self.current.as_ref().expect("built on first call").graph()
+        self.current.as_ref().expect("built on first call")
     }
 
     fn reset(&mut self) {
@@ -178,6 +174,22 @@ impl DynamicNetwork for DiligentNetwork {
     /// regardless.
     fn suggested_start(&self) -> NodeId {
         0
+    }
+
+    /// As for the Section 5.1 family: the empty delta whenever the
+    /// adversary has no informed `B` node to move (or is frozen), `None`
+    /// (rebuild) when it re-stitches the string.
+    fn edges_changed(
+        &mut self,
+        _t: u64,
+        informed: &NodeSet,
+        _rng: &mut SimRng,
+    ) -> Option<EdgeDelta> {
+        self.current.as_ref()?;
+        if self.frozen || !self.b_nodes.iter().any(|&v| informed.contains(v)) {
+            return Some(EdgeDelta::empty());
+        }
+        None
     }
 }
 
@@ -207,7 +219,7 @@ mod tests {
         let mut net = DiligentNetwork::new(240, 0.2).unwrap();
         let mut rng = SimRng::seed_from_u64(1);
         let informed = NodeSet::new(240);
-        let g = net.topology(0, &informed, &mut rng).clone();
+        let g = net.topology(0, &informed, &mut rng).materialize();
         assert_eq!(g.n(), 240);
         assert!(is_connected(&g));
     }

@@ -7,7 +7,7 @@
 //! reproduced as extension experiment X1.
 
 use crate::{DynamicNetwork, EdgeDelta};
-use gossip_graph::{Graph, GraphBuilder, GraphError, NodeId, NodeSet};
+use gossip_graph::{Graph, GraphBuilder, GraphError, NodeId, NodeSet, Topology};
 use gossip_stats::{Geometric, SimRng};
 
 /// The edge-Markovian evolving network.
@@ -33,7 +33,7 @@ use gossip_stats::{Geometric, SimRng};
 #[derive(Debug, Clone)]
 pub struct EdgeMarkovian {
     initial: Graph,
-    current: Graph,
+    current: Topology,
     p: f64,
     q: f64,
     last_step: Option<u64>,
@@ -53,7 +53,7 @@ impl EdgeMarkovian {
                 "birth/death probabilities must lie in [0,1], got p={p}, q={q}"
             )));
         }
-        let current = initial.clone();
+        let current = Topology::materialized(initial.clone());
         Ok(EdgeMarkovian {
             initial,
             current,
@@ -97,10 +97,14 @@ impl EdgeMarkovian {
     /// to `O(m + p·n²)` — the sparse regime (`p = Θ(1/n)`) the related-work
     /// experiments sweep runs in `O(n)` per step.
     fn evolve_delta(&mut self, rng: &mut SimRng) -> EdgeDelta {
-        let n = self.current.n();
+        let current = self
+            .current
+            .as_graph()
+            .expect("edge-Markovian graphs are materialized");
+        let n = current.n();
         let mut removed = Vec::new();
         let mut survivors: Vec<(NodeId, NodeId)> = Vec::new();
-        for (u, v) in self.current.edges() {
+        for (u, v) in current.edges() {
             if rng.chance(self.q) {
                 removed.push((u, v));
             } else {
@@ -114,7 +118,7 @@ impl EdgeMarkovian {
             let mut idx = geo.sample(rng) - 1;
             while idx < total_pairs {
                 let (u, v) = unrank_pair(idx, n);
-                if !self.current.has_edge(u, v) {
+                if !current.has_edge(u, v) {
                     added.push((u, v));
                 }
                 idx += geo.sample(rng);
@@ -124,7 +128,7 @@ impl EdgeMarkovian {
         for &(u, v) in survivors.iter().chain(added.iter()) {
             b.add_edge(u, v).expect("in range");
         }
-        self.current = b.build();
+        self.current = Topology::materialized(b.build());
         EdgeDelta::new(added, removed)
     }
 }
@@ -153,7 +157,7 @@ impl DynamicNetwork for EdgeMarkovian {
         self.current.n()
     }
 
-    fn topology(&mut self, t: u64, _informed: &NodeSet, rng: &mut SimRng) -> &Graph {
+    fn topology(&mut self, t: u64, _informed: &NodeSet, rng: &mut SimRng) -> &Topology {
         match self.last_step {
             None => {
                 // First exposure: evolve (t - 0) times from the initial graph
@@ -175,7 +179,7 @@ impl DynamicNetwork for EdgeMarkovian {
     }
 
     fn reset(&mut self) {
-        self.current = self.initial.clone();
+        self.current = Topology::materialized(self.initial.clone());
         self.last_step = None;
     }
 
@@ -219,9 +223,9 @@ mod tests {
         let mut net = EdgeMarkovian::new(init.clone(), 0.2, 0.2).unwrap();
         let mut rng = SimRng::seed_from_u64(1);
         let informed = NodeSet::new(10);
-        assert_eq!(net.topology(0, &informed, &mut rng), &init);
+        assert_eq!(net.topology(0, &informed, &mut rng).as_graph(), Some(&init));
         // Repeated call with the same t: unchanged.
-        assert_eq!(net.topology(0, &informed, &mut rng), &init);
+        assert_eq!(net.topology(0, &informed, &mut rng).as_graph(), Some(&init));
     }
 
     #[test]
@@ -257,7 +261,7 @@ mod tests {
         let informed = NodeSet::new(9);
         let _ = net.topology(3, &informed, &mut rng);
         net.reset();
-        assert_eq!(net.topology(0, &informed, &mut rng), &init);
+        assert_eq!(net.topology(0, &informed, &mut rng).as_graph(), Some(&init));
     }
 
     #[test]

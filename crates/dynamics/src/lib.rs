@@ -9,7 +9,10 @@
 //! activity in `[t, t+1)` happens on `G(t)`. The paper's lower-bound
 //! constructions are *adaptive adversaries*: the next graph may depend on
 //! which nodes are currently informed. The [`DynamicNetwork`] trait models
-//! exactly that interface.
+//! exactly that interface. Windows are exposed as
+//! [`gossip_graph::Topology`] views, so structured families
+//! ([`StaticNetwork`] over an implicit backend, [`DynamicStar`],
+//! [`CliquePendant`]) never materialize `O(n²)` adjacency lists.
 //!
 //! Implementations:
 //!

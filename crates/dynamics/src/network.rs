@@ -1,15 +1,21 @@
 use crate::EdgeDelta;
-use gossip_graph::{Graph, GraphError, NodeId, NodeSet};
+use gossip_graph::{Graph, GraphError, NodeId, NodeSet, Topology};
 use gossip_stats::SimRng;
 
 /// A dynamic evolving network `G = {G(t)}_{t=0,1,…}` (paper Section 2).
 ///
 /// The node set `{0, …, n−1}` is fixed; the edge set may change at every
-/// integer time step. [`DynamicNetwork::topology`] exposes the graph for
+/// integer time step. [`DynamicNetwork::topology`] exposes the topology for
 /// the window `[t, t+1)` and receives the informed set, because the
 /// paper's tight lower-bound constructions are *adaptive*: `G(t+1)` in
 /// Sections 4–6 is chosen as a function of `I_t`. Oblivious networks simply
 /// ignore the argument.
+///
+/// Windows are exposed as [`Topology`] values, so structured families
+/// (complete graphs, stars, circulants, the Figure 1 constructions) can
+/// answer degree/neighbor queries in closed form without ever materializing
+/// `O(n²)` adjacency lists; arbitrary graphs ride along as
+/// [`Topology::materialized`].
 ///
 /// The engine guarantees `topology` is called with strictly increasing `t`
 /// (starting at 0) between [`DynamicNetwork::reset`] calls.
@@ -17,11 +23,11 @@ pub trait DynamicNetwork {
     /// Number of nodes (constant over time).
     fn n(&self) -> usize;
 
-    /// The graph exposed during `[t, t+1)`.
+    /// The topology exposed during `[t, t+1)`.
     ///
     /// `informed` is the informed set at time `t` (an adaptive adversary's
     /// view); `rng` drives any randomized rebuilding.
-    fn topology(&mut self, t: u64, informed: &NodeSet, rng: &mut SimRng) -> &Graph;
+    fn topology(&mut self, t: u64, informed: &NodeSet, rng: &mut SimRng) -> &Topology;
 
     /// Restores the initial state so a fresh trial can run.
     fn reset(&mut self);
@@ -53,12 +59,15 @@ pub trait DynamicNetwork {
     ///
     /// * `Some(delta)` — the network has advanced its internal state to
     ///   window `t`; a following `topology(t, …)` call returns the
-    ///   post-delta graph **without evolving again**, and `delta` is the
-    ///   exact symmetric difference between that graph and the previous
+    ///   post-delta topology **without evolving again**, and `delta` is the
+    ///   exact symmetric difference between that topology and the previous
     ///   window's. An empty delta means the graph is unchanged.
     /// * `None` — the network cannot (or chooses not to) report a diff;
     ///   the caller must fetch `topology(t, …)` and rebuild from scratch.
-    ///   This is the default, which is always sound.
+    ///   This is the default, which is always sound — and for implicit
+    ///   backends with closed-form protocol state it is usually also the
+    ///   *cheap* answer, since a rebuild there costs `O(n)` while an
+    ///   explicit diff of a dense rewiring would list `Θ(n²)` edges.
     ///
     /// Engines call this **instead of leading with** `topology` at each
     /// boundary, so implementations may evolve their graph here.
@@ -73,7 +82,7 @@ impl<T: DynamicNetwork + ?Sized> DynamicNetwork for &mut T {
         (**self).n()
     }
 
-    fn topology(&mut self, t: u64, informed: &NodeSet, rng: &mut SimRng) -> &Graph {
+    fn topology(&mut self, t: u64, informed: &NodeSet, rng: &mut SimRng) -> &Topology {
         (**self).topology(t, informed, rng)
     }
 
@@ -103,7 +112,7 @@ impl<T: DynamicNetwork + ?Sized> DynamicNetwork for Box<T> {
         (**self).n()
     }
 
-    fn topology(&mut self, t: u64, informed: &NodeSet, rng: &mut SimRng) -> &Graph {
+    fn topology(&mut self, t: u64, informed: &NodeSet, rng: &mut SimRng) -> &Topology {
         (**self).topology(t, informed, rng)
     }
 
@@ -128,49 +137,58 @@ impl<T: DynamicNetwork + ?Sized> DynamicNetwork for Box<T> {
     }
 }
 
-/// A static network: the same graph at every step.
+/// A static network: the same topology at every step.
 ///
 /// Recovers the classical single-graph setting (e.g. the `O(log n / Φ)`
 /// world of Chierichetti et al. cited in the paper's introduction) as a
-/// degenerate dynamic network.
+/// degenerate dynamic network. Built from a materialized [`Graph`]
+/// ([`StaticNetwork::new`]) or any [`Topology`] backend
+/// ([`StaticNetwork::from_topology`]) — an implicit complete graph at
+/// `n = 10⁵` costs a few words instead of tens of gigabytes.
 ///
 /// # Example
 ///
 /// ```
 /// use gossip_dynamics::{DynamicNetwork, StaticNetwork};
-/// use gossip_graph::{generators, NodeSet};
+/// use gossip_graph::{NodeSet, Topology};
 /// use gossip_stats::SimRng;
 ///
-/// let mut net = StaticNetwork::new(generators::cycle(6).unwrap());
+/// let mut net = StaticNetwork::from_topology(Topology::complete(100_000).unwrap());
 /// let mut rng = SimRng::seed_from_u64(0);
-/// let informed = NodeSet::new(6);
-/// assert_eq!(net.topology(0, &informed, &mut rng).m(), 6);
-/// assert_eq!(net.topology(5, &informed, &mut rng).m(), 6);
+/// let informed = NodeSet::new(100_000);
+/// assert_eq!(net.topology(0, &informed, &mut rng).degree(7), 99_999);
 /// ```
 #[derive(Debug, Clone)]
 pub struct StaticNetwork {
-    graph: Graph,
+    topology: Topology,
 }
 
 impl StaticNetwork {
-    /// Wraps a graph as a constant dynamic network.
+    /// Wraps a materialized graph as a constant dynamic network.
     pub fn new(graph: Graph) -> Self {
-        StaticNetwork { graph }
+        StaticNetwork {
+            topology: Topology::materialized(graph),
+        }
     }
 
-    /// The underlying graph.
-    pub fn graph(&self) -> &Graph {
-        &self.graph
+    /// Wraps any topology backend as a constant dynamic network.
+    pub fn from_topology(topology: Topology) -> Self {
+        StaticNetwork { topology }
+    }
+
+    /// The underlying topology.
+    pub fn backend(&self) -> &Topology {
+        &self.topology
     }
 }
 
 impl DynamicNetwork for StaticNetwork {
     fn n(&self) -> usize {
-        self.graph.n()
+        self.topology.n()
     }
 
-    fn topology(&mut self, _t: u64, _informed: &NodeSet, _rng: &mut SimRng) -> &Graph {
-        &self.graph
+    fn topology(&mut self, _t: u64, _informed: &NodeSet, _rng: &mut SimRng) -> &Topology {
+        &self.topology
     }
 
     fn reset(&mut self) {}
@@ -194,8 +212,8 @@ impl DynamicNetwork for StaticNetwork {
     }
 }
 
-/// A scheduled network cycling through a fixed list of graphs:
-/// `G(t) = graphs[t mod len]` (or clamping at the last graph when built
+/// A scheduled network cycling through a fixed list of topologies:
+/// `G(t) = graphs[t mod len]` (or clamping at the last one when built
 /// with [`SequenceNetwork::once`]).
 ///
 /// # Example
@@ -216,10 +234,12 @@ impl DynamicNetwork for StaticNetwork {
 /// ```
 #[derive(Debug, Clone)]
 pub struct SequenceNetwork {
-    graphs: Vec<Graph>,
+    topologies: Vec<Topology>,
     cyclic: bool,
     /// Memoized diff from schedule position `i` to `i + 1` (cyclically),
     /// computed on first request — the schedule replays them forever.
+    /// Only populated between materialized entries; implicit entries
+    /// decline the diff (rebuilds there are cheap).
     step_deltas: Vec<Option<EdgeDelta>>,
 }
 
@@ -231,7 +251,10 @@ impl SequenceNetwork {
     /// [`GraphError::InvalidParameter`] when `graphs` is empty or the
     /// graphs disagree on node count.
     pub fn cycling(graphs: Vec<Graph>) -> Result<Self, GraphError> {
-        Self::validated(graphs, true)
+        Self::validated(
+            graphs.into_iter().map(Topology::materialized).collect(),
+            true,
+        )
     }
 
     /// A network playing `graphs` once, then repeating the last graph
@@ -242,60 +265,82 @@ impl SequenceNetwork {
     ///
     /// As [`SequenceNetwork::cycling`].
     pub fn once(graphs: Vec<Graph>) -> Result<Self, GraphError> {
-        Self::validated(graphs, false)
+        Self::validated(
+            graphs.into_iter().map(Topology::materialized).collect(),
+            false,
+        )
     }
 
-    fn validated(graphs: Vec<Graph>, cyclic: bool) -> Result<Self, GraphError> {
-        if graphs.is_empty() {
+    /// As [`SequenceNetwork::cycling`], over arbitrary topology backends
+    /// (e.g. alternating an implicit complete graph with a circulant).
+    ///
+    /// # Errors
+    ///
+    /// As [`SequenceNetwork::cycling`].
+    pub fn cycling_topologies(topologies: Vec<Topology>) -> Result<Self, GraphError> {
+        Self::validated(topologies, true)
+    }
+
+    /// As [`SequenceNetwork::once`], over arbitrary topology backends.
+    ///
+    /// # Errors
+    ///
+    /// As [`SequenceNetwork::cycling`].
+    pub fn once_topologies(topologies: Vec<Topology>) -> Result<Self, GraphError> {
+        Self::validated(topologies, false)
+    }
+
+    fn validated(topologies: Vec<Topology>, cyclic: bool) -> Result<Self, GraphError> {
+        if topologies.is_empty() {
             return Err(GraphError::InvalidParameter(
                 "sequence network needs at least one graph".into(),
             ));
         }
-        let n = graphs[0].n();
-        if graphs.iter().any(|g| g.n() != n) {
+        let n = topologies[0].n();
+        if topologies.iter().any(|g| g.n() != n) {
             return Err(GraphError::InvalidParameter(
                 "all graphs in a dynamic network must share the node set".into(),
             ));
         }
-        let step_deltas = vec![None; graphs.len()];
+        let step_deltas = vec![None; topologies.len()];
         Ok(SequenceNetwork {
-            graphs,
+            topologies,
             cyclic,
             step_deltas,
         })
     }
 
-    /// Number of scheduled graphs.
+    /// Number of scheduled topologies.
     pub fn len(&self) -> usize {
-        self.graphs.len()
+        self.topologies.len()
     }
 
     /// Whether the schedule is empty (never true for constructed values).
     pub fn is_empty(&self) -> bool {
-        self.graphs.is_empty()
+        self.topologies.is_empty()
     }
 
-    /// The graph scheduled for step `t` (without needing `&mut`).
-    pub fn graph_at(&self, t: u64) -> &Graph {
-        &self.graphs[self.index_at(t)]
+    /// The topology scheduled for step `t` (without needing `&mut`).
+    pub fn topology_at(&self, t: u64) -> &Topology {
+        &self.topologies[self.index_at(t)]
     }
 
     fn index_at(&self, t: u64) -> usize {
         if self.cyclic {
-            (t % self.graphs.len() as u64) as usize
+            (t % self.topologies.len() as u64) as usize
         } else {
-            (t as usize).min(self.graphs.len() - 1)
+            (t as usize).min(self.topologies.len() - 1)
         }
     }
 }
 
 impl DynamicNetwork for SequenceNetwork {
     fn n(&self) -> usize {
-        self.graphs[0].n()
+        self.topologies[0].n()
     }
 
-    fn topology(&mut self, t: u64, _informed: &NodeSet, _rng: &mut SimRng) -> &Graph {
-        self.graph_at(t)
+    fn topology(&mut self, t: u64, _informed: &NodeSet, _rng: &mut SimRng) -> &Topology {
+        self.topology_at(t)
     }
 
     fn reset(&mut self) {}
@@ -304,8 +349,11 @@ impl DynamicNetwork for SequenceNetwork {
         "sequence"
     }
 
-    /// Diff between consecutive schedule positions, memoized: a `k`-graph
-    /// schedule pays at most `k` symmetric-difference computations total.
+    /// Diff between consecutive materialized schedule positions, memoized:
+    /// a `k`-graph schedule pays at most `k` symmetric-difference
+    /// computations total. Boundaries into or out of an implicit entry
+    /// decline the diff (`None`) — closed-form protocol state rebuilds in
+    /// `O(n)` there, cheaper than enumerating a dense rewiring.
     fn edges_changed(
         &mut self,
         t: u64,
@@ -321,8 +369,11 @@ impl DynamicNetwork for SequenceNetwork {
             return Some(EdgeDelta::empty());
         }
         if self.step_deltas[prev].is_none() {
-            self.step_deltas[prev] =
-                Some(EdgeDelta::between(&self.graphs[prev], &self.graphs[next]));
+            let (a, b) = (
+                self.topologies[prev].as_graph()?,
+                self.topologies[next].as_graph()?,
+            );
+            self.step_deltas[prev] = Some(EdgeDelta::between(a, b));
         }
         self.step_deltas[prev].clone()
     }
@@ -345,6 +396,16 @@ mod tests {
         net.reset();
         assert_eq!(net.name(), "static");
         assert_eq!(net.suggested_start(), 0);
+    }
+
+    #[test]
+    fn static_network_implicit_backend() {
+        let mut net = StaticNetwork::from_topology(Topology::complete(1000).unwrap());
+        assert!(net.backend().is_implicit());
+        let informed = NodeSet::new(1000);
+        let mut rng = SimRng::seed_from_u64(0);
+        assert_eq!(net.topology(3, &informed, &mut rng).degree(0), 999);
+        assert!(net.is_static());
     }
 
     #[test]
@@ -380,6 +441,23 @@ mod tests {
         assert!(SequenceNetwork::cycling(vec![]).is_err());
         let mismatched = vec![generators::path(4).unwrap(), generators::path(5).unwrap()];
         assert!(SequenceNetwork::cycling(mismatched).is_err());
+    }
+
+    #[test]
+    fn sequence_of_implicit_topologies_declines_diffs() {
+        let mut net = SequenceNetwork::cycling_topologies(vec![
+            Topology::complete(12).unwrap(),
+            Topology::star(12, 0).unwrap(),
+        ])
+        .unwrap();
+        let informed = NodeSet::new(12);
+        let mut rng = SimRng::seed_from_u64(0);
+        assert_eq!(net.topology(0, &informed, &mut rng).m(), 66);
+        assert_eq!(net.topology(1, &informed, &mut rng).m(), 11);
+        // t = 0 and unchanged boundaries report empty; implicit switches
+        // decline.
+        assert!(net.edges_changed(0, &informed, &mut rng).is_some());
+        assert!(net.edges_changed(1, &informed, &mut rng).is_none());
     }
 
     #[test]

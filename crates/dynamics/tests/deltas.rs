@@ -7,7 +7,7 @@ use gossip_dynamics::{
     AlternatingRegular, CliquePendant, DynamicNetwork, EdgeDelta, EdgeMarkovian, SequenceNetwork,
     StaticNetwork,
 };
-use gossip_graph::{generators, Graph, NodeSet};
+use gossip_graph::{generators, NodeSet, Topology};
 use gossip_stats::SimRng;
 
 /// Walks `windows` windows, asserting the reported delta matches the
@@ -18,13 +18,13 @@ fn check_delta_contract<N: DynamicNetwork>(net: &mut N, windows: u64, seed: u64)
     let n = net.n();
     let informed = NodeSet::new(n);
     net.reset();
-    let mut prev: Option<Graph> = None;
+    let mut prev: Option<Topology> = None;
     let mut reported = 0;
     for t in 0..windows {
         let delta = net.edges_changed(t, &informed, &mut rng);
         let current = net.topology(t, &informed, &mut rng).clone();
         if let (Some(delta), Some(prev)) = (&delta, &prev) {
-            let expected = EdgeDelta::between(prev, &current);
+            let expected = EdgeDelta::between(&prev.graph_cow(), &current.graph_cow());
             assert_eq!(
                 delta,
                 &expected,
@@ -65,16 +65,17 @@ fn sequence_network_reports_schedule_diffs() {
 }
 
 #[test]
-fn clique_pendant_reports_one_switch() {
+fn clique_pendant_declines_only_the_switch() {
+    // The t = 1 switch rewires Θ(n²) edges between implicit backends, so
+    // the network declines the diff there (rebuild); every other boundary
+    // reports the empty delta.
     let mut net = CliquePendant::new(8).unwrap();
-    assert_eq!(check_delta_contract(&mut net, 6, 4), 6);
-    // The t = 1 switch is the only non-empty delta.
+    assert_eq!(check_delta_contract(&mut net, 6, 4), 5);
     let mut rng = SimRng::seed_from_u64(5);
     let informed = NodeSet::new(net.n());
     net.reset();
     let _ = net.topology(0, &informed, &mut rng);
-    let d1 = net.edges_changed(1, &informed, &mut rng).unwrap();
-    assert!(!d1.is_empty());
+    assert!(net.edges_changed(1, &informed, &mut rng).is_none());
     let d2 = net.edges_changed(2, &informed, &mut rng).unwrap();
     assert!(d2.is_empty());
 }

@@ -104,7 +104,7 @@ proptest! {
 
         let mut star = DynamicStar::new(n - 1).expect("valid");
         for (t, informed) in informed_trajectory(n, steps, seed).into_iter().enumerate() {
-            let g = star.topology(t as u64, &informed, &mut rng).clone();
+            let g = star.topology(t as u64, &informed, &mut rng).materialize();
             let exact = gossip_dynamics::profile::exact_profile(&g).expect("n <= 24");
             let claimed = star.current_profile();
             prop_assert!((claimed.phi - exact.phi).abs() < 1e-12);
@@ -115,7 +115,7 @@ proptest! {
 
         let mut alt = gossip_dynamics::AlternatingRegular::new(n, &mut rng).expect("valid");
         for (t, informed) in informed_trajectory(n, steps, seed ^ 0x99).into_iter().enumerate() {
-            let g = alt.topology(t as u64, &informed, &mut rng).clone();
+            let g = alt.topology(t as u64, &informed, &mut rng).materialize();
             let exact = gossip_dynamics::profile::exact_profile(&g).expect("n <= 24");
             let claimed = alt.current_profile();
             prop_assert!(claimed.phi <= exact.phi + 1e-12,

@@ -9,6 +9,10 @@
 //! * [`Graph`] — an immutable CSR (compressed sparse row) simple graph with
 //!   O(1) degree lookups and contiguous neighbor slices, built through
 //!   [`GraphBuilder`];
+//! * [`Topology`] — the graph *view* the simulators consume: implicit
+//!   closed-form backends (complete, star, circulant, complete bipartite,
+//!   two bridged cliques) with O(1) degree/neighbor queries and O(n)-free
+//!   memory, plus a [`Graph`]-backed materialized fallback;
 //! * [`NodeSet`] — a bitset over nodes (informed sets, cut sides);
 //! * [`cut`] — cut edges, volumes, and the push–pull cut rate `λ` of the
 //!   paper's Equation (1);
@@ -51,10 +55,12 @@ mod graph;
 mod nodeset;
 pub mod spectral;
 pub mod subsets;
+mod topology;
 
 pub use error::GraphError;
 pub use graph::{Graph, GraphBuilder, NodeId};
 pub use nodeset::NodeSet;
+pub use topology::{Structure, Topology};
 
 /// Maximum node count accepted by the exact (exponential-time) cut
 /// enumerators in [`conductance`] and [`diligence`].

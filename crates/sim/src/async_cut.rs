@@ -9,17 +9,106 @@
 //! `λ = Σ_{{u,v} ∈ E(I, U)} (1/d_u + 1/d_v)`
 //!
 //! and informs the uninformed node `v` with probability proportional to its
-//! in-rate `r_v = Σ_{u ∈ I ∩ N(v)} (1/d_u + 1/d_v)`. Maintaining the `r_v`
-//! in a Fenwick tree gives `O(log n)` sampling per infection and
-//! `O(deg(v))` rate updates — the whole run costs
-//! `O(Σ_windows (n + m) + Σ_infections deg·log n)` instead of the naive
-//! `O(n · T)` ticks. The distribution over (infection sequence, times) is
-//! *identical* to the naive simulator's; the test suite checks this with a
-//! Kolmogorov–Smirnov test.
+//! in-rate `r_v = Σ_{u ∈ I ∩ N(v)} (1/d_u + 1/d_v)`.
+//!
+//! Two maintenance strategies, selected per [`Topology`] backend:
+//!
+//! * **Generic Fenwick** — per-node in-rates in a Fenwick tree: `O(log n)`
+//!   sampling per infection and `O(deg(v))` rate updates. Exact on any
+//!   backend, but `deg(v) = n − 1` on dense graphs makes a complete-graph
+//!   run `Θ(n²)`.
+//! * **Closed form** — on implicit complete, star, and complete-bipartite
+//!   backends the symmetry collapses the whole rate vector to a handful of
+//!   counters: on `K_n` every uninformed node has in-rate `2|I|/(n−1)`, so
+//!   `λ = 2|I||U|/(n−1)`, sampling is a uniform draw from the uninformed
+//!   pool, and each infection updates the state in `O(1)`. A complete-graph
+//!   spread becomes `O(n)` total — the lever that takes dense-graph
+//!   experiments from `n ≈ 10⁴` to `n ≥ 10⁵`.
+//!
+//! The distribution over (infection sequence, times) is *identical* in
+//! both strategies and to the naive simulator's; the test suites check
+//! this with Kolmogorov–Smirnov tests.
 
 use crate::Protocol;
-use gossip_graph::{Graph, NodeSet};
+use gossip_graph::{NodeId, NodeSet, Structure, Topology};
 use gossip_stats::{FenwickSampler, SimRng};
+
+/// A uniform sampler over a shrinking set of nodes: O(1) removal by
+/// swap-remove, O(1) uniform draws.
+#[derive(Debug, Clone, Default)]
+struct UniformPick {
+    members: Vec<NodeId>,
+    /// `pos[v]` = index of `v` in `members`, or `ABSENT`.
+    pos: Vec<u32>,
+}
+
+const ABSENT: u32 = u32::MAX;
+
+impl UniformPick {
+    /// Rebuilds the pool over universe `0..n` from a membership predicate,
+    /// reusing allocations.
+    fn rebuild(&mut self, n: usize, mut member: impl FnMut(NodeId) -> bool) {
+        self.members.clear();
+        self.pos.clear();
+        self.pos.resize(n, ABSENT);
+        for v in 0..n as NodeId {
+            if member(v) {
+                self.pos[v as usize] = self.members.len() as u32;
+                self.members.push(v);
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    fn contains(&self, v: NodeId) -> bool {
+        self.pos[v as usize] != ABSENT
+    }
+
+    fn remove(&mut self, v: NodeId) {
+        let i = self.pos[v as usize];
+        debug_assert_ne!(i, ABSENT, "node {v} not in the pool");
+        let i = i as usize;
+        let last = *self.members.last().expect("non-empty: v is a member");
+        self.members.swap_remove(i);
+        self.pos[v as usize] = ABSENT;
+        if last != v {
+            self.pos[last as usize] = i as u32;
+        }
+    }
+
+    fn sample(&self, rng: &mut SimRng) -> NodeId {
+        self.members[rng.index(self.members.len())]
+    }
+}
+
+/// Per-backend rate state (see the module docs).
+#[derive(Debug, Clone)]
+enum RateState {
+    /// Generic per-node in-rates, any backend.
+    Fenwick(FenwickSampler),
+    /// Implicit `K_n`: all uninformed nodes share the in-rate
+    /// `2|I|/(n−1)`.
+    Complete { n: usize, uninformed: UniformPick },
+    /// Implicit star: every cut edge carries `1 + 1/(n−1)`; the cut is
+    /// either {center → uninformed leaves} or {informed leaves → center}.
+    Star {
+        n: usize,
+        center: NodeId,
+        center_informed: bool,
+        uninformed_leaves: UniformPick,
+    },
+    /// Implicit `K_{a,b}`: uninformed `A`-nodes share in-rate
+    /// `|I ∩ B|·(1/a + 1/b)` and symmetrically for `B`.
+    Bipartite {
+        a: usize,
+        b: usize,
+        uninformed_a: UniformPick,
+        uninformed_b: UniformPick,
+    },
+}
 
 /// Exact cut-rate simulator of the asynchronous push–pull algorithm.
 ///
@@ -40,7 +129,8 @@ use gossip_stats::{FenwickSampler, SimRng};
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct CutRateAsync {
-    rates: Option<FenwickSampler>,
+    n: usize,
+    state: Option<RateState>,
 }
 
 impl CutRateAsync {
@@ -49,133 +139,318 @@ impl CutRateAsync {
         CutRateAsync::default()
     }
 
-    /// Rebuilds the per-node in-rates for the current graph and informed
-    /// set, iterating over the smaller side of the cut. Weights are
-    /// accumulated in bulk (one O(n) tree build) instead of one O(log n)
-    /// Fenwick update per cut edge.
-    pub(crate) fn rebuild_rates(&mut self, g: &Graph, informed: &NodeSet) {
-        let n = g.n();
-        let rates = self.rates.as_mut().expect("begin() allocates the sampler");
-        rates
-            .set_bulk(|w| {
-                w.iter_mut().for_each(|x| *x = 0.0);
-                if informed.len() * 2 <= n {
-                    for u in informed.iter() {
-                        let du_inv = 1.0 / g.degree(u) as f64;
-                        for &v in g.neighbors(u) {
-                            if !informed.contains(v) {
-                                w[v as usize] += du_inv + 1.0 / g.degree(v) as f64;
+    /// Rebuilds the rate state for the current topology and informed set,
+    /// choosing the closed form when the backend admits one. O(n) on
+    /// closed-form backends; O(vol of the smaller cut side) on the generic
+    /// Fenwick path (weights accumulated in bulk — one O(n) tree build
+    /// instead of one O(log n) update per cut edge).
+    pub(crate) fn rebuild_rates(&mut self, g: &Topology, informed: &NodeSet) {
+        debug_assert_eq!(g.n(), self.n, "begin() saw a different network size");
+        match g.structure() {
+            Structure::Complete { n } => {
+                let (mut uninformed, _) = self.take_picks();
+                uninformed.rebuild(n, |v| !informed.contains(v));
+                self.state = Some(RateState::Complete { n, uninformed });
+            }
+            Structure::Star { n, center } => {
+                let (mut uninformed_leaves, _) = self.take_picks();
+                uninformed_leaves.rebuild(n, |v| v != center && !informed.contains(v));
+                self.state = Some(RateState::Star {
+                    n,
+                    center,
+                    center_informed: informed.contains(center),
+                    uninformed_leaves,
+                });
+            }
+            Structure::CompleteBipartite { a, b } => {
+                let (mut pick_a, mut pick_b) = self.take_picks();
+                let n = a + b;
+                pick_a.rebuild(n, |v| (v as usize) < a && !informed.contains(v));
+                pick_b.rebuild(n, |v| (v as usize) >= a && !informed.contains(v));
+                self.state = Some(RateState::Bipartite {
+                    a,
+                    b,
+                    uninformed_a: pick_a,
+                    uninformed_b: pick_b,
+                });
+            }
+            _ => {
+                let n = self.n;
+                let mut rates = match self.state.take() {
+                    Some(RateState::Fenwick(f)) if f.len() == n => f,
+                    _ => FenwickSampler::new(n),
+                };
+                rates
+                    .set_bulk(|w| {
+                        w.iter_mut().for_each(|x| *x = 0.0);
+                        if informed.len() * 2 <= n {
+                            for u in informed.iter() {
+                                let du_inv = 1.0 / g.degree(u) as f64;
+                                g.for_each_neighbor(u, |v| {
+                                    if !informed.contains(v) {
+                                        w[v as usize] += du_inv + 1.0 / g.degree(v) as f64;
+                                    }
+                                });
+                            }
+                        } else {
+                            for v in informed.iter_complement() {
+                                let dv = g.degree(v);
+                                if dv == 0 {
+                                    continue;
+                                }
+                                let dv_inv = 1.0 / dv as f64;
+                                let mut r = 0.0;
+                                g.for_each_neighbor(v, |u| {
+                                    if informed.contains(u) {
+                                        r += 1.0 / g.degree(u) as f64 + dv_inv;
+                                    }
+                                });
+                                w[v as usize] = r;
                             }
                         }
-                    }
-                } else {
-                    for v in informed.iter_complement() {
-                        let dv = g.degree(v);
-                        if dv == 0 {
-                            continue;
-                        }
-                        let dv_inv = 1.0 / dv as f64;
-                        let mut r = 0.0;
-                        for &u in g.neighbors(v) {
-                            if informed.contains(u) {
-                                r += 1.0 / g.degree(u) as f64 + dv_inv;
-                            }
-                        }
-                        w[v as usize] = r;
-                    }
-                }
-            })
-            .expect("rates are finite");
+                    })
+                    .expect("rates are finite");
+                self.state = Some(RateState::Fenwick(rates));
+            }
+        }
     }
 
-    /// Total cut rate `λ` (0 before `begin`, or when no informative edge
-    /// exists).
+    /// Salvages the pool allocations from the previous state, if any.
+    fn take_picks(&mut self) -> (UniformPick, UniformPick) {
+        match self.state.take() {
+            Some(RateState::Complete { uninformed, .. }) => (uninformed, UniformPick::default()),
+            Some(RateState::Star {
+                uninformed_leaves, ..
+            }) => (uninformed_leaves, UniformPick::default()),
+            Some(RateState::Bipartite {
+                uninformed_a,
+                uninformed_b,
+                ..
+            }) => (uninformed_a, uninformed_b),
+            _ => (UniformPick::default(), UniformPick::default()),
+        }
+    }
+
+    /// Whether the current state is the generic Fenwick tree (the
+    /// delta-repair fast path only exists there).
+    pub(crate) fn is_fenwick(&self) -> bool {
+        matches!(self.state, Some(RateState::Fenwick(_)))
+    }
+
+    /// Total cut rate `λ` (0 before the first rebuild, or when no
+    /// informative edge exists).
     pub(crate) fn total_rate(&self) -> f64 {
-        self.rates.as_ref().map_or(0.0, |r| r.total())
+        match &self.state {
+            None => 0.0,
+            Some(RateState::Fenwick(f)) => f.total(),
+            Some(RateState::Complete { n, uninformed }) => {
+                let u = uninformed.len();
+                let i = n - u;
+                (i * u) as f64 * 2.0 / (*n as f64 - 1.0)
+            }
+            Some(RateState::Star {
+                n,
+                center_informed,
+                uninformed_leaves,
+                ..
+            }) => {
+                // Every cut edge is a {center, leaf} pair of weight
+                // 1 + 1/(n-1).
+                let leaves = n - 1;
+                let cut_edges = if *center_informed {
+                    uninformed_leaves.len()
+                } else {
+                    leaves - uninformed_leaves.len()
+                };
+                cut_edges as f64 * (1.0 + 1.0 / (*n as f64 - 1.0))
+            }
+            Some(RateState::Bipartite {
+                a,
+                b,
+                uninformed_a,
+                uninformed_b,
+            }) => {
+                let (ua, ub) = (uninformed_a.len(), uninformed_b.len());
+                let cut_edges = ua * (b - ub) + ub * (a - ua);
+                cut_edges as f64 * (1.0 / *a as f64 + 1.0 / *b as f64)
+            }
+        }
     }
 
-    /// The current in-rate of node `v` (0 before `begin`).
+    /// The current in-rate of node `v` (0 before the first rebuild).
     #[cfg(test)]
-    pub(crate) fn rate_of(&self, v: gossip_graph::NodeId) -> f64 {
-        self.rates.as_ref().map_or(0.0, |r| r.weight(v as usize))
+    pub(crate) fn rate_of(&self, v: NodeId) -> f64 {
+        match &self.state {
+            None => 0.0,
+            Some(RateState::Fenwick(f)) => f.weight(v as usize),
+            Some(RateState::Complete { n, uninformed }) if uninformed.contains(v) => {
+                (n - uninformed.len()) as f64 * 2.0 / (*n as f64 - 1.0)
+            }
+            Some(RateState::Complete { .. }) => 0.0,
+            Some(RateState::Star {
+                n,
+                center,
+                center_informed,
+                uninformed_leaves,
+            }) => {
+                let w = 1.0 + 1.0 / (*n as f64 - 1.0);
+                if v == *center {
+                    if *center_informed {
+                        0.0
+                    } else {
+                        ((n - 1) - uninformed_leaves.len()) as f64 * w
+                    }
+                } else if *center_informed && uninformed_leaves.contains(v) {
+                    w
+                } else {
+                    0.0
+                }
+            }
+            Some(RateState::Bipartite {
+                a,
+                b,
+                uninformed_a,
+                uninformed_b,
+            }) => {
+                let w = 1.0 / *a as f64 + 1.0 / *b as f64;
+                if uninformed_a.contains(v) {
+                    (b - uninformed_b.len()) as f64 * w
+                } else if uninformed_b.contains(v) {
+                    (a - uninformed_a.len()) as f64 * w
+                } else {
+                    0.0
+                }
+            }
+        }
     }
 
     /// Draws the next node to inform, proportionally to its in-rate.
-    pub(crate) fn sample_next(&mut self, rng: &mut SimRng) -> Option<gossip_graph::NodeId> {
-        self.rates
-            .as_ref()
-            .expect("begin() allocates the sampler")
-            .sample(rng)
-            .map(|v| v as gossip_graph::NodeId)
+    pub(crate) fn sample_next(&mut self, rng: &mut SimRng) -> Option<NodeId> {
+        match self.state.as_ref().expect("rebuilt before sampling") {
+            RateState::Fenwick(f) => f.sample(rng).map(|v| v as NodeId),
+            RateState::Complete { n, uninformed } => {
+                let u = uninformed.len();
+                (u > 0 && u < *n).then(|| uninformed.sample(rng))
+            }
+            RateState::Star {
+                n,
+                center,
+                center_informed,
+                uninformed_leaves,
+            } => {
+                if *center_informed {
+                    (uninformed_leaves.len() > 0).then(|| uninformed_leaves.sample(rng))
+                } else {
+                    (uninformed_leaves.len() < n - 1).then_some(*center)
+                }
+            }
+            RateState::Bipartite {
+                a,
+                b,
+                uninformed_a,
+                uninformed_b,
+            } => {
+                let (ua, ub) = (uninformed_a.len(), uninformed_b.len());
+                let (wa, wb) = (ua * (b - ub), ub * (a - ua));
+                if wa + wb == 0 {
+                    return None;
+                }
+                let x = rng.uniform_f64() * (wa + wb) as f64;
+                Some(if x < wa as f64 {
+                    uninformed_a.sample(rng)
+                } else {
+                    uninformed_b.sample(rng)
+                })
+            }
+        }
     }
 
-    /// Frontier update after `v` became informed: `v` stops being a target
-    /// and starts pressuring its uninformed neighbors.
-    ///
-    /// Density-adaptive: at most `min(deg(v), |U|)` point updates at
-    /// `O(log n)` each, so once that projected cost exceeds the ~4 linear
-    /// passes of an O(n) bulk tree rebuild (only plausible for very
-    /// high-degree nodes mid-spread) the batch goes through
-    /// [`FenwickSampler::set_bulk`] instead.
-    pub(crate) fn absorb_informed(
-        &mut self,
-        g: &Graph,
-        v: gossip_graph::NodeId,
-        informed: &NodeSet,
-    ) {
-        let rates = self.rates.as_mut().expect("begin() allocates the sampler");
-        let n = g.n();
-        let dv_inv = 1.0 / g.degree(v) as f64;
-        let log2n = usize::BITS.saturating_sub(n.leading_zeros()) as usize;
-        let updates = g.degree(v).min(n - informed.len());
-        if updates.saturating_mul(log2n) >= 4 * n {
-            rates
-                .set_bulk(|w| {
-                    w[v as usize] = 0.0;
-                    for &u in g.neighbors(v) {
-                        if !informed.contains(u) {
-                            w[u as usize] += dv_inv + 1.0 / g.degree(u) as f64;
-                        }
-                    }
-                })
-                .expect("rates are finite");
-        } else {
-            rates.set(v as usize, 0.0).expect("zero is valid");
-            for &u in g.neighbors(v) {
-                if !informed.contains(u) {
-                    let du_inv = 1.0 / g.degree(u) as f64;
+    /// Frontier update after `v` became informed. O(1) on closed-form
+    /// backends. On the Fenwick path: `v` stops being a target and starts
+    /// pressuring its uninformed neighbors — density-adaptive between at
+    /// most `min(deg(v), |U|)` point updates at `O(log n)` each and an
+    /// O(n) bulk tree rebuild (only plausible for very high-degree nodes
+    /// mid-spread).
+    pub(crate) fn absorb_informed(&mut self, g: &Topology, v: NodeId, informed: &NodeSet) {
+        match self.state.as_mut().expect("rebuilt before absorbing") {
+            RateState::Complete { uninformed, .. } => uninformed.remove(v),
+            RateState::Star {
+                center,
+                center_informed,
+                uninformed_leaves,
+                ..
+            } => {
+                if v == *center {
+                    *center_informed = true;
+                } else {
+                    uninformed_leaves.remove(v);
+                }
+            }
+            RateState::Bipartite {
+                uninformed_a,
+                uninformed_b,
+                ..
+            } => {
+                if uninformed_a.contains(v) {
+                    uninformed_a.remove(v);
+                } else {
+                    uninformed_b.remove(v);
+                }
+            }
+            RateState::Fenwick(rates) => {
+                let n = g.n();
+                let dv_inv = 1.0 / g.degree(v) as f64;
+                let log2n = usize::BITS.saturating_sub(n.leading_zeros()) as usize;
+                let updates = g.degree(v).min(n - informed.len());
+                if updates.saturating_mul(log2n) >= 4 * n {
                     rates
-                        .add(u as usize, dv_inv + du_inv)
+                        .set_bulk(|w| {
+                            w[v as usize] = 0.0;
+                            g.for_each_neighbor(v, |u| {
+                                if !informed.contains(u) {
+                                    w[u as usize] += dv_inv + 1.0 / g.degree(u) as f64;
+                                }
+                            });
+                        })
                         .expect("rates are finite");
+                } else {
+                    rates.set(v as usize, 0.0).expect("zero is valid");
+                    let mut failed = None;
+                    g.for_each_neighbor(v, |u| {
+                        if !informed.contains(u) {
+                            let du_inv = 1.0 / g.degree(u) as f64;
+                            if let Err(e) = rates.add(u as usize, dv_inv + du_inv) {
+                                failed = Some(e);
+                            }
+                        }
+                    });
+                    assert!(failed.is_none(), "rates are finite");
                 }
             }
         }
     }
 
     /// Recomputes one uninformed node's in-rate from scratch (`O(deg(v))`),
-    /// used by the delta-repair path after a topology change.
-    pub(crate) fn recompute_rate(
-        &mut self,
-        g: &Graph,
-        v: gossip_graph::NodeId,
-        informed: &NodeSet,
-    ) {
+    /// used by the delta-repair path after a topology change — Fenwick
+    /// state only (closed-form states rebuild instead).
+    pub(crate) fn recompute_rate(&mut self, g: &Topology, v: NodeId, informed: &NodeSet) {
         debug_assert!(!informed.contains(v), "informed nodes carry no in-rate");
         let dv = g.degree(v);
         let mut r = 0.0;
         if dv > 0 {
             let dv_inv = 1.0 / dv as f64;
-            for &u in g.neighbors(v) {
+            g.for_each_neighbor(v, |u| {
                 if informed.contains(u) {
                     r += 1.0 / g.degree(u) as f64 + dv_inv;
                 }
-            }
+            });
         }
-        self.rates
-            .as_mut()
-            .expect("begin() allocates the sampler")
-            .set(v as usize, r)
-            .expect("rates are finite");
+        match self.state.as_mut() {
+            Some(RateState::Fenwick(rates)) => {
+                rates.set(v as usize, r).expect("rates are finite");
+            }
+            _ => unreachable!("delta repair only runs on the Fenwick state"),
+        }
     }
 }
 
@@ -185,18 +460,19 @@ impl Protocol for CutRateAsync {
     }
 
     fn begin(&mut self, n: usize) {
-        self.rates = Some(FenwickSampler::new(n));
+        self.n = n;
+        self.state = None;
     }
 
     fn advance_window(
         &mut self,
-        g: &Graph,
+        g: &Topology,
         t: u64,
         informed: &mut NodeSet,
         rng: &mut SimRng,
     ) -> Option<f64> {
         // The graph may have changed at the window boundary: recompute the
-        // cut rates from scratch (O(vol of smaller side)).
+        // cut rates from scratch.
         self.rebuild_rates(g, informed);
         let mut tau = t as f64;
         let end = (t + 1) as f64;
@@ -232,7 +508,7 @@ mod tests {
 
     fn sample_times<P: Protocol>(
         make: impl Fn() -> P,
-        g: gossip_graph::Graph,
+        net: impl Fn() -> StaticNetwork,
         start: u32,
         trials: u64,
         seed: u64,
@@ -241,7 +517,7 @@ mod tests {
         let mut out = Vec::with_capacity(trials as usize);
         for i in 0..trials {
             let mut rng = base.derive(i);
-            let mut net = StaticNetwork::new(g.clone());
+            let mut net = net();
             let o = Simulation::new(make(), RunConfig::default())
                 .run(&mut net, start, &mut rng)
                 .unwrap();
@@ -250,14 +526,18 @@ mod tests {
         out
     }
 
+    fn static_graph(g: gossip_graph::Graph) -> impl Fn() -> StaticNetwork {
+        move || StaticNetwork::new(g.clone())
+    }
+
     /// The headline validation: naive and cut-rate simulators produce the
     /// same spread-time distribution (they are both exact samplers of the
     /// same process).
     #[test]
     fn matches_naive_distribution_on_path() {
         let g = generators::path(8).unwrap();
-        let naive = sample_times(AsyncPushPull::new, g.clone(), 0, 1500, 100);
-        let fast = sample_times(CutRateAsync::new, g, 0, 1500, 200);
+        let naive = sample_times(AsyncPushPull::new, static_graph(g.clone()), 0, 1500, 100);
+        let fast = sample_times(CutRateAsync::new, static_graph(g), 0, 1500, 200);
         assert!(
             ks::same_distribution(&naive, &fast, 0.001),
             "KS distance {} exceeds critical {}",
@@ -269,8 +549,8 @@ mod tests {
     #[test]
     fn matches_naive_distribution_on_star() {
         let g = generators::star(12).unwrap();
-        let naive = sample_times(AsyncPushPull::new, g.clone(), 1, 1500, 300);
-        let fast = sample_times(CutRateAsync::new, g, 1, 1500, 400);
+        let naive = sample_times(AsyncPushPull::new, static_graph(g.clone()), 1, 1500, 300);
+        let fast = sample_times(CutRateAsync::new, static_graph(g), 1, 1500, 400);
         assert!(ks::same_distribution(&naive, &fast, 0.001));
     }
 
@@ -279,8 +559,8 @@ mod tests {
         // Barbell: highly irregular degrees exercise the 1/d_u + 1/d_v
         // weights.
         let g = generators::barbell(5).unwrap();
-        let naive = sample_times(AsyncPushPull::new, g.clone(), 0, 1500, 500);
-        let fast = sample_times(CutRateAsync::new, g, 0, 1500, 600);
+        let naive = sample_times(AsyncPushPull::new, static_graph(g.clone()), 0, 1500, 500);
+        let fast = sample_times(CutRateAsync::new, static_graph(g), 0, 1500, 600);
         assert!(ks::same_distribution(&naive, &fast, 0.001));
     }
 
@@ -314,9 +594,118 @@ mod tests {
     fn two_node_exact_rate() {
         // Spread time on P2 is Exp(2).
         let g = generators::path(2).unwrap();
-        let times = sample_times(CutRateAsync::new, g, 0, 4000, 800);
+        let times = sample_times(CutRateAsync::new, static_graph(g), 0, 4000, 800);
         let mean = times.iter().sum::<f64>() / times.len() as f64;
         assert!((mean - 0.5).abs() < 0.03, "mean {mean}");
+    }
+
+    #[test]
+    fn implicit_complete_closed_form_matches_rates() {
+        // The closed-form state must report exactly the rates the Fenwick
+        // path computes on the materialized twin.
+        let n = 16;
+        let topo = gossip_graph::Topology::complete(n).unwrap();
+        let mat = gossip_graph::Topology::materialized(generators::complete(n).unwrap());
+        let mut informed = NodeSet::new(n);
+        for v in [0, 3, 7] {
+            informed.insert(v);
+        }
+        let mut fast = CutRateAsync::new();
+        fast.begin(n);
+        fast.rebuild_rates(&topo, &informed);
+        let mut slow = CutRateAsync::new();
+        slow.begin(n);
+        slow.rebuild_rates(&mat, &informed);
+        assert!(!fast.is_fenwick());
+        assert!(slow.is_fenwick());
+        assert!((fast.total_rate() - slow.total_rate()).abs() < 1e-12);
+        for v in 0..n as NodeId {
+            assert!(
+                (fast.rate_of(v) - slow.rate_of(v)).abs() < 1e-12,
+                "node {v}: {} vs {}",
+                fast.rate_of(v),
+                slow.rate_of(v)
+            );
+        }
+        // Absorb an infection on both and compare again.
+        informed.insert(9);
+        fast.absorb_informed(&topo, 9, &informed);
+        slow.absorb_informed(&mat, 9, &informed);
+        for v in 0..n as NodeId {
+            assert!((fast.rate_of(v) - slow.rate_of(v)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn implicit_star_closed_form_matches_rates() {
+        let n = 11;
+        let center = 4u32;
+        let topo = gossip_graph::Topology::star(n, center).unwrap();
+        let mat =
+            gossip_graph::Topology::materialized(generators::star_with_center(n, center).unwrap());
+        for informed_set in [vec![2u32], vec![center], vec![center, 1, 9], vec![0, 1, 2]] {
+            let mut informed = NodeSet::new(n);
+            for &v in &informed_set {
+                informed.insert(v);
+            }
+            let mut fast = CutRateAsync::new();
+            fast.begin(n);
+            fast.rebuild_rates(&topo, &informed);
+            let mut slow = CutRateAsync::new();
+            slow.begin(n);
+            slow.rebuild_rates(&mat, &informed);
+            for v in 0..n as NodeId {
+                assert!(
+                    (fast.rate_of(v) - slow.rate_of(v)).abs() < 1e-12,
+                    "informed {informed_set:?}, node {v}: {} vs {}",
+                    fast.rate_of(v),
+                    slow.rate_of(v)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn implicit_bipartite_closed_form_matches_rates() {
+        let (a, b) = (5usize, 8usize);
+        let n = a + b;
+        let topo = gossip_graph::Topology::complete_bipartite(a, b).unwrap();
+        let mat =
+            gossip_graph::Topology::materialized(generators::complete_bipartite(a, b).unwrap());
+        for informed_set in [vec![0u32], vec![6u32], vec![0, 1, 6, 7, 12]] {
+            let mut informed = NodeSet::new(n);
+            for &v in &informed_set {
+                informed.insert(v);
+            }
+            let mut fast = CutRateAsync::new();
+            fast.begin(n);
+            fast.rebuild_rates(&topo, &informed);
+            let mut slow = CutRateAsync::new();
+            slow.begin(n);
+            slow.rebuild_rates(&mat, &informed);
+            assert!((fast.total_rate() - slow.total_rate()).abs() < 1e-12);
+            for v in 0..n as NodeId {
+                assert!(
+                    (fast.rate_of(v) - slow.rate_of(v)).abs() < 1e-12,
+                    "informed {informed_set:?}, node {v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn implicit_complete_large_run_is_linear_memory() {
+        // A smoke test at a size whose CSR form would be ~40 GB: only
+        // possible because nothing is materialized.
+        let n = 100_000;
+        let mut net = StaticNetwork::from_topology(gossip_graph::Topology::complete(n).unwrap());
+        let mut rng = gossip_stats::SimRng::seed_from_u64(4242);
+        let o = Simulation::new(CutRateAsync::new(), RunConfig::default())
+            .run(&mut net, 0, &mut rng)
+            .unwrap();
+        assert!(o.complete());
+        // K_n spreads in Θ(log n).
+        assert!(o.spread_time().unwrap() < 40.0);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! validated against.
 
 use crate::Protocol;
-use gossip_graph::{Graph, NodeSet};
+use gossip_graph::{NodeSet, Topology};
 use gossip_stats::{Exponential, SimRng};
 
 /// Which directions the rumor crosses on a contact.
@@ -27,16 +27,16 @@ pub(crate) enum Direction {
 /// window-based loop below and the event-stream engine.
 pub(crate) fn resolve_tick(
     direction: Direction,
-    g: &Graph,
+    g: &Topology,
     informed: &NodeSet,
     rng: &mut SimRng,
 ) -> Option<u32> {
     let caller = rng.index(g.n()) as u32;
-    let nbrs = g.neighbors(caller);
-    if nbrs.is_empty() {
+    let deg = g.degree(caller);
+    if deg == 0 {
         return None;
     }
-    let callee = nbrs[rng.index(nbrs.len())];
+    let callee = g.neighbor(caller, rng.index(deg));
     let caller_informed = informed.contains(caller);
     let callee_informed = informed.contains(callee);
     match direction {
@@ -53,7 +53,7 @@ pub(crate) fn resolve_tick(
 /// Core event loop shared by the three variants.
 fn advance(
     direction: Direction,
-    g: &Graph,
+    g: &Topology,
     t: u64,
     informed: &mut NodeSet,
     rng: &mut SimRng,
@@ -117,7 +117,7 @@ impl Protocol for AsyncPushPull {
 
     fn advance_window(
         &mut self,
-        g: &Graph,
+        g: &Topology,
         t: u64,
         informed: &mut NodeSet,
         rng: &mut SimRng,
@@ -149,7 +149,7 @@ impl Protocol for AsyncPush {
 
     fn advance_window(
         &mut self,
-        g: &Graph,
+        g: &Topology,
         t: u64,
         informed: &mut NodeSet,
         rng: &mut SimRng,
@@ -181,7 +181,7 @@ impl Protocol for AsyncPull {
 
     fn advance_window(
         &mut self,
-        g: &Graph,
+        g: &Topology,
         t: u64,
         informed: &mut NodeSet,
         rng: &mut SimRng,

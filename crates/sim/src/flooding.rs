@@ -5,7 +5,7 @@
 //! its spread time equals the dynamic diameter of the network.
 
 use crate::Protocol;
-use gossip_graph::{Graph, NodeSet};
+use gossip_graph::{NodeSet, Topology};
 use gossip_stats::SimRng;
 
 /// Flooding: informed nodes inform their whole neighborhood each round.
@@ -49,18 +49,18 @@ impl Protocol for Flooding {
 
     fn advance_window(
         &mut self,
-        g: &Graph,
+        g: &Topology,
         t: u64,
         informed: &mut NodeSet,
         _rng: &mut SimRng,
     ) -> Option<f64> {
         self.frontier.clear();
         for u in informed.iter() {
-            for &v in g.neighbors(u) {
+            g.for_each_neighbor(u, |v| {
                 if !informed.contains(v) {
                     self.frontier.push(v);
                 }
-            }
+            });
         }
         for &v in &self.frontier {
             informed.insert(v);

@@ -23,7 +23,7 @@
 use crate::async_naive::{resolve_tick, Direction};
 use crate::{AsyncPull, AsyncPush, AsyncPushPull, CutRateAsync, LossyAsync, Protocol, TwoPush};
 use gossip_dynamics::EdgeDelta;
-use gossip_graph::{Graph, NodeId, NodeSet};
+use gossip_graph::{NodeId, NodeSet, Topology};
 use gossip_stats::SimRng;
 
 /// A protocol whose per-node state advances event by event instead of
@@ -37,25 +37,25 @@ pub trait IncrementalProtocol: Protocol {
     /// Rebuilds all internal event state for graph `g` and the informed
     /// set (called at the start of a run and whenever the network declines
     /// to report a delta).
-    fn rebuild(&mut self, g: &Graph, informed: &NodeSet);
+    fn rebuild(&mut self, g: &Topology, informed: &NodeSet);
 
     /// Repairs internal state after a topology delta (the graph `g` is the
     /// *post-delta* graph). The default falls back to a full rebuild.
-    fn apply_delta(&mut self, g: &Graph, delta: &EdgeDelta, informed: &NodeSet) {
+    fn apply_delta(&mut self, g: &Topology, delta: &EdgeDelta, informed: &NodeSet) {
         let _ = delta;
         self.rebuild(g, informed);
     }
 
     /// Hook at each unit-window boundary for state that is redrawn per
     /// window (e.g. [`LossyAsync`] downtime). Default: nothing.
-    fn on_window(&mut self, g: &Graph, t: u64, informed: &NodeSet, rng: &mut SimRng) {
+    fn on_window(&mut self, g: &Topology, t: u64, informed: &NodeSet, rng: &mut SimRng) {
         let _ = (g, t, informed, rng);
     }
 
     /// Total rate `λ` of the protocol's event clock in its current state;
     /// `0` means no event can change anything under this graph (the engine
     /// idles to the next window).
-    fn event_rate(&self, g: &Graph, informed: &NodeSet) -> f64;
+    fn event_rate(&self, g: &Topology, informed: &NodeSet) -> f64;
 
     /// Resolves one event of the superposed clock: returns the node that
     /// becomes informed, or `None` for a non-informative event (the clock
@@ -64,60 +64,75 @@ pub trait IncrementalProtocol: Protocol {
     /// The engine inserts the returned node into `informed` and then calls
     /// [`IncrementalProtocol::commit`]; `resolve_event` itself must not
     /// mutate the informed set.
-    fn resolve_event(&mut self, g: &Graph, informed: &NodeSet, rng: &mut SimRng) -> Option<NodeId>;
+    fn resolve_event(
+        &mut self,
+        g: &Topology,
+        informed: &NodeSet,
+        rng: &mut SimRng,
+    ) -> Option<NodeId>;
 
     /// `O(deg(v))` state update after `v` was inserted into `informed`.
-    fn commit(&mut self, g: &Graph, v: NodeId, informed: &NodeSet);
+    fn commit(&mut self, g: &Topology, v: NodeId, informed: &NodeSet);
 }
 
 impl<T: IncrementalProtocol + ?Sized> IncrementalProtocol for &mut T {
-    fn rebuild(&mut self, g: &Graph, informed: &NodeSet) {
+    fn rebuild(&mut self, g: &Topology, informed: &NodeSet) {
         (**self).rebuild(g, informed)
     }
 
-    fn apply_delta(&mut self, g: &Graph, delta: &EdgeDelta, informed: &NodeSet) {
+    fn apply_delta(&mut self, g: &Topology, delta: &EdgeDelta, informed: &NodeSet) {
         (**self).apply_delta(g, delta, informed)
     }
 
-    fn on_window(&mut self, g: &Graph, t: u64, informed: &NodeSet, rng: &mut SimRng) {
+    fn on_window(&mut self, g: &Topology, t: u64, informed: &NodeSet, rng: &mut SimRng) {
         (**self).on_window(g, t, informed, rng)
     }
 
-    fn event_rate(&self, g: &Graph, informed: &NodeSet) -> f64 {
+    fn event_rate(&self, g: &Topology, informed: &NodeSet) -> f64 {
         (**self).event_rate(g, informed)
     }
 
-    fn resolve_event(&mut self, g: &Graph, informed: &NodeSet, rng: &mut SimRng) -> Option<NodeId> {
+    fn resolve_event(
+        &mut self,
+        g: &Topology,
+        informed: &NodeSet,
+        rng: &mut SimRng,
+    ) -> Option<NodeId> {
         (**self).resolve_event(g, informed, rng)
     }
 
-    fn commit(&mut self, g: &Graph, v: NodeId, informed: &NodeSet) {
+    fn commit(&mut self, g: &Topology, v: NodeId, informed: &NodeSet) {
         (**self).commit(g, v, informed)
     }
 }
 
 impl<T: IncrementalProtocol + ?Sized> IncrementalProtocol for Box<T> {
-    fn rebuild(&mut self, g: &Graph, informed: &NodeSet) {
+    fn rebuild(&mut self, g: &Topology, informed: &NodeSet) {
         (**self).rebuild(g, informed)
     }
 
-    fn apply_delta(&mut self, g: &Graph, delta: &EdgeDelta, informed: &NodeSet) {
+    fn apply_delta(&mut self, g: &Topology, delta: &EdgeDelta, informed: &NodeSet) {
         (**self).apply_delta(g, delta, informed)
     }
 
-    fn on_window(&mut self, g: &Graph, t: u64, informed: &NodeSet, rng: &mut SimRng) {
+    fn on_window(&mut self, g: &Topology, t: u64, informed: &NodeSet, rng: &mut SimRng) {
         (**self).on_window(g, t, informed, rng)
     }
 
-    fn event_rate(&self, g: &Graph, informed: &NodeSet) -> f64 {
+    fn event_rate(&self, g: &Topology, informed: &NodeSet) -> f64 {
         (**self).event_rate(g, informed)
     }
 
-    fn resolve_event(&mut self, g: &Graph, informed: &NodeSet, rng: &mut SimRng) -> Option<NodeId> {
+    fn resolve_event(
+        &mut self,
+        g: &Topology,
+        informed: &NodeSet,
+        rng: &mut SimRng,
+    ) -> Option<NodeId> {
         (**self).resolve_event(g, informed, rng)
     }
 
-    fn commit(&mut self, g: &Graph, v: NodeId, informed: &NodeSet) {
+    fn commit(&mut self, g: &Topology, v: NodeId, informed: &NodeSet) {
         (**self).commit(g, v, informed)
     }
 }
@@ -129,22 +144,28 @@ impl<T: IncrementalProtocol + ?Sized> IncrementalProtocol for Box<T> {
 // ---------------------------------------------------------------------------
 
 impl IncrementalProtocol for CutRateAsync {
-    fn rebuild(&mut self, g: &Graph, informed: &NodeSet) {
+    fn rebuild(&mut self, g: &Topology, informed: &NodeSet) {
         self.rebuild_rates(g, informed);
     }
 
     /// Repairs only the nodes whose in-rate could have moved: uninformed
     /// endpoints of changed edges, and uninformed neighbors of informed
     /// endpoints (whose `1/d_u` contribution shifted with `u`'s degree).
-    fn apply_delta(&mut self, g: &Graph, delta: &EdgeDelta, informed: &NodeSet) {
+    /// Closed-form states (implicit complete/star/bipartite backends)
+    /// rebuild instead — that is O(n), no slower than walking a delta.
+    fn apply_delta(&mut self, g: &Topology, delta: &EdgeDelta, informed: &NodeSet) {
+        if !self.is_fenwick() {
+            self.rebuild(g, informed);
+            return;
+        }
         let mut stale = Vec::new();
         for e in delta.touched_nodes() {
             if informed.contains(e) {
-                for &w in g.neighbors(e) {
+                g.for_each_neighbor(e, |w| {
                     if !informed.contains(w) {
                         stale.push(w);
                     }
-                }
+                });
             } else {
                 stale.push(e);
             }
@@ -156,13 +177,13 @@ impl IncrementalProtocol for CutRateAsync {
         }
     }
 
-    fn event_rate(&self, _g: &Graph, _informed: &NodeSet) -> f64 {
+    fn event_rate(&self, _g: &Topology, _informed: &NodeSet) -> f64 {
         self.total_rate()
     }
 
     fn resolve_event(
         &mut self,
-        _g: &Graph,
+        _g: &Topology,
         informed: &NodeSet,
         rng: &mut SimRng,
     ) -> Option<NodeId> {
@@ -174,7 +195,7 @@ impl IncrementalProtocol for CutRateAsync {
         v
     }
 
-    fn commit(&mut self, g: &Graph, v: NodeId, informed: &NodeSet) {
+    fn commit(&mut self, g: &Topology, v: NodeId, informed: &NodeSet) {
         self.absorb_informed(g, v, informed);
     }
 }
@@ -188,18 +209,18 @@ impl IncrementalProtocol for CutRateAsync {
 macro_rules! impl_incremental_naive {
     ($ty:ty, $rate:expr, $resolve:expr) => {
         impl IncrementalProtocol for $ty {
-            fn rebuild(&mut self, _g: &Graph, _informed: &NodeSet) {}
+            fn rebuild(&mut self, _g: &Topology, _informed: &NodeSet) {}
 
-            fn apply_delta(&mut self, _g: &Graph, _delta: &EdgeDelta, _informed: &NodeSet) {}
+            fn apply_delta(&mut self, _g: &Topology, _delta: &EdgeDelta, _informed: &NodeSet) {}
 
-            fn event_rate(&self, g: &Graph, _informed: &NodeSet) -> f64 {
+            fn event_rate(&self, g: &Topology, _informed: &NodeSet) -> f64 {
                 #[allow(clippy::redundant_closure_call)]
                 ($rate)(g)
             }
 
             fn resolve_event(
                 &mut self,
-                g: &Graph,
+                g: &Topology,
                 informed: &NodeSet,
                 rng: &mut SimRng,
             ) -> Option<NodeId> {
@@ -207,15 +228,15 @@ macro_rules! impl_incremental_naive {
                 ($resolve)(g, informed, rng)
             }
 
-            fn commit(&mut self, _g: &Graph, _v: NodeId, _informed: &NodeSet) {}
+            fn commit(&mut self, _g: &Topology, _v: NodeId, _informed: &NodeSet) {}
         }
     };
 }
 
 impl_incremental_naive!(
     AsyncPushPull,
-    |g: &Graph| g.n() as f64,
-    |g: &Graph, informed: &NodeSet, rng: &mut SimRng| resolve_tick(
+    |g: &Topology| g.n() as f64,
+    |g: &Topology, informed: &NodeSet, rng: &mut SimRng| resolve_tick(
         Direction::PushPull,
         g,
         informed,
@@ -224,8 +245,8 @@ impl_incremental_naive!(
 );
 impl_incremental_naive!(
     AsyncPush,
-    |g: &Graph| g.n() as f64,
-    |g: &Graph, informed: &NodeSet, rng: &mut SimRng| resolve_tick(
+    |g: &Topology| g.n() as f64,
+    |g: &Topology, informed: &NodeSet, rng: &mut SimRng| resolve_tick(
         Direction::Push,
         g,
         informed,
@@ -234,8 +255,8 @@ impl_incremental_naive!(
 );
 impl_incremental_naive!(
     AsyncPull,
-    |g: &Graph| g.n() as f64,
-    |g: &Graph, informed: &NodeSet, rng: &mut SimRng| resolve_tick(
+    |g: &Topology| g.n() as f64,
+    |g: &Topology, informed: &NodeSet, rng: &mut SimRng| resolve_tick(
         Direction::Pull,
         g,
         informed,
@@ -246,17 +267,17 @@ impl_incremental_naive!(
 // 2-push: rate-2 clocks, informed callers push to a uniform neighbor.
 impl_incremental_naive!(
     TwoPush,
-    |g: &Graph| 2.0 * g.n() as f64,
-    |g: &Graph, informed: &NodeSet, rng: &mut SimRng| {
+    |g: &Topology| 2.0 * g.n() as f64,
+    |g: &Topology, informed: &NodeSet, rng: &mut SimRng| {
         let caller = rng.index(g.n()) as NodeId;
         if !informed.contains(caller) {
             return None;
         }
-        let nbrs = g.neighbors(caller);
-        if nbrs.is_empty() {
+        let deg = g.degree(caller);
+        if deg == 0 {
             return None;
         }
-        let callee = nbrs[rng.index(nbrs.len())];
+        let callee = g.neighbor(caller, rng.index(deg));
         (!informed.contains(callee)).then_some(callee)
     }
 );
@@ -267,23 +288,28 @@ impl_incremental_naive!(
 // ---------------------------------------------------------------------------
 
 impl IncrementalProtocol for LossyAsync {
-    fn rebuild(&mut self, _g: &Graph, _informed: &NodeSet) {}
+    fn rebuild(&mut self, _g: &Topology, _informed: &NodeSet) {}
 
-    fn apply_delta(&mut self, _g: &Graph, _delta: &EdgeDelta, _informed: &NodeSet) {}
+    fn apply_delta(&mut self, _g: &Topology, _delta: &EdgeDelta, _informed: &NodeSet) {}
 
-    fn on_window(&mut self, g: &Graph, t: u64, _informed: &NodeSet, rng: &mut SimRng) {
+    fn on_window(&mut self, g: &Topology, t: u64, _informed: &NodeSet, rng: &mut SimRng) {
         self.ensure_down_window(g.n(), t, rng);
     }
 
-    fn event_rate(&self, g: &Graph, _informed: &NodeSet) -> f64 {
+    fn event_rate(&self, g: &Topology, _informed: &NodeSet) -> f64 {
         g.n() as f64
     }
 
-    fn resolve_event(&mut self, g: &Graph, informed: &NodeSet, rng: &mut SimRng) -> Option<NodeId> {
+    fn resolve_event(
+        &mut self,
+        g: &Topology,
+        informed: &NodeSet,
+        rng: &mut SimRng,
+    ) -> Option<NodeId> {
         self.resolve_contact(g, informed, rng)
     }
 
-    fn commit(&mut self, _g: &Graph, _v: NodeId, _informed: &NodeSet) {}
+    fn commit(&mut self, _g: &Topology, _v: NodeId, _informed: &NodeSet) {}
 }
 
 #[cfg(test)]
@@ -293,7 +319,7 @@ mod tests {
     #[test]
     fn object_safe() {
         let mut boxed: Box<dyn IncrementalProtocol> = Box::new(AsyncPushPull::new());
-        let g = Graph::from_edges(2, &[(0, 1)]).unwrap();
+        let g = Topology::materialized(gossip_graph::Graph::from_edges(2, &[(0, 1)]).unwrap());
         let mut informed = NodeSet::new(2);
         informed.insert(0);
         boxed.begin(2);
@@ -314,9 +340,11 @@ mod tests {
             edges.retain(|&e| e != (3, 4));
             edges.push((0, 5));
             edges.push((2, 7));
-            Graph::from_edges(10, &edges).unwrap()
+            gossip_graph::Graph::from_edges(10, &edges).unwrap()
         };
         let delta = EdgeDelta::between(&old, &new);
+        let old = Topology::materialized(old);
+        let new = Topology::materialized(new);
         let mut informed = NodeSet::new(10);
         for v in [0, 1, 2, 3] {
             informed.insert(v);
@@ -343,7 +371,7 @@ mod tests {
 
     #[test]
     fn two_push_rate_doubles() {
-        let g = gossip_graph::generators::cycle(5).unwrap();
+        let g = Topology::materialized(gossip_graph::generators::cycle(5).unwrap());
         let informed = NodeSet::new(5);
         let p = TwoPush::new();
         assert_eq!(p.event_rate(&g, &informed), 10.0);

@@ -26,7 +26,7 @@
 //! contrast is the experiment's point.
 
 use crate::{Protocol, SimError};
-use gossip_graph::{Graph, NodeSet};
+use gossip_graph::{NodeSet, Topology};
 use gossip_stats::{Exponential, SimRng};
 
 /// Asynchronous push–pull under message loss and transient node downtime.
@@ -120,7 +120,7 @@ impl LossyAsync {
     /// window loop and the event-stream engine.
     pub(crate) fn resolve_contact(
         &mut self,
-        g: &Graph,
+        g: &Topology,
         informed: &NodeSet,
         rng: &mut SimRng,
     ) -> Option<gossip_graph::NodeId> {
@@ -128,11 +128,11 @@ impl LossyAsync {
         if self.down.contains(caller) {
             return None;
         }
-        let nbrs = g.neighbors(caller);
-        if nbrs.is_empty() {
+        let deg = g.degree(caller);
+        if deg == 0 {
             return None;
         }
-        let callee = nbrs[rng.index(nbrs.len())];
+        let callee = g.neighbor(caller, rng.index(deg));
         if self.down.contains(callee) {
             return None;
         }
@@ -178,7 +178,7 @@ impl Protocol for LossyAsync {
 
     fn advance_window(
         &mut self,
-        g: &Graph,
+        g: &Topology,
         t: u64,
         informed: &mut NodeSet,
         rng: &mut SimRng,

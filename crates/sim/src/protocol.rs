@@ -1,4 +1,4 @@
-use gossip_graph::{Graph, NodeSet};
+use gossip_graph::{NodeSet, Topology};
 use gossip_stats::SimRng;
 
 /// A rumor-spreading protocol advancing over unit time windows.
@@ -21,14 +21,14 @@ pub trait Protocol {
     /// Prepares internal state for a fresh run on an `n`-node network.
     fn begin(&mut self, n: usize);
 
-    /// Advances the process across `[t, t+1)` on the fixed graph `g`.
+    /// Advances the process across `[t, t+1)` on the fixed topology `g`.
     ///
     /// Returns `Some(τ)` with the absolute completion time if every node
     /// became informed strictly inside this window (for round-based
     /// protocols, the round index plus one).
     fn advance_window(
         &mut self,
-        g: &Graph,
+        g: &Topology,
         t: u64,
         informed: &mut NodeSet,
         rng: &mut SimRng,
@@ -46,7 +46,7 @@ impl<T: Protocol + ?Sized> Protocol for &mut T {
 
     fn advance_window(
         &mut self,
-        g: &Graph,
+        g: &Topology,
         t: u64,
         informed: &mut NodeSet,
         rng: &mut SimRng,
@@ -66,7 +66,7 @@ impl<T: Protocol + ?Sized> Protocol for Box<T> {
 
     fn advance_window(
         &mut self,
-        g: &Graph,
+        g: &Topology,
         t: u64,
         informed: &mut NodeSet,
         rng: &mut SimRng,
@@ -92,7 +92,7 @@ mod tests {
 
         fn advance_window(
             &mut self,
-            _g: &Graph,
+            _g: &Topology,
             t: u64,
             informed: &mut NodeSet,
             _rng: &mut SimRng,
@@ -125,7 +125,7 @@ mod tests {
     fn object_safe() {
         let mut p: Box<dyn Protocol> = Box::new(OnePerWindow);
         p.begin(3);
-        let g = Graph::empty(3);
+        let g = Topology::materialized(gossip_graph::Graph::empty(3));
         let mut informed = NodeSet::new(3);
         let mut rng = SimRng::seed_from_u64(0);
         assert_eq!(p.advance_window(&g, 0, &mut informed, &mut rng), None);

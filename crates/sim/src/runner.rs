@@ -13,6 +13,10 @@ use gossip_dynamics::DynamicNetwork;
 use gossip_graph::NodeId;
 use gossip_stats::{RunningMoments, SimRng, SortedSample};
 
+/// Per-thread trial results: `(trial index, spread time)` pairs, or the
+/// first error the thread hit.
+type ThreadResults = Result<Vec<(usize, Option<f64>)>, SimError>;
+
 /// Summary of a batch of simulation trials.
 ///
 /// Completed-trial spread times are sorted **once** at construction
@@ -225,7 +229,7 @@ impl Runner {
     {
         let base = SimRng::seed_from_u64(self.base_seed);
         let threads = self.threads.min(self.trials.max(1));
-        let results: Vec<Result<Vec<Option<f64>>, SimError>> = std::thread::scope(|scope| {
+        let results: Vec<ThreadResults> = std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(threads);
             for tid in 0..threads {
                 let base = base.clone();
@@ -241,7 +245,7 @@ impl Runner {
                     while i < trials {
                         let mut rng = base.derive(i as u64);
                         let outcome = trial(&mut net, start, &mut rng)?;
-                        out.push(outcome.spread_time());
+                        out.push((i, outcome.spread_time()));
                         i += threads;
                     }
                     Ok(out)
@@ -255,17 +259,20 @@ impl Runner {
         self.summarize(results)
     }
 
-    fn summarize(
-        &self,
-        results: Vec<Result<Vec<Option<f64>>, SimError>>,
-    ) -> Result<TrialSummary, SimError> {
+    fn summarize(&self, results: Vec<ThreadResults>) -> Result<TrialSummary, SimError> {
+        // Re-sequence into trial order before accumulating: the running
+        // moments are float-summation-order dependent, and the determinism
+        // contract promises bit-identical summaries for any thread count.
+        let mut indexed = Vec::with_capacity(self.trials);
+        for r in results {
+            indexed.extend(r?);
+        }
+        indexed.sort_unstable_by_key(|&(i, _)| i);
         let mut times = Vec::new();
         let mut moments = RunningMoments::new();
-        for r in results {
-            for t in r?.into_iter().flatten() {
-                times.push(t);
-                moments.push(t);
-            }
+        for t in indexed.into_iter().filter_map(|(_, t)| t) {
+            times.push(t);
+            moments.push(t);
         }
         let completed = times.len();
         // Sort once here; every TrialSummary accessor is &self.
@@ -286,22 +293,51 @@ mod tests {
     use gossip_dynamics::StaticNetwork;
     use gossip_graph::generators;
 
+    /// The parallel-runner determinism contract: k threads and 1 thread
+    /// yield the *identical* `TrialSummary` for the same master seed —
+    /// bit-equal per-trial times, not just matching moments — because
+    /// trial `i` always consumes the `derive(i)` stream regardless of
+    /// scheduling. Checked on both engines and on an implicit backend.
     #[test]
     fn deterministic_across_thread_counts() {
+        fn assert_identical(a: &TrialSummary, b: &TrialSummary) {
+            assert_eq!(a.trials(), b.trials());
+            assert_eq!(a.completed(), b.completed());
+            assert_eq!(
+                a.sorted_times(),
+                b.sorted_times(),
+                "per-trial times drifted"
+            );
+            assert!(a.mean().to_bits() == b.mean().to_bits(), "mean drifted");
+            assert_eq!(a.median().to_bits(), b.median().to_bits());
+            assert_eq!(a.std_dev().to_bits(), b.std_dev().to_bits());
+        }
         let make = || StaticNetwork::new(generators::complete(12).unwrap());
         let seq = Runner::new(40, 7)
             .with_threads(1)
             .run(make, CutRateAsync::new, None, RunConfig::default())
             .unwrap();
-        let par = Runner::new(40, 7)
-            .with_threads(4)
-            .run(make, CutRateAsync::new, None, RunConfig::default())
+        for threads in [2, 4, 7] {
+            let par = Runner::new(40, 7)
+                .with_threads(threads)
+                .run(make, CutRateAsync::new, None, RunConfig::default())
+                .unwrap();
+            assert_identical(&seq, &par);
+        }
+
+        // Event engine on the implicit complete backend: the O(1)
+        // closed-form path must obey the same seeding contract.
+        let make_implicit =
+            || StaticNetwork::from_topology(gossip_graph::Topology::complete(64).unwrap());
+        let seq = Runner::new(33, 99)
+            .with_threads(1)
+            .run_incremental(make_implicit, CutRateAsync::new, None, RunConfig::default())
             .unwrap();
-        assert_eq!(seq.completed(), par.completed());
-        assert!(
-            (seq.mean() - par.mean()).abs() < 1e-12,
-            "trial seeding is order-dependent"
-        );
+        let par = Runner::new(33, 99)
+            .with_threads(8)
+            .run_incremental(make_implicit, CutRateAsync::new, None, RunConfig::default())
+            .unwrap();
+        assert_identical(&seq, &par);
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! the rumor.
 
 use crate::Protocol;
-use gossip_graph::{Graph, NodeSet};
+use gossip_graph::{NodeSet, Topology};
 use gossip_stats::SimRng;
 
 /// Synchronous push–pull, one round per window.
@@ -59,7 +59,7 @@ impl Protocol for SyncPushPull {
 
     fn advance_window(
         &mut self,
-        g: &Graph,
+        g: &Topology,
         t: u64,
         informed: &mut NodeSet,
         rng: &mut SimRng,
@@ -67,11 +67,11 @@ impl Protocol for SyncPushPull {
         let n = g.n();
         self.newly.clear();
         for caller in 0..n as u32 {
-            let nbrs = g.neighbors(caller);
-            if nbrs.is_empty() {
+            let deg = g.degree(caller);
+            if deg == 0 {
                 continue;
             }
-            let callee = nbrs[rng.index(nbrs.len())];
+            let callee = g.neighbor(caller, rng.index(deg));
             // Resolved against round-start state.
             match (informed.contains(caller), informed.contains(callee)) {
                 (true, false) => self.newly.push(callee),
@@ -135,18 +135,18 @@ impl Protocol for SyncPush {
 
     fn advance_window(
         &mut self,
-        g: &Graph,
+        g: &Topology,
         t: u64,
         informed: &mut NodeSet,
         rng: &mut SimRng,
     ) -> Option<f64> {
         self.newly.clear();
         for caller in informed.iter() {
-            let nbrs = g.neighbors(caller);
-            if nbrs.is_empty() {
+            let deg = g.degree(caller);
+            if deg == 0 {
                 continue;
             }
-            let callee = nbrs[rng.index(nbrs.len())];
+            let callee = g.neighbor(caller, rng.index(deg));
             if !informed.contains(callee) {
                 self.newly.push(callee);
             }
@@ -209,18 +209,18 @@ impl Protocol for SyncPull {
 
     fn advance_window(
         &mut self,
-        g: &Graph,
+        g: &Topology,
         t: u64,
         informed: &mut NodeSet,
         rng: &mut SimRng,
     ) -> Option<f64> {
         self.newly.clear();
         for caller in informed.iter_complement() {
-            let nbrs = g.neighbors(caller);
-            if nbrs.is_empty() {
+            let deg = g.degree(caller);
+            if deg == 0 {
                 continue;
             }
-            let callee = nbrs[rng.index(nbrs.len())];
+            let callee = g.neighbor(caller, rng.index(deg));
             if informed.contains(callee) {
                 self.newly.push(caller);
             }

@@ -16,7 +16,7 @@
 //!   `E[I(1, k)] ≤ 2^k Δ / k!` bound.
 
 use crate::Protocol;
-use gossip_graph::{Graph, NodeId, NodeSet};
+use gossip_graph::{NodeId, NodeSet, Topology};
 use gossip_stats::{Exponential, SimRng};
 
 /// Asynchronous 2-push: rate-2 clocks, informed nodes push.
@@ -57,7 +57,7 @@ impl Protocol for TwoPush {
 
     fn advance_window(
         &mut self,
-        g: &Graph,
+        g: &Topology,
         t: u64,
         informed: &mut NodeSet,
         rng: &mut SimRng,
@@ -75,11 +75,11 @@ impl Protocol for TwoPush {
             if !informed.contains(caller) {
                 continue;
             }
-            let nbrs = g.neighbors(caller);
-            if nbrs.is_empty() {
+            let deg = g.degree(caller);
+            if deg == 0 {
                 continue;
             }
-            let callee = nbrs[rng.index(nbrs.len())];
+            let callee = g.neighbor(caller, rng.index(deg));
             informed.insert(callee);
             if informed.is_full() {
                 return Some(tau);
@@ -146,7 +146,7 @@ impl Protocol for ForwardTwoPush {
 
     fn advance_window(
         &mut self,
-        g: &Graph,
+        g: &Topology,
         t: u64,
         informed: &mut NodeSet,
         rng: &mut SimRng,
@@ -171,12 +171,12 @@ impl Protocol for ForwardTwoPush {
                 continue;
             }
             // Push to a uniformly random *forward* neighbor.
-            let forward: Vec<NodeId> = g
-                .neighbors(caller)
-                .iter()
-                .copied()
-                .filter(|&u| self.layer[u as usize] == Some(i + 1))
-                .collect();
+            let mut forward: Vec<NodeId> = Vec::new();
+            g.for_each_neighbor(caller, |u| {
+                if self.layer[u as usize] == Some(i + 1) {
+                    forward.push(u);
+                }
+            });
             if forward.is_empty() {
                 continue;
             }
@@ -237,7 +237,7 @@ mod tests {
     fn forward_push_respects_layers() {
         // Two-layer complete bipartite: S0 = {0,1}, S1 = {2,3}. A node of
         // S1, once informed, never pushes anywhere (last layer).
-        let g = generators::complete_bipartite(2, 2).unwrap();
+        let g = Topology::complete_bipartite(2, 2).unwrap();
         let clusters = vec![vec![0u32, 1], vec![2u32, 3]];
         let mut proto = ForwardTwoPush::new(4, &clusters);
         assert_eq!(proto.layer_of(0), Some(0));
@@ -283,7 +283,7 @@ mod tests {
                     }
                 }
             }
-            let g = b.build();
+            let g = Topology::materialized(b.build());
             let mut proto = ForwardTwoPush::new(n, &clusters);
             let base = SimRng::seed_from_u64(seed);
             let trials = 2000;
