@@ -16,8 +16,11 @@
 //!   the window-vs-event gap is the original event-stream story.
 //!
 //! Metrics written to `BENCH_engine.json` (workspace root):
-//! `speedup/<family>/<n>` = window ÷ event per backend, and
-//! `backend_speedup/complete/<n>` = materialized-event ÷ implicit-event.
+//! `speedup/<family>/<n>` = window ÷ event per backend,
+//! `backend_speedup/complete/<n>` = materialized-event ÷ implicit-event,
+//! and `runplan_overhead/complete/<n>` = `RunPlan::execute` ÷ raw trial
+//! loop on the identical workload (the unified driver must stay under
+//! 1.02, i.e. < 2% added).
 //!
 //! Env knobs:
 //! * `BENCH_ENGINE_SMOKE=1` — one fast iteration per group, no JSON
@@ -32,7 +35,7 @@
 use criterion::{BenchmarkId, Criterion};
 use gossip_dynamics::StaticNetwork;
 use gossip_graph::{generators, Topology};
-use gossip_sim::{CutRateAsync, EventSimulation, RunConfig, Simulation};
+use gossip_sim::{AnyProtocol, CutRateAsync, EventSimulation, RunConfig, RunPlan, Simulation};
 use gossip_stats::SimRng;
 use std::time::Duration;
 
@@ -87,6 +90,70 @@ fn bench_pair(c: &mut Criterion, group: &str, n: usize, topology: &Topology, kno
     c.record_metric(format!("speedup/{family}/{n}"), window / event);
 }
 
+/// RunPlan driver overhead vs the raw trial loop it replaced.
+///
+/// Both sides run the identical workload — `RUNPLAN_TRIALS` event-engine
+/// spreads of the boxed `AnyProtocol` cut-rate protocol on the implicit
+/// complete graph, per-trial `derive(i)` seeding — so the measured gap
+/// is purely the driver's own machinery (engine resolution, record
+/// assembly, observer delivery into the built-in summary sink). The
+/// `runplan_overhead/complete/<n>` metric is plan ÷ raw and the
+/// acceptance bar is < 1.02 (under 2% added).
+const RUNPLAN_TRIALS: usize = 32;
+
+fn bench_runplan_overhead(c: &mut Criterion, n: usize, knobs: &Knobs) {
+    let topology = Topology::complete(n).expect("valid n");
+    let mut g = c.benchmark_group("runplan");
+    g.sample_size(if knobs.smoke { 2 } else { 10 });
+
+    g.bench_with_input(BenchmarkId::new("raw", n), &n, |b, _| {
+        let topology = topology.clone();
+        b.iter(|| {
+            // The pre-RunPlan shape: hand-rolled loop over trials.
+            let mut net = StaticNetwork::from_topology(topology.clone());
+            let mut sim = EventSimulation::new(
+                AnyProtocol::event(CutRateAsync::new())
+                    .into_event()
+                    .expect("event protocol"),
+                RunConfig::default(),
+            );
+            let base = SimRng::seed_from_u64(9);
+            let mut times = Vec::with_capacity(RUNPLAN_TRIALS);
+            for i in 0..RUNPLAN_TRIALS {
+                let mut rng = base.derive(i as u64);
+                let o = sim.run(&mut net, 0, &mut rng).expect("valid");
+                times.push(o.spread_time().expect("complete graphs finish"));
+            }
+            times
+        });
+    });
+    g.bench_with_input(BenchmarkId::new("plan", n), &n, |b, _| {
+        let topology = topology.clone();
+        b.iter(|| {
+            let report = RunPlan::new(RUNPLAN_TRIALS, 9)
+                .threads(1)
+                .start(0)
+                .execute(
+                    || StaticNetwork::from_topology(topology.clone()),
+                    || AnyProtocol::event(CutRateAsync::new()),
+                )
+                .expect("valid");
+            assert_eq!(report.completed(), RUNPLAN_TRIALS);
+            report
+        });
+    });
+    g.finish();
+
+    let raw = c
+        .measurement_ns(&format!("runplan/raw/{n}"))
+        .expect("raw measurement recorded");
+    let plan = c
+        .measurement_ns(&format!("runplan/plan/{n}"))
+        .expect("plan measurement recorded");
+    c.record_metric(format!("runplan_overhead/complete/{n}"), plan / raw);
+    println!("runplan overhead at n = {n}: {:.4}x", plan / raw);
+}
+
 fn main() {
     let knobs = Knobs {
         smoke: std::env::var("BENCH_ENGINE_SMOKE").is_ok_and(|v| v == "1"),
@@ -130,6 +197,11 @@ fn main() {
             "skipped engine_complete_mat/100000 (≈ 40 GB CSR); set BENCH_ENGINE_FULL=1 to include"
         );
     }
+
+    // Driver overhead: RunPlan vs the raw trial loop, always at n = 1e4
+    // — the <2% acceptance point. (Shorter runs would mostly measure
+    // per-batch fixed costs relative to a sub-20µs trial.)
+    bench_runplan_overhead(&mut c, 10_000, &knobs);
 
     let circulant_sizes: &[usize] = if knobs.smoke {
         &[1_000]

@@ -10,7 +10,7 @@
 use crate::Scale;
 use gossip_core::{experiment, predictions, report};
 use gossip_dynamics::DiligentNetwork;
-use gossip_sim::{CutRateAsync, RunConfig, Runner};
+use gossip_sim::{AnyProtocol, CutRateAsync, Engine, RunConfig, RunPlan};
 use gossip_stats::series::Series;
 
 /// Runs E2 and returns the report.
@@ -35,12 +35,14 @@ pub fn run(scale: Scale) -> String {
     for &rho in &rhos {
         let net = DiligentNetwork::new(n, rho).expect("n hosts this rho");
         let k = net.params().k;
-        let summary = Runner::new(trials, 4242)
-            .run(
+        // Window engine: the verdict bands below were tuned on its
+        // per-seed streams.
+        let summary = RunPlan::new(trials, 4242)
+            .config(RunConfig::with_max_time(1e6))
+            .engine(Engine::Window)
+            .execute(
                 || DiligentNetwork::new(n, rho).expect("validated"),
-                CutRateAsync::new,
-                None,
-                RunConfig::with_max_time(1e6),
+                || AnyProtocol::event(CutRateAsync::new()),
             )
             .expect("valid config");
         let median = summary.median();
@@ -66,12 +68,12 @@ pub fn run(scale: Scale) -> String {
     for &n in &ns {
         let net = DiligentNetwork::new(n, rho).expect("n hosts this rho");
         let k = net.params().k;
-        let summary = Runner::new(trials, 777)
-            .run(
+        let summary = RunPlan::new(trials, 777)
+            .config(RunConfig::with_max_time(1e6))
+            .engine(Engine::Window)
+            .execute(
                 || DiligentNetwork::new(n, rho).expect("validated"),
-                CutRateAsync::new,
-                None,
-                RunConfig::with_max_time(1e6),
+                || AnyProtocol::event(CutRateAsync::new()),
             )
             .expect("valid config");
         n_series.push(

@@ -8,16 +8,18 @@
 use crate::Scale;
 use gossip_core::{experiment, predictions, report};
 use gossip_dynamics::AbsoluteDiligentNetwork;
-use gossip_sim::{CutRateAsync, RunConfig, Runner};
+use gossip_sim::{AnyProtocol, CutRateAsync, Engine, RunConfig, RunPlan};
 use gossip_stats::series::Series;
 
 fn median_spread(n: usize, delta: usize, trials: usize, seed: u64) -> f64 {
-    let summary = Runner::new(trials, seed)
-        .run(
+    // Window engine: the slope bands below were tuned on its per-seed
+    // streams.
+    let summary = RunPlan::new(trials, seed)
+        .config(RunConfig::with_max_time(1e7))
+        .engine(Engine::Window)
+        .execute(
             || AbsoluteDiligentNetwork::with_delta(n, delta).expect("validated sizes"),
-            CutRateAsync::new,
-            None,
-            RunConfig::with_max_time(1e7),
+            || AnyProtocol::event(CutRateAsync::new()),
         )
         .expect("valid config");
     summary.median()

@@ -20,7 +20,7 @@
 use crate::Scale;
 use gossip_core::{experiment, predictions, report};
 use gossip_dynamics::AbsoluteDiligentNetwork;
-use gossip_sim::{CutRateAsync, RunConfig, Runner};
+use gossip_sim::{AnyProtocol, CutRateAsync, Engine, RunConfig, RunPlan};
 use gossip_stats::series::Series;
 
 /// Runs E5 and returns the report.
@@ -48,12 +48,14 @@ pub fn run(scale: Scale) -> String {
     for &n in &ns {
         // Largest even delta <= n/10.
         let delta = ((n / 10) / 2 * 2).max(4);
-        let summary = Runner::new(trials, 31337 + n as u64)
-            .run_incremental(
+        // Event engine (as the re-enabling measurement used): the delta
+        // fast path is what makes n = 1920 affordable.
+        let summary = RunPlan::new(trials, 31337 + n as u64)
+            .config(RunConfig::with_max_time(1e7))
+            .engine(Engine::Event)
+            .execute(
                 || AbsoluteDiligentNetwork::with_delta(n, delta).expect("delta <= n/10"),
-                CutRateAsync::new,
-                None,
-                RunConfig::with_max_time(1e7),
+                || AnyProtocol::event(CutRateAsync::new()),
             )
             .expect("valid config");
         let median = summary.median();

@@ -22,7 +22,7 @@
 use crate::Scale;
 use gossip_core::{experiment, predictions, report};
 use gossip_dynamics::DynamicStar;
-use gossip_sim::{CutRateAsync, RunConfig, Runner};
+use gossip_sim::{AnyProtocol, CutRateAsync, Engine, RunConfig, RunPlan};
 use gossip_stats::series::Series;
 
 /// Runs E8 and returns the report.
@@ -33,12 +33,14 @@ pub fn run(scale: Scale) -> String {
 
     let leaves = scale.pick(100, 300);
     let trials = scale.pick(800, 4000);
-    let summary = Runner::new(trials, 888)
-        .run(
+    // Window engine: the tail-domination check replays its per-seed
+    // streams.
+    let summary = RunPlan::new(trials, 888)
+        .config(RunConfig::with_max_time(1e5))
+        .engine(Engine::Window)
+        .execute(
             || DynamicStar::new(leaves).expect("n >= 2"),
-            CutRateAsync::new,
-            None,
-            RunConfig::with_max_time(1e5),
+            || AnyProtocol::event(CutRateAsync::new()),
         )
         .expect("valid config");
 

@@ -11,7 +11,7 @@ use crate::Scale;
 use gossip_core::{experiment, report};
 use gossip_dynamics::EdgeMarkovian;
 use gossip_graph::generators;
-use gossip_sim::{RunConfig, Runner, SyncPush};
+use gossip_sim::{AnyProtocol, RunConfig, RunPlan, SyncPush};
 use gossip_stats::series::Series;
 use gossip_stats::SimRng;
 
@@ -29,17 +29,19 @@ pub fn run(scale: Scale) -> String {
     for &n in &ns {
         let p = 4.0 / n as f64;
         let density = p / (p + q);
-        let summary = Runner::new(trials, 4100 + n as u64)
-            .run(
+        // Sync push is window-only: Engine::Auto resolves to the window
+        // engine, replaying the legacy streams.
+        let summary = RunPlan::new(trials, 4100 + n as u64)
+            .config(RunConfig::with_max_time(1e5))
+            .start(0)
+            .execute(
                 move || {
                     let mut rng = SimRng::seed_from_u64(n as u64);
                     let initial =
                         generators::erdos_renyi(n, density, &mut rng).expect("valid n, p");
                     EdgeMarkovian::new(initial, p, q).expect("valid probabilities")
                 },
-                SyncPush::new,
-                Some(0),
-                RunConfig::with_max_time(1e5),
+                || AnyProtocol::window(SyncPush::new()),
             )
             .expect("valid config");
         series.push(n as f64, vec![summary.median(), (n as f64).ln()]);

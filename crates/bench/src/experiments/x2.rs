@@ -9,7 +9,7 @@
 use crate::Scale;
 use gossip_core::{experiment, report};
 use gossip_dynamics::MobileAgents;
-use gossip_sim::{CutRateAsync, RunConfig, Runner};
+use gossip_sim::{AnyProtocol, CutRateAsync, Engine, RunConfig, RunPlan};
 use gossip_stats::series::Series;
 use gossip_stats::SimRng;
 
@@ -29,15 +29,18 @@ pub fn run(scale: Scale) -> String {
 
     let mut medians = Vec::new();
     for &agents in &agent_counts {
-        let summary = Runner::new(trials, 4200 + agents as u64)
-            .run(
+        // Window engine: the density-speedup thresholds were tuned on
+        // its per-seed streams.
+        let summary = RunPlan::new(trials, 4200 + agents as u64)
+            .config(RunConfig::with_max_time(100_000.0))
+            .engine(Engine::Window)
+            .start(0)
+            .execute(
                 move || {
                     let mut rng = SimRng::seed_from_u64(agents as u64 * 13);
                     MobileAgents::new(agents, grid, grid, 1, &mut rng).expect("valid torus")
                 },
-                CutRateAsync::new,
-                Some(0),
-                RunConfig::with_max_time(100_000.0),
+                || AnyProtocol::event(CutRateAsync::new()),
             )
             .expect("valid config");
         let median = if summary.completed() * 2 >= summary.trials() {

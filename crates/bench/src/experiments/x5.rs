@@ -15,23 +15,26 @@ use crate::Scale;
 use gossip_core::{experiment, report};
 use gossip_dynamics::{CliquePendant, StaticNetwork};
 use gossip_graph::{generators, Graph};
-use gossip_sim::{CutRateAsync, RunConfig, Runner, SyncPushPull};
+use gossip_sim::{AnyProtocol, CutRateAsync, Engine, RunConfig, RunPlan, SyncPushPull};
 use gossip_stats::series::Series;
 use gossip_stats::SimRng;
+
+// Window engine throughout: the ratio ceilings and growth thresholds
+// were tuned on its per-seed streams.
+fn window_plan(trials: usize, seed: u64) -> RunPlan<'static> {
+    RunPlan::new(trials, seed)
+        .config(RunConfig::with_max_time(1e6))
+        .engine(Engine::Window)
+}
 
 fn static_ratio(g: Graph, trials: usize, seed: u64) -> (f64, f64, f64) {
     let n = g.n() as f64;
     let make = move || StaticNetwork::new(g.clone());
-    let sync = Runner::new(trials, seed)
-        .run(
-            make.clone(),
-            SyncPushPull::new,
-            None,
-            RunConfig::with_max_time(1e6),
-        )
+    let sync = window_plan(trials, seed)
+        .execute(make.clone(), || AnyProtocol::window(SyncPushPull::new()))
         .expect("valid config");
-    let async_ = Runner::new(trials, seed + 1)
-        .run(make, CutRateAsync::new, None, RunConfig::with_max_time(1e6))
+    let async_ = window_plan(trials, seed + 1)
+        .execute(make, || AnyProtocol::event(CutRateAsync::new()))
         .expect("valid config");
     let ts = sync.median();
     let ta = async_.median();
@@ -94,20 +97,16 @@ pub fn run(scale: Scale) -> String {
         .iter()
         .enumerate()
     {
-        let sync = Runner::new(trials, 5600 + i as u64)
-            .run(
+        let sync = window_plan(trials, 5600 + i as u64)
+            .execute(
                 move || CliquePendant::new(m).expect("n >= 4"),
-                SyncPushPull::new,
-                None,
-                RunConfig::with_max_time(1e6),
+                || AnyProtocol::window(SyncPushPull::new()),
             )
             .expect("valid config");
-        let async_ = Runner::new(trials, 5700 + i as u64)
-            .run(
+        let async_ = window_plan(trials, 5700 + i as u64)
+            .execute(
                 move || CliquePendant::new(m).expect("n >= 4"),
-                CutRateAsync::new,
-                None,
-                RunConfig::with_max_time(1e6),
+                || AnyProtocol::event(CutRateAsync::new()),
             )
             .expect("valid config");
         // Mean for async: the Ω(n) mode has constant probability (see E6).

@@ -2,24 +2,29 @@
 //!
 //! The workspace deliberately keeps its dependency set to the offline
 //! whitelist (`DESIGN.md` §6); a few dozen lines of flag parsing do not
-//! justify pulling in a CLI framework. Flags are `--name value` or
-//! boolean `--name`; every flag may appear at most once; unknown flags
-//! are an error so typos fail loudly instead of silently running the
-//! default.
+//! justify pulling in a CLI framework. Flags are boolean `--name`,
+//! single-valued `--name value`, or two-valued
+//! (`--output jsonl out.jsonl`); every flag may appear at most once;
+//! unknown flags are an error so typos fail loudly instead of silently
+//! running the default.
 
 use crate::error::CliError;
 use std::collections::BTreeMap;
 
-/// Parsed command line: a subcommand followed by `--flag [value]` pairs.
+/// Parsed command line: a subcommand followed by `--flag [value...]`
+/// groups.
 ///
-/// Consulted flag names are tracked internally (behind a mutex, so `Args`
-/// can be shared across the trial-runner's threads) and
-/// [`Args::reject_unknown`] reports any flag no command ever read.
+/// Consulted flag names are tracked internally with the largest arity
+/// any accessor asked for (behind a mutex, so `Args` can be shared
+/// across the trial-runner's threads), and [`Args::reject_unknown`]
+/// reports both flags no command ever read and flags carrying more
+/// values than any accessor could consume — so stray tokens fail loudly
+/// instead of being silently discarded.
 #[derive(Debug, Default)]
 pub struct Args {
     command: Option<String>,
-    flags: BTreeMap<String, Option<String>>,
-    consumed: std::sync::Mutex<Vec<String>>,
+    flags: BTreeMap<String, Vec<String>>,
+    consumed: std::sync::Mutex<BTreeMap<String, usize>>,
 }
 
 impl Clone for Args {
@@ -40,9 +45,12 @@ impl Clone for Args {
 impl Args {
     /// Parses raw arguments (without the program name).
     ///
-    /// Flags take a value when the next token does not itself start with
-    /// `--`; otherwise they are boolean. Negative numbers are accepted as
-    /// values (`--x -3` works because `-3` does not start with `--`).
+    /// A flag collects up to two following tokens (no flag takes more)
+    /// as its values; a third bare token fails loudly. Negative numbers
+    /// are accepted as values (`--x -3` works because `-3` does not
+    /// start with `--`). Whether a flag's collected values are legal is
+    /// checked by the accessors and [`Args::reject_unknown`] — e.g. a
+    /// boolean flag given a value errors there.
     ///
     /// # Errors
     ///
@@ -64,11 +72,14 @@ impl Args {
             if name.is_empty() {
                 return Err(CliError::Usage("empty flag `--`".into()));
             }
-            let value = match it.peek() {
-                Some(v) if !v.starts_with("--") => it.next(),
-                _ => None,
-            };
-            if flags.insert(name.to_string(), value).is_some() {
+            let mut values = Vec::new();
+            while values.len() < 2 {
+                match it.peek() {
+                    Some(v) if !v.starts_with("--") => values.push(it.next().expect("peeked")),
+                    _ => break,
+                }
+            }
+            if flags.insert(name.to_string(), values).is_some() {
                 return Err(CliError::Usage(format!(
                     "flag --{name} given more than once"
                 )));
@@ -77,7 +88,7 @@ impl Args {
         Ok(Args {
             command,
             flags,
-            consumed: std::sync::Mutex::new(Vec::new()),
+            consumed: std::sync::Mutex::new(BTreeMap::new()),
         })
     }
 
@@ -86,9 +97,10 @@ impl Args {
         self.command.as_deref()
     }
 
-    /// A boolean flag: present (with or without a value) or absent.
+    /// A boolean flag: present or absent. A value handed to a boolean
+    /// flag is rejected by [`Args::reject_unknown`].
     pub fn flag(&self, name: &str) -> bool {
-        self.mark(name);
+        self.mark(name, 0);
         self.flags.contains_key(name)
     }
 
@@ -96,13 +108,35 @@ impl Args {
     ///
     /// # Errors
     ///
-    /// [`CliError::Usage`] when the flag is present but has no value.
+    /// [`CliError::Usage`] when the flag is present without exactly one
+    /// value.
     pub fn opt(&self, name: &str) -> Result<Option<&str>, CliError> {
-        self.mark(name);
+        self.mark(name, 1);
         match self.flags.get(name) {
             None => Ok(None),
-            Some(Some(v)) => Ok(Some(v)),
-            Some(None) => Err(CliError::Usage(format!("flag --{name} needs a value"))),
+            Some(v) if v.len() == 1 => Ok(Some(&v[0])),
+            Some(v) if v.is_empty() => Err(CliError::Usage(format!("flag --{name} needs a value"))),
+            Some(v) => Err(CliError::Usage(format!(
+                "flag --{name} expects one value, got {}",
+                v.len()
+            ))),
+        }
+    }
+
+    /// A two-valued flag, e.g. `--output jsonl out.jsonl`.
+    ///
+    /// # Errors
+    ///
+    /// [`CliError::Usage`] when the flag is present without exactly two
+    /// values.
+    pub fn opt_pair(&self, name: &str) -> Result<Option<(&str, &str)>, CliError> {
+        self.mark(name, 2);
+        match self.flags.get(name) {
+            None => Ok(None),
+            Some(v) if v.len() == 2 => Ok(Some((&v[0], &v[1]))),
+            Some(_) => Err(CliError::Usage(format!(
+                "flag --{name} expects two values (e.g. --{name} jsonl out.jsonl)"
+            ))),
         }
     }
 
@@ -148,35 +182,53 @@ impl Args {
         }
     }
 
-    /// Errors on any flag never consulted by the command — catches typos
-    /// like `--trails` that would otherwise silently run defaults.
+    /// Errors on any flag never consulted by the command — catching
+    /// typos like `--trails` that would otherwise silently run defaults
+    /// — and on any flag carrying more values than the consulting
+    /// accessors could read (a stray token after `--histogram` must not
+    /// vanish silently).
     ///
     /// # Errors
     ///
-    /// [`CliError::Usage`] listing the unknown flags.
+    /// [`CliError::Usage`] naming the offending flags.
     pub fn reject_unknown(&self) -> Result<(), CliError> {
         let consumed = self.consumed.lock().expect("consumed tracker poisoned");
         let unknown: Vec<&str> = self
             .flags
             .keys()
-            .filter(|k| !consumed.iter().any(|c| c == *k))
+            .filter(|k| !consumed.contains_key(*k))
             .map(String::as_str)
             .collect();
-        if unknown.is_empty() {
-            Ok(())
-        } else {
-            Err(CliError::Usage(format!(
+        if !unknown.is_empty() {
+            return Err(CliError::Usage(format!(
                 "unknown flag(s): --{}",
                 unknown.join(", --")
-            )))
+            )));
         }
+        for (name, values) in &self.flags {
+            let arity = consumed.get(name).copied().unwrap_or(0);
+            if values.len() > arity {
+                return Err(CliError::Usage(format!(
+                    "flag --{name} takes {} but got {}: {}",
+                    match arity {
+                        0 => "no value".to_string(),
+                        1 => "one value".to_string(),
+                        k => format!("{k} values"),
+                    },
+                    values.len(),
+                    values.join(" "),
+                )));
+            }
+        }
+        Ok(())
     }
 
-    fn mark(&self, name: &str) {
+    /// Records that an accessor consulted `name`, expecting at most
+    /// `arity` values (the largest arity wins).
+    fn mark(&self, name: &str, arity: usize) {
         let mut consumed = self.consumed.lock().expect("consumed tracker poisoned");
-        if !consumed.iter().any(|c| c == name) {
-            consumed.push(name.to_string());
-        }
+        let entry = consumed.entry(name.to_string()).or_insert(arity);
+        *entry = (*entry).max(arity);
     }
 }
 
@@ -241,5 +293,43 @@ mod tests {
         let a = parse("--help").unwrap();
         assert_eq!(a.command(), None);
         assert!(a.flag("help"));
+    }
+
+    #[test]
+    fn two_valued_flags() {
+        let a = parse("run --output jsonl /tmp/out.jsonl --n 8").unwrap();
+        assert_eq!(
+            a.opt_pair("output").unwrap(),
+            Some(("jsonl", "/tmp/out.jsonl"))
+        );
+        assert_eq!(a.opt_usize("n", 0).unwrap(), 8);
+        a.reject_unknown().unwrap();
+        // Wrong arity fails loudly in both directions.
+        let a = parse("run --output jsonl").unwrap();
+        assert!(matches!(a.opt_pair("output"), Err(CliError::Usage(_))));
+        let a = parse("run --n 5 7").unwrap();
+        assert!(matches!(a.opt_usize("n", 0), Err(CliError::Usage(m)) if m.contains("one value")));
+        let a = parse("run").unwrap();
+        assert_eq!(a.opt_pair("output").unwrap(), None);
+    }
+
+    #[test]
+    fn stray_tokens_fail_loudly() {
+        // A third bare token after any flag is a parse error.
+        assert!(parse("run --output jsonl out.jsonl stray").is_err());
+        // A value handed to a boolean flag errors at reject_unknown.
+        let a = parse("run --histogram stray --n 7").unwrap();
+        assert!(a.flag("histogram"));
+        let _ = a.opt_usize("n", 0);
+        assert!(
+            matches!(a.reject_unknown(), Err(CliError::Usage(m)) if m.contains("histogram")),
+            "stray boolean-flag value must not vanish"
+        );
+        // Two values on a single-valued flag error even when the command
+        // only reads it through reject_unknown's arity check.
+        let a = parse("run --n 5 7 --quick").unwrap();
+        assert!(a.flag("quick"));
+        let _ = a.opt_usize("n", 0); // errors, but also marks arity 1
+        assert!(matches!(a.reject_unknown(), Err(CliError::Usage(_))));
     }
 }

@@ -8,9 +8,26 @@ use gossip_core::tracking::{run_tracked_generic, ProfileMode};
 use gossip_dynamics::profile::{conservative_profile, exact_profile};
 use gossip_dynamics::DynamicNetwork;
 use gossip_graph::{NodeSet, EXACT_ENUMERATION_LIMIT};
-use gossip_sim::{Protocol, RunConfig, Runner};
+use gossip_sim::{JsonlSink, Protocol, RunConfig, RunPlan};
 use gossip_stats::SimRng;
 use std::fmt::Write as _;
+
+/// Parses the two-valued `--output <format> <path>` flag; only the
+/// `jsonl` format exists today.
+fn jsonl_output(args: &Args) -> Result<Option<&str>, CliError> {
+    match args.opt_pair("output")? {
+        None => Ok(None),
+        Some(("jsonl", path)) => Ok(Some(path)),
+        Some((other, _)) => Err(CliError::Usage(format!(
+            "unknown output format `{other}` (supported: jsonl)"
+        ))),
+    }
+}
+
+/// Opens the JSONL sink for `--output jsonl <path>`.
+fn open_jsonl(path: &str) -> Result<JsonlSink<std::io::BufWriter<std::fs::File>>, CliError> {
+    JsonlSink::create(path).map_err(|e| CliError::Scenario(format!("cannot create {path}: {e}")))
+}
 
 /// `gossip help` / no arguments.
 pub fn help() -> String {
@@ -39,14 +56,18 @@ COMMON FLAGS:
     --build-seed <int>   family construction seed (default: 1)
     --start <int>        start node (default: family's suggested start)
     --max-time <float>   cutoff in time units / rounds (default: 100000)
+    --engine <name>      auto | event | window (run + scenario run; default auto)
+    --output jsonl <path>  stream one JSON record per trial to <path>
     --histogram          render the spread-time distribution (run command)
 
 EXAMPLES:
     gossip run --family regular --d 4 --n 256 --trials 50
     gossip run --family dynamic-star --n 200 --protocol sync
     gossip run --family complete --n 128 --protocol lossy --loss 0.5
+    gossip run --family complete --n 100000 --engine event --output jsonl trials.jsonl
     gossip scenario init sweep.toml && gossip scenario run sweep.toml
     gossip scenario run sweep.toml --engine window --json
+    gossip scenario run sweep.toml --output jsonl sweep.jsonl
     gossip profile --family clique-pendant --n 16 --windows 12
     gossip bounds --family absolute-diligent --n 120 --rho 0.125
     gossip experiment --id E7 --quick
@@ -57,7 +78,7 @@ EXAMPLES:
 /// `gossip scenario <action> [file] [--flags]`: the declarative-experiment
 /// front end over [`gossip_core::scenario`].
 pub fn scenario(action: Option<&str>, file: Option<&str>, args: &Args) -> Result<String, CliError> {
-    use gossip_core::scenario::{run_scenario, ScenarioSpec};
+    use gossip_core::scenario::{ScenarioSpec, SweepPlan};
     match action {
         Some("run") => {
             let path = file.ok_or_else(|| {
@@ -65,18 +86,35 @@ pub fn scenario(action: Option<&str>, file: Option<&str>, args: &Args) -> Result
             })?;
             let engine = args.opt("engine")?.map(str::to_string);
             let json = args.flag("json");
+            let output = jsonl_output(args)?;
             args.reject_unknown()?;
             let mut spec =
                 ScenarioSpec::from_path(std::path::Path::new(path)).map_err(CliError::from)?;
             if let Some(engine) = engine {
                 spec.sweep.engine = Some(engine);
             }
-            let report = run_scenario(&spec).map_err(CliError::from)?;
-            if json {
-                Ok(serde_json::to_string_pretty(&report) + "\n")
+            let plan = SweepPlan::new(&spec).map_err(CliError::from)?;
+            let (report, streamed) = match output {
+                Some(out_path) => {
+                    // One sink across the whole sweep: every trial of
+                    // every size streams to the file as it completes.
+                    let mut sink = open_jsonl(out_path)?;
+                    let report = plan.run_with(&mut sink).map_err(CliError::from)?;
+                    (report, Some((sink.records(), out_path)))
+                }
+                None => (plan.run().map_err(CliError::from)?, None),
+            };
+            let mut out = if json {
+                serde_json::to_string_pretty(&report) + "\n"
             } else {
-                Ok(report.to_string())
+                report.to_string()
+            };
+            if let Some((records, out_path)) = streamed {
+                if !json {
+                    let _ = writeln!(out, "wrote {records} trial records to {out_path}");
+                }
             }
+            Ok(out)
         }
         Some("check") => {
             let path = file.ok_or_else(|| {
@@ -177,6 +215,8 @@ pub fn run(args: &Args) -> Result<String, CliError> {
     };
     let max_time = args.opt_f64("max-time", 1e5)?;
     let histogram = args.flag("histogram");
+    let engine = gossip_core::scenario::parse_engine(args.opt("engine")?)?;
+    let output = jsonl_output(args)?;
     if trials == 0 {
         return Err(CliError::Usage("--trials must be at least 1".into()));
     }
@@ -184,22 +224,33 @@ pub fn run(args: &Args) -> Result<String, CliError> {
     // Validate the configuration once, eagerly, so a typo fails before
     // the trial loop spins up threads.
     let probe_net = family::build(&family_name, args)?;
-    let probe_proto = proto::build(&proto_name, args)?;
+    proto::build_any(&proto_name, args)?;
     let n = probe_net.n();
     args.reject_unknown()?;
 
-    let summary = Runner::new(trials, seed)
-        .run(
+    let mut jsonl = match output {
+        Some(path) => Some((open_jsonl(path)?, path)),
+        None => None,
+    };
+    let mut plan = RunPlan::new(trials, seed)
+        .config(RunConfig::with_max_time(max_time))
+        .engine(engine)
+        .start_opt(start);
+    if let Some((sink, _)) = jsonl.as_mut() {
+        plan = plan.observer(sink);
+    }
+    let report = plan
+        .execute(
             || family::build(&family_name, args).expect("validated above"),
-            || proto::build(&proto_name, args).expect("validated above"),
-            start,
-            RunConfig::with_max_time(max_time),
+            || proto::build_any(&proto_name, args).expect("validated above"),
         )
         .map_err(CliError::Sim)?;
+    let summary = report.summary();
 
     let mut out = String::new();
     let _ = writeln!(out, "family    : {family_name} (n = {n})");
-    let _ = writeln!(out, "protocol  : {} ", probe_proto.name());
+    let _ = writeln!(out, "protocol  : {} ", report.protocol());
+    let _ = writeln!(out, "engine    : {}", report.engine().name());
     let _ = writeln!(out, "trials    : {trials} (seed {seed})");
     let _ = writeln!(
         out,
@@ -235,6 +286,9 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         }
     } else {
         let _ = writeln!(out, "no trial completed before the cutoff ({max_time})");
+    }
+    if let Some((sink, path)) = jsonl {
+        let _ = writeln!(out, "wrote {} trial records to {path}", sink.records());
     }
     Ok(out)
 }
@@ -517,6 +571,41 @@ mod tests {
         let a = args("run --family dynamic-star --n 20 --protocol sync --trials 5 --histogram");
         let out = run(&a).unwrap();
         assert!(out.contains("spread-time distribution"), "{out}");
+    }
+
+    #[test]
+    fn run_engine_flag_selects_engine() {
+        let a = args("run --family complete --n 24 --trials 5 --seed 3 --engine window");
+        let out = run(&a).unwrap();
+        assert!(out.contains("engine    : window"), "{out}");
+        let a = args("run --family complete --n 24 --trials 5 --seed 3 --engine event");
+        let out = run(&a).unwrap();
+        assert!(out.contains("engine    : event"), "{out}");
+        // Default auto resolves per protocol: sync is window-only.
+        let a = args("run --family complete --n 24 --trials 5 --protocol sync");
+        let out = run(&a).unwrap();
+        assert!(out.contains("engine    : window"), "{out}");
+        // Forcing the event engine on sync is a clean error.
+        let a = args("run --family complete --n 24 --trials 5 --protocol sync --engine event");
+        assert!(matches!(run(&a), Err(CliError::Sim(_))));
+    }
+
+    #[test]
+    fn run_streams_jsonl_records() {
+        let path = std::env::temp_dir().join("gossip_cli_run_test.jsonl");
+        let path_str = path.to_str().unwrap();
+        let a = args(&format!(
+            "run --family complete --n 16 --trials 7 --seed 3 --output jsonl {path_str}"
+        ));
+        let out = run(&a).unwrap();
+        assert!(out.contains("wrote 7 trial records"), "{out}");
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 7);
+        for line in text.lines() {
+            let r: gossip_sim::TrialRecord = serde_json::from_str(line).unwrap();
+            assert_eq!(r.n, 16);
+        }
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -124,6 +124,21 @@ name = \"cli-e2e\"\n\n[family]\nkind = \"complete\"\n\n[protocol]\nkind = \"asyn
         assert!(out.trim_start().starts_with('{'), "{out}");
         let out = run(&format!("scenario check {path_str}")).unwrap();
         assert!(out.starts_with("ok:"), "{out}");
+        // --output jsonl streams every trial of the sweep to one file.
+        let jsonl = dir.join("gossip_cli_scenario_test.jsonl");
+        let jsonl_str = jsonl.to_str().unwrap();
+        let out = run(&format!(
+            "scenario run {path_str} --output jsonl {jsonl_str}"
+        ))
+        .unwrap();
+        assert!(out.contains("wrote 5 trial records"), "{out}");
+        let text = std::fs::read_to_string(&jsonl).unwrap();
+        assert_eq!(text.lines().count(), 5);
+        assert!(
+            text.lines().all(|l| l.contains("\"spread_time\"")),
+            "{text}"
+        );
+        let _ = std::fs::remove_file(&jsonl);
         let _ = std::fs::remove_file(&path);
     }
 

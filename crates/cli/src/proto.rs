@@ -62,7 +62,8 @@ pub fn spec_from_args(name: &str, args: &Args) -> Result<ProtocolSpec, CliError>
     Ok(spec)
 }
 
-/// Builds the named protocol.
+/// Builds the named protocol as a window-engine trait object (for
+/// commands that drive a raw [`gossip_sim::Simulation`], e.g. `trace`).
 ///
 /// # Errors
 ///
@@ -71,6 +72,17 @@ pub fn spec_from_args(name: &str, args: &Args) -> Result<ProtocolSpec, CliError>
 pub fn build(name: &str, args: &Args) -> Result<Box<dyn Protocol>, CliError> {
     let spec = spec_from_args(name, args)?;
     scenario::build_protocol(&spec).map_err(CliError::from)
+}
+
+/// Builds the named protocol as an engine-agnostic
+/// [`gossip_sim::AnyProtocol`] for [`gossip_sim::RunPlan`] execution.
+///
+/// # Errors
+///
+/// As [`build`].
+pub fn build_any(name: &str, args: &Args) -> Result<gossip_sim::AnyProtocol, CliError> {
+    let spec = spec_from_args(name, args)?;
+    scenario::build_any_protocol(&spec).map_err(CliError::from)
 }
 
 #[cfg(test)]

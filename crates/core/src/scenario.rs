@@ -38,8 +38,9 @@ use gossip_dynamics::{
 };
 use gossip_graph::{generators, GraphError, Topology};
 use gossip_sim::{
-    AsyncPull, AsyncPush, AsyncPushPull, CutRateAsync, Flooding, IncrementalProtocol, LossyAsync,
-    Protocol, RunConfig, Runner, SimError, SyncPull, SyncPush, SyncPushPull, TwoPush,
+    AnyProtocol, AsyncPull, AsyncPush, AsyncPushPull, CutRateAsync, Engine, Flooding, LossyAsync,
+    Protocol, RunConfig, RunPlan, SimError, SyncPull, SyncPush, SyncPushPull, TrialObserver,
+    TwoPush,
 };
 use gossip_stats::SimRng;
 use serde::{Deserialize, Serialize};
@@ -188,27 +189,20 @@ impl SweepSpec {
     }
 }
 
-/// Which engine a scenario requests.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum EngineChoice {
-    /// Event-stream when the protocol supports it, window otherwise.
-    Auto,
-    /// Force the event-stream engine (error for window-only protocols).
-    Event,
-    /// Force the window-based reference engine.
-    Window,
-}
-
-impl EngineChoice {
-    fn parse(s: Option<&str>) -> Result<Self, ScenarioError> {
-        match s.unwrap_or("auto") {
-            "auto" => Ok(EngineChoice::Auto),
-            "event" => Ok(EngineChoice::Event),
-            "window" => Ok(EngineChoice::Window),
-            other => Err(ScenarioError::Invalid(format!(
-                "unknown engine `{other}` (auto, event, window)"
-            ))),
-        }
+/// Parses a spec's engine string into the driver's [`Engine`] selector
+/// (`None` ⇒ [`Engine::Auto`]).
+///
+/// # Errors
+///
+/// [`ScenarioError::Invalid`] on unrecognized names.
+pub fn parse_engine(s: Option<&str>) -> Result<Engine, ScenarioError> {
+    match s.unwrap_or("auto") {
+        "auto" => Ok(Engine::Auto),
+        "event" => Ok(Engine::Event),
+        "window" => Ok(Engine::Window),
+        other => Err(ScenarioError::Invalid(format!(
+            "unknown engine `{other}` (auto, event, window)"
+        ))),
     }
 }
 
@@ -430,13 +424,12 @@ pub fn protocols() -> Vec<RegistryEntry> {
     ]
 }
 
-/// Whether `kind` names a protocol with an [`IncrementalProtocol`]
-/// implementation (eligible for the event-stream engine).
+/// Whether `kind` names a protocol with an incremental implementation
+/// (eligible for the event-stream engine). Answered by probing
+/// [`build_any_protocol`] with default parameters, so this can never
+/// drift from what the builder actually produces.
 pub fn protocol_is_incremental(kind: &str) -> bool {
-    matches!(
-        kind,
-        "async" | "naive" | "push" | "pull" | "two-push" | "lossy"
-    )
+    build_any_protocol(&ProtocolSpec::new(kind)).is_ok_and(|p| p.supports_event())
 }
 
 // ---------------------------------------------------------------------------
@@ -587,25 +580,29 @@ pub fn build_family(spec: &FamilySpec, n: usize) -> Result<Box<dyn DynamicNetwor
     Ok(net)
 }
 
-/// Builds the protocol selected by `spec` as a window-engine trait object
-/// (every protocol supports this).
+/// Builds the protocol selected by `spec` as an engine-agnostic
+/// [`AnyProtocol`] — the single protocol builder behind every execution
+/// path. Incrementally-capable protocols come back as
+/// `AnyProtocol::Event` (they run on either engine; [`Engine::Auto`]
+/// picks the event stream), window-only protocols as
+/// `AnyProtocol::Window`.
 ///
 /// # Errors
 ///
 /// [`ScenarioError::UnknownProtocol`] for unregistered kinds;
 /// [`ScenarioError::Sim`] when parameters are rejected.
-pub fn build_protocol(spec: &ProtocolSpec) -> Result<Box<dyn Protocol>, ScenarioError> {
-    let proto: Box<dyn Protocol> = match spec.kind.as_str() {
-        "async" => Box::new(CutRateAsync::new()),
-        "naive" => Box::new(AsyncPushPull::new()),
-        "push" => Box::new(AsyncPush::new()),
-        "pull" => Box::new(AsyncPull::new()),
-        "sync" => Box::new(SyncPushPull::new()),
-        "sync-push" => Box::new(SyncPush::new()),
-        "sync-pull" => Box::new(SyncPull::new()),
-        "flooding" => Box::new(Flooding::new()),
-        "two-push" => Box::new(TwoPush::new()),
-        "lossy" => Box::new(LossyAsync::with_downtime(
+pub fn build_any_protocol(spec: &ProtocolSpec) -> Result<AnyProtocol, ScenarioError> {
+    let proto = match spec.kind.as_str() {
+        "async" => AnyProtocol::event(CutRateAsync::new()),
+        "naive" => AnyProtocol::event(AsyncPushPull::new()),
+        "push" => AnyProtocol::event(AsyncPush::new()),
+        "pull" => AnyProtocol::event(AsyncPull::new()),
+        "sync" => AnyProtocol::window(SyncPushPull::new()),
+        "sync-push" => AnyProtocol::window(SyncPush::new()),
+        "sync-pull" => AnyProtocol::window(SyncPull::new()),
+        "flooding" => AnyProtocol::window(Flooding::new()),
+        "two-push" => AnyProtocol::event(TwoPush::new()),
+        "lossy" => AnyProtocol::event(LossyAsync::with_downtime(
             spec.loss.unwrap_or(0.0),
             spec.downtime.unwrap_or(0.0),
         )?),
@@ -614,33 +611,15 @@ pub fn build_protocol(spec: &ProtocolSpec) -> Result<Box<dyn Protocol>, Scenario
     Ok(proto)
 }
 
-/// Builds the protocol as an event-engine trait object.
+/// Builds the protocol as a window-engine trait object (every protocol
+/// supports the window engine) — for callers that drive a raw
+/// [`gossip_sim::Simulation`] directly, e.g. trajectory tracing.
 ///
 /// # Errors
 ///
-/// [`ScenarioError::Invalid`] when the protocol has no incremental
-/// implementation; otherwise as [`build_protocol`].
-pub fn build_incremental_protocol(
-    spec: &ProtocolSpec,
-) -> Result<Box<dyn IncrementalProtocol>, ScenarioError> {
-    let proto: Box<dyn IncrementalProtocol> = match spec.kind.as_str() {
-        "async" => Box::new(CutRateAsync::new()),
-        "naive" => Box::new(AsyncPushPull::new()),
-        "push" => Box::new(AsyncPush::new()),
-        "pull" => Box::new(AsyncPull::new()),
-        "two-push" => Box::new(TwoPush::new()),
-        "lossy" => Box::new(LossyAsync::with_downtime(
-            spec.loss.unwrap_or(0.0),
-            spec.downtime.unwrap_or(0.0),
-        )?),
-        other if protocols().iter().any(|p| p.name == other) => {
-            return Err(ScenarioError::Invalid(format!(
-                "protocol `{other}` is window-based only; use engine = \"window\" (or \"auto\")"
-            )))
-        }
-        other => return Err(ScenarioError::UnknownProtocol(other.to_string())),
-    };
-    Ok(proto)
+/// As [`build_any_protocol`].
+pub fn build_protocol(spec: &ProtocolSpec) -> Result<Box<dyn Protocol>, ScenarioError> {
+    build_any_protocol(spec).map(AnyProtocol::into_window)
 }
 
 // ---------------------------------------------------------------------------
@@ -714,14 +693,27 @@ impl ScenarioSpec {
         if self.sweep.sizes.is_empty() {
             return Err(ScenarioError::Invalid("sweep.sizes is empty".into()));
         }
+        if self.sweep.sizes.contains(&0) {
+            return Err(ScenarioError::Invalid(
+                "sweep.sizes contains 0 (network sizes must be at least 1)".into(),
+            ));
+        }
+        let mut seen = self.sweep.sizes.clone();
+        seen.sort_unstable();
+        if let Some(dup) = seen.windows(2).find(|w| w[0] == w[1]) {
+            return Err(ScenarioError::Invalid(format!(
+                "sweep.sizes contains duplicate size {} (each size runs once)",
+                dup[0]
+            )));
+        }
         if self.sweep.trials_or_default() == 0 {
             return Err(ScenarioError::Invalid(
                 "sweep.trials must be at least 1".into(),
             ));
         }
         BackendChoice::parse(self.family.backend.as_deref())?;
-        let engine = EngineChoice::parse(self.sweep.engine.as_deref())?;
-        if engine == EngineChoice::Event && !protocol_is_incremental(&self.protocol.kind) {
+        let engine = parse_engine(self.sweep.engine.as_deref())?;
+        if engine == Engine::Event && !protocol_is_incremental(&self.protocol.kind) {
             return Err(ScenarioError::Invalid(format!(
                 "protocol `{}` cannot run on the event engine",
                 self.protocol.kind
@@ -840,73 +832,141 @@ impl fmt::Display for ScenarioReport {
     }
 }
 
+/// A validated, ready-to-execute sweep: the first-class form of a
+/// scenario's `[sweep]` section.
+///
+/// Construction validates the spec and probes the protocol once, so bad
+/// parameters fail before any sweep work; execution then reuses one
+/// [`RunPlan`] shape across all sizes — same trials, seed, config, and
+/// engine per size, only `n` varies. A streaming [`TrialObserver`] can
+/// ride along across the whole sweep ([`SweepPlan::run_with`]), e.g. one
+/// [`gossip_sim::JsonlSink`] receiving every trial of every size (records
+/// carry `n`, so the stream stays self-describing).
+#[derive(Debug, Clone)]
+pub struct SweepPlan<'s> {
+    spec: &'s ScenarioSpec,
+    engine: Engine,
+    protocol_name: &'static str,
+    trials: usize,
+    seed: u64,
+    config: RunConfig,
+}
+
+impl<'s> SweepPlan<'s> {
+    /// Validates `spec` and prepares the sweep.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ScenarioSpec::validate`] error, or a protocol construction
+    /// error.
+    pub fn new(spec: &'s ScenarioSpec) -> Result<Self, ScenarioError> {
+        spec.validate()?;
+        let protocol_name = build_any_protocol(&spec.protocol)?.name();
+        Ok(SweepPlan {
+            spec,
+            engine: parse_engine(spec.sweep.engine.as_deref())?,
+            protocol_name,
+            trials: spec.sweep.trials_or_default(),
+            seed: spec.sweep.seed_or_default(),
+            config: RunConfig::with_max_time(spec.sweep.max_time_or_default()),
+        })
+    }
+
+    /// The engine selector the sweep will hand every [`RunPlan`].
+    pub fn engine(&self) -> Engine {
+        self.engine
+    }
+
+    /// The sweep sizes, in execution order.
+    pub fn sizes(&self) -> &[usize] {
+        &self.spec.sweep.sizes
+    }
+
+    /// The [`RunPlan`] for one sweep size — sizes share every parameter
+    /// except `n`, which enters through the network builder at
+    /// execution time.
+    pub fn plan(&self) -> RunPlan<'static> {
+        RunPlan::new(self.trials, self.seed)
+            .config(self.config)
+            .engine(self.engine)
+            .start_opt(self.spec.sweep.start)
+    }
+
+    /// Runs the whole sweep.
+    ///
+    /// # Errors
+    ///
+    /// [`ScenarioError::Graph`] when a family constructor rejects a size;
+    /// [`ScenarioError::Sim`] when a run fails.
+    pub fn run(&self) -> Result<ScenarioReport, ScenarioError> {
+        self.run_observed(&mut [])
+    }
+
+    /// Runs the whole sweep with streaming observers attached to every
+    /// size's [`RunPlan`]; observers outlive the sweep, so sinks can be
+    /// inspected (or files flushed) afterwards.
+    ///
+    /// # Errors
+    ///
+    /// As [`SweepPlan::run`], plus any observer failure
+    /// ([`SimError::Observer`]).
+    pub fn run_with(
+        &self,
+        mut observer: &mut dyn TrialObserver,
+    ) -> Result<ScenarioReport, ScenarioError> {
+        self.run_observed(std::slice::from_mut(&mut observer))
+    }
+
+    fn run_observed(
+        &self,
+        observers: &mut [&mut dyn TrialObserver],
+    ) -> Result<ScenarioReport, ScenarioError> {
+        let spec = self.spec;
+        let mut rows = Vec::with_capacity(spec.sweep.sizes.len());
+        let mut resolved = self.engine;
+        for &n in &spec.sweep.sizes {
+            // Probe the family so constructor errors surface as errors,
+            // not panics inside the plan's make_net closure.
+            build_family(&spec.family, n)?;
+            let mut plan = self.plan();
+            for o in observers.iter_mut() {
+                plan = plan.observer(&mut **o);
+            }
+            let report = plan.execute(
+                || build_family(&spec.family, n).expect("probed above"),
+                || build_any_protocol(&spec.protocol).expect("probed at construction"),
+            )?;
+            resolved = report.engine();
+            rows.push(ScenarioRow {
+                n,
+                trials: report.trials(),
+                completed: report.completed(),
+                mean: report.mean(),
+                std_dev: report.std_dev(),
+                median: report.try_median(),
+                q95: report.try_whp_spread_time(),
+                max: report.try_max(),
+            });
+        }
+        Ok(ScenarioReport {
+            scenario: spec.name.clone(),
+            family: spec.family.kind.clone(),
+            protocol: self.protocol_name.to_string(),
+            engine: resolved.name().to_string(),
+            rows,
+        })
+    }
+}
+
 /// Runs a scenario end to end: for each sweep size, builds the family and
-/// protocol and executes the trial batch on the selected engine.
+/// protocol and executes the trial batch through [`SweepPlan`] /
+/// [`RunPlan`].
 ///
 /// # Errors
 ///
 /// Validation errors up front; [`ScenarioError::Sim`] when a run fails.
 pub fn run_scenario(spec: &ScenarioSpec) -> Result<ScenarioReport, ScenarioError> {
-    spec.validate()?;
-    let engine = EngineChoice::parse(spec.sweep.engine.as_deref())?;
-    let incremental = match engine {
-        EngineChoice::Auto => protocol_is_incremental(&spec.protocol.kind),
-        EngineChoice::Event => true,
-        EngineChoice::Window => false,
-    };
-    // Probe the protocol once so bad parameters fail before any sweep work.
-    let protocol_name = build_protocol(&spec.protocol)?.name().to_string();
-    if incremental {
-        build_incremental_protocol(&spec.protocol)?;
-    }
-
-    let trials = spec.sweep.trials_or_default();
-    let seed = spec.sweep.seed_or_default();
-    let config = RunConfig::with_max_time(spec.sweep.max_time_or_default());
-    let mut rows = Vec::with_capacity(spec.sweep.sizes.len());
-    for &n in &spec.sweep.sizes {
-        // Probe the family so constructor errors surface as errors, not
-        // panics inside the runner's make_net closure.
-        build_family(&spec.family, n)?;
-        let runner = Runner::new(trials, seed);
-        let make_net = || build_family(&spec.family, n).expect("probed above");
-        let summary = if incremental {
-            runner.run_incremental(
-                make_net,
-                || build_incremental_protocol(&spec.protocol).expect("probed above"),
-                spec.sweep.start,
-                config,
-            )?
-        } else {
-            runner.run(
-                make_net,
-                || build_protocol(&spec.protocol).expect("probed above"),
-                spec.sweep.start,
-                config,
-            )?
-        };
-        rows.push(ScenarioRow {
-            n,
-            trials: summary.trials(),
-            completed: summary.completed(),
-            mean: summary.mean(),
-            std_dev: summary.std_dev(),
-            median: (summary.completed() > 0).then(|| summary.median()),
-            q95: (summary.completed() > 0).then(|| summary.whp_spread_time()),
-            max: (summary.completed() > 0).then(|| summary.max()),
-        });
-    }
-    Ok(ScenarioReport {
-        scenario: spec.name.clone(),
-        family: spec.family.kind.clone(),
-        protocol: protocol_name,
-        engine: if incremental {
-            "event".into()
-        } else {
-            "window".into()
-        },
-        rows,
-    })
+    SweepPlan::new(spec)?.run()
 }
 
 #[cfg(test)]
@@ -1031,16 +1091,57 @@ max_time = 1e4
             let mut spec = ProtocolSpec::new(entry.name);
             spec.loss = Some(0.1);
             spec.downtime = Some(0.05);
-            let p = build_protocol(&spec)
+            let p = build_any_protocol(&spec)
                 .unwrap_or_else(|e| panic!("protocol {} failed: {e}", entry.name));
             assert!(!p.name().is_empty());
-            if protocol_is_incremental(entry.name) {
-                build_incremental_protocol(&spec)
-                    .unwrap_or_else(|e| panic!("incremental {} failed: {e}", entry.name));
-            } else {
-                assert!(build_incremental_protocol(&spec).is_err());
+            // The registry's incremental flag and the builder's variant
+            // agree by construction.
+            assert_eq!(p.supports_event(), protocol_is_incremental(entry.name));
+            // Every protocol has a window form.
+            assert!(!build_protocol(&spec).unwrap().name().is_empty());
+        }
+    }
+
+    #[test]
+    fn sweep_validation_rejects_bad_sizes() {
+        let mut spec = ScenarioSpec::template();
+        spec.sweep.sizes = vec![64, 0, 128];
+        assert!(
+            matches!(spec.validate(), Err(ScenarioError::Invalid(m)) if m.contains("contains 0"))
+        );
+        let mut spec = ScenarioSpec::template();
+        spec.sweep.sizes = vec![64, 128, 64];
+        assert!(
+            matches!(spec.validate(), Err(ScenarioError::Invalid(m)) if m.contains("duplicate"))
+        );
+        let mut spec = ScenarioSpec::template();
+        spec.sweep.trials = Some(0);
+        assert!(matches!(spec.validate(), Err(ScenarioError::Invalid(m)) if m.contains("trials")));
+    }
+
+    #[test]
+    fn sweep_plan_streams_one_observer_across_sizes() {
+        use gossip_sim::{TrialObserver as _, TrialRecord};
+        struct CountPerN(std::collections::BTreeMap<usize, usize>);
+        impl gossip_sim::TrialObserver for CountPerN {
+            fn on_trial(&mut self, r: &TrialRecord) -> Result<(), SimError> {
+                *self.0.entry(r.n).or_insert(0) += 1;
+                Ok(())
             }
         }
+        let _ = CountPerN(Default::default()).wants_trajectory();
+        let spec = ScenarioSpec::from_toml_str(TOML_SPEC).unwrap();
+        let plan = SweepPlan::new(&spec).unwrap();
+        assert_eq!(plan.sizes(), &[16, 32]);
+        assert_eq!(plan.engine(), Engine::Auto);
+        let mut sink = CountPerN(Default::default());
+        let report = plan.run_with(&mut sink).unwrap();
+        assert_eq!(report.engine, "event");
+        assert_eq!(sink.0.get(&16), Some(&8));
+        assert_eq!(sink.0.get(&32), Some(&8));
+        // The observed run reports identical rows to the plain run.
+        let plain = plan.run().unwrap();
+        assert_eq!(report, plain);
     }
 
     #[test]

@@ -123,6 +123,13 @@ impl SpreadOutcome {
     pub fn trajectory(&self) -> &[(f64, usize)] {
         &self.trajectory
     }
+
+    /// Consumes the outcome into its recorded trajectory (empty when
+    /// recording was off, or when the run completed instantly on a
+    /// single-node network).
+    pub fn into_trajectory(self) -> Vec<(f64, usize)> {
+        self.trajectory
+    }
 }
 
 /// Drives a [`Protocol`] over a [`DynamicNetwork`] window by window.

@@ -38,6 +38,15 @@ pub enum SimError {
         /// The offending value.
         value: f64,
     },
+    /// [`crate::Engine::Event`] was forced on a protocol without an
+    /// incremental implementation.
+    EngineUnsupported {
+        /// The window-only protocol's name.
+        protocol: &'static str,
+    },
+    /// A [`crate::TrialObserver`] sink failed (e.g. an I/O error while
+    /// streaming records to disk).
+    Observer(String),
 }
 
 impl fmt::Display for SimError {
@@ -51,6 +60,14 @@ impl fmt::Display for SimError {
             SimError::InvalidProbability { name, value } => {
                 write!(f, "{name} must be a probability in [0, 1), got {value}")
             }
+            SimError::EngineUnsupported { protocol } => {
+                write!(
+                    f,
+                    "protocol `{protocol}` has no incremental implementation; \
+                     use Engine::Window (or Engine::Auto)"
+                )
+            }
+            SimError::Observer(m) => write!(f, "trial observer failed: {m}"),
         }
     }
 }
@@ -67,6 +84,8 @@ mod tests {
             SimError::StartOutOfRange { start: 5, n: 3 },
             SimError::EmptyNetwork,
             SimError::InvalidTimeLimit(-1.0),
+            SimError::EngineUnsupported { protocol: "sync" },
+            SimError::Observer("disk full".into()),
         ] {
             assert!(!e.to_string().is_empty());
         }

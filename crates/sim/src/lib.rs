@@ -31,8 +31,20 @@
 //! Also provided: [`SyncPushPull`] (round-based, Theorem 1.7 comparisons),
 //! [`AsyncPush`]/[`AsyncPull`] one-directional variants, [`TwoPush`] and
 //! [`ForwardTwoPush`] (the Section 4 coupling processes), [`Flooding`],
-//! the window-by-window [`Simulation`] engine, and the parallel
-//! multi-trial [`Runner`].
+//! and the window-by-window [`Simulation`] engine.
+//!
+//! Multi-trial execution goes through **[`RunPlan`]** — the single entry
+//! point over both engines: wrap the protocol in [`AnyProtocol`]
+//! (`AnyProtocol::event` for incrementally-capable protocols,
+//! `AnyProtocol::window` otherwise), pick an [`Engine`] (default
+//! [`Engine::Auto`]), and attach streaming [`TrialObserver`]s
+//! ([`SummarySink`], [`JsonlSink`], [`TrajectorySink`]) for per-trial
+//! output. The legacy [`Runner`] methods are deprecated shims over
+//! `RunPlan`; migrate
+//! `Runner::new(t, s).run(net, proto, start, cfg)` to
+//! `RunPlan::new(t, s).config(cfg).engine(Engine::Window).execute(net, || AnyProtocol::window(proto()))`
+//! and `run_incremental` likewise with `AnyProtocol::event` (and
+//! `Engine::Auto` or `Engine::Event`).
 //!
 //! # Example
 //!
@@ -68,6 +80,8 @@ mod event;
 mod flooding;
 mod incremental;
 mod lossy;
+mod observer;
+mod plan;
 mod protocol;
 mod runner;
 mod sync;
@@ -81,6 +95,10 @@ pub use event::EventSimulation;
 pub use flooding::Flooding;
 pub use incremental::IncrementalProtocol;
 pub use lossy::LossyAsync;
+pub use observer::{
+    JsonlSink, SummarySink, TrajectorySink, TrialObserver, TrialRecord, TrialTrajectory,
+};
+pub use plan::{AnyProtocol, Engine, RunPlan, RunReport};
 pub use protocol::Protocol;
 pub use runner::{Runner, TrialSummary};
 pub use sync::{SyncPull, SyncPush, SyncPushPull};

@@ -1,0 +1,691 @@
+//! The unified trial driver: one entry point over both engines.
+//!
+//! Every experiment in this workspace is the same operation — *run many
+//! independent trials of protocol P on dynamic family F and summarize the
+//! spread-time distribution*. [`RunPlan`] is the single API for it:
+//!
+//! ```
+//! use gossip_dynamics::StaticNetwork;
+//! use gossip_graph::Topology;
+//! use gossip_sim::{AnyProtocol, CutRateAsync, Engine, RunPlan};
+//!
+//! let report = RunPlan::new(64, 42)
+//!     .engine(Engine::Auto) // event-stream whenever the protocol supports it
+//!     .execute(
+//!         || StaticNetwork::from_topology(Topology::complete(32).unwrap()),
+//!         || AnyProtocol::event(CutRateAsync::new()),
+//!     )
+//!     .unwrap();
+//! assert_eq!(report.engine(), Engine::Event);
+//! assert!(report.completion_rate() > 0.99);
+//! ```
+//!
+//! The plan owns the whole trial contract the deprecated
+//! [`crate::Runner`] methods used to split across `run` /
+//! `run_incremental`:
+//!
+//! * **Seeding** — trial `i` always consumes the RNG stream
+//!   `SimRng::seed_from_u64(base_seed).derive(i)`, so results are
+//!   identical for any thread count and any engine scheduling;
+//! * **Engine selection** — [`Engine::Auto`] picks the event-stream
+//!   engine whenever the protocol carries an incremental implementation
+//!   ([`AnyProtocol::supports_event`]), and the window-based reference
+//!   engine otherwise;
+//! * **Streaming observation** — attached [`TrialObserver`]s receive one
+//!   [`crate::TrialRecord`] per trial, in trial order, while later trials
+//!   are still running; the built-in summary accumulates the same way,
+//!   so [`RunReport::summary`] is bit-identical to the legacy runner.
+
+use crate::observer::{SummarySink, TrialObserver, TrialRecord};
+use crate::{
+    EventSimulation, IncrementalProtocol, Protocol, RunConfig, SimError, Simulation, SpreadOutcome,
+    TrialSummary,
+};
+use gossip_dynamics::DynamicNetwork;
+use gossip_graph::NodeId;
+use gossip_stats::SimRng;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::{mpsc, Condvar, Mutex};
+
+// ---------------------------------------------------------------------------
+// AnyProtocol
+// ---------------------------------------------------------------------------
+
+/// An object-safe protocol value unifying the two engine interfaces.
+///
+/// [`AnyProtocol::event`] wraps a protocol that implements
+/// [`IncrementalProtocol`] — it can run on **either** engine (every
+/// incremental protocol is also a window protocol).
+/// [`AnyProtocol::window`] wraps a window-only protocol. [`RunPlan`]
+/// resolves [`Engine::Auto`] against this distinction.
+pub enum AnyProtocol {
+    /// A window-engine-only protocol.
+    Window(Box<dyn Protocol>),
+    /// A protocol with an incremental implementation (both engines).
+    Event(Box<dyn IncrementalProtocol>),
+}
+
+impl AnyProtocol {
+    /// Wraps a window-only protocol.
+    pub fn window(p: impl Protocol + 'static) -> Self {
+        AnyProtocol::Window(Box::new(p))
+    }
+
+    /// Wraps an incrementally-capable protocol (runs on both engines).
+    pub fn event(p: impl IncrementalProtocol + 'static) -> Self {
+        AnyProtocol::Event(Box::new(p))
+    }
+
+    /// The protocol's display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AnyProtocol::Window(p) => p.name(),
+            AnyProtocol::Event(p) => p.name(),
+        }
+    }
+
+    /// Whether the protocol can run on the event-stream engine.
+    pub fn supports_event(&self) -> bool {
+        matches!(self, AnyProtocol::Event(_))
+    }
+
+    /// Converts into a window-engine trait object (always possible).
+    pub fn into_window(self) -> Box<dyn Protocol> {
+        match self {
+            AnyProtocol::Window(p) => p,
+            AnyProtocol::Event(p) => Box::new(p),
+        }
+    }
+
+    /// Converts into an event-engine trait object, or `None` for
+    /// window-only protocols.
+    pub fn into_event(self) -> Option<Box<dyn IncrementalProtocol>> {
+        match self {
+            AnyProtocol::Window(_) => None,
+            AnyProtocol::Event(p) => Some(p),
+        }
+    }
+}
+
+impl fmt::Debug for AnyProtocol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (variant, name) = match self {
+            AnyProtocol::Window(p) => ("Window", p.name()),
+            AnyProtocol::Event(p) => ("Event", p.name()),
+        };
+        write!(f, "AnyProtocol::{variant}({name})")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------------
+
+/// Which simulation engine a [`RunPlan`] uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// Event-stream when the protocol supports it, window otherwise.
+    #[default]
+    Auto,
+    /// Force the window-based reference engine.
+    Window,
+    /// Force the event-stream engine (an error for window-only
+    /// protocols).
+    Event,
+}
+
+impl Engine {
+    /// The engine's display name (`Auto` resolves at execution time).
+    pub fn name(self) -> &'static str {
+        match self {
+            Engine::Auto => "auto",
+            Engine::Window => "window",
+            Engine::Event => "event",
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RunPlan
+// ---------------------------------------------------------------------------
+
+/// A builder-style description of a multi-trial run, executed by
+/// [`RunPlan::execute`] — the workspace's one trial-execution entry
+/// point.
+///
+/// The lifetime parameter lets observers be attached by mutable borrow
+/// (`plan.observer(&mut my_sink)`), so sinks survive the run and can be
+/// inspected afterwards; owned sinks work too.
+pub struct RunPlan<'o> {
+    trials: usize,
+    base_seed: u64,
+    threads: usize,
+    config: RunConfig,
+    engine: Engine,
+    start: Option<NodeId>,
+    observers: Vec<Box<dyn TrialObserver + 'o>>,
+}
+
+impl fmt::Debug for RunPlan<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RunPlan")
+            .field("trials", &self.trials)
+            .field("base_seed", &self.base_seed)
+            .field("threads", &self.threads)
+            .field("config", &self.config)
+            .field("engine", &self.engine)
+            .field("start", &self.start)
+            .field("observers", &self.observers.len())
+            .finish()
+    }
+}
+
+impl<'o> RunPlan<'o> {
+    /// A plan for `trials` trials seeded from `base_seed`: all available
+    /// parallelism, default [`RunConfig`], [`Engine::Auto`], the
+    /// network's suggested start node, no observers.
+    pub fn new(trials: usize, base_seed: u64) -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        RunPlan {
+            trials,
+            base_seed,
+            threads: threads.min(trials.max(1)),
+            config: RunConfig::default(),
+            engine: Engine::Auto,
+            start: None,
+            observers: Vec::new(),
+        }
+    }
+
+    /// Restricts execution to a fixed number of threads (1 = inline on
+    /// the calling thread). Results are identical either way.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Sets the per-trial [`RunConfig`] (cutoff, trajectory recording).
+    pub fn config(mut self, config: RunConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Selects the engine (default [`Engine::Auto`]).
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Overrides the start node (default: each network's
+    /// [`DynamicNetwork::suggested_start`]).
+    pub fn start(mut self, start: NodeId) -> Self {
+        self.start = Some(start);
+        self
+    }
+
+    /// Optional start override in one call (`None` keeps the default).
+    pub fn start_opt(mut self, start: Option<NodeId>) -> Self {
+        self.start = start;
+        self
+    }
+
+    /// Attaches a streaming [`TrialObserver`]; may be an owned sink or a
+    /// `&mut` borrow. Observers are notified in attachment order.
+    pub fn observer(mut self, observer: impl TrialObserver + 'o) -> Self {
+        self.observers.push(Box::new(observer));
+        self
+    }
+
+    /// Runs all trials and returns the [`RunReport`].
+    ///
+    /// `make_net` / `make_proto` build fresh instances per worker thread.
+    /// Trial `i` always consumes the RNG stream derived from
+    /// `(base_seed, i)`, and observers see records in trial order, so the
+    /// entire run — summary statistics *and* observer streams — is
+    /// bit-identical for any thread count.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::EngineUnsupported`] when [`Engine::Event`] is forced
+    /// on a window-only protocol; otherwise the error of the first
+    /// failing trial (any failure cancels the remaining batch;
+    /// configuration errors surface identically on every trial), or the
+    /// first observer failure.
+    pub fn execute<N: DynamicNetwork>(
+        mut self,
+        make_net: impl Fn() -> N + Sync,
+        make_proto: impl Fn() -> AnyProtocol + Sync,
+    ) -> Result<RunReport, SimError> {
+        // Probe once: engine resolution + report metadata, before any
+        // trial work spins up.
+        let probe = make_proto();
+        let protocol = probe.name();
+        let use_event = match self.engine {
+            Engine::Auto => probe.supports_event(),
+            Engine::Event => {
+                if !probe.supports_event() {
+                    return Err(SimError::EngineUnsupported { protocol });
+                }
+                true
+            }
+            Engine::Window => false,
+        };
+        drop(probe);
+
+        let mut config = self.config;
+        // Recording requested explicitly on the plan reaches every
+        // observer; recording merely auto-enabled by a trajectory-wanting
+        // observer stays scoped to the observers that asked, so e.g. a
+        // co-attached JsonlSink's output does not balloon (or change
+        // shape) because a TrajectorySink rides the same plan.
+        let explicit_recording = config.record_trajectory;
+        if self.observers.iter().any(|o| o.wants_trajectory()) {
+            config.record_trajectory = true;
+        }
+
+        let mut summary = SummarySink::new();
+        {
+            let observers = &mut self.observers;
+            let summary = &mut summary;
+            let mut deliver = move |record: TrialRecord| -> Result<(), SimError> {
+                // The internal summary never fails; user observers may.
+                summary
+                    .on_trial(&record)
+                    .expect("summary sink is infallible");
+                let stripped = TrialRecord {
+                    trial: record.trial,
+                    seed: record.seed,
+                    n: record.n,
+                    spread_time: record.spread_time,
+                    windows: record.windows,
+                    informed: record.informed,
+                    trajectory: None,
+                };
+                for o in observers.iter_mut() {
+                    let view = if explicit_recording || o.wants_trajectory() {
+                        &record
+                    } else {
+                        &stripped
+                    };
+                    o.on_trial(view)?;
+                }
+                Ok(())
+            };
+            run_trials(
+                self.trials,
+                self.base_seed,
+                self.threads,
+                self.start,
+                config,
+                use_event,
+                &make_net,
+                &make_proto,
+                &mut deliver,
+            )?;
+        }
+        for o in &mut self.observers {
+            o.finish()?;
+        }
+        Ok(RunReport {
+            summary: summary.into_summary(),
+            engine: if use_event {
+                Engine::Event
+            } else {
+                Engine::Window
+            },
+            protocol,
+        })
+    }
+}
+
+/// A per-worker trial closure: runs one trial on the engine chosen for
+/// the batch.
+type TrialFn<'p, N> =
+    Box<dyn FnMut(&mut N, NodeId, &mut SimRng) -> Result<SpreadOutcome, SimError> + 'p>;
+
+/// One worker's run closure: engine chosen once per batch, then the same
+/// trial shape for both engines — so the two engines share the seeding
+/// contract by construction.
+fn make_runner<'p, N: DynamicNetwork>(
+    proto: AnyProtocol,
+    config: RunConfig,
+    use_event: bool,
+) -> TrialFn<'p, N> {
+    if use_event {
+        let mut sim = EventSimulation::new(
+            proto
+                .into_event()
+                .expect("engine resolution probed support"),
+            config,
+        );
+        Box::new(move |net, start, rng| sim.run(net, start, rng))
+    } else {
+        let mut sim = Simulation::new(proto.into_window(), config);
+        Box::new(move |net, start, rng| sim.run(net, start, rng))
+    }
+}
+
+/// Worker pacing: the delivery frontier plus an abort flag.
+///
+/// No worker starts trial `i` until `i < frontier + window`, so the
+/// reorder buffer — and any full trajectories riding in records — holds
+/// `O(window)` entries even when one early trial is a heavy-tailed
+/// straggler (exactly this repo's subject: spread-time distributions
+/// with constant-probability `Ω(n)` modes). Without pacing, a slow
+/// trial 0 would let the other workers finish the entire batch and park
+/// it all in the buffer, defeating the streaming memory contract.
+struct Pace {
+    /// `(next undelivered trial, abort)`.
+    state: Mutex<(usize, bool)>,
+    cond: Condvar,
+}
+
+impl Pace {
+    fn new() -> Self {
+        Pace {
+            state: Mutex::new((0, false)),
+            cond: Condvar::new(),
+        }
+    }
+
+    /// Blocks until trial `i` may start; `false` means the run aborted.
+    /// Never blocks the worker owning the frontier trial itself, so the
+    /// frontier always advances (no deadlock).
+    fn admit(&self, i: usize, window: usize) -> bool {
+        let mut st = self.state.lock().expect("pace state poisoned");
+        while !st.1 && i >= st.0 + window {
+            st = self.cond.wait(st).expect("pace state poisoned");
+        }
+        !st.1
+    }
+
+    fn advance(&self, next: usize) {
+        self.state.lock().expect("pace state poisoned").0 = next;
+        self.cond.notify_all();
+    }
+
+    fn abort(&self) {
+        self.state.lock().expect("pace state poisoned").1 = true;
+        self.cond.notify_all();
+    }
+}
+
+/// Executes the trial batch, delivering records to `deliver` in strict
+/// trial order while trials are still running on other threads. A
+/// failing trial or a failing `deliver` aborts the batch: running
+/// trials finish, queued ones never start.
+#[allow(clippy::too_many_arguments)]
+fn run_trials<N: DynamicNetwork>(
+    trials: usize,
+    base_seed: u64,
+    threads: usize,
+    start: Option<NodeId>,
+    config: RunConfig,
+    use_event: bool,
+    make_net: &(impl Fn() -> N + Sync),
+    make_proto: &(impl Fn() -> AnyProtocol + Sync),
+    deliver: &mut impl FnMut(TrialRecord) -> Result<(), SimError>,
+) -> Result<(), SimError> {
+    let base = SimRng::seed_from_u64(base_seed);
+    let threads = threads.min(trials.max(1));
+    let recording = config.record_trajectory;
+
+    if threads <= 1 {
+        // Inline fast path: no channel, records delivered as produced
+        // (already in trial order); errors abort immediately.
+        let mut net = make_net();
+        let mut run_one = make_runner::<N>(make_proto(), config, use_event);
+        let start = start.unwrap_or_else(|| net.suggested_start());
+        for i in 0..trials {
+            let mut rng = base.derive(i as u64);
+            let seed = rng.base_seed();
+            let outcome = run_one(&mut net, start, &mut rng)?;
+            deliver(TrialRecord::from_outcome(i, seed, outcome, recording))?;
+        }
+        return Ok(());
+    }
+
+    // Parallel path: workers stream records over a bounded channel; the
+    // calling thread re-sequences through a [`Pace`]-bounded reorder
+    // buffer and feeds observers in trial order. Trial i still consumes
+    // the derive(i) stream, so scheduling cannot change any result.
+    let window = threads * 8;
+    let pace = Pace::new();
+    let mut trial_err: Option<(usize, SimError)> = None;
+    let mut observer_err: Option<SimError> = None;
+    let (tx, rx) = mpsc::sync_channel::<Result<TrialRecord, (usize, SimError)>>(window);
+    std::thread::scope(|scope| {
+        for tid in 0..threads {
+            let base = base.clone();
+            let tx = tx.clone();
+            let pace = &pace;
+            scope.spawn(move || {
+                let mut net = make_net();
+                let mut run_one = make_runner::<N>(make_proto(), config, use_event);
+                let start = start.unwrap_or_else(|| net.suggested_start());
+                let mut i = tid;
+                while i < trials && pace.admit(i, window) {
+                    let mut rng = base.derive(i as u64);
+                    let seed = rng.base_seed();
+                    let msg = match run_one(&mut net, start, &mut rng) {
+                        Ok(outcome) => Ok(TrialRecord::from_outcome(i, seed, outcome, recording)),
+                        Err(e) => Err((i, e)),
+                    };
+                    let stop = msg.is_err();
+                    if tx.send(msg).is_err() || stop {
+                        break;
+                    }
+                    i += threads;
+                }
+            });
+        }
+        drop(tx);
+
+        // The receiver always keeps draining (never leaves a worker
+        // blocked on a full channel); after an abort it only discards.
+        let mut pending: BTreeMap<usize, TrialRecord> = BTreeMap::new();
+        let mut next = 0usize;
+        for msg in rx {
+            match msg {
+                Ok(record) if observer_err.is_none() => {
+                    pending.insert(record.trial, record);
+                    while let Some(record) = pending.remove(&next) {
+                        match deliver(record) {
+                            Ok(()) => {
+                                next += 1;
+                                pace.advance(next);
+                            }
+                            Err(e) => {
+                                // Delivery is dead: cancel the workers,
+                                // drop anything buffered.
+                                observer_err = Some(e);
+                                pending.clear();
+                                pace.abort();
+                                break;
+                            }
+                        }
+                    }
+                }
+                Ok(_) => {}
+                Err((i, e)) => {
+                    if trial_err.as_ref().is_none_or(|(j, _)| i < *j) {
+                        trial_err = Some((i, e));
+                    }
+                    // A failed trial leaves a hole at its index: the
+                    // frontier can never pass it, so cancel the batch
+                    // (configuration errors hit every trial anyway).
+                    pace.abort();
+                }
+            }
+        }
+    });
+    match (trial_err, observer_err) {
+        (Some((_, e)), _) => Err(e),
+        (None, Some(e)) => Err(e),
+        (None, None) => Ok(()),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RunReport
+// ---------------------------------------------------------------------------
+
+/// The result of a [`RunPlan::execute`]: the classic [`TrialSummary`]
+/// plus the resolved engine and protocol name.
+///
+/// Dereferences to [`TrialSummary`], so summary accessors read directly:
+/// `report.median()`, `report.completion_rate()`, …
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    summary: TrialSummary,
+    engine: Engine,
+    protocol: &'static str,
+}
+
+impl RunReport {
+    /// The accumulated trial summary.
+    pub fn summary(&self) -> &TrialSummary {
+        &self.summary
+    }
+
+    /// Consumes the report into its summary.
+    pub fn into_summary(self) -> TrialSummary {
+        self.summary
+    }
+
+    /// The engine that actually ran (never [`Engine::Auto`]).
+    pub fn engine(&self) -> Engine {
+        self.engine
+    }
+
+    /// The protocol's display name.
+    pub fn protocol(&self) -> &'static str {
+        self.protocol
+    }
+}
+
+impl std::ops::Deref for RunReport {
+    type Target = TrialSummary;
+
+    fn deref(&self) -> &TrialSummary {
+        &self.summary
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CutRateAsync, SyncPushPull};
+    use gossip_dynamics::StaticNetwork;
+    use gossip_graph::{generators, Topology};
+
+    fn make_complete() -> StaticNetwork {
+        StaticNetwork::from_topology(Topology::complete(16).unwrap())
+    }
+
+    #[test]
+    fn auto_resolves_per_protocol() {
+        let event = RunPlan::new(6, 1)
+            .execute(make_complete, || AnyProtocol::event(CutRateAsync::new()))
+            .unwrap();
+        assert_eq!(event.engine(), Engine::Event);
+        assert_eq!(event.protocol(), "async push-pull (cut-rate)");
+        let window = RunPlan::new(6, 1)
+            .execute(make_complete, || AnyProtocol::window(SyncPushPull::new()))
+            .unwrap();
+        assert_eq!(window.engine(), Engine::Window);
+        assert_eq!(window.trials(), 6);
+    }
+
+    #[test]
+    fn forced_event_rejects_window_only_protocols() {
+        let err = RunPlan::new(4, 1)
+            .engine(Engine::Event)
+            .execute(make_complete, || AnyProtocol::window(SyncPushPull::new()))
+            .unwrap_err();
+        assert!(matches!(err, SimError::EngineUnsupported { .. }));
+    }
+
+    #[test]
+    fn event_protocol_runs_on_window_engine() {
+        // AnyProtocol::event is valid on both engines; forcing Window
+        // must replay the exact legacy window-engine stream.
+        let report = RunPlan::new(8, 3)
+            .engine(Engine::Window)
+            .execute(make_complete, || AnyProtocol::event(CutRateAsync::new()))
+            .unwrap();
+        assert_eq!(report.engine(), Engine::Window);
+        assert_eq!(report.completed(), 8);
+    }
+
+    #[test]
+    fn observers_stream_in_trial_order_across_threads() {
+        struct OrderProbe(Vec<usize>);
+        impl TrialObserver for OrderProbe {
+            fn on_trial(&mut self, r: &TrialRecord) -> Result<(), SimError> {
+                self.0.push(r.trial);
+                Ok(())
+            }
+        }
+        let mut probe = OrderProbe(Vec::new());
+        RunPlan::new(37, 5)
+            .threads(4)
+            .observer(&mut probe)
+            .execute(make_complete, || AnyProtocol::event(CutRateAsync::new()))
+            .unwrap();
+        assert_eq!(probe.0, (0..37).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn observer_errors_propagate() {
+        struct Failing;
+        impl TrialObserver for Failing {
+            fn on_trial(&mut self, _: &TrialRecord) -> Result<(), SimError> {
+                Err(SimError::Observer("sink full".into()))
+            }
+        }
+        let err = RunPlan::new(4, 1)
+            .observer(Failing)
+            .execute(make_complete, || AnyProtocol::event(CutRateAsync::new()))
+            .unwrap_err();
+        assert!(matches!(err, SimError::Observer(_)));
+    }
+
+    #[test]
+    fn trial_errors_propagate_and_cancel_the_batch() {
+        let err = RunPlan::new(8, 1)
+            .threads(3)
+            .start(99)
+            .execute(
+                || StaticNetwork::new(generators::path(3).unwrap()),
+                || AnyProtocol::event(CutRateAsync::new()),
+            )
+            .unwrap_err();
+        assert!(matches!(err, SimError::StartOutOfRange { start: 99, n: 3 }));
+    }
+
+    #[test]
+    fn trajectory_recording_enabled_by_observer() {
+        struct WantsTraj(usize);
+        impl TrialObserver for WantsTraj {
+            fn wants_trajectory(&self) -> bool {
+                true
+            }
+            fn on_trial(&mut self, r: &TrialRecord) -> Result<(), SimError> {
+                let traj = r.trajectory.as_ref().expect("recording enabled");
+                assert_eq!(traj.last().unwrap().1, r.n);
+                self.0 += 1;
+                Ok(())
+            }
+        }
+        let mut probe = WantsTraj(0);
+        RunPlan::new(3, 9)
+            .observer(&mut probe)
+            .execute(make_complete, || AnyProtocol::event(CutRateAsync::new()))
+            .unwrap();
+        assert_eq!(probe.0, 3);
+    }
+}

@@ -1,21 +1,19 @@
-//! Multi-trial experiment runner.
+//! The multi-trial summary type and the deprecated legacy runner.
 //!
 //! The paper defines spread time as the first time by which all nodes are
 //! informed *with high probability*; empirically that is a high quantile of
-//! per-trial completion times. The runner executes independent trials with
-//! per-trial derived seeds (reproducible regardless of thread scheduling)
-//! and summarizes the distribution.
+//! per-trial completion times. [`TrialSummary`] holds that distribution.
+//!
+//! Trial execution itself lives in [`crate::RunPlan`] — the single entry
+//! point over both engines, with per-trial derived seeds (reproducible
+//! regardless of thread scheduling) and streaming [`crate::TrialObserver`]
+//! delivery. The [`Runner`] methods below are thin deprecated shims kept
+//! for one release; see the migration notes on each.
 
-use crate::{
-    EventSimulation, IncrementalProtocol, Protocol, RunConfig, SimError, Simulation, SpreadOutcome,
-};
+use crate::{AnyProtocol, Engine, IncrementalProtocol, Protocol, RunConfig, RunPlan, SimError};
 use gossip_dynamics::DynamicNetwork;
 use gossip_graph::NodeId;
-use gossip_stats::{RunningMoments, SimRng, SortedSample};
-
-/// Per-thread trial results: `(trial index, spread time)` pairs, or the
-/// first error the thread hit.
-type ThreadResults = Result<Vec<(usize, Option<f64>)>, SimError>;
+use gossip_stats::{RunningMoments, SortedSample};
 
 /// Summary of a batch of simulation trials.
 ///
@@ -31,6 +29,21 @@ pub struct TrialSummary {
 }
 
 impl TrialSummary {
+    /// Builds a summary from the per-trial stream: total trial count,
+    /// completed times **in trial order** (the order determines the float
+    /// summation in `moments`, which is part of the bit-identical
+    /// determinism contract), and the moments accumulated in that order.
+    pub(crate) fn from_stream(trials: usize, times: Vec<f64>, moments: RunningMoments) -> Self {
+        let completed = times.len();
+        // Sort once here; every TrialSummary accessor is &self.
+        TrialSummary {
+            times: SortedSample::from_values(times),
+            moments,
+            trials,
+            completed,
+        }
+    }
+
     /// Number of trials run.
     pub fn trials(&self) -> usize {
         self.trials
@@ -64,18 +77,33 @@ impl TrialSummary {
     ///
     /// # Panics
     ///
-    /// Panics when no trial completed.
+    /// Panics when no trial completed; [`TrialSummary::try_median`] is
+    /// the non-panicking variant.
     pub fn median(&self) -> f64 {
-        self.times.median().expect("no completed trials")
+        self.try_median().expect("no completed trials")
+    }
+
+    /// Median spread time, or `None` when no trial completed.
+    pub fn try_median(&self) -> Option<f64> {
+        self.times.median().ok()
     }
 
     /// Empirical `q`-quantile of the spread time.
     ///
     /// # Panics
     ///
-    /// Panics when no trial completed or `q ∉ \[0, 1\]`.
+    /// Panics when no trial completed or `q ∉ \[0, 1\]`;
+    /// [`TrialSummary::try_quantile`] is the non-panicking variant.
     pub fn quantile(&self, q: f64) -> f64 {
-        self.times.quantile(q).expect("no completed trials")
+        self.times
+            .quantile(q)
+            .expect("no completed trials, or q outside [0, 1]")
+    }
+
+    /// Empirical `q`-quantile, or `None` when no trial completed or
+    /// `q ∉ \[0, 1\]`.
+    pub fn try_quantile(&self, q: f64) -> Option<f64> {
+        self.times.quantile(q).ok()
     }
 
     /// The empirical "w.h.p. spread time": the 0.95 quantile (all trials
@@ -84,18 +112,31 @@ impl TrialSummary {
     ///
     /// # Panics
     ///
-    /// Panics when no trial completed.
+    /// Panics when no trial completed;
+    /// [`TrialSummary::try_whp_spread_time`] is the non-panicking
+    /// variant.
     pub fn whp_spread_time(&self) -> f64 {
         self.quantile(0.95)
+    }
+
+    /// The 0.95 quantile, or `None` when no trial completed.
+    pub fn try_whp_spread_time(&self) -> Option<f64> {
+        self.try_quantile(0.95)
     }
 
     /// Largest observed spread time.
     ///
     /// # Panics
     ///
-    /// Panics when no trial completed.
+    /// Panics when no trial completed; [`TrialSummary::try_max`] is the
+    /// non-panicking variant.
     pub fn max(&self) -> f64 {
-        self.times.max().expect("no completed trials")
+        self.try_max().expect("no completed trials")
+    }
+
+    /// Largest observed spread time, or `None` when no trial completed.
+    pub fn try_max(&self) -> Option<f64> {
+        self.times.max().ok()
     }
 
     /// Empirical tail `Pr[T > x]` over completed trials (incomplete trials
@@ -113,30 +154,30 @@ impl TrialSummary {
     }
 }
 
-/// Runs batches of independent trials, optionally across threads.
+/// The legacy multi-trial runner — a deprecated shim over
+/// [`crate::RunPlan`].
 ///
-/// Trial `i` always consumes the RNG stream derived from `(base_seed, i)`,
-/// so results are identical whether run on one thread or many.
-///
-/// # Example
+/// Both methods forward to [`RunPlan::execute`] with the corresponding
+/// forced engine, so the seeding contract (trial `i` consumes the RNG
+/// stream derived from `(base_seed, i)`) and the resulting
+/// [`TrialSummary`] are bit-identical to what the pre-`RunPlan` runner
+/// produced. Migrate:
 ///
 /// ```
 /// use gossip_dynamics::StaticNetwork;
 /// use gossip_graph::generators;
-/// use gossip_sim::{CutRateAsync, RunConfig, Runner};
+/// use gossip_sim::{AnyProtocol, CutRateAsync, RunPlan};
 ///
-/// let runner = Runner::new(64, 42);
-/// let summary = runner
-///     .run(
+/// // was: Runner::new(64, 42).run(make_net, CutRateAsync::new, None, config)
+/// let report = RunPlan::new(64, 42)
+///     .execute(
 ///         || StaticNetwork::new(generators::complete(32).unwrap()),
-///         CutRateAsync::new,
-///         None,
-///         RunConfig::default(),
+///         || AnyProtocol::event(CutRateAsync::new()),
 ///     )
 ///     .unwrap();
-/// assert_eq!(summary.trials(), 64);
-/// assert!(summary.completion_rate() > 0.99);
-/// let _t = summary.whp_spread_time();
+/// assert_eq!(report.trials(), 64);
+/// assert!(report.completion_rate() > 0.99);
+/// let _t = report.whp_spread_time();
 /// ```
 #[derive(Debug, Clone)]
 pub struct Runner {
@@ -165,13 +206,23 @@ impl Runner {
         self
     }
 
-    /// Runs all trials: `make_net`/`make_proto` build fresh instances per
-    /// thread, `start` overrides the network's suggested start node.
+    fn plan(&self, start: Option<NodeId>, config: RunConfig) -> RunPlan<'static> {
+        RunPlan::new(self.trials, self.base_seed)
+            .threads(self.threads)
+            .config(config)
+            .start_opt(start)
+    }
+
+    /// Runs all trials on the window-based engine.
     ///
     /// # Errors
     ///
-    /// Returns the first [`SimError`] any trial produced (configuration
-    /// errors surface identically on every trial).
+    /// Returns the [`SimError`] of the lowest-indexed failing trial
+    /// (configuration errors surface identically on every trial).
+    #[deprecated(
+        since = "0.3.0",
+        note = "use RunPlan::execute with AnyProtocol (Engine::Window forces this engine)"
+    )]
     pub fn run<N, P>(
         &self,
         make_net: impl Fn() -> N + Sync,
@@ -181,21 +232,24 @@ impl Runner {
     ) -> Result<TrialSummary, SimError>
     where
         N: DynamicNetwork,
-        P: Protocol,
+        P: Protocol + 'static,
     {
-        self.run_trials(make_net, start, || {
-            let mut sim = Simulation::new(make_proto(), config);
-            move |net: &mut N, start, rng: &mut SimRng| sim.run(net, start, rng)
-        })
+        self.plan(start, config)
+            .engine(Engine::Window)
+            .execute(make_net, move || AnyProtocol::window(make_proto()))
+            .map(crate::RunReport::into_summary)
     }
 
-    /// Runs all trials on the event-stream engine ([`EventSimulation`])
-    /// instead of the window-based one. Same seeding contract as
-    /// [`Runner::run`].
+    /// Runs all trials on the event-stream engine. Same seeding contract
+    /// as [`Runner::run`].
     ///
     /// # Errors
     ///
     /// As [`Runner::run`].
+    #[deprecated(
+        since = "0.3.0",
+        note = "use RunPlan::execute with AnyProtocol::event (Engine::Auto picks the event engine)"
+    )]
     pub fn run_incremental<N, P>(
         &self,
         make_net: impl Fn() -> N + Sync,
@@ -205,88 +259,17 @@ impl Runner {
     ) -> Result<TrialSummary, SimError>
     where
         N: DynamicNetwork,
-        P: IncrementalProtocol,
+        P: IncrementalProtocol + 'static,
     {
-        self.run_trials(make_net, start, || {
-            let mut sim = EventSimulation::new(make_proto(), config);
-            move |net: &mut N, start, rng: &mut SimRng| sim.run(net, start, rng)
-        })
-    }
-
-    /// The shared trial scaffolding both engines run through: per-thread
-    /// network + trial closure, interleaved trial indices, and per-trial
-    /// derived RNG streams — so the two engines have the identical seeding
-    /// contract by construction.
-    fn run_trials<N, F>(
-        &self,
-        make_net: impl Fn() -> N + Sync,
-        start: Option<NodeId>,
-        make_trial: impl Fn() -> F + Sync,
-    ) -> Result<TrialSummary, SimError>
-    where
-        N: DynamicNetwork,
-        F: FnMut(&mut N, NodeId, &mut SimRng) -> Result<SpreadOutcome, SimError>,
-    {
-        let base = SimRng::seed_from_u64(self.base_seed);
-        let threads = self.threads.min(self.trials.max(1));
-        let results: Vec<ThreadResults> = std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(threads);
-            for tid in 0..threads {
-                let base = base.clone();
-                let make_net = &make_net;
-                let make_trial = &make_trial;
-                let trials = self.trials;
-                handles.push(scope.spawn(move || {
-                    let mut out = Vec::new();
-                    let mut net = make_net();
-                    let mut trial = make_trial();
-                    let start = start.unwrap_or_else(|| net.suggested_start());
-                    let mut i = tid;
-                    while i < trials {
-                        let mut rng = base.derive(i as u64);
-                        let outcome = trial(&mut net, start, &mut rng)?;
-                        out.push((i, outcome.spread_time()));
-                        i += threads;
-                    }
-                    Ok(out)
-                }));
-            }
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("trial thread panicked"))
-                .collect()
-        });
-        self.summarize(results)
-    }
-
-    fn summarize(&self, results: Vec<ThreadResults>) -> Result<TrialSummary, SimError> {
-        // Re-sequence into trial order before accumulating: the running
-        // moments are float-summation-order dependent, and the determinism
-        // contract promises bit-identical summaries for any thread count.
-        let mut indexed = Vec::with_capacity(self.trials);
-        for r in results {
-            indexed.extend(r?);
-        }
-        indexed.sort_unstable_by_key(|&(i, _)| i);
-        let mut times = Vec::new();
-        let mut moments = RunningMoments::new();
-        for t in indexed.into_iter().filter_map(|(_, t)| t) {
-            times.push(t);
-            moments.push(t);
-        }
-        let completed = times.len();
-        // Sort once here; every TrialSummary accessor is &self.
-        let times = SortedSample::from_values(times);
-        Ok(TrialSummary {
-            times,
-            moments,
-            trials: self.trials,
-            completed,
-        })
+        self.plan(start, config)
+            .engine(Engine::Event)
+            .execute(make_net, move || AnyProtocol::event(make_proto()))
+            .map(crate::RunReport::into_summary)
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the shims must keep replaying the legacy streams
 mod tests {
     use super::*;
     use crate::{AsyncPushPull, CutRateAsync};

@@ -18,13 +18,11 @@ fn main() {
     for rho in [0.05f64, 0.1, 0.2, 0.4, 0.8] {
         let net = DiligentNetwork::new(n, rho).expect("n large enough for this rho");
         let params = net.params();
-        let runner = Runner::new(10, 99);
-        let summary = runner
-            .run(
+        let summary = RunPlan::new(10, 99)
+            .config(RunConfig::with_max_time(1e6))
+            .execute(
                 || DiligentNetwork::new(n, rho).expect("validated above"),
-                CutRateAsync::new,
-                None,
-                RunConfig::with_max_time(1e6),
+                || AnyProtocol::event(CutRateAsync::new()),
             )
             .expect("valid config");
         let median = summary.median();

@@ -24,17 +24,19 @@ fn measure<N: DynamicNetwork>(
     trials: usize,
     mean: bool,
 ) -> f64 {
-    let runner = Runner::new(trials, 7);
-    let config = RunConfig::with_max_time(1e6);
-    let summary = if sync {
-        runner
-            .run(&make, SyncPushPull::new, None, config)
-            .expect("valid config")
-    } else {
-        runner
-            .run(&make, CutRateAsync::new, None, config)
-            .expect("valid config")
+    // One plan shape for both protocols: AnyProtocol carries the engine
+    // capability, Engine::Auto resolves it per protocol.
+    let make_proto = || {
+        if sync {
+            AnyProtocol::window(SyncPushPull::new())
+        } else {
+            AnyProtocol::event(CutRateAsync::new())
+        }
     };
+    let summary = RunPlan::new(trials, 7)
+        .config(RunConfig::with_max_time(1e6))
+        .execute(&make, make_proto)
+        .expect("valid config");
     if mean {
         summary.mean()
     } else {

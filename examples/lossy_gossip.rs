@@ -17,13 +17,14 @@ fn mean_spread(loss: f64, downtime: f64, n: usize, trials: usize, seed: u64) -> 
         let mut rng = SimRng::seed_from_u64(7);
         StaticNetwork::new(generators::random_connected_regular(n, 6, &mut rng).expect("even n*d"))
     };
-    Runner::new(trials, seed)
-        .run(
-            make_net,
-            move || LossyAsync::with_downtime(loss, downtime).expect("valid probabilities"),
-            Some(0),
-            RunConfig::with_max_time(1e5),
-        )
+    RunPlan::new(trials, seed)
+        .config(RunConfig::with_max_time(1e5))
+        .start(0)
+        .execute(make_net, move || {
+            AnyProtocol::event(
+                LossyAsync::with_downtime(loss, downtime).expect("valid probabilities"),
+            )
+        })
         .expect("valid configuration")
         .mean()
 }

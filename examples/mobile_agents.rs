@@ -18,25 +18,20 @@ fn main() {
         "agents", "radius", "median spread", "completion rate"
     );
     for (agents, radius) in [(20usize, 1usize), (40, 1), (80, 1), (40, 2), (80, 2)] {
-        let runner = Runner::new(10, 1234);
-        let summary = runner
-            .run(
+        let summary = RunPlan::new(10, 1234)
+            .config(RunConfig::with_max_time(50_000.0))
+            .start(0)
+            .execute(
                 || {
                     let mut rng = SimRng::seed_from_u64(agents as u64 * 31 + radius as u64);
                     MobileAgents::new(agents, grid, grid, radius, &mut rng)
                         .expect("valid torus parameters")
                 },
-                CutRateAsync::new,
-                Some(0),
-                RunConfig::with_max_time(50_000.0),
+                || AnyProtocol::event(CutRateAsync::new()),
             )
             .expect("valid config");
         let rate = summary.completion_rate();
-        let median = if summary.completed() > 0 {
-            summary.median()
-        } else {
-            f64::NAN
-        };
+        let median = summary.try_median().unwrap_or(f64::NAN);
         println!("{agents:>8} {radius:>10} {median:>16.1} {rate:>18.2}");
     }
     println!();

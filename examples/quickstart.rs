@@ -58,24 +58,25 @@ fn main() {
     }
 
     // Multi-trial summary: the paper's spread time is a w.h.p. notion, so
-    // report a high quantile over independent trials.
-    let runner = Runner::new(50, seed);
-    let summary = runner
-        .run(
+    // report a high quantile over independent trials. RunPlan is the one
+    // driver over both engines; Engine::Auto picks the event stream for
+    // this incrementally-capable protocol.
+    let summary = RunPlan::new(50, seed)
+        .start(0)
+        .execute(
             || {
                 let mut rng = SimRng::seed_from_u64(seed);
                 StaticNetwork::new(
                     generators::random_connected_regular(n, 4, &mut rng).expect("regular graph"),
                 )
             },
-            CutRateAsync::new,
-            Some(0),
-            RunConfig::default(),
+            || AnyProtocol::event(CutRateAsync::new()),
         )
         .expect("valid configuration");
     println!(
-        "over {} trials: mean {:.2}, median {:.2}, 95% quantile {:.2}",
+        "over {} trials ({} engine): mean {:.2}, median {:.2}, 95% quantile {:.2}",
         summary.trials(),
+        summary.engine().name(),
         summary.mean(),
         summary.median(),
         summary.whp_spread_time()

@@ -52,7 +52,8 @@ pub mod prelude {
     pub use gossip_core::bounds::{corollary_1_6, giakkoupis_bound, theorem_1_1, theorem_1_3};
     pub use gossip_core::profile::StepProfile;
     pub use gossip_core::scenario::{
-        run_scenario, FamilySpec, ProtocolSpec, ScenarioReport, ScenarioSpec, SweepSpec,
+        build_any_protocol, run_scenario, FamilySpec, ProtocolSpec, ScenarioReport, ScenarioSpec,
+        SweepPlan, SweepSpec,
     };
     pub use gossip_dynamics::{
         AbsoluteDiligentNetwork, AlternatingRegular, CliquePendant, DiligentNetwork,
@@ -61,8 +62,10 @@ pub mod prelude {
     };
     pub use gossip_graph::{conductance, diligence, generators, Graph, GraphBuilder, NodeSet};
     pub use gossip_sim::{
-        AsyncPushPull, CutRateAsync, EventSimulation, Flooding, IncrementalProtocol, LossyAsync,
-        Protocol, RunConfig, Runner, Simulation, SpreadOutcome, SyncPushPull,
+        AnyProtocol, AsyncPushPull, CutRateAsync, Engine, EventSimulation, Flooding,
+        IncrementalProtocol, JsonlSink, LossyAsync, Protocol, RunConfig, RunPlan, RunReport,
+        Runner, Simulation, SpreadOutcome, SummarySink, SyncPushPull, TrajectorySink,
+        TrialObserver, TrialRecord, TrialSummary,
     };
     pub use gossip_stats::{Quantiles, RunningMoments, SimRng, SortedSample};
 }

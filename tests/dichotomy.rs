@@ -1,5 +1,6 @@
 //! Integration tests for the Theorem 1.7 dichotomy (Figure 1), exercised
-//! through the facade exactly as a downstream user would.
+//! through the facade exactly as a downstream user would — all trial
+//! batches drive the unified [`RunPlan`] API.
 
 use rumor_spreading::prelude::*;
 
@@ -8,15 +9,14 @@ use rumor_spreading::prelude::*;
 #[test]
 fn sync_dynamic_star_exact_n() {
     for leaves in [10usize, 25, 50] {
-        let runner = Runner::new(8, leaves as u64);
-        let summary = runner
-            .run(
+        let summary = RunPlan::new(8, leaves as u64)
+            .config(RunConfig::with_max_time(1e6))
+            .execute(
                 move || DynamicStar::new(leaves).expect("valid"),
-                SyncPushPull::new,
-                None,
-                RunConfig::with_max_time(1e6),
+                || AnyProtocol::window(SyncPushPull::new()),
             )
             .expect("valid");
+        assert_eq!(summary.engine(), Engine::Window);
         assert_eq!(summary.completed(), 8);
         assert_eq!(summary.quantile(0.0), leaves as f64);
         assert_eq!(summary.max(), leaves as f64);
@@ -28,16 +28,14 @@ fn sync_dynamic_star_exact_n() {
 #[test]
 fn async_dynamic_star_logarithmic() {
     let median = |leaves: usize| {
-        let runner = Runner::new(10, 99);
-        let s = runner
-            .run(
+        RunPlan::new(10, 99)
+            .config(RunConfig::with_max_time(1e6))
+            .execute(
                 move || DynamicStar::new(leaves).expect("valid"),
-                CutRateAsync::new,
-                None,
-                RunConfig::with_max_time(1e6),
+                || AnyProtocol::event(CutRateAsync::new()),
             )
-            .expect("valid");
-        s.median()
+            .expect("valid")
+            .median()
     };
     let t200 = median(200);
     let t800 = median(800);
@@ -58,28 +56,23 @@ fn async_dynamic_star_logarithmic() {
 #[test]
 fn clique_pendant_dichotomy() {
     let measure = |n: usize, sync: bool| {
-        let runner = Runner::new(30, 5);
-        let config = RunConfig::with_max_time(1e6);
+        let summary = RunPlan::new(30, 5)
+            .config(RunConfig::with_max_time(1e6))
+            .execute(
+                move || CliquePendant::new(n).expect("valid"),
+                || {
+                    if sync {
+                        AnyProtocol::window(SyncPushPull::new())
+                    } else {
+                        AnyProtocol::event(CutRateAsync::new())
+                    }
+                },
+            )
+            .expect("valid");
         if sync {
-            runner
-                .run(
-                    move || CliquePendant::new(n).expect("valid"),
-                    SyncPushPull::new,
-                    None,
-                    config,
-                )
-                .expect("valid")
-                .median()
+            summary.median()
         } else {
-            runner
-                .run(
-                    move || CliquePendant::new(n).expect("valid"),
-                    CutRateAsync::new,
-                    None,
-                    config,
-                )
-                .expect("valid")
-                .mean()
+            summary.mean()
         }
     };
     let sync_256 = measure(256, true);
@@ -109,11 +102,13 @@ fn clique_pendant_dichotomy() {
 fn no_dichotomy_on_static_star() {
     let n = 200;
     let make = move || StaticNetwork::new(generators::star(n).expect("valid"));
-    let sync = Runner::new(10, 1)
-        .run(make, SyncPushPull::new, Some(1), RunConfig::default())
+    let sync = RunPlan::new(10, 1)
+        .start(1)
+        .execute(make, || AnyProtocol::window(SyncPushPull::new()))
         .expect("valid");
-    let async_ = Runner::new(10, 2)
-        .run(make, CutRateAsync::new, Some(1), RunConfig::default())
+    let async_ = RunPlan::new(10, 2)
+        .start(1)
+        .execute(make, || AnyProtocol::event(CutRateAsync::new()))
         .expect("valid");
     assert!(sync.median() <= 4.0, "static star sync is O(1) rounds");
     assert!(async_.median() <= 20.0, "static star async is O(log n)");

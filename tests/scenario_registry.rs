@@ -27,8 +27,8 @@ fn scenario_runs_through_the_facade() {
 
 #[test]
 fn event_engine_and_scenario_agree() {
-    // Running the same protocol/network directly through EventSimulation
-    // matches what the registry reports (same seeds, same runner).
+    // Running the same protocol/network directly through RunPlan matches
+    // what the registry reports (same seeds, same driver).
     let mut spec = ScenarioSpec {
         name: "facade-direct".into(),
         description: None,
@@ -40,17 +40,56 @@ fn event_engine_and_scenario_agree() {
     spec.sweep.seed = Some(5);
     let report = run_scenario(&spec).unwrap();
 
-    let runner = Runner::new(10, 5);
-    let summary = runner
-        .run_incremental(
+    let direct = RunPlan::new(10, 5)
+        .config(RunConfig::with_max_time(1e5))
+        .execute(
             || StaticNetwork::new(generators::complete(16).unwrap()),
-            CutRateAsync::new,
-            None,
-            RunConfig::with_max_time(1e5),
+            || AnyProtocol::event(CutRateAsync::new()),
         )
         .unwrap();
-    assert_eq!(report.rows[0].completed, summary.completed());
-    assert!((report.rows[0].median.unwrap() - summary.median()).abs() < 1e-12);
+    assert_eq!(direct.engine(), Engine::Event);
+    assert_eq!(report.rows[0].completed, direct.completed());
+    assert!((report.rows[0].median.unwrap() - direct.median()).abs() < 1e-12);
+}
+
+#[test]
+fn sweep_plan_streams_jsonl_through_facade() {
+    // A SweepPlan with a JsonlSink: every trial of every size lands in
+    // the stream, and the rebuilt per-size summaries match the report
+    // rows bit-for-bit.
+    let mut spec = ScenarioSpec {
+        name: "facade-jsonl".into(),
+        description: None,
+        family: FamilySpec::new("complete"),
+        protocol: ProtocolSpec::new("async"),
+        sweep: SweepSpec::over(vec![16, 24]),
+    };
+    spec.sweep.trials = Some(6);
+    spec.sweep.seed = Some(9);
+    let plan = SweepPlan::new(&spec).unwrap();
+    let mut sink = JsonlSink::new(Vec::new());
+    let report = plan.run_with(&mut sink).unwrap();
+    assert_eq!(sink.records(), 12);
+    let text = String::from_utf8(sink.into_inner().unwrap()).unwrap();
+    for (row, chunk) in report
+        .rows
+        .iter()
+        .zip(text.lines().collect::<Vec<_>>().chunks(6))
+    {
+        let mut rebuilt = SummarySink::new();
+        for line in chunk {
+            let record: TrialRecord = serde_json::from_str(line)
+                .unwrap_or_else(|e| panic!("bad JSONL line `{line}`: {e}"));
+            assert_eq!(record.n, row.n);
+            rebuilt.on_trial(&record).unwrap();
+        }
+        let summary = rebuilt.into_summary();
+        assert_eq!(summary.completed(), row.completed);
+        assert_eq!(
+            summary.try_median().unwrap().to_bits(),
+            row.median.unwrap().to_bits()
+        );
+    }
 }
 
 #[test]

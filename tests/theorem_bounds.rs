@@ -92,13 +92,11 @@ fn theorem_1_3_holds_and_is_tightish_on_absolute_network() {
 fn remark_1_4_ceiling_holds() {
     let n = 80;
     let delta = 8;
-    let runner = Runner::new(5, 13);
-    let summary = runner
-        .run(
+    let summary = RunPlan::new(5, 13)
+        .config(RunConfig::with_max_time(1e7))
+        .execute(
             move || AbsoluteDiligentNetwork::with_delta(n, delta).expect("valid"),
-            CutRateAsync::new,
-            None,
-            RunConfig::with_max_time(1e7),
+            || AnyProtocol::event(CutRateAsync::new()),
         )
         .expect("valid");
     assert_eq!(summary.completed(), 5);
