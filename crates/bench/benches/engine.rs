@@ -14,10 +14,24 @@
 //!   on the event engine.
 //! * `engine_circulant` — sparse d = 16 circulant (materialized), where
 //!   the window-vs-event gap is the original event-stream story.
+//! * `engine_gnp` — sparse `G(n, p)` with `np ≈ 20` across
+//!   n ∈ {1e3, 1e4, 1e5}, **sampled** (seeded lazy rows, adjacency
+//!   realized during the spread) vs **materialized** (eager
+//!   geometric-skip generation + CSR build). Each iteration draws a fresh
+//!   seed and pays full generation + spread, so the
+//!   `backend_speedup/gnp/<n>` metric is the end-to-end per-trial cost
+//!   ratio of the two representations.
 //!
 //! Metrics written to `BENCH_engine.json` (workspace root):
 //! `speedup/<family>/<n>` = window ÷ event per backend,
 //! `backend_speedup/complete/<n>` = materialized-event ÷ implicit-event,
+//! `backend_speedup/gnp/<n>` = materialized-event ÷ sampled-event
+//! (end-to-end per-trial; ≈ 1 because both representations now share the
+//! geometric-skip sampler and the spread itself dominates — the sampled
+//! backend's win is O(1) construction, no CSR build, and `Arc`-shared
+//! realization across a sweep's trials),
+//! `generation_speedup/gnp/<n>` = pre-refactor per-pair scan ÷
+//! geometric-skip generation (the `Θ(n²)` → `O(n + n²p)` drop itself),
 //! and `runplan_overhead/complete/<n>` = `RunPlan::execute` ÷ raw trial
 //! loop on the identical workload (the unified driver must stay under
 //! 1.02, i.e. < 2% added).
@@ -88,6 +102,112 @@ fn bench_pair(c: &mut Criterion, group: &str, n: usize, topology: &Topology, kno
         .expect("event measurement recorded");
     let family = group.strip_prefix("engine_").unwrap_or(group);
     c.record_metric(format!("speedup/{family}/{n}"), window / event);
+}
+
+/// Sampled vs materialized `G(n, p)` on the event engine, generation
+/// included: every iteration uses a fresh seed, so the sampled side pays
+/// lazy row realization during the spread and the materialized side pays
+/// eager generation plus the CSR build up front. Spread-to-completion is
+/// asserted (sparse `G(n, p)` with `np ≈ 20` is connected w.h.p.; seeds
+/// are deterministic, so a pass is a pass forever).
+fn bench_gnp(c: &mut Criterion, n: usize, knobs: &Knobs) {
+    let p = 20.0 / (n as f64 - 1.0);
+    let mut g = c.benchmark_group("engine_gnp");
+    if knobs.smoke {
+        g.sample_size(2);
+    } else {
+        g.sample_size(if n >= 100_000 { 3 } else { 5 });
+    }
+    // Seed streams disjoint from every other group in this bench.
+    g.bench_with_input(BenchmarkId::new("sampled", n), &n, |b, _| {
+        let mut sim = EventSimulation::new(CutRateAsync::new(), RunConfig::with_max_time(100.0));
+        let mut seed = 31_000u64;
+        b.iter(|| {
+            seed += 1;
+            let topology = Topology::gnp(n, p, seed).expect("valid parameters");
+            let mut net = StaticNetwork::from_topology(topology);
+            let mut rng = SimRng::seed_from_u64(seed);
+            let o = sim.run(&mut net, 0, &mut rng).expect("valid");
+            assert!(o.complete());
+            o
+        });
+    });
+    g.bench_with_input(BenchmarkId::new("materialized", n), &n, |b, _| {
+        let mut sim = EventSimulation::new(CutRateAsync::new(), RunConfig::with_max_time(100.0));
+        let mut seed = 31_000u64;
+        b.iter(|| {
+            seed += 1;
+            let mut build_rng = SimRng::seed_from_u64(seed);
+            let graph = generators::erdos_renyi(n, p, &mut build_rng).expect("valid parameters");
+            let mut net = StaticNetwork::new(graph);
+            let mut rng = SimRng::seed_from_u64(seed);
+            let o = sim.run(&mut net, 0, &mut rng).expect("valid");
+            assert!(o.complete());
+            o
+        });
+    });
+    g.finish();
+
+    let sampled = c
+        .measurement_ns(&format!("engine_gnp/sampled/{n}"))
+        .expect("sampled measurement recorded");
+    let materialized = c
+        .measurement_ns(&format!("engine_gnp/materialized/{n}"))
+        .expect("materialized measurement recorded");
+    c.record_metric(format!("backend_speedup/gnp/{n}"), materialized / sampled);
+}
+
+/// `G(n, p)` *generation* cost: the geometric-skip sampler (what
+/// `generators::erdos_renyi` routes through since the sampled-topology
+/// refactor) against the pre-refactor per-pair Bernoulli scan, rebuilt
+/// here as the baseline. The `generation_speedup/gnp/<n>` metric is
+/// pairscan ÷ skip — the `Θ(n²) → O(n + n²p)` drop that makes sparse
+/// random graphs at n ≥ 1e5 usable at all (the scan at n = 1e5 costs
+/// ≈ 5·10⁹ RNG draws ≈ tens of seconds *per graph*, which is why this
+/// group stops at n = 1e4).
+fn bench_gnp_generation(c: &mut Criterion, n: usize, knobs: &Knobs) {
+    let p = 20.0 / (n as f64 - 1.0);
+    let mut g = c.benchmark_group("gnp_generation");
+    g.sample_size(if knobs.smoke { 2 } else { 5 });
+
+    g.bench_with_input(BenchmarkId::new("skip", n), &n, |b, _| {
+        let mut seed = 41_000u64;
+        b.iter(|| {
+            seed += 1;
+            let mut rng = SimRng::seed_from_u64(seed);
+            let g = generators::erdos_renyi(n, p, &mut rng).expect("valid parameters");
+            assert!(g.m() > 0);
+            g
+        });
+    });
+    g.bench_with_input(BenchmarkId::new("pairscan", n), &n, |b, _| {
+        let mut seed = 41_000u64;
+        b.iter(|| {
+            // The pre-refactor generator: one Bernoulli draw per pair.
+            seed += 1;
+            let mut rng = SimRng::seed_from_u64(seed);
+            let mut builder = gossip_graph::GraphBuilder::new(n);
+            for u in 0..n as u32 {
+                for v in (u + 1)..n as u32 {
+                    if rng.chance(p) {
+                        builder.add_edge(u, v).expect("valid edge");
+                    }
+                }
+            }
+            let g = builder.build();
+            assert!(g.m() > 0);
+            g
+        });
+    });
+    g.finish();
+
+    let skip = c
+        .measurement_ns(&format!("gnp_generation/skip/{n}"))
+        .expect("skip measurement recorded");
+    let pairscan = c
+        .measurement_ns(&format!("gnp_generation/pairscan/{n}"))
+        .expect("pairscan measurement recorded");
+    c.record_metric(format!("generation_speedup/gnp/{n}"), pairscan / skip);
 }
 
 /// RunPlan driver overhead vs the raw trial loop it replaced.
@@ -213,6 +333,28 @@ fn main() {
             generators::regular_circulant(n, CIRCULANT_DEGREE).expect("valid circulant"),
         );
         bench_pair(&mut c, "engine_circulant", n, &topology, &knobs);
+    }
+
+    // Sampled vs materialized G(n, p), np ≈ 20, generation included.
+    let gnp_sizes: &[usize] = if knobs.smoke {
+        &[1_000]
+    } else {
+        &[1_000, 10_000, 100_000]
+    };
+    for &n in gnp_sizes {
+        bench_gnp(&mut c, n, &knobs);
+    }
+
+    // Generation-only: geometric skip vs the pre-refactor pair scan
+    // (capped at 1e4 — the scan alone would take tens of seconds per
+    // graph at 1e5).
+    let gen_sizes: &[usize] = if knobs.smoke {
+        &[1_000]
+    } else {
+        &[1_000, 10_000]
+    };
+    for &n in gen_sizes {
+        bench_gnp_generation(&mut c, n, &knobs);
     }
 
     if knobs.smoke {

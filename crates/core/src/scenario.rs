@@ -14,8 +14,10 @@
 //!
 //! [family]
 //! kind = "dynamic-star"
-//! # backend = "auto" | "implicit" | "materialized" (structured static
-//! # families; implicit closed-form representation is the default)
+//! # backend = "auto" | "implicit" | "materialized" | "sampled"
+//! # (structured static families default to the implicit closed-form
+//! # representation; random families — `er`, `regular`, `circulant-lift`
+//! # — accept "sampled" for the seeded lazy backend)
 //!
 //! [protocol]
 //! kind = "async"
@@ -34,7 +36,7 @@
 
 use gossip_dynamics::{
     AbsoluteDiligentNetwork, AlternatingRegular, CliquePendant, DiligentNetwork, DynamicNetwork,
-    DynamicStar, EdgeMarkovian, MobileAgents, StaticNetwork,
+    DynamicStar, EdgeMarkovian, MobileAgents, ResampledGnp, StaticNetwork,
 };
 use gossip_graph::{generators, GraphError, Topology};
 use gossip_sim::{
@@ -92,9 +94,12 @@ pub struct FamilySpec {
     /// Hypercube dimension (`hypercube`).
     pub dim: Option<usize>,
     /// Topology backend: `"auto"` (default — closed-form implicit
-    /// representation where one exists), `"implicit"` (require it), or
+    /// representation where one exists), `"implicit"` (require it),
     /// `"materialized"` (force CSR adjacency; for equivalence checks and
-    /// baselines). Families without the requested representation reject
+    /// baselines), or `"sampled"` (seeded lazy random-graph backend — `er`
+    /// becomes [`gossip_graph::Topology::gnp`], `regular` becomes
+    /// [`gossip_graph::Topology::random_regular`]; no `Θ(n²)` generation,
+    /// no CSR build). Families without the requested representation reject
     /// non-`auto` values at build time.
     pub backend: Option<String>,
     /// Seed for randomized family construction (default 1).
@@ -315,19 +320,29 @@ pub fn families() -> Vec<RegistryEntry> {
             synopsis: "static 2^dim hypercube (n ignored)",
         },
         RegistryEntry {
-            name: "regular",
-            params: &["d"],
-            synopsis: "static random connected d-regular graph (expander w.h.p.)",
+            name: "er",
+            params: &["p", "backend"],
+            synopsis: "static Erdős–Rényi G(n,p) (backend=sampled: seeded lazy rows, no CSR)",
         },
         RegistryEntry {
-            name: "er",
-            params: &["p"],
-            synopsis: "static Erdős–Rényi G(n,p)",
+            name: "regular",
+            params: &["d", "backend"],
+            synopsis: "static random connected d-regular graph (expander w.h.p.)",
         },
         RegistryEntry {
             name: "circulant",
             params: &["d", "backend"],
             synopsis: "static d-regular circulant (consecutive offsets, implicit by default)",
+        },
+        RegistryEntry {
+            name: "circulant-lift",
+            params: &["d", "backend"],
+            synopsis: "seeded random relabeling of the d-regular circulant (sampled, O(1) queries)",
+        },
+        RegistryEntry {
+            name: "resampled-gnp",
+            params: &["p"],
+            synopsis: "dynamic Erdős–Rényi: a fresh sampled G(n,p) every window",
         },
         RegistryEntry {
             name: "dynamic-star",
@@ -445,6 +460,9 @@ enum BackendChoice {
     Implicit,
     /// Force CSR adjacency lists.
     Materialized,
+    /// Require the seeded sampled representation (lazy random-graph
+    /// backend; error where none exists).
+    Sampled,
 }
 
 impl BackendChoice {
@@ -453,8 +471,9 @@ impl BackendChoice {
             "auto" => Ok(BackendChoice::Auto),
             "implicit" => Ok(BackendChoice::Implicit),
             "materialized" => Ok(BackendChoice::Materialized),
+            "sampled" => Ok(BackendChoice::Sampled),
             other => Err(ScenarioError::Invalid(format!(
-                "unknown backend `{other}` (auto, implicit, materialized)"
+                "unknown backend `{other}` (auto, implicit, materialized, sampled)"
             ))),
         }
     }
@@ -471,38 +490,46 @@ impl BackendChoice {
 pub fn build_family(spec: &FamilySpec, n: usize) -> Result<Box<dyn DynamicNetwork>, ScenarioError> {
     let mut rng = SimRng::seed_from_u64(spec.build_seed.unwrap_or(1));
     let backend = BackendChoice::parse(spec.backend.as_deref())?;
+    let no_backend = |repr: &str| -> ScenarioError {
+        ScenarioError::Invalid(format!("family `{}` has no {repr} backend", spec.kind))
+    };
     // Static structured families: implicit unless materialization is
-    // forced.
-    let choose = |topo: Topology| -> Box<dyn DynamicNetwork> {
-        if backend == BackendChoice::Materialized {
-            Box::new(StaticNetwork::new(topo.materialize()))
-        } else {
-            Box::new(StaticNetwork::from_topology(topo))
+    // forced; they have no sampled representation.
+    let choose = |topo: Topology| -> Result<Box<dyn DynamicNetwork>, ScenarioError> {
+        match backend {
+            BackendChoice::Materialized => Ok(Box::new(StaticNetwork::new(topo.materialize()))),
+            BackendChoice::Sampled => Err(no_backend("sampled")),
+            _ => Ok(Box::new(StaticNetwork::from_topology(topo))),
+        }
+    };
+    // Seeded sampled families: sampled unless materialization is forced;
+    // they have no closed-form implicit representation.
+    let choose_sampled = |topo: Topology| -> Result<Box<dyn DynamicNetwork>, ScenarioError> {
+        match backend {
+            BackendChoice::Materialized => Ok(Box::new(StaticNetwork::new(topo.materialize()))),
+            BackendChoice::Implicit => Err(no_backend("implicit (use `sampled`)")),
+            _ => Ok(Box::new(StaticNetwork::from_topology(topo))),
         }
     };
     // Families with only one representation reject explicit requests for
-    // the other one.
+    // the other ones.
     let implicit_only = || -> Result<(), ScenarioError> {
-        if backend == BackendChoice::Materialized {
-            return Err(ScenarioError::Invalid(format!(
-                "family `{}` has no materialized backend",
-                spec.kind
-            )));
+        match backend {
+            BackendChoice::Materialized => Err(no_backend("materialized")),
+            BackendChoice::Sampled => Err(no_backend("sampled")),
+            _ => Ok(()),
         }
-        Ok(())
     };
     let materialized_only = || -> Result<(), ScenarioError> {
-        if backend == BackendChoice::Implicit {
-            return Err(ScenarioError::Invalid(format!(
-                "family `{}` has no implicit backend",
-                spec.kind
-            )));
+        match backend {
+            BackendChoice::Implicit => Err(no_backend("implicit")),
+            BackendChoice::Sampled => Err(no_backend("sampled")),
+            _ => Ok(()),
         }
-        Ok(())
     };
     let net: Box<dyn DynamicNetwork> = match spec.kind.as_str() {
-        "complete" => choose(Topology::complete(n)?),
-        "star" => choose(Topology::star(n, 0)?),
+        "complete" => choose(Topology::complete(n)?)?,
+        "star" => choose(Topology::star(n, 0)?)?,
         "path" => {
             materialized_only()?;
             Box::new(StaticNetwork::new(generators::path(n)?))
@@ -523,20 +550,47 @@ pub fn build_family(spec: &FamilySpec, n: usize) -> Result<Box<dyn DynamicNetwor
             Box::new(StaticNetwork::new(generators::hypercube(dim)?))
         }
         "regular" => {
-            materialized_only()?;
             let d = spec.d.unwrap_or(4);
-            Box::new(StaticNetwork::new(generators::random_connected_regular(
-                n, d, &mut rng,
-            )?))
+            match backend {
+                BackendChoice::Sampled => {
+                    choose_sampled(Topology::random_regular(n, d, rng.next_u64())?)?
+                }
+                BackendChoice::Implicit => return Err(no_backend("implicit (use `sampled`)")),
+                _ => Box::new(StaticNetwork::new(generators::random_connected_regular(
+                    n, d, &mut rng,
+                )?)),
+            }
         }
         "er" => {
-            materialized_only()?;
             let p = spec.p.unwrap_or(0.1);
-            Box::new(StaticNetwork::new(generators::erdos_renyi(n, p, &mut rng)?))
+            match backend {
+                // The eager generator *is* the sampled backend seeded with
+                // the rng's next u64, so the two representations below
+                // describe the identical graph for a given build seed —
+                // `backend = "sampled"` merely skips the CSR build.
+                BackendChoice::Sampled => choose_sampled(Topology::gnp(n, p, rng.next_u64())?)?,
+                BackendChoice::Implicit => return Err(no_backend("implicit (use `sampled`)")),
+                _ => Box::new(StaticNetwork::new(generators::erdos_renyi(n, p, &mut rng)?)),
+            }
         }
         "circulant" => {
             let d = spec.d.unwrap_or(4);
-            choose(Topology::regular_circulant(n, d)?)
+            choose(Topology::regular_circulant(n, d)?)?
+        }
+        "circulant-lift" => {
+            let d = spec.d.unwrap_or(4);
+            choose_sampled(Topology::circulant_lift(n, d, rng.next_u64())?)?
+        }
+        "resampled-gnp" => {
+            // Every window is a sampled topology; `auto` and `sampled`
+            // are the same (and only) representation.
+            match backend {
+                BackendChoice::Implicit => return Err(no_backend("implicit")),
+                BackendChoice::Materialized => return Err(no_backend("materialized")),
+                _ => {}
+            }
+            let p = spec.p.unwrap_or(0.1);
+            Box::new(ResampledGnp::new(n, p, rng.next_u64())?)
         }
         "dynamic-star" => {
             implicit_only()?;
@@ -711,7 +765,57 @@ impl ScenarioSpec {
                 "sweep.trials must be at least 1".into(),
             ));
         }
-        BackendChoice::parse(self.family.backend.as_deref())?;
+        let backend = BackendChoice::parse(self.family.backend.as_deref())?;
+        // Sampled-family parameter validation: catch bad p / d here, with
+        // targeted messages, instead of at build time deep inside a sweep
+        // (mirrors the sizes/trials checks above). A family is sampled
+        // when it has no other representation (`resampled-gnp`,
+        // `circulant-lift`) or when the spec asks for one.
+        let sampled = backend == BackendChoice::Sampled;
+        if self.family.kind == "resampled-gnp" || (self.family.kind == "er" && sampled) {
+            let p = self.family.p.unwrap_or(0.1);
+            if !(p > 0.0 && p <= 1.0) {
+                return Err(ScenarioError::Invalid(format!(
+                    "family `{}` needs edge probability p in (0, 1], got {p}",
+                    self.family.kind
+                )));
+            }
+        }
+        if self.family.kind == "regular" && sampled {
+            let d = self.family.d.unwrap_or(4);
+            if d < 2 {
+                return Err(ScenarioError::Invalid(format!(
+                    "sampled random-regular needs degree d >= 2, got {d}"
+                )));
+            }
+            for &n in &self.sweep.sizes {
+                if d >= n {
+                    return Err(ScenarioError::Invalid(format!(
+                        "sampled random-regular degree d = {d} must be < n = {n}"
+                    )));
+                }
+                if !(n * d).is_multiple_of(2) {
+                    return Err(ScenarioError::Invalid(format!(
+                        "n·d must be even for a d-regular graph (n = {n}, d = {d})"
+                    )));
+                }
+            }
+        }
+        if self.family.kind == "circulant-lift" {
+            let d = self.family.d.unwrap_or(4);
+            for &n in &self.sweep.sizes {
+                if d >= n {
+                    return Err(ScenarioError::Invalid(format!(
+                        "circulant-lift degree d = {d} must be < n = {n}"
+                    )));
+                }
+            }
+            if d == 0 || !d.is_multiple_of(2) {
+                return Err(ScenarioError::Invalid(format!(
+                    "circulant-lift needs an even positive degree, got d = {d}"
+                )));
+            }
+        }
         let engine = parse_engine(self.sweep.engine.as_deref())?;
         if engine == Engine::Event && !protocol_is_incremental(&self.protocol.kind) {
             return Err(ScenarioError::Invalid(format!(
@@ -1191,6 +1295,119 @@ max_time = 1e4
                 a.n
             );
         }
+    }
+
+    #[test]
+    fn sampled_backend_selects_representation() {
+        // er / regular gain a sampled arm; circulant-lift defaults to it.
+        for (kind, backend) in [
+            ("er", Some("sampled")),
+            ("regular", Some("sampled")),
+            ("circulant-lift", None),
+            ("circulant-lift", Some("sampled")),
+            ("circulant-lift", Some("materialized")),
+            ("resampled-gnp", None),
+            ("resampled-gnp", Some("sampled")),
+        ] {
+            let mut spec = FamilySpec::new(kind);
+            spec.backend = backend.map(str::to_string);
+            let net = build_family(&spec, 24)
+                .unwrap_or_else(|e| panic!("{kind} backend {backend:?} failed: {e}"));
+            assert_eq!(net.n(), 24);
+        }
+        // Representations a family does not have are rejected.
+        for (kind, backend) in [
+            ("er", "implicit"),
+            ("regular", "implicit"),
+            ("circulant-lift", "implicit"),
+            ("complete", "sampled"),
+            ("dynamic-star", "sampled"),
+            ("resampled-gnp", "materialized"),
+        ] {
+            let mut spec = FamilySpec::new(kind);
+            spec.backend = Some(backend.into());
+            assert!(
+                matches!(build_family(&spec, 24), Err(ScenarioError::Invalid(_))),
+                "{kind} should reject backend `{backend}`"
+            );
+        }
+    }
+
+    #[test]
+    fn er_sampled_and_materialized_share_the_graph() {
+        // The eager er generator routes through the sampled backend with
+        // the same seed derivation, so the two representations of one
+        // build seed describe the identical graph — summaries match to
+        // the bit.
+        let mut spec = ScenarioSpec::from_toml_str(TOML_SPEC).unwrap();
+        spec.family = FamilySpec::new("er");
+        spec.family.p = Some(0.2);
+        spec.family.backend = Some("sampled".into());
+        let sampled = run_scenario(&spec).unwrap();
+        spec.family.backend = Some("materialized".into());
+        let materialized = run_scenario(&spec).unwrap();
+        assert_eq!(sampled.rows, materialized.rows);
+    }
+
+    #[test]
+    fn sampled_spec_validation_targets_bad_parameters() {
+        // p outside (0, 1] for sampled er / resampled-gnp.
+        for (kind, backend) in [("er", Some("sampled")), ("resampled-gnp", None)] {
+            for p in [0.0, -0.1, 1.5] {
+                let mut spec = ScenarioSpec::template();
+                spec.family = FamilySpec::new(kind);
+                spec.family.p = Some(p);
+                spec.family.backend = backend.map(str::to_string);
+                assert!(
+                    matches!(spec.validate(), Err(ScenarioError::Invalid(m)) if m.contains("(0, 1]")),
+                    "{kind} should reject p = {p}"
+                );
+            }
+        }
+        // Eager er keeps accepting p = 0 (an empty graph is representable).
+        let mut spec = ScenarioSpec::template();
+        spec.family = FamilySpec::new("er");
+        spec.family.p = Some(0.0);
+        assert!(spec.validate().is_ok());
+        // d >= n and odd n·d for the sampled regular family.
+        let mut spec = ScenarioSpec::template();
+        spec.family = FamilySpec::new("regular");
+        spec.family.d = Some(300);
+        spec.family.backend = Some("sampled".into());
+        spec.sweep.sizes = vec![64, 128];
+        assert!(
+            matches!(spec.validate(), Err(ScenarioError::Invalid(m)) if m.contains("must be < n"))
+        );
+        spec.family.d = Some(3);
+        spec.sweep.sizes = vec![64, 127];
+        assert!(
+            matches!(spec.validate(), Err(ScenarioError::Invalid(m)) if m.contains("must be even"))
+        );
+        // d < 2 fails at validation, not mid-sweep (mirrors
+        // SampledRegular::new's 2 <= d < n constraint).
+        spec.family.d = Some(1);
+        spec.sweep.sizes = vec![64];
+        assert!(matches!(spec.validate(), Err(ScenarioError::Invalid(m)) if m.contains("d >= 2")));
+        spec.family.d = Some(3);
+        spec.sweep.sizes = vec![64, 128];
+        assert!(spec.validate().is_ok());
+        // circulant-lift degree checks run regardless of backend.
+        let mut spec = ScenarioSpec::template();
+        spec.family = FamilySpec::new("circulant-lift");
+        spec.family.d = Some(3);
+        assert!(
+            matches!(spec.validate(), Err(ScenarioError::Invalid(m)) if m.contains("even positive"))
+        );
+    }
+
+    #[test]
+    fn resampled_gnp_scenario_runs_end_to_end() {
+        let mut spec = ScenarioSpec::from_toml_str(TOML_SPEC).unwrap();
+        spec.family = FamilySpec::new("resampled-gnp");
+        spec.family.p = Some(0.15);
+        let report = run_scenario(&spec).unwrap();
+        assert_eq!(report.engine, "event");
+        assert!(report.rows.iter().all(|r| r.completed == r.trials));
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! that, and [`EdgeDelta::between`] computes it for network families whose
 //! consecutive graphs are built independently.
 
-use gossip_graph::{Graph, NodeId};
+use gossip_graph::{Graph, NodeId, Topology};
 
 /// The symmetric difference between the edge sets of `G(t−1)` and `G(t)`.
 ///
@@ -70,36 +70,53 @@ impl EdgeDelta {
         let mut added = Vec::new();
         let mut removed = Vec::new();
         for v in 0..old.n() as NodeId {
-            // Merge the two sorted neighbor slices, keeping u < v edges.
-            let (a, b) = (old.neighbors(v), new.neighbors(v));
-            let (mut i, mut j) = (0, 0);
-            loop {
-                match (a.get(i).copied(), b.get(j).copied()) {
-                    (Some(x), Some(y)) if x == y => {
-                        i += 1;
-                        j += 1;
-                    }
-                    (Some(x), Some(y)) if x < y => {
-                        if x > v {
-                            removed.push((v, x));
-                        }
-                        i += 1;
-                    }
-                    (Some(x), None) => {
-                        if x > v {
-                            removed.push((v, x));
-                        }
-                        i += 1;
-                    }
-                    (_, Some(y)) => {
-                        if y > v {
-                            added.push((v, y));
-                        }
-                        j += 1;
-                    }
-                    (None, None) => break,
+            merge_rows(
+                v,
+                old.neighbors(v),
+                new.neighbors(v),
+                &mut added,
+                &mut removed,
+            );
+        }
+        EdgeDelta { added, removed }
+    }
+
+    /// As [`EdgeDelta::between`], over arbitrary [`Topology`] backends —
+    /// without materializing either side into a [`Graph`]. Rows come
+    /// straight from [`Topology::neighbors_slice`] where the backend holds
+    /// (or has realized) sorted adjacency — sampled `G(n, p)` rows in
+    /// particular — and fall back to a per-node collect-and-sort for
+    /// closed-form backends. `O(n + vol(old) + vol(new))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topologies disagree on node count.
+    pub fn between_topologies(old: &Topology, new: &Topology) -> Self {
+        assert_eq!(old.n(), new.n(), "dynamic networks have a fixed node set");
+        let mut added = Vec::new();
+        let mut removed = Vec::new();
+        let mut buf_a = Vec::new();
+        let mut buf_b = Vec::new();
+        for v in 0..old.n() as NodeId {
+            let a = match old.neighbors_slice(v) {
+                Some(row) => row,
+                None => {
+                    buf_a.clear();
+                    old.for_each_neighbor(v, |u| buf_a.push(u));
+                    buf_a.sort_unstable();
+                    buf_a.as_slice()
                 }
-            }
+            };
+            let b = match new.neighbors_slice(v) {
+                Some(row) => row,
+                None => {
+                    buf_b.clear();
+                    new.for_each_neighbor(v, |u| buf_b.push(u));
+                    buf_b.sort_unstable();
+                    buf_b.as_slice()
+                }
+            };
+            merge_rows(v, a, b, &mut added, &mut removed);
         }
         EdgeDelta { added, removed }
     }
@@ -137,6 +154,46 @@ impl EdgeDelta {
         EdgeDelta {
             added: self.removed.clone(),
             removed: self.added.clone(),
+        }
+    }
+}
+
+/// Merges two sorted neighbor rows of `v`, recording the `u < v`-normalized
+/// symmetric difference (each undirected edge is reported once, from its
+/// lower endpoint).
+fn merge_rows(
+    v: NodeId,
+    a: &[NodeId],
+    b: &[NodeId],
+    added: &mut Vec<(NodeId, NodeId)>,
+    removed: &mut Vec<(NodeId, NodeId)>,
+) {
+    let (mut i, mut j) = (0, 0);
+    loop {
+        match (a.get(i).copied(), b.get(j).copied()) {
+            (Some(x), Some(y)) if x == y => {
+                i += 1;
+                j += 1;
+            }
+            (Some(x), Some(y)) if x < y => {
+                if x > v {
+                    removed.push((v, x));
+                }
+                i += 1;
+            }
+            (Some(x), None) => {
+                if x > v {
+                    removed.push((v, x));
+                }
+                i += 1;
+            }
+            (_, Some(y)) => {
+                if y > v {
+                    added.push((v, y));
+                }
+                j += 1;
+            }
+            (None, None) => break,
         }
     }
 }
@@ -194,5 +251,29 @@ mod tests {
         let a = generators::path(4).unwrap();
         let b = generators::path(5).unwrap();
         EdgeDelta::between(&a, &b);
+    }
+
+    #[test]
+    fn between_topologies_matches_graph_diff() {
+        // Sampled rows (sorted slices) against each other and against the
+        // materialized reference diff.
+        let old = Topology::gnp(30, 0.2, 1).unwrap();
+        let new = Topology::gnp(30, 0.2, 2).unwrap();
+        let d = EdgeDelta::between_topologies(&old, &new);
+        assert_eq!(
+            d,
+            EdgeDelta::between(&old.materialize(), &new.materialize())
+        );
+        assert!(!d.is_empty());
+        // Closed-form backends exercise the collect-and-sort fallback
+        // (circulant rows enumerate in jump order, not sorted order).
+        let a = Topology::circulant(12, &[1, 3]).unwrap();
+        let b = Topology::complete(12).unwrap();
+        assert_eq!(
+            EdgeDelta::between_topologies(&a, &b),
+            EdgeDelta::between(&a.materialize(), &b.materialize())
+        );
+        let t = Topology::gnp(16, 0.3, 5).unwrap();
+        assert!(EdgeDelta::between_topologies(&t, &t.clone()).is_empty());
     }
 }

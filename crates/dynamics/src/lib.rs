@@ -28,6 +28,9 @@
 //! * [`AlternatingRegular`] — the Section 1.2 example separating this
 //!   paper's bound from Giakkoupis et al. \[17\];
 //! * [`EdgeMarkovian`] — the related-work random evolving model \[7\];
+//! * [`ResampledGnp`] — dynamic Erdős–Rényi: an independent sampled
+//!   `G(n, p)` ([`gossip_graph::Topology::gnp`]) every window, with exact
+//!   [`DynamicNetwork::edges_changed`] diffs;
 //! * [`MobileAgents`] — random-walk agents on a torus (related work
 //!   \[20, 22\]).
 //!
@@ -64,6 +67,7 @@ mod edge_markovian;
 mod mobile;
 mod network;
 pub mod profile;
+mod resampled;
 
 pub use absolute::AbsoluteDiligentNetwork;
 pub use alternating::AlternatingRegular;
@@ -75,3 +79,4 @@ pub use edge_markovian::EdgeMarkovian;
 pub use mobile::MobileAgents;
 pub use network::{DynamicNetwork, SequenceNetwork, StaticNetwork};
 pub use profile::{ProfiledNetwork, StepProfile};
+pub use resampled::ResampledGnp;

@@ -4,8 +4,8 @@
 //! afterwards — the incremental engine's correctness rests on this.
 
 use gossip_dynamics::{
-    AlternatingRegular, CliquePendant, DynamicNetwork, EdgeDelta, EdgeMarkovian, SequenceNetwork,
-    StaticNetwork,
+    AlternatingRegular, CliquePendant, DynamicNetwork, EdgeDelta, EdgeMarkovian, ResampledGnp,
+    SequenceNetwork, StaticNetwork,
 };
 use gossip_graph::{generators, NodeSet, Topology};
 use gossip_stats::SimRng;
@@ -115,6 +115,20 @@ fn edge_markovian_none_on_window_jump() {
     assert!(net.edges_changed(5, &informed, &mut rng).is_none());
     // topology() still fast-forwards correctly after the refusal.
     let _ = net.topology(5, &informed, &mut rng);
+}
+
+#[test]
+fn resampled_gnp_reports_exact_resampling_diffs() {
+    let mut net = ResampledGnp::new(40, 0.1, 12).unwrap();
+    let reported = check_delta_contract(&mut net, 10, 13);
+    assert_eq!(reported, 10, "single-step advances always report a delta");
+    // Window jumps decline, as in the edge-Markovian model.
+    let mut rng = SimRng::seed_from_u64(14);
+    let informed = NodeSet::new(40);
+    net.reset();
+    assert!(net.edges_changed(0, &informed, &mut rng).is_some());
+    assert!(net.edges_changed(4, &informed, &mut rng).is_none());
+    let _ = net.topology(4, &informed, &mut rng);
 }
 
 #[test]

@@ -1,10 +1,21 @@
 //! Randomized graph generators.
 
-use crate::{connectivity, Graph, GraphBuilder, GraphError, NodeId};
+use crate::{connectivity, Graph, GraphBuilder, GraphError, NodeId, Topology};
 use gossip_stats::SimRng;
 
 /// Erdős–Rényi graph `G(n, p)`: each of the `n(n−1)/2` pairs is an edge
 /// independently with probability `p`.
+///
+/// Edges are drawn by per-row **geometric skipping** over the pair
+/// indices — `O(n + n²p)` RNG draws instead of one `rng.chance(p)` call
+/// per pair — through the same seeded sampler as the lazy
+/// [`Topology::gnp`] backend (this function is exactly
+/// `Topology::gnp(n, p, rng.next_u64()).materialize()` for `p > 0`), so
+/// eager and sampled `G(n, p)` share one code path. Per-pair marginals
+/// and independence are unchanged (each pair is still `Bernoulli(p)`;
+/// the generator tests check the equivalence), but a given seed consumes
+/// the RNG differently than the pre-sampler scan did, so it yields a
+/// different — identically distributed — graph.
 ///
 /// # Errors
 ///
@@ -30,15 +41,13 @@ pub fn erdos_renyi(n: usize, p: f64, rng: &mut SimRng) -> Result<Graph, GraphErr
             "probability {p} outside [0, 1]"
         )));
     }
-    let mut b = GraphBuilder::new(n);
-    for u in 0..n as NodeId {
-        for v in (u + 1)..n as NodeId {
-            if rng.chance(p) {
-                b.add_edge(u, v)?;
-            }
-        }
+    // Always consume exactly one u64 so the caller's stream position does
+    // not depend on p.
+    let seed = rng.next_u64();
+    if p == 0.0 {
+        return Ok(Graph::empty(n));
     }
-    Ok(b.build())
+    Ok(Topology::gnp(n, p, seed)?.materialize())
 }
 
 /// Random simple `d`-regular graph by the pairing (configuration) model
@@ -245,6 +254,80 @@ mod tests {
         assert!(erdos_renyi(1, 0.5, &mut rng).is_err());
         assert!(erdos_renyi(5, 1.5, &mut rng).is_err());
         assert!(erdos_renyi(5, -0.1, &mut rng).is_err());
+    }
+
+    #[test]
+    fn er_is_the_sampled_backend_materialized() {
+        // One code path: the eager generator is exactly the sampled
+        // backend seeded with the rng's next u64.
+        let mut rng = SimRng::seed_from_u64(31);
+        let seed = SimRng::seed_from_u64(31).next_u64();
+        let eager = erdos_renyi(64, 0.1, &mut rng).unwrap();
+        let sampled = Topology::gnp(64, 0.1, seed).unwrap();
+        assert_eq!(eager, sampled.materialize());
+    }
+
+    /// The documented equivalence test for the geometric-skip refactor:
+    /// the generator no longer draws one `rng.chance(p)` per pair, but the
+    /// *distribution* is unchanged — every pair is still an independent
+    /// `Bernoulli(p)`. Over many seeds, each individual pair's empirical
+    /// edge frequency must match `p`, and so must the mean total edge
+    /// count; a per-pair reference scan sampled alongside stays within the
+    /// same tolerance bands, so any skip-logic bias (off-by-one in the
+    /// geometric jump, row-boundary leakage) shows up as a hard failure.
+    #[test]
+    fn er_geometric_skip_preserves_the_distribution() {
+        let (n, p, rounds) = (24usize, 0.2, 3000u64);
+        let pairs = n * (n - 1) / 2;
+        // Empirical per-pair hit counts for the skipping generator and for
+        // an in-test per-pair Bernoulli scan (the pre-refactor algorithm).
+        let mut skip_hits = vec![0u32; pairs];
+        let mut scan_hits = vec![0u32; pairs];
+        let mut skip_edges = 0u64;
+        let mut scan_edges = 0u64;
+        let pair_index = |u: usize, v: usize| u * (2 * n - u - 1) / 2 + (v - u - 1);
+        for round in 0..rounds {
+            let mut rng = SimRng::seed_from_u64(10_000 + round);
+            let g = erdos_renyi(n, p, &mut rng).unwrap();
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    if g.has_edge(u as NodeId, v as NodeId) {
+                        skip_hits[pair_index(u, v)] += 1;
+                        skip_edges += 1;
+                    }
+                }
+            }
+            let mut rng = SimRng::seed_from_u64(70_000 + round);
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    if rng.chance(p) {
+                        scan_hits[pair_index(u, v)] += 1;
+                        scan_edges += 1;
+                    }
+                }
+            }
+        }
+        // Mean edge count: both within 2% of p·(n choose 2).
+        let expect = p * pairs as f64;
+        for (label, total) in [("skip", skip_edges), ("scan", scan_edges)] {
+            let mean = total as f64 / rounds as f64;
+            assert!(
+                (mean - expect).abs() < 0.02 * expect,
+                "{label}: mean edge count {mean} vs expected {expect}"
+            );
+        }
+        // Every individual pair's frequency within 5σ of p (σ of a
+        // Bernoulli mean over `rounds` draws) — catches positional bias.
+        let sigma = (p * (1.0 - p) / rounds as f64).sqrt();
+        for hits in [&skip_hits, &scan_hits] {
+            for (i, &h) in hits.iter().enumerate() {
+                let freq = h as f64 / rounds as f64;
+                assert!(
+                    (freq - p).abs() < 5.0 * sigma,
+                    "pair {i}: frequency {freq} strays from p = {p}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -12,7 +12,10 @@
 //! * [`Topology`] — the graph *view* the simulators consume: implicit
 //!   closed-form backends (complete, star, circulant, complete bipartite,
 //!   two bridged cliques) with O(1) degree/neighbor queries and O(n)-free
-//!   memory, plus a [`Graph`]-backed materialized fallback;
+//!   memory, seeded *sampled* random-graph backends (`G(n, p)`, random
+//!   regular, circulant lift — lazy adjacency realized by geometric
+//!   skipping, see [`sampled`]), plus a [`Graph`]-backed materialized
+//!   fallback;
 //! * [`NodeSet`] — a bitset over nodes (informed sets, cut sides);
 //! * [`cut`] — cut edges, volumes, and the push–pull cut rate `λ` of the
 //!   paper's Equation (1);
@@ -53,6 +56,7 @@ mod error;
 pub mod generators;
 mod graph;
 mod nodeset;
+pub mod sampled;
 pub mod spectral;
 pub mod subsets;
 mod topology;

@@ -17,13 +17,25 @@
 //! graphs (Panagiotou & Speidel; Doerr & Kostrygin) exploit exactly this
 //! closed-form neighbor structure.
 //!
+//! A third class sits between implicit and materialized: **sampled**
+//! backends ([`Topology::gnp`], [`Topology::random_regular`],
+//! [`Topology::circulant_lift`]) describe a *random* graph as a
+//! deterministic function of `(parameters, seed)` and realize adjacency
+//! lazily — `G(n, p)` rows by geometric skipping on first touch, cached
+//! and `Arc`-shared across clones (see [`crate::sampled`]). They make
+//! sparse random graphs at `n = 10⁵`–`10⁶` cost `O(1)` to construct and
+//! `O(n + m)` to run, where the eager generators used to spend `Θ(n²)`
+//! RNG draws before the first query.
+//!
 //! Neighbor indexing contract: for every backend except
-//! [`Topology::circulant`], `neighbor(v, i)` enumerates the neighbors of
-//! `v` in increasing node order — identical to [`Graph::neighbors`] on the
-//! materialized equivalent, so uniform neighbor sampling consumes the same
-//! RNG stream either way. Circulant backends enumerate `v + δ (mod n)` in
-//! jump order instead (still a bijection onto the neighbor set, so uniform
-//! sampling is distribution-identical).
+//! [`Topology::circulant`] and [`Topology::circulant_lift`],
+//! `neighbor(v, i)` enumerates the neighbors of `v` in increasing node
+//! order — identical to [`Graph::neighbors`] on the materialized
+//! equivalent, so uniform neighbor sampling consumes the same RNG stream
+//! either way. Circulant backends enumerate `v + δ (mod n)` in jump order
+//! instead, and the lift maps that order through its relabeling (still a
+//! bijection onto the neighbor set, so uniform sampling is
+//! distribution-identical).
 //!
 //! # Example
 //!
@@ -38,6 +50,7 @@
 //! assert_eq!(t.neighbor(3, 3), 4);
 //! ```
 
+use crate::sampled;
 use crate::{Graph, GraphBuilder, GraphError, NodeId};
 use std::borrow::Cow;
 
@@ -77,6 +90,9 @@ enum Repr {
         /// `bridge.1` in the right.
         bridge: (NodeId, NodeId),
     },
+    Gnp(sampled::Gnp),
+    SampledRegular(sampled::SampledRegular),
+    CirculantLift(sampled::CirculantLift),
     Materialized(Graph),
 }
 
@@ -119,6 +135,33 @@ pub enum Structure<'a> {
         left: usize,
         /// Bridge edge `(left endpoint, right endpoint)`.
         bridge: (NodeId, NodeId),
+    },
+    /// Seeded sampled Erdős–Rényi `G(n, p)` with lazy adjacency rows.
+    SampledGnp {
+        /// Node count.
+        n: usize,
+        /// Edge probability.
+        p: f64,
+        /// The sampling seed (the graph is a deterministic function of it).
+        seed: u64,
+    },
+    /// Seeded random connected `d`-regular graph, realized lazily.
+    SampledRegular {
+        /// Node count.
+        n: usize,
+        /// Degree.
+        d: usize,
+        /// The sampling seed.
+        seed: u64,
+    },
+    /// Seeded random relabeling of the circulant `C(n; jumps)`.
+    CirculantLift {
+        /// Node count.
+        n: usize,
+        /// Sorted distinct jumps in `1..=n/2`.
+        jumps: &'a [u32],
+        /// The relabeling seed.
+        seed: u64,
     },
     /// An arbitrary materialized graph.
     Materialized(&'a Graph),
@@ -174,47 +217,9 @@ impl Topology {
     /// [`crate::generators::circulant`]: `n ≥ 3`, jumps non-empty,
     /// distinct, and each in `1..=n/2`.
     pub fn circulant(n: usize, jumps: &[usize]) -> Result<Self, GraphError> {
-        if n < 3 {
-            return Err(GraphError::InvalidParameter(format!(
-                "circulant needs n >= 3, got {n}"
-            )));
-        }
-        if jumps.is_empty() {
-            return Err(GraphError::InvalidParameter(
-                "circulant needs at least one offset".into(),
-            ));
-        }
-        let mut sorted: Vec<usize> = jumps.to_vec();
-        sorted.sort_unstable();
-        for w in sorted.windows(2) {
-            if w[0] == w[1] {
-                return Err(GraphError::InvalidParameter(format!(
-                    "repeated offset {}",
-                    w[0]
-                )));
-            }
-        }
-        for &o in &sorted {
-            if o == 0 || o > n / 2 {
-                return Err(GraphError::InvalidParameter(format!(
-                    "offset {o} outside 1..={} for n = {n}",
-                    n / 2
-                )));
-            }
-        }
-        let mut deltas = Vec::with_capacity(2 * sorted.len());
-        for &o in &sorted {
-            deltas.push(o as u32);
-            if 2 * o != n {
-                deltas.push((n - o) as u32);
-            }
-        }
+        let (jumps, deltas) = validate_circulant(n, jumps)?;
         Ok(Topology {
-            repr: Repr::Circulant {
-                n,
-                jumps: sorted.into_iter().map(|o| o as u32).collect(),
-                deltas,
-            },
+            repr: Repr::Circulant { n, jumps, deltas },
         })
     }
 
@@ -290,6 +295,78 @@ impl Topology {
         })
     }
 
+    /// Seeded sampled Erdős–Rényi `G(n, p)`: every pair is an edge
+    /// independently with probability `p`, decided by per-row geometric
+    /// skipping from RNG streams keyed by `(seed, row)`. Construction is
+    /// O(1); adjacency rows realize on first touch and are cached
+    /// (`Arc`-shared across clones); the full graph is a deterministic
+    /// function of `(n, p, seed)` regardless of query order. See
+    /// [`crate::sampled`].
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::InvalidParameter`] when `n < 2` or `p ∉ (0, 1]` (an
+    /// always-empty graph has no sampled representation; use
+    /// [`Graph::empty`]).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use gossip_graph::Topology;
+    ///
+    /// // Sparse G(n, p) at n = 10^5: O(1) to build, O(m) once touched.
+    /// let t = Topology::gnp(100_000, 2e-4, 42).unwrap();
+    /// assert!(t.is_sampled());
+    /// ```
+    pub fn gnp(n: usize, p: f64, seed: u64) -> Result<Self, GraphError> {
+        Ok(Topology {
+            repr: Repr::Gnp(sampled::Gnp::new(n, p, seed)?),
+        })
+    }
+
+    /// Seeded random connected `d`-regular graph — the sampled twin of
+    /// [`crate::generators::random_connected_regular`], realized lazily
+    /// from the seeded permutation stream of the pairing model on first
+    /// adjacency query (and cached, `Arc`-shared across clones).
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::InvalidParameter`] unless `2 ≤ d < n` and `n·d` is
+    /// even.
+    pub fn random_regular(n: usize, d: usize, seed: u64) -> Result<Self, GraphError> {
+        Ok(Topology {
+            repr: Repr::SampledRegular(sampled::SampledRegular::new(n, d, seed)?),
+        })
+    }
+
+    /// Seeded random relabeling of the `d`-regular circulant (jumps
+    /// `1..=d/2`): node `v` is adjacent to `σ(σ⁻¹(v) ± j mod n)` for a
+    /// uniformly random permutation `σ` drawn once from `seed` on first
+    /// touch. Exactly `d`-regular and simple at any valid `n`, O(1) per
+    /// query, O(n) state.
+    ///
+    /// # Errors
+    ///
+    /// As [`Topology::regular_circulant`]: `d` even and positive,
+    /// `d/2 ≤ (n−1)/2`.
+    pub fn circulant_lift(n: usize, d: usize, seed: u64) -> Result<Self, GraphError> {
+        if d == 0 || !d.is_multiple_of(2) {
+            return Err(GraphError::InvalidParameter(format!(
+                "circulant lift needs even positive degree, got {d}"
+            )));
+        }
+        if d / 2 > (n.saturating_sub(1)) / 2 {
+            return Err(GraphError::InvalidParameter(format!(
+                "degree {d} too large for {n} nodes (need d/2 <= (n-1)/2)"
+            )));
+        }
+        let jumps: Vec<usize> = (1..=d / 2).collect();
+        let (jumps, deltas) = validate_circulant(n, &jumps)?;
+        Ok(Topology {
+            repr: Repr::CirculantLift(sampled::CirculantLift::new(n, jumps, deltas, seed)?),
+        })
+    }
+
     /// Wraps a materialized [`Graph`].
     pub fn materialized(graph: Graph) -> Self {
         Topology {
@@ -314,13 +391,44 @@ impl Topology {
                 left: *left,
                 bridge: *bridge,
             },
+            Repr::Gnp(g) => Structure::SampledGnp {
+                n: g.n(),
+                p: g.p(),
+                seed: g.seed(),
+            },
+            Repr::SampledRegular(r) => Structure::SampledRegular {
+                n: r.n(),
+                d: r.d(),
+                seed: r.seed(),
+            },
+            Repr::CirculantLift(l) => Structure::CirculantLift {
+                n: l.n(),
+                jumps: l.jumps(),
+                seed: l.seed(),
+            },
             Repr::Materialized(g) => Structure::Materialized(g),
         }
     }
 
-    /// Whether the backend is closed-form (no adjacency lists in memory).
+    /// Whether the backend is closed-form (a handful of integers, no
+    /// adjacency in memory). Sampled backends are *not* implicit: they
+    /// cache realized adjacency (`O(m)` once touched).
     pub fn is_implicit(&self) -> bool {
-        !matches!(self.repr, Repr::Materialized(_))
+        !matches!(
+            self.repr,
+            Repr::Materialized(_) | Repr::Gnp(_) | Repr::SampledRegular(_) | Repr::CirculantLift(_)
+        )
+    }
+
+    /// Whether the backend is a seeded sampled random graph
+    /// ([`Topology::gnp`], [`Topology::random_regular`],
+    /// [`Topology::circulant_lift`]): adjacency is a deterministic
+    /// function of the seed, realized lazily.
+    pub fn is_sampled(&self) -> bool {
+        matches!(
+            self.repr,
+            Repr::Gnp(_) | Repr::SampledRegular(_) | Repr::CirculantLift(_)
+        )
     }
 
     /// Short backend name for reports (`"complete"`, `"materialized"`, …).
@@ -331,6 +439,9 @@ impl Topology {
             Repr::Circulant { .. } => "circulant",
             Repr::CompleteBipartite { .. } => "complete-bipartite",
             Repr::TwoCliques { .. } => "two-cliques",
+            Repr::Gnp(_) => "sampled-gnp",
+            Repr::SampledRegular(_) => "sampled-regular",
+            Repr::CirculantLift(_) => "circulant-lift",
             Repr::Materialized(_) => "materialized",
         }
     }
@@ -345,11 +456,15 @@ impl Topology {
             | Repr::Circulant { n, .. }
             | Repr::TwoCliques { n, .. } => *n,
             Repr::CompleteBipartite { a, b } => a + b,
+            Repr::Gnp(g) => g.n(),
+            Repr::SampledRegular(r) => r.n(),
+            Repr::CirculantLift(l) => l.n(),
             Repr::Materialized(g) => g.n(),
         }
     }
 
-    /// Number of edges.
+    /// Number of edges. On the sampled `G(n, p)` backend this realizes
+    /// the full adjacency (the edge count is itself random).
     pub fn m(&self) -> usize {
         match &self.repr {
             Repr::Complete { n } => n * (n - 1) / 2,
@@ -360,6 +475,9 @@ impl Topology {
                 let r = n - left;
                 left * (left - 1) / 2 + r * (r - 1) / 2 + 1
             }
+            Repr::Gnp(g) => g.m(),
+            Repr::SampledRegular(r) => r.n() * r.d() / 2,
+            Repr::CirculantLift(l) => l.m(),
             Repr::Materialized(g) => g.m(),
         }
     }
@@ -399,6 +517,9 @@ impl Topology {
                 let on_bridge = v == bridge.0 || v == bridge.1;
                 side - 1 + usize::from(on_bridge)
             }
+            Repr::Gnp(g) => g.degree(v),
+            Repr::SampledRegular(r) => r.graph().degree(v),
+            Repr::CirculantLift(l) => l.degree(),
             Repr::Materialized(g) => g.degree(v),
         }
     }
@@ -411,6 +532,9 @@ impl Topology {
             Repr::Circulant { deltas, .. } => deltas.len(),
             Repr::CompleteBipartite { a, b } => (*a).max(*b),
             Repr::TwoCliques { n, left, .. } => (*left).max(n - left),
+            Repr::Gnp(g) => (0..g.n() as NodeId).map(|v| g.degree(v)).max().unwrap_or(0),
+            Repr::SampledRegular(r) => r.d(),
+            Repr::CirculantLift(l) => l.degree(),
             Repr::Materialized(g) => g.max_degree(),
         }
     }
@@ -429,6 +553,9 @@ impl Topology {
                 let side_min = |s: usize| if s == 1 { 1 } else { s - 1 };
                 side_min(*left).min(side_min(n - left))
             }
+            Repr::Gnp(g) => (0..g.n() as NodeId).map(|v| g.degree(v)).min().unwrap_or(0),
+            Repr::SampledRegular(r) => r.d(),
+            Repr::CirculantLift(l) => l.degree(),
             Repr::Materialized(g) => g.min_degree(),
         }
     }
@@ -460,6 +587,9 @@ impl Topology {
                 same_side
                     || (u.min(v), u.max(v)) == (bridge.0.min(bridge.1), bridge.0.max(bridge.1))
             }
+            Repr::Gnp(g) => g.has_edge(u, v),
+            Repr::SampledRegular(r) => r.graph().has_edge(u, v),
+            Repr::CirculantLift(l) => l.has_edge(u, v),
             Repr::Materialized(g) => g.has_edge(u, v),
         }
     }
@@ -536,15 +666,32 @@ impl Topology {
                     }
                 }
             }
+            Repr::Gnp(g) => g.row(v)[i],
+            Repr::SampledRegular(r) => r.graph().neighbors(v)[i],
+            Repr::CirculantLift(l) => l.neighbor(v, i),
             Repr::Materialized(g) => g.neighbors(v)[i],
+        }
+    }
+
+    /// The neighbors of `v` as a contiguous sorted slice, when the backend
+    /// stores (or has realized) one: materialized CSR and the sampled
+    /// `G(n, p)` / random-regular backends. Closed-form backends and the
+    /// circulant lift answer `None` — enumerate through
+    /// [`Topology::for_each_neighbor`] there.
+    pub fn neighbors_slice(&self, v: NodeId) -> Option<&[NodeId]> {
+        match &self.repr {
+            Repr::Gnp(g) => Some(g.row(v)),
+            Repr::SampledRegular(r) => Some(r.graph().neighbors(v)),
+            Repr::Materialized(g) => Some(g.neighbors(v)),
+            _ => None,
         }
     }
 
     /// Calls `f` for every neighbor of `v` (in the [`Topology::neighbor`]
     /// order).
     pub fn for_each_neighbor(&self, v: NodeId, mut f: impl FnMut(NodeId)) {
-        if let Repr::Materialized(g) = &self.repr {
-            for &u in g.neighbors(v) {
+        if let Some(row) = self.neighbors_slice(v) {
+            for &u in row {
                 f(u);
             }
             return;
@@ -576,8 +723,13 @@ impl Topology {
     /// memory — `O(n²)` for dense backends, so reserve this for analysis
     /// paths (conductance, spectra) at sizes where CSR is affordable.
     pub fn materialize(&self) -> Graph {
-        if let Repr::Materialized(g) = &self.repr {
-            return g.clone();
+        match &self.repr {
+            Repr::Materialized(g) => return g.clone(),
+            // Sampled backends have O(n + m) materialization paths of
+            // their own (no per-index queries).
+            Repr::Gnp(g) => return g.materialize(),
+            Repr::SampledRegular(r) => return r.graph().clone(),
+            _ => {}
         }
         let n = self.n();
         let mut b = GraphBuilder::new(n);
@@ -592,11 +744,14 @@ impl Topology {
         b.build()
     }
 
-    /// The graph as copy-on-write: borrowed for materialized backends,
-    /// built on the fly (see [`Topology::materialize`]) for implicit ones.
+    /// The graph as copy-on-write: borrowed for materialized backends
+    /// (and for the sampled random-regular backend, whose realization is
+    /// itself a cached [`Graph`]), built on the fly (see
+    /// [`Topology::materialize`]) for everything else.
     pub fn graph_cow(&self) -> Cow<'_, Graph> {
         match &self.repr {
             Repr::Materialized(g) => Cow::Borrowed(g),
+            Repr::SampledRegular(r) => Cow::Borrowed(r.graph()),
             _ => Cow::Owned(self.materialize()),
         }
     }
@@ -606,6 +761,49 @@ impl From<Graph> for Topology {
     fn from(g: Graph) -> Self {
         Topology::materialized(g)
     }
+}
+
+/// Validates a circulant jump set (`n ≥ 3`, non-empty, distinct, each in
+/// `1..=n/2`) and expands it into `(sorted jumps, signed neighbor
+/// deltas)` — shared by [`Topology::circulant`] and
+/// [`Topology::circulant_lift`].
+fn validate_circulant(n: usize, jumps: &[usize]) -> Result<(Vec<u32>, Vec<u32>), GraphError> {
+    if n < 3 {
+        return Err(GraphError::InvalidParameter(format!(
+            "circulant needs n >= 3, got {n}"
+        )));
+    }
+    if jumps.is_empty() {
+        return Err(GraphError::InvalidParameter(
+            "circulant needs at least one offset".into(),
+        ));
+    }
+    let mut sorted: Vec<usize> = jumps.to_vec();
+    sorted.sort_unstable();
+    for w in sorted.windows(2) {
+        if w[0] == w[1] {
+            return Err(GraphError::InvalidParameter(format!(
+                "repeated offset {}",
+                w[0]
+            )));
+        }
+    }
+    for &o in &sorted {
+        if o == 0 || o > n / 2 {
+            return Err(GraphError::InvalidParameter(format!(
+                "offset {o} outside 1..={} for n = {n}",
+                n / 2
+            )));
+        }
+    }
+    let mut deltas = Vec::with_capacity(2 * sorted.len());
+    for &o in &sorted {
+        deltas.push(o as u32);
+        if 2 * o != n {
+            deltas.push((n - o) as u32);
+        }
+    }
+    Ok((sorted.into_iter().map(|o| o as u32).collect(), deltas))
 }
 
 #[cfg(test)]
@@ -779,5 +977,109 @@ mod tests {
         let cow = t.graph_cow();
         assert_eq!(cow.m(), 5);
         assert!(matches!(cow, Cow::Owned(_)));
+    }
+
+    #[test]
+    fn sampled_gnp_matches_its_materialization() {
+        // The sampled backend and its CSR twin answer every query
+        // identically — including sorted neighbor order, so RNG-stream
+        // parity holds.
+        for (n, p, seed) in [(20usize, 0.3, 1u64), (40, 0.08, 2), (12, 1.0, 3)] {
+            let t = Topology::gnp(n, p, seed).unwrap();
+            assert!(t.is_sampled() && !t.is_implicit());
+            assert_eq!(t.backend_name(), "sampled-gnp");
+            let g = t.materialize();
+            assert_matches_graph(&t, &g);
+        }
+        assert!(Topology::gnp(1, 0.5, 0).is_err());
+        assert!(Topology::gnp(10, 0.0, 0).is_err());
+        assert!(Topology::gnp(10, -0.2, 0).is_err());
+        assert!(Topology::gnp(10, 1.01, 0).is_err());
+    }
+
+    #[test]
+    fn sampled_gnp_structure_and_equality() {
+        let t = Topology::gnp(30, 0.2, 9).unwrap();
+        assert_eq!(
+            t.structure(),
+            Structure::SampledGnp {
+                n: 30,
+                p: 0.2,
+                seed: 9
+            }
+        );
+        // Equality is by parameters, not realization state.
+        let u = Topology::gnp(30, 0.2, 9).unwrap();
+        let _ = t.degree(0);
+        assert_eq!(t, u);
+        assert_ne!(t, Topology::gnp(30, 0.2, 10).unwrap());
+    }
+
+    #[test]
+    fn sampled_regular_matches_its_materialization() {
+        let t = Topology::random_regular(24, 4, 7).unwrap();
+        assert!(t.is_sampled());
+        assert_eq!(t.m(), 48); // n·d/2 without realizing
+        assert_eq!((t.max_degree(), t.min_degree()), (4, 4));
+        let g = t.materialize();
+        assert_matches_graph(&t, &g);
+        assert!(Topology::random_regular(10, 1, 0).is_err());
+        assert!(Topology::random_regular(4, 4, 0).is_err());
+        assert!(Topology::random_regular(5, 3, 0).is_err());
+        match Topology::random_regular(24, 4, 7).unwrap().structure() {
+            Structure::SampledRegular {
+                n: 24,
+                d: 4,
+                seed: 7,
+            } => {}
+            other => panic!("unexpected structure {other:?}"),
+        }
+    }
+
+    #[test]
+    fn circulant_lift_is_a_relabeled_circulant() {
+        let t = Topology::circulant_lift(17, 4, 5).unwrap();
+        assert!(t.is_sampled());
+        assert_eq!(t.backend_name(), "circulant-lift");
+        assert_eq!((t.degree(0), t.m()), (4, 34));
+        let g = t.materialize();
+        // Neighbor enumeration is in lifted jump order (unsorted), so
+        // compare sets per node.
+        for v in 0..17u32 {
+            let mut nbrs = t.neighbors_vec(v);
+            nbrs.sort_unstable();
+            assert_eq!(nbrs, g.neighbors(v), "node {v}");
+            for u in 0..17u32 {
+                assert_eq!(t.has_edge(v, u), g.has_edge(v, u));
+            }
+        }
+        // Same degree sequence as the unlifted circulant; relabeled edges.
+        let base = generators::regular_circulant(17, 4).unwrap();
+        assert_eq!(g.m(), base.m());
+        assert!(g.is_regular());
+        match t.structure() {
+            Structure::CirculantLift {
+                n: 17,
+                jumps,
+                seed: 5,
+            } => assert_eq!(jumps, &[1, 2]),
+            other => panic!("unexpected structure {other:?}"),
+        }
+        assert!(Topology::circulant_lift(10, 3, 0).is_err());
+        assert!(Topology::circulant_lift(4, 4, 0).is_err());
+    }
+
+    #[test]
+    fn neighbors_slice_availability() {
+        assert!(Topology::complete(5).unwrap().neighbors_slice(0).is_none());
+        assert!(Topology::circulant_lift(9, 2, 0)
+            .unwrap()
+            .neighbors_slice(0)
+            .is_none());
+        let t = Topology::gnp(10, 0.5, 1).unwrap();
+        let row = t.neighbors_slice(3).unwrap();
+        assert_eq!(row, &t.neighbors_vec(3)[..]);
+        let m = Topology::materialized(generators::path(4).unwrap());
+        assert_eq!(m.neighbors_slice(1), Some(&[0u32, 2][..]));
     }
 }

@@ -25,6 +25,15 @@
 //!   spread becomes `O(n)` total — the lever that takes dense-graph
 //!   experiments from `n ≈ 10⁴` to `n ≥ 10⁵`.
 //!
+//! Seeded *sampled* backends ([`gossip_graph::Topology::gnp`] and kin)
+//! ride the generic Fenwick path: every `degree` / `for_each_neighbor`
+//! call works off adjacency rows the backend realizes lazily on first
+//! touch, so a sparse `G(n, p)` run at `n = 10⁵` builds exactly the rows
+//! the spread visits — `O(n + m)` total, no CSR `Graph` ever constructed
+//! — and, because sampled rows enumerate in the same sorted order as the
+//! materialized twin, the run consumes a bit-identical RNG stream either
+//! way (`tests/sampled_equivalence.rs` asserts this exactly).
+//!
 //! The distribution over (infection sequence, times) is *identical* in
 //! both strategies and to the naive simulator's; the test suites check
 //! this with Kolmogorov–Smirnov tests.
@@ -705,6 +714,60 @@ mod tests {
             .unwrap();
         assert!(o.complete());
         // K_n spreads in Θ(log n).
+        assert!(o.spread_time().unwrap() < 40.0);
+    }
+
+    #[test]
+    fn sampled_gnp_rates_match_materialized_twin() {
+        // The sampled backend rides the Fenwick path off lazily realized
+        // rows; sorted-order parity with the CSR twin makes the float
+        // accumulation identical operation for operation.
+        let n = 40;
+        let topo = gossip_graph::Topology::gnp(n, 0.15, 77).unwrap();
+        let mat = gossip_graph::Topology::materialized(topo.materialize());
+        let mut informed = NodeSet::new(n);
+        for v in [0, 5, 9, 33] {
+            informed.insert(v);
+        }
+        let mut sampled = CutRateAsync::new();
+        sampled.begin(n);
+        sampled.rebuild_rates(&topo, &informed);
+        let mut csr = CutRateAsync::new();
+        csr.begin(n);
+        csr.rebuild_rates(&mat, &informed);
+        assert!(sampled.is_fenwick() && csr.is_fenwick());
+        assert!((sampled.total_rate() - csr.total_rate()).abs() == 0.0);
+        for v in 0..n as NodeId {
+            assert!(
+                (sampled.rate_of(v) - csr.rate_of(v)).abs() == 0.0,
+                "node {v}: {} vs {}",
+                sampled.rate_of(v),
+                csr.rate_of(v)
+            );
+        }
+        informed.insert(12);
+        sampled.absorb_informed(&topo, 12, &informed);
+        csr.absorb_informed(&mat, 12, &informed);
+        for v in 0..n as NodeId {
+            assert!((sampled.rate_of(v) - csr.rate_of(v)).abs() == 0.0);
+        }
+    }
+
+    #[test]
+    fn sampled_gnp_large_run_realizes_lazily() {
+        // Sparse G(n, p) with np ≈ 20 at a size where the pre-sampler
+        // generator's Θ(n²) pair scan is already prohibitive; the run
+        // realizes O(m) adjacency and finishes in Θ(log n) time units.
+        let n = 50_000;
+        let p = 20.0 / (n as f64 - 1.0);
+        let topo = gossip_graph::Topology::gnp(n, p, 4242).unwrap();
+        assert!(topo.is_sampled());
+        let mut net = StaticNetwork::from_topology(topo);
+        let mut rng = gossip_stats::SimRng::seed_from_u64(7);
+        let o = Simulation::new(CutRateAsync::new(), RunConfig::default())
+            .run(&mut net, 0, &mut rng)
+            .unwrap();
+        assert!(o.complete());
         assert!(o.spread_time().unwrap() < 40.0);
     }
 
