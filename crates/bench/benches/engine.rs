@@ -47,13 +47,23 @@
 //! Run with: `cargo bench -p gossip-bench --bench engine`
 
 use criterion::{BenchmarkId, Criterion};
-use gossip_dynamics::StaticNetwork;
+use gossip_dynamics::{DynamicNetwork, StaticNetwork};
 use gossip_graph::{generators, Topology};
 use gossip_sim::{AnyProtocol, CutRateAsync, EventSimulation, RunConfig, RunPlan, Simulation};
 use gossip_stats::SimRng;
 use std::time::Duration;
 
 const CIRCULANT_DEGREE: usize = 16;
+
+/// Worker count for the `trial_throughput` driver benchmarks.
+///
+/// `RunPlan::new` defaults to `available_parallelism()`, so on a modern
+/// 16-hardware-thread host this *is* the out-of-the-box driver shape; the
+/// benchmark pins it so the fresh-vs-workspace comparison measures the
+/// same workload everywhere. Per-trial channel sends and pacing
+/// handshakes are exactly the overhead that grows with worker count —
+/// and exactly what the batched workspace path amortizes away.
+const THROUGHPUT_THREADS: usize = 16;
 
 struct Knobs {
     smoke: bool,
@@ -210,6 +220,86 @@ fn bench_gnp_generation(c: &mut Criterion, n: usize, knobs: &Knobs) {
     c.record_metric(format!("generation_speedup/gnp/{n}"), pairscan / skip);
 }
 
+/// Batched trial throughput: the driver's trials/sec on many small
+/// trials, fresh-allocation path vs workspace hot path.
+///
+/// Both sides run the *identical* workload — `trials` spreads of the
+/// boxed cut-rate protocol at `THROUGHPUT_THREADS` workers with per-trial
+/// `derive(i)` seeding, summaries bit-identical by the workspace
+/// equivalence contract — so the measured gap is purely the trial-setup
+/// allocations plus the driver's per-trial synchronization:
+///
+/// * **fresh** (`RunPlan::workspace(false)`) — the pre-workspace driver:
+///   every trial allocates its informed set / Fenwick tree / pools from
+///   scratch and ships one channel message + one pacing handshake per
+///   trial;
+/// * **ws** (default) — per-worker [`gossip_sim::SimWorkspace`] reuse
+///   plus chunked record delivery (one message per up-to-64-trial
+///   chunk).
+///
+/// Metrics: `trial_throughput/<family>/<n>` = the workspace path's
+/// trials/sec, and `workspace_speedup/<family>/<n>` = fresh ÷ ws time.
+/// The win concentrates where trials are cheapest (small n, structured
+/// backends): sub-5µs trials are driver-bound, so the n = 100 complete
+/// cell is the headline (≥ 2× is the acceptance bar); at n = 10⁴ the
+/// spread itself dominates and the ratio approaches 1.
+fn bench_trial_throughput<N, F>(
+    c: &mut Criterion,
+    family: &str,
+    n: usize,
+    trials: usize,
+    knobs: &Knobs,
+    make_net: F,
+) where
+    N: DynamicNetwork,
+    F: Fn() -> N + Sync + Copy,
+{
+    let trials = if knobs.smoke { trials.min(256) } else { trials };
+    let mut g = c.benchmark_group("trial_throughput");
+    g.sample_size(if knobs.smoke { 2 } else { 5 });
+
+    let run = move |reuse: bool| {
+        let report = RunPlan::new(trials, 7_700 + n as u64)
+            .threads(THROUGHPUT_THREADS)
+            .workspace(reuse)
+            .start(0)
+            .config(RunConfig::default())
+            .execute(make_net, || AnyProtocol::event(CutRateAsync::new()))
+            .expect("valid plan");
+        assert_eq!(report.trials(), trials);
+        assert!(
+            report.completion_rate() > 0.99,
+            "{family}/{n}: only {} of {trials} trials completed",
+            report.completed()
+        );
+        report
+    };
+    g.bench_with_input(
+        BenchmarkId::new(format!("{family}-fresh"), n),
+        &n,
+        |b, _| {
+            b.iter(|| run(false));
+        },
+    );
+    g.bench_with_input(BenchmarkId::new(format!("{family}-ws"), n), &n, |b, _| {
+        b.iter(|| run(true));
+    });
+    g.finish();
+
+    let fresh = c
+        .measurement_ns(&format!("trial_throughput/{family}-fresh/{n}"))
+        .expect("fresh measurement recorded");
+    let ws = c
+        .measurement_ns(&format!("trial_throughput/{family}-ws/{n}"))
+        .expect("ws measurement recorded");
+    // measurement_ns is per full batch; report per-trial throughput.
+    c.record_metric(
+        format!("trial_throughput/{family}/{n}"),
+        trials as f64 * 1e9 / ws,
+    );
+    c.record_metric(format!("workspace_speedup/{family}/{n}"), fresh / ws);
+}
+
 /// RunPlan driver overhead vs the raw trial loop it replaced.
 ///
 /// Both sides run the identical workload — `RUNPLAN_TRIALS` event-engine
@@ -343,6 +433,46 @@ fn main() {
     };
     for &n in gnp_sizes {
         bench_gnp(&mut c, n, &knobs);
+    }
+
+    // Batched trial throughput: fresh-allocation vs workspace driver at
+    // n ∈ {100, 1k, 10k} per family. Trial counts sized so one batch
+    // runs tens of milliseconds; smoke mode caps them and only runs the
+    // driver-bound n = 100 cells.
+    let throughput_sizes: &[(usize, usize, usize)] = if knobs.smoke {
+        // (n, structured trials, sparse trials)
+        &[(100, 256, 128)]
+    } else {
+        &[(100, 16_384, 4_096), (1_000, 4_096, 512), (10_000, 512, 48)]
+    };
+    for &(n, structured_trials, sparse_trials) in throughput_sizes {
+        let complete = Topology::complete(n).expect("valid n");
+        bench_trial_throughput(&mut c, "complete", n, structured_trials, &knobs, || {
+            StaticNetwork::from_topology(complete.clone())
+        });
+
+        // One seeded sampled G(n, p) per size: lazy rows are realized on
+        // first touch and Arc-shared by every worker's clone, so the
+        // measured cost is the spread, not repeated generation.
+        let p = 20.0 / (n as f64 - 1.0);
+        let gnp = Topology::gnp(n, p, 6_400 + n as u64).expect("valid parameters");
+        bench_trial_throughput(&mut c, "gnp", n, sparse_trials, &knobs, || {
+            StaticNetwork::from_topology(gnp.clone())
+        });
+
+        let circulant = Topology::materialized(
+            generators::regular_circulant(n, CIRCULANT_DEGREE).expect("valid circulant"),
+        );
+        bench_trial_throughput(&mut c, "circulant", n, sparse_trials, &knobs, || {
+            StaticNetwork::from_topology(circulant.clone())
+        });
+    }
+    for family in ["complete", "gnp", "circulant"] {
+        assert!(
+            c.measurement_ns(&format!("trial_throughput/{family}-ws/100"))
+                .is_some(),
+            "trial_throughput/{family} must be measured (workspace_speedup key feeds BENCH_engine.json)"
+        );
     }
 
     // Generation-only: geometric skip vs the pre-refactor pair scan

@@ -59,6 +59,8 @@ COMMON FLAGS:
     --engine <name>      auto | event | window (run + scenario run; default auto)
     --output jsonl <path>  stream one JSON record per trial to <path>
     --histogram          render the spread-time distribution (run command)
+    --fresh-alloc        disable per-worker workspace reuse (run command; A/B diagnostic,
+                         bit-identical results, slower small-n throughput)
 
 EXAMPLES:
     gossip run --family regular --d 4 --n 256 --trials 50
@@ -215,6 +217,10 @@ pub fn run(args: &Args) -> Result<String, CliError> {
     };
     let max_time = args.opt_f64("max-time", 1e5)?;
     let histogram = args.flag("histogram");
+    // Diagnostic A/B switch: force the fresh-allocation trial path
+    // instead of the default per-worker workspace reuse (bit-identical
+    // results, slower small-n throughput).
+    let fresh_alloc = args.flag("fresh-alloc");
     let engine = gossip_core::scenario::parse_engine(args.opt("engine")?)?;
     let output = jsonl_output(args)?;
     if trials == 0 {
@@ -235,7 +241,8 @@ pub fn run(args: &Args) -> Result<String, CliError> {
     let mut plan = RunPlan::new(trials, seed)
         .config(RunConfig::with_max_time(max_time))
         .engine(engine)
-        .start_opt(start);
+        .start_opt(start)
+        .workspace(!fresh_alloc);
     if let Some((sink, _)) = jsonl.as_mut() {
         plan = plan.observer(sink);
     }

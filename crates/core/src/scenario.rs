@@ -163,6 +163,12 @@ pub struct SweepSpec {
     pub engine: Option<String>,
     /// Start node override (default: the family's suggested start).
     pub start: Option<u32>,
+    /// Trial hot path: `true` (default) reuses a per-worker
+    /// [`gossip_sim::SimWorkspace`] with batched record delivery;
+    /// `false` forces the fresh-allocation reference path
+    /// ([`RunPlan::workspace`]). Results are bit-identical either way —
+    /// the switch exists for A/B diagnostics.
+    pub workspace: Option<bool>,
 }
 
 impl SweepSpec {
@@ -175,6 +181,7 @@ impl SweepSpec {
             max_time: None,
             engine: None,
             start: None,
+            workspace: None,
         }
     }
 
@@ -842,6 +849,7 @@ impl ScenarioSpec {
                 max_time: Some(1e5),
                 engine: Some("auto".into()),
                 start: None,
+                workspace: None,
             },
         }
     }
@@ -994,6 +1002,7 @@ impl<'s> SweepPlan<'s> {
             .config(self.config)
             .engine(self.engine)
             .start_opt(self.spec.sweep.start)
+            .workspace(self.spec.sweep.workspace.unwrap_or(true))
     }
 
     /// Runs the whole sweep.

@@ -38,60 +38,10 @@
 //! both strategies and to the naive simulator's; the test suites check
 //! this with Kolmogorov–Smirnov tests.
 
-use crate::Protocol;
+use crate::workspace::ShrinkPool;
+use crate::{Protocol, SimWorkspace};
 use gossip_graph::{NodeId, NodeSet, Structure, Topology};
 use gossip_stats::{FenwickSampler, SimRng};
-
-/// A uniform sampler over a shrinking set of nodes: O(1) removal by
-/// swap-remove, O(1) uniform draws.
-#[derive(Debug, Clone, Default)]
-struct UniformPick {
-    members: Vec<NodeId>,
-    /// `pos[v]` = index of `v` in `members`, or `ABSENT`.
-    pos: Vec<u32>,
-}
-
-const ABSENT: u32 = u32::MAX;
-
-impl UniformPick {
-    /// Rebuilds the pool over universe `0..n` from a membership predicate,
-    /// reusing allocations.
-    fn rebuild(&mut self, n: usize, mut member: impl FnMut(NodeId) -> bool) {
-        self.members.clear();
-        self.pos.clear();
-        self.pos.resize(n, ABSENT);
-        for v in 0..n as NodeId {
-            if member(v) {
-                self.pos[v as usize] = self.members.len() as u32;
-                self.members.push(v);
-            }
-        }
-    }
-
-    fn len(&self) -> usize {
-        self.members.len()
-    }
-
-    fn contains(&self, v: NodeId) -> bool {
-        self.pos[v as usize] != ABSENT
-    }
-
-    fn remove(&mut self, v: NodeId) {
-        let i = self.pos[v as usize];
-        debug_assert_ne!(i, ABSENT, "node {v} not in the pool");
-        let i = i as usize;
-        let last = *self.members.last().expect("non-empty: v is a member");
-        self.members.swap_remove(i);
-        self.pos[v as usize] = ABSENT;
-        if last != v {
-            self.pos[last as usize] = i as u32;
-        }
-    }
-
-    fn sample(&self, rng: &mut SimRng) -> NodeId {
-        self.members[rng.index(self.members.len())]
-    }
-}
 
 /// Per-backend rate state (see the module docs).
 #[derive(Debug, Clone)]
@@ -100,22 +50,22 @@ enum RateState {
     Fenwick(FenwickSampler),
     /// Implicit `K_n`: all uninformed nodes share the in-rate
     /// `2|I|/(n−1)`.
-    Complete { n: usize, uninformed: UniformPick },
+    Complete { n: usize, uninformed: ShrinkPool },
     /// Implicit star: every cut edge carries `1 + 1/(n−1)`; the cut is
     /// either {center → uninformed leaves} or {informed leaves → center}.
     Star {
         n: usize,
         center: NodeId,
         center_informed: bool,
-        uninformed_leaves: UniformPick,
+        uninformed_leaves: ShrinkPool,
     },
     /// Implicit `K_{a,b}`: uninformed `A`-nodes share in-rate
     /// `|I ∩ B|·(1/a + 1/b)` and symmetrically for `B`.
     Bipartite {
         a: usize,
         b: usize,
-        uninformed_a: UniformPick,
-        uninformed_b: UniformPick,
+        uninformed_a: ShrinkPool,
+        uninformed_b: ShrinkPool,
     },
 }
 
@@ -153,17 +103,37 @@ impl CutRateAsync {
     /// closed-form backends; O(vol of the smaller cut side) on the generic
     /// Fenwick path (weights accumulated in bulk — one O(n) tree build
     /// instead of one O(log n) update per cut edge).
+    ///
+    /// The fresh-allocation path: mid-run rebuilds salvage storage from
+    /// the previous state, but storage dropped at a state switch (or by
+    /// [`Protocol::begin`]) is re-allocated. The workspace-aware twin
+    /// [`CutRateAsync::rebuild_rates_in`] routes that storage through a
+    /// [`SimWorkspace`] instead.
     pub(crate) fn rebuild_rates(&mut self, g: &Topology, informed: &NodeSet) {
+        self.rebuild_rates_in(g, informed, None);
+    }
+
+    /// [`CutRateAsync::rebuild_rates`] drawing replacement storage from
+    /// (and returning displaced storage to) a [`SimWorkspace`]. The built
+    /// state is bit-identical either way: pools come back in ascending
+    /// member order and [`FenwickSampler::rebuild_into`] reproduces a
+    /// fresh sampler's state exactly.
+    pub(crate) fn rebuild_rates_in(
+        &mut self,
+        g: &Topology,
+        informed: &NodeSet,
+        ws: Option<&mut SimWorkspace>,
+    ) {
         debug_assert_eq!(g.n(), self.n, "begin() saw a different network size");
         match g.structure() {
             Structure::Complete { n } => {
-                let (mut uninformed, _) = self.take_picks();
-                uninformed.rebuild(n, |v| !informed.contains(v));
+                let (mut uninformed, _) = self.take_picks(ws);
+                uninformed.reset_from(n, |v| !informed.contains(v));
                 self.state = Some(RateState::Complete { n, uninformed });
             }
             Structure::Star { n, center } => {
-                let (mut uninformed_leaves, _) = self.take_picks();
-                uninformed_leaves.rebuild(n, |v| v != center && !informed.contains(v));
+                let (mut uninformed_leaves, _) = self.take_picks(ws);
+                uninformed_leaves.reset_from(n, |v| v != center && !informed.contains(v));
                 self.state = Some(RateState::Star {
                     n,
                     center,
@@ -172,10 +142,10 @@ impl CutRateAsync {
                 });
             }
             Structure::CompleteBipartite { a, b } => {
-                let (mut pick_a, mut pick_b) = self.take_picks();
+                let (mut pick_a, mut pick_b) = self.take_picks(ws);
                 let n = a + b;
-                pick_a.rebuild(n, |v| (v as usize) < a && !informed.contains(v));
-                pick_b.rebuild(n, |v| (v as usize) >= a && !informed.contains(v));
+                pick_a.reset_from(n, |v| (v as usize) < a && !informed.contains(v));
+                pick_b.reset_from(n, |v| (v as usize) >= a && !informed.contains(v));
                 self.state = Some(RateState::Bipartite {
                     a,
                     b,
@@ -187,10 +157,21 @@ impl CutRateAsync {
                 let n = self.n;
                 let mut rates = match self.state.take() {
                     Some(RateState::Fenwick(f)) if f.len() == n => f,
-                    _ => FenwickSampler::new(n),
+                    other => {
+                        // Switching into the Fenwick state: park any pool
+                        // storage in the workspace and pick up retained
+                        // tree storage (sized in place by rebuild_into).
+                        match ws {
+                            Some(ws) => {
+                                Self::stash_state(other, ws);
+                                ws.take_fenwick().unwrap_or_else(|| FenwickSampler::new(n))
+                            }
+                            None => FenwickSampler::new(n),
+                        }
+                    }
                 };
                 rates
-                    .set_bulk(|w| {
+                    .rebuild_into(n, |w| {
                         w.iter_mut().for_each(|x| *x = 0.0);
                         if informed.len() * 2 <= n {
                             for u in informed.iter() {
@@ -224,20 +205,67 @@ impl CutRateAsync {
         }
     }
 
-    /// Salvages the pool allocations from the previous state, if any.
-    fn take_picks(&mut self) -> (UniformPick, UniformPick) {
+    /// Salvages the pool allocations from the previous state, then from
+    /// the workspace, before falling back to fresh (empty) pools.
+    ///
+    /// Single-pool states leave the workspace untouched for the unused
+    /// second slot, so a parked pool stays parked for whoever needs it.
+    fn take_picks(&mut self, mut ws: Option<&mut SimWorkspace>) -> (ShrinkPool, ShrinkPool) {
+        let pick = |ws: &mut Option<&mut SimWorkspace>| match ws.as_deref_mut() {
+            Some(ws) => ws.take_pool(),
+            None => ShrinkPool::default(),
+        };
         match self.state.take() {
-            Some(RateState::Complete { uninformed, .. }) => (uninformed, UniformPick::default()),
+            Some(RateState::Complete { uninformed, .. }) => (uninformed, ShrinkPool::default()),
             Some(RateState::Star {
                 uninformed_leaves, ..
-            }) => (uninformed_leaves, UniformPick::default()),
+            }) => (uninformed_leaves, ShrinkPool::default()),
             Some(RateState::Bipartite {
                 uninformed_a,
                 uninformed_b,
                 ..
             }) => (uninformed_a, uninformed_b),
-            _ => (UniformPick::default(), UniformPick::default()),
+            other => {
+                // A Fenwick tree displaced by a closed-form state keeps
+                // its allocation via the workspace.
+                if let Some(ws) = ws.as_deref_mut() {
+                    Self::stash_state(other, ws);
+                }
+                let a = pick(&mut ws);
+                let b = pick(&mut ws);
+                (a, b)
+            }
         }
+    }
+
+    /// Parks the reusable storage of a rate state in the workspace.
+    fn stash_state(state: Option<RateState>, ws: &mut SimWorkspace) {
+        match state {
+            None => {}
+            Some(RateState::Fenwick(f)) => ws.put_fenwick(f),
+            Some(RateState::Complete { uninformed, .. }) => ws.put_pool(uninformed),
+            Some(RateState::Star {
+                uninformed_leaves, ..
+            }) => ws.put_pool(uninformed_leaves),
+            Some(RateState::Bipartite {
+                uninformed_a,
+                uninformed_b,
+                ..
+            }) => {
+                ws.put_pool(uninformed_a);
+                ws.put_pool(uninformed_b);
+            }
+        }
+    }
+
+    /// Trial-boundary reset for the workspace path: every piece of the
+    /// previous trial's rate state is returned to the workspace, to be
+    /// checked out again by this trial's first
+    /// [`CutRateAsync::rebuild_rates_in`]. The cross-trial analogue of
+    /// what [`Protocol::begin`] does by dropping.
+    pub(crate) fn begin_reusing(&mut self, n: usize, ws: &mut SimWorkspace) {
+        self.n = n;
+        Self::stash_state(self.state.take(), ws);
     }
 
     /// Whether the current state is the generic Fenwick tree (the

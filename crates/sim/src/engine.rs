@@ -130,6 +130,12 @@ impl SpreadOutcome {
     pub fn into_trajectory(self) -> Vec<(f64, usize)> {
         self.trajectory
     }
+
+    /// Consumes the outcome into its owned buffers `(informed,
+    /// trajectory)`, for recycling through a [`crate::SimWorkspace`].
+    pub(crate) fn into_buffers(self) -> (NodeSet, Vec<(f64, usize)>) {
+        (self.informed, self.trajectory)
+    }
 }
 
 /// Drives a [`Protocol`] over a [`DynamicNetwork`] window by window.
@@ -180,6 +186,31 @@ impl<P: Protocol> Simulation<P> {
         start: NodeId,
         rng: &mut SimRng,
     ) -> Result<SpreadOutcome, SimError> {
+        let mut ws = crate::SimWorkspace::new();
+        self.run_in(&mut ws, net, start, rng)
+    }
+
+    /// [`Simulation::run`] drawing the informed set and trajectory buffer
+    /// from a reusable [`crate::SimWorkspace`] instead of allocating them
+    /// per trial. Outcomes are bit-identical to [`Simulation::run`] under
+    /// the same seed: checked-out buffers are reset to exactly the state
+    /// fresh ones would have, so the RNG stream is consumed identically.
+    ///
+    /// (Window protocols rebuild their internal state inside
+    /// [`Protocol::advance_window`] without workspace access, so unlike
+    /// the event engine only these two buffers are recycled here — the
+    /// event-stream engine is the batch hot path.)
+    ///
+    /// # Errors
+    ///
+    /// As [`Simulation::run`].
+    pub fn run_in<N: DynamicNetwork>(
+        &mut self,
+        ws: &mut crate::SimWorkspace,
+        net: &mut N,
+        start: NodeId,
+        rng: &mut SimRng,
+    ) -> Result<SpreadOutcome, SimError> {
         let n = net.n();
         if n == 0 {
             return Err(SimError::EmptyNetwork);
@@ -195,9 +226,9 @@ impl<P: Protocol> Simulation<P> {
 
         net.reset();
         self.protocol.begin(n);
-        let mut informed = NodeSet::new(n);
+        let mut informed = ws.take_informed(n);
         informed.insert(start);
-        let mut trajectory = Vec::new();
+        let mut trajectory = ws.take_trajectory();
 
         if informed.is_full() {
             // Single-node network: informed at time 0.

@@ -19,9 +19,9 @@
 //! (see the delta-contract tests in `gossip-dynamics` and the KS
 //! equivalence suite in `tests/engine_equivalence.rs`).
 
-use crate::{IncrementalProtocol, RunConfig, SimError, SpreadOutcome};
+use crate::{IncrementalProtocol, RunConfig, SimError, SimWorkspace, SpreadOutcome};
 use gossip_dynamics::DynamicNetwork;
-use gossip_graph::{NodeId, NodeSet};
+use gossip_graph::NodeId;
 use gossip_stats::SimRng;
 
 /// Drives an [`IncrementalProtocol`] over a [`DynamicNetwork`] as a stream
@@ -62,6 +62,10 @@ impl<P: IncrementalProtocol> EventSimulation<P> {
     /// Runs the protocol from `start` until every node is informed or the
     /// cutoff hits. The network is [`DynamicNetwork::reset`] first.
     ///
+    /// Every per-trial structure is freshly allocated; batch drivers
+    /// should prefer [`EventSimulation::run_in`], which recycles them
+    /// through a [`SimWorkspace`] and produces bit-identical outcomes.
+    ///
     /// # Errors
     ///
     /// [`SimError::EmptyNetwork`], [`SimError::StartOutOfRange`], or
@@ -73,6 +77,44 @@ impl<P: IncrementalProtocol> EventSimulation<P> {
         start: NodeId,
         rng: &mut SimRng,
     ) -> Result<SpreadOutcome, SimError> {
+        let n = self.validate(net, start)?;
+        net.reset();
+        // Legacy trial boundary: prior protocol state is dropped, and the
+        // empty throwaway workspace makes every check-out allocate fresh.
+        self.protocol.begin(n);
+        let mut ws = SimWorkspace::new();
+        self.run_core(&mut ws, net, n, start, rng)
+    }
+
+    /// [`EventSimulation::run`] drawing all per-trial scratch — informed
+    /// set, trajectory buffer, protocol rate state — from a reusable
+    /// [`SimWorkspace`]. After the first trial on a workspace, trial setup
+    /// allocates nothing; outcomes are bit-identical to
+    /// [`EventSimulation::run`] under the same seed (the workspace reset
+    /// invariants guarantee the RNG stream is consumed identically).
+    ///
+    /// The informed set and trajectory move into the returned
+    /// [`SpreadOutcome`]; return them with
+    /// [`SimWorkspace`]-aware record assembly (as [`crate::RunPlan`]
+    /// does) to close the recycling loop.
+    ///
+    /// # Errors
+    ///
+    /// As [`EventSimulation::run`].
+    pub fn run_in<N: DynamicNetwork>(
+        &mut self,
+        ws: &mut SimWorkspace,
+        net: &mut N,
+        start: NodeId,
+        rng: &mut SimRng,
+    ) -> Result<SpreadOutcome, SimError> {
+        let n = self.validate(net, start)?;
+        net.reset();
+        self.protocol.begin_in(n, ws);
+        self.run_core(ws, net, n, start, rng)
+    }
+
+    fn validate<N: DynamicNetwork>(&self, net: &N, start: NodeId) -> Result<usize, SimError> {
         let n = net.n();
         if n == 0 {
             return Err(SimError::EmptyNetwork);
@@ -84,12 +126,20 @@ impl<P: IncrementalProtocol> EventSimulation<P> {
         if !(self.config.max_time > 0.0) {
             return Err(SimError::InvalidTimeLimit(self.config.max_time));
         }
+        Ok(n)
+    }
 
-        net.reset();
-        self.protocol.begin(n);
-        let mut informed = NodeSet::new(n);
+    fn run_core<N: DynamicNetwork>(
+        &mut self,
+        ws: &mut SimWorkspace,
+        net: &mut N,
+        n: usize,
+        start: NodeId,
+        rng: &mut SimRng,
+    ) -> Result<SpreadOutcome, SimError> {
+        let mut informed = ws.take_informed(n);
         informed.insert(start);
-        let mut trajectory = Vec::new();
+        let mut trajectory = ws.take_trajectory();
 
         if informed.is_full() {
             return Ok(SpreadOutcome::finished(0.0, 0, n, informed, trajectory));
@@ -106,10 +156,10 @@ impl<P: IncrementalProtocol> EventSimulation<P> {
             };
             let g = net.topology(t, &informed, rng);
             match (&delta, t) {
-                (_, 0) => self.protocol.rebuild(g, &informed),
+                (_, 0) => self.protocol.rebuild(g, &informed, ws),
                 (Some(d), _) if d.is_empty() => {}
-                (Some(d), _) => self.protocol.apply_delta(g, d, &informed),
-                (None, _) => self.protocol.rebuild(g, &informed),
+                (Some(d), _) => self.protocol.apply_delta(g, d, &informed, ws),
+                (None, _) => self.protocol.rebuild(g, &informed, ws),
             }
             self.protocol.on_window(g, t, &informed, rng);
             if self.config.record_trajectory {

@@ -21,7 +21,9 @@
 //! tests cross-validate the two engines' spread-time distributions.
 
 use crate::async_naive::{resolve_tick, Direction};
-use crate::{AsyncPull, AsyncPush, AsyncPushPull, CutRateAsync, LossyAsync, Protocol, TwoPush};
+use crate::{
+    AsyncPull, AsyncPush, AsyncPushPull, CutRateAsync, LossyAsync, Protocol, SimWorkspace, TwoPush,
+};
 use gossip_dynamics::EdgeDelta;
 use gossip_graph::{NodeId, NodeSet, Topology};
 use gossip_stats::SimRng;
@@ -33,17 +35,40 @@ use gossip_stats::SimRng;
 /// their [`Protocol::advance_window`] reference: the engine draws the next
 /// event after `Exp(event_rate)` and resolves it through
 /// [`IncrementalProtocol::resolve_event`].
+///
+/// State-building hooks receive the engine's [`SimWorkspace`] so scratch
+/// storage (Fenwick trees, uninformed pools, delta-repair buffers) can be
+/// recycled across trials instead of re-allocated; implementations may
+/// ignore it. Whatever they check out must be reset to the exact state a
+/// fresh allocation would have — the workspace is a memory optimization,
+/// never an observable input (see the [`SimWorkspace`] invariants).
 pub trait IncrementalProtocol: Protocol {
+    /// Trial-boundary reset for the workspace-reuse path: like
+    /// [`Protocol::begin`], but retained allocations are parked in the
+    /// workspace for this trial's [`IncrementalProtocol::rebuild`] to
+    /// check out again. The default ignores the workspace and delegates
+    /// to `begin` (correct for stateless protocols).
+    fn begin_in(&mut self, n: usize, ws: &mut SimWorkspace) {
+        let _ = ws;
+        self.begin(n);
+    }
+
     /// Rebuilds all internal event state for graph `g` and the informed
     /// set (called at the start of a run and whenever the network declines
     /// to report a delta).
-    fn rebuild(&mut self, g: &Topology, informed: &NodeSet);
+    fn rebuild(&mut self, g: &Topology, informed: &NodeSet, ws: &mut SimWorkspace);
 
     /// Repairs internal state after a topology delta (the graph `g` is the
     /// *post-delta* graph). The default falls back to a full rebuild.
-    fn apply_delta(&mut self, g: &Topology, delta: &EdgeDelta, informed: &NodeSet) {
+    fn apply_delta(
+        &mut self,
+        g: &Topology,
+        delta: &EdgeDelta,
+        informed: &NodeSet,
+        ws: &mut SimWorkspace,
+    ) {
         let _ = delta;
-        self.rebuild(g, informed);
+        self.rebuild(g, informed, ws);
     }
 
     /// Hook at each unit-window boundary for state that is redrawn per
@@ -76,12 +101,22 @@ pub trait IncrementalProtocol: Protocol {
 }
 
 impl<T: IncrementalProtocol + ?Sized> IncrementalProtocol for &mut T {
-    fn rebuild(&mut self, g: &Topology, informed: &NodeSet) {
-        (**self).rebuild(g, informed)
+    fn begin_in(&mut self, n: usize, ws: &mut SimWorkspace) {
+        (**self).begin_in(n, ws)
     }
 
-    fn apply_delta(&mut self, g: &Topology, delta: &EdgeDelta, informed: &NodeSet) {
-        (**self).apply_delta(g, delta, informed)
+    fn rebuild(&mut self, g: &Topology, informed: &NodeSet, ws: &mut SimWorkspace) {
+        (**self).rebuild(g, informed, ws)
+    }
+
+    fn apply_delta(
+        &mut self,
+        g: &Topology,
+        delta: &EdgeDelta,
+        informed: &NodeSet,
+        ws: &mut SimWorkspace,
+    ) {
+        (**self).apply_delta(g, delta, informed, ws)
     }
 
     fn on_window(&mut self, g: &Topology, t: u64, informed: &NodeSet, rng: &mut SimRng) {
@@ -107,12 +142,22 @@ impl<T: IncrementalProtocol + ?Sized> IncrementalProtocol for &mut T {
 }
 
 impl<T: IncrementalProtocol + ?Sized> IncrementalProtocol for Box<T> {
-    fn rebuild(&mut self, g: &Topology, informed: &NodeSet) {
-        (**self).rebuild(g, informed)
+    fn begin_in(&mut self, n: usize, ws: &mut SimWorkspace) {
+        (**self).begin_in(n, ws)
     }
 
-    fn apply_delta(&mut self, g: &Topology, delta: &EdgeDelta, informed: &NodeSet) {
-        (**self).apply_delta(g, delta, informed)
+    fn rebuild(&mut self, g: &Topology, informed: &NodeSet, ws: &mut SimWorkspace) {
+        (**self).rebuild(g, informed, ws)
+    }
+
+    fn apply_delta(
+        &mut self,
+        g: &Topology,
+        delta: &EdgeDelta,
+        informed: &NodeSet,
+        ws: &mut SimWorkspace,
+    ) {
+        (**self).apply_delta(g, delta, informed, ws)
     }
 
     fn on_window(&mut self, g: &Topology, t: u64, informed: &NodeSet, rng: &mut SimRng) {
@@ -144,8 +189,12 @@ impl<T: IncrementalProtocol + ?Sized> IncrementalProtocol for Box<T> {
 // ---------------------------------------------------------------------------
 
 impl IncrementalProtocol for CutRateAsync {
-    fn rebuild(&mut self, g: &Topology, informed: &NodeSet) {
-        self.rebuild_rates(g, informed);
+    fn begin_in(&mut self, n: usize, ws: &mut SimWorkspace) {
+        self.begin_reusing(n, ws);
+    }
+
+    fn rebuild(&mut self, g: &Topology, informed: &NodeSet, ws: &mut SimWorkspace) {
+        self.rebuild_rates_in(g, informed, Some(ws));
     }
 
     /// Repairs only the nodes whose in-rate could have moved: uninformed
@@ -153,12 +202,18 @@ impl IncrementalProtocol for CutRateAsync {
     /// endpoints (whose `1/d_u` contribution shifted with `u`'s degree).
     /// Closed-form states (implicit complete/star/bipartite backends)
     /// rebuild instead — that is O(n), no slower than walking a delta.
-    fn apply_delta(&mut self, g: &Topology, delta: &EdgeDelta, informed: &NodeSet) {
+    fn apply_delta(
+        &mut self,
+        g: &Topology,
+        delta: &EdgeDelta,
+        informed: &NodeSet,
+        ws: &mut SimWorkspace,
+    ) {
         if !self.is_fenwick() {
-            self.rebuild(g, informed);
+            self.rebuild(g, informed, ws);
             return;
         }
-        let mut stale = Vec::new();
+        let mut stale = ws.take_stale();
         for e in delta.touched_nodes() {
             if informed.contains(e) {
                 g.for_each_neighbor(e, |w| {
@@ -172,9 +227,10 @@ impl IncrementalProtocol for CutRateAsync {
         }
         stale.sort_unstable();
         stale.dedup();
-        for v in stale {
+        for &v in &stale {
             self.recompute_rate(g, v, informed);
         }
+        ws.put_stale(stale);
     }
 
     fn event_rate(&self, _g: &Topology, _informed: &NodeSet) -> f64 {
@@ -209,9 +265,16 @@ impl IncrementalProtocol for CutRateAsync {
 macro_rules! impl_incremental_naive {
     ($ty:ty, $rate:expr, $resolve:expr) => {
         impl IncrementalProtocol for $ty {
-            fn rebuild(&mut self, _g: &Topology, _informed: &NodeSet) {}
+            fn rebuild(&mut self, _g: &Topology, _informed: &NodeSet, _ws: &mut SimWorkspace) {}
 
-            fn apply_delta(&mut self, _g: &Topology, _delta: &EdgeDelta, _informed: &NodeSet) {}
+            fn apply_delta(
+                &mut self,
+                _g: &Topology,
+                _delta: &EdgeDelta,
+                _informed: &NodeSet,
+                _ws: &mut SimWorkspace,
+            ) {
+            }
 
             fn event_rate(&self, g: &Topology, _informed: &NodeSet) -> f64 {
                 #[allow(clippy::redundant_closure_call)]
@@ -288,9 +351,23 @@ impl_incremental_naive!(
 // ---------------------------------------------------------------------------
 
 impl IncrementalProtocol for LossyAsync {
-    fn rebuild(&mut self, _g: &Topology, _informed: &NodeSet) {}
+    /// Reuses the retained down-set bitset across trials (cleared in
+    /// place; fresh only when the universe changed).
+    fn begin_in(&mut self, n: usize, ws: &mut SimWorkspace) {
+        let _ = ws;
+        self.reset_reusing(n);
+    }
 
-    fn apply_delta(&mut self, _g: &Topology, _delta: &EdgeDelta, _informed: &NodeSet) {}
+    fn rebuild(&mut self, _g: &Topology, _informed: &NodeSet, _ws: &mut SimWorkspace) {}
+
+    fn apply_delta(
+        &mut self,
+        _g: &Topology,
+        _delta: &EdgeDelta,
+        _informed: &NodeSet,
+        _ws: &mut SimWorkspace,
+    ) {
+    }
 
     fn on_window(&mut self, g: &Topology, t: u64, _informed: &NodeSet, rng: &mut SimRng) {
         self.ensure_down_window(g.n(), t, rng);
@@ -318,12 +395,13 @@ mod tests {
 
     #[test]
     fn object_safe() {
+        let mut ws = SimWorkspace::new();
         let mut boxed: Box<dyn IncrementalProtocol> = Box::new(AsyncPushPull::new());
         let g = Topology::materialized(gossip_graph::Graph::from_edges(2, &[(0, 1)]).unwrap());
         let mut informed = NodeSet::new(2);
         informed.insert(0);
-        boxed.begin(2);
-        boxed.rebuild(&g, &informed);
+        boxed.begin_in(2, &mut ws);
+        boxed.rebuild(&g, &informed, &mut ws);
         assert_eq!(boxed.event_rate(&g, &informed), 2.0);
         let mut rng = SimRng::seed_from_u64(1);
         // On a 2-path with one informed node, every contact is informative.
@@ -350,14 +428,15 @@ mod tests {
             informed.insert(v);
         }
 
+        let mut ws = SimWorkspace::new();
         let mut repaired = CutRateAsync::new();
         repaired.begin(10);
-        repaired.rebuild(&old, &informed);
-        repaired.apply_delta(&new, &delta, &informed);
+        repaired.rebuild(&old, &informed, &mut ws);
+        repaired.apply_delta(&new, &delta, &informed, &mut ws);
 
         let mut fresh = CutRateAsync::new();
         fresh.begin(10);
-        fresh.rebuild(&new, &informed);
+        fresh.rebuild(&new, &informed, &mut ws);
 
         for v in 0..10u32 {
             assert!(

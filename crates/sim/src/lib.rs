@@ -39,7 +39,12 @@
 //! `AnyProtocol::window` otherwise), pick an [`Engine`] (default
 //! [`Engine::Auto`]), and attach streaming [`TrialObserver`]s
 //! ([`SummarySink`], [`JsonlSink`], [`TrajectorySink`]) for per-trial
-//! output. The legacy [`Runner`] methods are deprecated shims over
+//! output. Each worker recycles its per-trial scratch (informed set,
+//! Fenwick storage, pools, buffers) through a [`SimWorkspace`] and the
+//! parallel path delivers records in batches, so small-n/high-trial
+//! sweeps are simulator-bound rather than allocator-bound; results are
+//! bit-identical to the fresh-allocation reference path
+//! ([`RunPlan::workspace`]). The legacy [`Runner`] methods are deprecated shims over
 //! `RunPlan`; migrate
 //! `Runner::new(t, s).run(net, proto, start, cfg)` to
 //! `RunPlan::new(t, s).config(cfg).engine(Engine::Window).execute(net, || AnyProtocol::window(proto()))`
@@ -86,6 +91,7 @@ mod protocol;
 mod runner;
 mod sync;
 mod two_push;
+mod workspace;
 
 pub use async_cut::CutRateAsync;
 pub use async_naive::{AsyncPull, AsyncPush, AsyncPushPull};
@@ -103,3 +109,4 @@ pub use protocol::Protocol;
 pub use runner::{Runner, TrialSummary};
 pub use sync::{SyncPull, SyncPush, SyncPushPull};
 pub use two_push::{ForwardTwoPush, TwoPush};
+pub use workspace::SimWorkspace;

@@ -146,6 +146,20 @@ impl LossyAsync {
         }
     }
 
+    /// Trial-boundary reset that keeps the down-set allocation: clears the
+    /// retained bitset in place when the universe matches (the
+    /// workspace-reuse analogue of [`Protocol::begin`], which allocates a
+    /// fresh one). The resulting state is identical either way, so the
+    /// per-window downtime draws consume the RNG identically.
+    pub(crate) fn reset_reusing(&mut self, n: usize) {
+        if self.down.universe() == n {
+            self.down.clear();
+        } else {
+            self.down = NodeSet::new(n);
+        }
+        self.down_window = None;
+    }
+
     /// Redraws the down set for window `t` (each node independently down
     /// with probability `downtime`).
     fn redraw_down(&mut self, n: usize, t: u64, rng: &mut SimRng) {

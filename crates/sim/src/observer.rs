@@ -109,6 +109,44 @@ impl TrialRecord {
             trajectory: recording.then(|| outcome.into_trajectory()),
         }
     }
+
+    /// [`TrialRecord::from_outcome`], recycling the outcome's buffers
+    /// into a [`crate::SimWorkspace`]: the informed bitset always goes
+    /// back (only its count survives in the record), and the trajectory
+    /// buffer goes back too unless recording shipped it inside the
+    /// record (in which case the inline delivery path returns it after
+    /// the observers have seen it).
+    pub(crate) fn from_outcome_in(
+        trial: usize,
+        seed: u64,
+        outcome: SpreadOutcome,
+        recording: bool,
+        ws: &mut crate::SimWorkspace,
+    ) -> Self {
+        let (n, spread_time, windows, informed) = (
+            outcome.n(),
+            outcome.spread_time(),
+            outcome.windows(),
+            outcome.informed_count(),
+        );
+        let (informed_set, trajectory) = outcome.into_buffers();
+        ws.put_informed(informed_set);
+        let trajectory = if recording {
+            Some(trajectory)
+        } else {
+            ws.put_trajectory(trajectory);
+            None
+        };
+        TrialRecord {
+            trial,
+            seed,
+            n,
+            spread_time,
+            windows,
+            informed,
+            trajectory,
+        }
+    }
 }
 
 /// A sink receiving per-trial results as they stream out of a

@@ -34,11 +34,18 @@
 //! * **Streaming observation** — attached [`TrialObserver`]s receive one
 //!   [`crate::TrialRecord`] per trial, in trial order, while later trials
 //!   are still running; the built-in summary accumulates the same way,
-//!   so [`RunReport::summary`] is bit-identical to the legacy runner.
+//!   so [`RunReport::summary`] is bit-identical to the legacy runner;
+//! * **Workspace reuse** — each worker recycles its per-trial scratch
+//!   (informed set, Fenwick storage, pools, buffers) through one
+//!   [`SimWorkspace`], and the parallel path ships records to the
+//!   observer thread in chunks, so small-n/high-trial batches are
+//!   simulator-bound instead of allocator- and channel-bound;
+//!   [`RunPlan::workspace`] keeps the fresh-allocation reference path
+//!   available, with bit-identical results either way.
 
 use crate::observer::{SummarySink, TrialObserver, TrialRecord};
 use crate::{
-    EventSimulation, IncrementalProtocol, Protocol, RunConfig, SimError, Simulation, SpreadOutcome,
+    EventSimulation, IncrementalProtocol, Protocol, RunConfig, SimError, SimWorkspace, Simulation,
     TrialSummary,
 };
 use gossip_dynamics::DynamicNetwork;
@@ -164,6 +171,7 @@ pub struct RunPlan<'o> {
     config: RunConfig,
     engine: Engine,
     start: Option<NodeId>,
+    workspace: bool,
     observers: Vec<Box<dyn TrialObserver + 'o>>,
 }
 
@@ -176,6 +184,7 @@ impl fmt::Debug for RunPlan<'_> {
             .field("config", &self.config)
             .field("engine", &self.engine)
             .field("start", &self.start)
+            .field("workspace", &self.workspace)
             .field("observers", &self.observers.len())
             .finish()
     }
@@ -196,8 +205,30 @@ impl<'o> RunPlan<'o> {
             config: RunConfig::default(),
             engine: Engine::Auto,
             start: None,
+            workspace: true,
             observers: Vec::new(),
         }
+    }
+
+    /// Selects the trial hot path (default `true`: workspace reuse).
+    ///
+    /// * `true` — each worker owns a [`SimWorkspace`] recycled across its
+    ///   trials (steady-state trial setup allocates nothing), and the
+    ///   parallel path streams records to the observers in **batches**
+    ///   (one channel message and one pacing handshake per chunk of
+    ///   trials instead of per trial).
+    /// * `false` — the fresh-allocation reference path: every trial
+    ///   allocates its structures from scratch and the parallel path
+    ///   delivers records one by one, exactly as the driver did before
+    ///   the workspace refactor.
+    ///
+    /// Results are **bit-identical** either way (test-enforced in
+    /// `tests/workspace_equivalence.rs`); the flag exists for A/B
+    /// benchmarking (`workspace_speedup` in `BENCH_engine.json`) and as a
+    /// diagnostic escape hatch.
+    pub fn workspace(mut self, reuse: bool) -> Self {
+        self.workspace = reuse;
+        self
     }
 
     /// Restricts execution to a fixed number of threads (1 = inline on
@@ -290,30 +321,36 @@ impl<'o> RunPlan<'o> {
         {
             let observers = &mut self.observers;
             let summary = &mut summary;
-            let mut deliver = move |record: TrialRecord| -> Result<(), SimError> {
-                // The internal summary never fails; user observers may.
-                summary
-                    .on_trial(&record)
-                    .expect("summary sink is infallible");
-                let stripped = TrialRecord {
-                    trial: record.trial,
-                    seed: record.seed,
-                    n: record.n,
-                    spread_time: record.spread_time,
-                    windows: record.windows,
-                    informed: record.informed,
-                    trajectory: None,
+            // Delivery hands the record's trajectory buffer back (when
+            // one rode along) so the inline path can recycle it into the
+            // worker's workspace after the observers are done with it.
+            let mut deliver =
+                move |mut record: TrialRecord| -> Result<Option<Vec<(f64, usize)>>, SimError> {
+                    // The internal summary never fails; user observers may.
+                    summary
+                        .on_trial(&record)
+                        .expect("summary sink is infallible");
+                    if !observers.is_empty() {
+                        let stripped = TrialRecord {
+                            trial: record.trial,
+                            seed: record.seed,
+                            n: record.n,
+                            spread_time: record.spread_time,
+                            windows: record.windows,
+                            informed: record.informed,
+                            trajectory: None,
+                        };
+                        for o in observers.iter_mut() {
+                            let view = if explicit_recording || o.wants_trajectory() {
+                                &record
+                            } else {
+                                &stripped
+                            };
+                            o.on_trial(view)?;
+                        }
+                    }
+                    Ok(record.trajectory.take())
                 };
-                for o in observers.iter_mut() {
-                    let view = if explicit_recording || o.wants_trajectory() {
-                        &record
-                    } else {
-                        &stripped
-                    };
-                    o.on_trial(view)?;
-                }
-                Ok(())
-            };
             run_trials(
                 self.trials,
                 self.base_seed,
@@ -321,6 +358,7 @@ impl<'o> RunPlan<'o> {
                 self.start,
                 config,
                 use_event,
+                self.workspace,
                 &make_net,
                 &make_proto,
                 &mut deliver,
@@ -341,19 +379,34 @@ impl<'o> RunPlan<'o> {
     }
 }
 
-/// A per-worker trial closure: runs one trial on the engine chosen for
-/// the batch.
-type TrialFn<'p, N> =
-    Box<dyn FnMut(&mut N, NodeId, &mut SimRng) -> Result<SpreadOutcome, SimError> + 'p>;
+/// A per-worker trial closure: runs one trial `(index, seed)` on the
+/// engine chosen for the batch and assembles its [`TrialRecord`]. The
+/// workspace argument is the worker's scratch arena (ignored by the
+/// fresh-allocation path).
+type TrialFn<'p, N> = Box<
+    dyn FnMut(
+            &mut SimWorkspace,
+            &mut N,
+            NodeId,
+            usize,
+            u64,
+            &mut SimRng,
+        ) -> Result<TrialRecord, SimError>
+        + 'p,
+>;
 
 /// One worker's run closure: engine chosen once per batch, then the same
 /// trial shape for both engines — so the two engines share the seeding
-/// contract by construction.
+/// contract by construction. `reuse` selects between the workspace hot
+/// path (`run_in` + buffer recycling) and the fresh-allocation reference
+/// path (`run`, workspace untouched); both produce bit-identical records.
 fn make_runner<'p, N: DynamicNetwork>(
     proto: AnyProtocol,
     config: RunConfig,
     use_event: bool,
+    reuse: bool,
 ) -> TrialFn<'p, N> {
+    let recording = config.record_trajectory;
     if use_event {
         let mut sim = EventSimulation::new(
             proto
@@ -361,24 +414,49 @@ fn make_runner<'p, N: DynamicNetwork>(
                 .expect("engine resolution probed support"),
             config,
         );
-        Box::new(move |net, start, rng| sim.run(net, start, rng))
+        if reuse {
+            Box::new(move |ws, net, start, trial, seed, rng| {
+                let outcome = sim.run_in(ws, net, start, rng)?;
+                Ok(TrialRecord::from_outcome_in(
+                    trial, seed, outcome, recording, ws,
+                ))
+            })
+        } else {
+            Box::new(move |_ws, net, start, trial, seed, rng| {
+                let outcome = sim.run(net, start, rng)?;
+                Ok(TrialRecord::from_outcome(trial, seed, outcome, recording))
+            })
+        }
     } else {
         let mut sim = Simulation::new(proto.into_window(), config);
-        Box::new(move |net, start, rng| sim.run(net, start, rng))
+        if reuse {
+            Box::new(move |ws, net, start, trial, seed, rng| {
+                let outcome = sim.run_in(ws, net, start, rng)?;
+                Ok(TrialRecord::from_outcome_in(
+                    trial, seed, outcome, recording, ws,
+                ))
+            })
+        } else {
+            Box::new(move |_ws, net, start, trial, seed, rng| {
+                let outcome = sim.run(net, start, rng)?;
+                Ok(TrialRecord::from_outcome(trial, seed, outcome, recording))
+            })
+        }
     }
 }
 
 /// Worker pacing: the delivery frontier plus an abort flag.
 ///
-/// No worker starts trial `i` until `i < frontier + window`, so the
-/// reorder buffer — and any full trajectories riding in records — holds
-/// `O(window)` entries even when one early trial is a heavy-tailed
+/// No worker starts chunk `c` until `c < frontier + window` (both in
+/// chunk units; a chunk is a single trial on the per-trial paths), so
+/// the reorder buffer — and any full trajectories riding in records —
+/// holds `O(window)` entries even when one early trial is a heavy-tailed
 /// straggler (exactly this repo's subject: spread-time distributions
 /// with constant-probability `Ω(n)` modes). Without pacing, a slow
 /// trial 0 would let the other workers finish the entire batch and park
 /// it all in the buffer, defeating the streaming memory contract.
 struct Pace {
-    /// `(next undelivered trial, abort)`.
+    /// `(next undelivered chunk, abort)`.
     state: Mutex<(usize, bool)>,
     cond: Condvar,
 }
@@ -391,8 +469,8 @@ impl Pace {
         }
     }
 
-    /// Blocks until trial `i` may start; `false` means the run aborted.
-    /// Never blocks the worker owning the frontier trial itself, so the
+    /// Blocks until chunk `i` may start; `false` means the run aborted.
+    /// Never blocks the worker owning the frontier chunk itself, so the
     /// frontier always advances (no deadlock).
     fn admit(&self, i: usize, window: usize) -> bool {
         let mut st = self.state.lock().expect("pace state poisoned");
@@ -417,6 +495,15 @@ impl Pace {
 /// trial order while trials are still running on other threads. A
 /// failing trial or a failing `deliver` aborts the batch: running
 /// trials finish, queued ones never start.
+///
+/// With `reuse` set, the parallel path processes trials in per-worker
+/// **chunks**: one channel message, one pacing handshake, and one reorder
+/// step per chunk instead of per trial. Chunking is invisible to
+/// observers — records still arrive one by one in strict trial order, and
+/// trial `i` still consumes the `derive(i)` stream — it only amortizes
+/// the driver's synchronization, which dominates sub-10µs trials.
+/// Trajectory-recording batches keep chunk size 1 so the in-flight
+/// memory contract (O(threads) full trajectories) is unchanged.
 #[allow(clippy::too_many_arguments)]
 fn run_trials<N: DynamicNetwork>(
     trials: usize,
@@ -425,9 +512,10 @@ fn run_trials<N: DynamicNetwork>(
     start: Option<NodeId>,
     config: RunConfig,
     use_event: bool,
+    reuse: bool,
     make_net: &(impl Fn() -> N + Sync),
     make_proto: &(impl Fn() -> AnyProtocol + Sync),
-    deliver: &mut impl FnMut(TrialRecord) -> Result<(), SimError>,
+    deliver: &mut impl FnMut(TrialRecord) -> Result<Option<Vec<(f64, usize)>>, SimError>,
 ) -> Result<(), SimError> {
     let base = SimRng::seed_from_u64(base_seed);
     let threads = threads.min(trials.max(1));
@@ -435,50 +523,82 @@ fn run_trials<N: DynamicNetwork>(
 
     if threads <= 1 {
         // Inline fast path: no channel, records delivered as produced
-        // (already in trial order); errors abort immediately.
+        // (already in trial order); errors abort immediately. Recycled
+        // trajectory buffers flow straight back into the workspace.
+        let mut ws = SimWorkspace::new();
         let mut net = make_net();
-        let mut run_one = make_runner::<N>(make_proto(), config, use_event);
+        let mut run_one = make_runner::<N>(make_proto(), config, use_event, reuse);
         let start = start.unwrap_or_else(|| net.suggested_start());
         for i in 0..trials {
             let mut rng = base.derive(i as u64);
             let seed = rng.base_seed();
-            let outcome = run_one(&mut net, start, &mut rng)?;
-            deliver(TrialRecord::from_outcome(i, seed, outcome, recording))?;
+            let record = run_one(&mut ws, &mut net, start, i, seed, &mut rng)?;
+            if let Some(buf) = deliver(record)? {
+                ws.put_trajectory(buf);
+            }
         }
         return Ok(());
     }
 
-    // Parallel path: workers stream records over a bounded channel; the
-    // calling thread re-sequences through a [`Pace`]-bounded reorder
+    // Parallel path: workers stream record chunks over a bounded channel;
+    // the calling thread re-sequences through a [`Pace`]-bounded reorder
     // buffer and feeds observers in trial order. Trial i still consumes
-    // the derive(i) stream, so scheduling cannot change any result.
+    // the derive(i) stream, so scheduling cannot change any result. The
+    // fresh-allocation reference path (`reuse = false`) and recording
+    // runs keep the pre-batching chunk size of 1.
+    let chunk = if reuse && !recording {
+        (trials / (threads * 8)).clamp(1, 64)
+    } else {
+        1
+    };
+    let n_chunks = trials.div_ceil(chunk);
+    // The admission window, in chunks: bounds the reorder buffer at
+    // O(threads) chunks (the historical O(threads) records when chunk
+    // is 1; at most window · 64 small records otherwise).
     let window = threads * 8;
     let pace = Pace::new();
     let mut trial_err: Option<(usize, SimError)> = None;
     let mut observer_err: Option<SimError> = None;
-    let (tx, rx) = mpsc::sync_channel::<Result<TrialRecord, (usize, SimError)>>(window);
+    type ChunkMsg = Result<(usize, Vec<TrialRecord>), (usize, SimError)>;
+    let (tx, rx) = mpsc::sync_channel::<ChunkMsg>(window);
     std::thread::scope(|scope| {
         for tid in 0..threads {
             let base = base.clone();
             let tx = tx.clone();
             let pace = &pace;
             scope.spawn(move || {
+                let mut ws = SimWorkspace::new();
                 let mut net = make_net();
-                let mut run_one = make_runner::<N>(make_proto(), config, use_event);
+                let mut run_one = make_runner::<N>(make_proto(), config, use_event, reuse);
                 let start = start.unwrap_or_else(|| net.suggested_start());
-                let mut i = tid;
-                while i < trials && pace.admit(i, window) {
-                    let mut rng = base.derive(i as u64);
-                    let seed = rng.base_seed();
-                    let msg = match run_one(&mut net, start, &mut rng) {
-                        Ok(outcome) => Ok(TrialRecord::from_outcome(i, seed, outcome, recording)),
-                        Err(e) => Err((i, e)),
-                    };
-                    let stop = msg.is_err();
-                    if tx.send(msg).is_err() || stop {
+                let mut c = tid;
+                while c < n_chunks && pace.admit(c, window) {
+                    let lo = c * chunk;
+                    let hi = (lo + chunk).min(trials);
+                    let mut records = Vec::with_capacity(hi - lo);
+                    let mut failed: Option<(usize, SimError)> = None;
+                    for i in lo..hi {
+                        let mut rng = base.derive(i as u64);
+                        let seed = rng.base_seed();
+                        match run_one(&mut ws, &mut net, start, i, seed, &mut rng) {
+                            Ok(record) => records.push(record),
+                            Err(e) => {
+                                failed = Some((i, e));
+                                break;
+                            }
+                        }
+                    }
+                    let stop = failed.is_some();
+                    if !records.is_empty() && tx.send(Ok((lo, records))).is_err() {
                         break;
                     }
-                    i += threads;
+                    if let Some(fail) = failed {
+                        let _ = tx.send(Err(fail));
+                    }
+                    if stop {
+                        break;
+                    }
+                    c += threads;
                 }
             });
         }
@@ -486,27 +606,32 @@ fn run_trials<N: DynamicNetwork>(
 
         // The receiver always keeps draining (never leaves a worker
         // blocked on a full channel); after an abort it only discards.
-        let mut pending: BTreeMap<usize, TrialRecord> = BTreeMap::new();
-        let mut next = 0usize;
-        for msg in rx {
+        // Chunks are keyed by their first trial index; a chunk cut short
+        // by a trial error delivers its prefix and then stalls the
+        // frontier at the failed index, exactly like the per-trial path.
+        let mut pending: BTreeMap<usize, Vec<TrialRecord>> = BTreeMap::new();
+        let mut next = 0usize; // next trial index to deliver
+        let mut next_chunk = 0usize; // pacing frontier, in chunks
+        'drain: for msg in rx {
             match msg {
-                Ok(record) if observer_err.is_none() => {
-                    pending.insert(record.trial, record);
-                    while let Some(record) = pending.remove(&next) {
-                        match deliver(record) {
-                            Ok(()) => {
-                                next += 1;
-                                pace.advance(next);
-                            }
-                            Err(e) => {
-                                // Delivery is dead: cancel the workers,
-                                // drop anything buffered.
-                                observer_err = Some(e);
-                                pending.clear();
-                                pace.abort();
-                                break;
+                Ok((lo, records)) if observer_err.is_none() => {
+                    pending.insert(lo, records);
+                    while let Some(records) = pending.remove(&next) {
+                        for record in records {
+                            match deliver(record) {
+                                Ok(_) => next += 1,
+                                Err(e) => {
+                                    // Delivery is dead: cancel the
+                                    // workers, drop anything buffered.
+                                    observer_err = Some(e);
+                                    pending.clear();
+                                    pace.abort();
+                                    continue 'drain;
+                                }
                             }
                         }
+                        next_chunk += 1;
+                        pace.advance(next_chunk);
                     }
                 }
                 Ok(_) => {}

@@ -1,0 +1,276 @@
+//! The reusable per-worker scratch arena for the trial hot path.
+//!
+//! Every trial of every experiment needs the same transient state: an
+//! informed-set bitset, a trajectory buffer, the cut-rate simulator's
+//! Fenwick storage and uninformed pools, and delta-repair scratch. Before
+//! the workspace refactor each trial allocated all of it from scratch
+//! (`NodeSet::new(n)`, `FenwickSampler::new(n)`, pool vectors grown by
+//! push) and dropped it at trial end — so small-`n` / high-trial sweeps
+//! spent a large share of their wall clock in the allocator and in
+//! re-zeroing fresh memory.
+//!
+//! [`SimWorkspace`] is the fix: one arena per worker thread, threaded by
+//! `&mut` through [`crate::EventSimulation::run_in`],
+//! [`crate::Simulation::run_in`], the [`crate::IncrementalProtocol`]
+//! rebuild/repair hooks, and the [`crate::RunPlan`] trial loop. A trial
+//! *checks out* its buffers at start and the driver *returns* them after
+//! the [`crate::TrialRecord`] is assembled, so steady-state trial setup
+//! performs no allocation at all.
+
+use gossip_graph::{NodeId, NodeSet};
+use gossip_stats::FenwickSampler;
+
+/// A uniform sampler over a shrinking set of nodes: O(1) removal by
+/// swap-remove, O(1) uniform draws, refilled in place across trials.
+///
+/// This is the uninformed-pool structure of the closed-form cut-rate
+/// states (implicit complete / star / bipartite backends). It lives here
+/// so [`SimWorkspace`] can retain the `members`/`pos` allocations between
+/// trials; [`ShrinkPool::reset_from`] refills them without growing.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ShrinkPool {
+    pub(crate) members: Vec<NodeId>,
+    /// `pos[v]` = index of `v` in `members`, or `ABSENT`.
+    pos: Vec<u32>,
+}
+
+pub(crate) const ABSENT: u32 = u32::MAX;
+
+impl ShrinkPool {
+    /// Refills the pool over universe `0..n` from a membership predicate,
+    /// reusing the retained allocations (allocation-free once `members`
+    /// and `pos` have ever held `n` entries). Members end up in ascending
+    /// node order — exactly the order a freshly built pool would have, so
+    /// uniform draws consume the RNG identically either way.
+    pub(crate) fn reset_from(&mut self, n: usize, mut member: impl FnMut(NodeId) -> bool) {
+        self.members.clear();
+        self.members.reserve(n);
+        self.pos.clear();
+        self.pos.resize(n, ABSENT);
+        for v in 0..n as NodeId {
+            if member(v) {
+                self.pos[v as usize] = self.members.len() as u32;
+                self.members.push(v);
+            }
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    pub(crate) fn contains(&self, v: NodeId) -> bool {
+        self.pos[v as usize] != ABSENT
+    }
+
+    pub(crate) fn remove(&mut self, v: NodeId) {
+        let i = self.pos[v as usize];
+        debug_assert_ne!(i, ABSENT, "node {v} not in the pool");
+        let i = i as usize;
+        let last = *self.members.last().expect("non-empty: v is a member");
+        self.members.swap_remove(i);
+        self.pos[v as usize] = ABSENT;
+        if last != v {
+            self.pos[last as usize] = i as u32;
+        }
+    }
+
+    pub(crate) fn sample(&self, rng: &mut gossip_stats::SimRng) -> NodeId {
+        self.members[rng.index(self.members.len())]
+    }
+}
+
+/// Reusable per-worker scratch for the trial hot path.
+///
+/// One workspace serves one worker thread for the lifetime of a trial
+/// batch (or a whole sweep). Each engine run checks buffers out
+/// ([`crate::EventSimulation::run_in`] / [`crate::Simulation::run_in`]),
+/// and [`crate::RunPlan`] returns them once the trial's record has been
+/// assembled, so steady-state trials allocate nothing.
+///
+/// # Reset invariants
+///
+/// Checked-out state is indistinguishable from freshly allocated state:
+///
+/// * the informed [`NodeSet`] comes back cleared (empty, right universe);
+/// * the trajectory buffer comes back empty (capacity retained);
+/// * Fenwick storage is handed to
+///   [`FenwickSampler::rebuild_into`], whose result is bit-identical to
+///   `FenwickSampler::new(n)` + the same bulk build;
+/// * [`ShrinkPool::reset_from`] refills pools in ascending node order,
+///   exactly as a freshly grown pool;
+/// * delta-repair scratch is cleared before every use.
+///
+/// # Why RNG draw order is unchanged
+///
+/// The workspace only changes *where bytes live*, never *what the
+/// simulator does*: every data structure a trial checks out is reset to
+/// the exact logical state a fresh allocation would have, and no code
+/// path consults the workspace to make a decision. Every random draw —
+/// exponential gaps, Fenwick descents, pool picks, loss/downtime coin
+/// flips — therefore happens at the same point of the same stream with
+/// the same outcome, and trial summaries are bit-identical between the
+/// workspace-reuse and fresh-allocation paths (test-enforced in
+/// `tests/workspace_equivalence.rs`).
+#[derive(Debug, Default)]
+pub struct SimWorkspace {
+    informed: Option<NodeSet>,
+    trajectory: Option<Vec<(f64, usize)>>,
+    fenwick: Option<FenwickSampler>,
+    pools: Vec<ShrinkPool>,
+    stale: Option<Vec<NodeId>>,
+}
+
+impl SimWorkspace {
+    /// An empty workspace; buffers are grown on first use and retained
+    /// afterwards.
+    pub fn new() -> Self {
+        SimWorkspace::default()
+    }
+
+    /// Checks out a cleared informed set over universe `0..n`, reusing
+    /// the retained bitset when its universe matches.
+    pub(crate) fn take_informed(&mut self, n: usize) -> NodeSet {
+        match self.informed.take() {
+            Some(mut set) if set.universe() == n => {
+                set.clear();
+                set
+            }
+            _ => NodeSet::new(n),
+        }
+    }
+
+    /// Returns an informed set for reuse by the next trial.
+    pub(crate) fn put_informed(&mut self, set: NodeSet) {
+        self.informed = Some(set);
+    }
+
+    /// Checks out an empty trajectory buffer (capacity retained).
+    pub(crate) fn take_trajectory(&mut self) -> Vec<(f64, usize)> {
+        let mut buf = self.trajectory.take().unwrap_or_default();
+        buf.clear();
+        buf
+    }
+
+    /// Returns a trajectory buffer for reuse by the next trial.
+    pub(crate) fn put_trajectory(&mut self, buf: Vec<(f64, usize)>) {
+        self.trajectory = Some(buf);
+    }
+
+    /// Checks out the retained Fenwick storage, if any. Callers size it
+    /// with [`FenwickSampler::rebuild_into`] / [`FenwickSampler::reset`].
+    pub(crate) fn take_fenwick(&mut self) -> Option<FenwickSampler> {
+        self.fenwick.take()
+    }
+
+    /// Returns Fenwick storage for reuse by the next trial.
+    pub(crate) fn put_fenwick(&mut self, f: FenwickSampler) {
+        self.fenwick = Some(f);
+    }
+
+    /// Checks out a pool (dirty; callers refill via
+    /// [`ShrinkPool::reset_from`]).
+    pub(crate) fn take_pool(&mut self) -> ShrinkPool {
+        self.pools.pop().unwrap_or_default()
+    }
+
+    /// Returns a pool for reuse by the next trial.
+    pub(crate) fn put_pool(&mut self, pool: ShrinkPool) {
+        // Two suffice for every rate state (bipartite uses a pair).
+        if self.pools.len() < 2 {
+            self.pools.push(pool);
+        }
+    }
+
+    /// Checks out the cleared delta-repair scratch vector.
+    pub(crate) fn take_stale(&mut self) -> Vec<NodeId> {
+        let mut buf = self.stale.take().unwrap_or_default();
+        buf.clear();
+        buf
+    }
+
+    /// Returns the delta-repair scratch.
+    pub(crate) fn put_stale(&mut self, buf: Vec<NodeId>) {
+        self.stale = Some(buf);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gossip_stats::SimRng;
+
+    #[test]
+    fn informed_reuse_matches_fresh() {
+        let mut ws = SimWorkspace::new();
+        let mut set = ws.take_informed(70);
+        set.insert(3);
+        set.insert(69);
+        ws.put_informed(set);
+        // Same universe: cleared in place.
+        let set = ws.take_informed(70);
+        assert_eq!(set.len(), 0);
+        assert_eq!(set.universe(), 70);
+        ws.put_informed(set);
+        // Different universe: fresh set.
+        let set = ws.take_informed(10);
+        assert_eq!(set.universe(), 10);
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    fn trajectory_and_stale_come_back_empty() {
+        let mut ws = SimWorkspace::new();
+        let mut t = ws.take_trajectory();
+        t.push((0.5, 3));
+        let cap = t.capacity();
+        ws.put_trajectory(t);
+        let t = ws.take_trajectory();
+        assert!(t.is_empty());
+        assert_eq!(t.capacity(), cap, "capacity must be retained");
+
+        let mut s = ws.take_stale();
+        s.push(7);
+        ws.put_stale(s);
+        assert!(ws.take_stale().is_empty());
+    }
+
+    #[test]
+    fn shrink_pool_reset_matches_fresh_build() {
+        let mut reused = ShrinkPool::default();
+        reused.reset_from(50, |_| true);
+        while reused.len() > 10 {
+            let v = reused.members[reused.len() / 2];
+            reused.remove(v);
+        }
+        // Refill over a different universe with a predicate; compare with
+        // a never-used pool.
+        let member = |v: NodeId| !v.is_multiple_of(3);
+        reused.reset_from(31, member);
+        let mut fresh = ShrinkPool::default();
+        fresh.reset_from(31, member);
+        assert_eq!(reused.members, fresh.members);
+        for v in 0..31 {
+            assert_eq!(reused.contains(v), fresh.contains(v), "node {v}");
+        }
+        // Same draws on both.
+        let mut r1 = SimRng::seed_from_u64(4);
+        let mut r2 = SimRng::seed_from_u64(4);
+        for _ in 0..100 {
+            assert_eq!(reused.sample(&mut r1), fresh.sample(&mut r2));
+        }
+    }
+
+    #[test]
+    fn pool_storage_caps_at_a_pair() {
+        let mut ws = SimWorkspace::new();
+        for _ in 0..4 {
+            ws.put_pool(ShrinkPool::default());
+        }
+        assert_eq!(ws.pools.len(), 2);
+        let _ = ws.take_pool();
+        let _ = ws.take_pool();
+        let _ = ws.take_pool(); // empty: default
+        assert!(ws.pools.is_empty());
+    }
+}

@@ -114,6 +114,48 @@ impl FenwickSampler {
         self.total = 0.0;
     }
 
+    /// Repurposes this sampler for `n` indices, all weight zero, reusing
+    /// the existing allocations (allocation-free whenever the retained
+    /// capacity suffices — the point of keeping one sampler per worker
+    /// across many trials instead of `FenwickSampler::new` per trial).
+    ///
+    /// Equivalent to `*self = FenwickSampler::new(n)` in every observable
+    /// way: identical weights, prefix sums, and sampling behavior.
+    pub fn reset(&mut self, n: usize) {
+        self.tree.clear();
+        self.tree.resize(n + 1, 0.0);
+        self.weights.clear();
+        self.weights.resize(n, 0.0);
+        self.total = 0.0;
+    }
+
+    /// [`FenwickSampler::reset`] to `n` indices and
+    /// [`FenwickSampler::set_bulk`] in one call, skipping the intermediate
+    /// zeroing: `edit` receives the raw `n`-length weight slice (with
+    /// arbitrary stale contents — it must overwrite every index it wants
+    /// defined *and* every index it wants zero), then the tree is rebuilt
+    /// bottom-up in O(n) total.
+    ///
+    /// This is the cross-trial rebuild path of the cut-rate simulator: the
+    /// same tree value serves every trial, and each trial's first rebuild
+    /// overwrites the previous trial's residue wholesale. The resulting
+    /// sampler state is bit-identical to a freshly allocated
+    /// `FenwickSampler::new(n)` followed by the same `set_bulk`.
+    ///
+    /// # Errors
+    ///
+    /// As [`FenwickSampler::set_bulk`] (sampler left cleared at size `n`).
+    pub fn rebuild_into(
+        &mut self,
+        n: usize,
+        edit: impl FnOnce(&mut [f64]),
+    ) -> Result<(), StatsError> {
+        if self.weights.len() != n {
+            self.reset(n);
+        }
+        self.set_bulk(edit)
+    }
+
     /// Applies a batch of weight mutations through `edit` (a mutable view
     /// of the raw weight array), then rebuilds the tree in **O(n)** total.
     ///
@@ -266,6 +308,76 @@ mod tests {
         bulk.add(1, 2.5).unwrap();
         point.add(1, 2.5).unwrap();
         assert!((point.prefix_sum(8) - bulk.prefix_sum(8)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_matches_fresh_sampler() {
+        let mut reused = FenwickSampler::new(16);
+        for i in 0..16 {
+            reused.set(i, (i % 5) as f64 + 0.25).unwrap();
+        }
+        // Shrink, grow, and same-size resets all behave like `new(n)`.
+        for n in [7usize, 16, 31, 3] {
+            reused.reset(n);
+            let fresh = FenwickSampler::new(n);
+            assert_eq!(reused.len(), n);
+            assert_eq!(reused.total(), 0.0);
+            for i in 0..n {
+                assert_eq!(reused.weight(i), fresh.weight(i));
+                assert_eq!(reused.prefix_sum(i), fresh.prefix_sum(i));
+            }
+            // And stays fully usable after the reset.
+            reused.set(n / 2, 2.0).unwrap();
+            assert_eq!(reused.weight(n / 2), 2.0);
+        }
+    }
+
+    #[test]
+    fn rebuild_into_bit_identical_to_fresh() {
+        let weights = [0.5, 0.0, 3.0, 1.25, 0.0, 2.0, 0.75];
+        // Dirty sampler of a *different* size, rebuilt in place.
+        let mut reused = FenwickSampler::new(12);
+        for i in 0..12 {
+            reused.set(i, i as f64 + 0.5).unwrap();
+        }
+        reused
+            .rebuild_into(7, |w| w.copy_from_slice(&weights))
+            .unwrap();
+        let mut fresh = FenwickSampler::new(7);
+        fresh.set_bulk(|w| w.copy_from_slice(&weights)).unwrap();
+        assert_eq!(reused.total().to_bits(), fresh.total().to_bits());
+        for i in 0..7 {
+            assert_eq!(reused.weight(i).to_bits(), fresh.weight(i).to_bits());
+            assert_eq!(
+                reused.prefix_sum(i).to_bits(),
+                fresh.prefix_sum(i).to_bits(),
+                "prefix {i}"
+            );
+        }
+        // Same size: stale contents must still be overwritten by `edit`.
+        let mut same = FenwickSampler::new(7);
+        same.set(3, 9.0).unwrap();
+        same.rebuild_into(7, |w| w.copy_from_slice(&weights))
+            .unwrap();
+        for i in 0..7 {
+            assert_eq!(same.weight(i).to_bits(), fresh.weight(i).to_bits());
+        }
+        // Identical descent ⇒ identical samples.
+        let mut r1 = SimRng::seed_from_u64(8);
+        let mut r2 = SimRng::seed_from_u64(8);
+        for _ in 0..200 {
+            assert_eq!(reused.sample(&mut r1), fresh.sample(&mut r2));
+        }
+    }
+
+    #[test]
+    fn rebuild_into_rejects_bad_weights() {
+        let mut s = FenwickSampler::new(4);
+        assert!(s.rebuild_into(6, |w| w[1] = f64::NAN).is_err());
+        assert_eq!(s.len(), 6);
+        assert_eq!(s.total(), 0.0);
+        assert!(s.rebuild_into(6, |w| w.fill(1.0)).is_ok());
+        assert_eq!(s.total(), 6.0);
     }
 
     #[test]
