@@ -22,6 +22,28 @@
 //!   `backend_speedup/gnp/<n>` metric is the end-to-end per-trial cost
 //!   ratio of the two representations.
 //!
+//! * `inner_loop` — scalar vs vectorized event loop on the cells the
+//!   inner-loop rework targets: simulator-bound sparse `G(n, p)` (mean
+//!   degree 100–200) and a spread-offset d = 128 circulant, single
+//!   thread, ns/event. Scalar and vectorized runs are interleaved in
+//!   pairs and the reported `inner_loop_speedup/<family>/<n>` is the
+//!   median of per-pair ratios, so slow machine-state drift (thermal,
+//!   cache pressure from neighboring groups) cancels instead of biasing
+//!   one side. Acceptance bar: ≥ 5.0 on every cell.
+//! * `sweep_parallel` — a whole 8-cell sweep through
+//!   [`gossip_core::scenario::SweepPlan`], sequential cells vs
+//!   `cell_parallel` work stealing over the same thread budget. On a
+//!   single-core host the ratio is ≈ 1 (the scheduler only rearranges
+//!   work, observer order is fixed); the key documents the measured
+//!   shape rather than promising a win.
+//! * `huge_trial` — one n = 10⁷ sparse sampled `G(n, p)` trial
+//!   (mean degree ≈ 8), horizon-bounded at t = 7.0: full spread on a
+//!   graph this size is DRAM-bound for tens of seconds, so the bench
+//!   times the horizon-bounded trial (≈ 10⁵ informative events) after
+//!   one unmeasured warm-up trial pays the page-fault cost of first
+//!   touch. Adjacency realization is warmed outside the timed region.
+//!   Acceptance bar: < 1 s (asserted in-process).
+//!
 //! Metrics written to `BENCH_engine.json` (workspace root):
 //! `speedup/<family>/<n>` = window ÷ event per backend,
 //! `backend_speedup/complete/<n>` = materialized-event ÷ implicit-event,
@@ -32,9 +54,17 @@
 //! realization across a sweep's trials),
 //! `generation_speedup/gnp/<n>` = pre-refactor per-pair scan ÷
 //! geometric-skip generation (the `Θ(n²)` → `O(n + n²p)` drop itself),
-//! and `runplan_overhead/complete/<n>` = `RunPlan::execute` ÷ raw trial
+//! `runplan_overhead/complete/<n>` = `RunPlan::execute` ÷ raw trial
 //! loop on the identical workload (the unified driver must stay under
-//! 1.02, i.e. < 2% added).
+//! 1.02, i.e. < 2% added),
+//! `inner_loop_speedup/<family>/<n>` = scalar ÷ vectorized ns/event
+//! (paired-median; `inner_loop/<family>-{scalar,fast}/<n>` carry the
+//! absolute ns/event figures),
+//! `sweep_parallel_speedup/complete/<cells>` = sequential ÷
+//! cell-parallel sweep wall clock, and
+//! `huge_trial/gnp/10000000` = seconds for the horizon-bounded n = 10⁷
+//! trial (with `huge_trial_events/gnp/10000000` informative events
+//! resolved inside the horizon).
 //!
 //! Env knobs:
 //! * `BENCH_ENGINE_SMOKE=1` — one fast iteration per group, no JSON
@@ -47,11 +77,15 @@
 //! Run with: `cargo bench -p gossip-bench --bench engine`
 
 use criterion::{BenchmarkId, Criterion};
+use gossip_core::scenario::{FamilySpec, ProtocolSpec, ScenarioSpec, SweepPlan, SweepSpec};
 use gossip_dynamics::{DynamicNetwork, StaticNetwork};
 use gossip_graph::{generators, Topology};
-use gossip_sim::{AnyProtocol, CutRateAsync, EventSimulation, RunConfig, RunPlan, Simulation};
+use gossip_sim::{
+    AnyProtocol, CutRateAsync, Engine, EventSimulation, IncrementalProtocol, RunConfig, RunPlan,
+    Simulation,
+};
 use gossip_stats::SimRng;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 const CIRCULANT_DEGREE: usize = 16;
 
@@ -364,6 +398,206 @@ fn bench_runplan_overhead(c: &mut Criterion, n: usize, knobs: &Knobs) {
     println!("runplan overhead at n = {n}: {:.4}x", plan / raw);
 }
 
+/// Sparse circulant whose offsets *spread* across the index range
+/// instead of clustering near the diagonal.
+///
+/// A plain `regular_circulant` keeps every neighbor within ±d/2 of the
+/// node, so the scalar Fenwick walk enjoys near-perfect cache locality
+/// and the cell measures memory latency rather than the sampling
+/// algorithm. Spreading the offsets (first offset 1 keeps the ring
+/// connected; the rest land on odd strides across [1, n/2)) restores
+/// the scattered-access pattern a real sparse graph has.
+fn spread_circulant(n: usize, half_deg: usize) -> Topology {
+    let offsets: Vec<usize> = (1..=half_deg)
+        .map(|i| {
+            if i == 1 {
+                1
+            } else {
+                ((i * (n / 2 - 3)) / (half_deg + 1)) | 1
+            }
+        })
+        .collect();
+    Topology::materialized(generators::circulant(n, &offsets).unwrap())
+}
+
+/// Scalar vs vectorized event inner loop, in ns per informative event.
+///
+/// Single thread, single process, `RunPlan` at `vectorized(false)` vs
+/// `vectorized(true)` on the identical plan — the measured gap is
+/// exactly the inner-loop rework (SoA rate state, word-level bitset
+/// scans, batched uniforms, rejection sampling in place of Fenwick
+/// descent). Runs are **paired**: each rep times one scalar batch then
+/// one vectorized batch back-to-back and contributes one ratio; the
+/// metric is the median ratio across reps, after one unmeasured
+/// warm-up pair. Pairing is load-bearing — back-to-back bench groups
+/// shift cache/thermal state enough to swing an unpaired ratio by
+/// ±15%, while a pair sees near-identical machine state.
+fn bench_inner_loop<F>(
+    c: &mut Criterion,
+    family: &str,
+    n: usize,
+    trials: usize,
+    knobs: &Knobs,
+    make_net: F,
+) where
+    F: Fn() -> StaticNetwork + Sync + Copy,
+{
+    let trials = if knobs.smoke { trials.min(16) } else { trials };
+    let reps = if knobs.smoke { 1 } else { 5 };
+
+    let measure = |vectorized: bool| -> f64 {
+        let report = RunPlan::new(trials, 99)
+            .engine(Engine::Event)
+            .threads(1)
+            .vectorized(vectorized)
+            .execute(make_net, || AnyProtocol::event(CutRateAsync::new()))
+            .expect("valid plan");
+        assert_eq!(
+            report.completed(),
+            trials,
+            "inner_loop/{family}/{n}: {} of {trials} trials completed",
+            report.completed()
+        );
+        report.elapsed().as_nanos() as f64 / report.events() as f64
+    };
+
+    // Warm-up pair: realizes lazy adjacency, faults in the working set,
+    // and settles the branch predictors before anything is recorded.
+    let _ = measure(false);
+    let _ = measure(true);
+
+    let mut scalar = Vec::with_capacity(reps);
+    let mut fast = Vec::with_capacity(reps);
+    let mut ratios = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let s = measure(false);
+        let f = measure(true);
+        scalar.push(s);
+        fast.push(f);
+        ratios.push(s / f);
+    }
+    scalar.sort_by(f64::total_cmp);
+    fast.sort_by(f64::total_cmp);
+    ratios.sort_by(f64::total_cmp);
+    let (s_med, f_med, ratio) = (scalar[reps / 2], fast[reps / 2], ratios[reps / 2]);
+    println!(
+        "inner_loop/{family}/{n}: scalar {s_med:.1} ns/event, vectorized {f_med:.1} ns/event, \
+         paired speedup {ratio:.2}x (pair range {:.2}-{:.2})",
+        ratios[0],
+        ratios[reps - 1]
+    );
+    if !knobs.smoke && ratio < 5.0 {
+        println!("WARNING: inner_loop_speedup/{family}/{n} = {ratio:.2} below the 5.0 bar");
+    }
+    c.record_metric(format!("inner_loop/{family}-scalar/{n}"), s_med);
+    c.record_metric(format!("inner_loop/{family}-fast/{n}"), f_med);
+    c.record_metric(format!("inner_loop_speedup/{family}/{n}"), ratio);
+}
+
+/// Whole-sweep wall clock: sequential cells vs `cell_parallel` work
+/// stealing, through the same [`SweepPlan`] entry point the CLI uses.
+///
+/// Both modes produce bit-identical reports (test-enforced in
+/// `gossip-core`); the measured gap is purely the scheduler. The cells
+/// are deliberately small complete graphs so per-cell runtime is
+/// driver-scale and scheduling overhead is visible. On a host with
+/// fewer cores than cells the ratio sits near 1 — cell-level stealing
+/// only wins when idle cores exist that per-cell trial parallelism
+/// cannot fill (few trials, many cells) — so the recorded
+/// `sweep_parallel_speedup/complete/<cells>` is a measured shape, not
+/// an acceptance bar.
+fn bench_sweep_parallel(c: &mut Criterion, knobs: &Knobs) {
+    const CELLS: usize = 8;
+    let trials = if knobs.smoke { 16 } else { 512 };
+    let reps = if knobs.smoke { 1 } else { 5 };
+
+    let spec = |cell_parallel: bool| ScenarioSpec {
+        name: "bench-sweep-parallel".into(),
+        description: None,
+        family: FamilySpec::new("complete"),
+        protocol: ProtocolSpec::new("async"),
+        sweep: SweepSpec {
+            trials: Some(trials),
+            seed: Some(7),
+            cell_parallel: Some(cell_parallel),
+            ..SweepSpec::over((100..100 + CELLS).collect())
+        },
+    };
+    let sequential = spec(false);
+    let parallel = spec(true);
+    let measure = |spec: &ScenarioSpec| -> f64 {
+        let plan = SweepPlan::new(spec).expect("valid spec");
+        let t0 = Instant::now();
+        let report = plan.run().expect("sweep runs");
+        let elapsed = t0.elapsed().as_secs_f64();
+        assert_eq!(report.rows.len(), CELLS);
+        assert!(report.rows.iter().all(|r| r.completed == trials));
+        elapsed
+    };
+
+    let _ = measure(&sequential);
+    let _ = measure(&parallel);
+    let mut ratios = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let seq = measure(&sequential);
+        let par = measure(&parallel);
+        ratios.push(seq / par);
+    }
+    ratios.sort_by(f64::total_cmp);
+    let ratio = ratios[reps / 2];
+    println!("sweep_parallel/complete/{CELLS}: sequential / cell_parallel = {ratio:.2}x");
+    c.record_metric(format!("sweep_parallel_speedup/complete/{CELLS}"), ratio);
+}
+
+/// One n = 10⁷ sparse sampled `G(n, p)` trial, horizon-bounded.
+///
+/// Mean degree ≈ 8, horizon t = 7.0 (full spread at this size is
+/// DRAM-bound for tens of seconds; the horizon-bounded trial resolves
+/// ≈ 10⁵ informative events and is what `scenarios/gnp-huge.toml`
+/// runs). The adjacency is realized by a degree sweep *outside* the
+/// timed region, and one unmeasured warm-up trial pays the first-touch
+/// page-fault cost; the recorded figure is the median of three timed
+/// trials on the warm graph. The < 1 s acceptance bar is asserted
+/// in-process so a regression fails the bench run loudly.
+fn bench_huge_trial(c: &mut Criterion) {
+    const N: usize = 10_000_000;
+    const HORIZON: f64 = 7.0;
+    let p = 8.0 / (N as f64 - 1.0);
+    let topology = Topology::gnp(N, p, 777).expect("valid parameters");
+    let t0 = Instant::now();
+    let mut degsum = 0u64;
+    for v in 0..N as u32 {
+        degsum += topology.degree(v) as u64;
+    }
+    println!(
+        "huge_trial: realized adjacency in {:.2}s (mean degree {:.2})",
+        t0.elapsed().as_secs_f64(),
+        degsum as f64 / N as f64
+    );
+
+    let run = || {
+        let mut proto = CutRateAsync::new();
+        proto.set_vectorized(true);
+        let mut sim = EventSimulation::new(proto, RunConfig::with_max_time(HORIZON));
+        let mut net = StaticNetwork::from_topology(topology.clone());
+        let mut rng = SimRng::seed_from_u64(1).derive(7);
+        let t0 = Instant::now();
+        let o = sim.run(&mut net, 0, &mut rng).expect("valid");
+        (t0.elapsed().as_secs_f64(), o.events())
+    };
+    let _ = run(); // warm-up: first touch of informed bitset + frontier
+    let mut timed: Vec<(f64, u64)> = (0..3).map(|_| run()).collect();
+    timed.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let (secs, events) = timed[1];
+    println!("huge_trial/gnp/{N}: {secs:.3}s for {events} events inside t = {HORIZON}");
+    c.record_metric("huge_trial/gnp/10000000", secs);
+    c.record_metric("huge_trial_events/gnp/10000000", events as f64);
+    assert!(
+        secs < 1.0,
+        "n = 1e7 horizon-bounded trial took {secs:.3}s (bar: < 1s)"
+    );
+}
+
 fn main() {
     let knobs = Knobs {
         smoke: std::env::var("BENCH_ENGINE_SMOKE").is_ok_and(|v| v == "1"),
@@ -435,6 +669,46 @@ fn main() {
         bench_gnp(&mut c, n, &knobs);
     }
 
+    // Scalar vs vectorized event inner loop, single thread, paired
+    // reps. Topologies are hoisted and `Arc`-shared so realization is
+    // paid once, outside every timed batch; mean degrees (100, 200,
+    // d = 128) put the cells squarely in simulator-bound territory
+    // where the Fenwick-walk vs rejection-sampler gap is the story.
+    {
+        let gnp_1k = Topology::gnp(1_000, 100.0 / 999.0, 123).expect("valid parameters");
+        bench_inner_loop(&mut c, "gnp", 1_000, 256, &knobs, || {
+            StaticNetwork::from_topology(gnp_1k.clone())
+        });
+        let gnp_10k = Topology::gnp(10_000, 200.0 / 9_999.0, 123).expect("valid parameters");
+        bench_inner_loop(&mut c, "gnp", 10_000, 32, &knobs, || {
+            StaticNetwork::from_topology(gnp_10k.clone())
+        });
+        let circ_1k = spread_circulant(1_000, 64);
+        bench_inner_loop(&mut c, "circulant", 1_000, 256, &knobs, || {
+            StaticNetwork::from_topology(circ_1k.clone())
+        });
+        let circ_10k = spread_circulant(10_000, 64);
+        bench_inner_loop(&mut c, "circulant", 10_000, 32, &knobs, || {
+            StaticNetwork::from_topology(circ_10k.clone())
+        });
+    }
+
+    // Sweep-level work stealing vs sequential cells through SweepPlan.
+    bench_sweep_parallel(&mut c, &knobs);
+
+    for key in [
+        "inner_loop_speedup/gnp/1000",
+        "inner_loop_speedup/gnp/10000",
+        "inner_loop_speedup/circulant/1000",
+        "inner_loop_speedup/circulant/10000",
+        "sweep_parallel_speedup/complete/8",
+    ] {
+        assert!(
+            c.metric(key).is_some(),
+            "{key} must be recorded (feeds BENCH_engine.json)"
+        );
+    }
+
     // Batched trial throughput: fresh-allocation vs workspace driver at
     // n ∈ {100, 1k, 10k} per family. Trial counts sized so one batch
     // runs tens of milliseconds; smoke mode caps them and only runs the
@@ -491,6 +765,10 @@ fn main() {
         println!("smoke mode: measurements not persisted");
         return;
     }
+
+    // The n = 1e7 horizon-bounded trial last: it faults in ~1 GB of
+    // adjacency, and nothing should time-share the machine with it.
+    bench_huge_trial(&mut c);
     // Cargo runs benches with the package directory as cwd; anchor the
     // summary at the workspace root instead.
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");

@@ -61,6 +61,8 @@ COMMON FLAGS:
     --histogram          render the spread-time distribution (run command)
     --fresh-alloc        disable per-worker workspace reuse (run command; A/B diagnostic,
                          bit-identical results, slower small-n throughput)
+    --scalar             force the scalar event-loop reference path (run command; A/B
+                         diagnostic, same distribution, different per-trial draws)
 
 EXAMPLES:
     gossip run --family regular --d 4 --n 256 --trials 50
@@ -221,6 +223,10 @@ pub fn run(args: &Args) -> Result<String, CliError> {
     // instead of the default per-worker workspace reuse (bit-identical
     // results, slower small-n throughput).
     let fresh_alloc = args.flag("fresh-alloc");
+    // A/B switch for the event engine's inner loop: force the scalar
+    // reference path instead of the default vectorized loop (same
+    // distribution, KS-enforced; per-trial draws differ).
+    let scalar = args.flag("scalar");
     let engine = gossip_core::scenario::parse_engine(args.opt("engine")?)?;
     let output = jsonl_output(args)?;
     if trials == 0 {
@@ -242,7 +248,8 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         .config(RunConfig::with_max_time(max_time))
         .engine(engine)
         .start_opt(start)
-        .workspace(!fresh_alloc);
+        .workspace(!fresh_alloc)
+        .vectorized(!scalar);
     if let Some((sink, _)) = jsonl.as_mut() {
         plan = plan.observer(sink);
     }
@@ -257,7 +264,12 @@ pub fn run(args: &Args) -> Result<String, CliError> {
     let mut out = String::new();
     let _ = writeln!(out, "family    : {family_name} (n = {n})");
     let _ = writeln!(out, "protocol  : {} ", report.protocol());
-    let _ = writeln!(out, "engine    : {}", report.engine().name());
+    let _ = writeln!(
+        out,
+        "engine    : {}{}",
+        report.engine().name(),
+        if scalar { " (scalar loop)" } else { "" }
+    );
     let _ = writeln!(out, "trials    : {trials} (seed {seed})");
     let _ = writeln!(
         out,
@@ -265,6 +277,13 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         summary.completed(),
         summary.trials(),
         100.0 * summary.completion_rate()
+    );
+    let _ = writeln!(
+        out,
+        "events    : {} total ({:.1}/trial, {:.0}/sec)",
+        report.events(),
+        report.events() as f64 / trials as f64,
+        report.events_per_sec()
     );
     if summary.completed() > 0 {
         let _ = writeln!(
@@ -555,6 +574,18 @@ mod tests {
         let out = run(&a).unwrap();
         assert!(out.contains("completed : 10/10"), "{out}");
         assert!(out.contains("median"), "{out}");
+        // Event accounting: cut-rate resolves exactly n - 1 informative
+        // events per complete trial, and the throughput figure rides along.
+        assert!(out.contains("events    : 230 total (23.0/trial"), "{out}");
+        assert!(out.contains("/sec)"), "{out}");
+    }
+
+    #[test]
+    fn run_scalar_flag_selects_the_reference_loop() {
+        let a = args("run --family complete --n 24 --trials 10 --seed 3 --scalar");
+        let out = run(&a).unwrap();
+        assert!(out.contains("engine    : event (scalar loop)"), "{out}");
+        assert!(out.contains("completed : 10/10"), "{out}");
     }
 
     #[test]

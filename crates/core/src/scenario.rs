@@ -41,8 +41,8 @@ use gossip_dynamics::{
 use gossip_graph::{generators, GraphError, Topology};
 use gossip_sim::{
     AnyProtocol, AsyncPull, AsyncPush, AsyncPushPull, CutRateAsync, Engine, Flooding, LossyAsync,
-    Protocol, RunConfig, RunPlan, SimError, SyncPull, SyncPush, SyncPushPull, TrialObserver,
-    TwoPush,
+    Protocol, RunConfig, RunPlan, RunReport, SimError, SyncPull, SyncPush, SyncPushPull,
+    TrialObserver, TrialRecord, TwoPush,
 };
 use gossip_stats::SimRng;
 use serde::{Deserialize, Serialize};
@@ -169,6 +169,23 @@ pub struct SweepSpec {
     /// ([`RunPlan::workspace`]). Results are bit-identical either way —
     /// the switch exists for A/B diagnostics.
     pub workspace: Option<bool>,
+    /// Event-engine inner loop: `true` (default) allows the vectorized
+    /// loop ([`RunPlan::vectorized`]); `false` forces the scalar
+    /// reference loop. Same distribution either way (KS-enforced), but
+    /// the vectorized loop consumes each trial's RNG stream in a
+    /// different order, so individual spread times differ under one seed.
+    pub vectorized: Option<bool>,
+    /// Global thread budget for the sweep (default: every available
+    /// core). Per-cell mode hands the whole budget to each size's
+    /// [`RunPlan`]; cell-parallel mode splits it across concurrent cells.
+    pub threads: Option<usize>,
+    /// Sweep-level parallelism: `true` schedules whole `(n, trials)`
+    /// cells across the thread budget (workers steal the next unclaimed
+    /// cell), instead of parallelizing only within one cell at a time.
+    /// Summaries and observer streams are bit-identical to the
+    /// sequential per-cell mode (test-enforced); pick cell-parallel for
+    /// many small cells, per-cell for few large ones.
+    pub cell_parallel: Option<bool>,
 }
 
 impl SweepSpec {
@@ -182,6 +199,9 @@ impl SweepSpec {
             engine: None,
             start: None,
             workspace: None,
+            vectorized: None,
+            threads: None,
+            cell_parallel: None,
         }
     }
 
@@ -772,6 +792,11 @@ impl ScenarioSpec {
                 "sweep.trials must be at least 1".into(),
             ));
         }
+        if self.sweep.threads == Some(0) {
+            return Err(ScenarioError::Invalid(
+                "sweep.threads must be at least 1 (omit it to use every available core)".into(),
+            ));
+        }
         let backend = BackendChoice::parse(self.family.backend.as_deref())?;
         // Sampled-family parameter validation: catch bad p / d here, with
         // targeted messages, instead of at build time deep inside a sweep
@@ -850,6 +875,9 @@ impl ScenarioSpec {
                 engine: Some("auto".into()),
                 start: None,
                 workspace: None,
+                vectorized: None,
+                threads: None,
+                cell_parallel: None,
             },
         }
     }
@@ -998,11 +1026,16 @@ impl<'s> SweepPlan<'s> {
     /// except `n`, which enters through the network builder at
     /// execution time.
     pub fn plan(&self) -> RunPlan<'static> {
-        RunPlan::new(self.trials, self.seed)
+        let mut plan = RunPlan::new(self.trials, self.seed)
             .config(self.config)
             .engine(self.engine)
             .start_opt(self.spec.sweep.start)
             .workspace(self.spec.sweep.workspace.unwrap_or(true))
+            .vectorized(self.spec.sweep.vectorized.unwrap_or(true));
+        if let Some(threads) = self.spec.sweep.threads {
+            plan = plan.threads(threads);
+        }
+        plan
     }
 
     /// Runs the whole sweep.
@@ -1035,6 +1068,9 @@ impl<'s> SweepPlan<'s> {
         observers: &mut [&mut dyn TrialObserver],
     ) -> Result<ScenarioReport, ScenarioError> {
         let spec = self.spec;
+        if spec.sweep.cell_parallel.unwrap_or(false) && spec.sweep.sizes.len() > 1 {
+            return self.run_cells_parallel(observers);
+        }
         let mut rows = Vec::with_capacity(spec.sweep.sizes.len());
         let mut resolved = self.engine;
         for &n in &spec.sweep.sizes {
@@ -1050,17 +1086,212 @@ impl<'s> SweepPlan<'s> {
                 || build_any_protocol(&spec.protocol).expect("probed at construction"),
             )?;
             resolved = report.engine();
-            rows.push(ScenarioRow {
-                n,
-                trials: report.trials(),
-                completed: report.completed(),
-                mean: report.mean(),
-                std_dev: report.std_dev(),
-                median: report.try_median(),
-                q95: report.try_whp_spread_time(),
-                max: report.try_max(),
+            rows.push(Self::row(n, &report));
+        }
+        Ok(ScenarioReport {
+            scenario: spec.name.clone(),
+            family: spec.family.kind.clone(),
+            protocol: self.protocol_name.to_string(),
+            engine: resolved.name().to_string(),
+            rows,
+        })
+    }
+
+    /// Condenses one cell's [`RunReport`] into its sweep row.
+    fn row(n: usize, report: &RunReport) -> ScenarioRow {
+        ScenarioRow {
+            n,
+            trials: report.trials(),
+            completed: report.completed(),
+            mean: report.mean(),
+            std_dev: report.std_dev(),
+            median: report.try_median(),
+            q95: report.try_whp_spread_time(),
+            max: report.try_max(),
+        }
+    }
+
+    /// Runs one `(n, trials)` cell on `threads` worker threads, buffering
+    /// its trial records for ordered delivery by the sweep scheduler.
+    ///
+    /// The cell's [`RunPlan`] strips trajectories exactly as it would for
+    /// directly attached observers: the buffer asks for them only when
+    /// some real observer does (sweeps never set explicit recording —
+    /// their config carries only the cutoff).
+    fn run_cell(
+        &self,
+        n: usize,
+        threads: usize,
+        wants_trajectory: bool,
+    ) -> Result<(Vec<TrialRecord>, RunReport), ScenarioError> {
+        let spec = self.spec;
+        // Probe the family first, as on the sequential path.
+        build_family(&spec.family, n)?;
+        struct Buffer {
+            records: Vec<TrialRecord>,
+            wants: bool,
+        }
+        impl TrialObserver for Buffer {
+            fn wants_trajectory(&self) -> bool {
+                self.wants
+            }
+            fn on_trial(&mut self, r: &TrialRecord) -> Result<(), SimError> {
+                self.records.push(r.clone());
+                Ok(())
+            }
+        }
+        let mut buf = Buffer {
+            records: Vec::new(),
+            wants: wants_trajectory,
+        };
+        let report = self.plan().threads(threads).observer(&mut buf).execute(
+            || build_family(&spec.family, n).expect("probed above"),
+            || build_any_protocol(&spec.protocol).expect("probed at construction"),
+        )?;
+        Ok((buf.records, report))
+    }
+
+    /// The sweep-level work-stealing scheduler: whole cells run
+    /// concurrently across the global thread budget instead of one cell
+    /// at a time.
+    ///
+    /// Workers claim the next unstarted cell from a shared counter (so a
+    /// straggler cell never idles the other workers), run it with an
+    /// equal slice of the thread budget, and ship the cell's buffered
+    /// records back to the calling thread, which re-sequences cells and
+    /// feeds observers **strictly in sweep order** — trial order within a
+    /// cell, cell order across the sweep, [`TrialObserver::finish`] after
+    /// each cell. Per-trial seeding is untouched (trial `i` of a cell
+    /// consumes the same `derive(i)` stream in every mode), so summaries
+    /// and observer streams are bit-identical to the sequential per-cell
+    /// path (test-enforced by `cell_parallel_sweep_matches_sequential`).
+    ///
+    /// A failing cell cancels the sweep: running cells finish, unclaimed
+    /// ones never start, and the error reported is the earliest failing
+    /// cell in sweep order — exactly what sequential execution would have
+    /// returned.
+    fn run_cells_parallel(
+        &self,
+        observers: &mut [&mut dyn TrialObserver],
+    ) -> Result<ScenarioReport, ScenarioError> {
+        use std::collections::BTreeMap;
+        use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+        let spec = self.spec;
+        let sizes = &spec.sweep.sizes;
+        let cells = sizes.len();
+        let avail = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        let budget = spec.sweep.threads.unwrap_or(avail).max(1);
+        let workers = budget.min(cells);
+        // Split the budget evenly across concurrent cells; results are
+        // thread-count invariant, so the split only shapes throughput.
+        let per_cell = (budget / workers).max(1);
+        if workers * per_cell > avail {
+            static OVERSUBSCRIBED: std::sync::Once = std::sync::Once::new();
+            OVERSUBSCRIBED.call_once(|| {
+                eprintln!(
+                    "warning: sweep.cell_parallel schedules {workers} cells x {per_cell} \
+                     thread(s) but only {avail} hardware thread(s) are available; \
+                     concurrent cells will time-share cores"
+                );
             });
         }
+        let wants_trajectory = observers.iter().any(|o| o.wants_trajectory());
+
+        let next_cell = AtomicUsize::new(0);
+        let abort = AtomicBool::new(false);
+        type CellResult = Result<(Vec<TrialRecord>, RunReport), ScenarioError>;
+        let (tx, rx) = std::sync::mpsc::channel::<(usize, CellResult)>();
+        let mut rows: Vec<ScenarioRow> = Vec::with_capacity(cells);
+        let mut resolved = self.engine;
+        let mut first_err: Option<ScenarioError> = None;
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let next_cell = &next_cell;
+                let abort = &abort;
+                scope.spawn(move || loop {
+                    // Check abort *before* claiming: every claimed cell
+                    // sends exactly one result, so the reorder frontier
+                    // below can never stall on a hole.
+                    if abort.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let c = next_cell.fetch_add(1, Ordering::Relaxed);
+                    if c >= cells {
+                        break;
+                    }
+                    let result = self.run_cell(sizes[c], per_cell, wants_trajectory);
+                    let failed = result.is_err();
+                    if tx.send((c, result)).is_err() || failed {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+
+            // Re-sequence cells and deliver in sweep order. Claims are
+            // monotone, so once cell c's result arrives, every earlier
+            // cell's result arrives too, and the frontier always clears.
+            let mut pending: BTreeMap<usize, CellResult> = BTreeMap::new();
+            let mut next = 0usize;
+            'drain: for (c, result) in &rx {
+                if first_err.is_some() {
+                    continue; // aborted: drain so workers never block
+                }
+                if result.is_err() {
+                    abort.store(true, Ordering::Relaxed);
+                }
+                pending.insert(c, result);
+                while let Some(result) = pending.remove(&next) {
+                    let (records, report) = match result {
+                        Ok(cell) => cell,
+                        Err(e) => {
+                            first_err = Some(e);
+                            pending.clear();
+                            continue 'drain;
+                        }
+                    };
+                    // Mirror RunPlan delivery: full record only to
+                    // observers that asked for the trajectory (a sweep
+                    // never sets explicit recording), finish per cell.
+                    let mut deliver = || -> Result<(), SimError> {
+                        for record in &records {
+                            for o in observers.iter_mut() {
+                                if o.wants_trajectory() {
+                                    o.on_trial(record)?;
+                                } else {
+                                    let stripped = TrialRecord {
+                                        trajectory: None,
+                                        ..record.clone()
+                                    };
+                                    o.on_trial(&stripped)?;
+                                }
+                            }
+                        }
+                        for o in observers.iter_mut() {
+                            o.finish()?;
+                        }
+                        Ok(())
+                    };
+                    if let Err(e) = deliver() {
+                        first_err = Some(ScenarioError::Sim(e));
+                        abort.store(true, Ordering::Relaxed);
+                        pending.clear();
+                        continue 'drain;
+                    }
+                    resolved = report.engine();
+                    rows.push(Self::row(sizes[next], &report));
+                    next += 1;
+                }
+            }
+        });
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+        debug_assert_eq!(rows.len(), cells);
         Ok(ScenarioReport {
             scenario: spec.name.clone(),
             family: spec.family.kind.clone(),
@@ -1230,6 +1461,77 @@ max_time = 1e4
         let mut spec = ScenarioSpec::template();
         spec.sweep.trials = Some(0);
         assert!(matches!(spec.validate(), Err(ScenarioError::Invalid(m)) if m.contains("trials")));
+        let mut spec = ScenarioSpec::template();
+        spec.sweep.threads = Some(0);
+        assert!(
+            matches!(spec.validate(), Err(ScenarioError::Invalid(m)) if m.contains("sweep.threads"))
+        );
+    }
+
+    #[test]
+    fn cell_parallel_sweep_matches_sequential_bit_for_bit() {
+        // The work-stealing cell scheduler must be invisible in the
+        // results: identical rows AND an identical observer stream
+        // (trial order within each cell, cell order across the sweep).
+        use gossip_sim::TrialRecord;
+        struct Stream(Vec<(usize, usize, u64)>);
+        impl gossip_sim::TrialObserver for Stream {
+            fn on_trial(&mut self, r: &TrialRecord) -> Result<(), SimError> {
+                self.0
+                    .push((r.n, r.trial, r.spread_time.map_or(0, f64::to_bits)));
+                Ok(())
+            }
+        }
+        let mut spec = ScenarioSpec::from_toml_str(TOML_SPEC).unwrap();
+        spec.sweep.sizes = vec![16, 24, 32, 48];
+        let mut seq_sink = Stream(Vec::new());
+        let sequential = SweepPlan::new(&spec)
+            .unwrap()
+            .run_with(&mut seq_sink)
+            .unwrap();
+
+        let mut par = spec.clone();
+        par.sweep.cell_parallel = Some(true);
+        // Deliberately oversubscribe a small box: exercises the warning
+        // path and the budget split without changing any result.
+        par.sweep.threads = Some(8);
+        let mut par_sink = Stream(Vec::new());
+        let parallel = SweepPlan::new(&par)
+            .unwrap()
+            .run_with(&mut par_sink)
+            .unwrap();
+
+        assert_eq!(sequential, parallel);
+        assert_eq!(seq_sink.0, par_sink.0);
+        // And the plain (observer-less) parallel run agrees too.
+        assert_eq!(run_scenario(&par).unwrap(), sequential);
+    }
+
+    #[test]
+    fn cell_parallel_sweep_cancels_on_a_failing_cell() {
+        // Cell 1 (n = 3) rejects the start override; the sweep must
+        // surface that error even though cells 0 and 2 succeed.
+        let mut spec = ScenarioSpec::from_toml_str(TOML_SPEC).unwrap();
+        spec.sweep.sizes = vec![16, 3, 32];
+        spec.sweep.start = Some(8);
+        spec.sweep.cell_parallel = Some(true);
+        spec.sweep.threads = Some(3);
+        let err = run_scenario(&spec).unwrap_err();
+        assert!(matches!(
+            err,
+            ScenarioError::Sim(SimError::StartOutOfRange { start: 8, n: 3 })
+        ));
+    }
+
+    #[test]
+    fn scalar_sweep_knob_runs_the_reference_loop() {
+        // vectorized = false stays a valid end-to-end configuration (the
+        // A/B reference); distribution equivalence itself is enforced in
+        // gossip-sim's vectorized_equivalence tests.
+        let mut spec = ScenarioSpec::from_toml_str(TOML_SPEC).unwrap();
+        spec.sweep.vectorized = Some(false);
+        let report = run_scenario(&spec).unwrap();
+        assert!(report.rows.iter().all(|r| r.completed == r.trials));
     }
 
     #[test]

@@ -142,8 +142,40 @@ impl NodeSet {
     }
 
     /// Iterates the complement (non-members) in increasing order.
-    pub fn iter_complement(&self) -> impl Iterator<Item = NodeId> + '_ {
-        (0..self.universe as NodeId).filter(move |&v| !self.contains(v))
+    ///
+    /// Word-at-a-time: each 64-node block costs one inverted load (plus one
+    /// trailing-zeros per produced member), so scanning the uninformed side
+    /// of a mostly-informed set touches `n / 64` words, not `n` bits.
+    pub fn iter_complement(&self) -> ComplementIter<'_> {
+        ComplementIter {
+            set: self,
+            word_idx: 0,
+            current: self.complement_word(0),
+        }
+    }
+
+    /// The raw bit words backing the set, least-significant-bit first:
+    /// node `v` is a member iff `words()[v / 64] >> (v % 64) & 1 == 1`.
+    ///
+    /// This is the hook for word-level membership probes in hot loops
+    /// (e.g. scanning an adjacency row for uninformed endpoints without a
+    /// bounds-asserting [`NodeSet::contains`] call per neighbor). Bits at
+    /// positions `>= universe()` in the last word are always zero.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// The complement of word `idx`, with past-the-universe bits masked off.
+    fn complement_word(&self, idx: usize) -> u64 {
+        let Some(&w) = self.words.get(idx) else {
+            return 0;
+        };
+        let mut inv = !w;
+        if (idx + 1) * 64 > self.universe {
+            let valid = self.universe - idx * 64;
+            inv &= if valid == 64 { !0 } else { (1u64 << valid) - 1 };
+        }
+        inv
     }
 
     /// Collects members into a vector.
@@ -188,6 +220,34 @@ impl Iterator for Iter<'_> {
                 return None;
             }
             self.current = self.set.words[self.word_idx];
+        }
+    }
+}
+
+/// Iterator over non-members of a [`NodeSet`], produced by
+/// [`NodeSet::iter_complement`].
+#[derive(Debug, Clone)]
+pub struct ComplementIter<'a> {
+    set: &'a NodeSet,
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for ComplementIter<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                return Some((self.word_idx * 64 + bit) as NodeId);
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.set.words.len() {
+                return None;
+            }
+            self.current = self.set.complement_word(self.word_idx);
         }
     }
 }
@@ -250,6 +310,40 @@ mod tests {
         s.insert(4);
         let comp: Vec<_> = s.iter_complement().collect();
         assert_eq!(comp, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn complement_crosses_word_boundaries() {
+        // Universe not a multiple of 64, members straddling words: the
+        // word-level complement must match the naive per-bit filter.
+        let mut s = NodeSet::new(201);
+        for v in [0u32, 63, 64, 65, 127, 128, 199, 200] {
+            s.insert(v);
+        }
+        let naive: Vec<NodeId> = (0..201).filter(|&v| !s.contains(v)).collect();
+        let fast: Vec<NodeId> = s.iter_complement().collect();
+        assert_eq!(fast, naive);
+        // Empty and full sets at an exact word boundary.
+        let empty = NodeSet::new(128);
+        assert_eq!(empty.iter_complement().count(), 128);
+        let full = NodeSet::full(128);
+        assert_eq!(full.iter_complement().count(), 0);
+    }
+
+    #[test]
+    fn words_expose_membership_bits() {
+        let mut s = NodeSet::new(130);
+        for v in [0u32, 63, 64, 129] {
+            s.insert(v);
+        }
+        let words = s.words();
+        assert_eq!(words.len(), 3);
+        for v in 0..130u32 {
+            let bit = words[v as usize / 64] >> (v % 64) & 1 == 1;
+            assert_eq!(bit, s.contains(v), "node {v}");
+        }
+        // Tail bits beyond the universe stay zero.
+        assert_eq!(words[2] >> 2, 0);
     }
 
     #[test]

@@ -38,10 +38,125 @@
 //! both strategies and to the naive simulator's; the test suites check
 //! this with Kolmogorov–Smirnov tests.
 
+use crate::incremental::WindowStep;
 use crate::workspace::ShrinkPool;
 use crate::{Protocol, SimWorkspace};
 use gossip_graph::{NodeId, NodeSet, Structure, Topology};
 use gossip_stats::{FenwickSampler, SimRng};
+
+/// Batch size for pre-drawn uniforms in the vectorized loop.
+const UNIFORM_BATCH: usize = 64;
+
+/// Consecutive rejections (within one sample) that trigger an `rmax`
+/// refresh over the frontier.
+const RMAX_REFRESH_STREAK: u32 = 64;
+
+/// Structure-of-arrays state for the vectorized inner loop
+/// ([`CutRateAsync::drive_window_fast`]).
+///
+/// Replaces the Fenwick tree's `O(log n)` sample / update walks with a
+/// rejection sampler over flat arrays: `members[..flen]` lists the
+/// frontier (uninformed nodes with positive in-rate), `rates` /
+/// `deg_invs` hold the per-node state for *all* nodes, and
+/// `lambda` / `rmax` are the incrementally maintained total and running
+/// upper bound of the frontier rates. Rates and inverse degrees live in
+/// *separate* arrays on purpose: the rejection probes and the
+/// regular-graph update pass touch only `rates`, so the random-access
+/// working set is half of what interleaved 16-byte records would make it
+/// — the difference between spilling L1 and not at `n = 10⁴`. There is
+/// deliberately no node-to-slot index: the only slot the loop ever needs
+/// is the one the rejection sampler just drew, and frontier membership is
+/// exactly `rate != 0`. `rmax` only ever over-estimates (rates grow in
+/// place and leave the frontier whole), so rejection sampling against it
+/// stays exact; a long rejection streak triggers an `O(|frontier|)`
+/// refresh.
+#[derive(Debug, Clone, Default)]
+struct FastLane {
+    /// Whether the arrays below describe the current trial's state.
+    valid: bool,
+    /// Per-node in-rates; nonzero exactly for frontier members.
+    rates: Vec<f64>,
+    /// Per-node `1/degree`, filled eagerly at prime time (infinite for
+    /// isolated nodes, which are never informed and never scanned as
+    /// neighbors).
+    deg_invs: Vec<f64>,
+    /// Frontier storage; `members[..flen]` are the live entries. Always
+    /// `n` slots so the branch-free append below never reallocates.
+    members: Vec<NodeId>,
+    /// Live prefix length of `members`.
+    flen: usize,
+    /// `Some(1/d)` when every node has the same degree `d`. On a regular
+    /// graph every in-rate is `m · 2/d` with `m` the informed-neighbor
+    /// count, so the lane switches to the integer-count representation
+    /// below: half the random-access footprint of `rates` and integer
+    /// adds in the update pass.
+    uniform_deg_inv: Option<f64>,
+    /// Regular lane only: per-node informed-neighbor counts (the in-rate
+    /// is `counts[v] · 2/d`); nonzero exactly for frontier members.
+    counts: Vec<u32>,
+    /// Regular lane only: `Σ counts` over the frontier (`λ · d/2`).
+    ctotal: u64,
+    /// Regular lane only: upper bound on every frontier count (stale
+    /// high at most, like `rmax`).
+    cmax: u32,
+    /// Incrementally maintained total cut rate `λ`.
+    lambda: f64,
+    /// Upper bound on every frontier rate (may be stale high, never low).
+    rmax: f64,
+    /// Pre-drawn uniforms (the fused slot + acceptance draws).
+    uniforms: Vec<f64>,
+    /// Next unconsumed slot in `uniforms`.
+    cursor: usize,
+    /// Pre-drawn `Exp(1)` variates: `-ln(u)` is applied at refill time so
+    /// the per-event clock is a load and a divide, not a transcendental
+    /// on the critical path.
+    exps: Vec<f64>,
+    /// Next unconsumed slot in `exps`.
+    ecursor: usize,
+    /// Scratch row of still-uninformed neighbors (the absorb filter pass
+    /// writes it, the update pass consumes it).
+    scratch: Vec<NodeId>,
+}
+
+impl FastLane {
+    /// Next batched uniform in `[0, 1)`; refills from `rng` on exhaustion.
+    #[inline]
+    fn uniform(&mut self, rng: &mut SimRng) -> f64 {
+        if self.cursor >= self.uniforms.len() {
+            if self.uniforms.len() < UNIFORM_BATCH {
+                self.uniforms.resize(UNIFORM_BATCH, 0.0);
+            }
+            rng.fill_uniform(&mut self.uniforms);
+            self.cursor = 0;
+        }
+        let u = self.uniforms[self.cursor];
+        self.cursor += 1;
+        u
+    }
+
+    /// Next batched `Exp(1)` variate.
+    ///
+    /// The `-ln` is applied once per refill over the whole batch; a zero
+    /// uniform (probability `2⁻⁵³` per draw) is clamped to the smallest
+    /// positive double instead of re-drawn, truncating the exponential at
+    /// `≈ 708` — far beyond any horizon and invisible to any statistic.
+    #[inline]
+    fn next_exp(&mut self, rng: &mut SimRng) -> f64 {
+        if self.ecursor >= self.exps.len() {
+            if self.exps.len() < UNIFORM_BATCH {
+                self.exps.resize(UNIFORM_BATCH, 0.0);
+            }
+            rng.fill_uniform(&mut self.exps);
+            for x in &mut self.exps {
+                *x = -x.max(f64::MIN_POSITIVE).ln();
+            }
+            self.ecursor = 0;
+        }
+        let e = self.exps[self.ecursor];
+        self.ecursor += 1;
+        e
+    }
+}
 
 /// Per-backend rate state (see the module docs).
 #[derive(Debug, Clone)]
@@ -90,6 +205,12 @@ enum RateState {
 pub struct CutRateAsync {
     n: usize,
     state: Option<RateState>,
+    /// Whether the event engine may take the vectorized inner loop on
+    /// static windows. Off by default: `CutRateAsync::new()` is the scalar
+    /// reference; `RunPlan` opts runs in via
+    /// [`crate::IncrementalProtocol::set_vectorized`].
+    vectorized: bool,
+    fast: FastLane,
 }
 
 impl CutRateAsync {
@@ -125,6 +246,9 @@ impl CutRateAsync {
         ws: Option<&mut SimWorkspace>,
     ) {
         debug_assert_eq!(g.n(), self.n, "begin() saw a different network size");
+        // Any rebuild obsoletes the vectorized lane; it re-primes from the
+        // fresh Fenwick weights on the next fast window.
+        self.fast.valid = false;
         match g.structure() {
             Structure::Complete { n } => {
                 let (mut uninformed, _) = self.take_picks(ws);
@@ -265,6 +389,7 @@ impl CutRateAsync {
     /// what [`Protocol::begin`] does by dropping.
     pub(crate) fn begin_reusing(&mut self, n: usize, ws: &mut SimWorkspace) {
         self.n = n;
+        self.fast.valid = false;
         Self::stash_state(self.state.take(), ws);
     }
 
@@ -409,6 +534,8 @@ impl CutRateAsync {
     /// O(n) bulk tree rebuild (only plausible for very high-degree nodes
     /// mid-spread).
     pub(crate) fn absorb_informed(&mut self, g: &Topology, v: NodeId, informed: &NodeSet) {
+        // A scalar-path mutation desynchronizes the vectorized lane.
+        self.fast.valid = false;
         match self.state.as_mut().expect("rebuilt before absorbing") {
             RateState::Complete { uninformed, .. } => uninformed.remove(v),
             RateState::Star {
@@ -472,6 +599,7 @@ impl CutRateAsync {
     /// state only (closed-form states rebuild instead).
     pub(crate) fn recompute_rate(&mut self, g: &Topology, v: NodeId, informed: &NodeSet) {
         debug_assert!(!informed.contains(v), "informed nodes carry no in-rate");
+        self.fast.valid = false;
         let dv = g.degree(v);
         let mut r = 0.0;
         if dv > 0 {
@@ -489,6 +617,477 @@ impl CutRateAsync {
             _ => unreachable!("delta repair only runs on the Fenwick state"),
         }
     }
+
+    /// Opts into (`true`) or out of (`false`) the vectorized inner loop.
+    /// See [`crate::IncrementalProtocol::set_vectorized`] for the contract.
+    pub(crate) fn select_vectorized(&mut self, on: bool) {
+        self.vectorized = on;
+        self.fast.valid = false;
+    }
+
+    /// Whether the next window may run [`CutRateAsync::drive_window_fast`]:
+    /// the caller opted in, the network is static (no rebuilds or
+    /// between-window RNG draws to stay in sync with), and the rate state
+    /// is the generic Fenwick form (closed-form states are already `O(1)`
+    /// per event).
+    pub(crate) fn use_fast_loop(&self, static_window: bool) -> bool {
+        self.vectorized && static_window && self.is_fenwick()
+    }
+
+    /// (Re)builds the vectorized lane from the current Fenwick weights:
+    /// one `O(n)` pass collects the frontier, `λ`, the rate bound, and the
+    /// inverse-degree cache (filled eagerly so the hot loop carries no
+    /// lazy-fill branch or division), and resets the uniform buffer so no
+    /// draw from a previous trial leaks in.
+    fn prime_fast(&mut self, g: &Topology) {
+        let Some(RateState::Fenwick(f)) = &self.state else {
+            unreachable!("fast loop primes only on the Fenwick state");
+        };
+        let n = self.n;
+        let lane = &mut self.fast;
+        // The records cannot outlive a prime: the degree cache would go
+        // stale if the same protocol value were rerun against a different
+        // same-size topology.
+        lane.rates.clear();
+        lane.deg_invs.clear();
+        lane.members.clear();
+        lane.members.resize(n, 0);
+        lane.flen = 0;
+        let mut lambda = 0.0;
+        let mut rmax = 0.0;
+        let d0 = g.degree(0);
+        let mut regular = true;
+        for (v, &w) in f.weights().iter().enumerate() {
+            // Degree-0 nodes get an infinite inverse, but they are never
+            // informed and never scanned as neighbors, so it is never read.
+            let d = g.degree(v as NodeId);
+            regular &= d == d0;
+            lane.rates.push(w);
+            lane.deg_invs.push(1.0 / d as f64);
+            if w > 0.0 {
+                lane.members[lane.flen] = v as NodeId;
+                lane.flen += 1;
+                lambda += w;
+                if w > rmax {
+                    rmax = w;
+                }
+            }
+        }
+        lane.uniform_deg_inv = (regular && d0 > 0).then(|| 1.0 / d0 as f64);
+        if let Some(dinv) = lane.uniform_deg_inv {
+            // Regular graph: switch to the integer-count representation.
+            // Every weight is `m · 2/d` for an integer informed-neighbor
+            // count `m ≤ d`, so the rounded division recovers `m` exactly.
+            let delta = 2.0 * dinv;
+            lane.counts.clear();
+            lane.counts
+                .extend(lane.rates.iter().map(|&w| (w / delta).round() as u32));
+            lane.ctotal = lane.counts.iter().map(|&c| c as u64).sum();
+            lane.cmax = lane.counts.iter().copied().max().unwrap_or(0);
+        }
+        lane.lambda = lambda;
+        lane.rmax = rmax;
+        lane.cursor = lane.uniforms.len();
+        lane.ecursor = lane.exps.len();
+        lane.valid = true;
+    }
+
+    /// The vectorized inner loop: one static window driven off the
+    /// structure-of-arrays [`FastLane`] instead of the Fenwick tree.
+    ///
+    /// Per event: one batched uniform feeds the `Exp(λ)` clock off the
+    /// incrementally maintained total; the infected node is drawn by
+    /// rejection from a *single* uniform — the integer part of `u·|F|`
+    /// picks the frontier slot and the fractional part (independent of
+    /// the slot, itself uniform) accepts with probability `rate/rmax`,
+    /// exactly proportional to in-rate. Absorption walks the adjacency
+    /// row with word-level bitset probes against [`NodeSet::words`] (the
+    /// bitset stays cache-resident, filtering the ~half of edge scans
+    /// whose far endpoint is already informed) and updates one flat
+    /// `rates` entry per surviving neighbor in `O(1)` instead of
+    /// `O(log n)` Fenwick updates.
+    ///
+    /// Samples the *same distribution* as the scalar loop but consumes the
+    /// RNG in a different order (`tests/vectorized_equivalence.rs` checks
+    /// distributional equality; draw-for-draw equality is deliberately not
+    /// promised). The lane and the uniform buffer persist across windows
+    /// of one trial — sound only because static networks neither rebuild
+    /// rates nor draw RNG between windows.
+    pub(crate) fn drive_window_fast(
+        &mut self,
+        g: &Topology,
+        t: u64,
+        informed: &mut NodeSet,
+        rng: &mut SimRng,
+    ) -> WindowStep {
+        if !self.fast.valid {
+            self.prime_fast(g);
+        }
+        if self.fast.uniform_deg_inv.is_some() {
+            return self.drive_window_fast_regular(g, t, informed, rng);
+        }
+        let lane = &mut self.fast;
+        let mut tau = t as f64;
+        let end = (t + 1) as f64;
+        let mut events = 0u64;
+        loop {
+            if lane.flen == 0 || lane.lambda <= 0.0 {
+                lane.lambda = 0.0;
+                return WindowStep {
+                    completed_at: None,
+                    events,
+                };
+            }
+            tau += lane.next_exp(rng) / lane.lambda;
+            if tau >= end {
+                return WindowStep {
+                    completed_at: None,
+                    events,
+                };
+            }
+            events += 1;
+            // Rejection-sample the newly informed node ∝ in-rate. One
+            // uniform serves both draws of a probe: `floor(u·|F|)` is the
+            // candidate slot and the fractional part is again Uniform(0,1),
+            // independent of the slot, so it runs the acceptance test.
+            // Probes go in pairs — two independent candidates per round
+            // whose memory loads overlap, taking the first that accepts —
+            // which is distributionally identical to two sequential
+            // rejection rounds but hides half the load latency.
+            let mut streak = 0u32;
+            let flen_f = lane.flen as f64;
+            let (v, slot) = loop {
+                let sa = lane.uniform(rng) * flen_f;
+                let sb = lane.uniform(rng) * flen_f;
+                let slot_a = (sa as usize).min(lane.flen - 1);
+                let slot_b = (sb as usize).min(lane.flen - 1);
+                let ca = lane.members[slot_a];
+                let cb = lane.members[slot_b];
+                let accept_a = (sa - slot_a as f64) * lane.rmax < lane.rates[ca as usize];
+                let accept_b = (sb - slot_b as f64) * lane.rmax < lane.rates[cb as usize];
+                if accept_a {
+                    break (ca, slot_a);
+                }
+                if accept_b {
+                    break (cb, slot_b);
+                }
+                streak += 2;
+                if streak >= RMAX_REFRESH_STREAK {
+                    // rmax only goes stale high (the max-rate node left the
+                    // frontier); tighten it and keep sampling.
+                    streak = 0;
+                    lane.rmax = lane.members[..lane.flen]
+                        .iter()
+                        .map(|&m| lane.rates[m as usize])
+                        .fold(0.0, f64::max);
+                }
+            };
+            let vi = v as usize;
+            lane.lambda -= lane.rates[vi];
+            lane.rates[vi] = 0.0;
+            // Swap-remove by the slot the sampler just drew — no
+            // node-to-slot index to maintain.
+            lane.flen -= 1;
+            lane.members[slot] = lane.members[lane.flen];
+            informed.insert(v);
+            if informed.is_full() {
+                return WindowStep {
+                    completed_at: Some(tau),
+                    events,
+                };
+            }
+            // Absorb: v now pressures its still-uninformed neighbors. Two
+            // passes: a branch-free filter (conditional-increment append,
+            // no unpredictable informed/uninformed branch) collects the
+            // survivors, then the update pass walks only those. Roughly
+            // half of all edge scans hit an already-informed endpoint, and
+            // a 50/50 data-dependent branch is the single most expensive
+            // pattern in this loop.
+            let dv_inv = lane.deg_invs[vi];
+            let words = informed.words();
+            let mut scratch = std::mem::take(&mut lane.scratch);
+            let mut k = 0usize;
+            if let Some(row) = g.neighbors_slice(v) {
+                // Grow-only: the buffer keeps the largest row length seen,
+                // so steady-state events write no filler at all.
+                if scratch.len() < row.len() {
+                    scratch.resize(row.len(), 0);
+                }
+                // Four probes per step: the word lookups are independent,
+                // so only the append cursor carries a (1-cycle) chain.
+                let mut quads = row.chunks_exact(4);
+                for q in &mut quads {
+                    let (a, b, c, d) = (q[0] as usize, q[1] as usize, q[2] as usize, q[3] as usize);
+                    let ba = words[a >> 6] >> (a & 63) & 1 == 0;
+                    let bb = words[b >> 6] >> (b & 63) & 1 == 0;
+                    let bc = words[c >> 6] >> (c & 63) & 1 == 0;
+                    let bd = words[d >> 6] >> (d & 63) & 1 == 0;
+                    scratch[k] = q[0];
+                    k += ba as usize;
+                    scratch[k] = q[1];
+                    k += bb as usize;
+                    scratch[k] = q[2];
+                    k += bc as usize;
+                    scratch[k] = q[3];
+                    k += bd as usize;
+                }
+                for &u in quads.remainder() {
+                    let ui = u as usize;
+                    scratch[k] = u;
+                    k += (words[ui >> 6] >> (ui & 63) & 1 == 0) as usize;
+                }
+            } else {
+                scratch.clear();
+                g.for_each_neighbor(v, |u| {
+                    let ui = u as usize;
+                    if words[ui >> 6] >> (ui & 63) & 1 == 0 {
+                        scratch.push(u);
+                    }
+                });
+                k = scratch.len();
+            }
+            // Update pass: branch-free throughout. A survivor with zero
+            // rate is a new frontier member; the append writes the slot
+            // unconditionally and bumps `flen` by the membership bit
+            // (`flen < n` always holds here — at least the node just
+            // informed is missing from the uninformed side). The λ and
+            // bound accumulators are split two ways because FP adds do not
+            // reassociate: a single accumulator would serialize the loop
+            // on a 4-cycle-latency chain.
+            let mut rm = [lane.rmax, 0.0f64];
+            let mut flen = lane.flen;
+            let survivors = &scratch[..k];
+            {
+                let mut dl = [0.0f64; 2];
+                let mut quads = survivors.chunks_exact(4);
+                for q in &mut quads {
+                    // All eight loads issue before any store: survivors of
+                    // one adjacency row are distinct nodes, so the four
+                    // (possibly cache-missing) rate loads overlap in flight.
+                    let (ua, ub, uc, ud) =
+                        (q[0] as usize, q[1] as usize, q[2] as usize, q[3] as usize);
+                    let (ra0, rb0, rc0, rd0) = (
+                        lane.rates[ua],
+                        lane.rates[ub],
+                        lane.rates[uc],
+                        lane.rates[ud],
+                    );
+                    let (da, db, dc, dd) = (
+                        lane.deg_invs[ua],
+                        lane.deg_invs[ub],
+                        lane.deg_invs[uc],
+                        lane.deg_invs[ud],
+                    );
+                    lane.members[flen] = q[0];
+                    flen += (ra0 == 0.0) as usize;
+                    lane.members[flen] = q[1];
+                    flen += (rb0 == 0.0) as usize;
+                    lane.members[flen] = q[2];
+                    flen += (rc0 == 0.0) as usize;
+                    lane.members[flen] = q[3];
+                    flen += (rd0 == 0.0) as usize;
+                    let ra = ra0 + dv_inv + da;
+                    let rb = rb0 + dv_inv + db;
+                    let rc = rc0 + dv_inv + dc;
+                    let rd = rd0 + dv_inv + dd;
+                    lane.rates[ua] = ra;
+                    lane.rates[ub] = rb;
+                    lane.rates[uc] = rc;
+                    lane.rates[ud] = rd;
+                    dl[0] += da + dc;
+                    dl[1] += db + dd;
+                    rm[0] = rm[0].max(ra.max(rc));
+                    rm[1] = rm[1].max(rb.max(rd));
+                }
+                for &u in quads.remainder() {
+                    let ui = u as usize;
+                    let r0 = lane.rates[ui];
+                    let di = lane.deg_invs[ui];
+                    lane.members[flen] = u;
+                    flen += (r0 == 0.0) as usize;
+                    let rate = r0 + dv_inv + di;
+                    lane.rates[ui] = rate;
+                    dl[0] += di;
+                    rm[0] = rm[0].max(rate);
+                }
+                lane.lambda += dl[0] + dl[1] + k as f64 * dv_inv;
+            }
+            lane.flen = flen;
+            lane.rmax = rm[0].max(rm[1]);
+            lane.scratch = scratch;
+        }
+    }
+
+    /// Regular-graph variant of [`Self::drive_window_fast`].
+    ///
+    /// On a `d`-regular graph every in-rate is `m · 2/d` with `m` the
+    /// node's informed-neighbor count, so the lane tracks the integer
+    /// counts instead of float rates: the random-access working set drops
+    /// to 4 bytes per node, the update pass is an integer increment, λ is
+    /// recovered as `ctotal · 2/d`, and the acceptance test
+    /// `frac · cmax < count` is *exactly* `count/cmax` (both are integers,
+    /// so the comparison introduces no rounding at all). Same structure,
+    /// same draw order, same rejection semantics as the irregular loop.
+    fn drive_window_fast_regular(
+        &mut self,
+        g: &Topology,
+        t: u64,
+        informed: &mut NodeSet,
+        rng: &mut SimRng,
+    ) -> WindowStep {
+        let lane = &mut self.fast;
+        let delta = 2.0
+            * lane
+                .uniform_deg_inv
+                .expect("regular lane requires uniform degree");
+        let mut tau = t as f64;
+        let end = (t + 1) as f64;
+        let mut events = 0u64;
+        loop {
+            if lane.flen == 0 {
+                lane.lambda = 0.0;
+                return WindowStep {
+                    completed_at: None,
+                    events,
+                };
+            }
+            tau += lane.next_exp(rng) / (lane.ctotal as f64 * delta);
+            if tau >= end {
+                return WindowStep {
+                    completed_at: None,
+                    events,
+                };
+            }
+            events += 1;
+            // Same fused slot + acceptance probe pairs as the irregular
+            // loop (see there for the layout of one probe).
+            let mut streak = 0u32;
+            let flen_f = lane.flen as f64;
+            let mut cmax_f = lane.cmax as f64;
+            let (v, slot) = loop {
+                let sa = lane.uniform(rng) * flen_f;
+                let sb = lane.uniform(rng) * flen_f;
+                let slot_a = (sa as usize).min(lane.flen - 1);
+                let slot_b = (sb as usize).min(lane.flen - 1);
+                let ca = lane.members[slot_a];
+                let cb = lane.members[slot_b];
+                let accept_a = (sa - slot_a as f64) * cmax_f < lane.counts[ca as usize] as f64;
+                let accept_b = (sb - slot_b as f64) * cmax_f < lane.counts[cb as usize] as f64;
+                if accept_a {
+                    break (ca, slot_a);
+                }
+                if accept_b {
+                    break (cb, slot_b);
+                }
+                streak += 2;
+                if streak >= RMAX_REFRESH_STREAK {
+                    streak = 0;
+                    lane.cmax = lane.members[..lane.flen]
+                        .iter()
+                        .map(|&m| lane.counts[m as usize])
+                        .max()
+                        .unwrap_or(0);
+                    cmax_f = lane.cmax as f64;
+                }
+            };
+            let vi = v as usize;
+            lane.ctotal -= lane.counts[vi] as u64;
+            lane.counts[vi] = 0;
+            lane.flen -= 1;
+            lane.members[slot] = lane.members[lane.flen];
+            informed.insert(v);
+            if informed.is_full() {
+                return WindowStep {
+                    completed_at: Some(tau),
+                    events,
+                };
+            }
+            // Absorb with the same branch-free filter pass as the
+            // irregular loop; the update pass is an integer increment per
+            // survivor.
+            let words = informed.words();
+            let mut scratch = std::mem::take(&mut lane.scratch);
+            let mut k = 0usize;
+            if let Some(row) = g.neighbors_slice(v) {
+                if scratch.len() < row.len() {
+                    scratch.resize(row.len(), 0);
+                }
+                let mut quads = row.chunks_exact(4);
+                for q in &mut quads {
+                    let (a, b, c, d) = (q[0] as usize, q[1] as usize, q[2] as usize, q[3] as usize);
+                    let ba = words[a >> 6] >> (a & 63) & 1 == 0;
+                    let bb = words[b >> 6] >> (b & 63) & 1 == 0;
+                    let bc = words[c >> 6] >> (c & 63) & 1 == 0;
+                    let bd = words[d >> 6] >> (d & 63) & 1 == 0;
+                    scratch[k] = q[0];
+                    k += ba as usize;
+                    scratch[k] = q[1];
+                    k += bb as usize;
+                    scratch[k] = q[2];
+                    k += bc as usize;
+                    scratch[k] = q[3];
+                    k += bd as usize;
+                }
+                for &u in quads.remainder() {
+                    let ui = u as usize;
+                    scratch[k] = u;
+                    k += (words[ui >> 6] >> (ui & 63) & 1 == 0) as usize;
+                }
+            } else {
+                scratch.clear();
+                g.for_each_neighbor(v, |u| {
+                    let ui = u as usize;
+                    if words[ui >> 6] >> (ui & 63) & 1 == 0 {
+                        scratch.push(u);
+                    }
+                });
+                k = scratch.len();
+            }
+            let mut cm = [lane.cmax, 0u32];
+            let mut flen = lane.flen;
+            let survivors = &scratch[..k];
+            let mut quads = survivors.chunks_exact(4);
+            for q in &mut quads {
+                // All four count loads issue before any store (survivors
+                // are distinct), so the cache misses overlap in flight.
+                let (ua, ub, uc, ud) = (q[0] as usize, q[1] as usize, q[2] as usize, q[3] as usize);
+                let (ca0, cb0, cc0, cd0) = (
+                    lane.counts[ua],
+                    lane.counts[ub],
+                    lane.counts[uc],
+                    lane.counts[ud],
+                );
+                lane.members[flen] = q[0];
+                flen += (ca0 == 0) as usize;
+                lane.members[flen] = q[1];
+                flen += (cb0 == 0) as usize;
+                lane.members[flen] = q[2];
+                flen += (cc0 == 0) as usize;
+                lane.members[flen] = q[3];
+                flen += (cd0 == 0) as usize;
+                let (ca, cb, cc, cd) = (ca0 + 1, cb0 + 1, cc0 + 1, cd0 + 1);
+                lane.counts[ua] = ca;
+                lane.counts[ub] = cb;
+                lane.counts[uc] = cc;
+                lane.counts[ud] = cd;
+                cm[0] = cm[0].max(ca.max(cc));
+                cm[1] = cm[1].max(cb.max(cd));
+            }
+            for &u in quads.remainder() {
+                let ui = u as usize;
+                let c0 = lane.counts[ui];
+                lane.members[flen] = u;
+                flen += (c0 == 0) as usize;
+                let c = c0 + 1;
+                lane.counts[ui] = c;
+                cm[0] = cm[0].max(c);
+            }
+            lane.ctotal += k as u64;
+            lane.flen = flen;
+            lane.cmax = cm[0].max(cm[1]);
+            lane.scratch = scratch;
+        }
+    }
 }
 
 impl Protocol for CutRateAsync {
@@ -499,6 +1098,7 @@ impl Protocol for CutRateAsync {
     fn begin(&mut self, n: usize) {
         self.n = n;
         self.state = None;
+        self.fast.valid = false;
     }
 
     fn advance_window(
@@ -539,6 +1139,7 @@ impl Protocol for CutRateAsync {
 mod tests {
     use super::*;
     use crate::{AsyncPushPull, RunConfig, Simulation};
+
     use gossip_dynamics::{DynamicStar, StaticNetwork};
     use gossip_graph::generators;
     use gossip_stats::ks;

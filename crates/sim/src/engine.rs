@@ -50,6 +50,7 @@ pub struct SpreadOutcome {
     n: usize,
     informed: NodeSet,
     trajectory: Vec<(f64, usize)>,
+    events: u64,
 }
 
 impl SpreadOutcome {
@@ -61,6 +62,7 @@ impl SpreadOutcome {
         n: usize,
         informed: NodeSet,
         trajectory: Vec<(f64, usize)>,
+        events: u64,
     ) -> Self {
         SpreadOutcome {
             spread_time: Some(spread_time),
@@ -68,6 +70,7 @@ impl SpreadOutcome {
             n,
             informed,
             trajectory,
+            events,
         }
     }
 
@@ -77,6 +80,7 @@ impl SpreadOutcome {
         n: usize,
         informed: NodeSet,
         trajectory: Vec<(f64, usize)>,
+        events: u64,
     ) -> Self {
         SpreadOutcome {
             spread_time: None,
@@ -84,6 +88,7 @@ impl SpreadOutcome {
             n,
             informed,
             trajectory,
+            events,
         }
     }
 
@@ -101,6 +106,18 @@ impl SpreadOutcome {
     /// Number of unit windows the run advanced through.
     pub fn windows(&self) -> u64 {
         self.windows
+    }
+
+    /// Number of Poisson events the run resolved (informative or not).
+    ///
+    /// The event-stream engine counts every resolved clock tick exactly.
+    /// The window engine's protocols resolve events inside
+    /// [`Protocol::advance_window`] without reporting a count, so there
+    /// this is the number of *informative* events (`informed − 1`) — a
+    /// lower bound on clock ticks, still the right numerator for
+    /// spread-progress throughput.
+    pub fn events(&self) -> u64 {
+        self.events
     }
 
     /// Network size.
@@ -238,6 +255,7 @@ impl<P: Protocol> Simulation<P> {
                 n,
                 informed,
                 trajectory,
+                events: 0,
             });
         }
 
@@ -252,22 +270,28 @@ impl<P: Protocol> Simulation<P> {
                 if self.config.record_trajectory {
                     trajectory.push((tau, informed.len()));
                 }
+                // Window protocols do not report clock-tick counts; the
+                // informative-event count is exact by construction.
+                let events = (informed.len() - 1) as u64;
                 return Ok(SpreadOutcome {
                     spread_time: Some(tau),
                     windows: t + 1,
                     n,
                     informed,
                     trajectory,
+                    events,
                 });
             }
             t += 1;
             if t as f64 >= self.config.max_time {
+                let events = (informed.len() - 1) as u64;
                 return Ok(SpreadOutcome {
                     spread_time: None,
                     windows: t,
                     n,
                     informed,
                     trajectory,
+                    events,
                 });
             }
         }

@@ -142,9 +142,14 @@ impl<P: IncrementalProtocol> EventSimulation<P> {
         let mut trajectory = ws.take_trajectory();
 
         if informed.is_full() {
-            return Ok(SpreadOutcome::finished(0.0, 0, n, informed, trajectory));
+            return Ok(SpreadOutcome::finished(0.0, 0, n, informed, trajectory, 0));
         }
 
+        // A static network never consumes RNG between windows, which lets a
+        // protocol's drive_window keep pre-drawn randomness and auxiliary
+        // state alive across window boundaries.
+        let static_net = net.is_static();
+        let mut events: u64 = 0;
         let mut t: u64 = 0;
         loop {
             // Acquire the window's topology: a reported diff repairs the
@@ -166,34 +171,33 @@ impl<P: IncrementalProtocol> EventSimulation<P> {
                 trajectory.push((t as f64, informed.len()));
             }
 
-            // The event loop inside [t, t+1) on the fixed graph g.
-            let mut tau = t as f64;
-            let end = (t + 1) as f64;
-            loop {
-                let lambda = self.protocol.event_rate(g, &informed);
-                if lambda <= 0.0 {
-                    break; // idle until the next topology change
+            // The event loop inside [t, t+1) on the fixed graph g: either
+            // the protocol's own specialized loop or the scalar reference
+            // loop (see IncrementalProtocol::drive_window).
+            let step = self
+                .protocol
+                .drive_window(g, t, &mut informed, rng, static_net);
+            events += step.events;
+            if let Some(tau) = step.completed_at {
+                debug_assert!(informed.is_full(), "completion with uninformed nodes");
+                if self.config.record_trajectory {
+                    trajectory.push((tau, informed.len()));
                 }
-                tau += -rng.uniform_open().ln() / lambda;
-                if tau >= end {
-                    break;
-                }
-                if let Some(v) = self.protocol.resolve_event(g, &informed, rng) {
-                    debug_assert!(!informed.contains(v), "event informed a known node");
-                    informed.insert(v);
-                    if informed.is_full() {
-                        if self.config.record_trajectory {
-                            trajectory.push((tau, informed.len()));
-                        }
-                        return Ok(SpreadOutcome::finished(tau, t + 1, n, informed, trajectory));
-                    }
-                    self.protocol.commit(g, v, &informed);
-                }
+                return Ok(SpreadOutcome::finished(
+                    tau,
+                    t + 1,
+                    n,
+                    informed,
+                    trajectory,
+                    events,
+                ));
             }
 
             t += 1;
             if t as f64 >= self.config.max_time {
-                return Ok(SpreadOutcome::unfinished(t, n, informed, trajectory));
+                return Ok(SpreadOutcome::unfinished(
+                    t, n, informed, trajectory, events,
+                ));
             }
         }
     }

@@ -28,6 +28,19 @@ use gossip_dynamics::EdgeDelta;
 use gossip_graph::{NodeId, NodeSet, Topology};
 use gossip_stats::SimRng;
 
+/// What one [`IncrementalProtocol::drive_window`] call did inside its unit
+/// window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowStep {
+    /// `Some(tau)` when the last uninformed node was informed at time
+    /// `tau` inside this window; `None` when the window closed (or the
+    /// event clock idled) with the spread still incomplete.
+    pub completed_at: Option<f64>,
+    /// Number of Poisson events resolved in this window (informative or
+    /// not) — the unit of the events/sec throughput accounting.
+    pub events: u64,
+}
+
 /// A protocol whose per-node state advances event by event instead of
 /// window by window.
 ///
@@ -98,6 +111,98 @@ pub trait IncrementalProtocol: Protocol {
 
     /// `O(deg(v))` state update after `v` was inserted into `informed`.
     fn commit(&mut self, g: &Topology, v: NodeId, informed: &NodeSet);
+
+    /// Selects the scalar or the vectorized inner event loop.
+    ///
+    /// Invariants of the selector:
+    ///
+    /// * `set_vectorized(false)` pins the protocol to the scalar reference
+    ///   loop ([`generic_drive_window`]'s exact per-event virtual-dispatch
+    ///   sequence) — the A/B baseline, analogous to
+    ///   `RunPlan::workspace(false)`.
+    /// * `set_vectorized(true)` (the construction default) *allows* a
+    ///   protocol to drive its window through a specialized monomorphic
+    ///   loop. Protocols without one ignore the flag — the default is a
+    ///   no-op — and always run the scalar loop.
+    /// * Whatever the flag, the sampled process distribution is identical:
+    ///   a vectorized loop may consume the per-trial RNG stream in a
+    ///   different order (documented per protocol; KS-verified by
+    ///   `tests/vectorized_equivalence.rs`), but each mode on its own is
+    ///   fully deterministic per `(seed, trial)`.
+    /// * The flag must be set before [`Protocol::begin`] /
+    ///   [`IncrementalProtocol::begin_in`]; flipping it mid-trial is
+    ///   unsupported.
+    fn set_vectorized(&mut self, vectorized: bool) {
+        let _ = vectorized;
+    }
+
+    /// Drives the whole event loop of window `[t, t + 1)` on the fixed
+    /// graph `g`, informing nodes into `informed` until the window closes,
+    /// the event clock idles, or the spread completes.
+    ///
+    /// `static_window` is the engine's promise that the network is static
+    /// for the entire run (no RNG-consuming topology callbacks between
+    /// windows) — the license for optimizations whose state or pre-drawn
+    /// randomness outlives one window, e.g. batched exponential-clock
+    /// draws. The default delegates to [`generic_drive_window`], the
+    /// scalar per-event reference loop.
+    fn drive_window(
+        &mut self,
+        g: &Topology,
+        t: u64,
+        informed: &mut NodeSet,
+        rng: &mut SimRng,
+        static_window: bool,
+    ) -> WindowStep {
+        let _ = static_window;
+        generic_drive_window(self, g, t, informed, rng)
+    }
+}
+
+/// The scalar reference event loop for one unit window `[t, t + 1)`:
+/// draw `Exp(event_rate)` gaps, resolve each event through the protocol's
+/// virtual interface, insert and commit informed nodes.
+///
+/// This is the loop every protocol runs unless it overrides
+/// [`IncrementalProtocol::drive_window`]; overriding protocols use it as
+/// their scalar fallback so `set_vectorized(false)` is exactly the
+/// historical per-event dispatch sequence, RNG draw for RNG draw.
+pub(crate) fn generic_drive_window<P: IncrementalProtocol + ?Sized>(
+    protocol: &mut P,
+    g: &Topology,
+    t: u64,
+    informed: &mut NodeSet,
+    rng: &mut SimRng,
+) -> WindowStep {
+    let mut tau = t as f64;
+    let end = (t + 1) as f64;
+    let mut events = 0u64;
+    loop {
+        let lambda = protocol.event_rate(g, informed);
+        if lambda <= 0.0 {
+            break; // idle until the next topology change
+        }
+        tau += -rng.uniform_open().ln() / lambda;
+        if tau >= end {
+            break;
+        }
+        events += 1;
+        if let Some(v) = protocol.resolve_event(g, informed, rng) {
+            debug_assert!(!informed.contains(v), "event informed a known node");
+            informed.insert(v);
+            if informed.is_full() {
+                return WindowStep {
+                    completed_at: Some(tau),
+                    events,
+                };
+            }
+            protocol.commit(g, v, informed);
+        }
+    }
+    WindowStep {
+        completed_at: None,
+        events,
+    }
 }
 
 impl<T: IncrementalProtocol + ?Sized> IncrementalProtocol for &mut T {
@@ -139,6 +244,21 @@ impl<T: IncrementalProtocol + ?Sized> IncrementalProtocol for &mut T {
     fn commit(&mut self, g: &Topology, v: NodeId, informed: &NodeSet) {
         (**self).commit(g, v, informed)
     }
+
+    fn set_vectorized(&mut self, vectorized: bool) {
+        (**self).set_vectorized(vectorized)
+    }
+
+    fn drive_window(
+        &mut self,
+        g: &Topology,
+        t: u64,
+        informed: &mut NodeSet,
+        rng: &mut SimRng,
+        static_window: bool,
+    ) -> WindowStep {
+        (**self).drive_window(g, t, informed, rng, static_window)
+    }
 }
 
 impl<T: IncrementalProtocol + ?Sized> IncrementalProtocol for Box<T> {
@@ -179,6 +299,21 @@ impl<T: IncrementalProtocol + ?Sized> IncrementalProtocol for Box<T> {
 
     fn commit(&mut self, g: &Topology, v: NodeId, informed: &NodeSet) {
         (**self).commit(g, v, informed)
+    }
+
+    fn set_vectorized(&mut self, vectorized: bool) {
+        (**self).set_vectorized(vectorized)
+    }
+
+    fn drive_window(
+        &mut self,
+        g: &Topology,
+        t: u64,
+        informed: &mut NodeSet,
+        rng: &mut SimRng,
+        static_window: bool,
+    ) -> WindowStep {
+        (**self).drive_window(g, t, informed, rng, static_window)
     }
 }
 
@@ -253,6 +388,28 @@ impl IncrementalProtocol for CutRateAsync {
 
     fn commit(&mut self, g: &Topology, v: NodeId, informed: &NodeSet) {
         self.absorb_informed(g, v, informed);
+    }
+
+    fn set_vectorized(&mut self, vectorized: bool) {
+        self.select_vectorized(vectorized);
+    }
+
+    /// Static Fenwick-state windows run the vectorized frontier loop (see
+    /// `async_cut.rs`); everything else — scalar mode, dynamic networks,
+    /// closed-form pool states — falls back to the scalar reference loop.
+    fn drive_window(
+        &mut self,
+        g: &Topology,
+        t: u64,
+        informed: &mut NodeSet,
+        rng: &mut SimRng,
+        static_window: bool,
+    ) -> WindowStep {
+        if self.use_fast_loop(static_window) {
+            self.drive_window_fast(g, t, informed, rng)
+        } else {
+            generic_drive_window(self, g, t, informed, rng)
+        }
     }
 }
 

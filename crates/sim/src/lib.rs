@@ -99,7 +99,7 @@ pub use engine::{RunConfig, Simulation, SpreadOutcome};
 pub use error::SimError;
 pub use event::EventSimulation;
 pub use flooding::Flooding;
-pub use incremental::IncrementalProtocol;
+pub use incremental::{IncrementalProtocol, WindowStep};
 pub use lossy::LossyAsync;
 pub use observer::{
     JsonlSink, SummarySink, TrajectorySink, TrialObserver, TrialRecord, TrialTrajectory,

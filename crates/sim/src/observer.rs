@@ -44,6 +44,9 @@ pub struct TrialRecord {
     pub spread_time: Option<f64>,
     /// Unit windows the trial advanced through.
     pub windows: u64,
+    /// Poisson events the trial resolved (see
+    /// [`crate::SpreadOutcome::events`] for the per-engine meaning).
+    pub events: u64,
     /// Informed nodes at the end of the trial (`n` when complete).
     pub informed: usize,
     /// `(time, |I(t)|)` samples when trajectory recording was on.
@@ -62,6 +65,7 @@ impl Serialize for TrialRecord {
             ("n".into(), self.n.to_value()),
             ("spread_time".into(), self.spread_time.to_value()),
             ("windows".into(), self.windows.to_value()),
+            ("events".into(), self.events.to_value()),
             ("informed".into(), self.informed.to_value()),
             ("trajectory".into(), self.trajectory.to_value()),
         ])
@@ -83,6 +87,8 @@ impl Deserialize for TrialRecord {
             n: serde::de_field(map, "n")?,
             spread_time: serde::de_field(map, "spread_time")?,
             windows: serde::de_field(map, "windows")?,
+            // Absent in pre-events JSONL files: default to 0 there.
+            events: serde::de_field(map, "events").unwrap_or(0),
             informed: serde::de_field(map, "informed")?,
             trajectory: serde::de_field(map, "trajectory")?,
         })
@@ -105,6 +111,7 @@ impl TrialRecord {
             n: outcome.n(),
             spread_time: outcome.spread_time(),
             windows: outcome.windows(),
+            events: outcome.events(),
             informed: outcome.informed_count(),
             trajectory: recording.then(|| outcome.into_trajectory()),
         }
@@ -123,10 +130,11 @@ impl TrialRecord {
         recording: bool,
         ws: &mut crate::SimWorkspace,
     ) -> Self {
-        let (n, spread_time, windows, informed) = (
+        let (n, spread_time, windows, events, informed) = (
             outcome.n(),
             outcome.spread_time(),
             outcome.windows(),
+            outcome.events(),
             outcome.informed_count(),
         );
         let (informed_set, trajectory) = outcome.into_buffers();
@@ -143,6 +151,7 @@ impl TrialRecord {
             n,
             spread_time,
             windows,
+            events,
             informed,
             trajectory,
         }
@@ -228,6 +237,7 @@ pub struct SummarySink {
     times: Vec<f64>,
     moments: RunningMoments,
     trials: usize,
+    events: u64,
 }
 
 impl SummarySink {
@@ -239,6 +249,13 @@ impl SummarySink {
     /// Number of records received so far.
     pub fn trials_seen(&self) -> usize {
         self.trials
+    }
+
+    /// Total Poisson events across all records received so far (the sum
+    /// of [`TrialRecord::events`]; per-engine meaning as in
+    /// [`crate::SpreadOutcome::events`]).
+    pub fn events(&self) -> u64 {
+        self.events
     }
 
     /// Consumes the sink into the accumulated summary.
@@ -256,6 +273,7 @@ impl SummarySink {
 impl TrialObserver for SummarySink {
     fn on_trial(&mut self, record: &TrialRecord) -> Result<(), SimError> {
         self.trials += 1;
+        self.events += record.events;
         if let Some(t) = record.spread_time {
             self.times.push(t);
             self.moments.push(t);
@@ -456,6 +474,7 @@ mod tests {
             n: 8,
             spread_time: time,
             windows: 3,
+            events: 7,
             informed: if time.is_some() { 8 } else { 5 },
             trajectory: None,
         }

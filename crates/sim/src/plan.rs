@@ -172,6 +172,7 @@ pub struct RunPlan<'o> {
     engine: Engine,
     start: Option<NodeId>,
     workspace: bool,
+    vectorized: bool,
     observers: Vec<Box<dyn TrialObserver + 'o>>,
 }
 
@@ -185,6 +186,7 @@ impl fmt::Debug for RunPlan<'_> {
             .field("engine", &self.engine)
             .field("start", &self.start)
             .field("workspace", &self.workspace)
+            .field("vectorized", &self.vectorized)
             .field("observers", &self.observers.len())
             .finish()
     }
@@ -206,6 +208,7 @@ impl<'o> RunPlan<'o> {
             engine: Engine::Auto,
             start: None,
             workspace: true,
+            vectorized: true,
             observers: Vec::new(),
         }
     }
@@ -228,6 +231,31 @@ impl<'o> RunPlan<'o> {
     /// diagnostic escape hatch.
     pub fn workspace(mut self, reuse: bool) -> Self {
         self.workspace = reuse;
+        self
+    }
+
+    /// Selects the event-engine inner loop (default `true`: vectorized).
+    ///
+    /// * `true` — protocols that implement
+    ///   [`IncrementalProtocol::set_vectorized`] may run their specialized
+    ///   inner loop on static windows ([`crate::CutRateAsync`]: batched
+    ///   uniform draws, structure-of-arrays rates, rejection sampling,
+    ///   word-level bitset scans).
+    /// * `false` — the scalar reference loop: the per-event
+    ///   `event_rate` / `resolve_event` / `commit` dispatch sequence,
+    ///   consuming the RNG draw for draw as every release before the
+    ///   vectorized path did.
+    ///
+    /// Both settings sample the **same distribution** — test-enforced by
+    /// `tests/vectorized_equivalence.rs` (KS, α = 0.01) — but the
+    /// vectorized loop consumes the per-trial RNG stream in a different
+    /// order, so individual spread times differ under the same seed. The
+    /// flag is the A/B reference switch for the `inner_loop_speedup`
+    /// bench family, exactly like [`RunPlan::workspace`] is for
+    /// `workspace_speedup`. Protocols without a vectorized loop ignore
+    /// it; the window engine is always scalar.
+    pub fn vectorized(mut self, vectorized: bool) -> Self {
+        self.vectorized = vectorized;
         self
     }
 
@@ -318,6 +346,7 @@ impl<'o> RunPlan<'o> {
         }
 
         let mut summary = SummarySink::new();
+        let started = std::time::Instant::now();
         {
             let observers = &mut self.observers;
             let summary = &mut summary;
@@ -337,6 +366,7 @@ impl<'o> RunPlan<'o> {
                             n: record.n,
                             spread_time: record.spread_time,
                             windows: record.windows,
+                            events: record.events,
                             informed: record.informed,
                             trajectory: None,
                         };
@@ -359,15 +389,18 @@ impl<'o> RunPlan<'o> {
                 config,
                 use_event,
                 self.workspace,
+                self.vectorized,
                 &make_net,
                 &make_proto,
                 &mut deliver,
             )?;
         }
+        let elapsed = started.elapsed();
         for o in &mut self.observers {
             o.finish()?;
         }
         Ok(RunReport {
+            events: summary.events(),
             summary: summary.into_summary(),
             engine: if use_event {
                 Engine::Event
@@ -375,6 +408,7 @@ impl<'o> RunPlan<'o> {
                 Engine::Window
             },
             protocol,
+            elapsed,
         })
     }
 }
@@ -405,15 +439,15 @@ fn make_runner<'p, N: DynamicNetwork>(
     config: RunConfig,
     use_event: bool,
     reuse: bool,
+    vectorized: bool,
 ) -> TrialFn<'p, N> {
     let recording = config.record_trajectory;
     if use_event {
-        let mut sim = EventSimulation::new(
-            proto
-                .into_event()
-                .expect("engine resolution probed support"),
-            config,
-        );
+        let mut protocol = proto
+            .into_event()
+            .expect("engine resolution probed support");
+        protocol.set_vectorized(vectorized);
+        let mut sim = EventSimulation::new(protocol, config);
         if reuse {
             Box::new(move |ws, net, start, trial, seed, rng| {
                 let outcome = sim.run_in(ws, net, start, rng)?;
@@ -513,6 +547,7 @@ fn run_trials<N: DynamicNetwork>(
     config: RunConfig,
     use_event: bool,
     reuse: bool,
+    vectorized: bool,
     make_net: &(impl Fn() -> N + Sync),
     make_proto: &(impl Fn() -> AnyProtocol + Sync),
     deliver: &mut impl FnMut(TrialRecord) -> Result<Option<Vec<(f64, usize)>>, SimError>,
@@ -527,7 +562,7 @@ fn run_trials<N: DynamicNetwork>(
         // trajectory buffers flow straight back into the workspace.
         let mut ws = SimWorkspace::new();
         let mut net = make_net();
-        let mut run_one = make_runner::<N>(make_proto(), config, use_event, reuse);
+        let mut run_one = make_runner::<N>(make_proto(), config, use_event, reuse, vectorized);
         let start = start.unwrap_or_else(|| net.suggested_start());
         for i in 0..trials {
             let mut rng = base.derive(i as u64);
@@ -569,7 +604,8 @@ fn run_trials<N: DynamicNetwork>(
             scope.spawn(move || {
                 let mut ws = SimWorkspace::new();
                 let mut net = make_net();
-                let mut run_one = make_runner::<N>(make_proto(), config, use_event, reuse);
+                let mut run_one =
+                    make_runner::<N>(make_proto(), config, use_event, reuse, vectorized);
                 let start = start.unwrap_or_else(|| net.suggested_start());
                 let mut c = tid;
                 while c < n_chunks && pace.admit(c, window) {
@@ -668,6 +704,8 @@ pub struct RunReport {
     summary: TrialSummary,
     engine: Engine,
     protocol: &'static str,
+    events: u64,
+    elapsed: std::time::Duration,
 }
 
 impl RunReport {
@@ -689,6 +727,30 @@ impl RunReport {
     /// The protocol's display name.
     pub fn protocol(&self) -> &'static str {
         self.protocol
+    }
+
+    /// Total Poisson events resolved across all trials (the per-engine
+    /// meaning is documented on [`crate::SpreadOutcome::events`]).
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Wall-clock time the trial batch took (trial execution plus
+    /// in-batch observer delivery; excludes [`TrialObserver::finish`]).
+    pub fn elapsed(&self) -> std::time::Duration {
+        self.elapsed
+    }
+
+    /// Simulation throughput in resolved Poisson events per wall-clock
+    /// second, the hardware-facing companion to the spread-time summary
+    /// (0 when the batch finished faster than the clock resolution).
+    pub fn events_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.events as f64 / secs
+        } else {
+            0.0
+        }
     }
 }
 

@@ -207,10 +207,13 @@ impl Runner {
     }
 
     fn plan(&self, start: Option<NodeId>, config: RunConfig) -> RunPlan<'static> {
+        // The legacy runner predates the vectorized inner loop and its
+        // contract is the historical RNG stream: pin the scalar path.
         RunPlan::new(self.trials, self.base_seed)
             .threads(self.threads)
             .config(config)
             .start_opt(start)
+            .vectorized(false)
     }
 
     /// Runs all trials on the window-based engine.

@@ -67,6 +67,17 @@ impl FenwickSampler {
         self.weights[index]
     }
 
+    /// The full weight array, in index order.
+    ///
+    /// Read-only: mutating weights must go through [`FenwickSampler::set`] /
+    /// [`FenwickSampler::add`] / [`FenwickSampler::set_bulk`] so the prefix
+    /// tree stays consistent. The slice view exists so callers can build
+    /// auxiliary structures (e.g. a frontier index for rejection sampling)
+    /// from the exact same weights the tree encodes.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
     /// Sets the weight at `index` to `w`.
     ///
     /// # Errors
@@ -209,30 +220,58 @@ impl FenwickSampler {
 
     /// Draws an index with probability proportional to its weight, or
     /// `None` when the total weight is (numerically) zero.
+    ///
+    /// Consumes exactly one uniform `f64` from `rng` when the total is
+    /// positive, and nothing otherwise — callers that pre-draw uniforms in
+    /// batches get the identical index from [`FenwickSampler::sample_with`]
+    /// on the same variate.
     pub fn sample(&self, rng: &mut SimRng) -> Option<usize> {
         if self.total <= 0.0 {
             return None;
         }
-        let target = rng.uniform_f64() * self.total;
-        Some(self.find_by_prefix(target))
+        self.sample_with(rng.uniform_f64())
+    }
+
+    /// Draws an index from a caller-supplied uniform variate `u01 ∈ [0, 1)`,
+    /// or `None` when the total weight is (numerically) zero.
+    ///
+    /// `sample_with(u)` returns bit-for-bit the index that
+    /// [`FenwickSampler::sample`] would return from an RNG whose next
+    /// uniform draw is `u` — this is the hook for batched clock/sampling
+    /// draws where the uniform stream is filled ahead of time.
+    pub fn sample_with(&self, u01: f64) -> Option<usize> {
+        if self.total <= 0.0 {
+            return None;
+        }
+        Some(self.find_by_prefix(u01 * self.total))
     }
 
     /// Returns the smallest index whose prefix sum exceeds `target`.
     ///
-    /// Standard Fenwick descent; `target` must lie in `[0, total)`. Floating
-    /// round-off near the right edge is resolved by walking back to the last
-    /// index with positive weight, so a positive-total sampler always
-    /// returns a positively-weighted index.
+    /// Branch-free Fenwick descent: `target` must lie in `[0, total)`. Each
+    /// level resolves by value selects (no per-level conditional jump, so a
+    /// data-dependent descent costs no branch mispredictions). The selects
+    /// compute exactly the arithmetic of the classical branchy walk —
+    /// `target - 0.0` is a bitwise identity for the non-negative `target`
+    /// maintained here — so the chosen index is bit-identical to the
+    /// branchy form. Floating round-off near the right edge is resolved by
+    /// walking back to the last index with positive weight, so a
+    /// positive-total sampler always returns a positively-weighted index.
     fn find_by_prefix(&self, mut target: f64) -> usize {
         let n = self.weights.len();
         let mut pos = 0usize; // 1-indexed position accumulator
         let mut step = n.next_power_of_two();
         while step > 0 {
             let next = pos + step;
-            if next <= n && self.tree[next] <= target {
-                target -= self.tree[next];
-                pos = next;
-            }
+            // Out-of-range probes read +∞ so the select never takes them.
+            let node = if next <= n {
+                self.tree[next]
+            } else {
+                f64::INFINITY
+            };
+            let descend = node <= target;
+            target -= if descend { node } else { 0.0 };
+            pos = if descend { next } else { pos };
             step >>= 1;
         }
         // pos is now the count of indices whose cumulative weight is <= target,
@@ -478,6 +517,37 @@ mod tests {
         let mut rng = SimRng::seed_from_u64(6);
         for _ in 0..1000 {
             assert_eq!(s.sample(&mut rng), Some(1));
+        }
+    }
+
+    #[test]
+    fn sample_with_matches_sample() {
+        let mut s = FenwickSampler::new(23);
+        for i in 0..23 {
+            s.set(i, ((i * 7) % 5) as f64 * 0.5).unwrap();
+        }
+        let mut draw = SimRng::seed_from_u64(17);
+        let mut replay = SimRng::seed_from_u64(17);
+        for _ in 0..500 {
+            let direct = s.sample(&mut draw);
+            let via_variate = s.sample_with(replay.uniform_f64());
+            assert_eq!(direct, via_variate);
+        }
+        // Zero-mass sampler ignores the variate entirely.
+        let empty = FenwickSampler::new(4);
+        assert_eq!(empty.sample_with(0.5), None);
+    }
+
+    #[test]
+    fn weights_view_matches_point_reads() {
+        let mut s = FenwickSampler::new(6);
+        for (i, w) in [0.0, 1.5, 0.0, 2.25, 0.0, 3.0].iter().enumerate() {
+            s.set(i, *w).unwrap();
+        }
+        let view = s.weights();
+        assert_eq!(view.len(), 6);
+        for (i, &w) in view.iter().enumerate() {
+            assert_eq!(w.to_bits(), s.weight(i).to_bits());
         }
     }
 

@@ -230,6 +230,19 @@ impl Criterion {
         &self.measurements
     }
 
+    /// Value of a previously recorded metric, by exact name.
+    ///
+    /// Lets a bench assert on its own derived metrics (e.g. smoke-mode
+    /// tripwires on speedup ratios) without re-deriving them from raw
+    /// measurements. If the same name was recorded twice, the first
+    /// value wins.
+    pub fn metric(&self, name: &str) -> Option<f64> {
+        self.metrics
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| *v)
+    }
+
     /// Records a derived scalar metric (reported alongside measurements).
     pub fn record_metric(&mut self, name: impl Into<String>, value: f64) {
         let name = name.into();
@@ -382,6 +395,8 @@ mod tests {
         let mut c = quick();
         c.bench_function("solo", |b| b.iter(|| black_box(1 + 1)));
         c.record_metric("speedup/demo", 2.5);
+        assert_eq!(c.metric("speedup/demo"), Some(2.5));
+        assert_eq!(c.metric("speedup/missing"), None);
         let path = std::env::temp_dir().join("criterion_stub_test.json");
         let path = path.to_str().unwrap();
         c.write_json(path).unwrap();
