@@ -522,6 +522,7 @@ fn bench_sweep_parallel(c: &mut Criterion, knobs: &Knobs) {
             cell_parallel: Some(cell_parallel),
             ..SweepSpec::over((100..100 + CELLS).collect())
         },
+        faults: None,
     };
     let sequential = spec(false);
     let parallel = spec(true);

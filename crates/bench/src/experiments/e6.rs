@@ -26,6 +26,7 @@ fn spec(protocol: &str, sizes: &[usize], trials: usize, seed: u64) -> ScenarioSp
         family: FamilySpec::new("clique-pendant"),
         protocol: ProtocolSpec::new(protocol),
         sweep,
+        faults: None,
     }
 }
 

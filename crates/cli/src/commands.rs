@@ -58,6 +58,11 @@ COMMON FLAGS:
     --max-time <float>   cutoff in time units / rounds (default: 100000)
     --engine <name>      auto | event | window (run + scenario run; default auto)
     --output jsonl <path>  stream one JSON record per trial to <path>
+    --journal <path>     scenario run: journal each completed sweep cell to <path>
+                         (crash-safe JSONL; flushed per cell)
+    --resume <path>      scenario run: replay the completed cells of a journal and
+                         execute only the rest — bit-identical to an uninterrupted
+                         run; with no spec file, the journal's embedded spec is used
     --histogram          render the spread-time distribution (run command)
     --fresh-alloc        disable per-worker workspace reuse (run command; A/B diagnostic,
                          bit-identical results, slower small-n throughput)
@@ -72,6 +77,8 @@ EXAMPLES:
     gossip scenario init sweep.toml && gossip scenario run sweep.toml
     gossip scenario run sweep.toml --engine window --json
     gossip scenario run sweep.toml --output jsonl sweep.jsonl
+    gossip scenario run sweep.toml --journal sweep.journal
+    gossip scenario run --resume sweep.journal --output jsonl sweep.jsonl
     gossip profile --family clique-pendant --n 16 --windows 12
     gossip bounds --family absolute-diligent --n 120 --rho 0.125
     gossip experiment --id E7 --quick
@@ -85,19 +92,42 @@ pub fn scenario(action: Option<&str>, file: Option<&str>, args: &Args) -> Result
     use gossip_core::scenario::{ScenarioSpec, SweepPlan};
     match action {
         Some("run") => {
-            let path = file.ok_or_else(|| {
-                CliError::Usage("scenario run needs a file: `gossip scenario run <file>`".into())
-            })?;
             let engine = args.opt("engine")?.map(str::to_string);
             let json = args.flag("json");
             let output = jsonl_output(args)?;
+            let journal = args.opt("journal")?.map(str::to_string);
+            let resume = args.opt("resume")?.map(str::to_string);
             args.reject_unknown()?;
-            let mut spec =
-                ScenarioSpec::from_path(std::path::Path::new(path)).map_err(CliError::from)?;
+            let mut spec = match (file, &resume) {
+                (Some(path), _) => {
+                    ScenarioSpec::from_path(std::path::Path::new(path)).map_err(CliError::from)?
+                }
+                // `--resume` without a spec file: the journal header
+                // embeds the full spec (hash-checked by the sweep).
+                (None, Some(journal_path)) => {
+                    gossip_core::journal::Journal::load(std::path::Path::new(journal_path))
+                        .map_err(CliError::from)?
+                        .header
+                        .spec
+                }
+                (None, None) => {
+                    return Err(CliError::Usage(
+                        "scenario run needs a file or --resume <journal>: \
+                         `gossip scenario run <file>`"
+                            .into(),
+                    ))
+                }
+            };
             if let Some(engine) = engine {
                 spec.sweep.engine = Some(engine);
             }
-            let plan = SweepPlan::new(&spec).map_err(CliError::from)?;
+            let mut plan = SweepPlan::new(&spec).map_err(CliError::from)?;
+            if let Some(path) = &journal {
+                plan = plan.journal_to(path);
+            }
+            if let Some(path) = &resume {
+                plan = plan.resume_from(path);
+            }
             let (report, streamed) = match output {
                 Some(out_path) => {
                     // One sink across the whole sweep: every trial of

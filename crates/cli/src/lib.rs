@@ -143,6 +143,33 @@ name = \"cli-e2e\"\n\n[family]\nkind = \"complete\"\n\n[protocol]\nkind = \"asyn
     }
 
     #[test]
+    fn scenario_journal_and_resume_round_trip() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("gossip_cli_journal_test.toml");
+        let path_str = path.to_str().unwrap().to_string();
+        let spec = "\
+name = \"cli-journal\"\n\n[family]\nkind = \"complete\"\n\n[protocol]\nkind = \"async\"\n\n\
+[sweep]\nsizes = [16, 24]\ntrials = 4\nseed = 3\n\n[faults]\ndrop = 0.1\nseed = 5\n";
+        std::fs::write(&path, spec).unwrap();
+        let journal = dir.join("gossip_cli_journal_test.jsonl");
+        let journal_str = journal.to_str().unwrap().to_string();
+        let full = run(&format!("scenario run {path_str} --journal {journal_str}")).unwrap();
+        assert!(full.contains("cli-journal"), "{full}");
+
+        // Keep only the header + first cell, as a crash would, then
+        // resume from the journal alone (embedded spec): the report is
+        // identical to the uninterrupted run.
+        let text = std::fs::read_to_string(&journal).unwrap();
+        let cut: String = text.lines().take(2).map(|l| format!("{l}\n")).collect();
+        assert!(cut.len() < text.len());
+        std::fs::write(&journal, cut).unwrap();
+        let resumed = run(&format!("scenario run --resume {journal_str}")).unwrap();
+        assert_eq!(resumed, full);
+        let _ = std::fs::remove_file(&journal);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
     fn scenario_usage_errors() {
         assert_eq!(run("scenario").unwrap_err().exit_code(), 2);
         assert_eq!(run("scenario frobnicate").unwrap_err().exit_code(), 2);

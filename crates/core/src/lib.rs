@@ -44,6 +44,7 @@
 
 pub mod bounds;
 pub mod experiment;
+pub mod journal;
 pub mod predictions;
 pub mod profile;
 pub mod report;

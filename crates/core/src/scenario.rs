@@ -40,13 +40,16 @@ use gossip_dynamics::{
 };
 use gossip_graph::{generators, GraphError, Topology};
 use gossip_sim::{
-    AnyProtocol, AsyncPull, AsyncPush, AsyncPushPull, CutRateAsync, Engine, Flooding, LossyAsync,
-    Protocol, RunConfig, RunPlan, RunReport, SimError, SyncPull, SyncPush, SyncPushPull,
-    TrialObserver, TrialRecord, TwoPush,
+    AnyProtocol, AsyncPull, AsyncPush, AsyncPushPull, CutRateAsync, Engine, FaultModel, Flooding,
+    LossyAsync, Protocol, RunConfig, RunPlan, RunReport, SimError, SyncPull, SyncPush,
+    SyncPushPull, TrialObserver, TrialRecord, TwoPush,
 };
 use gossip_stats::SimRng;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::path::PathBuf;
+
+use crate::journal::{self, Journal, JournalCell, JournalHeader, JournalWriter};
 
 // ---------------------------------------------------------------------------
 // Spec types
@@ -65,6 +68,9 @@ pub struct ScenarioSpec {
     pub protocol: ProtocolSpec,
     /// Sizes, trials, seeds, cutoff, engine.
     pub sweep: SweepSpec,
+    /// Optional fault injection (`[faults]`); absent or inactive specs
+    /// run the fault-free process bit-identically.
+    pub faults: Option<FaultSpec>,
 }
 
 /// Network-family selection plus the per-family parameters.
@@ -221,6 +227,77 @@ impl SweepSpec {
     }
 }
 
+/// Fault-injection parameters — the `[faults]` section of a scenario.
+///
+/// Compiles into a [`gossip_sim::FaultModel`] via [`FaultSpec::to_model`];
+/// every unset field takes the fault-free default, so an empty `[faults]`
+/// table changes nothing. Active fault models need the event engine and a
+/// fault-aware protocol (validation rejects other combinations up front).
+///
+/// ```toml
+/// [faults]
+/// drop = 0.1            # per-message drop probability (Doerr–Kostrygin)
+/// crash_rate = 0.02     # Poisson node-crash rate per unit time
+/// recovery_rate = 0.05  # Poisson recovery rate (0 = crashes permanent)
+/// seed = 1              # dedicated fault stream seed
+/// schedule = [[3, 0]]   # crash node 0 when the window clock reaches 3
+/// target_high_degree = 1  # crash the top-degree up node every window
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultSpec {
+    /// Per-message drop probability in `[0, 1]` (default 0).
+    pub drop: Option<f64>,
+    /// Poisson rate at which each up node crashes, per unit time
+    /// (default 0).
+    pub crash_rate: Option<f64>,
+    /// Poisson rate at which each down node recovers, per unit time
+    /// (default 0 — every crash is permanent).
+    pub recovery_rate: Option<f64>,
+    /// Seed of the dedicated fault stream (default 0). Fault draws never
+    /// touch the trial RNG, so adding an inactive `[faults]` table leaves
+    /// results bit-identical.
+    pub seed: Option<u64>,
+    /// Explicit crash schedule as `[window, node]` pairs; each node
+    /// crashes when the window clock reaches its entry.
+    pub schedule: Option<Vec<(u64, u32)>>,
+    /// Adversarial targeting: crash the `k` highest-degree still-up nodes
+    /// at the start of every window (default 0).
+    pub target_high_degree: Option<usize>,
+}
+
+impl FaultSpec {
+    /// A spec with every field unset (the fault-free regime).
+    pub fn new() -> Self {
+        FaultSpec {
+            drop: None,
+            crash_rate: None,
+            recovery_rate: None,
+            seed: None,
+            schedule: None,
+            target_high_degree: None,
+        }
+    }
+
+    /// Compiles the spec into the runtime [`FaultModel`], filling
+    /// defaults.
+    pub fn to_model(&self) -> FaultModel {
+        FaultModel {
+            drop: self.drop.unwrap_or(0.0),
+            crash_rate: self.crash_rate.unwrap_or(0.0),
+            recovery_rate: self.recovery_rate.unwrap_or(0.0),
+            seed: self.seed.unwrap_or(0),
+            schedule: self.schedule.iter().flatten().copied().collect(),
+            target_high_degree: self.target_high_degree.unwrap_or(0),
+        }
+    }
+}
+
+impl Default for FaultSpec {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// Parses a spec's engine string into the driver's [`Engine`] selector
 /// (`None` ⇒ [`Engine::Auto`]).
 ///
@@ -257,6 +334,9 @@ pub enum ScenarioError {
     Graph(GraphError),
     /// A simulation run failed.
     Sim(SimError),
+    /// A sweep journal could not be written, read, or reconciled with
+    /// the spec (see [`crate::journal`]).
+    Journal(String),
 }
 
 impl fmt::Display for ScenarioError {
@@ -272,6 +352,7 @@ impl fmt::Display for ScenarioError {
             ScenarioError::Invalid(m) => write!(f, "invalid scenario: {m}"),
             ScenarioError::Graph(e) => write!(f, "{e}"),
             ScenarioError::Sim(e) => write!(f, "{e}"),
+            ScenarioError::Journal(m) => write!(f, "sweep journal error: {m}"),
         }
     }
 }
@@ -855,6 +936,56 @@ impl ScenarioSpec {
                 self.protocol.kind
             )));
         }
+        // Fault parameter validation: targeted messages up front, before
+        // any sweep work (mirrors the sampled-family checks above).
+        if let Some(faults) = &self.faults {
+            let drop = faults.drop.unwrap_or(0.0);
+            if !(0.0..=1.0).contains(&drop) {
+                return Err(ScenarioError::Invalid(format!(
+                    "faults.drop must be within [0, 1], got {drop}"
+                )));
+            }
+            for (name, rate) in [
+                ("crash_rate", faults.crash_rate),
+                ("recovery_rate", faults.recovery_rate),
+            ] {
+                if let Some(r) = rate {
+                    if !r.is_finite() || r < 0.0 {
+                        return Err(ScenarioError::Invalid(format!(
+                            "faults.{name} must be a finite non-negative rate, got {r}"
+                        )));
+                    }
+                }
+            }
+            // Every scheduled node must exist at every sweep size, i.e.
+            // at the smallest one (sizes are validated non-empty above).
+            let min_n = *self.sweep.sizes.iter().min().expect("sizes non-empty");
+            for &(window, node) in faults.schedule.iter().flatten() {
+                if node as usize >= min_n {
+                    return Err(ScenarioError::Invalid(format!(
+                        "faults.schedule entry [{window}, {node}] references node {node}, \
+                         but the smallest sweep size is {min_n} (nodes are 0-based)"
+                    )));
+                }
+            }
+            let model = faults.to_model();
+            if model.is_active() {
+                if engine == Engine::Window {
+                    return Err(ScenarioError::Invalid(
+                        "active faults need the event engine (remove `engine = \"window\"` \
+                         or deactivate the [faults] table)"
+                            .into(),
+                    ));
+                }
+                if !build_any_protocol(&self.protocol).is_ok_and(|p| p.supports_faults()) {
+                    return Err(ScenarioError::Invalid(format!(
+                        "protocol `{}` does not support fault injection \
+                         (fault-aware protocols: async, naive, push, pull, two-push, lossy)",
+                        self.protocol.kind
+                    )));
+                }
+            }
+        }
         Ok(())
     }
 
@@ -879,6 +1010,7 @@ impl ScenarioSpec {
                 threads: None,
                 cell_parallel: None,
             },
+            faults: None,
         }
     }
 }
@@ -972,6 +1104,15 @@ impl fmt::Display for ScenarioReport {
     }
 }
 
+#[cfg(test)]
+thread_local! {
+    /// Test-only crash injection: when set to `Some(i)`, the journaled
+    /// execution path panics immediately before *executing* (never
+    /// before replaying) cell `i`, emulating a process dying mid-sweep.
+    static TEST_PANIC_BEFORE_CELL: std::cell::Cell<Option<usize>> =
+        const { std::cell::Cell::new(None) };
+}
+
 /// A validated, ready-to-execute sweep: the first-class form of a
 /// scenario's `[sweep]` section.
 ///
@@ -990,6 +1131,9 @@ pub struct SweepPlan<'s> {
     trials: usize,
     seed: u64,
     config: RunConfig,
+    faults: Option<FaultModel>,
+    journal: Option<PathBuf>,
+    resume: Option<PathBuf>,
 }
 
 impl<'s> SweepPlan<'s> {
@@ -1009,6 +1153,9 @@ impl<'s> SweepPlan<'s> {
             trials: spec.sweep.trials_or_default(),
             seed: spec.sweep.seed_or_default(),
             config: RunConfig::with_max_time(spec.sweep.max_time_or_default()),
+            faults: spec.faults.as_ref().map(FaultSpec::to_model),
+            journal: None,
+            resume: None,
         })
     }
 
@@ -1020,6 +1167,27 @@ impl<'s> SweepPlan<'s> {
     /// The sweep sizes, in execution order.
     pub fn sizes(&self) -> &[usize] {
         &self.spec.sweep.sizes
+    }
+
+    /// Journals every completed `(n, trials)` cell to a JSONL file at
+    /// `path` (crash-safe: header first, one flushed line per cell), so
+    /// an interrupted sweep can be resumed with
+    /// [`SweepPlan::resume_from`]. Journaled sweeps run cells
+    /// sequentially and cannot feed trajectory-recording observers.
+    pub fn journal_to(mut self, path: impl Into<PathBuf>) -> Self {
+        self.journal = Some(path.into());
+        self
+    }
+
+    /// Replays the completed cells of a previous journal at `path`
+    /// (observers receive the recorded trials exactly as a live run
+    /// would deliver them) and executes only the remaining cells; the
+    /// merged result is bit-identical to an uninterrupted run
+    /// (test-enforced). The journal must have been written for this very
+    /// spec (checked via a content hash).
+    pub fn resume_from(mut self, path: impl Into<PathBuf>) -> Self {
+        self.resume = Some(path.into());
+        self
     }
 
     /// The [`RunPlan`] for one sweep size — sizes share every parameter
@@ -1034,6 +1202,9 @@ impl<'s> SweepPlan<'s> {
             .vectorized(self.spec.sweep.vectorized.unwrap_or(true));
         if let Some(threads) = self.spec.sweep.threads {
             plan = plan.threads(threads);
+        }
+        if let Some(faults) = &self.faults {
+            plan = plan.faults(faults.clone());
         }
         plan
     }
@@ -1068,6 +1239,9 @@ impl<'s> SweepPlan<'s> {
         observers: &mut [&mut dyn TrialObserver],
     ) -> Result<ScenarioReport, ScenarioError> {
         let spec = self.spec;
+        if self.journal.is_some() || self.resume.is_some() {
+            return self.run_journaled(observers);
+        }
         if spec.sweep.cell_parallel.unwrap_or(false) && spec.sweep.sizes.len() > 1 {
             return self.run_cells_parallel(observers);
         }
@@ -1087,6 +1261,148 @@ impl<'s> SweepPlan<'s> {
             )?;
             resolved = report.engine();
             rows.push(Self::row(n, &report));
+        }
+        Ok(ScenarioReport {
+            scenario: spec.name.clone(),
+            family: spec.family.kind.clone(),
+            protocol: self.protocol_name.to_string(),
+            engine: resolved.name().to_string(),
+            rows,
+        })
+    }
+
+    /// The journaled / resuming execution path: cells run sequentially,
+    /// every cleanly completed cell is appended to the journal (one
+    /// flushed JSONL line per cell, so a crash loses at most the cell in
+    /// flight), and cells found in a resume journal are *replayed* into
+    /// the observers instead of re-executed. Replay delivers the
+    /// recorded trials exactly as a live [`RunPlan`] would (trial order,
+    /// [`TrialObserver::finish`] per cell), so the merged observer
+    /// stream and report are bit-identical to an uninterrupted run —
+    /// test-enforced, including resume after an injected mid-sweep
+    /// crash.
+    fn run_journaled(
+        &self,
+        observers: &mut [&mut dyn TrialObserver],
+    ) -> Result<ScenarioReport, ScenarioError> {
+        let spec = self.spec;
+        if observers.iter().any(|o| o.wants_trajectory()) {
+            return Err(ScenarioError::Journal(
+                "journaled sweeps cannot feed trajectory-recording observers \
+                 (journal cells store per-trial summaries, not curves)"
+                    .into(),
+            ));
+        }
+        let spec_hash = journal::spec_hash(spec);
+        // Load the whole resume journal *before* opening the new one:
+        // resuming in place (the same path as both source and target)
+        // is supported.
+        let mut replayed: std::collections::BTreeMap<usize, JournalCell> = Default::default();
+        if let Some(path) = &self.resume {
+            let loaded = Journal::load(path)?;
+            if loaded.header.spec_hash != spec_hash {
+                return Err(ScenarioError::Journal(format!(
+                    "{} was journaled for a different spec \
+                     (journal hash {}, this spec hashes to {spec_hash})",
+                    path.display(),
+                    loaded.header.spec_hash,
+                )));
+            }
+            for cell in loaded.cells {
+                replayed.insert(cell.index, cell);
+            }
+        }
+        let mut writer = match &self.journal {
+            Some(path) => Some(JournalWriter::create(
+                path,
+                &JournalHeader {
+                    scenario: spec.name.clone(),
+                    spec_hash,
+                    spec: spec.clone(),
+                },
+            )?),
+            None => None,
+        };
+        // The engine every cell resolves to is a pure function of the
+        // spec, so fully-replayed sweeps report it without running
+        // anything.
+        let resolved = match self.engine {
+            Engine::Auto => {
+                if build_any_protocol(&spec.protocol)?.supports_event() {
+                    Engine::Event
+                } else {
+                    Engine::Window
+                }
+            }
+            forced => forced,
+        };
+        let mut rows = Vec::with_capacity(spec.sweep.sizes.len());
+        for (index, &n) in spec.sweep.sizes.iter().enumerate() {
+            if let Some(cell) = replayed.get(&index) {
+                if cell.n != n {
+                    return Err(ScenarioError::Journal(format!(
+                        "journal cell {index} recorded n = {}, the spec expects n = {n}",
+                        cell.n
+                    )));
+                }
+                for record in &cell.records {
+                    for o in observers.iter_mut() {
+                        o.on_trial(record).map_err(ScenarioError::Sim)?;
+                    }
+                }
+                for o in observers.iter_mut() {
+                    o.finish().map_err(ScenarioError::Sim)?;
+                }
+                // When re-journaling (resume + journal), replayed cells
+                // carry over verbatim, keeping the new journal complete.
+                if let Some(w) = writer.as_mut() {
+                    w.append_cell(cell)?;
+                }
+                rows.push(cell.row.clone());
+                continue;
+            }
+            #[cfg(test)]
+            TEST_PANIC_BEFORE_CELL.with(|hook| {
+                if hook.get() == Some(index) {
+                    hook.set(None);
+                    panic!("injected crash before cell {index}");
+                }
+            });
+            // Probe the family, as on the plain sequential path.
+            build_family(&spec.family, n)?;
+            // Buffer the stripped records for the journal; attached
+            // first, it sees exactly what the real observers see.
+            struct Buffer(Vec<TrialRecord>);
+            impl TrialObserver for Buffer {
+                fn on_trial(&mut self, r: &TrialRecord) -> Result<(), SimError> {
+                    self.0.push(r.clone());
+                    Ok(())
+                }
+            }
+            let mut buf = Buffer(Vec::new());
+            let mut plan = self.plan().observer(&mut buf);
+            for o in observers.iter_mut() {
+                plan = plan.observer(&mut **o);
+            }
+            let report = plan.execute(
+                || build_family(&spec.family, n).expect("probed above"),
+                || build_any_protocol(&spec.protocol).expect("probed at construction"),
+            )?;
+            let row = Self::row(n, &report);
+            if let Some(w) = writer.as_mut() {
+                if report.trial_errors().is_empty() {
+                    w.append_cell(&JournalCell {
+                        index,
+                        n,
+                        row: row.clone(),
+                        records: buf.0,
+                    })?;
+                }
+                // A cell with isolated trial panics is *not* journaled:
+                // a resume re-runs it in full instead of replaying a
+                // partial cell.
+            }
+            rows.push(row);
         }
         Ok(ScenarioReport {
             scenario: spec.name.clone(),
@@ -1726,6 +2042,262 @@ max_time = 1e4
         let mut spec = ProtocolSpec::new("lossy");
         spec.loss = Some(1.0);
         assert!(matches!(build_protocol(&spec), Err(ScenarioError::Sim(_))));
+    }
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "gossip-scenario-test-{}-{name}",
+            std::process::id()
+        ));
+        p
+    }
+
+    /// A JSONL-like byte stream of every record, for bit-identity checks.
+    struct ByteSink(Vec<u8>);
+    impl gossip_sim::TrialObserver for ByteSink {
+        fn on_trial(&mut self, r: &TrialRecord) -> Result<(), SimError> {
+            self.0
+                .extend_from_slice(serde_json::to_string(r).as_bytes());
+            self.0.push(b'\n');
+            Ok(())
+        }
+    }
+
+    fn faulty_spec() -> ScenarioSpec {
+        let mut spec = ScenarioSpec::from_toml_str(TOML_SPEC).unwrap();
+        spec.faults = Some(FaultSpec {
+            drop: Some(0.2),
+            crash_rate: Some(0.05),
+            recovery_rate: Some(0.3),
+            seed: Some(11),
+            ..FaultSpec::new()
+        });
+        spec
+    }
+
+    #[test]
+    fn fault_spec_round_trips_and_compiles() {
+        let mut spec = faulty_spec();
+        spec.faults.as_mut().unwrap().schedule = Some(vec![(3, 0), (5, 2)]);
+        let toml = spec.to_toml_string();
+        assert!(toml.contains("[faults]"), "{toml}");
+        assert!(toml.contains("schedule = [[3, 0], [5, 2]]"), "{toml}");
+        assert_eq!(ScenarioSpec::from_toml_str(&toml).unwrap(), spec);
+        let json = spec.to_json_string();
+        assert_eq!(ScenarioSpec::from_json_str(&json).unwrap(), spec);
+        let model = spec.faults.as_ref().unwrap().to_model();
+        assert!(model.is_active());
+        assert_eq!(model.schedule, vec![(3, 0), (5, 2)]);
+        // Old specs without [faults] keep parsing (field is optional).
+        let plain = ScenarioSpec::from_toml_str(TOML_SPEC).unwrap();
+        assert_eq!(plain.faults, None);
+    }
+
+    #[test]
+    fn fault_validation_targets_bad_parameters() {
+        let mut spec = faulty_spec();
+        spec.faults.as_mut().unwrap().drop = Some(1.5);
+        assert!(
+            matches!(spec.validate(), Err(ScenarioError::Invalid(m)) if m.contains("faults.drop"))
+        );
+        let mut spec = faulty_spec();
+        spec.faults.as_mut().unwrap().crash_rate = Some(-0.1);
+        assert!(matches!(
+            spec.validate(),
+            Err(ScenarioError::Invalid(m)) if m.contains("faults.crash_rate")
+        ));
+        let mut spec = faulty_spec();
+        spec.faults.as_mut().unwrap().recovery_rate = Some(f64::NAN);
+        assert!(matches!(
+            spec.validate(),
+            Err(ScenarioError::Invalid(m)) if m.contains("faults.recovery_rate")
+        ));
+        // A scheduled node must exist at the smallest sweep size (16).
+        let mut spec = faulty_spec();
+        spec.faults.as_mut().unwrap().schedule = Some(vec![(0, 16)]);
+        assert!(matches!(
+            spec.validate(),
+            Err(ScenarioError::Invalid(m)) if m.contains("smallest sweep size")
+        ));
+        // Active faults reject the window engine...
+        let mut spec = faulty_spec();
+        spec.sweep.engine = Some("window".into());
+        assert!(matches!(
+            spec.validate(),
+            Err(ScenarioError::Invalid(m)) if m.contains("event engine")
+        ));
+        // ...and window-only protocols.
+        let mut spec = faulty_spec();
+        spec.protocol = ProtocolSpec::new("sync");
+        assert!(matches!(
+            spec.validate(),
+            Err(ScenarioError::Invalid(m)) if m.contains("fault injection")
+        ));
+        // An inactive [faults] table is fine anywhere.
+        let mut spec = ScenarioSpec::from_toml_str(TOML_SPEC).unwrap();
+        spec.faults = Some(FaultSpec::new());
+        spec.sweep.engine = Some("window".into());
+        spec.validate().unwrap();
+    }
+
+    #[test]
+    fn faulty_scenario_runs_end_to_end() {
+        // Recoverable crashes + drops: slower, but every trial still ends.
+        let report = run_scenario(&faulty_spec()).unwrap();
+        assert_eq!(report.engine, "event");
+        assert_eq!(report.rows.len(), 2);
+        for row in &report.rows {
+            assert_eq!(row.trials, 8);
+            assert!(row.completed > 0, "some trials should still spread");
+        }
+        // And an inactive fault table is bit-identical to no table.
+        let plain = ScenarioSpec::from_toml_str(TOML_SPEC).unwrap();
+        let mut inactive = plain.clone();
+        inactive.faults = Some(FaultSpec {
+            seed: Some(99),
+            ..FaultSpec::new()
+        });
+        assert_eq!(
+            run_scenario(&plain).unwrap().rows,
+            run_scenario(&inactive).unwrap().rows
+        );
+    }
+
+    #[test]
+    fn journaled_sweep_is_invisible_and_resume_is_bit_identical() {
+        let spec = faulty_spec();
+        let plan = SweepPlan::new(&spec).unwrap();
+
+        // Reference: plain uninterrupted run.
+        let mut ref_sink = ByteSink(Vec::new());
+        let reference = plan.clone().run_with(&mut ref_sink).unwrap();
+
+        // Journaling changes nothing observable.
+        let journal = temp_path("journal-full");
+        let mut jour_sink = ByteSink(Vec::new());
+        let journaled = plan
+            .clone()
+            .journal_to(&journal)
+            .run_with(&mut jour_sink)
+            .unwrap();
+        assert_eq!(journaled, reference);
+        assert_eq!(jour_sink.0, ref_sink.0);
+
+        // Truncate to the header + first cell, as a mid-sweep crash
+        // would, then resume: merged stream and report bit-identical.
+        let text = std::fs::read_to_string(&journal).unwrap();
+        let cut: String = text.lines().take(2).map(|l| format!("{l}\n")).collect();
+        assert!(cut.len() < text.len(), "journal should hold 2 cells");
+        std::fs::write(&journal, cut).unwrap();
+        let mut res_sink = ByteSink(Vec::new());
+        let resumed = plan
+            .clone()
+            .resume_from(&journal)
+            .run_with(&mut res_sink)
+            .unwrap();
+        assert_eq!(resumed, reference);
+        assert_eq!(res_sink.0, ref_sink.0);
+
+        // Resuming while re-journaling in place rebuilds a complete
+        // journal: a second resume replays every cell (no execution).
+        let text = std::fs::read_to_string(&journal).unwrap();
+        let cut: String = text.lines().take(2).map(|l| format!("{l}\n")).collect();
+        std::fs::write(&journal, cut).unwrap();
+        let rebuilt = plan
+            .clone()
+            .resume_from(&journal)
+            .journal_to(&journal)
+            .run()
+            .unwrap();
+        assert_eq!(rebuilt, reference);
+        let full = Journal::load(&journal).unwrap();
+        assert_eq!(full.cells.len(), 2);
+        let mut replay_sink = ByteSink(Vec::new());
+        let replayed = plan
+            .clone()
+            .resume_from(&journal)
+            .run_with(&mut replay_sink)
+            .unwrap();
+        assert_eq!(replayed, reference);
+        assert_eq!(replay_sink.0, ref_sink.0);
+        std::fs::remove_file(&journal).ok();
+    }
+
+    #[test]
+    fn resume_after_injected_crash_is_bit_identical() {
+        let spec = faulty_spec();
+        let plan = SweepPlan::new(&spec).unwrap();
+        let mut ref_sink = ByteSink(Vec::new());
+        let reference = plan.clone().run_with(&mut ref_sink).unwrap();
+
+        // Crash the process (panic) right before cell 1 executes: the
+        // journal on disk must hold the header and cell 0 only.
+        let journal = temp_path("journal-crash");
+        super::TEST_PANIC_BEFORE_CELL.with(|h| h.set(Some(1)));
+        let died = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            plan.clone().journal_to(&journal).run()
+        }));
+        assert!(died.is_err(), "the injected crash must fire");
+        super::TEST_PANIC_BEFORE_CELL.with(|h| assert_eq!(h.get(), None));
+        let partial = Journal::load(&journal).unwrap();
+        assert_eq!(partial.cells.len(), 1);
+        assert_eq!(partial.cells[0].n, 16);
+
+        // Resume: cell 0 replays from disk, cell 1 runs live.
+        let mut res_sink = ByteSink(Vec::new());
+        let resumed = plan
+            .clone()
+            .resume_from(&journal)
+            .run_with(&mut res_sink)
+            .unwrap();
+        assert_eq!(resumed, reference);
+        assert_eq!(res_sink.0, ref_sink.0);
+        std::fs::remove_file(&journal).ok();
+    }
+
+    #[test]
+    fn resume_rejects_a_different_spec() {
+        let spec = ScenarioSpec::from_toml_str(TOML_SPEC).unwrap();
+        let journal = temp_path("journal-mismatch");
+        SweepPlan::new(&spec)
+            .unwrap()
+            .journal_to(&journal)
+            .run()
+            .unwrap();
+        let mut other = spec.clone();
+        other.sweep.seed = Some(8);
+        let err = SweepPlan::new(&other)
+            .unwrap()
+            .resume_from(&journal)
+            .run()
+            .unwrap_err();
+        assert!(
+            matches!(err, ScenarioError::Journal(ref m) if m.contains("different spec")),
+            "{err}"
+        );
+        std::fs::remove_file(&journal).ok();
+    }
+
+    #[test]
+    fn journaled_sweeps_reject_trajectory_observers() {
+        struct Wants;
+        impl gossip_sim::TrialObserver for Wants {
+            fn wants_trajectory(&self) -> bool {
+                true
+            }
+            fn on_trial(&mut self, _: &TrialRecord) -> Result<(), SimError> {
+                Ok(())
+            }
+        }
+        let spec = ScenarioSpec::from_toml_str(TOML_SPEC).unwrap();
+        let journal = temp_path("journal-trajectory");
+        let err = SweepPlan::new(&spec)
+            .unwrap()
+            .journal_to(&journal)
+            .run_with(&mut Wants)
+            .unwrap_err();
+        assert!(matches!(err, ScenarioError::Journal(m) if m.contains("trajectory")));
     }
 
     #[test]

@@ -71,6 +71,13 @@ pub trait DynamicNetwork {
     ///
     /// Engines call this **instead of leading with** `topology` at each
     /// boundary, so implementations may evolve their graph here.
+    ///
+    /// Protocol-layer fault injection (node crashes, message drops)
+    /// never flows through this interface: a crashed node is rate-zero
+    /// *thinning* at the event layer, not an edge change, so the
+    /// topology and any reported delta are exactly what they would be
+    /// fault-free and incremental per-node state stays valid across
+    /// crash and recovery without forcing a rebuild.
     fn edges_changed(&mut self, t: u64, informed: &NodeSet, rng: &mut SimRng) -> Option<EdgeDelta> {
         let _ = (t, informed, rng);
         None

@@ -719,18 +719,26 @@ impl CutRateAsync {
         t: u64,
         informed: &mut NodeSet,
         rng: &mut SimRng,
+        mut faults: Option<&mut crate::FaultState>,
+        events_left: u64,
     ) -> WindowStep {
         if !self.fast.valid {
             self.prime_fast(g);
         }
         if self.fast.uniform_deg_inv.is_some() {
-            return self.drive_window_fast_regular(g, t, informed, rng);
+            return self.drive_window_fast_regular(g, t, informed, rng, faults, events_left);
         }
         let lane = &mut self.fast;
         let mut tau = t as f64;
         let end = (t + 1) as f64;
         let mut events = 0u64;
         loop {
+            if events == events_left {
+                return WindowStep {
+                    completed_at: None,
+                    events,
+                };
+            }
             if lane.flen == 0 || lane.lambda <= 0.0 {
                 lane.lambda = 0.0;
                 return WindowStep {
@@ -782,6 +790,14 @@ impl CutRateAsync {
                         .fold(0.0, f64::max);
                 }
             };
+            // Fault veto (exact thinning): a vetoed proposal is a counted,
+            // time-advancing non-event — the frontier, rates, and λ stay
+            // untouched, exactly as in the scalar loop.
+            if let Some(f) = faults.as_deref_mut() {
+                if !f.accepts_cut_event(g, informed, v) {
+                    continue;
+                }
+            }
             let vi = v as usize;
             lane.lambda -= lane.rates[vi];
             lane.rates[vi] = 0.0;
@@ -934,6 +950,8 @@ impl CutRateAsync {
         t: u64,
         informed: &mut NodeSet,
         rng: &mut SimRng,
+        mut faults: Option<&mut crate::FaultState>,
+        events_left: u64,
     ) -> WindowStep {
         let lane = &mut self.fast;
         let delta = 2.0
@@ -944,6 +962,12 @@ impl CutRateAsync {
         let end = (t + 1) as f64;
         let mut events = 0u64;
         loop {
+            if events == events_left {
+                return WindowStep {
+                    completed_at: None,
+                    events,
+                };
+            }
             if lane.flen == 0 {
                 lane.lambda = 0.0;
                 return WindowStep {
@@ -990,6 +1014,12 @@ impl CutRateAsync {
                     cmax_f = lane.cmax as f64;
                 }
             };
+            // Fault veto — see the irregular loop above.
+            if let Some(f) = faults.as_deref_mut() {
+                if !f.accepts_cut_event(g, informed, v) {
+                    continue;
+                }
+            }
             let vi = v as usize;
             lane.ctotal -= lane.counts[vi] as u64;
             lane.counts[vi] = 0;

@@ -9,7 +9,7 @@
 //! as the ground truth the accelerated [`crate::CutRateAsync`] simulator is
 //! validated against.
 
-use crate::Protocol;
+use crate::{FaultState, Protocol};
 use gossip_graph::{NodeSet, Topology};
 use gossip_stats::{Exponential, SimRng};
 
@@ -37,6 +37,12 @@ pub(crate) fn resolve_tick(
         return None;
     }
     let callee = g.neighbor(caller, rng.index(deg));
+    informative(direction, caller, callee, informed)
+}
+
+/// The rumor-crossing rule of one contact, shared by the fault-free and
+/// faulty resolvers.
+fn informative(direction: Direction, caller: u32, callee: u32, informed: &NodeSet) -> Option<u32> {
     let caller_informed = informed.contains(caller);
     let callee_informed = informed.contains(callee);
     match direction {
@@ -48,6 +54,33 @@ pub(crate) fn resolve_tick(
         Direction::Push => (caller_informed && !callee_informed).then_some(callee),
         Direction::Pull => (!caller_informed && callee_informed).then_some(caller),
     }
+}
+
+/// [`resolve_tick`] under an active fault layer: a down caller never
+/// initiates (its clock tick is void before the neighbor draw), a down
+/// callee never responds, and the per-message drop coin (fault RNG) voids
+/// the surviving contact. Only used when faults are active, so the
+/// fault-free trial stream is untouched.
+pub(crate) fn resolve_tick_faulty(
+    direction: Direction,
+    g: &Topology,
+    informed: &NodeSet,
+    rng: &mut SimRng,
+    faults: &mut FaultState,
+) -> Option<u32> {
+    let caller = rng.index(g.n()) as u32;
+    if faults.is_down(caller) {
+        return None;
+    }
+    let deg = g.degree(caller);
+    if deg == 0 {
+        return None;
+    }
+    let callee = g.neighbor(caller, rng.index(deg));
+    if faults.is_down(callee) || faults.drops_message() {
+        return None;
+    }
+    informative(direction, caller, callee, informed)
 }
 
 /// Core event loop shared by the three variants.

@@ -14,14 +14,23 @@ pub struct RunConfig {
     pub max_time: f64,
     /// Record the informed-count trajectory at every window start.
     pub record_trajectory: bool,
+    /// Event-budget watchdog for the event-stream engine: the run stops
+    /// with [`crate::TrialOutcome::Budget`] once this many Poisson events
+    /// have been resolved, so fault regimes where spreading stalls (drops
+    /// near 1, permanent crashes) terminate gracefully instead of burning
+    /// the whole `max_time` horizon event by event. `None` (the default)
+    /// means unbounded. The window engine's protocols do not report event
+    /// counts and ignore this knob ([`SpreadOutcome::events`]).
+    pub max_events: Option<u64>,
 }
 
 impl Default for RunConfig {
-    /// One million time units, no trajectory.
+    /// One million time units, no trajectory, no event budget.
     fn default() -> Self {
         RunConfig {
             max_time: 1e6,
             record_trajectory: false,
+            max_events: None,
         }
     }
 }
@@ -40,6 +49,12 @@ impl RunConfig {
         self.record_trajectory = true;
         self
     }
+
+    /// Sets the event-budget watchdog (see [`RunConfig::max_events`]).
+    pub fn with_event_budget(mut self, max_events: u64) -> Self {
+        self.max_events = Some(max_events);
+        self
+    }
 }
 
 /// The result of one simulation run.
@@ -51,6 +66,7 @@ pub struct SpreadOutcome {
     informed: NodeSet,
     trajectory: Vec<(f64, usize)>,
     events: u64,
+    outcome: crate::TrialOutcome,
 }
 
 impl SpreadOutcome {
@@ -71,17 +87,23 @@ impl SpreadOutcome {
             informed,
             trajectory,
             events,
+            outcome: crate::TrialOutcome::Spread,
         }
     }
 
-    /// A run cut off before completion (engine-internal constructor).
+    /// A run cut off before completion (engine-internal constructor);
+    /// `outcome` states why ([`crate::TrialOutcome::Budget`] for the
+    /// time/event cutoffs, [`crate::TrialOutcome::Died`] when faults
+    /// made further spreading impossible).
     pub(crate) fn unfinished(
         windows: u64,
         n: usize,
         informed: NodeSet,
         trajectory: Vec<(f64, usize)>,
         events: u64,
+        outcome: crate::TrialOutcome,
     ) -> Self {
+        debug_assert!(outcome != crate::TrialOutcome::Spread);
         SpreadOutcome {
             spread_time: None,
             windows,
@@ -89,6 +111,7 @@ impl SpreadOutcome {
             informed,
             trajectory,
             events,
+            outcome,
         }
     }
 
@@ -101,6 +124,11 @@ impl SpreadOutcome {
     /// Whether every node was informed before the cutoff.
     pub fn complete(&self) -> bool {
         self.spread_time.is_some()
+    }
+
+    /// How the run ended (spread, died under faults, or hit a budget).
+    pub fn outcome(&self) -> crate::TrialOutcome {
+        self.outcome
     }
 
     /// Number of unit windows the run advanced through.
@@ -256,6 +284,7 @@ impl<P: Protocol> Simulation<P> {
                 informed,
                 trajectory,
                 events: 0,
+                outcome: crate::TrialOutcome::Spread,
             });
         }
 
@@ -280,6 +309,7 @@ impl<P: Protocol> Simulation<P> {
                     informed,
                     trajectory,
                     events,
+                    outcome: crate::TrialOutcome::Spread,
                 });
             }
             t += 1;
@@ -292,6 +322,7 @@ impl<P: Protocol> Simulation<P> {
                     informed,
                     trajectory,
                     events,
+                    outcome: crate::TrialOutcome::Budget,
                 });
             }
         }

@@ -44,6 +44,22 @@ pub enum SimError {
         /// The window-only protocol's name.
         protocol: &'static str,
     },
+    /// A fault model was attached to an engine or protocol that cannot
+    /// honor it (faults require the event engine and a protocol whose
+    /// [`crate::IncrementalProtocol::supports_faults`] is `true`).
+    FaultsUnsupported {
+        /// The protocol that cannot run under faults.
+        protocol: &'static str,
+    },
+    /// A [`crate::FaultModel`] parameter is out of range.
+    InvalidFaultParam {
+        /// Which parameter was rejected.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+        /// What the parameter must be.
+        constraint: &'static str,
+    },
     /// A [`crate::TrialObserver`] sink failed (e.g. an I/O error while
     /// streaming records to disk).
     Observer(String),
@@ -67,6 +83,23 @@ impl fmt::Display for SimError {
                      use Engine::Window (or Engine::Auto)"
                 )
             }
+            SimError::FaultsUnsupported { protocol } => {
+                write!(
+                    f,
+                    "protocol `{protocol}` does not support fault injection; \
+                     faults need the event engine and a fault-aware protocol"
+                )
+            }
+            SimError::InvalidFaultParam {
+                name,
+                value,
+                constraint,
+            } => {
+                write!(
+                    f,
+                    "fault parameter {name} must be {constraint}, got {value}"
+                )
+            }
             SimError::Observer(m) => write!(f, "trial observer failed: {m}"),
         }
     }
@@ -85,6 +118,12 @@ mod tests {
             SimError::EmptyNetwork,
             SimError::InvalidTimeLimit(-1.0),
             SimError::EngineUnsupported { protocol: "sync" },
+            SimError::FaultsUnsupported { protocol: "sync" },
+            SimError::InvalidFaultParam {
+                name: "drop",
+                value: 1.5,
+                constraint: "within [0, 1]",
+            },
             SimError::Observer("disk full".into()),
         ] {
             assert!(!e.to_string().is_empty());

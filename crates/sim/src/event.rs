@@ -19,7 +19,10 @@
 //! (see the delta-contract tests in `gossip-dynamics` and the KS
 //! equivalence suite in `tests/engine_equivalence.rs`).
 
-use crate::{IncrementalProtocol, RunConfig, SimError, SimWorkspace, SpreadOutcome};
+use crate::{
+    FaultModel, IncrementalProtocol, RunConfig, SimError, SimWorkspace, SpreadOutcome,
+    TrialOutcome, WindowCtx,
+};
 use gossip_dynamics::DynamicNetwork;
 use gossip_graph::NodeId;
 use gossip_stats::SimRng;
@@ -46,12 +49,29 @@ use gossip_stats::SimRng;
 pub struct EventSimulation<P> {
     protocol: P,
     config: RunConfig,
+    faults: Option<FaultModel>,
 }
 
 impl<P: IncrementalProtocol> EventSimulation<P> {
     /// Creates an engine from a protocol and a run configuration.
     pub fn new(protocol: P, config: RunConfig) -> Self {
-        EventSimulation { protocol, config }
+        EventSimulation {
+            protocol,
+            config,
+            faults: None,
+        }
+    }
+
+    /// Attaches a fault model. An *active* model (see
+    /// [`FaultModel::is_active`]) requires a protocol that reports
+    /// [`IncrementalProtocol::supports_faults`]; otherwise `run` fails
+    /// with [`SimError::FaultsUnsupported`]. Fault randomness is drawn
+    /// from a dedicated stream seeded by `(model.seed, trial seed)`, so
+    /// the trial stream — and every fault-free outcome — is bit-identical
+    /// to a run without the model.
+    pub fn with_faults(mut self, faults: FaultModel) -> Self {
+        self.faults = Some(faults);
+        self
     }
 
     /// Access to the wrapped protocol.
@@ -126,6 +146,14 @@ impl<P: IncrementalProtocol> EventSimulation<P> {
         if !(self.config.max_time > 0.0) {
             return Err(SimError::InvalidTimeLimit(self.config.max_time));
         }
+        if let Some(m) = &self.faults {
+            m.validate()?;
+            if m.is_active() && !self.protocol.supports_faults() {
+                return Err(SimError::FaultsUnsupported {
+                    protocol: self.protocol.name(),
+                });
+            }
+        }
         Ok(n)
     }
 
@@ -149,6 +177,14 @@ impl<P: IncrementalProtocol> EventSimulation<P> {
         // protocol's drive_window keep pre-drawn randomness and auxiliary
         // state alive across window boundaries.
         let static_net = net.is_static();
+        // Fault state lives on a dedicated RNG stream keyed by the trial
+        // seed, so activating a model never perturbs the trial stream.
+        let mut fault_state = self
+            .faults
+            .as_ref()
+            .filter(|m| m.is_active())
+            .map(|m| m.state_for_trial(n, rng.base_seed()));
+        let budget = self.config.max_events.unwrap_or(u64::MAX);
         let mut events: u64 = 0;
         let mut t: u64 = 0;
         loop {
@@ -167,6 +203,22 @@ impl<P: IncrementalProtocol> EventSimulation<P> {
                 (None, _) => self.protocol.rebuild(g, &informed, ws),
             }
             self.protocol.on_window(g, t, &informed, rng);
+            if let Some(fs) = fault_state.as_mut() {
+                // Crash/recovery coins for the window, then the liveness
+                // check: with no recovery, an all-down informed set can
+                // never spread again.
+                fs.begin_window(g, t);
+                if fs.stuck(&informed) {
+                    return Ok(SpreadOutcome::unfinished(
+                        t,
+                        n,
+                        informed,
+                        trajectory,
+                        events,
+                        TrialOutcome::Died,
+                    ));
+                }
+            }
             if self.config.record_trajectory {
                 trajectory.push((t as f64, informed.len()));
             }
@@ -174,9 +226,12 @@ impl<P: IncrementalProtocol> EventSimulation<P> {
             // The event loop inside [t, t+1) on the fixed graph g: either
             // the protocol's own specialized loop or the scalar reference
             // loop (see IncrementalProtocol::drive_window).
-            let step = self
-                .protocol
-                .drive_window(g, t, &mut informed, rng, static_net);
+            let ctx = WindowCtx {
+                static_window: static_net,
+                faults: fault_state.as_mut(),
+                events_left: budget - events,
+            };
+            let step = self.protocol.drive_window(g, t, &mut informed, rng, ctx);
             events += step.events;
             if let Some(tau) = step.completed_at {
                 debug_assert!(informed.is_full(), "completion with uninformed nodes");
@@ -193,10 +248,28 @@ impl<P: IncrementalProtocol> EventSimulation<P> {
                 ));
             }
 
+            if events >= budget {
+                // Watchdog: the event budget is exhausted without
+                // completion — report it rather than spin further.
+                return Ok(SpreadOutcome::unfinished(
+                    t + 1,
+                    n,
+                    informed,
+                    trajectory,
+                    events,
+                    TrialOutcome::Budget,
+                ));
+            }
+
             t += 1;
             if t as f64 >= self.config.max_time {
                 return Ok(SpreadOutcome::unfinished(
-                    t, n, informed, trajectory, events,
+                    t,
+                    n,
+                    informed,
+                    trajectory,
+                    events,
+                    TrialOutcome::Budget,
                 ));
             }
         }

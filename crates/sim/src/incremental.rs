@@ -20,9 +20,10 @@
 //! implementation as the independently-tested reference; the equivalence
 //! tests cross-validate the two engines' spread-time distributions.
 
-use crate::async_naive::{resolve_tick, Direction};
+use crate::async_naive::{resolve_tick, resolve_tick_faulty, Direction};
 use crate::{
-    AsyncPull, AsyncPush, AsyncPushPull, CutRateAsync, LossyAsync, Protocol, SimWorkspace, TwoPush,
+    AsyncPull, AsyncPush, AsyncPushPull, CutRateAsync, FaultState, LossyAsync, Protocol,
+    SimWorkspace, TwoPush,
 };
 use gossip_dynamics::EdgeDelta;
 use gossip_graph::{NodeId, NodeSet, Topology};
@@ -39,6 +40,40 @@ pub struct WindowStep {
     /// Number of Poisson events resolved in this window (informative or
     /// not) — the unit of the events/sec throughput accounting.
     pub events: u64,
+}
+
+/// Engine-supplied context for one [`IncrementalProtocol::drive_window`]
+/// call: the static-network promise, the active fault state (if any), and
+/// the remaining event budget.
+#[derive(Debug)]
+pub struct WindowCtx<'a> {
+    /// The engine's promise that the network is static for the entire run
+    /// (no RNG-consuming topology callbacks between windows) — the
+    /// license for optimizations whose state or pre-drawn randomness
+    /// outlives one window, e.g. batched exponential-clock draws.
+    pub static_window: bool,
+    /// The per-trial fault state, already advanced to this window via
+    /// [`FaultState::begin_window`]; `None` when no faults are active.
+    /// When `Some`, the loop must veto events through the fault state
+    /// (protocols advertise support via
+    /// [`IncrementalProtocol::supports_faults`]).
+    pub faults: Option<&'a mut FaultState>,
+    /// How many more Poisson events this trial may resolve
+    /// ([`crate::RunConfig::max_events`] watchdog); `u64::MAX` when
+    /// unbounded. The loop must return — before drawing the next clock
+    /// gap — once it has resolved this many events in the window.
+    pub events_left: u64,
+}
+
+impl<'a> WindowCtx<'a> {
+    /// A fault-free, unbounded context (the common case).
+    pub fn unbounded(static_window: bool) -> Self {
+        WindowCtx {
+            static_window,
+            faults: None,
+            events_left: u64::MAX,
+        }
+    }
 }
 
 /// A protocol whose per-node state advances event by event instead of
@@ -109,6 +144,35 @@ pub trait IncrementalProtocol: Protocol {
         rng: &mut SimRng,
     ) -> Option<NodeId>;
 
+    /// Whether this protocol honors an active [`crate::FaultModel`]
+    /// (crashed nodes rate-zero, per-message drops) through
+    /// [`IncrementalProtocol::resolve_event_faulty`]. Protocols that
+    /// return `false` (the default) are rejected up front when a fault
+    /// model is attached ([`crate::SimError::FaultsUnsupported`]) rather
+    /// than silently ignoring it.
+    fn supports_faults(&self) -> bool {
+        false
+    }
+
+    /// [`IncrementalProtocol::resolve_event`] under an active fault
+    /// state: the tick must additionally be voided when a down node is
+    /// involved or the fault drop coin fires (exact thinning — see the
+    /// `fault` module docs). Fault coins come from `faults`' dedicated
+    /// RNG, never from `rng`, so the trial stream is untouched. The
+    /// default ignores faults entirely and is only correct for protocols
+    /// with `supports_faults() == false` (which never receive a fault
+    /// state).
+    fn resolve_event_faulty(
+        &mut self,
+        g: &Topology,
+        informed: &NodeSet,
+        rng: &mut SimRng,
+        faults: &mut FaultState,
+    ) -> Option<NodeId> {
+        let _ = faults;
+        self.resolve_event(g, informed, rng)
+    }
+
     /// `O(deg(v))` state update after `v` was inserted into `informed`.
     fn commit(&mut self, g: &Topology, v: NodeId, informed: &NodeSet);
 
@@ -138,24 +202,22 @@ pub trait IncrementalProtocol: Protocol {
 
     /// Drives the whole event loop of window `[t, t + 1)` on the fixed
     /// graph `g`, informing nodes into `informed` until the window closes,
-    /// the event clock idles, or the spread completes.
+    /// the event clock idles, the event budget runs out, or the spread
+    /// completes.
     ///
-    /// `static_window` is the engine's promise that the network is static
-    /// for the entire run (no RNG-consuming topology callbacks between
-    /// windows) — the license for optimizations whose state or pre-drawn
-    /// randomness outlives one window, e.g. batched exponential-clock
-    /// draws. The default delegates to [`generic_drive_window`], the
-    /// scalar per-event reference loop.
+    /// `ctx` carries the engine's static-network promise, the active
+    /// fault state, and the remaining event budget (see [`WindowCtx`]).
+    /// The default delegates to [`generic_drive_window`], the scalar
+    /// per-event reference loop.
     fn drive_window(
         &mut self,
         g: &Topology,
         t: u64,
         informed: &mut NodeSet,
         rng: &mut SimRng,
-        static_window: bool,
+        ctx: WindowCtx<'_>,
     ) -> WindowStep {
-        let _ = static_window;
-        generic_drive_window(self, g, t, informed, rng)
+        generic_drive_window(self, g, t, informed, rng, ctx)
     }
 }
 
@@ -173,11 +235,20 @@ pub(crate) fn generic_drive_window<P: IncrementalProtocol + ?Sized>(
     t: u64,
     informed: &mut NodeSet,
     rng: &mut SimRng,
+    ctx: WindowCtx<'_>,
 ) -> WindowStep {
+    let WindowCtx {
+        mut faults,
+        events_left,
+        ..
+    } = ctx;
     let mut tau = t as f64;
     let end = (t + 1) as f64;
     let mut events = 0u64;
     loop {
+        if events == events_left {
+            break; // event budget exhausted: stop before the next gap draw
+        }
         let lambda = protocol.event_rate(g, informed);
         if lambda <= 0.0 {
             break; // idle until the next topology change
@@ -187,7 +258,11 @@ pub(crate) fn generic_drive_window<P: IncrementalProtocol + ?Sized>(
             break;
         }
         events += 1;
-        if let Some(v) = protocol.resolve_event(g, informed, rng) {
+        let resolved = match faults.as_deref_mut() {
+            Some(f) => protocol.resolve_event_faulty(g, informed, rng, f),
+            None => protocol.resolve_event(g, informed, rng),
+        };
+        if let Some(v) = resolved {
             debug_assert!(!informed.contains(v), "event informed a known node");
             informed.insert(v);
             if informed.is_full() {
@@ -241,6 +316,20 @@ impl<T: IncrementalProtocol + ?Sized> IncrementalProtocol for &mut T {
         (**self).resolve_event(g, informed, rng)
     }
 
+    fn supports_faults(&self) -> bool {
+        (**self).supports_faults()
+    }
+
+    fn resolve_event_faulty(
+        &mut self,
+        g: &Topology,
+        informed: &NodeSet,
+        rng: &mut SimRng,
+        faults: &mut FaultState,
+    ) -> Option<NodeId> {
+        (**self).resolve_event_faulty(g, informed, rng, faults)
+    }
+
     fn commit(&mut self, g: &Topology, v: NodeId, informed: &NodeSet) {
         (**self).commit(g, v, informed)
     }
@@ -255,9 +344,9 @@ impl<T: IncrementalProtocol + ?Sized> IncrementalProtocol for &mut T {
         t: u64,
         informed: &mut NodeSet,
         rng: &mut SimRng,
-        static_window: bool,
+        ctx: WindowCtx<'_>,
     ) -> WindowStep {
-        (**self).drive_window(g, t, informed, rng, static_window)
+        (**self).drive_window(g, t, informed, rng, ctx)
     }
 }
 
@@ -297,6 +386,20 @@ impl<T: IncrementalProtocol + ?Sized> IncrementalProtocol for Box<T> {
         (**self).resolve_event(g, informed, rng)
     }
 
+    fn supports_faults(&self) -> bool {
+        (**self).supports_faults()
+    }
+
+    fn resolve_event_faulty(
+        &mut self,
+        g: &Topology,
+        informed: &NodeSet,
+        rng: &mut SimRng,
+        faults: &mut FaultState,
+    ) -> Option<NodeId> {
+        (**self).resolve_event_faulty(g, informed, rng, faults)
+    }
+
     fn commit(&mut self, g: &Topology, v: NodeId, informed: &NodeSet) {
         (**self).commit(g, v, informed)
     }
@@ -311,9 +414,9 @@ impl<T: IncrementalProtocol + ?Sized> IncrementalProtocol for Box<T> {
         t: u64,
         informed: &mut NodeSet,
         rng: &mut SimRng,
-        static_window: bool,
+        ctx: WindowCtx<'_>,
     ) -> WindowStep {
-        (**self).drive_window(g, t, informed, rng, static_window)
+        (**self).drive_window(g, t, informed, rng, ctx)
     }
 }
 
@@ -386,6 +489,27 @@ impl IncrementalProtocol for CutRateAsync {
         v
     }
 
+    fn supports_faults(&self) -> bool {
+        true
+    }
+
+    /// Exact thinning of the cut-rate proposal: the sampler keeps drawing
+    /// from the fault-free rates (trial RNG untouched) and the fault
+    /// state vetoes the proposed node with the complementary probability
+    /// of `(1 − drop) · r'_v / r_v` (see [`FaultState::accepts_cut_event`]).
+    /// A vetoed proposal is a non-informative event: no commit, rates
+    /// unchanged.
+    fn resolve_event_faulty(
+        &mut self,
+        g: &Topology,
+        informed: &NodeSet,
+        rng: &mut SimRng,
+        faults: &mut FaultState,
+    ) -> Option<NodeId> {
+        let v = self.resolve_event(g, informed, rng)?;
+        faults.accepts_cut_event(g, informed, v).then_some(v)
+    }
+
     fn commit(&mut self, g: &Topology, v: NodeId, informed: &NodeSet) {
         self.absorb_informed(g, v, informed);
     }
@@ -403,12 +527,12 @@ impl IncrementalProtocol for CutRateAsync {
         t: u64,
         informed: &mut NodeSet,
         rng: &mut SimRng,
-        static_window: bool,
+        ctx: WindowCtx<'_>,
     ) -> WindowStep {
-        if self.use_fast_loop(static_window) {
-            self.drive_window_fast(g, t, informed, rng)
+        if self.use_fast_loop(ctx.static_window) {
+            self.drive_window_fast(g, t, informed, rng, ctx.faults, ctx.events_left)
         } else {
-            generic_drive_window(self, g, t, informed, rng)
+            generic_drive_window(self, g, t, informed, rng, ctx)
         }
     }
 }
@@ -420,7 +544,7 @@ impl IncrementalProtocol for CutRateAsync {
 // ---------------------------------------------------------------------------
 
 macro_rules! impl_incremental_naive {
-    ($ty:ty, $rate:expr, $resolve:expr) => {
+    ($ty:ty, $rate:expr, $resolve:expr, $resolve_faulty:expr) => {
         impl IncrementalProtocol for $ty {
             fn rebuild(&mut self, _g: &Topology, _informed: &NodeSet, _ws: &mut SimWorkspace) {}
 
@@ -448,6 +572,21 @@ macro_rules! impl_incremental_naive {
                 ($resolve)(g, informed, rng)
             }
 
+            fn supports_faults(&self) -> bool {
+                true
+            }
+
+            fn resolve_event_faulty(
+                &mut self,
+                g: &Topology,
+                informed: &NodeSet,
+                rng: &mut SimRng,
+                faults: &mut FaultState,
+            ) -> Option<NodeId> {
+                #[allow(clippy::redundant_closure_call)]
+                ($resolve_faulty)(g, informed, rng, faults)
+            }
+
             fn commit(&mut self, _g: &Topology, _v: NodeId, _informed: &NodeSet) {}
         }
     };
@@ -461,7 +600,10 @@ impl_incremental_naive!(
         g,
         informed,
         rng
-    )
+    ),
+    |g: &Topology, informed: &NodeSet, rng: &mut SimRng, faults: &mut FaultState| {
+        resolve_tick_faulty(Direction::PushPull, g, informed, rng, faults)
+    }
 );
 impl_incremental_naive!(
     AsyncPush,
@@ -471,7 +613,10 @@ impl_incremental_naive!(
         g,
         informed,
         rng
-    )
+    ),
+    |g: &Topology, informed: &NodeSet, rng: &mut SimRng, faults: &mut FaultState| {
+        resolve_tick_faulty(Direction::Push, g, informed, rng, faults)
+    }
 );
 impl_incremental_naive!(
     AsyncPull,
@@ -481,7 +626,10 @@ impl_incremental_naive!(
         g,
         informed,
         rng
-    )
+    ),
+    |g: &Topology, informed: &NodeSet, rng: &mut SimRng, faults: &mut FaultState| {
+        resolve_tick_faulty(Direction::Pull, g, informed, rng, faults)
+    }
 );
 
 // 2-push: rate-2 clocks, informed callers push to a uniform neighbor.
@@ -499,6 +647,21 @@ impl_incremental_naive!(
         }
         let callee = g.neighbor(caller, rng.index(deg));
         (!informed.contains(callee)).then_some(callee)
+    },
+    |g: &Topology, informed: &NodeSet, rng: &mut SimRng, faults: &mut FaultState| {
+        let caller = rng.index(g.n()) as NodeId;
+        if !informed.contains(caller) || faults.is_down(caller) {
+            return None;
+        }
+        let deg = g.degree(caller);
+        if deg == 0 {
+            return None;
+        }
+        let callee = g.neighbor(caller, rng.index(deg));
+        if informed.contains(callee) || faults.is_down(callee) || faults.drops_message() {
+            return None;
+        }
+        Some(callee)
     }
 );
 
@@ -541,6 +704,25 @@ impl IncrementalProtocol for LossyAsync {
         rng: &mut SimRng,
     ) -> Option<NodeId> {
         self.resolve_contact(g, informed, rng)
+    }
+
+    fn supports_faults(&self) -> bool {
+        true
+    }
+
+    /// Composes the protocol's own loss/downtime with the external fault
+    /// layer: a contact survives only if neither endpoint is down in
+    /// *either* layer, the protocol loss coin passes (trial RNG, same
+    /// draw order as the fault-free path), and the fault drop coin passes
+    /// (fault RNG).
+    fn resolve_event_faulty(
+        &mut self,
+        g: &Topology,
+        informed: &NodeSet,
+        rng: &mut SimRng,
+        faults: &mut FaultState,
+    ) -> Option<NodeId> {
+        self.resolve_contact_faulty(g, informed, rng, faults)
     }
 
     fn commit(&mut self, _g: &Topology, _v: NodeId, _informed: &NodeSet) {}

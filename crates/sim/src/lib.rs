@@ -82,6 +82,7 @@ mod async_naive;
 mod engine;
 mod error;
 mod event;
+mod fault;
 mod flooding;
 mod incremental;
 mod lossy;
@@ -98,8 +99,9 @@ pub use async_naive::{AsyncPull, AsyncPush, AsyncPushPull};
 pub use engine::{RunConfig, Simulation, SpreadOutcome};
 pub use error::SimError;
 pub use event::EventSimulation;
+pub use fault::{FaultModel, FaultState, TrialError, TrialOutcome};
 pub use flooding::Flooding;
-pub use incremental::{IncrementalProtocol, WindowStep};
+pub use incremental::{IncrementalProtocol, WindowCtx, WindowStep};
 pub use lossy::LossyAsync;
 pub use observer::{
     JsonlSink, SummarySink, TrajectorySink, TrialObserver, TrialRecord, TrialTrajectory,

@@ -146,6 +146,45 @@ impl LossyAsync {
         }
     }
 
+    /// [`LossyAsync::resolve_contact`] composed with an external
+    /// [`crate::FaultState`]: the contact additionally dies when either
+    /// endpoint is down in the fault layer or the fault drop coin fires.
+    /// Trial-RNG draws keep the fault-free sequence (caller, neighbor,
+    /// loss coin); fault checks only short-circuit between them, and
+    /// fault coins come from the fault stream. Only called when a fault
+    /// model is active (the fault-free path is bit-untouched).
+    pub(crate) fn resolve_contact_faulty(
+        &mut self,
+        g: &Topology,
+        informed: &NodeSet,
+        rng: &mut SimRng,
+        faults: &mut crate::FaultState,
+    ) -> Option<gossip_graph::NodeId> {
+        let caller = rng.index(g.n()) as gossip_graph::NodeId;
+        if self.down.contains(caller) || faults.is_down(caller) {
+            return None;
+        }
+        let deg = g.degree(caller);
+        if deg == 0 {
+            return None;
+        }
+        let callee = g.neighbor(caller, rng.index(deg));
+        if self.down.contains(callee) || faults.is_down(callee) {
+            return None;
+        }
+        if self.loss > 0.0 && rng.chance(self.loss) {
+            return None;
+        }
+        if faults.drops_message() {
+            return None;
+        }
+        match (informed.contains(caller), informed.contains(callee)) {
+            (true, false) => Some(callee),
+            (false, true) => Some(caller),
+            _ => None,
+        }
+    }
+
     /// Trial-boundary reset that keeps the down-set allocation: clears the
     /// retained bitset in place when the universe matches (the
     /// workspace-reuse analogue of [`Protocol::begin`], which allocates a

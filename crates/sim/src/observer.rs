@@ -16,8 +16,8 @@
 //! 1 thread and k threads.
 
 use crate::runner::TrialSummary;
-use crate::{SimError, SpreadOutcome};
-use gossip_stats::RunningMoments;
+use crate::{SimError, SpreadOutcome, TrialError, TrialOutcome};
+use gossip_stats::{OutcomeCounts, RunningMoments};
 use serde::{DeError, Deserialize, Serialize, Value};
 use std::io::Write;
 
@@ -49,6 +49,9 @@ pub struct TrialRecord {
     pub events: u64,
     /// Informed nodes at the end of the trial (`n` when complete).
     pub informed: usize,
+    /// How the trial ended: full spread, fault death, or budget cutoff
+    /// (see [`TrialOutcome`]).
+    pub outcome: TrialOutcome,
     /// `(time, |I(t)|)` samples when trajectory recording was on.
     pub trajectory: Option<Vec<(f64, usize)>>,
 }
@@ -67,6 +70,7 @@ impl Serialize for TrialRecord {
             ("windows".into(), self.windows.to_value()),
             ("events".into(), self.events.to_value()),
             ("informed".into(), self.informed.to_value()),
+            ("outcome".into(), self.outcome.to_value()),
             ("trajectory".into(), self.trajectory.to_value()),
         ])
     }
@@ -81,15 +85,25 @@ impl Deserialize for TrialRecord {
         let seed = seed
             .parse::<u64>()
             .map_err(|_| DeError::message(format!("seed: not a u64: `{seed}`")))?;
+        let spread_time: Option<f64> = serde::de_field(map, "spread_time")?;
+        // Absent in pre-outcome JSONL files: those predate faults, so a
+        // completed trial spread and anything else hit the time cutoff.
+        let outcome: Option<TrialOutcome> = serde::de_field(map, "outcome")?;
+        let outcome = outcome.unwrap_or(if spread_time.is_some() {
+            TrialOutcome::Spread
+        } else {
+            TrialOutcome::Budget
+        });
         Ok(TrialRecord {
             trial: serde::de_field(map, "trial")?,
             seed,
             n: serde::de_field(map, "n")?,
-            spread_time: serde::de_field(map, "spread_time")?,
+            spread_time,
             windows: serde::de_field(map, "windows")?,
             // Absent in pre-events JSONL files: default to 0 there.
             events: serde::de_field(map, "events").unwrap_or(0),
             informed: serde::de_field(map, "informed")?,
+            outcome,
             trajectory: serde::de_field(map, "trajectory")?,
         })
     }
@@ -113,6 +127,7 @@ impl TrialRecord {
             windows: outcome.windows(),
             events: outcome.events(),
             informed: outcome.informed_count(),
+            outcome: outcome.outcome(),
             trajectory: recording.then(|| outcome.into_trajectory()),
         }
     }
@@ -130,12 +145,13 @@ impl TrialRecord {
         recording: bool,
         ws: &mut crate::SimWorkspace,
     ) -> Self {
-        let (n, spread_time, windows, events, informed) = (
+        let (n, spread_time, windows, events, informed, how) = (
             outcome.n(),
             outcome.spread_time(),
             outcome.windows(),
             outcome.events(),
             outcome.informed_count(),
+            outcome.outcome(),
         );
         let (informed_set, trajectory) = outcome.into_buffers();
         ws.put_informed(informed_set);
@@ -153,6 +169,7 @@ impl TrialRecord {
             windows,
             events,
             informed,
+            outcome: how,
             trajectory,
         }
     }
@@ -184,6 +201,21 @@ pub trait TrialObserver {
     /// disk) aborts the run with that error.
     fn on_trial(&mut self, record: &TrialRecord) -> Result<(), SimError>;
 
+    /// Receives a trial that panicked instead of producing a record
+    /// (delivered in its trial-order slot, interleaved with `on_trial`).
+    /// The run continues: panic isolation quarantines the worker state
+    /// and later trials still arrive. Default: ignore. Buffered sinks
+    /// should flush here so everything delivered before the fault is
+    /// durable even if the process dies next.
+    ///
+    /// # Errors
+    ///
+    /// As [`TrialObserver::on_trial`].
+    fn on_trial_error(&mut self, error: &TrialError) -> Result<(), SimError> {
+        let _ = error;
+        Ok(())
+    }
+
     /// Called once after the last record of a batch; flush buffers here.
     ///
     /// # Errors
@@ -203,6 +235,10 @@ impl<T: TrialObserver + ?Sized> TrialObserver for &mut T {
         (**self).on_trial(record)
     }
 
+    fn on_trial_error(&mut self, error: &TrialError) -> Result<(), SimError> {
+        (**self).on_trial_error(error)
+    }
+
     fn finish(&mut self) -> Result<(), SimError> {
         (**self).finish()
     }
@@ -215,6 +251,10 @@ impl<T: TrialObserver + ?Sized> TrialObserver for Box<T> {
 
     fn on_trial(&mut self, record: &TrialRecord) -> Result<(), SimError> {
         (**self).on_trial(record)
+    }
+
+    fn on_trial_error(&mut self, error: &TrialError) -> Result<(), SimError> {
+        (**self).on_trial_error(error)
     }
 
     fn finish(&mut self) -> Result<(), SimError> {
@@ -238,6 +278,7 @@ pub struct SummarySink {
     moments: RunningMoments,
     trials: usize,
     events: u64,
+    outcomes: OutcomeCounts,
 }
 
 impl SummarySink {
@@ -258,9 +299,14 @@ impl SummarySink {
         self.events
     }
 
+    /// Per-[`TrialOutcome`] tallies of the records received so far.
+    pub fn outcomes(&self) -> OutcomeCounts {
+        self.outcomes
+    }
+
     /// Consumes the sink into the accumulated summary.
     pub fn into_summary(self) -> TrialSummary {
-        TrialSummary::from_stream(self.trials, self.times, self.moments)
+        TrialSummary::from_stream(self.trials, self.times, self.moments, self.outcomes)
     }
 
     /// The accumulated summary, leaving the sink usable (clones the
@@ -274,6 +320,7 @@ impl TrialObserver for SummarySink {
     fn on_trial(&mut self, record: &TrialRecord) -> Result<(), SimError> {
         self.trials += 1;
         self.events += record.events;
+        record.outcome.tally(&mut self.outcomes);
         if let Some(t) = record.spread_time {
             self.times.push(t);
             self.moments.push(t);
@@ -292,9 +339,16 @@ impl TrialObserver for SummarySink {
 /// line round-trips through `serde_json::from_str::<TrialRecord>` exactly
 /// (floats are printed in shortest-round-trip form), so downstream
 /// analysis can rebuild bit-identical statistics from the file.
+///
+/// Crash-safety: the sink flushes on [`TrialObserver::finish`], after
+/// every [`TrialObserver::on_trial_error`] (so all records delivered
+/// before a faulted trial are durable), and on drop (best effort —
+/// use [`JsonlSink::into_inner`] or `finish` to observe flush errors).
 #[derive(Debug)]
 pub struct JsonlSink<W: Write> {
-    out: W,
+    // `Option` so `into_inner` can take the writer out from under Drop;
+    // `None` only transiently during that take.
+    out: Option<W>,
     records: usize,
 }
 
@@ -314,12 +368,25 @@ impl JsonlSink<std::io::BufWriter<std::fs::File>> {
 impl<W: Write> JsonlSink<W> {
     /// Wraps an arbitrary writer (a file, a `Vec<u8>`, a socket…).
     pub fn new(out: W) -> Self {
-        JsonlSink { out, records: 0 }
+        JsonlSink {
+            out: Some(out),
+            records: 0,
+        }
     }
 
     /// Number of records written so far.
     pub fn records(&self) -> usize {
         self.records
+    }
+
+    fn out(&mut self) -> &mut W {
+        self.out.as_mut().expect("writer taken only by into_inner")
+    }
+
+    fn flush(&mut self) -> Result<(), SimError> {
+        self.out()
+            .flush()
+            .map_err(|e| SimError::Observer(e.to_string()))
     }
 
     /// Flushes and returns the underlying writer.
@@ -328,23 +395,36 @@ impl<W: Write> JsonlSink<W> {
     ///
     /// Any [`std::io::Error`] from the final flush.
     pub fn into_inner(mut self) -> std::io::Result<W> {
-        self.out.flush()?;
-        Ok(self.out)
+        let mut out = self.out.take().expect("writer taken only by into_inner");
+        out.flush()?;
+        Ok(out)
     }
 }
 
 impl<W: Write> TrialObserver for JsonlSink<W> {
     fn on_trial(&mut self, record: &TrialRecord) -> Result<(), SimError> {
         let line = serde_json::to_string(record);
-        writeln!(self.out, "{line}").map_err(|e| SimError::Observer(e.to_string()))?;
+        writeln!(self.out(), "{line}").map_err(|e| SimError::Observer(e.to_string()))?;
         self.records += 1;
         Ok(())
     }
 
+    fn on_trial_error(&mut self, _error: &TrialError) -> Result<(), SimError> {
+        // A faulted trial writes no line, but everything before it
+        // becomes durable right away.
+        self.flush()
+    }
+
     fn finish(&mut self) -> Result<(), SimError> {
-        self.out
-            .flush()
-            .map_err(|e| SimError::Observer(e.to_string()))
+        self.flush()
+    }
+}
+
+impl<W: Write> Drop for JsonlSink<W> {
+    fn drop(&mut self) {
+        if let Some(out) = self.out.as_mut() {
+            let _ = out.flush();
+        }
     }
 }
 
@@ -476,6 +556,11 @@ mod tests {
             windows: 3,
             events: 7,
             informed: if time.is_some() { 8 } else { 5 },
+            outcome: if time.is_some() {
+                TrialOutcome::Spread
+            } else {
+                TrialOutcome::Budget
+            },
             trajectory: None,
         }
     }
@@ -518,6 +603,55 @@ mod tests {
             .map(|l| serde_json::from_str(l).unwrap())
             .collect();
         assert_eq!(parsed, records);
+    }
+
+    #[test]
+    fn legacy_lines_without_outcome_still_parse() {
+        // Pre-fault JSONL: no `outcome` key. Completed trials infer
+        // `spread`, cutoff trials infer `budget`.
+        let done = r#"{"trial":0,"seed":"7","n":8,"spread_time":1.5,"windows":2,"events":9,"informed":8,"trajectory":null}"#;
+        let cut = r#"{"trial":1,"seed":"14","n":8,"spread_time":null,"windows":3,"events":9,"informed":5,"trajectory":null}"#;
+        let r: TrialRecord = serde_json::from_str(done).unwrap();
+        assert_eq!(r.outcome, TrialOutcome::Spread);
+        let r: TrialRecord = serde_json::from_str(cut).unwrap();
+        assert_eq!(r.outcome, TrialOutcome::Budget);
+    }
+
+    #[test]
+    fn jsonl_flushes_on_trial_error_and_drop() {
+        use std::io::BufWriter;
+        use std::sync::{Arc, Mutex};
+
+        #[derive(Clone, Default)]
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let shared = Shared::default();
+        let mut sink = JsonlSink::new(BufWriter::with_capacity(1 << 20, shared.clone()));
+        sink.on_trial(&record(0, Some(1.0))).unwrap();
+        assert!(shared.0.lock().unwrap().is_empty(), "still buffered");
+        sink.on_trial_error(&TrialError {
+            trial: 1,
+            seed: 7,
+            message: "boom".into(),
+        })
+        .unwrap();
+        assert!(!shared.0.lock().unwrap().is_empty(), "error flushes buffer");
+        let before = shared.0.lock().unwrap().len();
+        sink.on_trial(&record(2, None)).unwrap();
+        drop(sink);
+        assert!(
+            shared.0.lock().unwrap().len() > before,
+            "drop flushes the tail"
+        );
     }
 
     #[test]

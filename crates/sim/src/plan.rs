@@ -45,14 +45,15 @@
 
 use crate::observer::{SummarySink, TrialObserver, TrialRecord};
 use crate::{
-    EventSimulation, IncrementalProtocol, Protocol, RunConfig, SimError, SimWorkspace, Simulation,
-    TrialSummary,
+    EventSimulation, FaultModel, IncrementalProtocol, Protocol, RunConfig, SimError, SimWorkspace,
+    Simulation, TrialError, TrialSummary,
 };
 use gossip_dynamics::DynamicNetwork;
 use gossip_graph::NodeId;
 use gossip_stats::SimRng;
 use std::collections::BTreeMap;
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{mpsc, Condvar, Mutex};
 
 // ---------------------------------------------------------------------------
@@ -95,6 +96,16 @@ impl AnyProtocol {
     /// Whether the protocol can run on the event-stream engine.
     pub fn supports_event(&self) -> bool {
         matches!(self, AnyProtocol::Event(_))
+    }
+
+    /// Whether the protocol honors an active [`FaultModel`] (see
+    /// [`IncrementalProtocol::supports_faults`]; window-only protocols
+    /// never do).
+    pub fn supports_faults(&self) -> bool {
+        match self {
+            AnyProtocol::Window(_) => false,
+            AnyProtocol::Event(p) => p.supports_faults(),
+        }
     }
 
     /// Converts into a window-engine trait object (always possible).
@@ -173,6 +184,7 @@ pub struct RunPlan<'o> {
     start: Option<NodeId>,
     workspace: bool,
     vectorized: bool,
+    faults: Option<FaultModel>,
     observers: Vec<Box<dyn TrialObserver + 'o>>,
 }
 
@@ -187,6 +199,7 @@ impl fmt::Debug for RunPlan<'_> {
             .field("start", &self.start)
             .field("workspace", &self.workspace)
             .field("vectorized", &self.vectorized)
+            .field("faults", &self.faults)
             .field("observers", &self.observers.len())
             .finish()
     }
@@ -209,8 +222,21 @@ impl<'o> RunPlan<'o> {
             start: None,
             workspace: true,
             vectorized: true,
+            faults: None,
             observers: Vec::new(),
         }
+    }
+
+    /// Attaches a [`FaultModel`] to every trial. An active model needs
+    /// the event engine and a fault-aware protocol
+    /// ([`AnyProtocol::supports_faults`]); otherwise `execute` fails
+    /// with [`SimError::FaultsUnsupported`] before running anything.
+    /// Fault draws come from a dedicated stream seeded by
+    /// `(model.seed, trial seed)`, so per-trial results stay
+    /// deterministic by `(model, base_seed)` for any thread count.
+    pub fn faults(mut self, faults: FaultModel) -> Self {
+        self.faults = Some(faults);
+        self
     }
 
     /// Selects the trial hot path (default `true`: workspace reuse).
@@ -332,6 +358,15 @@ impl<'o> RunPlan<'o> {
             }
             Engine::Window => false,
         };
+        if let Some(m) = &self.faults {
+            m.validate()?;
+            if m.is_active() && !(use_event && probe.supports_faults()) {
+                // The window engine has no fault hooks, and a protocol
+                // without faulty resolvers would silently ignore the
+                // model — refuse instead of producing clean data.
+                return Err(SimError::FaultsUnsupported { protocol });
+            }
+        }
         drop(probe);
 
         let mut config = self.config;
@@ -346,15 +381,28 @@ impl<'o> RunPlan<'o> {
         }
 
         let mut summary = SummarySink::new();
+        let mut trial_errors: Vec<TrialError> = Vec::new();
         let started = std::time::Instant::now();
         {
             let observers = &mut self.observers;
             let summary = &mut summary;
+            let trial_errors = &mut trial_errors;
             // Delivery hands the record's trajectory buffer back (when
             // one rode along) so the inline path can recycle it into the
             // worker's workspace after the observers are done with it.
+            // Panicked trials arrive as `Err` in their trial-order slot.
             let mut deliver =
-                move |mut record: TrialRecord| -> Result<Option<Vec<(f64, usize)>>, SimError> {
+                move |item: TrialItem| -> Result<Option<Vec<(f64, usize)>>, SimError> {
+                    let mut record = match item {
+                        Ok(record) => record,
+                        Err(error) => {
+                            for o in observers.iter_mut() {
+                                o.on_trial_error(&error)?;
+                            }
+                            trial_errors.push(error);
+                            return Ok(None);
+                        }
+                    };
                     // The internal summary never fails; user observers may.
                     summary
                         .on_trial(&record)
@@ -368,6 +416,7 @@ impl<'o> RunPlan<'o> {
                             windows: record.windows,
                             events: record.events,
                             informed: record.informed,
+                            outcome: record.outcome,
                             trajectory: None,
                         };
                         for o in observers.iter_mut() {
@@ -390,6 +439,7 @@ impl<'o> RunPlan<'o> {
                 use_event,
                 self.workspace,
                 self.vectorized,
+                self.faults.as_ref(),
                 &make_net,
                 &make_proto,
                 &mut deliver,
@@ -409,7 +459,23 @@ impl<'o> RunPlan<'o> {
             },
             protocol,
             elapsed,
+            trial_errors,
         })
+    }
+}
+
+/// One delivered trial: a record, or the structured report of a trial
+/// that panicked (see [`RunPlan`] panic isolation).
+type TrialItem = Result<TrialRecord, TrialError>;
+
+/// Renders a `catch_unwind` payload as text for a [`TrialError`].
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    match payload.downcast::<String>() {
+        Ok(s) => *s,
+        Err(payload) => match payload.downcast::<&'static str>() {
+            Ok(s) => (*s).to_string(),
+            Err(_) => "non-string panic payload".to_string(),
+        },
     }
 }
 
@@ -440,6 +506,7 @@ fn make_runner<'p, N: DynamicNetwork>(
     use_event: bool,
     reuse: bool,
     vectorized: bool,
+    faults: Option<&FaultModel>,
 ) -> TrialFn<'p, N> {
     let recording = config.record_trajectory;
     if use_event {
@@ -448,6 +515,9 @@ fn make_runner<'p, N: DynamicNetwork>(
             .expect("engine resolution probed support");
         protocol.set_vectorized(vectorized);
         let mut sim = EventSimulation::new(protocol, config);
+        if let Some(m) = faults {
+            sim = sim.with_faults(m.clone());
+        }
         if reuse {
             Box::new(move |ws, net, start, trial, seed, rng| {
                 let outcome = sim.run_in(ws, net, start, rng)?;
@@ -530,6 +600,13 @@ impl Pace {
 /// failing trial or a failing `deliver` aborts the batch: running
 /// trials finish, queued ones never start.
 ///
+/// A **panicking** trial does not abort the batch: the unwind is caught,
+/// the worker's possibly-poisoned state (workspace, network, protocol)
+/// is quarantined — discarded and rebuilt from the factories — and the
+/// trial is delivered as a structured [`TrialError`] in its trial-order
+/// slot. Only structured [`SimError`]s (configuration problems that
+/// would hit every trial) cancel the run.
+///
 /// With `reuse` set, the parallel path processes trials in per-worker
 /// **chunks**: one channel message, one pacing handshake, and one reorder
 /// step per chunk instead of per trial. Chunking is invisible to
@@ -548,9 +625,10 @@ fn run_trials<N: DynamicNetwork>(
     use_event: bool,
     reuse: bool,
     vectorized: bool,
+    faults: Option<&FaultModel>,
     make_net: &(impl Fn() -> N + Sync),
     make_proto: &(impl Fn() -> AnyProtocol + Sync),
-    deliver: &mut impl FnMut(TrialRecord) -> Result<Option<Vec<(f64, usize)>>, SimError>,
+    deliver: &mut impl FnMut(TrialItem) -> Result<Option<Vec<(f64, usize)>>, SimError>,
 ) -> Result<(), SimError> {
     let base = SimRng::seed_from_u64(base_seed);
     let threads = threads.min(trials.max(1));
@@ -562,13 +640,38 @@ fn run_trials<N: DynamicNetwork>(
         // trajectory buffers flow straight back into the workspace.
         let mut ws = SimWorkspace::new();
         let mut net = make_net();
-        let mut run_one = make_runner::<N>(make_proto(), config, use_event, reuse, vectorized);
+        let mut run_one =
+            make_runner::<N>(make_proto(), config, use_event, reuse, vectorized, faults);
         let start = start.unwrap_or_else(|| net.suggested_start());
         for i in 0..trials {
             let mut rng = base.derive(i as u64);
             let seed = rng.base_seed();
-            let record = run_one(&mut ws, &mut net, start, i, seed, &mut rng)?;
-            if let Some(buf) = deliver(record)? {
+            let item = match catch_unwind(AssertUnwindSafe(|| {
+                run_one(&mut ws, &mut net, start, i, seed, &mut rng)
+            })) {
+                Ok(result) => Ok(result?),
+                Err(payload) => {
+                    // Quarantine: the unwound trial may have left the
+                    // workspace, network, or protocol state half-mutated
+                    // — rebuild all three before the next trial.
+                    ws = SimWorkspace::new();
+                    net = make_net();
+                    run_one = make_runner::<N>(
+                        make_proto(),
+                        config,
+                        use_event,
+                        reuse,
+                        vectorized,
+                        faults,
+                    );
+                    Err(TrialError {
+                        trial: i,
+                        seed,
+                        message: panic_message(payload),
+                    })
+                }
+            };
+            if let Some(buf) = deliver(item)? {
                 ws.put_trajectory(buf);
             }
         }
@@ -594,7 +697,7 @@ fn run_trials<N: DynamicNetwork>(
     let pace = Pace::new();
     let mut trial_err: Option<(usize, SimError)> = None;
     let mut observer_err: Option<SimError> = None;
-    type ChunkMsg = Result<(usize, Vec<TrialRecord>), (usize, SimError)>;
+    type ChunkMsg = Result<(usize, Vec<TrialItem>), (usize, SimError)>;
     let (tx, rx) = mpsc::sync_channel::<ChunkMsg>(window);
     std::thread::scope(|scope| {
         for tid in 0..threads {
@@ -605,27 +708,49 @@ fn run_trials<N: DynamicNetwork>(
                 let mut ws = SimWorkspace::new();
                 let mut net = make_net();
                 let mut run_one =
-                    make_runner::<N>(make_proto(), config, use_event, reuse, vectorized);
+                    make_runner::<N>(make_proto(), config, use_event, reuse, vectorized, faults);
                 let start = start.unwrap_or_else(|| net.suggested_start());
                 let mut c = tid;
                 while c < n_chunks && pace.admit(c, window) {
                     let lo = c * chunk;
                     let hi = (lo + chunk).min(trials);
-                    let mut records = Vec::with_capacity(hi - lo);
+                    let mut items: Vec<TrialItem> = Vec::with_capacity(hi - lo);
                     let mut failed: Option<(usize, SimError)> = None;
                     for i in lo..hi {
                         let mut rng = base.derive(i as u64);
                         let seed = rng.base_seed();
-                        match run_one(&mut ws, &mut net, start, i, seed, &mut rng) {
-                            Ok(record) => records.push(record),
-                            Err(e) => {
+                        match catch_unwind(AssertUnwindSafe(|| {
+                            run_one(&mut ws, &mut net, start, i, seed, &mut rng)
+                        })) {
+                            Ok(Ok(record)) => items.push(Ok(record)),
+                            Ok(Err(e)) => {
                                 failed = Some((i, e));
                                 break;
+                            }
+                            Err(payload) => {
+                                // Quarantine (see the inline path): the
+                                // panicked trial's scratch may be
+                                // inconsistent — rebuild, report, go on.
+                                items.push(Err(TrialError {
+                                    trial: i,
+                                    seed,
+                                    message: panic_message(payload),
+                                }));
+                                ws = SimWorkspace::new();
+                                net = make_net();
+                                run_one = make_runner::<N>(
+                                    make_proto(),
+                                    config,
+                                    use_event,
+                                    reuse,
+                                    vectorized,
+                                    faults,
+                                );
                             }
                         }
                     }
                     let stop = failed.is_some();
-                    if !records.is_empty() && tx.send(Ok((lo, records))).is_err() {
+                    if !items.is_empty() && tx.send(Ok((lo, items))).is_err() {
                         break;
                     }
                     if let Some(fail) = failed {
@@ -645,16 +770,17 @@ fn run_trials<N: DynamicNetwork>(
         // Chunks are keyed by their first trial index; a chunk cut short
         // by a trial error delivers its prefix and then stalls the
         // frontier at the failed index, exactly like the per-trial path.
-        let mut pending: BTreeMap<usize, Vec<TrialRecord>> = BTreeMap::new();
+        // Panicked trials are ordinary items: they advance the frontier.
+        let mut pending: BTreeMap<usize, Vec<TrialItem>> = BTreeMap::new();
         let mut next = 0usize; // next trial index to deliver
         let mut next_chunk = 0usize; // pacing frontier, in chunks
         'drain: for msg in rx {
             match msg {
-                Ok((lo, records)) if observer_err.is_none() => {
-                    pending.insert(lo, records);
-                    while let Some(records) = pending.remove(&next) {
-                        for record in records {
-                            match deliver(record) {
+                Ok((lo, items)) if observer_err.is_none() => {
+                    pending.insert(lo, items);
+                    while let Some(items) = pending.remove(&next) {
+                        for item in items {
+                            match deliver(item) {
                                 Ok(_) => next += 1,
                                 Err(e) => {
                                     // Delivery is dead: cancel the
@@ -706,6 +832,7 @@ pub struct RunReport {
     protocol: &'static str,
     events: u64,
     elapsed: std::time::Duration,
+    trial_errors: Vec<TrialError>,
 }
 
 impl RunReport {
@@ -733,6 +860,14 @@ impl RunReport {
     /// meaning is documented on [`crate::SpreadOutcome::events`]).
     pub fn events(&self) -> u64 {
         self.events
+    }
+
+    /// Trials that panicked and were isolated instead of aborting the
+    /// batch, in trial order. The summary counts only the surviving
+    /// trials (`summary.trials() + trial_errors.len()` = planned
+    /// trials).
+    pub fn trial_errors(&self) -> &[TrialError] {
+        &self.trial_errors
     }
 
     /// Wall-clock time the trial batch took (trial execution plus

@@ -13,7 +13,7 @@
 use crate::{AnyProtocol, Engine, IncrementalProtocol, Protocol, RunConfig, RunPlan, SimError};
 use gossip_dynamics::DynamicNetwork;
 use gossip_graph::NodeId;
-use gossip_stats::{RunningMoments, SortedSample};
+use gossip_stats::{OutcomeCounts, RunningMoments, SortedSample};
 
 /// Summary of a batch of simulation trials.
 ///
@@ -26,14 +26,21 @@ pub struct TrialSummary {
     moments: RunningMoments,
     trials: usize,
     completed: usize,
+    outcomes: OutcomeCounts,
 }
 
 impl TrialSummary {
     /// Builds a summary from the per-trial stream: total trial count,
     /// completed times **in trial order** (the order determines the float
     /// summation in `moments`, which is part of the bit-identical
-    /// determinism contract), and the moments accumulated in that order.
-    pub(crate) fn from_stream(trials: usize, times: Vec<f64>, moments: RunningMoments) -> Self {
+    /// determinism contract), the moments accumulated in that order, and
+    /// the per-outcome tallies.
+    pub(crate) fn from_stream(
+        trials: usize,
+        times: Vec<f64>,
+        moments: RunningMoments,
+        outcomes: OutcomeCounts,
+    ) -> Self {
         let completed = times.len();
         // Sort once here; every TrialSummary accessor is &self.
         TrialSummary {
@@ -41,6 +48,7 @@ impl TrialSummary {
             moments,
             trials,
             completed,
+            outcomes,
         }
     }
 
@@ -52,6 +60,24 @@ impl TrialSummary {
     /// Number of trials that finished before the cutoff.
     pub fn completed(&self) -> usize {
         self.completed
+    }
+
+    /// Per-[`crate::TrialOutcome`] tallies over the batch. Fault-free
+    /// runs only populate `spread` and `budget`; `died` counts trials the
+    /// fault layer proved stuck (all informed nodes permanently down).
+    pub fn outcomes(&self) -> OutcomeCounts {
+        self.outcomes
+    }
+
+    /// Trials that ended with the rumor provably dead (see
+    /// [`crate::TrialOutcome::Died`]).
+    pub fn died(&self) -> usize {
+        self.outcomes.died
+    }
+
+    /// Trials stopped by the time or event budget.
+    pub fn budget_stopped(&self) -> usize {
+        self.outcomes.budget
     }
 
     /// Fraction of trials that completed.

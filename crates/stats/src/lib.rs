@@ -45,6 +45,7 @@ mod harmonic;
 mod histogram;
 pub mod ks;
 mod moments;
+mod outcomes;
 mod quantiles;
 mod rng;
 mod sampling;
@@ -57,6 +58,7 @@ pub use fenwick::FenwickSampler;
 pub use harmonic::{harmonic, harmonic_ratio};
 pub use histogram::Histogram;
 pub use moments::RunningMoments;
+pub use outcomes::OutcomeCounts;
 pub use quantiles::Quantiles;
 pub use rng::SimRng;
 pub use sampling::{Bernoulli, Exponential, Geometric, Nhpp, Poisson};

@@ -1,0 +1,83 @@
+//! Per-outcome trial tallies.
+//!
+//! The simulation layer classifies every finished trial as *spread*
+//! (rumor reached all nodes), *died* (fault injection left every informed
+//! node permanently down), or *budget* (a time or event cutoff fired
+//! first). This crate sits below the simulators, so the buckets are plain
+//! counters here; the simulator's outcome enum maps itself onto them.
+
+use std::fmt;
+
+/// Counts of how trials in a batch ended.
+///
+/// `spread + died + budget` is the number of tallied trials
+/// ([`OutcomeCounts::total`]); trials that panicked produce no outcome
+/// and are reported separately by the runner.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OutcomeCounts {
+    /// Trials whose rumor reached every node.
+    pub spread: usize,
+    /// Trials whose rumor provably cannot spread further (every informed
+    /// node permanently crashed).
+    pub died: usize,
+    /// Trials stopped by a time or event budget.
+    pub budget: usize,
+}
+
+impl OutcomeCounts {
+    /// An all-zero tally.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total tallied trials.
+    pub fn total(&self) -> usize {
+        self.spread + self.died + self.budget
+    }
+
+    /// Merges another tally into this one (bucket-wise sum).
+    pub fn merge(&mut self, other: &OutcomeCounts) {
+        self.spread += other.spread;
+        self.died += other.died;
+        self.budget += other.budget;
+    }
+}
+
+impl fmt::Display for OutcomeCounts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "spread {} / died {} / budget {}",
+            self.spread, self.died, self.budget
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_merge() {
+        let mut a = OutcomeCounts::new();
+        assert_eq!(a.total(), 0);
+        a.spread = 3;
+        a.budget = 1;
+        let b = OutcomeCounts {
+            spread: 1,
+            died: 2,
+            budget: 0,
+        };
+        a.merge(&b);
+        assert_eq!(
+            a,
+            OutcomeCounts {
+                spread: 4,
+                died: 2,
+                budget: 1
+            }
+        );
+        assert_eq!(a.total(), 7);
+        assert_eq!(a.to_string(), "spread 4 / died 2 / budget 1");
+    }
+}

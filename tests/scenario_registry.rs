@@ -16,6 +16,7 @@ fn scenario_runs_through_the_facade() {
             s.seed = Some(11);
             s
         },
+        faults: None,
     };
     let report: ScenarioReport = run_scenario(&spec).unwrap();
     assert_eq!(report.engine, "event");
@@ -35,6 +36,7 @@ fn event_engine_and_scenario_agree() {
         family: FamilySpec::new("complete"),
         protocol: ProtocolSpec::new("async"),
         sweep: SweepSpec::over(vec![16]),
+        faults: None,
     };
     spec.sweep.trials = Some(10);
     spec.sweep.seed = Some(5);
@@ -68,6 +70,7 @@ fn sweep_plan_streams_jsonl_through_facade() {
         family: FamilySpec::new("complete"),
         protocol: ProtocolSpec::new("async"),
         sweep: SweepSpec::over(vec![16, 24]),
+        faults: None,
     };
     spec.sweep.trials = Some(6);
     spec.sweep.seed = Some(9);
