@@ -61,10 +61,15 @@
 //! (paired-median; `inner_loop/<family>-{scalar,fast}/<n>` carry the
 //! absolute ns/event figures),
 //! `sweep_parallel_speedup/complete/<cells>` = sequential ÷
-//! cell-parallel sweep wall clock, and
+//! cell-parallel sweep wall clock,
 //! `huge_trial/gnp/10000000` = seconds for the horizon-bounded n = 10⁷
 //! trial (with `huge_trial_events/gnp/10000000` informative events
-//! resolved inside the horizon).
+//! resolved inside the horizon),
+//! `net_throughput/complete/100000` = events/second of the live
+//! `gossip-net` runtime (node-group actors, local delivery) on one
+//! horizon-bounded n = 1e5 trial, and
+//! `net_million/complete/1000000` = the same figure at the
+//! million-actor scale demo (8 groups, t ≤ 8; full mode only).
 //!
 //! Env knobs:
 //! * `BENCH_ENGINE_SMOKE=1` — one fast iteration per group, no JSON
@@ -80,6 +85,7 @@ use criterion::{BenchmarkId, Criterion};
 use gossip_core::scenario::{FamilySpec, ProtocolSpec, ScenarioSpec, SweepPlan, SweepSpec};
 use gossip_dynamics::{DynamicNetwork, StaticNetwork};
 use gossip_graph::{generators, Topology};
+use gossip_net::{NetConfig, NetPlan, NetProtocol};
 use gossip_sim::{
     AnyProtocol, CutRateAsync, Engine, EventSimulation, IncrementalProtocol, RunConfig, RunPlan,
     Simulation,
@@ -523,6 +529,7 @@ fn bench_sweep_parallel(c: &mut Criterion, knobs: &Knobs) {
             ..SweepSpec::over((100..100 + CELLS).collect())
         },
         faults: None,
+        net: None,
     };
     let sequential = spec(false);
     let parallel = spec(true);
@@ -560,6 +567,69 @@ fn bench_sweep_parallel(c: &mut Criterion, knobs: &Knobs) {
 /// page-fault cost; the recorded figure is the median of three timed
 /// trials on the warm graph. The < 1 s acceptance bar is asserted
 /// in-process so a regression fails the bench run loudly.
+/// Live-runtime throughput: one `gossip-net` trial on the implicit
+/// complete graph, node groups exchanging envelopes over in-process
+/// channels (`LocalDelivery`), horizon-bounded so the recorded figure
+/// is sustained events/second rather than spread shape.
+///
+/// `horizon` bounds virtual time, so the event count scales with
+/// `n × horizon` regardless of spread progress — smoke mode shrinks the
+/// horizon, not the key: the same `net_throughput/complete/100000`
+/// metric is recorded (and asserted present) in both modes, and the
+/// committed BENCH_engine.json key is grep-pinned by CI.
+fn bench_net_throughput(c: &mut Criterion, knobs: &Knobs) {
+    const N: usize = 100_000;
+    let horizon = if knobs.smoke { 0.25 } else { 5.0 };
+    let topology = Topology::complete(N).expect("valid n");
+    let cfg = NetConfig {
+        horizon,
+        ..NetConfig::default()
+    };
+    let report = NetPlan::new(1, 4_242)
+        .config(cfg)
+        .execute(&topology, NetProtocol::PushPull, 0)
+        .expect("live trial runs");
+    println!(
+        "net_throughput/complete/{N}: {} events in {:.2}s ({:.0} events/sec, {} groups, {} messages)",
+        report.events(),
+        report.elapsed().as_secs_f64(),
+        report.events_per_sec(),
+        report.groups(),
+        report.messages(),
+    );
+    c.record_metric("net_throughput/complete/100000", report.events_per_sec());
+    assert!(
+        report.events() > 0 && report.events_per_sec() > 0.0,
+        "live runtime processed no events inside horizon {horizon}"
+    );
+}
+
+/// The 1e6-node scale demo (`scenarios/net-million.toml` shape): eight
+/// node groups, local delivery, horizon-bounded at t = 8. Full mode
+/// only — it processes ~1.6 × 10⁷ events and the point is the recorded
+/// `net_million/complete/1000000` events/second at the one-machine
+/// million-actor scale the live runtime targets.
+fn bench_net_million(c: &mut Criterion) {
+    const N: usize = 1_000_000;
+    let topology = Topology::complete(N).expect("valid n");
+    let cfg = NetConfig {
+        groups: 8,
+        horizon: 8.0,
+        ..NetConfig::default()
+    };
+    let report = NetPlan::new(1, 42)
+        .config(cfg)
+        .execute(&topology, NetProtocol::PushPull, 0)
+        .expect("live trial runs");
+    println!(
+        "net_million/complete/{N}: {} events in {:.2}s ({:.0} events/sec, 8 groups)",
+        report.events(),
+        report.elapsed().as_secs_f64(),
+        report.events_per_sec(),
+    );
+    c.record_metric("net_million/complete/1000000", report.events_per_sec());
+}
+
 fn bench_huge_trial(c: &mut Criterion) {
     const N: usize = 10_000_000;
     const HORIZON: f64 = 7.0;
@@ -762,10 +832,23 @@ fn main() {
         bench_gnp_generation(&mut c, n, &knobs);
     }
 
+    // Live runtime (gossip-net): node groups + envelope exchange, local
+    // delivery. Runs in smoke mode too (short horizon, same metric key)
+    // so a live-runtime regression aborts CI loudly.
+    bench_net_throughput(&mut c, &knobs);
+    assert!(
+        c.metric("net_throughput/complete/100000").is_some(),
+        "net_throughput/complete/100000 must be recorded (feeds BENCH_engine.json)"
+    );
+
     if knobs.smoke {
         println!("smoke mode: measurements not persisted");
         return;
     }
+
+    // The million-actor live run before the huge trial: ~16 MB of live
+    // state and ~1.6e7 events, the scale figure for the live runtime.
+    bench_net_million(&mut c);
 
     // The n = 1e7 horizon-bounded trial last: it faults in ~1 GB of
     // adjacency, and nothing should time-share the machine with it.

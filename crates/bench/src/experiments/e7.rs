@@ -28,6 +28,7 @@ fn spec(protocol: &str, sizes: &[usize], trials: usize, seed: u64) -> ScenarioSp
         protocol: ProtocolSpec::new(protocol),
         sweep,
         faults: None,
+        net: None,
     }
 }
 

@@ -39,6 +39,7 @@ fn mean_spread(n: usize, loss: f64, downtime: f64, trials: usize, seed: u64) -> 
         protocol,
         sweep,
         faults: None,
+        net: None,
     };
     run_scenario(&spec).expect("valid scenario").rows[0].mean
 }

@@ -40,6 +40,7 @@ USAGE:
 COMMANDS:
     run          simulate a protocol on a network family, report spread-time statistics
     scenario     run declarative experiment files: scenario run|check|init|list
+    net          run a scenario on the live message-passing runtime: net run|check
     profile      walk a trajectory and print per-window conductance / diligence profiles
     bounds       compare measured spread time against the Theorem 1.1 / 1.3 stopping rules
     trace        dump informed-count trajectories as CSV (for plotting)
@@ -63,6 +64,8 @@ COMMON FLAGS:
     --resume <path>      scenario run: replay the completed cells of a journal and
                          execute only the rest — bit-identical to an uninterrupted
                          run; with no spec file, the journal's embedded spec is used
+    --groups <int>       net run: node-group threads per trial (default: cores, max 8)
+    --delivery <name>    net run: local | udp transport between node groups
     --histogram          render the spread-time distribution (run command)
     --fresh-alloc        disable per-worker workspace reuse (run command; A/B diagnostic,
                          bit-identical results, slower small-n throughput)
@@ -79,6 +82,8 @@ EXAMPLES:
     gossip scenario run sweep.toml --output jsonl sweep.jsonl
     gossip scenario run sweep.toml --journal sweep.journal
     gossip scenario run --resume sweep.journal --output jsonl sweep.jsonl
+    gossip net run scenarios/net-smoke.toml --groups 4 --output jsonl live.jsonl
+    gossip net check scenarios/net-million.toml
     gossip profile --family clique-pendant --n 16 --windows 12
     gossip bounds --family absolute-diligent --n 120 --rho 0.125
     gossip experiment --id E7 --quick
@@ -210,6 +215,122 @@ pub fn scenario(action: Option<&str>, file: Option<&str>, args: &Args) -> Result
         ))),
         None => Err(CliError::Usage(
             "scenario needs an action: `gossip scenario run|check|init|list [file]`".into(),
+        )),
+    }
+}
+
+/// `gossip net <action> [file] [--flags]`: the live message-passing
+/// runtime front end over [`gossip_net`].
+pub fn net(action: Option<&str>, file: Option<&str>, args: &Args) -> Result<String, CliError> {
+    use gossip_core::scenario::ScenarioSpec;
+    use gossip_net::{DeliveryKind, NetSweep};
+    match action {
+        Some("run") => {
+            let groups = args.opt("groups")?.map(|s| {
+                s.parse::<usize>().ok().filter(|&g| g > 0).ok_or_else(|| {
+                    CliError::Usage(format!("--groups expects a positive integer, got `{s}`"))
+                })
+            });
+            let groups = match groups {
+                None => None,
+                Some(r) => Some(r?),
+            };
+            let delivery = args.opt("delivery")?.map(|s| {
+                DeliveryKind::parse(s)
+                    .ok_or_else(|| CliError::Usage(format!("unknown delivery `{s}` (local, udp)")))
+            });
+            let delivery = match delivery {
+                None => None,
+                Some(r) => Some(r?),
+            };
+            let json = args.flag("json");
+            let output = jsonl_output(args)?;
+            args.reject_unknown()?;
+            let path = file.ok_or_else(|| {
+                CliError::Usage("net run needs a file: `gossip net run <file>`".into())
+            })?;
+            let spec =
+                ScenarioSpec::from_path(std::path::Path::new(path)).map_err(CliError::from)?;
+            let mut sweep = NetSweep::new(&spec).map_err(CliError::from)?;
+            if let Some(g) = groups {
+                sweep = sweep.groups(g);
+            }
+            if let Some(d) = delivery {
+                sweep = sweep.delivery(d);
+            }
+            let (live, streamed) = match output {
+                Some(out_path) => {
+                    let mut sink = open_jsonl(out_path)?;
+                    let live = sweep.run_with(&mut sink).map_err(CliError::from)?;
+                    (live, Some((sink.records(), out_path)))
+                }
+                None => (sweep.run().map_err(CliError::from)?, None),
+            };
+            if json {
+                return Ok(serde_json::to_string_pretty(&live.report) + "\n");
+            }
+            let total_trials: usize = live.report.rows.iter().map(|r| r.trials).sum();
+            let mut out = live.report.to_string();
+            let _ = writeln!(
+                out,
+                "groups    : {} ({} delivery, tick {})",
+                live.groups,
+                live.delivery.name(),
+                sweep.config().tick
+            );
+            let _ = writeln!(
+                out,
+                "events    : {} total ({:.1}/trial, {:.0}/sec)",
+                live.events,
+                live.events as f64 / total_trials.max(1) as f64,
+                live.events_per_sec()
+            );
+            let _ = writeln!(
+                out,
+                "messages  : {} total ({:.1}/node, {:.0}/sec)",
+                live.messages,
+                live.messages_per_node(),
+                live.messages_per_sec()
+            );
+            if live.dropped > 0 {
+                let _ = writeln!(
+                    out,
+                    "dropped   : {} ({:.2}% of messages)",
+                    live.dropped,
+                    100.0 * live.dropped as f64 / live.messages.max(1) as f64
+                );
+            }
+            if let Some((records, out_path)) = streamed {
+                let _ = writeln!(out, "wrote {records} trial records to {out_path}");
+            }
+            Ok(out)
+        }
+        Some("check") => {
+            let path = file.ok_or_else(|| {
+                CliError::Usage("net check needs a file: `gossip net check <file>`".into())
+            })?;
+            args.reject_unknown()?;
+            let spec =
+                ScenarioSpec::from_path(std::path::Path::new(path)).map_err(CliError::from)?;
+            let sweep = NetSweep::new(&spec).map_err(CliError::from)?;
+            let cfg = sweep.config();
+            Ok(format!(
+                "ok: scenario `{}` runs live — family {}, protocol {}, {} size(s), \
+                 {} trial(s) each, {} groups, horizon {}\n",
+                spec.name,
+                spec.family.kind,
+                spec.protocol.kind,
+                spec.sweep.sizes.len(),
+                spec.sweep.trials_or_default(),
+                cfg.groups,
+                cfg.horizon,
+            ))
+        }
+        Some(other) => Err(CliError::Usage(format!(
+            "unknown net action `{other}` (run, check)"
+        ))),
+        None => Err(CliError::Usage(
+            "net needs an action: `gossip net run|check <file>`".into(),
         )),
     }
 }

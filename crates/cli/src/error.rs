@@ -54,6 +54,17 @@ impl From<gossip_core::scenario::ScenarioError> for CliError {
     }
 }
 
+impl From<gossip_net::NetError> for CliError {
+    fn from(e: gossip_net::NetError) -> Self {
+        use gossip_net::NetError as NE;
+        match e {
+            NE::Scenario(s) => CliError::from(s),
+            NE::Sim(s) => CliError::Sim(s),
+            other => CliError::Scenario(other.to_string()),
+        }
+    }
+}
+
 impl From<gossip_graph::GraphError> for CliError {
     fn from(e: gossip_graph::GraphError) -> Self {
         CliError::Graph(e)

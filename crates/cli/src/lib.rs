@@ -41,9 +41,11 @@ pub use error::CliError;
 /// simulation fails.
 pub fn dispatch<I: IntoIterator<Item = String>>(raw: I) -> Result<String, CliError> {
     let mut raw: Vec<String> = raw.into_iter().collect();
-    // `scenario` takes positional operands (`scenario run <file>`), which
-    // the flag parser does not model; peel them off before Args::parse.
-    if raw.first().map(String::as_str) == Some("scenario") {
+    // `scenario` and `net` take positional operands (`scenario run
+    // <file>`, `net run <file>`), which the flag parser does not model;
+    // peel them off before Args::parse.
+    if let Some(cmd @ ("scenario" | "net")) = raw.first().map(String::as_str) {
+        let cmd = cmd.to_string();
         let mut it = raw.drain(..).skip(1).peekable();
         let action = match it.peek() {
             Some(tok) if !tok.starts_with("--") => it.next(),
@@ -54,7 +56,11 @@ pub fn dispatch<I: IntoIterator<Item = String>>(raw: I) -> Result<String, CliErr
             _ => None,
         };
         let args = Args::parse(it)?;
-        return commands::scenario(action.as_deref(), file.as_deref(), &args);
+        return if cmd == "scenario" {
+            commands::scenario(action.as_deref(), file.as_deref(), &args)
+        } else {
+            commands::net(action.as_deref(), file.as_deref(), &args)
+        };
     }
     let args = Args::parse(raw)?;
     match args.command() {
@@ -167,6 +173,53 @@ name = \"cli-journal\"\n\n[family]\nkind = \"complete\"\n\n[protocol]\nkind = \"
         assert_eq!(resumed, full);
         let _ = std::fs::remove_file(&journal);
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn net_end_to_end_from_file() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("gossip_cli_net_test.toml");
+        let path_str = path.to_str().unwrap().to_string();
+        let spec = "\
+name = \"cli-net-e2e\"\n\n[family]\nkind = \"complete\"\n\n[protocol]\nkind = \"async\"\n\n\
+[sweep]\nsizes = [24]\ntrials = 5\nseed = 3\n\n[net]\ngroups = 2\n";
+        std::fs::write(&path, spec).unwrap();
+        let out = run(&format!("net check {path_str}")).unwrap();
+        assert!(out.starts_with("ok:") && out.contains("2 groups"), "{out}");
+        let out = run(&format!("net run {path_str}")).unwrap();
+        assert!(out.contains("engine    : net/local"), "{out}");
+        assert!(out.contains("5/5"), "{out}");
+        assert!(
+            out.contains("messages  : ") && out.contains("/node"),
+            "{out}"
+        );
+        // Overrides + JSONL streaming.
+        let jsonl = dir.join("gossip_cli_net_test.jsonl");
+        let jsonl_str = jsonl.to_str().unwrap();
+        let out = run(&format!(
+            "net run {path_str} --groups 3 --delivery local --output jsonl {jsonl_str}"
+        ))
+        .unwrap();
+        assert!(out.contains("wrote 5 trial records"), "{out}");
+        let text = std::fs::read_to_string(&jsonl).unwrap();
+        assert_eq!(text.lines().count(), 5);
+        let _ = std::fs::remove_file(&jsonl);
+        // A dynamic family is rejected with a targeted message.
+        let bad = "\
+name = \"cli-net-bad\"\n\n[family]\nkind = \"dynamic-star\"\n\n[protocol]\nkind = \"async\"\n\n\
+[sweep]\nsizes = [24]\n\n[net]\n";
+        std::fs::write(&path, bad).unwrap();
+        let err = run(&format!("net run {path_str}")).unwrap_err();
+        assert!(err.to_string().contains("dynamic"), "{err}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn net_usage_errors() {
+        assert_eq!(run("net").unwrap_err().exit_code(), 2);
+        assert_eq!(run("net frobnicate").unwrap_err().exit_code(), 2);
+        assert_eq!(run("net run").unwrap_err().exit_code(), 2);
+        assert_eq!(run("net run /nonexistent.toml").unwrap_err().exit_code(), 1);
     }
 
     #[test]

@@ -71,6 +71,11 @@ pub struct ScenarioSpec {
     /// Optional fault injection (`[faults]`); absent or inactive specs
     /// run the fault-free process bit-identically.
     pub faults: Option<FaultSpec>,
+    /// Optional live-runtime configuration (`[net]`), read by the
+    /// `gossip net` driver (the message-passing runtime of the
+    /// `gossip-net` crate). The analytic engines ignore it, so adding a
+    /// `[net]` table never changes `scenario run` results.
+    pub net: Option<NetSpec>,
 }
 
 /// Network-family selection plus the per-family parameters.
@@ -297,6 +302,81 @@ impl Default for FaultSpec {
         Self::new()
     }
 }
+
+/// Live-runtime parameters — the `[net]` section of a scenario.
+///
+/// Configures the message-passing runtime (`gossip net run`), where
+/// nodes are actors multiplexed onto node-group threads and every
+/// interaction travels as a routed message. Every field is optional; an
+/// empty `[net]` table selects the defaults.
+///
+/// ```toml
+/// [net]
+/// groups = 4          # node-group threads per trial (default: cores, max 8)
+/// delivery = "local"  # "local" in-process channels | "udp" loopback datagrams
+/// horizon = 50.0      # virtual-time cutoff (default: sweep.max_time)
+/// tick = 0.001        # message latency = epoch length (default 1e-3)
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetSpec {
+    /// Node-group threads per trial (default: one per available core,
+    /// capped at 8).
+    pub groups: Option<usize>,
+    /// Transport between node groups: `"local"` (lock-free in-process
+    /// channels, default) or `"udp"` (length-prefixed loopback
+    /// datagrams).
+    pub delivery: Option<String>,
+    /// Virtual-time cutoff of a live trial (default: `sweep.max_time`).
+    pub horizon: Option<f64>,
+    /// Message latency, which is also the epoch length of the
+    /// synchronized runtime (default 1e-3). Smaller ticks track the
+    /// analytic zero-latency distributions more closely at the cost of
+    /// more exchange rounds.
+    pub tick: Option<f64>,
+}
+
+impl NetSpec {
+    /// A spec with every field unset (all defaults).
+    pub fn new() -> Self {
+        NetSpec {
+            groups: None,
+            delivery: None,
+            horizon: None,
+            tick: None,
+        }
+    }
+}
+
+impl Default for NetSpec {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Families the live runtime can run: those whose topology is static, so
+/// one `Topology` snapshot is the whole network. Kept in sync with
+/// [`families`] (test-enforced against each entry's synopsis).
+const LIVE_STATIC_FAMILIES: &[&str] = &[
+    "complete",
+    "star",
+    "path",
+    "cycle",
+    "torus",
+    "hypercube",
+    "er",
+    "regular",
+    "circulant",
+    "circulant-lift",
+];
+
+/// Protocol kinds with a live (message-passing) implementation.
+const LIVE_PROTOCOLS: &[&str] = &["async", "naive", "push", "pull"];
+
+/// Largest sweep size allowed with `net.delivery = "udp"` on sampled
+/// topology backends: above this, realizing the sampled rows in every
+/// peer process is the dominant cost and `local` delivery is the right
+/// tool.
+const UDP_SAMPLED_SIZE_LIMIT: usize = 65_536;
 
 /// Parses a spec's engine string into the driver's [`Engine`] selector
 /// (`None` ⇒ [`Engine::Auto`]).
@@ -986,6 +1066,94 @@ impl ScenarioSpec {
                 }
             }
         }
+        // A [net] table declares intent to run live, so live-runtime
+        // compatibility is validated up front (mirrors the [faults]
+        // checks above).
+        if self.net.is_some() {
+            self.validate_net()?;
+        }
+        Ok(())
+    }
+
+    /// Live-runtime validation: can this spec run under `gossip net`?
+    ///
+    /// Called from [`ScenarioSpec::validate`] whenever a `[net]` table is
+    /// present, and by the live driver on every spec (a spec without a
+    /// `[net]` table runs live on all defaults). Assumes the structural
+    /// checks of `validate` have passed.
+    ///
+    /// # Errors
+    ///
+    /// [`ScenarioError::Invalid`] naming the first live-incompatibility:
+    /// bad `[net]` parameters, a dynamic family, a protocol without a
+    /// live implementation, sampled topologies too large to realize
+    /// under UDP delivery, or fault features beyond per-message drops.
+    pub fn validate_net(&self) -> Result<(), ScenarioError> {
+        let net = self.net.clone().unwrap_or_default();
+        if net.groups == Some(0) {
+            return Err(ScenarioError::Invalid(
+                "net.groups must be at least 1 (omit it to use one group per core)".into(),
+            ));
+        }
+        let delivery = net.delivery.as_deref().unwrap_or("local");
+        if !matches!(delivery, "local" | "udp") {
+            return Err(ScenarioError::Invalid(format!(
+                "unknown net.delivery `{delivery}` (local, udp)"
+            )));
+        }
+        for (name, value) in [("tick", net.tick), ("horizon", net.horizon)] {
+            if let Some(v) = value {
+                if !(v.is_finite() && v > 0.0) {
+                    return Err(ScenarioError::Invalid(format!(
+                        "net.{name} must be a positive finite time, got {v}"
+                    )));
+                }
+            }
+        }
+        if !LIVE_STATIC_FAMILIES.contains(&self.family.kind.as_str()) {
+            return Err(ScenarioError::Invalid(format!(
+                "family `{}` is dynamic; the live runtime runs static topologies only \
+                 (static families: {})",
+                self.family.kind,
+                LIVE_STATIC_FAMILIES.join(", ")
+            )));
+        }
+        if !LIVE_PROTOCOLS.contains(&self.protocol.kind.as_str()) {
+            return Err(ScenarioError::Invalid(format!(
+                "protocol `{}` has no live implementation \
+                 (live protocols: {})",
+                self.protocol.kind,
+                LIVE_PROTOCOLS.join(", ")
+            )));
+        }
+        if delivery == "udp" {
+            let sampled = self.family.kind == "circulant-lift"
+                || BackendChoice::parse(self.family.backend.as_deref())? == BackendChoice::Sampled;
+            let max_n = self.sweep.sizes.iter().copied().max().unwrap_or(0);
+            if sampled && max_n > UDP_SAMPLED_SIZE_LIMIT {
+                return Err(ScenarioError::Invalid(format!(
+                    "net.delivery = \"udp\" with the sampled `{}` backend at n = {max_n}: \
+                     every UDP peer realizes the sampled topology locally, so sizes above \
+                     {UDP_SAMPLED_SIZE_LIMIT} are rejected (use delivery = \"local\")",
+                    self.family.kind
+                )));
+            }
+        }
+        if let Some(faults) = &self.faults {
+            let model = faults.to_model();
+            if model.crash_rate > 0.0
+                || model.recovery_rate > 0.0
+                || !model.schedule.is_empty()
+                || model.target_high_degree > 0
+            {
+                return Err(ScenarioError::Invalid(
+                    "the live runtime supports only faults.drop (per-envelope loss at the \
+                     delivery layer); crash_rate, recovery_rate, schedule, and \
+                     target_high_degree are analytic-engine features"
+                        .into(),
+                ));
+            }
+        }
         Ok(())
     }
 
@@ -1011,6 +1179,7 @@ impl ScenarioSpec {
                 cell_parallel: None,
             },
             faults: None,
+            net: None,
         }
     }
 }

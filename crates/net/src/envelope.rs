@@ -1,0 +1,151 @@
+//! The wire unit of the live runtime: one rumor-protocol message.
+//!
+//! Node groups never share memory — every interaction between two nodes
+//! travels as an [`Envelope`], whether the two nodes sit in the same
+//! group, in two groups of one process ([`crate::LocalDelivery`]), or in
+//! two processes ([`crate::UdpDelivery`]). An envelope carries its
+//! virtual *send* time; the runtime delivers it exactly one tick (the
+//! configured message latency, [`crate::NetConfig::tick`]) later.
+
+use gossip_graph::NodeId;
+
+/// Rumor-protocol message body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Payload {
+    /// An activation contact: the sender's clock fired and it chose the
+    /// receiver as its uniform neighbor. `informed` is the sender's
+    /// rumor state at send time — `true` pushes the rumor, `false` asks
+    /// to pull it.
+    Contact {
+        /// Whether the sender held the rumor when its clock fired.
+        informed: bool,
+    },
+    /// The rumor itself, answering an uninformed contact (the pull
+    /// response).
+    Rumor,
+}
+
+/// One message between two nodes, routed by the [`crate::Delivery`]
+/// layer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Envelope {
+    /// Sending node.
+    pub src: NodeId,
+    /// Receiving node.
+    pub dst: NodeId,
+    /// Per-source sequence number (the `seq`-th envelope `src` sent this
+    /// trial). Together with `src` it identifies the envelope globally:
+    /// deterministic drop coins and arrival tie-breaks key off it.
+    pub seq: u32,
+    /// Virtual send time; the envelope arrives at `time + tick`.
+    pub time: f64,
+    /// Message body.
+    pub payload: Payload,
+}
+
+/// Bytes of one envelope in the length-prefixed wire encoding.
+pub const WIRE_BYTES: usize = 21;
+
+const KIND_CONTACT_UNINFORMED: u8 = 0;
+const KIND_CONTACT_INFORMED: u8 = 1;
+const KIND_RUMOR: u8 = 2;
+
+impl Envelope {
+    /// Total order on envelopes arriving at one node group: arrival
+    /// time first (send times are non-negative, so the IEEE bit pattern
+    /// orders like the float), then `(src, seq)` as a deterministic
+    /// tie-break. Sorting inbound batches by this key makes processing
+    /// independent of which group — or which socket — delivered them.
+    pub fn order_key(&self) -> (u64, u32, u32) {
+        (self.time.to_bits(), self.src, self.seq)
+    }
+
+    /// Appends the 21-byte wire encoding to `buf`.
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
+        let kind = match self.payload {
+            Payload::Contact { informed: false } => KIND_CONTACT_UNINFORMED,
+            Payload::Contact { informed: true } => KIND_CONTACT_INFORMED,
+            Payload::Rumor => KIND_RUMOR,
+        };
+        buf.push(kind);
+        buf.extend_from_slice(&self.src.to_le_bytes());
+        buf.extend_from_slice(&self.dst.to_le_bytes());
+        buf.extend_from_slice(&self.seq.to_le_bytes());
+        buf.extend_from_slice(&self.time.to_bits().to_le_bytes());
+    }
+
+    /// Decodes one envelope from the first [`WIRE_BYTES`] of `buf`;
+    /// `None` when the buffer is short or the kind byte is unknown.
+    pub fn decode(buf: &[u8]) -> Option<Envelope> {
+        if buf.len() < WIRE_BYTES {
+            return None;
+        }
+        let payload = match buf[0] {
+            KIND_CONTACT_UNINFORMED => Payload::Contact { informed: false },
+            KIND_CONTACT_INFORMED => Payload::Contact { informed: true },
+            KIND_RUMOR => Payload::Rumor,
+            _ => return None,
+        };
+        let u32_at =
+            |o: usize| u32::from_le_bytes(buf[o..o + 4].try_into().expect("length checked"));
+        Some(Envelope {
+            src: u32_at(1),
+            dst: u32_at(5),
+            seq: u32_at(9),
+            time: f64::from_bits(u64::from_le_bytes(
+                buf[13..21].try_into().expect("length checked"),
+            )),
+            payload,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_round_trip() {
+        for payload in [
+            Payload::Contact { informed: false },
+            Payload::Contact { informed: true },
+            Payload::Rumor,
+        ] {
+            let env = Envelope {
+                src: 7,
+                dst: 123_456,
+                seq: 42,
+                time: 3.25,
+                payload,
+            };
+            let mut buf = Vec::new();
+            env.encode_into(&mut buf);
+            assert_eq!(buf.len(), WIRE_BYTES);
+            assert_eq!(Envelope::decode(&buf), Some(env));
+        }
+    }
+
+    #[test]
+    fn decode_rejects_short_and_unknown() {
+        assert_eq!(Envelope::decode(&[0; 5]), None);
+        let mut buf = vec![9u8];
+        buf.extend_from_slice(&[0; 20]);
+        assert_eq!(Envelope::decode(&buf), None);
+    }
+
+    #[test]
+    fn order_key_sorts_by_time_then_identity() {
+        let mk = |src, seq, time| Envelope {
+            src,
+            dst: 0,
+            seq,
+            time,
+            payload: Payload::Rumor,
+        };
+        let mut v = [mk(2, 0, 1.5), mk(1, 3, 0.5), mk(1, 1, 0.5)];
+        v.sort_by_key(Envelope::order_key);
+        assert_eq!((v[0].src, v[0].seq), (1, 1));
+        assert_eq!((v[1].src, v[1].seq), (1, 3));
+        assert!((v[2].time - 1.5).abs() < 1e-12);
+    }
+}

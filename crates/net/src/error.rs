@@ -1,0 +1,61 @@
+//! Error type of the live runtime.
+
+use gossip_core::scenario::ScenarioError;
+use gossip_sim::SimError;
+use std::fmt;
+
+/// Errors raised by the live gossip runtime.
+#[derive(Debug)]
+pub enum NetError {
+    /// A structurally invalid configuration (zero-size network, bad tick,
+    /// a family or protocol the live runtime cannot run, …).
+    Invalid(String),
+    /// A transport failure (socket setup, send/receive, exchange
+    /// timeout) on the [`crate::UdpDelivery`] path, or a torn-down
+    /// in-process channel.
+    Io(String),
+    /// A scenario-layer failure while building the family/protocol or
+    /// validating the spec.
+    Scenario(ScenarioError),
+    /// An observer or summary sink rejected a trial record.
+    Sim(SimError),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Invalid(m) => write!(f, "invalid live-runtime configuration: {m}"),
+            NetError::Io(m) => write!(f, "delivery transport error: {m}"),
+            NetError::Scenario(e) => write!(f, "{e}"),
+            NetError::Sim(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetError::Scenario(e) => Some(e),
+            NetError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ScenarioError> for NetError {
+    fn from(e: ScenarioError) -> Self {
+        NetError::Scenario(e)
+    }
+}
+
+impl From<SimError> for NetError {
+    fn from(e: SimError) -> Self {
+        NetError::Sim(e)
+    }
+}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        NetError::Io(e.to_string())
+    }
+}

@@ -1,0 +1,76 @@
+//! `gossip-net` — the live asynchronous gossip runtime.
+//!
+//! Where the analytic engines (`gossip-sim`) *compute* the asynchronous
+//! rumor-spreading process of Pourmiri–Mehrabian by drawing from its
+//! exact event distribution, this crate *enacts* it: every node is an
+//! actor with an independent rate-1 exponential activation clock, and
+//! every contact is a real [`Envelope`] routed between node groups by a
+//! pluggable [`Delivery`] transport. The point is twofold —
+//!
+//! 1. **Cross-validation.** An implementation of the protocol that
+//!    shares no event-loop code with the analytic engines, whose
+//!    spread-time distributions must still agree with them
+//!    (KS-enforced in `tests/cross_validation.rs`). Agreement here
+//!    validates both stacks at once.
+//! 2. **Scale & distribution.** Nodes are multiplexed N-per-thread into
+//!    node groups; the same runtime drives a million in-process nodes
+//!    over [`LocalDelivery`] or spans processes over [`UdpDelivery`]
+//!    without touching protocol code.
+//!
+//! # Architecture
+//!
+//! ```text
+//!   ScenarioSpec ──► NetSweep ──► NetPlan ──► run_trial
+//!   (family, proto,   ([net])      (seeds,       │
+//!    [faults].drop)                 observers)   ▼
+//!              ┌─────────────┐             ┌─────────────┐
+//!              │ node group 0│  Envelopes  │ node group 1│   … one thread
+//!              │ clocks+state│◄───────────►│ clocks+state│     per group
+//!              └──────┬──────┘             └──────┬──────┘
+//!                     └────────► Delivery ◄───────┘
+//!                        LocalDelivery / UdpDelivery
+//!                      (+ DropGate fault injection)
+//! ```
+//!
+//! Virtual time advances in epochs of one `tick` (the message latency);
+//! each epoch every group processes its clock firings and arrivals in
+//! timestamp order, then all groups exchange envelopes and agree on the
+//! next occupied epoch. Because every random draw is keyed by `(trial
+//! seed, node, activation)` and every message pays the same one-tick
+//! latency, results are **bit-identical across group counts and
+//! transports** — parallelism and distribution are pure implementation
+//! detail. See [`runtime`] for the full determinism contract.
+//!
+//! # Entry points
+//!
+//! * [`run_trial`] — one trial on an explicit [`Topology`].
+//! * [`NetPlan`] — a seeded trial batch streaming
+//!   [`TrialRecord`](gossip_sim::TrialRecord)s into `gossip-sim`
+//!   observers.
+//! * [`NetSweep`] — a full `ScenarioSpec` sweep (the `gossip net run`
+//!   path), honoring the spec's `[net]` table.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod delivery;
+pub mod envelope;
+pub mod error;
+pub mod plan;
+pub mod runtime;
+pub mod scenario;
+pub mod udp;
+
+pub use delivery::{
+    Delivery, DeliveryKind, DropGate, EpochFlush, EpochUpdate, LocalDelivery, Router,
+};
+pub use envelope::{Envelope, Payload, WIRE_BYTES};
+pub use error::NetError;
+pub use plan::{NetPlan, NetReport};
+pub use runtime::{default_groups, run_trial, NetConfig, NetProtocol, NetTrial, DEFAULT_TICK};
+pub use scenario::{build_live_topology, NetSweep, NetSweepReport};
+pub use udp::UdpDelivery;
+
+// Re-exported so downstream code can name the topology/observer types the
+// entry points consume without an extra dependency edge.
+pub use gossip_graph::Topology;

@@ -1,0 +1,290 @@
+//! Trial batches over the live runtime, streaming into the scenario
+//! stack's observer sinks.
+//!
+//! [`NetPlan`] mirrors `gossip_sim::RunPlan`: the same trial-seed
+//! derivation (`base.derive(i)`), the same [`TrialRecord`] stream into
+//! any [`TrialObserver`] (summary sinks, JSONL writers, trajectory
+//! collectors), the same summary statistics. The difference is *how* a
+//! trial runs — each one spins up the node-group threads of
+//! [`crate::run_trial`] instead of stepping an event loop — so trials
+//! execute sequentially while the groups inside each trial run in
+//! parallel.
+
+use crate::delivery::DeliveryKind;
+use crate::error::NetError;
+use crate::runtime::{run_trial, NetConfig, NetProtocol};
+use gossip_graph::{NodeId, Topology};
+use gossip_sim::{SummarySink, TrialObserver, TrialRecord, TrialSummary};
+use gossip_stats::SimRng;
+use std::time::{Duration, Instant};
+
+/// A batch of live trials with a fixed topology, protocol, and seed.
+#[derive(Debug, Clone)]
+pub struct NetPlan {
+    trials: usize,
+    seed: u64,
+    config: NetConfig,
+    delivery: DeliveryKind,
+}
+
+impl NetPlan {
+    /// A plan of `trials` trials derived from `seed`, on the default
+    /// [`NetConfig`] over [`DeliveryKind::Local`].
+    pub fn new(trials: usize, seed: u64) -> NetPlan {
+        NetPlan {
+            trials,
+            seed,
+            config: NetConfig::default(),
+            delivery: DeliveryKind::Local,
+        }
+    }
+
+    /// Replaces the runtime configuration.
+    pub fn config(mut self, config: NetConfig) -> NetPlan {
+        self.config = config;
+        self
+    }
+
+    /// Selects the transport.
+    pub fn delivery(mut self, delivery: DeliveryKind) -> NetPlan {
+        self.delivery = delivery;
+        self
+    }
+
+    /// Runs the batch, keeping only the built-in summary.
+    ///
+    /// # Errors
+    ///
+    /// As [`NetPlan::execute_observed`].
+    pub fn execute(
+        &self,
+        topo: &Topology,
+        proto: NetProtocol,
+        start: NodeId,
+    ) -> Result<NetReport, NetError> {
+        self.execute_observed(topo, proto, start, &mut [])
+    }
+
+    /// Runs the batch, streaming every [`TrialRecord`] through
+    /// `observers` (in order) on top of the built-in summary, then
+    /// calling each observer's `finish`.
+    ///
+    /// Trial `i` is seeded `derive(i)` off the plan seed — the same
+    /// convention as `RunPlan`, so a live batch and an event-engine
+    /// batch with equal seeds walk equal per-trial seed sequences.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Invalid`] for a bad configuration, [`NetError::Io`]
+    /// for transport failures, [`NetError::Sim`] when an observer
+    /// rejects a record.
+    pub fn execute_observed(
+        &self,
+        topo: &Topology,
+        proto: NetProtocol,
+        start: NodeId,
+        observers: &mut [&mut dyn TrialObserver],
+    ) -> Result<NetReport, NetError> {
+        let want_traj = observers.iter().any(|o| o.wants_trajectory());
+        let base = SimRng::seed_from_u64(self.seed);
+        let mut sink = SummarySink::new();
+        let mut events = 0u64;
+        let mut messages = 0u64;
+        let mut dropped = 0u64;
+        let clock = Instant::now();
+        for i in 0..self.trials {
+            let trial_seed = base.derive(i as u64).base_seed();
+            let trial = run_trial(
+                topo,
+                proto,
+                start,
+                trial_seed,
+                &self.config,
+                self.delivery,
+                want_traj,
+            )?;
+            events += trial.events;
+            messages += trial.messages;
+            dropped += trial.dropped;
+            let record = TrialRecord {
+                trial: i,
+                seed: trial_seed,
+                n: topo.n(),
+                spread_time: trial.spread_time,
+                windows: trial.epochs,
+                events: trial.events,
+                informed: trial.informed,
+                outcome: trial.outcome,
+                trajectory: trial.trajectory,
+            };
+            sink.on_trial(&record)?;
+            for o in observers.iter_mut() {
+                o.on_trial(&record)?;
+            }
+        }
+        for o in observers.iter_mut() {
+            o.finish()?;
+        }
+        Ok(NetReport {
+            summary: sink.into_summary(),
+            n: topo.n(),
+            groups: self.config.groups.clamp(1, topo.n().max(1)),
+            delivery: self.delivery,
+            events,
+            messages,
+            dropped,
+            elapsed: clock.elapsed(),
+        })
+    }
+}
+
+/// Aggregate result of a [`NetPlan`] batch: the standard
+/// [`TrialSummary`] (via `Deref`) plus the live runtime's traffic
+/// counters.
+#[derive(Debug, Clone)]
+pub struct NetReport {
+    summary: TrialSummary,
+    n: usize,
+    groups: usize,
+    delivery: DeliveryKind,
+    events: u64,
+    messages: u64,
+    dropped: u64,
+    elapsed: Duration,
+}
+
+impl NetReport {
+    /// Node count of the simulated topology.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Node groups (threads) each trial ran on.
+    pub fn groups(&self) -> usize {
+        self.groups
+    }
+
+    /// Transport the batch used.
+    pub fn delivery(&self) -> DeliveryKind {
+        self.delivery
+    }
+
+    /// Events processed across all trials (activations + arrivals).
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Envelopes sent across all trials (dropped ones included).
+    pub fn messages(&self) -> u64 {
+        self.messages
+    }
+
+    /// Envelopes swallowed by the drop gate.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Wall-clock time of the whole batch.
+    pub fn elapsed(&self) -> Duration {
+        self.elapsed
+    }
+
+    /// Events per wall-clock second over the batch.
+    pub fn events_per_sec(&self) -> f64 {
+        per_sec(self.events, self.elapsed)
+    }
+
+    /// Envelopes per wall-clock second over the batch.
+    pub fn messages_per_sec(&self) -> f64 {
+        per_sec(self.messages, self.elapsed)
+    }
+
+    /// Mean envelopes per node per trial.
+    pub fn messages_per_node(&self) -> f64 {
+        let denom = (self.n as f64) * (self.summary.trials() as f64);
+        if denom > 0.0 {
+            self.messages as f64 / denom
+        } else {
+            0.0
+        }
+    }
+}
+
+fn per_sec(count: u64, elapsed: Duration) -> f64 {
+    let secs = elapsed.as_secs_f64();
+    if secs > 0.0 {
+        count as f64 / secs
+    } else {
+        f64::INFINITY
+    }
+}
+
+impl std::ops::Deref for NetReport {
+    type Target = TrialSummary;
+
+    fn deref(&self) -> &TrialSummary {
+        &self.summary
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_summarizes_and_streams() {
+        let topo = Topology::complete(24).unwrap();
+        let mut jsonl = gossip_sim::JsonlSink::new(Vec::new());
+        let cfg = NetConfig {
+            groups: 2,
+            ..NetConfig::default()
+        };
+        let report = NetPlan::new(5, 42)
+            .config(cfg)
+            .execute_observed(&topo, NetProtocol::PushPull, 0, &mut [&mut jsonl])
+            .unwrap();
+        assert_eq!(report.trials(), 5);
+        assert_eq!(report.completed(), 5);
+        assert_eq!(jsonl.records(), 5);
+        assert!(report.mean() > 0.0);
+        assert!(report.messages() > 0 && report.events() > 0);
+        assert_eq!(report.dropped(), 0);
+        assert!(report.messages_per_node() > 0.0);
+        assert_eq!(report.n(), 24);
+        assert_eq!(report.delivery(), DeliveryKind::Local);
+    }
+
+    #[test]
+    fn plan_is_deterministic() {
+        let topo = Topology::gnp(40, 0.3, 9).unwrap();
+        let run = |groups| {
+            let cfg = NetConfig {
+                groups,
+                ..NetConfig::default()
+            };
+            NetPlan::new(4, 7)
+                .config(cfg)
+                .execute(&topo, NetProtocol::PushPull, 0)
+                .unwrap()
+                .sorted_times()
+                .to_vec()
+        };
+        assert_eq!(run(1), run(3));
+    }
+
+    #[test]
+    fn budget_trials_are_not_completed() {
+        let topo = Topology::complete(12).unwrap();
+        let cfg = NetConfig {
+            groups: 1,
+            horizon: 1e-6,
+            ..NetConfig::default()
+        };
+        let report = NetPlan::new(2, 1)
+            .config(cfg)
+            .execute(&topo, NetProtocol::PushPull, 0)
+            .unwrap();
+        assert_eq!(report.completed(), 0);
+        assert_eq!(report.budget_stopped(), 2);
+    }
+}

@@ -1,0 +1,697 @@
+//! The live trial: node groups advancing seeded exponential clocks in
+//! lock-step epochs.
+//!
+//! # Model
+//!
+//! Exactly the paper's asynchronous process: every node holds an
+//! independent rate-1 exponential clock; when node `v`'s clock fires at
+//! virtual time `t`, it contacts a uniform random neighbor `u` with a
+//! [`Payload::Contact`] envelope carrying `v`'s rumor state. A contact
+//! from an informed sender pushes the rumor; a contact from an
+//! uninformed sender is a pull request that an informed receiver answers
+//! with [`Payload::Rumor`]. Unlike the analytic engines, the contact is
+//! not resolved in shared memory — it is a real message that arrives one
+//! *tick* (the configured latency, [`NetConfig::tick`]) after it was
+//! sent, which is what makes the runtime distributable.
+//!
+//! # Epoch synchronization and determinism
+//!
+//! Virtual time is partitioned into epochs of one tick. Every message
+//! sent during epoch `k` arrives during epoch `k + 1`, so a group can
+//! process all its epoch-`k` events (clock activations and arrivals,
+//! merged in timestamp order) knowing nothing sent in epoch `k` can
+//! affect them. At the epoch boundary all groups exchange envelopes and
+//! agree on the next *occupied* epoch — empty stretches of virtual time
+//! are skipped in one jump — via [`Delivery::exchange`].
+//!
+//! Every random draw comes from a stream keyed by `(trial seed, node,
+//! activation index)`, arrivals are re-sorted by [`Envelope::order_key`],
+//! and in-group messages pay the same one-tick latency as cross-group
+//! ones. Consequently a trial's result is a pure function of
+//! `(topology, protocol, start, trial seed, tick, horizon, drop model)` —
+//! bit-identical across group counts, thread interleavings, and
+//! transports (test-enforced).
+//!
+//! [`Payload::Contact`]: crate::envelope::Payload::Contact
+//! [`Payload::Rumor`]: crate::envelope::Payload::Rumor
+
+use crate::delivery::{Delivery, DeliveryKind, DropGate, EpochFlush, EpochUpdate, Router};
+use crate::envelope::{Envelope, Payload};
+use crate::error::NetError;
+use crate::udp::UdpDelivery;
+use crate::LocalDelivery;
+use gossip_graph::{NodeId, Topology};
+use gossip_sim::TrialOutcome;
+use gossip_stats::{Exponential, SimRng};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Default message latency / epoch length, in virtual time units.
+///
+/// Small against every per-hop spread-time scale the repo sweeps (the
+/// slowest clocks fire once per unit time), so live spread times match
+/// the analytic engines' zero-latency distributions within KS noise;
+/// large enough that million-node runs keep thousands of events per
+/// epoch between barriers.
+pub const DEFAULT_TICK: f64 = 1e-3;
+
+/// Runtime parameters of a live run (the compiled form of the spec's
+/// `[net]` table plus the fault model's drop coin).
+#[derive(Debug, Clone, Copy)]
+pub struct NetConfig {
+    /// Node groups (actors are multiplexed N-nodes-per-thread); clamped
+    /// to `[1, n]` at trial start.
+    pub groups: usize,
+    /// Message latency = epoch length, in virtual time.
+    pub tick: f64,
+    /// Virtual-time cutoff: the trial stops with
+    /// [`TrialOutcome::Budget`] when the next event would fire later.
+    pub horizon: f64,
+    /// Per-envelope drop probability (`FaultModel::drop` at the
+    /// Delivery layer).
+    pub drop: f64,
+    /// Seed of the dedicated fault stream.
+    pub fault_seed: u64,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            groups: default_groups(),
+            tick: DEFAULT_TICK,
+            horizon: 1e5,
+            drop: 0.0,
+            fault_seed: 0,
+        }
+    }
+}
+
+/// The default group count: one group per available core, capped at 8
+/// (epoch barriers outgrow their benefit beyond that on one machine).
+pub fn default_groups() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(8)
+}
+
+/// Which rumor protocol the live nodes speak.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetProtocol {
+    /// Asynchronous push–pull (spec kinds `async` and `naive`).
+    PushPull,
+    /// Push-only: uninformed activations stay silent.
+    Push,
+    /// Pull-only: informed activations stay silent, contacts are always
+    /// pull requests.
+    Pull,
+}
+
+impl NetProtocol {
+    /// Maps a scenario protocol kind onto the live protocol; `None` for
+    /// kinds the runtime cannot speak (synchronous rounds, flooding,
+    /// rate-2 push, lossy-with-downtime).
+    pub fn from_kind(kind: &str) -> Option<NetProtocol> {
+        match kind {
+            "async" | "naive" => Some(NetProtocol::PushPull),
+            "push" => Some(NetProtocol::Push),
+            "pull" => Some(NetProtocol::Pull),
+            _ => None,
+        }
+    }
+
+    /// Display name, marking the live transport.
+    pub fn display_name(self) -> &'static str {
+        match self {
+            NetProtocol::PushPull => "async push-pull (live)",
+            NetProtocol::Push => "async push (live)",
+            NetProtocol::Pull => "async pull (live)",
+        }
+    }
+
+    /// Whether an informed receiver answers an uninformed contact.
+    fn replies(self) -> bool {
+        !matches!(self, NetProtocol::Push)
+    }
+}
+
+/// The outcome of one live trial.
+#[derive(Debug, Clone)]
+pub struct NetTrial {
+    /// Virtual time the last node learned the rumor, when every node
+    /// did.
+    pub spread_time: Option<f64>,
+    /// Nodes informed when the trial ended.
+    pub informed: usize,
+    /// Occupied epochs processed (== delivery exchanges after the
+    /// bootstrap round).
+    pub epochs: u64,
+    /// Events processed: clock activations plus envelope arrivals.
+    pub events: u64,
+    /// Envelopes handed to the delivery layer (dropped ones included).
+    pub messages: u64,
+    /// Envelopes the [`DropGate`] swallowed.
+    pub dropped: u64,
+    /// How the trial ended ([`TrialOutcome::Spread`] or
+    /// [`TrialOutcome::Budget`]; live trials have no `Died` state —
+    /// crash faults are an analytic-engine feature).
+    pub outcome: TrialOutcome,
+    /// Sorted `(time, |informed|)` curve when requested.
+    pub trajectory: Option<Vec<(f64, usize)>>,
+}
+
+/// What each group thread reports back after its loop ends.
+struct GroupOutcome {
+    outcome: TrialOutcome,
+    informed: u64,
+    max_informed: f64,
+    epochs: u64,
+    events: u64,
+    messages: u64,
+    dropped: u64,
+    /// Informed times of this group's own nodes (finite entries only);
+    /// filled only when a trajectory was requested.
+    informed_times: Vec<f64>,
+}
+
+/// One node group: a contiguous block of nodes multiplexed onto one
+/// thread, with all their clock/message state.
+struct Group<'a> {
+    topo: &'a Topology,
+    proto: NetProtocol,
+    tick: f64,
+    horizon: f64,
+    base: SimRng,
+    exp: Exponential,
+    gate: DropGate,
+    lo: NodeId,
+    /// Informed time per owned node; NaN = uninformed.
+    informed_t: Vec<f64>,
+    /// Processed activations per owned node (indexes the derive chain).
+    acts: Vec<u32>,
+    /// Envelopes sent per owned node (the per-source `seq` counter).
+    seqs: Vec<u32>,
+    /// Pending activations: `(time bits, node)` min-heap — times are
+    /// non-negative, so bit order is value order.
+    heap: BinaryHeap<Reverse<(u64, NodeId)>>,
+    /// Buffered arrivals, sorted by [`Envelope::order_key`]; the prefix
+    /// below the epoch end is consumed each epoch.
+    pending: Vec<Envelope>,
+    outbox: Vec<Envelope>,
+    /// Earliest arrival among envelopes currently in `outbox`.
+    out_min: f64,
+    informed_count: u64,
+    max_informed: f64,
+    events: u64,
+    messages: u64,
+    dropped: u64,
+    record: bool,
+}
+
+impl<'a> Group<'a> {
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        topo: &'a Topology,
+        proto: NetProtocol,
+        cfg: &NetConfig,
+        trial_seed: u64,
+        start: NodeId,
+        range: std::ops::Range<NodeId>,
+        record: bool,
+    ) -> Group<'a> {
+        let base = SimRng::seed_from_u64(trial_seed);
+        let exp = Exponential::new(1.0).expect("rate 1 is valid");
+        let len = range.len();
+        let mut g = Group {
+            topo,
+            proto,
+            tick: cfg.tick,
+            horizon: cfg.horizon,
+            gate: DropGate::new(cfg.drop, cfg.fault_seed, trial_seed),
+            base,
+            exp,
+            lo: range.start,
+            informed_t: vec![f64::NAN; len],
+            acts: vec![0; len],
+            seqs: vec![0; len],
+            heap: BinaryHeap::with_capacity(len),
+            pending: Vec::new(),
+            outbox: Vec::new(),
+            out_min: f64::INFINITY,
+            informed_count: 0,
+            max_informed: f64::NEG_INFINITY,
+            events: 0,
+            messages: 0,
+            dropped: 0,
+            record,
+        };
+        for v in range {
+            // Activation stream 0 of node v seeds its first firing; each
+            // processed activation k then draws from stream k + 1. The
+            // chain depends only on (trial seed, v, k) — never on which
+            // group runs v or in which order groups run.
+            let mut rng = g.base.derive(u64::from(v)).derive(0);
+            let t = g.exp.sample(&mut rng);
+            g.heap.push(Reverse((t.to_bits(), v)));
+        }
+        if g.owns(start) {
+            g.inform((start - g.lo) as usize, 0.0);
+        }
+        g
+    }
+
+    fn owns(&self, v: NodeId) -> bool {
+        v >= self.lo && ((v - self.lo) as usize) < self.informed_t.len()
+    }
+
+    fn inform(&mut self, li: usize, t: f64) {
+        self.informed_t[li] = t;
+        self.informed_count += 1;
+        if t > self.max_informed {
+            self.max_informed = t;
+        }
+    }
+
+    fn send(&mut self, src: NodeId, dst: NodeId, time: f64, payload: Payload) {
+        let li = (src - self.lo) as usize;
+        let seq = self.seqs[li];
+        self.seqs[li] += 1;
+        let env = Envelope {
+            src,
+            dst,
+            seq,
+            time,
+            payload,
+        };
+        self.messages += 1;
+        if self.gate.drops(&env) {
+            self.dropped += 1;
+            return;
+        }
+        let arrival = time + self.tick;
+        if arrival < self.out_min {
+            self.out_min = arrival;
+        }
+        self.outbox.push(env);
+    }
+
+    /// The earliest future event this group knows about: next clock
+    /// firing, earliest buffered arrival, earliest outbox arrival.
+    fn next_candidate(&self) -> f64 {
+        let heap_t = self
+            .heap
+            .peek()
+            .map_or(f64::INFINITY, |&Reverse((bits, _))| f64::from_bits(bits));
+        let pend_t = self
+            .pending
+            .first()
+            .map_or(f64::INFINITY, |e| e.time + self.tick);
+        heap_t.min(pend_t).min(self.out_min)
+    }
+
+    fn process_activation(&mut self, t: f64, v: NodeId) {
+        self.events += 1;
+        let li = (v - self.lo) as usize;
+        let k = self.acts[li];
+        self.acts[li] = k + 1;
+        let mut rng = self.base.derive(u64::from(v)).derive(u64::from(k) + 1);
+        let deg = self.topo.degree(v);
+        if deg > 0 {
+            let u = self.topo.neighbor(v, rng.index(deg));
+            let informed = !self.informed_t[li].is_nan();
+            let speak = match self.proto {
+                NetProtocol::PushPull => true,
+                NetProtocol::Push => informed,
+                NetProtocol::Pull => !informed,
+            };
+            if speak {
+                self.send(v, u, t, Payload::Contact { informed });
+            }
+        }
+        let gap = self.exp.sample(&mut rng);
+        self.heap.push(Reverse(((t + gap).to_bits(), v)));
+    }
+
+    fn process_arrival(&mut self, env: Envelope) {
+        self.events += 1;
+        let arrival = env.time + self.tick;
+        let li = (env.dst - self.lo) as usize;
+        let informed = !self.informed_t[li].is_nan();
+        match env.payload {
+            Payload::Contact { informed: src_inf } => {
+                if src_inf && !informed {
+                    self.inform(li, arrival);
+                } else if !src_inf && informed && self.proto.replies() {
+                    self.send(env.dst, env.src, arrival, Payload::Rumor);
+                }
+            }
+            Payload::Rumor => {
+                if !informed {
+                    self.inform(li, arrival);
+                }
+            }
+        }
+    }
+
+    /// Processes every event with timestamp `< epoch_end`, interleaving
+    /// buffered arrivals and clock activations in time order (arrivals
+    /// first on exact ties — a fixed, grouping-independent rule).
+    fn process_window(&mut self, epoch_end: f64) {
+        let mut cursor = 0usize;
+        loop {
+            let arr_t = self
+                .pending
+                .get(cursor)
+                .map(|e| e.time + self.tick)
+                .filter(|&t| t < epoch_end);
+            let act = self
+                .heap
+                .peek()
+                .map(|&Reverse((bits, v))| (f64::from_bits(bits), v))
+                .filter(|&(t, _)| t < epoch_end);
+            match (arr_t, act) {
+                (Some(ta), Some((tv, _))) if ta <= tv => {
+                    let env = self.pending[cursor];
+                    cursor += 1;
+                    self.process_arrival(env);
+                }
+                (_, Some((tv, v))) => {
+                    self.heap.pop();
+                    self.process_activation(tv, v);
+                }
+                (Some(_), None) => {
+                    let env = self.pending[cursor];
+                    cursor += 1;
+                    self.process_arrival(env);
+                }
+                (None, None) => break,
+            }
+        }
+        self.pending.drain(..cursor);
+    }
+
+    fn flush(&mut self) -> EpochFlush {
+        let flush = EpochFlush {
+            outbound: std::mem::take(&mut self.outbox),
+            next_candidate: self.next_candidate(),
+            informed: self.informed_count,
+        };
+        self.out_min = f64::INFINITY;
+        flush
+    }
+
+    fn merge_inbound(&mut self, update: &mut EpochUpdate) {
+        if !update.inbound.is_empty() {
+            self.pending.append(&mut update.inbound);
+            self.pending.sort_unstable_by_key(Envelope::order_key);
+        }
+    }
+
+    fn run(mut self, delivery: &mut dyn Delivery) -> Result<GroupOutcome, NetError> {
+        let n = self.topo.n() as u64;
+        let mut epochs = 0u64;
+        let mut floor_epoch = 0u64;
+        let mut update = delivery.exchange(self.flush())?;
+        self.merge_inbound(&mut update);
+        let outcome = loop {
+            if update.informed_total >= n {
+                break TrialOutcome::Spread;
+            }
+            // `next_time` is +inf when no group has anything scheduled
+            // (an idle system with empty groups only) — either way
+            // nothing more can happen inside the budget.
+            if update.next_time > self.horizon {
+                break TrialOutcome::Budget;
+            }
+            // All events strictly before the previous epoch end are
+            // consumed, so the global next event picks the next occupied
+            // epoch; the floor guard makes progress immune to f64
+            // division rounding at epoch boundaries.
+            let epoch = ((update.next_time / self.tick) as u64).max(floor_epoch);
+            floor_epoch = epoch + 1;
+            let epoch_end = (epoch + 1) as f64 * self.tick;
+            self.process_window(epoch_end);
+            epochs += 1;
+            update = delivery.exchange(self.flush())?;
+            self.merge_inbound(&mut update);
+        };
+        Ok(GroupOutcome {
+            outcome,
+            informed: self.informed_count,
+            max_informed: self.max_informed,
+            epochs,
+            events: self.events,
+            messages: self.messages,
+            dropped: self.dropped,
+            informed_times: if self.record {
+                self.informed_t
+                    .iter()
+                    .copied()
+                    .filter(|t| !t.is_nan())
+                    .collect()
+            } else {
+                Vec::new()
+            },
+        })
+    }
+}
+
+/// Runs one live trial of `proto` on `topo` from `start`, seeded by
+/// `trial_seed`, over the given transport. See the [module docs](self)
+/// for the execution model and determinism contract.
+///
+/// # Errors
+///
+/// [`NetError::Invalid`] for structural problems (empty topology, start
+/// out of range, non-positive tick/horizon); [`NetError::Io`] when the
+/// transport fails.
+pub fn run_trial(
+    topo: &Topology,
+    proto: NetProtocol,
+    start: NodeId,
+    trial_seed: u64,
+    cfg: &NetConfig,
+    kind: DeliveryKind,
+    record_trajectory: bool,
+) -> Result<NetTrial, NetError> {
+    let n = topo.n();
+    if n == 0 {
+        return Err(NetError::Invalid("the topology has no nodes".into()));
+    }
+    if (start as usize) >= n {
+        return Err(NetError::Invalid(format!(
+            "start node {start} is outside the {n}-node network"
+        )));
+    }
+    if !(cfg.tick.is_finite() && cfg.tick > 0.0) {
+        return Err(NetError::Invalid(format!(
+            "tick must be a positive finite latency, got {}",
+            cfg.tick
+        )));
+    }
+    // +inf is a valid horizon (run until spread); NaN is not.
+    if cfg.horizon.is_nan() || cfg.horizon <= 0.0 {
+        return Err(NetError::Invalid(format!(
+            "horizon must be positive, got {}",
+            cfg.horizon
+        )));
+    }
+    let router = Router::new(n, cfg.groups);
+    let endpoints: Vec<Box<dyn Delivery>> = match kind {
+        DeliveryKind::Local => LocalDelivery::fabric(router)
+            .into_iter()
+            .map(|e| Box::new(e) as Box<dyn Delivery>)
+            .collect(),
+        DeliveryKind::Udp => UdpDelivery::fabric(router)?
+            .into_iter()
+            .map(|e| Box::new(e) as Box<dyn Delivery>)
+            .collect(),
+    };
+    let outcomes: Result<Vec<GroupOutcome>, NetError> = std::thread::scope(|s| {
+        let handles: Vec<_> = endpoints
+            .into_iter()
+            .enumerate()
+            .map(|(g, mut ep)| {
+                let range = router.range(g);
+                let group = Group::new(
+                    topo,
+                    proto,
+                    cfg,
+                    trial_seed,
+                    start,
+                    range,
+                    record_trajectory,
+                );
+                std::thread::Builder::new()
+                    .name(format!("gossip-net-{g}"))
+                    .spawn_scoped(s, move || group.run(&mut *ep))
+                    .expect("spawn node-group thread")
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("node-group thread panicked"))
+            .collect()
+    });
+    let outcomes = outcomes?;
+    let outcome = outcomes[0].outcome;
+    let informed: u64 = outcomes.iter().map(|o| o.informed).sum();
+    let spread_time = match outcome {
+        TrialOutcome::Spread => Some(
+            outcomes
+                .iter()
+                .map(|o| o.max_informed)
+                .fold(f64::NEG_INFINITY, f64::max),
+        ),
+        _ => None,
+    };
+    let trajectory = record_trajectory.then(|| {
+        let mut times: Vec<f64> = outcomes
+            .iter()
+            .flat_map(|o| o.informed_times.iter().copied())
+            .collect();
+        times.sort_unstable_by(f64::total_cmp);
+        times
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| (t, i + 1))
+            .collect()
+    });
+    Ok(NetTrial {
+        spread_time,
+        informed: informed as usize,
+        epochs: outcomes.iter().map(|o| o.epochs).max().unwrap_or(0),
+        events: outcomes.iter().map(|o| o.events).sum(),
+        messages: outcomes.iter().map(|o| o.messages).sum(),
+        dropped: outcomes.iter().map(|o| o.dropped).sum(),
+        outcome,
+        trajectory,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(groups: usize) -> NetConfig {
+        NetConfig {
+            groups,
+            tick: 1e-3,
+            horizon: 1e4,
+            drop: 0.0,
+            fault_seed: 0,
+        }
+    }
+
+    #[test]
+    fn complete_graph_spreads_fully() {
+        let topo = Topology::complete(48).unwrap();
+        let t = run_trial(
+            &topo,
+            NetProtocol::PushPull,
+            0,
+            7,
+            &cfg(3),
+            DeliveryKind::Local,
+            true,
+        )
+        .unwrap();
+        assert_eq!(t.outcome, TrialOutcome::Spread);
+        assert_eq!(t.informed, 48);
+        let spread = t.spread_time.unwrap();
+        assert!(spread > 0.0 && spread < 100.0, "{spread}");
+        let traj = t.trajectory.unwrap();
+        assert_eq!(traj.len(), 48);
+        assert_eq!(traj[0], (0.0, 1));
+        assert!((traj.last().unwrap().0 - spread).abs() < 1e-12);
+        assert!(t.events > 0 && t.messages > 0 && t.dropped == 0);
+    }
+
+    #[test]
+    fn group_count_is_invisible() {
+        let topo = Topology::gnp(96, 0.2, 5).unwrap();
+        let runs: Vec<NetTrial> = [1, 2, 5]
+            .into_iter()
+            .map(|g| {
+                run_trial(
+                    &topo,
+                    NetProtocol::PushPull,
+                    0,
+                    11,
+                    &cfg(g),
+                    DeliveryKind::Local,
+                    false,
+                )
+                .unwrap()
+            })
+            .collect();
+        for t in &runs[1..] {
+            assert_eq!(t.spread_time, runs[0].spread_time);
+            assert_eq!(t.events, runs[0].events);
+            assert_eq!(t.messages, runs[0].messages);
+        }
+    }
+
+    #[test]
+    fn full_drop_hits_the_horizon() {
+        let topo = Topology::complete(16).unwrap();
+        let mut c = cfg(2);
+        c.drop = 1.0;
+        c.horizon = 3.0;
+        let t = run_trial(
+            &topo,
+            NetProtocol::PushPull,
+            0,
+            3,
+            &c,
+            DeliveryKind::Local,
+            false,
+        )
+        .unwrap();
+        assert_eq!(t.outcome, TrialOutcome::Budget);
+        assert_eq!(t.informed, 1);
+        assert_eq!(t.spread_time, None);
+        assert!(t.dropped > 0 && t.dropped == t.messages);
+    }
+
+    #[test]
+    fn push_and_pull_both_complete_on_complete_graphs() {
+        let topo = Topology::complete(32).unwrap();
+        for proto in [NetProtocol::Push, NetProtocol::Pull] {
+            let t = run_trial(&topo, proto, 0, 9, &cfg(2), DeliveryKind::Local, false).unwrap();
+            assert_eq!(t.outcome, TrialOutcome::Spread, "{proto:?}");
+            assert_eq!(t.informed, 32);
+        }
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let topo = Topology::complete(8).unwrap();
+        let mut bad = cfg(1);
+        bad.tick = 0.0;
+        assert!(matches!(
+            run_trial(
+                &topo,
+                NetProtocol::PushPull,
+                0,
+                1,
+                &bad,
+                DeliveryKind::Local,
+                false
+            ),
+            Err(NetError::Invalid(_))
+        ));
+        assert!(matches!(
+            run_trial(
+                &topo,
+                NetProtocol::PushPull,
+                99,
+                1,
+                &cfg(1),
+                DeliveryKind::Local,
+                false
+            ),
+            Err(NetError::Invalid(_))
+        ));
+    }
+}

@@ -1,0 +1,387 @@
+//! Datagram transport: one UDP socket per node group.
+//!
+//! Each epoch exchange sends every peer group one or more
+//! length-prefixed datagrams — a fixed header carrying the epoch round,
+//! fragment bookkeeping, and the sender's piggybacked reductions
+//! (next-event candidate, informed count), followed by `count` fixed-width
+//! [`Envelope`] records — then blocks until all fragments from every
+//! peer for the same round are in. The collective therefore doubles as
+//! the epoch barrier; no shared memory is needed, which is what makes
+//! the same runtime span multiple processes.
+//!
+//! The transport is loopback-tested in-process ([`UdpDelivery::fabric`]
+//! binds every group's socket on `127.0.0.1`); true multi-process
+//! clusters construct endpoints with [`UdpDelivery::bound`] from a
+//! shared peer list. Results are bit-identical to [`LocalDelivery`] at
+//! the same group count (test-enforced): inbound batches are re-sorted
+//! by [`Envelope::order_key`] before processing, so datagram arrival
+//! order never matters.
+//!
+//! [`LocalDelivery`]: crate::LocalDelivery
+
+use crate::delivery::{Delivery, EpochFlush, EpochUpdate, Router};
+use crate::envelope::{Envelope, WIRE_BYTES};
+use crate::error::NetError;
+use std::net::{SocketAddr, UdpSocket};
+use std::time::Duration;
+
+const MAGIC: u32 = 0x474E_4554; // "GNET"
+const VERSION: u8 = 1;
+/// magic(4) + version(1) + src(2) + frag(2) + frags(2) + count(2)
+/// + round(8) + candidate(8) + informed(8)
+const HEADER_BYTES: usize = 37;
+/// Envelopes per datagram: keeps every datagram comfortably under the
+/// 64 KiB UDP payload ceiling (2048 × 21 B + header ≈ 42 KiB).
+const MAX_PER_DATAGRAM: usize = 2048;
+/// How long one exchange waits for a missing peer fragment before the
+/// trial fails loudly instead of hanging.
+const EXCHANGE_TIMEOUT: Duration = Duration::from_secs(10);
+
+struct Header {
+    src: u16,
+    frag: u16,
+    frags: u16,
+    count: u16,
+    round: u64,
+    candidate: f64,
+    informed: u64,
+}
+
+fn encode_header(buf: &mut Vec<u8>, h: &Header) {
+    buf.extend_from_slice(&MAGIC.to_le_bytes());
+    buf.push(VERSION);
+    buf.extend_from_slice(&h.src.to_le_bytes());
+    buf.extend_from_slice(&h.frag.to_le_bytes());
+    buf.extend_from_slice(&h.frags.to_le_bytes());
+    buf.extend_from_slice(&h.count.to_le_bytes());
+    buf.extend_from_slice(&h.round.to_le_bytes());
+    buf.extend_from_slice(&h.candidate.to_bits().to_le_bytes());
+    buf.extend_from_slice(&h.informed.to_le_bytes());
+}
+
+fn decode_header(buf: &[u8]) -> Option<Header> {
+    if buf.len() < HEADER_BYTES
+        || u32::from_le_bytes(buf[0..4].try_into().ok()?) != MAGIC
+        || buf[4] != VERSION
+    {
+        return None;
+    }
+    let u16_at = |o: usize| u16::from_le_bytes(buf[o..o + 2].try_into().unwrap());
+    let u64_at = |o: usize| u64::from_le_bytes(buf[o..o + 8].try_into().unwrap());
+    Some(Header {
+        src: u16_at(5),
+        frag: u16_at(7),
+        frags: u16_at(9),
+        count: u16_at(11),
+        round: u64_at(13),
+        candidate: f64::from_bits(u64_at(21)),
+        informed: u64_at(29),
+    })
+}
+
+/// A datagram parsed ahead of its round, parked until the exchange
+/// catches up (loopback reordering is rare but legal).
+struct Stashed {
+    header: Header,
+    envelopes: Vec<Envelope>,
+}
+
+/// One group's datagram endpoint. See the [module docs](self).
+pub struct UdpDelivery {
+    socket: UdpSocket,
+    peers: Vec<SocketAddr>,
+    me: usize,
+    router: Router,
+    round: u64,
+    scratch: Vec<Vec<Envelope>>,
+    stash: Vec<Stashed>,
+    recv_buf: Vec<u8>,
+    send_buf: Vec<u8>,
+}
+
+impl UdpDelivery {
+    /// Binds one loopback socket per group of `router` and returns the
+    /// fully meshed endpoint set — the in-process (loopback-test) form
+    /// of the transport.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Io`] when a socket cannot be bound or configured.
+    pub fn fabric(router: Router) -> Result<Vec<UdpDelivery>, NetError> {
+        let g = router.groups();
+        let sockets: Vec<UdpSocket> = (0..g)
+            .map(|_| UdpSocket::bind(("127.0.0.1", 0)))
+            .collect::<std::io::Result<_>>()?;
+        let peers: Vec<SocketAddr> = sockets
+            .iter()
+            .map(|s| s.local_addr())
+            .collect::<std::io::Result<_>>()?;
+        sockets
+            .into_iter()
+            .enumerate()
+            .map(|(me, socket)| UdpDelivery::bound(socket, peers.clone(), me, router))
+            .collect()
+    }
+
+    /// Wraps an already-bound socket as group `me`'s endpoint; `peers`
+    /// lists every group's address in group order (`peers[me]` is this
+    /// socket's own address). This is the multi-process construction:
+    /// each process binds its socket, the peer list is distributed out
+    /// of band, and every process runs the same trial with its own
+    /// group index.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Io`] when the receive timeout cannot be set or the
+    /// peer list does not match the router's group count.
+    pub fn bound(
+        socket: UdpSocket,
+        peers: Vec<SocketAddr>,
+        me: usize,
+        router: Router,
+    ) -> Result<UdpDelivery, NetError> {
+        let g = router.groups();
+        if peers.len() != g || me >= g {
+            return Err(NetError::Io(format!(
+                "udp peer list has {} entries for {} groups (endpoint {me})",
+                peers.len(),
+                g
+            )));
+        }
+        socket.set_read_timeout(Some(EXCHANGE_TIMEOUT))?;
+        Ok(UdpDelivery {
+            socket,
+            peers,
+            me,
+            router,
+            round: 0,
+            scratch: (0..g).map(|_| Vec::new()).collect(),
+            stash: Vec::new(),
+            recv_buf: vec![0u8; 65_536],
+            send_buf: Vec::with_capacity(HEADER_BYTES + MAX_PER_DATAGRAM * WIRE_BYTES),
+        })
+    }
+
+    fn send_to_peer(&mut self, dest: usize, flush: &EpochFlush) -> Result<(), NetError> {
+        let envs = std::mem::take(&mut self.scratch[dest]);
+        let frags = envs.len().div_ceil(MAX_PER_DATAGRAM).max(1) as u16;
+        for (frag, chunk) in envs
+            .chunks(MAX_PER_DATAGRAM)
+            .chain(std::iter::once([].as_slice()).filter(|_| envs.is_empty()))
+            .enumerate()
+        {
+            self.send_buf.clear();
+            encode_header(
+                &mut self.send_buf,
+                &Header {
+                    src: self.me as u16,
+                    frag: frag as u16,
+                    frags,
+                    count: chunk.len() as u16,
+                    round: self.round,
+                    candidate: flush.next_candidate,
+                    informed: flush.informed,
+                },
+            );
+            for env in chunk {
+                env.encode_into(&mut self.send_buf);
+            }
+            self.socket.send_to(&self.send_buf, self.peers[dest])?;
+        }
+        Ok(())
+    }
+}
+
+fn decode_body(header: &Header, body: &[u8]) -> Result<Vec<Envelope>, NetError> {
+    let count = header.count as usize;
+    if body.len() < count * WIRE_BYTES {
+        return Err(NetError::Io(format!(
+            "short datagram: {} bytes for {count} envelopes",
+            body.len()
+        )));
+    }
+    (0..count)
+        .map(|i| {
+            Envelope::decode(&body[i * WIRE_BYTES..])
+                .ok_or_else(|| NetError::Io("malformed envelope record".into()))
+        })
+        .collect()
+}
+
+/// Per-peer collection state for one exchange round.
+struct RoundState {
+    /// Announced fragment totals (None until a peer's first fragment).
+    expected: Vec<Option<u16>>,
+    received: Vec<u16>,
+    informed: Vec<u64>,
+    next_time: f64,
+}
+
+impl RoundState {
+    fn new(g: usize, me: usize, flush: &EpochFlush) -> RoundState {
+        let mut expected = vec![None; g];
+        expected[me] = Some(0);
+        let mut informed = vec![0u64; g];
+        informed[me] = flush.informed;
+        RoundState {
+            expected,
+            received: vec![0; g],
+            informed,
+            next_time: flush.next_candidate,
+        }
+    }
+
+    fn absorb(&mut self, header: &Header, envelopes: Vec<Envelope>, inbound: &mut Vec<Envelope>) {
+        let s = header.src as usize;
+        match self.expected[s] {
+            None => self.expected[s] = Some(header.frags),
+            // All fragments of one round announce the same total; a
+            // mismatch is a stale datagram that slipped the round check.
+            Some(t) if t != header.frags => return,
+            Some(_) => {}
+        }
+        self.received[s] += 1;
+        self.informed[s] = header.informed;
+        self.next_time = self.next_time.min(header.candidate);
+        inbound.extend(envelopes);
+    }
+
+    fn done(&self) -> bool {
+        self.expected
+            .iter()
+            .zip(&self.received)
+            .all(|(e, r)| *e == Some(*r) || *e == Some(0) && *r == 0)
+    }
+}
+
+impl Delivery for UdpDelivery {
+    fn exchange(&mut self, flush: EpochFlush) -> Result<EpochUpdate, NetError> {
+        let g = self.router.groups();
+        for env in &flush.outbound {
+            self.scratch[self.router.group_of(env.dst)].push(*env);
+        }
+        // Self-destined envelopes never touch the socket.
+        let mut inbound = std::mem::take(&mut self.scratch[self.me]);
+        for dest in 0..g {
+            if dest != self.me {
+                self.send_to_peer(dest, &flush)?;
+            }
+        }
+        let mut state = RoundState::new(g, self.me, &flush);
+        // Consume anything stashed by an earlier round's over-eager read.
+        for st in std::mem::take(&mut self.stash) {
+            if st.header.round == self.round {
+                state.absorb(&st.header, st.envelopes, &mut inbound);
+            } else if st.header.round > self.round {
+                self.stash.push(st);
+            }
+        }
+        while !state.done() {
+            let len = match self.socket.recv_from(&mut self.recv_buf) {
+                Ok((len, _)) => len,
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    return Err(NetError::Io(format!(
+                        "udp exchange timed out waiting for peers at round {} (group {})",
+                        self.round, self.me
+                    )));
+                }
+                Err(e) => return Err(NetError::Io(e.to_string())),
+            };
+            let Some(header) = decode_header(&self.recv_buf[..len]) else {
+                continue; // not ours; ignore
+            };
+            if header.src as usize >= g || header.src as usize == self.me {
+                continue;
+            }
+            let envelopes = decode_body(&header, &self.recv_buf[HEADER_BYTES..len])?;
+            if header.round < self.round {
+                continue; // stale duplicate
+            }
+            if header.round > self.round {
+                self.stash.push(Stashed { header, envelopes });
+                continue;
+            }
+            state.absorb(&header, envelopes, &mut inbound);
+        }
+        let informed_total = state.informed.iter().sum();
+        self.round += 1;
+        Ok(EpochUpdate {
+            inbound,
+            next_time: state.next_time,
+            informed_total,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::envelope::Payload;
+
+    #[test]
+    fn header_round_trip() {
+        let mut buf = Vec::new();
+        let h = Header {
+            src: 3,
+            frag: 1,
+            frags: 2,
+            count: 17,
+            round: 99,
+            candidate: 1.25,
+            informed: 123_456,
+        };
+        encode_header(&mut buf, &h);
+        assert_eq!(buf.len(), HEADER_BYTES);
+        let back = decode_header(&buf).unwrap();
+        assert_eq!(
+            (back.src, back.frag, back.frags, back.count, back.round),
+            (3, 1, 2, 17, 99)
+        );
+        assert!((back.candidate - 1.25).abs() < 1e-12);
+        assert_eq!(back.informed, 123_456);
+    }
+
+    #[test]
+    fn loopback_exchange_round_trip() {
+        let router = Router::new(8, 2);
+        let mut eps = UdpDelivery::fabric(router).unwrap();
+        let b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        let mk = |src, dst, seq| Envelope {
+            src,
+            dst,
+            seq,
+            time: 0.25,
+            payload: Payload::Contact { informed: true },
+        };
+        let ha = std::thread::spawn(move || {
+            let mut a = a;
+            a.exchange(EpochFlush {
+                outbound: vec![mk(0, 7, 0), mk(1, 3, 0)],
+                next_candidate: 0.5,
+                informed: 2,
+            })
+            .unwrap()
+        });
+        let hb = std::thread::spawn(move || {
+            let mut b = b;
+            b.exchange(EpochFlush {
+                outbound: vec![mk(5, 0, 0)],
+                next_candidate: 0.75,
+                informed: 1,
+            })
+            .unwrap()
+        });
+        let ua = ha.join().unwrap();
+        let ub = hb.join().unwrap();
+        assert_eq!(ua.inbound.len(), 2); // own 1→3 plus b's 5→0
+        assert_eq!(ub.inbound.len(), 1); // a's 0→7
+        for u in [&ua, &ub] {
+            assert!((u.next_time - 0.5).abs() < 1e-12);
+            assert_eq!(u.informed_total, 3);
+        }
+    }
+}

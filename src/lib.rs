@@ -14,6 +14,8 @@
 //! * [`sim`] — asynchronous/synchronous push–pull simulators;
 //! * [`bounds`] — the Theorem 1.1 / 1.3 spread-time bound calculators and
 //!   closed-form predictions;
+//! * [`net`] — the live message-passing runtime (node-group actors over
+//!   pluggable local/UDP delivery), cross-validated against [`sim`];
 //! * [`stats`] — RNG, samplers, summary statistics.
 //!
 //! # Quickstart
@@ -41,6 +43,7 @@
 pub use gossip_core as bounds;
 pub use gossip_dynamics as dynamics;
 pub use gossip_graph as graph;
+pub use gossip_net as net;
 pub use gossip_sim as sim;
 pub use gossip_stats as stats;
 
@@ -61,6 +64,7 @@ pub mod prelude {
         StaticNetwork,
     };
     pub use gossip_graph::{conductance, diligence, generators, Graph, GraphBuilder, NodeSet};
+    pub use gossip_net::{DeliveryKind, NetConfig, NetPlan, NetProtocol, NetSweep};
     pub use gossip_sim::{
         AnyProtocol, AsyncPushPull, CutRateAsync, Engine, EventSimulation, Flooding,
         IncrementalProtocol, JsonlSink, LossyAsync, Protocol, RunConfig, RunPlan, RunReport,

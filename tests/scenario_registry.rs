@@ -17,6 +17,7 @@ fn scenario_runs_through_the_facade() {
             s
         },
         faults: None,
+        net: None,
     };
     let report: ScenarioReport = run_scenario(&spec).unwrap();
     assert_eq!(report.engine, "event");
@@ -37,6 +38,7 @@ fn event_engine_and_scenario_agree() {
         protocol: ProtocolSpec::new("async"),
         sweep: SweepSpec::over(vec![16]),
         faults: None,
+        net: None,
     };
     spec.sweep.trials = Some(10);
     spec.sweep.seed = Some(5);
@@ -71,6 +73,7 @@ fn sweep_plan_streams_jsonl_through_facade() {
         protocol: ProtocolSpec::new("async"),
         sweep: SweepSpec::over(vec![16, 24]),
         faults: None,
+        net: None,
     };
     spec.sweep.trials = Some(6);
     spec.sweep.seed = Some(9);
