@@ -32,10 +32,20 @@
 //!   one side. Acceptance bar: ≥ 5.0 on every cell.
 //! * `sweep_parallel` — a whole 8-cell sweep through
 //!   [`gossip_core::scenario::SweepPlan`], sequential cells vs
-//!   `cell_parallel` work stealing over the same thread budget. On a
-//!   single-core host the ratio is ≈ 1 (the scheduler only rearranges
-//!   work, observer order is fixed); the key documents the measured
-//!   shape rather than promising a win.
+//!   `cell_parallel` work stealing over the same thread budget.
+//!   `sweep_parallel/available_parallelism` records the hardware
+//!   context; on a single-core host the speedup ratio is *skipped* with
+//!   a printed note (a ≈ 1.0 "speedup" there is scheduler noise, not a
+//!   measurement) and `sweep_parallel_speedup/complete/<cells>` is only
+//!   recorded when ≥ 2 hardware threads exist.
+//! * `serve_cache` — the `gossip-serve` daemon end to end over TCP on
+//!   `scenarios/gnp-sparse.toml`: `cache_speedup/gnp-sparse` = cold
+//!   first submission ÷ content-addressed cache-hit replay (zero trials
+//!   execute on the hit path), `serve_throughput/gnp-sparse` = cache-hit
+//!   requests/second, and `warm_topology_speedup/gnp-sparse` = a cold
+//!   daemon ÷ a warm daemon executing a fresh seed of the same sampled
+//!   `G(n, p)` family (`scenarios/serve-cache.toml`), i.e. the realized
+//!   topology cache alone.
 //! * `huge_trial` — one n = 10⁷ sparse sampled `G(n, p)` trial
 //!   (mean degree ≈ 8), horizon-bounded at t = 7.0: full spread on a
 //!   graph this size is DRAM-bound for tens of seconds, so the bench
@@ -60,8 +70,14 @@
 //! `inner_loop_speedup/<family>/<n>` = scalar ÷ vectorized ns/event
 //! (paired-median; `inner_loop/<family>-{scalar,fast}/<n>` carry the
 //! absolute ns/event figures),
+//! `sweep_parallel/available_parallelism` = hardware threads seen by the
+//! sweep scheduler (always recorded), with
 //! `sweep_parallel_speedup/complete/<cells>` = sequential ÷
-//! cell-parallel sweep wall clock,
+//! cell-parallel sweep wall clock recorded only when that parallelism
+//! is ≥ 2,
+//! `cache_speedup/gnp-sparse` / `serve_throughput/gnp-sparse` /
+//! `warm_topology_speedup/gnp-sparse` = the simulation-as-a-service
+//! figures described above,
 //! `huge_trial/gnp/10000000` = seconds for the horizon-bounded n = 10⁷
 //! trial (with `huge_trial_events/gnp/10000000` informative events
 //! resolved inside the horizon),
@@ -509,9 +525,11 @@ fn bench_inner_loop<F>(
 /// driver-scale and scheduling overhead is visible. On a host with
 /// fewer cores than cells the ratio sits near 1 — cell-level stealing
 /// only wins when idle cores exist that per-cell trial parallelism
-/// cannot fill (few trials, many cells) — so the recorded
-/// `sweep_parallel_speedup/complete/<cells>` is a measured shape, not
-/// an acceptance bar.
+/// cannot fill (few trials, many cells) — so on a single-core host the
+/// ratio is skipped outright (see the in-function note) and
+/// `sweep_parallel/available_parallelism` records why; where it is
+/// recorded, `sweep_parallel_speedup/complete/<cells>` is a measured
+/// shape, not an acceptance bar.
 fn bench_sweep_parallel(c: &mut Criterion, knobs: &Knobs) {
     const CELLS: usize = 8;
     let trials = if knobs.smoke { 16 } else { 512 };
@@ -543,6 +561,26 @@ fn bench_sweep_parallel(c: &mut Criterion, knobs: &Knobs) {
         elapsed
     };
 
+    // Record the hardware context first: a ≈ 1.0 "speedup" is the
+    // *expected* shape on a single-core box, not a regression, and the
+    // recorded parallelism is what lets a reader tell the two apart.
+    let avail = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    c.record_metric("sweep_parallel/available_parallelism", avail as f64);
+    if avail < 2 {
+        // Documented skip-note: with one hardware thread the scheduler
+        // can only rearrange work, so a ratio would be noise around 1.0
+        // masquerading as a measurement. The speedup key is omitted on
+        // purpose; consumers must key off available_parallelism.
+        println!(
+            "sweep_parallel/complete/{CELLS}: skipped — only {avail} hardware thread(s) \
+             available; cell-level work stealing cannot beat sequential cells without idle \
+             cores, so no sweep_parallel_speedup/complete/{CELLS} ratio is recorded"
+        );
+        return;
+    }
+
     let _ = measure(&sequential);
     let _ = measure(&parallel);
     let mut ratios = Vec::with_capacity(reps);
@@ -555,6 +593,135 @@ fn bench_sweep_parallel(c: &mut Criterion, knobs: &Knobs) {
     let ratio = ratios[reps / 2];
     println!("sweep_parallel/complete/{CELLS}: sequential / cell_parallel = {ratio:.2}x");
     c.record_metric(format!("sweep_parallel_speedup/complete/{CELLS}"), ratio);
+}
+
+/// The simulation-as-a-service figures, measured end to end over TCP
+/// against in-process `gossip-serve` daemons.
+///
+/// * `cache_speedup/gnp-sparse` — first submission of
+///   `scenarios/gnp-sparse.toml` (cold: realizes the topology and runs
+///   every trial) ÷ median repeat submission (content-addressed store
+///   hit: the journal replays, **zero trials execute**). The ≥ 100×
+///   acceptance bar is asserted in-process in full mode.
+/// * `serve_throughput/gnp-sparse` — sustained cache-hit requests per
+///   second against the warm daemon.
+/// * `warm_topology_speedup/gnp-sparse` — a *fresh* daemon ÷ a warm
+///   daemon each executing a never-cached seed of the same sampled
+///   `G(n, p)` family (`scenarios/serve-cache.toml`, horizon-bounded so
+///   CSR realization dominates the sweep): isolates the realized
+///   topology cache, since both sides execute identical trial work.
+///
+/// Smoke mode swaps in a small inline spec (same keys, same code path)
+/// so CI exercises the daemon without the 1e5-node workload.
+fn bench_serve_cache(c: &mut Criterion, knobs: &Knobs) {
+    use gossip_core::scenario::ScenarioSpec;
+    use gossip_serve::{split_response, submit, Server};
+
+    let store_root =
+        std::env::temp_dir().join(format!("gossip-bench-serve-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_root);
+    let spawn = |tag: &str| {
+        Server::bind("127.0.0.1:0", store_root.join(tag))
+            .expect("bind serve daemon")
+            .spawn()
+            .expect("spawn serve daemon")
+    };
+    let timed_submit = |addr, spec: &ScenarioSpec| -> (f64, Vec<u8>) {
+        let t0 = Instant::now();
+        let response = submit(addr, spec).expect("submission succeeds");
+        (t0.elapsed().as_secs_f64(), response)
+    };
+
+    let sparse: ScenarioSpec = if knobs.smoke {
+        let mut spec = ScenarioSpec::from_toml_str(
+            "name = \"gnp-smoke\"\n[family]\nkind = \"er\"\np = 0.02\nbackend = \"sampled\"\n\
+             [protocol]\nkind = \"async\"\n[sweep]\nsizes = [1000]\ntrials = 4\nseed = 42\n",
+        )
+        .expect("valid smoke spec");
+        spec.sweep.max_time = Some(1e4);
+        spec
+    } else {
+        ScenarioSpec::from_path(std::path::Path::new(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../scenarios/gnp-sparse.toml"
+        )))
+        .expect("scenarios/gnp-sparse.toml loads")
+    };
+
+    // Cold (miss) vs cache-hit replay on one daemon.
+    let daemon = spawn("hit");
+    let (cold, cold_response) = timed_submit(daemon.addr(), &sparse);
+    assert_eq!(daemon.state().executions(), 1);
+    let hit_reps = if knobs.smoke { 3 } else { 9 };
+    let mut hits = Vec::with_capacity(hit_reps);
+    let t0 = Instant::now();
+    for _ in 0..hit_reps {
+        let (secs, response) = timed_submit(daemon.addr(), &sparse);
+        assert_eq!(
+            split_response(&response).1,
+            split_response(&cold_response).1,
+            "cache-hit body must be byte-identical to the live body"
+        );
+        hits.push(secs);
+    }
+    let throughput = hit_reps as f64 / t0.elapsed().as_secs_f64();
+    assert_eq!(
+        daemon.state().executions(),
+        1,
+        "repeat submissions must execute zero trials"
+    );
+    hits.sort_by(f64::total_cmp);
+    let hit = hits[hit_reps / 2];
+    let cache_speedup = cold / hit;
+    println!(
+        "serve_cache/gnp-sparse: cold {cold:.3}s, hit {hit:.5}s → {cache_speedup:.0}x; \
+         {throughput:.0} cache-hit requests/sec"
+    );
+    c.record_metric("cache_speedup/gnp-sparse", cache_speedup);
+    c.record_metric("serve_throughput/gnp-sparse", throughput);
+    if !knobs.smoke {
+        assert!(
+            cache_speedup >= 100.0,
+            "cache-hit replay must be ≥ 100x a cold run, measured {cache_speedup:.1}x"
+        );
+    }
+
+    // Warm-topology reuse: a fresh daemon vs the already-warm daemon,
+    // both executing a never-cached seed of the same sampled family.
+    // Horizon-bounded trials keep CSR realization the dominant cost.
+    let mut warm_spec: ScenarioSpec = if knobs.smoke {
+        let mut spec = sparse.clone();
+        spec.sweep.max_time = Some(1.0);
+        spec
+    } else {
+        ScenarioSpec::from_path(std::path::Path::new(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../scenarios/serve-cache.toml"
+        )))
+        .expect("scenarios/serve-cache.toml loads")
+    };
+    // Pre-warm the topology cache on the warm daemon (store misses on a
+    // distinct seed), then time cold-vs-warm on another fresh seed.
+    let warm_daemon = if knobs.smoke { daemon } else { spawn("warm") };
+    warm_spec.sweep.seed = Some(9_001);
+    let _ = timed_submit(warm_daemon.addr(), &warm_spec);
+    warm_spec.sweep.seed = Some(9_002);
+    let (warm, _) = timed_submit(warm_daemon.addr(), &warm_spec);
+    let cold_daemon = spawn("cold");
+    let (cold_exec, _) = timed_submit(cold_daemon.addr(), &warm_spec);
+    let warm_speedup = cold_exec / warm;
+    println!(
+        "warm_topology/gnp-sparse: cold daemon {cold_exec:.3}s, warm daemon {warm:.3}s \
+         → {warm_speedup:.2}x (shared sampled-topology realization)"
+    );
+    c.record_metric("warm_topology_speedup/gnp-sparse", warm_speedup);
+    if !knobs.smoke {
+        assert!(
+            warm_speedup > 1.0,
+            "warm-topology reuse must beat a cold daemon, measured {warm_speedup:.2}x"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&store_root);
 }
 
 /// One n = 10⁷ sparse sampled `G(n, p)` trial, horizon-bounded.
@@ -767,12 +934,19 @@ fn main() {
     // Sweep-level work stealing vs sequential cells through SweepPlan.
     bench_sweep_parallel(&mut c, &knobs);
 
+    // Simulation-as-a-service: result-cache replay, hit throughput, and
+    // warm-topology reuse, end to end over TCP.
+    bench_serve_cache(&mut c, &knobs);
+
     for key in [
+        "cache_speedup/gnp-sparse",
+        "serve_throughput/gnp-sparse",
+        "warm_topology_speedup/gnp-sparse",
         "inner_loop_speedup/gnp/1000",
         "inner_loop_speedup/gnp/10000",
         "inner_loop_speedup/circulant/1000",
         "inner_loop_speedup/circulant/10000",
-        "sweep_parallel_speedup/complete/8",
+        "sweep_parallel/available_parallelism",
     ] {
         assert!(
             c.metric(key).is_some(),

@@ -41,6 +41,8 @@ COMMANDS:
     run          simulate a protocol on a network family, report spread-time statistics
     scenario     run declarative experiment files: scenario run|check|init|list
     net          run a scenario on the live message-passing runtime: net run|check
+    serve        start the simulation-as-a-service daemon (content-addressed result cache)
+    submit       send a scenario file to a running daemon and stream the response
     profile      walk a trajectory and print per-window conductance / diligence profiles
     bounds       compare measured spread time against the Theorem 1.1 / 1.3 stopping rules
     trace        dump informed-count trajectories as CSV (for plotting)
@@ -64,6 +66,8 @@ COMMON FLAGS:
     --resume <path>      scenario run: replay the completed cells of a journal and
                          execute only the rest — bit-identical to an uninterrupted
                          run; with no spec file, the journal's embedded spec is used
+    --addr <host:port>   serve/submit: daemon address (default: 127.0.0.1:7373)
+    --store <dir>        serve: result-store directory (default: gossip-store)
     --groups <int>       net run: node-group threads per trial (default: cores, max 8)
     --delivery <name>    net run: local | udp transport between node groups
     --histogram          render the spread-time distribution (run command)
@@ -84,6 +88,8 @@ EXAMPLES:
     gossip scenario run --resume sweep.journal --output jsonl sweep.jsonl
     gossip net run scenarios/net-smoke.toml --groups 4 --output jsonl live.jsonl
     gossip net check scenarios/net-million.toml
+    gossip serve --addr 127.0.0.1:7373 --store /tmp/gossip-store
+    gossip submit scenarios/gnp-sparse.toml --addr 127.0.0.1:7373
     gossip profile --family clique-pendant --n 16 --windows 12
     gossip bounds --family absolute-diligent --n 120 --rho 0.125
     gossip experiment --id E7 --quick
@@ -333,6 +339,45 @@ pub fn net(action: Option<&str>, file: Option<&str>, args: &Args) -> Result<Stri
             "net needs an action: `gossip net run|check <file>`".into(),
         )),
     }
+}
+
+/// `gossip serve [--addr host:port] [--store dir]`: the
+/// simulation-as-a-service daemon ([`gossip_serve`]). Blocks forever;
+/// prints a readiness line to stderr once the socket is bound.
+pub fn serve(args: &Args) -> Result<String, CliError> {
+    let addr = args.opt("addr")?.unwrap_or("127.0.0.1:7373").to_string();
+    let store = args.opt("store")?.unwrap_or("gossip-store").to_string();
+    args.reject_unknown()?;
+    let server = gossip_serve::Server::bind(addr.as_str(), &store)
+        .map_err(|e| CliError::Scenario(format!("cannot bind {addr}: {e}")))?;
+    let local = server
+        .local_addr()
+        .map_err(|e| CliError::Scenario(format!("cannot query bound address: {e}")))?;
+    eprintln!("gossip serve: listening on {local}, result store at {store}");
+    server
+        .run()
+        .map_err(|e| CliError::Scenario(format!("serve failed: {e}")))?;
+    Ok(String::new())
+}
+
+/// `gossip submit <file> [--addr host:port]`: sends a scenario spec to a
+/// running `gossip serve` daemon and prints the raw response — header
+/// line, one JSONL line per trial (byte-identical to
+/// `scenario run --output jsonl`), and the report footer.
+pub fn submit(file: Option<&str>, args: &Args) -> Result<String, CliError> {
+    use gossip_core::scenario::ScenarioSpec;
+    let addr = args.opt("addr")?.unwrap_or("127.0.0.1:7373").to_string();
+    args.reject_unknown()?;
+    let path = file.ok_or_else(|| {
+        CliError::Usage(
+            "submit needs a spec file: `gossip submit <file> [--addr host:port]`".into(),
+        )
+    })?;
+    let spec = ScenarioSpec::from_path(std::path::Path::new(path)).map_err(CliError::from)?;
+    let response = gossip_serve::submit(addr.as_str(), &spec)
+        .map_err(|e| CliError::Scenario(format!("submit to {addr} failed: {e}")))?;
+    String::from_utf8(response)
+        .map_err(|_| CliError::Scenario("daemon response was not valid UTF-8".into()))
 }
 
 /// `gossip list`.

@@ -44,6 +44,16 @@ pub fn dispatch<I: IntoIterator<Item = String>>(raw: I) -> Result<String, CliErr
     // `scenario` and `net` take positional operands (`scenario run
     // <file>`, `net run <file>`), which the flag parser does not model;
     // peel them off before Args::parse.
+    // `submit` takes one positional operand: the spec file to send.
+    if raw.first().map(String::as_str) == Some("submit") {
+        let mut it = raw.drain(..).skip(1).peekable();
+        let file = match it.peek() {
+            Some(tok) if !tok.starts_with("--") => it.next(),
+            _ => None,
+        };
+        let args = Args::parse(it)?;
+        return commands::submit(file.as_deref(), &args);
+    }
     if let Some(cmd @ ("scenario" | "net")) = raw.first().map(String::as_str) {
         let cmd = cmd.to_string();
         let mut it = raw.drain(..).skip(1).peekable();
@@ -71,6 +81,7 @@ pub fn dispatch<I: IntoIterator<Item = String>>(raw: I) -> Result<String, CliErr
         Some("bounds") => commands::bounds(&args),
         Some("trace") => commands::trace(&args),
         Some("experiment") => commands::experiment(&args),
+        Some("serve") => commands::serve(&args),
         Some(other) => Err(CliError::Usage(format!(
             "unknown command `{other}` (run `gossip help`)"
         ))),
@@ -212,6 +223,58 @@ name = \"cli-net-bad\"\n\n[family]\nkind = \"dynamic-star\"\n\n[protocol]\nkind 
         let err = run(&format!("net run {path_str}")).unwrap_err();
         assert!(err.to_string().contains("dynamic"), "{err}");
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn submit_round_trips_through_a_daemon() {
+        let dir = std::env::temp_dir();
+        let store = dir.join(format!("gossip_cli_serve_store_{}", std::process::id()));
+        let handle = gossip_serve::Server::bind("127.0.0.1:0", &store)
+            .unwrap()
+            .spawn()
+            .unwrap();
+        let path = dir.join("gossip_cli_serve_test.toml");
+        let path_str = path.to_str().unwrap().to_string();
+        let spec = "\
+name = \"cli-serve\"\n\n[family]\nkind = \"complete\"\n\n[protocol]\nkind = \"async\"\n\n\
+[sweep]\nsizes = [16]\ntrials = 4\nseed = 3\n";
+        std::fs::write(&path, spec).unwrap();
+
+        let cmd = format!("submit {path_str} --addr {}", handle.addr());
+        let first = run(&cmd).unwrap();
+        assert!(first.contains("\"cache\":\"miss\""), "{first}");
+        let second = run(&cmd).unwrap();
+        assert!(second.contains("\"cache\":\"hit\""), "{second}");
+        // Past the header, the responses are identical — and the record
+        // lines match an offline `scenario run --output jsonl`.
+        let body = |s: &str| s.lines().skip(1).map(String::from).collect::<Vec<_>>();
+        assert_eq!(body(&first), body(&second));
+        let jsonl = dir.join("gossip_cli_serve_test.jsonl");
+        run(&format!(
+            "scenario run {path_str} --output jsonl {}",
+            jsonl.to_str().unwrap()
+        ))
+        .unwrap();
+        let offline = std::fs::read_to_string(&jsonl).unwrap();
+        let records: Vec<String> = body(&second)
+            .into_iter()
+            .filter(|l| !l.starts_with("{\"kind\":"))
+            .collect();
+        assert_eq!(records, offline.lines().collect::<Vec<_>>());
+        let _ = std::fs::remove_file(&jsonl);
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_dir_all(&store);
+    }
+
+    #[test]
+    fn submit_usage_errors() {
+        assert_eq!(run("submit").unwrap_err().exit_code(), 2);
+        assert_eq!(
+            run("submit spec.toml --frobnicate")
+                .unwrap_err()
+                .exit_code(),
+            2
+        );
     }
 
     #[test]

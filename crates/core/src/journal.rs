@@ -11,10 +11,14 @@
 //! cells and re-executes only the remainder, bit-identical to an
 //! uninterrupted run.
 //!
-//! The spec hash is FNV-1a over the spec's canonical JSON rendering, so
-//! any change to the spec — sizes, seeds, fault parameters, engine —
-//! invalidates old journals instead of silently splicing incompatible
-//! results.
+//! The spec hash is FNV-1a over the *normalized* spec's canonical JSON
+//! rendering ([`ScenarioSpec::normalized`]): any semantic change —
+//! sizes, seeds, fault parameters, engine — invalidates old journals
+//! instead of silently splicing incompatible results, while
+//! presentation-only differences (description, `[net]` settings, thread
+//! counts, defaults spelled out vs omitted, TOML vs JSON source) hash
+//! identically, so journals and the `gossip serve` result store are
+//! shared across every rendering of the same experiment.
 
 use std::fs::File;
 use std::io::{BufWriter, Write};
@@ -25,12 +29,19 @@ use serde::{de_field, DeError, Deserialize, Serialize, Value};
 
 use crate::scenario::{ScenarioError, ScenarioRow, ScenarioSpec};
 
-/// FNV-1a 64-bit hash of the spec's canonical (pretty JSON) rendering.
+/// FNV-1a 64-bit hash of the spec's canonical (pretty JSON) rendering,
+/// taken over its normalized form ([`ScenarioSpec::normalized`]).
 ///
 /// Stable across processes and platforms; used to bind a journal file to
-/// the exact spec that produced it.
+/// the experiment that produced it. Two specs hash equal exactly when
+/// they describe the same experiment: presentation-only fields
+/// (description, `[net]`, `sweep.threads` / `workspace` /
+/// `cell_parallel`) and defaults written out explicitly do not change
+/// the hash, and a spec loaded from TOML hashes identically to the same
+/// spec loaded from JSON. The `gossip serve` result store keys on this
+/// hash, so equivalent requests share one cache entry.
 pub fn spec_hash(spec: &ScenarioSpec) -> u64 {
-    let json = spec.to_json_string();
+    let json = spec.normalized().to_json_string();
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in json.as_bytes() {
         h ^= u64::from(b);
@@ -260,6 +271,58 @@ mod tests {
         let mut other = spec.clone();
         other.sweep.seed = Some(43);
         assert_ne!(spec_hash(&spec), spec_hash(&other));
+        let mut other = spec.clone();
+        other.sweep.sizes.push(999);
+        assert_ne!(spec_hash(&spec), spec_hash(&other));
+        let mut other = spec.clone();
+        other.sweep.vectorized = Some(false); // changes RNG draw order
+        assert_ne!(spec_hash(&spec), spec_hash(&other));
+    }
+
+    #[test]
+    fn spec_hash_ignores_presentation_only_fields() {
+        let spec = ScenarioSpec::template();
+        let base = spec_hash(&spec);
+
+        let mut p = spec.clone();
+        p.description = Some("re-described, same experiment".into());
+        assert_eq!(spec_hash(&p), base, "description is presentation-only");
+
+        let mut p = spec.clone();
+        p.sweep.threads = Some(8);
+        assert_eq!(spec_hash(&p), base, "thread count is bit-invisible");
+
+        let mut p = spec.clone();
+        p.sweep.workspace = Some(false);
+        assert_eq!(spec_hash(&p), base, "workspace reuse is bit-invisible");
+
+        let mut p = spec.clone();
+        p.sweep.cell_parallel = Some(true);
+        assert_eq!(spec_hash(&p), base, "cell scheduling is bit-invisible");
+
+        // Spelling defaults out explicitly is the same experiment.
+        let mut p = spec.clone();
+        p.sweep.trials = Some(p.sweep.trials_or_default());
+        p.sweep.seed = Some(p.sweep.seed_or_default());
+        p.sweep.max_time = Some(p.sweep.max_time_or_default());
+        assert_eq!(
+            spec_hash(&p),
+            base,
+            "explicit defaults hash like omitted ones"
+        );
+    }
+
+    #[test]
+    fn spec_hash_is_format_independent() {
+        let spec = ScenarioSpec::template();
+        let from_toml = ScenarioSpec::from_toml_str(&spec.to_toml_string()).unwrap();
+        let from_json = ScenarioSpec::from_json_str(&spec.to_json_string()).unwrap();
+        assert_eq!(
+            spec_hash(&from_toml),
+            spec_hash(&from_json),
+            "the same spec loaded from TOML and JSON must share one content address"
+        );
+        assert_eq!(spec_hash(&from_toml), spec_hash(&spec));
     }
 
     #[test]

@@ -42,12 +42,15 @@ use gossip_graph::{generators, GraphError, Topology};
 use gossip_sim::{
     AnyProtocol, AsyncPull, AsyncPush, AsyncPushPull, CutRateAsync, Engine, FaultModel, Flooding,
     LossyAsync, Protocol, RunConfig, RunPlan, RunReport, SimError, SyncPull, SyncPush,
-    SyncPushPull, TrialObserver, TrialRecord, TwoPush,
+    SyncPushPull, TrialObserver, TrialRecord, TwoPush, WorkspacePool,
 };
 use gossip_stats::SimRng;
 use serde::{Deserialize, Serialize};
+use std::borrow::Cow;
+use std::collections::HashMap;
 use std::fmt;
 use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
 
 use crate::journal::{self, Journal, JournalCell, JournalHeader, JournalWriter};
 
@@ -133,6 +136,35 @@ impl FamilySpec {
             dim: None,
             backend: None,
             build_seed: None,
+        }
+    }
+
+    /// The semantic normal form of the family section: every unset
+    /// parameter is written out as the default [`build_family`] would
+    /// fill in, so `p = 0.1` and an absent `p` render identically.
+    /// `rho`'s default depends on the family (`diligent` 0.25,
+    /// `absolute-diligent` 0.125); for other kinds an unset `rho` is left
+    /// unset (the field is never read, so the form is still canonical
+    /// per kind). Part of [`ScenarioSpec::normalized`].
+    pub fn normalized(&self) -> FamilySpec {
+        let rho = self.rho.or(match self.kind.as_str() {
+            "diligent" => Some(0.25),
+            "absolute-diligent" => Some(0.125),
+            _ => None,
+        });
+        FamilySpec {
+            kind: self.kind.clone(),
+            d: Some(self.d.unwrap_or(4)),
+            p: Some(self.p.unwrap_or(0.1)),
+            q: Some(self.q.unwrap_or(0.3)),
+            rho,
+            rows: Some(self.rows.unwrap_or(16)),
+            cols: Some(self.cols.unwrap_or(16)),
+            agents: Some(self.agents.unwrap_or(40)),
+            radius: Some(self.radius.unwrap_or(1)),
+            dim: Some(self.dim.unwrap_or(8)),
+            backend: Some(self.backend.clone().unwrap_or_else(|| "auto".into())),
+            build_seed: Some(self.build_seed.unwrap_or(1)),
         }
     }
 }
@@ -740,9 +772,9 @@ pub fn build_family(spec: &FamilySpec, n: usize) -> Result<Box<dyn DynamicNetwor
         "regular" => {
             let d = spec.d.unwrap_or(4);
             match backend {
-                BackendChoice::Sampled => {
-                    choose_sampled(Topology::random_regular(n, d, rng.next_u64())?)?
-                }
+                BackendChoice::Sampled => choose_sampled(
+                    sampled_topology(spec, n)?.expect("regular + sampled is a sampled family"),
+                )?,
                 BackendChoice::Implicit => return Err(no_backend("implicit (use `sampled`)")),
                 _ => Box::new(StaticNetwork::new(generators::random_connected_regular(
                     n, d, &mut rng,
@@ -756,7 +788,9 @@ pub fn build_family(spec: &FamilySpec, n: usize) -> Result<Box<dyn DynamicNetwor
                 // the rng's next u64, so the two representations below
                 // describe the identical graph for a given build seed —
                 // `backend = "sampled"` merely skips the CSR build.
-                BackendChoice::Sampled => choose_sampled(Topology::gnp(n, p, rng.next_u64())?)?,
+                BackendChoice::Sampled => choose_sampled(
+                    sampled_topology(spec, n)?.expect("er + sampled is a sampled family"),
+                )?,
                 BackendChoice::Implicit => return Err(no_backend("implicit (use `sampled`)")),
                 _ => Box::new(StaticNetwork::new(generators::erdos_renyi(n, p, &mut rng)?)),
             }
@@ -766,8 +800,15 @@ pub fn build_family(spec: &FamilySpec, n: usize) -> Result<Box<dyn DynamicNetwor
             choose(Topology::regular_circulant(n, d)?)?
         }
         "circulant-lift" => {
-            let d = spec.d.unwrap_or(4);
-            choose_sampled(Topology::circulant_lift(n, d, rng.next_u64())?)?
+            let topo = match sampled_topology(spec, n)? {
+                Some(topo) => topo,
+                // Materialized / implicit requests: build the same lift
+                // and let `choose_sampled` materialize it or reject.
+                None => {
+                    Topology::circulant_lift(n, spec.d.unwrap_or(4), family_topology_seed(spec))?
+                }
+            };
+            choose_sampled(topo)?
         }
         "resampled-gnp" => {
             // Every window is a sampled topology; `auto` and `sampled`
@@ -820,6 +861,150 @@ pub fn build_family(spec: &FamilySpec, n: usize) -> Result<Box<dyn DynamicNetwor
         other => return Err(ScenarioError::UnknownFamily(other.to_string())),
     };
     Ok(net)
+}
+
+/// The seed a family hands its seeded sampled topology: the first draw
+/// of the build-seed stream, exactly as [`build_family`] consumes it.
+/// Kept as the single source of truth so a [`TopologyCache`] entry and a
+/// cold [`build_family`] call always describe the identical graph.
+fn family_topology_seed(spec: &FamilySpec) -> u64 {
+    SimRng::seed_from_u64(spec.build_seed.unwrap_or(1)).next_u64()
+}
+
+/// Whether `(kind, backend)` is served as a *shared* lazily realized
+/// sampled [`Topology`] — the combinations where cloning one cached
+/// topology shares its realized adjacency (`Arc`-backed) across trials
+/// and runs, making [`TopologyCache`] reuse sound and worthwhile.
+fn has_shared_sampled_topology(spec: &FamilySpec) -> Result<bool, ScenarioError> {
+    let backend = BackendChoice::parse(spec.backend.as_deref())?;
+    Ok(matches!(
+        (spec.kind.as_str(), backend),
+        ("er" | "regular", BackendChoice::Sampled)
+            | (
+                "circulant-lift",
+                BackendChoice::Auto | BackendChoice::Sampled
+            )
+    ))
+}
+
+/// The seeded sampled topology for `(spec, n)` when — and only when —
+/// [`build_family`] would serve this spec as a shared sampled
+/// [`Topology`] (see [`has_shared_sampled_topology`]); `None` for every
+/// other family/backend combination.
+///
+/// # Errors
+///
+/// [`ScenarioError::Invalid`] for an unknown backend name;
+/// [`ScenarioError::Graph`] when the constructor rejects the parameters.
+fn sampled_topology(spec: &FamilySpec, n: usize) -> Result<Option<Topology>, ScenarioError> {
+    if !has_shared_sampled_topology(spec)? {
+        return Ok(None);
+    }
+    let seed = family_topology_seed(spec);
+    let topo = match spec.kind.as_str() {
+        "er" => Topology::gnp(n, spec.p.unwrap_or(0.1), seed)?,
+        "regular" => Topology::random_regular(n, spec.d.unwrap_or(4), seed)?,
+        "circulant-lift" => Topology::circulant_lift(n, spec.d.unwrap_or(4), seed)?,
+        _ => return Ok(None),
+    };
+    Ok(Some(topo))
+}
+
+/// A cross-run cache of seeded sampled topologies, keyed by the family's
+/// semantic normal form ([`FamilySpec::normalized`]) and the sweep size.
+///
+/// Sampled topologies (`er` / `regular` with `backend = "sampled"`,
+/// `circulant-lift`) realize adjacency lazily behind `Arc`-shared caches,
+/// so **cloning** a cached [`Topology`] hands the next run the already
+/// realized rows: a repeat G(n, p) sweep skips CSR realization entirely.
+/// The graph is a pure function of `(family, n, build_seed)`, and the
+/// cache key captures exactly those inputs, so a hit is bit-identical to
+/// a cold build (test-enforced). Share one cache across runs via
+/// [`SweepPlan::topologies`]; the `gossip serve` daemon holds one for
+/// its whole lifetime.
+#[derive(Debug, Default)]
+pub struct TopologyCache {
+    entries: Mutex<HashMap<(String, usize), Topology>>,
+    hits: std::sync::atomic::AtomicUsize,
+    misses: std::sync::atomic::AtomicUsize,
+}
+
+impl TopologyCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        TopologyCache::default()
+    }
+
+    /// The shared sampled topology for `(spec, n)`, cloned from the
+    /// cache (hit) or built and inserted (miss); `None` when the family
+    /// is not served as a shared sampled topology.
+    ///
+    /// # Errors
+    ///
+    /// As [`sampled_topology`].
+    pub fn get_or_build(
+        &self,
+        spec: &FamilySpec,
+        n: usize,
+    ) -> Result<Option<Topology>, ScenarioError> {
+        use std::sync::atomic::Ordering;
+        if !has_shared_sampled_topology(spec)? {
+            return Ok(None);
+        }
+        // Key by the normal form so presentation-equivalent family
+        // sections (`p` unset vs `p = 0.1`) share one entry.
+        let key = (serde_json::to_string(&spec.normalized()), n);
+        let mut entries = self.entries.lock().expect("topology cache poisoned");
+        if let Some(topo) = entries.get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Some(topo.clone()));
+        }
+        let topo = sampled_topology(spec, n)?.expect("pre-checked as shared sampled");
+        entries.insert(key, topo.clone());
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        Ok(Some(topo))
+    }
+
+    /// Cache hits served so far (a hit shares realized adjacency).
+    pub fn hits(&self) -> usize {
+        self.hits.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Topologies built and inserted so far.
+    pub fn misses(&self) -> usize {
+        self.misses.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Number of distinct `(family, n)` entries currently cached.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("topology cache poisoned").len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// As [`build_family`], but consults (and fills) a [`TopologyCache`]
+/// first: families served as shared sampled topologies come back as
+/// clones of the cached [`Topology`] — already realized adjacency and
+/// all — and every other family falls through to a cold build.
+///
+/// # Errors
+///
+/// As [`build_family`].
+pub fn build_family_cached(
+    spec: &FamilySpec,
+    n: usize,
+    cache: Option<&TopologyCache>,
+) -> Result<Box<dyn DynamicNetwork>, ScenarioError> {
+    if let Some(cache) = cache {
+        if let Some(topo) = cache.get_or_build(spec, n)? {
+            return Ok(Box::new(StaticNetwork::from_topology(topo)));
+        }
+    }
+    build_family(spec, n)
 }
 
 /// Builds the protocol selected by `spec` as an engine-agnostic
@@ -914,6 +1099,85 @@ impl ScenarioSpec {
     /// Renders the spec as pretty JSON.
     pub fn to_json_string(&self) -> String {
         serde_json::to_string_pretty(self)
+    }
+
+    /// The spec's **semantic normal form**: the spec that runs the exact
+    /// same trials, with every presentation-only choice erased and every
+    /// semantic default written out. Two specs describing the same
+    /// experiment — whether they came from TOML or JSON, spelled defaults
+    /// explicitly or left them implicit, or differ only in description /
+    /// `[net]` tables / thread budgets — normalize to identical structs,
+    /// which is what makes [`crate::journal::spec_hash`] a usable
+    /// content address for results.
+    ///
+    /// Erased (presentation-only; bit-identical results regardless):
+    /// `description`, the `[net]` table (ignored by the analytic
+    /// engines), `sweep.workspace`, `sweep.threads`, and
+    /// `sweep.cell_parallel` (all test-enforced bit-invisible), and an
+    /// *inactive* `[faults]` table (fault-free by construction).
+    ///
+    /// Resolved (semantic, but with redundant spellings): unset
+    /// `trials` / `seed` / `max_time` / `vectorized` and family /
+    /// protocol / fault parameters become their documented defaults, and
+    /// `engine = "auto"` becomes the engine the sweep actually resolves
+    /// to for this protocol. `sweep.vectorized` **is** semantic — the
+    /// vectorized loop consumes each trial's RNG stream in a different
+    /// order — so it is kept (default `true` written out).
+    pub fn normalized(&self) -> ScenarioSpec {
+        let sweep = &self.sweep;
+        // `auto` resolves to the engine the plan would pick; when the
+        // protocol (or the engine string) is unknown the spelling is kept
+        // as written — normalization must stay infallible, and such specs
+        // fail validation before any result exists to address.
+        let engine = match parse_engine(sweep.engine.as_deref()) {
+            Ok(Engine::Auto) => match build_any_protocol(&self.protocol) {
+                Ok(probe) if probe.supports_event() => Some(Engine::Event.name().into()),
+                Ok(_) => Some(Engine::Window.name().into()),
+                Err(_) => sweep.engine.clone(),
+            },
+            Ok(forced) => Some(forced.name().into()),
+            Err(_) => sweep.engine.clone(),
+        };
+        let faults = self.faults.as_ref().and_then(|f| {
+            // An inactive fault model runs the fault-free process
+            // bit-identically (test-enforced), so it normalizes away —
+            // including its seed, which is never drawn from.
+            if !f.to_model().is_active() {
+                return None;
+            }
+            Some(FaultSpec {
+                drop: Some(f.drop.unwrap_or(0.0)),
+                crash_rate: Some(f.crash_rate.unwrap_or(0.0)),
+                recovery_rate: Some(f.recovery_rate.unwrap_or(0.0)),
+                seed: Some(f.seed.unwrap_or(0)),
+                schedule: Some(f.schedule.clone().unwrap_or_default()),
+                target_high_degree: Some(f.target_high_degree.unwrap_or(0)),
+            })
+        });
+        ScenarioSpec {
+            name: self.name.clone(),
+            description: None,
+            family: self.family.normalized(),
+            protocol: ProtocolSpec {
+                kind: self.protocol.kind.clone(),
+                loss: Some(self.protocol.loss.unwrap_or(0.0)),
+                downtime: Some(self.protocol.downtime.unwrap_or(0.0)),
+            },
+            sweep: SweepSpec {
+                sizes: sweep.sizes.clone(),
+                trials: Some(sweep.trials_or_default()),
+                seed: Some(sweep.seed_or_default()),
+                max_time: Some(sweep.max_time_or_default()),
+                engine,
+                start: sweep.start,
+                workspace: None,
+                vectorized: Some(sweep.vectorized.unwrap_or(true)),
+                threads: None,
+                cell_parallel: None,
+            },
+            faults,
+            net: None,
+        }
     }
 
     /// Structural validation: known names, non-empty sweep, valid engine.
@@ -1282,60 +1546,200 @@ thread_local! {
         const { std::cell::Cell::new(None) };
 }
 
-/// A validated, ready-to-execute sweep: the first-class form of a
-/// scenario's `[sweep]` section.
+/// The **planning half** of the scenario pipeline: a validated,
+/// hashable, owned description of exactly what a sweep will execute.
 ///
-/// Construction validates the spec and probes the protocol once, so bad
-/// parameters fail before any sweep work; execution then reuses one
-/// [`RunPlan`] shape across all sizes — same trials, seed, config, and
-/// engine per size, only `n` varies. A streaming [`TrialObserver`] can
-/// ride along across the whole sweep ([`SweepPlan::run_with`]), e.g. one
-/// [`gossip_sim::JsonlSink`] receiving every trial of every size (records
-/// carry `n`, so the stream stays self-describing).
+/// Construction validates the spec, probes the protocol, resolves the
+/// engine (including `auto`), compiles the fault model, and computes the
+/// normalized content hash ([`crate::journal::spec_hash`]) — everything
+/// that can fail or be precomputed, separated from execution so the plan
+/// can be built once, inspected, content-addressed (the `gossip serve`
+/// result store keys on [`ScenarioPlan::spec_hash`]), and executed many
+/// times. [`ScenarioPlan::execution`] borrows the plan into a
+/// [`SweepPlan`]; [`ScenarioPlan::into_execution`] consumes it.
 #[derive(Debug, Clone)]
-pub struct SweepPlan<'s> {
-    spec: &'s ScenarioSpec,
+pub struct ScenarioPlan {
+    spec: ScenarioSpec,
     engine: Engine,
+    resolved: Engine,
     protocol_name: &'static str,
     trials: usize,
     seed: u64,
     config: RunConfig,
     faults: Option<FaultModel>,
-    journal: Option<PathBuf>,
-    resume: Option<PathBuf>,
+    hash: u64,
 }
 
-impl<'s> SweepPlan<'s> {
-    /// Validates `spec` and prepares the sweep.
+impl ScenarioPlan {
+    /// Validates `spec` and compiles the plan.
     ///
     /// # Errors
     ///
     /// Any [`ScenarioSpec::validate`] error, or a protocol construction
     /// error.
-    pub fn new(spec: &'s ScenarioSpec) -> Result<Self, ScenarioError> {
+    pub fn new(spec: ScenarioSpec) -> Result<Self, ScenarioError> {
         spec.validate()?;
-        let protocol_name = build_any_protocol(&spec.protocol)?.name();
-        Ok(SweepPlan {
-            spec,
-            engine: parse_engine(spec.sweep.engine.as_deref())?,
-            protocol_name,
+        let probe = build_any_protocol(&spec.protocol)?;
+        let engine = parse_engine(spec.sweep.engine.as_deref())?;
+        // The engine every cell resolves to is a pure function of the
+        // spec, so even fully-replayed sweeps can report it without
+        // running anything.
+        let resolved = match engine {
+            Engine::Auto => {
+                if probe.supports_event() {
+                    Engine::Event
+                } else {
+                    Engine::Window
+                }
+            }
+            forced => forced,
+        };
+        Ok(ScenarioPlan {
+            engine,
+            resolved,
+            protocol_name: probe.name(),
             trials: spec.sweep.trials_or_default(),
             seed: spec.sweep.seed_or_default(),
             config: RunConfig::with_max_time(spec.sweep.max_time_or_default()),
             faults: spec.faults.as_ref().map(FaultSpec::to_model),
-            journal: None,
-            resume: None,
+            hash: journal::spec_hash(&spec),
+            spec,
         })
     }
 
-    /// The engine selector the sweep will hand every [`RunPlan`].
+    /// The validated spec the plan was compiled from.
+    pub fn spec(&self) -> &ScenarioSpec {
+        &self.spec
+    }
+
+    /// The normalized content hash of the spec
+    /// ([`crate::journal::spec_hash`]): the plan's identity as a content
+    /// address — equal for every presentation of the same experiment.
+    pub fn spec_hash(&self) -> u64 {
+        self.hash
+    }
+
+    /// The engine selector as written in the spec (possibly `auto`).
     pub fn engine(&self) -> Engine {
         self.engine
+    }
+
+    /// The engine every cell resolves to ([`Engine::Auto`] resolved
+    /// against the protocol's capabilities).
+    pub fn resolved_engine(&self) -> Engine {
+        self.resolved
+    }
+
+    /// The protocol's display name.
+    pub fn protocol_name(&self) -> &'static str {
+        self.protocol_name
     }
 
     /// The sweep sizes, in execution order.
     pub fn sizes(&self) -> &[usize] {
         &self.spec.sweep.sizes
+    }
+
+    /// Trials per sweep size.
+    pub fn trials(&self) -> usize {
+        self.trials
+    }
+
+    /// The trial RNG base seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The [`RunPlan`] template for one sweep size — sizes share every
+    /// parameter except `n`, which enters through the network builder at
+    /// execution time.
+    pub fn run_plan(&self) -> RunPlan<'static> {
+        let mut plan = RunPlan::new(self.trials, self.seed)
+            .config(self.config)
+            .engine(self.engine)
+            .start_opt(self.spec.sweep.start)
+            .workspace(self.spec.sweep.workspace.unwrap_or(true))
+            .vectorized(self.spec.sweep.vectorized.unwrap_or(true));
+        if let Some(threads) = self.spec.sweep.threads {
+            plan = plan.threads(threads);
+        }
+        if let Some(faults) = &self.faults {
+            plan = plan.faults(faults.clone());
+        }
+        plan
+    }
+
+    /// Borrows the plan into its execution half.
+    pub fn execution(&self) -> SweepPlan<'_> {
+        SweepPlan::over(Cow::Borrowed(self))
+    }
+
+    /// Consumes the plan into a self-contained execution.
+    pub fn into_execution(self) -> SweepPlan<'static> {
+        SweepPlan::over(Cow::Owned(self))
+    }
+}
+
+/// The **execution half** of a scenario: a [`ScenarioPlan`] plus the
+/// per-run choices — journaling, resumption, and warm-state attachments
+/// (a shared [`TopologyCache`] / [`WorkspacePool`]).
+///
+/// Construction ([`SweepPlan::new`], or [`ScenarioPlan::execution`] to
+/// reuse an existing plan) validates the spec and probes the protocol
+/// once, so bad parameters fail before any sweep work; execution then
+/// reuses one [`RunPlan`] shape across all sizes — same trials, seed,
+/// config, and engine per size, only `n` varies. A streaming
+/// [`TrialObserver`] can ride along across the whole sweep
+/// ([`SweepPlan::run_with`]), e.g. one [`gossip_sim::JsonlSink`]
+/// receiving every trial of every size (records carry `n`, so the stream
+/// stays self-describing).
+#[derive(Debug, Clone)]
+pub struct SweepPlan<'s> {
+    plan: Cow<'s, ScenarioPlan>,
+    journal: Option<PathBuf>,
+    resume: Option<PathBuf>,
+    topologies: Option<Arc<TopologyCache>>,
+    pool: Option<Arc<WorkspacePool>>,
+}
+
+impl<'s> SweepPlan<'s> {
+    /// Validates `spec` and prepares the sweep (compiling a fresh
+    /// [`ScenarioPlan`] internally; use [`ScenarioPlan::execution`] to
+    /// reuse one).
+    ///
+    /// # Errors
+    ///
+    /// Any [`ScenarioSpec::validate`] error, or a protocol construction
+    /// error.
+    pub fn new(spec: &ScenarioSpec) -> Result<Self, ScenarioError> {
+        Ok(SweepPlan::over(Cow::Owned(ScenarioPlan::new(
+            spec.clone(),
+        )?)))
+    }
+
+    fn over(plan: Cow<'s, ScenarioPlan>) -> Self {
+        SweepPlan {
+            plan,
+            journal: None,
+            resume: None,
+            topologies: None,
+            pool: None,
+        }
+    }
+
+    /// The compiled planning half.
+    pub fn scenario_plan(&self) -> &ScenarioPlan {
+        &self.plan
+    }
+
+    /// The engine selector the sweep will hand every [`RunPlan`].
+    pub fn engine(&self) -> Engine {
+        self.plan.engine
+    }
+
+    /// The sweep sizes, in execution order.
+    pub fn sizes(&self) -> &[usize] {
+        self.plan.sizes()
     }
 
     /// Journals every completed `(n, trials)` cell to a JSONL file at
@@ -1353,27 +1757,44 @@ impl<'s> SweepPlan<'s> {
     /// would deliver them) and executes only the remaining cells; the
     /// merged result is bit-identical to an uninterrupted run
     /// (test-enforced). The journal must have been written for this very
-    /// spec (checked via a content hash).
+    /// experiment, checked via the normalized content hash — journals
+    /// written under any presentation of the same spec resume cleanly.
     pub fn resume_from(mut self, path: impl Into<PathBuf>) -> Self {
         self.resume = Some(path.into());
         self
     }
 
-    /// The [`RunPlan`] for one sweep size — sizes share every parameter
-    /// except `n`, which enters through the network builder at
-    /// execution time.
+    /// Attaches a shared [`TopologyCache`]: families served as shared
+    /// sampled topologies are built through the cache, so repeat sweeps
+    /// over the same `(family, n)` reuse already realized adjacency.
+    /// Results are bit-identical with or without the cache
+    /// (test-enforced).
+    pub fn topologies(mut self, cache: Arc<TopologyCache>) -> Self {
+        self.topologies = Some(cache);
+        self
+    }
+
+    /// Attaches a shared [`WorkspacePool`]: every [`RunPlan`] the sweep
+    /// executes checks its per-worker scratch arenas out of `pool`
+    /// instead of allocating fresh ones, keeping buffers warm across
+    /// runs in one process. Bit-identical either way.
+    pub fn workspace_pool(mut self, pool: Arc<WorkspacePool>) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// Builds the family at size `n` through the attached
+    /// [`TopologyCache`], falling back to a cold [`build_family`].
+    fn build_net(&self, n: usize) -> Result<Box<dyn DynamicNetwork>, ScenarioError> {
+        build_family_cached(&self.plan.spec.family, n, self.topologies.as_deref())
+    }
+
+    /// The [`RunPlan`] for one sweep size: the planning half's template
+    /// plus this execution's warm-state attachments.
     pub fn plan(&self) -> RunPlan<'static> {
-        let mut plan = RunPlan::new(self.trials, self.seed)
-            .config(self.config)
-            .engine(self.engine)
-            .start_opt(self.spec.sweep.start)
-            .workspace(self.spec.sweep.workspace.unwrap_or(true))
-            .vectorized(self.spec.sweep.vectorized.unwrap_or(true));
-        if let Some(threads) = self.spec.sweep.threads {
-            plan = plan.threads(threads);
-        }
-        if let Some(faults) = &self.faults {
-            plan = plan.faults(faults.clone());
+        let mut plan = self.plan.run_plan();
+        if let Some(pool) = &self.pool {
+            plan = plan.workspace_pool(pool.clone());
         }
         plan
     }
@@ -1407,7 +1828,7 @@ impl<'s> SweepPlan<'s> {
         &self,
         observers: &mut [&mut dyn TrialObserver],
     ) -> Result<ScenarioReport, ScenarioError> {
-        let spec = self.spec;
+        let spec = self.plan.spec();
         if self.journal.is_some() || self.resume.is_some() {
             return self.run_journaled(observers);
         }
@@ -1415,17 +1836,17 @@ impl<'s> SweepPlan<'s> {
             return self.run_cells_parallel(observers);
         }
         let mut rows = Vec::with_capacity(spec.sweep.sizes.len());
-        let mut resolved = self.engine;
+        let mut resolved = self.plan.engine;
         for &n in &spec.sweep.sizes {
             // Probe the family so constructor errors surface as errors,
             // not panics inside the plan's make_net closure.
-            build_family(&spec.family, n)?;
+            self.build_net(n)?;
             let mut plan = self.plan();
             for o in observers.iter_mut() {
                 plan = plan.observer(&mut **o);
             }
             let report = plan.execute(
-                || build_family(&spec.family, n).expect("probed above"),
+                || self.build_net(n).expect("probed above"),
                 || build_any_protocol(&spec.protocol).expect("probed at construction"),
             )?;
             resolved = report.engine();
@@ -1434,7 +1855,7 @@ impl<'s> SweepPlan<'s> {
         Ok(ScenarioReport {
             scenario: spec.name.clone(),
             family: spec.family.kind.clone(),
-            protocol: self.protocol_name.to_string(),
+            protocol: self.plan.protocol_name.to_string(),
             engine: resolved.name().to_string(),
             rows,
         })
@@ -1454,7 +1875,7 @@ impl<'s> SweepPlan<'s> {
         &self,
         observers: &mut [&mut dyn TrialObserver],
     ) -> Result<ScenarioReport, ScenarioError> {
-        let spec = self.spec;
+        let spec = self.plan.spec();
         if observers.iter().any(|o| o.wants_trajectory()) {
             return Err(ScenarioError::Journal(
                 "journaled sweeps cannot feed trajectory-recording observers \
@@ -1462,7 +1883,7 @@ impl<'s> SweepPlan<'s> {
                     .into(),
             ));
         }
-        let spec_hash = journal::spec_hash(spec);
+        let spec_hash = self.plan.hash;
         // Load the whole resume journal *before* opening the new one:
         // resuming in place (the same path as both source and target)
         // is supported.
@@ -1492,19 +1913,10 @@ impl<'s> SweepPlan<'s> {
             )?),
             None => None,
         };
-        // The engine every cell resolves to is a pure function of the
-        // spec, so fully-replayed sweeps report it without running
-        // anything.
-        let resolved = match self.engine {
-            Engine::Auto => {
-                if build_any_protocol(&spec.protocol)?.supports_event() {
-                    Engine::Event
-                } else {
-                    Engine::Window
-                }
-            }
-            forced => forced,
-        };
+        // The engine every cell resolves to was precomputed by the
+        // planning half, so fully-replayed sweeps report it without
+        // running anything.
+        let resolved = self.plan.resolved;
         let mut rows = Vec::with_capacity(spec.sweep.sizes.len());
         for (index, &n) in spec.sweep.sizes.iter().enumerate() {
             if let Some(cell) = replayed.get(&index) {
@@ -1538,7 +1950,7 @@ impl<'s> SweepPlan<'s> {
                 }
             });
             // Probe the family, as on the plain sequential path.
-            build_family(&spec.family, n)?;
+            self.build_net(n)?;
             // Buffer the stripped records for the journal; attached
             // first, it sees exactly what the real observers see.
             struct Buffer(Vec<TrialRecord>);
@@ -1554,7 +1966,7 @@ impl<'s> SweepPlan<'s> {
                 plan = plan.observer(&mut **o);
             }
             let report = plan.execute(
-                || build_family(&spec.family, n).expect("probed above"),
+                || self.build_net(n).expect("probed above"),
                 || build_any_protocol(&spec.protocol).expect("probed at construction"),
             )?;
             let row = Self::row(n, &report);
@@ -1576,7 +1988,7 @@ impl<'s> SweepPlan<'s> {
         Ok(ScenarioReport {
             scenario: spec.name.clone(),
             family: spec.family.kind.clone(),
-            protocol: self.protocol_name.to_string(),
+            protocol: self.plan.protocol_name.to_string(),
             engine: resolved.name().to_string(),
             rows,
         })
@@ -1609,9 +2021,9 @@ impl<'s> SweepPlan<'s> {
         threads: usize,
         wants_trajectory: bool,
     ) -> Result<(Vec<TrialRecord>, RunReport), ScenarioError> {
-        let spec = self.spec;
+        let spec = self.plan.spec();
         // Probe the family first, as on the sequential path.
-        build_family(&spec.family, n)?;
+        self.build_net(n)?;
         struct Buffer {
             records: Vec<TrialRecord>,
             wants: bool,
@@ -1630,7 +2042,7 @@ impl<'s> SweepPlan<'s> {
             wants: wants_trajectory,
         };
         let report = self.plan().threads(threads).observer(&mut buf).execute(
-            || build_family(&spec.family, n).expect("probed above"),
+            || self.build_net(n).expect("probed above"),
             || build_any_protocol(&spec.protocol).expect("probed at construction"),
         )?;
         Ok((buf.records, report))
@@ -1662,7 +2074,7 @@ impl<'s> SweepPlan<'s> {
         use std::collections::BTreeMap;
         use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
-        let spec = self.spec;
+        let spec = self.plan.spec();
         let sizes = &spec.sweep.sizes;
         let cells = sizes.len();
         let avail = std::thread::available_parallelism()
@@ -1690,7 +2102,7 @@ impl<'s> SweepPlan<'s> {
         type CellResult = Result<(Vec<TrialRecord>, RunReport), ScenarioError>;
         let (tx, rx) = std::sync::mpsc::channel::<(usize, CellResult)>();
         let mut rows: Vec<ScenarioRow> = Vec::with_capacity(cells);
-        let mut resolved = self.engine;
+        let mut resolved = self.plan.engine;
         let mut first_err: Option<ScenarioError> = None;
         std::thread::scope(|scope| {
             for _ in 0..workers {
@@ -1780,7 +2192,7 @@ impl<'s> SweepPlan<'s> {
         Ok(ScenarioReport {
             scenario: spec.name.clone(),
             family: spec.family.kind.clone(),
-            protocol: self.protocol_name.to_string(),
+            protocol: self.plan.protocol_name.to_string(),
             engine: resolved.name().to_string(),
             rows,
         })
@@ -2204,6 +2616,56 @@ max_time = 1e4
         let report = run_scenario(&spec).unwrap();
         assert_eq!(report.engine, "event");
         assert!(report.rows.iter().all(|r| r.completed == r.trials));
+    }
+
+    #[test]
+    fn scenario_plan_splits_planning_from_execution() {
+        let spec = ScenarioSpec::from_toml_str(TOML_SPEC).unwrap();
+        let plan = ScenarioPlan::new(spec.clone()).unwrap();
+        assert_eq!(plan.spec_hash(), journal::spec_hash(&spec));
+        assert_eq!(plan.resolved_engine(), Engine::Event);
+        assert_eq!(plan.protocol_name(), "async push-pull (cut-rate)");
+        assert_eq!(plan.sizes(), &[16, 32]);
+        assert_eq!((plan.trials(), plan.seed()), (8, 7));
+        // One plan, many executions — identical to the one-shot path.
+        let one_shot = SweepPlan::new(&spec).unwrap().run().unwrap();
+        let a = plan.execution().run().unwrap();
+        let b = plan.into_execution().run().unwrap();
+        let render = |r: &ScenarioReport| serde_json::to_string_pretty(r);
+        assert_eq!(render(&a), render(&one_shot));
+        assert_eq!(render(&b), render(&one_shot));
+    }
+
+    #[test]
+    fn warm_state_attachments_are_bit_invisible() {
+        let mut spec = ScenarioSpec::from_toml_str(TOML_SPEC).unwrap();
+        spec.family = FamilySpec::new("er");
+        spec.family.p = Some(0.3);
+        spec.family.backend = Some("sampled".into());
+        let mut cold = ByteSink(Vec::new());
+        let cold_report = SweepPlan::new(&spec).unwrap().run_with(&mut cold).unwrap();
+
+        let cache = Arc::new(TopologyCache::new());
+        let pool = Arc::new(WorkspacePool::new());
+        let plan = ScenarioPlan::new(spec.clone()).unwrap();
+        for round in 0..2 {
+            let mut warm = ByteSink(Vec::new());
+            let report = plan
+                .execution()
+                .topologies(cache.clone())
+                .workspace_pool(pool.clone())
+                .run_with(&mut warm)
+                .unwrap();
+            assert_eq!(warm.0, cold.0, "warm round {round} diverged from cold run");
+            assert_eq!(
+                serde_json::to_string_pretty(&report),
+                serde_json::to_string_pretty(&cold_report),
+            );
+        }
+        // Every (family, n) realizes once; the second sweep is all hits.
+        assert_eq!(cache.misses(), spec.sweep.sizes.len());
+        assert!(cache.hits() >= spec.sweep.sizes.len());
+        assert!(pool.idle() >= 1, "workspaces should return to the pool");
     }
 
     #[test]

@@ -1,0 +1,820 @@
+//! # gossip-serve — simulation as a service
+//!
+//! A long-lived daemon for the dynamic-rumor workspace: clients submit
+//! [`ScenarioSpec`]s as line-delimited JSON over TCP and receive the
+//! sweep's trial stream back, served from a **content-addressed result
+//! store** whenever possible. Every result in this workspace is a pure
+//! function of `(spec, seed)` — an invariant the simulation crates
+//! test-enforce bit-for-bit — which makes sweeps perfectly cacheable:
+//! a repeat submission replays the stored journal and executes **zero
+//! trials**, byte-identical to a fresh offline `gossip scenario run`
+//! (test-enforced).
+//!
+//! ## Wire protocol
+//!
+//! One request per connection:
+//!
+//! 1. the client sends a single line: the [`ScenarioSpec`] as JSON
+//!    (compact or pretty-on-one-line — any rendering of the same
+//!    experiment hits the same cache entry, because the store keys on
+//!    the *normalized* [`spec_hash`]);
+//! 2. the server answers with a **header line**
+//!    `{"kind":"header","scenario":…,"spec_hash":"…","cache":…}` whose
+//!    `cache` field is one of `"hit"`, `"resume"`, `"miss"`, or
+//!    `"join"`;
+//! 3. then the **body**: one line per [`gossip_sim::TrialRecord`] in
+//!    trial order — byte-identical to what
+//!    [`gossip_sim::JsonlSink`] writes offline — terminated by a
+//!    `{"kind":"report",…}` footer carrying the full
+//!    [`ScenarioReport`] (or a `{"kind":"error",…}` line on failure).
+//!
+//! The body is identical across every `cache` state; only the header
+//! differs. The server closes the connection after the footer.
+//!
+//! ## Store layout and cache semantics
+//!
+//! The store directory holds one crash-safe journal
+//! (`<spec_hash>.journal`, see [`gossip_core::journal`]) per
+//! experiment, written through the existing [`gossip_core::scenario::SweepPlan`] journaling
+//! path:
+//!
+//! * **hit** — the journal covers every sweep cell: the response is
+//!   replayed entirely from disk, zero trials executed;
+//! * **resume** — a partial journal (e.g. the daemon died mid-sweep)
+//!   is resumed in place via [`gossip_core::scenario::SweepPlan::resume_from`]; only the
+//!   missing cells run;
+//! * **miss** — no entry, a foreign entry (hash mismatch), or a
+//!   corrupted entry that fails to load: the sweep runs in full and
+//!   the store entry is rewritten — torn garbage is never served;
+//! * **join** — an identical request is already executing: the new
+//!   client attaches to the in-flight execution's record stream
+//!   instead of triggering a second run. Concurrent identical
+//!   requests therefore perform exactly one execution (test-enforced).
+//!
+//! ## Warm-state model
+//!
+//! The daemon keeps two caches alive across requests, both
+//! bit-invisible to results (test-enforced in `gossip-core`):
+//!
+//! * a [`TopologyCache`] of realized sampled topologies keyed by
+//!   `(family, n)` — the family spec embeds the build seed — so repeat
+//!   G(n,p) sweeps skip CSR realization entirely;
+//! * a [`WorkspacePool`] of per-worker scratch arenas
+//!   ([`gossip_sim::SimWorkspace`]), so trial buffers stay grown
+//!   across requests instead of re-allocating from cold.
+//!
+//! [`spec_hash`]: gossip_core::journal::spec_hash
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use gossip_core::journal::Journal;
+use gossip_core::scenario::{
+    ScenarioError, ScenarioPlan, ScenarioReport, ScenarioSpec, TopologyCache,
+};
+use gossip_sim::{SimError, TrialObserver, TrialRecord, WorkspacePool};
+use serde::{Serialize, Value};
+
+/// How a request was served, reported in the response header's `cache`
+/// field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheStatus {
+    /// Replayed entirely from a complete store entry; zero trials ran.
+    Hit,
+    /// A partial store entry was resumed; only missing cells ran.
+    Resume,
+    /// No usable store entry; the sweep ran in full.
+    Miss,
+    /// Attached to an identical request already in flight.
+    Join,
+}
+
+impl CacheStatus {
+    /// The wire spelling used in the header line.
+    pub fn name(self) -> &'static str {
+        match self {
+            CacheStatus::Hit => "hit",
+            CacheStatus::Resume => "resume",
+            CacheStatus::Miss => "miss",
+            CacheStatus::Join => "join",
+        }
+    }
+}
+
+/// The content-addressed result store: one journal file per experiment,
+/// named by the normalized [`gossip_core::journal::spec_hash`] of its
+/// spec.
+#[derive(Debug)]
+pub struct ResultStore {
+    dir: PathBuf,
+}
+
+/// What [`ResultStore::classify`] found for a plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreState {
+    /// A complete, hash-matching entry covering every sweep cell.
+    Complete,
+    /// A hash-matching entry missing some cells (crash mid-sweep).
+    Partial,
+    /// No entry, a hash mismatch, or an entry that fails to load.
+    Absent,
+}
+
+impl ResultStore {
+    /// Opens (creating if needed) the store rooted at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation failures.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(ResultStore { dir })
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The journal path content-addressing `hash`.
+    pub fn entry_path(&self, hash: u64) -> PathBuf {
+        self.dir.join(format!("{hash}.journal"))
+    }
+
+    /// Classifies the store entry for `plan`: complete (replayable with
+    /// zero trials), partial (resumable), or absent. A corrupted or
+    /// torn entry — unreadable, bad header, or a spec-hash mismatch —
+    /// classifies as absent, so the daemon falls back to re-execution
+    /// instead of serving garbage.
+    pub fn classify(&self, plan: &ScenarioPlan) -> StoreState {
+        let path = self.entry_path(plan.spec_hash());
+        let journal = match Journal::load(&path) {
+            Ok(j) => j,
+            Err(_) => return StoreState::Absent,
+        };
+        if journal.header.spec_hash != plan.spec_hash() {
+            return StoreState::Absent;
+        }
+        let by_index: HashMap<usize, usize> =
+            journal.cells.iter().map(|c| (c.index, c.n)).collect();
+        let complete = plan
+            .sizes()
+            .iter()
+            .enumerate()
+            .all(|(i, &n)| by_index.get(&i) == Some(&n));
+        if complete {
+            StoreState::Complete
+        } else {
+            StoreState::Partial
+        }
+    }
+}
+
+/// Append-only response body shared between the executing leader and
+/// every joined follower.
+#[derive(Debug, Default)]
+struct Progress {
+    bytes: Vec<u8>,
+    done: bool,
+}
+
+#[derive(Debug, Default)]
+struct InFlight {
+    progress: Mutex<Progress>,
+    cond: Condvar,
+}
+
+impl InFlight {
+    fn append(&self, chunk: &[u8]) {
+        let mut p = self.progress.lock().expect("in-flight buffer poisoned");
+        p.bytes.extend_from_slice(chunk);
+        self.cond.notify_all();
+    }
+
+    fn finish(&self) {
+        let mut p = self.progress.lock().expect("in-flight buffer poisoned");
+        p.done = true;
+        self.cond.notify_all();
+    }
+
+    /// Streams the body to `out` as it grows, returning once the body
+    /// is complete and fully written.
+    fn stream_to(&self, out: &mut impl Write) -> io::Result<()> {
+        let mut sent = 0usize;
+        loop {
+            let (chunk, done) = {
+                let mut p = self.progress.lock().expect("in-flight buffer poisoned");
+                while p.bytes.len() == sent && !p.done {
+                    p = self.cond.wait(p).expect("in-flight buffer poisoned");
+                }
+                (p.bytes[sent..].to_vec(), p.done)
+            };
+            sent += chunk.len();
+            out.write_all(&chunk)?;
+            if done {
+                out.flush()?;
+                return Ok(());
+            }
+        }
+    }
+}
+
+/// A [`TrialObserver`] serializing records into an [`InFlight`] body,
+/// one line per record — the exact bytes [`gossip_sim::JsonlSink`]
+/// writes offline.
+struct FanoutSink {
+    inflight: Arc<InFlight>,
+}
+
+impl TrialObserver for FanoutSink {
+    fn on_trial(&mut self, record: &TrialRecord) -> Result<(), SimError> {
+        let mut line = serde_json::to_string(record);
+        line.push('\n');
+        self.inflight.append(line.as_bytes());
+        Ok(())
+    }
+}
+
+fn kind_line(kind: &str, fields: Vec<(String, Value)>) -> String {
+    let mut map = vec![("kind".to_string(), Value::Str(kind.to_string()))];
+    map.extend(fields);
+    let mut line = serde_json::to_string(&Value::Map(map));
+    line.push('\n');
+    line
+}
+
+/// The response header line for a request served with `status`.
+pub fn header_line(scenario: &str, hash: u64, status: CacheStatus) -> String {
+    kind_line(
+        "header",
+        vec![
+            ("scenario".to_string(), Value::Str(scenario.to_string())),
+            ("spec_hash".to_string(), Value::Str(hash.to_string())),
+            ("cache".to_string(), Value::Str(status.name().to_string())),
+        ],
+    )
+}
+
+fn footer_line(report: &ScenarioReport) -> String {
+    kind_line("report", vec![("report".to_string(), report.to_value())])
+}
+
+fn error_line(message: &str) -> String {
+    kind_line(
+        "error",
+        vec![("message".to_string(), Value::Str(message.to_string()))],
+    )
+}
+
+/// Shared daemon state: the result store, the warm-state caches, the
+/// in-flight dedup table, and an execution counter.
+#[derive(Debug)]
+pub struct ServeState {
+    store: ResultStore,
+    topologies: Arc<TopologyCache>,
+    pool: Arc<WorkspacePool>,
+    inflight: Mutex<HashMap<u64, Arc<InFlight>>>,
+    executions: AtomicUsize,
+}
+
+impl ServeState {
+    fn new(store: ResultStore) -> Self {
+        ServeState {
+            store,
+            topologies: Arc::new(TopologyCache::new()),
+            pool: Arc::new(WorkspacePool::new()),
+            inflight: Mutex::new(HashMap::new()),
+            executions: AtomicUsize::new(0),
+        }
+    }
+
+    /// How many sweep executions (cache misses or resumes) the daemon
+    /// has performed; cache hits and joins do not count.
+    pub fn executions(&self) -> usize {
+        self.executions.load(Ordering::SeqCst)
+    }
+
+    /// The warm topology cache shared across requests.
+    pub fn topologies(&self) -> &TopologyCache {
+        &self.topologies
+    }
+
+    /// The warm workspace pool shared across requests.
+    pub fn workspace_pool(&self) -> &WorkspacePool {
+        &self.pool
+    }
+
+    /// The result store.
+    pub fn store(&self) -> &ResultStore {
+        &self.store
+    }
+
+    /// Serves one parsed request, writing the full response (header,
+    /// body, footer) to `out`.
+    ///
+    /// # Errors
+    ///
+    /// Only I/O errors writing to `out`; execution failures are
+    /// reported in-band as an `{"kind":"error",…}` body line.
+    pub fn serve(self: &Arc<Self>, plan: ScenarioPlan, out: &mut impl Write) -> io::Result<()> {
+        let hash = plan.spec_hash();
+        let scenario = plan.spec().name.clone();
+        let path = self.store.entry_path(hash);
+
+        // One lock decides hit/join/lead, so identical concurrent
+        // requests dedupe onto exactly one execution.
+        let role = {
+            let mut inflight = self.inflight.lock().expect("in-flight table poisoned");
+            if let Some(entry) = inflight.get(&hash) {
+                Role::Join(entry.clone())
+            } else {
+                match self.store.classify(&plan) {
+                    StoreState::Complete => Role::Hit,
+                    state => {
+                        let entry = Arc::new(InFlight::default());
+                        inflight.insert(hash, entry.clone());
+                        let status = match state {
+                            StoreState::Partial => CacheStatus::Resume,
+                            _ => CacheStatus::Miss,
+                        };
+                        Role::Lead(entry, status)
+                    }
+                }
+            }
+        };
+
+        match role {
+            Role::Hit => {
+                out.write_all(header_line(&scenario, hash, CacheStatus::Hit).as_bytes())?;
+                // Replay every journaled cell straight onto the socket:
+                // zero trials execute, and the journal-replay invariant
+                // makes the body bit-identical to a live run.
+                let replay = Arc::new(InFlight::default());
+                let mut sink = FanoutSink {
+                    inflight: replay.clone(),
+                };
+                match plan.execution().resume_from(&path).run_with(&mut sink) {
+                    Ok(report) => replay.append(footer_line(&report).as_bytes()),
+                    Err(e) => replay.append(error_line(&e.to_string()).as_bytes()),
+                }
+                replay.finish();
+                replay.stream_to(out)
+            }
+            Role::Join(entry) => {
+                out.write_all(header_line(&scenario, hash, CacheStatus::Join).as_bytes())?;
+                entry.stream_to(out)
+            }
+            Role::Lead(entry, status) => {
+                out.write_all(header_line(&scenario, hash, status).as_bytes())?;
+                self.executions.fetch_add(1, Ordering::SeqCst);
+                let exec_entry = entry.clone();
+                let state = self.clone();
+                let resume = status == CacheStatus::Resume;
+                let worker = std::thread::spawn(move || {
+                    let mut sink = FanoutSink {
+                        inflight: exec_entry.clone(),
+                    };
+                    let mut sweep = plan
+                        .execution()
+                        .journal_to(&path)
+                        .topologies(state.topologies.clone())
+                        .workspace_pool(state.pool.clone());
+                    if resume {
+                        // In-place resume: replay the intact cells,
+                        // execute the rest, re-journal the union.
+                        sweep = sweep.resume_from(&path);
+                    }
+                    match sweep.run_with(&mut sink) {
+                        Ok(report) => exec_entry.append(footer_line(&report).as_bytes()),
+                        Err(e) => exec_entry.append(error_line(&e.to_string()).as_bytes()),
+                    }
+                    // Unregister before marking done so late arrivals
+                    // re-classify against the now-complete store entry.
+                    state
+                        .inflight
+                        .lock()
+                        .expect("in-flight table poisoned")
+                        .remove(&hash);
+                    exec_entry.finish();
+                });
+                let streamed = entry.stream_to(out);
+                let _ = worker.join();
+                streamed
+            }
+        }
+    }
+}
+
+enum Role {
+    Hit,
+    Join(Arc<InFlight>),
+    Lead(Arc<InFlight>, CacheStatus),
+}
+
+/// The TCP daemon: accepts connections and serves one request per
+/// connection on its own thread.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<ServeState>,
+}
+
+impl Server {
+    /// Binds `addr` and opens (creating if needed) the result store at
+    /// `store_dir`.
+    ///
+    /// # Errors
+    ///
+    /// Bind or store-creation failures.
+    pub fn bind(addr: impl ToSocketAddrs, store_dir: impl Into<PathBuf>) -> io::Result<Self> {
+        Ok(Server {
+            listener: TcpListener::bind(addr)?,
+            state: Arc::new(ServeState::new(ResultStore::open(store_dir)?)),
+        })
+    }
+
+    /// The bound address (useful after binding port 0).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket query failure.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The shared daemon state (store, caches, counters).
+    pub fn state(&self) -> Arc<ServeState> {
+        self.state.clone()
+    }
+
+    /// Accepts and serves connections forever (until the process
+    /// exits). Per-connection failures are contained; the accept loop
+    /// keeps running.
+    ///
+    /// # Errors
+    ///
+    /// Only fatal accept-loop failures.
+    pub fn run(self) -> io::Result<()> {
+        for conn in self.listener.incoming() {
+            let stream = match conn {
+                Ok(s) => s,
+                Err(_) => continue,
+            };
+            let state = self.state.clone();
+            std::thread::spawn(move || {
+                let _ = handle_connection(&state, stream);
+            });
+        }
+        Ok(())
+    }
+
+    /// Spawns the accept loop on a background thread and returns a
+    /// handle exposing the bound address and shared state — the
+    /// embedded-daemon form used by tests and benches.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket address query failure.
+    pub fn spawn(self) -> io::Result<ServerHandle> {
+        let addr = self.local_addr()?;
+        let state = self.state.clone();
+        std::thread::spawn(move || {
+            let _ = self.run();
+        });
+        Ok(ServerHandle { addr, state })
+    }
+}
+
+/// A handle to a daemon spawned in-process via [`Server::spawn`].
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<ServeState>,
+}
+
+impl ServerHandle {
+    /// The daemon's bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared daemon state (store, caches, counters).
+    pub fn state(&self) -> &ServeState {
+        &self.state
+    }
+}
+
+fn handle_connection(state: &Arc<ServeState>, stream: TcpStream) -> io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let mut out = BufWriter::new(stream);
+    let spec = match ScenarioSpec::from_json_str(&line) {
+        Ok(spec) => spec,
+        Err(e) => {
+            out.write_all(error_line(&format!("bad request: {e}")).as_bytes())?;
+            return out.flush();
+        }
+    };
+    let plan = match ScenarioPlan::new(spec) {
+        Ok(plan) => plan,
+        Err(e) => {
+            out.write_all(error_line(&format!("invalid spec: {e}")).as_bytes())?;
+            return out.flush();
+        }
+    };
+    state.serve(plan, &mut out)
+}
+
+/// Submits `spec` to a daemon at `addr` and returns the raw response
+/// bytes (header line, record lines, footer line).
+///
+/// # Errors
+///
+/// Connection or I/O failures; in-band daemon errors are returned as
+/// part of the response body.
+pub fn submit(addr: impl ToSocketAddrs, spec: &ScenarioSpec) -> io::Result<Vec<u8>> {
+    let mut line = serde_json::to_string(spec);
+    line.push('\n');
+    submit_raw(addr, &line)
+}
+
+/// Submits a pre-rendered single-line JSON spec (must end with `\n`)
+/// and returns the raw response bytes.
+///
+/// # Errors
+///
+/// Connection or I/O failures.
+pub fn submit_raw(addr: impl ToSocketAddrs, request_line: &str) -> io::Result<Vec<u8>> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.write_all(request_line.as_bytes())?;
+    stream.flush()?;
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response)?;
+    Ok(response)
+}
+
+/// Splits a response into its header line (with trailing newline) and
+/// the body (record lines + footer) — the body is byte-identical across
+/// cache states and across clients of one in-flight execution.
+pub fn split_response(response: &[u8]) -> (&[u8], &[u8]) {
+    match response.iter().position(|&b| b == b'\n') {
+        Some(i) => response.split_at(i + 1),
+        None => (response, &[]),
+    }
+}
+
+/// Parses a [`ScenarioError`] free helper: builds a plan straight from
+/// a spec, the entry point an embedding caller uses before
+/// [`ServeState::serve`].
+///
+/// # Errors
+///
+/// Any spec validation or protocol construction error.
+pub fn plan_for(spec: ScenarioSpec) -> Result<ScenarioPlan, ScenarioError> {
+    ScenarioPlan::new(spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gossip_core::scenario::SweepPlan;
+    use gossip_sim::JsonlSink;
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("gossip-serve-test-{}-{name}", std::process::id()));
+        std::fs::create_dir_all(&p).unwrap();
+        p
+    }
+
+    fn small_spec(name: &str) -> ScenarioSpec {
+        let toml = format!(
+            r#"
+name = "{name}"
+
+[family]
+kind = "er"
+p = 0.3
+backend = "sampled"
+
+[protocol]
+kind = "async"
+
+[sweep]
+sizes = [24, 48]
+trials = 6
+seed = 11
+max_time = 1e4
+"#
+        );
+        ScenarioSpec::from_toml_str(&toml).unwrap()
+    }
+
+    /// The offline reference body: JsonlSink bytes + footer, exactly
+    /// what the daemon must produce in every cache state.
+    fn offline_body(spec: &ScenarioSpec) -> Vec<u8> {
+        let mut path = std::env::temp_dir();
+        path.push(format!(
+            "gossip-serve-offline-{}-{}.jsonl",
+            std::process::id(),
+            spec.name
+        ));
+        let mut sink = JsonlSink::create(&path).unwrap();
+        let report = SweepPlan::new(spec).unwrap().run_with(&mut sink).unwrap();
+        drop(sink);
+        let mut body = std::fs::read(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        body.extend_from_slice(footer_line(&report).as_bytes());
+        body
+    }
+
+    #[test]
+    fn repeat_submission_hits_the_store_with_zero_executions() {
+        let spec = small_spec("serve-repeat");
+        let handle = Server::bind("127.0.0.1:0", temp_dir("repeat"))
+            .unwrap()
+            .spawn()
+            .unwrap();
+
+        let first = submit(handle.addr(), &spec).unwrap();
+        assert_eq!(handle.state().executions(), 1);
+        let (h1, b1) = split_response(&first);
+        assert!(
+            std::str::from_utf8(h1)
+                .unwrap()
+                .contains("\"cache\":\"miss\""),
+            "first response should be a miss: {}",
+            String::from_utf8_lossy(h1)
+        );
+
+        let second = submit(handle.addr(), &spec).unwrap();
+        assert_eq!(
+            handle.state().executions(),
+            1,
+            "a repeat submission must execute zero trials"
+        );
+        let (h2, b2) = split_response(&second);
+        assert!(
+            std::str::from_utf8(h2)
+                .unwrap()
+                .contains("\"cache\":\"hit\""),
+            "second response should be a store hit: {}",
+            String::from_utf8_lossy(h2)
+        );
+        assert_eq!(b1, b2, "hit body must be byte-identical to the live body");
+        assert_eq!(
+            b1,
+            offline_body(&spec),
+            "served body must match offline run"
+        );
+    }
+
+    #[test]
+    fn equivalent_specs_share_one_store_entry() {
+        let spec = small_spec("serve-equivalent");
+        let handle = Server::bind("127.0.0.1:0", temp_dir("equivalent"))
+            .unwrap()
+            .spawn()
+            .unwrap();
+        let first = submit(handle.addr(), &spec).unwrap();
+
+        // Same experiment, different presentation: must hit.
+        let mut respelled = spec.clone();
+        respelled.description = Some("same experiment, new description".into());
+        respelled.sweep.threads = Some(2);
+        let second = submit(handle.addr(), &respelled).unwrap();
+        assert_eq!(handle.state().executions(), 1);
+        let (h2, b2) = split_response(&second);
+        assert!(std::str::from_utf8(h2)
+            .unwrap()
+            .contains("\"cache\":\"hit\""));
+        assert_eq!(split_response(&first).1, b2);
+    }
+
+    #[test]
+    fn concurrent_identical_requests_execute_once() {
+        let spec = small_spec("serve-dedup");
+        let handle = Server::bind("127.0.0.1:0", temp_dir("dedup"))
+            .unwrap()
+            .spawn()
+            .unwrap();
+        let addr = handle.addr();
+        let clients = 6;
+        let responses: Vec<Vec<u8>> = std::thread::scope(|scope| {
+            let spec = &spec;
+            let handles: Vec<_> = (0..clients)
+                .map(|_| scope.spawn(move || submit(addr, spec).unwrap()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(
+            handle.state().executions(),
+            1,
+            "identical concurrent requests must dedupe onto one execution"
+        );
+        let reference = split_response(&responses[0]).1.to_vec();
+        assert_eq!(reference, offline_body(&spec));
+        for (i, r) in responses.iter().enumerate() {
+            assert_eq!(
+                split_response(r).1,
+                &reference[..],
+                "client {i} received a divergent stream"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupted_store_entry_falls_back_to_reexecution() {
+        let spec = small_spec("serve-corrupt");
+        let store = temp_dir("corrupt");
+        let handle = Server::bind("127.0.0.1:0", store.clone())
+            .unwrap()
+            .spawn()
+            .unwrap();
+        let first = submit(handle.addr(), &spec).unwrap();
+        assert_eq!(handle.state().executions(), 1);
+
+        // Corrupt the entry's header in place: the stored hash no
+        // longer matches, so the daemon must re-execute, not replay.
+        let plan = ScenarioPlan::new(spec.clone()).unwrap();
+        let entry = handle.state().store().entry_path(plan.spec_hash());
+        let text = std::fs::read_to_string(&entry).unwrap();
+        std::fs::write(&entry, text.replacen("\"spec_hash\"", "\"spec_hsah\"", 1)).unwrap();
+        assert_eq!(handle.state().store().classify(&plan), StoreState::Absent);
+
+        let second = submit(handle.addr(), &spec).unwrap();
+        assert_eq!(
+            handle.state().executions(),
+            2,
+            "a corrupted entry must trigger re-execution"
+        );
+        assert_eq!(split_response(&first).1, split_response(&second).1);
+
+        // The rewrite repaired the store: next submission is a hit.
+        let third = submit(handle.addr(), &spec).unwrap();
+        assert_eq!(handle.state().executions(), 2);
+        assert!(std::str::from_utf8(split_response(&third).0)
+            .unwrap()
+            .contains("\"cache\":\"hit\""));
+    }
+
+    #[test]
+    fn torn_store_entry_resumes_instead_of_restarting() {
+        let spec = small_spec("serve-torn");
+        let store = temp_dir("torn");
+        let handle = Server::bind("127.0.0.1:0", store).unwrap().spawn().unwrap();
+        let first = submit(handle.addr(), &spec).unwrap();
+
+        // Tear the last cell off, as a crash mid-append would.
+        let plan = ScenarioPlan::new(spec.clone()).unwrap();
+        let entry = handle.state().store().entry_path(plan.spec_hash());
+        let text = std::fs::read_to_string(&entry).unwrap();
+        let kept: Vec<&str> = text.lines().collect();
+        std::fs::write(&entry, format!("{}\n", kept[..kept.len() - 1].join("\n"))).unwrap();
+        assert_eq!(handle.state().store().classify(&plan), StoreState::Partial);
+
+        let second = submit(handle.addr(), &spec).unwrap();
+        let (h2, b2) = split_response(&second);
+        assert!(std::str::from_utf8(h2)
+            .unwrap()
+            .contains("\"cache\":\"resume\""));
+        assert_eq!(handle.state().executions(), 2);
+        assert_eq!(
+            split_response(&first).1,
+            b2,
+            "resumed body must be bit-identical to the original"
+        );
+    }
+
+    #[test]
+    fn malformed_requests_get_in_band_errors() {
+        let handle = Server::bind("127.0.0.1:0", temp_dir("bad"))
+            .unwrap()
+            .spawn()
+            .unwrap();
+        let response = submit_raw(handle.addr(), "{not json}\n").unwrap();
+        let text = String::from_utf8(response).unwrap();
+        assert!(
+            text.contains("\"error\"") && text.contains("bad request"),
+            "{text}"
+        );
+        // A parseable spec that fails validation also errors in band.
+        let mut spec = small_spec("serve-invalid");
+        spec.sweep.sizes.clear();
+        let response = submit(handle.addr(), &spec).unwrap();
+        let text = String::from_utf8(response).unwrap();
+        assert!(
+            text.contains("\"error\"") && text.contains("invalid spec"),
+            "{text}"
+        );
+    }
+}

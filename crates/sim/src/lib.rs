@@ -111,4 +111,4 @@ pub use protocol::Protocol;
 pub use runner::{Runner, TrialSummary};
 pub use sync::{SyncPull, SyncPush, SyncPushPull};
 pub use two_push::{ForwardTwoPush, TwoPush};
-pub use workspace::SimWorkspace;
+pub use workspace::{SimWorkspace, WorkspacePool};

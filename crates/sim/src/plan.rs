@@ -44,6 +44,7 @@
 //!   available, with bit-identical results either way.
 
 use crate::observer::{SummarySink, TrialObserver, TrialRecord};
+use crate::workspace::WorkspacePool;
 use crate::{
     EventSimulation, FaultModel, IncrementalProtocol, Protocol, RunConfig, SimError, SimWorkspace,
     Simulation, TrialError, TrialSummary,
@@ -54,7 +55,7 @@ use gossip_stats::SimRng;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::{mpsc, Condvar, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
 
 // ---------------------------------------------------------------------------
 // AnyProtocol
@@ -185,6 +186,7 @@ pub struct RunPlan<'o> {
     workspace: bool,
     vectorized: bool,
     faults: Option<FaultModel>,
+    pool: Option<Arc<WorkspacePool>>,
     observers: Vec<Box<dyn TrialObserver + 'o>>,
 }
 
@@ -200,6 +202,7 @@ impl fmt::Debug for RunPlan<'_> {
             .field("workspace", &self.workspace)
             .field("vectorized", &self.vectorized)
             .field("faults", &self.faults)
+            .field("pool", &self.pool.is_some())
             .field("observers", &self.observers.len())
             .finish()
     }
@@ -223,6 +226,7 @@ impl<'o> RunPlan<'o> {
             workspace: true,
             vectorized: true,
             faults: None,
+            pool: None,
             observers: Vec::new(),
         }
     }
@@ -257,6 +261,21 @@ impl<'o> RunPlan<'o> {
     /// diagnostic escape hatch.
     pub fn workspace(mut self, reuse: bool) -> Self {
         self.workspace = reuse;
+        self
+    }
+
+    /// Draws each worker's [`SimWorkspace`] from a shared long-lived
+    /// [`WorkspacePool`] instead of allocating a fresh one per batch, and
+    /// returns it to the pool when the batch ends — so repeated
+    /// executions in one process (e.g. the `gossip serve` daemon) keep
+    /// their grown scratch arenas warm across runs. Only meaningful with
+    /// workspace reuse enabled (the default); the fresh-allocation
+    /// reference path ignores the checked-out workspace by design.
+    /// Results are bit-identical with or without a pool, because every
+    /// buffer checked out of a workspace is reset to fresh-allocation
+    /// state (see the [`SimWorkspace`] reset invariants).
+    pub fn workspace_pool(mut self, pool: Arc<WorkspacePool>) -> Self {
+        self.pool = Some(pool);
         self
     }
 
@@ -382,6 +401,7 @@ impl<'o> RunPlan<'o> {
 
         let mut summary = SummarySink::new();
         let mut trial_errors: Vec<TrialError> = Vec::new();
+        let pool = self.pool.clone();
         let started = std::time::Instant::now();
         {
             let observers = &mut self.observers;
@@ -440,6 +460,7 @@ impl<'o> RunPlan<'o> {
                 self.workspace,
                 self.vectorized,
                 self.faults.as_ref(),
+                pool.as_deref(),
                 &make_net,
                 &make_proto,
                 &mut deliver,
@@ -626,6 +647,7 @@ fn run_trials<N: DynamicNetwork>(
     reuse: bool,
     vectorized: bool,
     faults: Option<&FaultModel>,
+    pool: Option<&WorkspacePool>,
     make_net: &(impl Fn() -> N + Sync),
     make_proto: &(impl Fn() -> AnyProtocol + Sync),
     deliver: &mut impl FnMut(TrialItem) -> Result<Option<Vec<(f64, usize)>>, SimError>,
@@ -633,12 +655,21 @@ fn run_trials<N: DynamicNetwork>(
     let base = SimRng::seed_from_u64(base_seed);
     let threads = threads.min(trials.max(1));
     let recording = config.record_trajectory;
+    // Workspaces come from the shared pool when one is attached (warm
+    // buffers across batches) and go back to it at batch end; checkout
+    // state is indistinguishable from fresh, so results are identical.
+    let take_ws = || pool.map_or_else(SimWorkspace::new, WorkspacePool::checkout);
+    let give_ws = |ws: SimWorkspace| {
+        if let Some(p) = pool {
+            p.restore(ws);
+        }
+    };
 
     if threads <= 1 {
         // Inline fast path: no channel, records delivered as produced
         // (already in trial order); errors abort immediately. Recycled
         // trajectory buffers flow straight back into the workspace.
-        let mut ws = SimWorkspace::new();
+        let mut ws = take_ws();
         let mut net = make_net();
         let mut run_one =
             make_runner::<N>(make_proto(), config, use_event, reuse, vectorized, faults);
@@ -675,6 +706,7 @@ fn run_trials<N: DynamicNetwork>(
                 ws.put_trajectory(buf);
             }
         }
+        give_ws(ws);
         return Ok(());
     }
 
@@ -705,7 +737,7 @@ fn run_trials<N: DynamicNetwork>(
             let tx = tx.clone();
             let pace = &pace;
             scope.spawn(move || {
-                let mut ws = SimWorkspace::new();
+                let mut ws = pool.map_or_else(SimWorkspace::new, WorkspacePool::checkout);
                 let mut net = make_net();
                 let mut run_one =
                     make_runner::<N>(make_proto(), config, use_event, reuse, vectorized, faults);
@@ -760,6 +792,9 @@ fn run_trials<N: DynamicNetwork>(
                         break;
                     }
                     c += threads;
+                }
+                if let Some(p) = pool {
+                    p.restore(ws);
                 }
             });
         }

@@ -19,6 +19,7 @@
 
 use gossip_graph::{NodeId, NodeSet};
 use gossip_stats::FenwickSampler;
+use std::sync::Mutex;
 
 /// A uniform sampler over a shrinking set of nodes: O(1) removal by
 /// swap-remove, O(1) uniform draws, refilled in place across trials.
@@ -195,6 +196,52 @@ impl SimWorkspace {
     }
 }
 
+/// A shared pool of [`SimWorkspace`]s that outlives individual trial
+/// batches, so a long-lived process (the `gossip serve` daemon, repeated
+/// [`crate::RunPlan`] executions in one program) keeps its grown scratch
+/// arenas warm across runs instead of re-growing them from empty every
+/// time.
+///
+/// Workers check a workspace out at batch start
+/// ([`WorkspacePool::checkout`]) and return it when the batch ends
+/// ([`WorkspacePool::restore`]); an empty pool hands out fresh
+/// workspaces. Because every buffer a trial checks out of a
+/// [`SimWorkspace`] is reset to the exact logical state of a fresh
+/// allocation (see the [`SimWorkspace`] reset invariants), pooling is
+/// bit-invisible: results with a pool are identical to results without
+/// one (test-enforced).
+#[derive(Debug, Default)]
+pub struct WorkspacePool {
+    slots: Mutex<Vec<SimWorkspace>>,
+}
+
+impl WorkspacePool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        WorkspacePool::default()
+    }
+
+    /// Checks a workspace out of the pool, or creates a fresh one when
+    /// the pool is empty.
+    pub fn checkout(&self) -> SimWorkspace {
+        self.slots
+            .lock()
+            .expect("workspace pool poisoned")
+            .pop()
+            .unwrap_or_default()
+    }
+
+    /// Returns a workspace to the pool for a later batch.
+    pub fn restore(&self, ws: SimWorkspace) {
+        self.slots.lock().expect("workspace pool poisoned").push(ws);
+    }
+
+    /// How many idle workspaces the pool currently holds.
+    pub fn idle(&self) -> usize {
+        self.slots.lock().expect("workspace pool poisoned").len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -259,6 +306,25 @@ mod tests {
         for _ in 0..100 {
             assert_eq!(reused.sample(&mut r1), fresh.sample(&mut r2));
         }
+    }
+
+    #[test]
+    fn workspace_pool_round_trips() {
+        let pool = WorkspacePool::new();
+        assert_eq!(pool.idle(), 0);
+        let mut ws = pool.checkout(); // empty pool: fresh workspace
+        let mut set = ws.take_informed(12);
+        set.insert(3);
+        ws.put_informed(set);
+        pool.restore(ws);
+        assert_eq!(pool.idle(), 1);
+        // The returned workspace keeps its grown buffers, but checkout
+        // state is still indistinguishable from fresh (reset invariants).
+        let mut ws = pool.checkout();
+        assert_eq!(pool.idle(), 0);
+        let set = ws.take_informed(12);
+        assert!(set.is_empty());
+        assert_eq!(set.universe(), 12);
     }
 
     #[test]

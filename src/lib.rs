@@ -16,6 +16,8 @@
 //!   closed-form predictions;
 //! * [`net`] — the live message-passing runtime (node-group actors over
 //!   pluggable local/UDP delivery), cross-validated against [`sim`];
+//! * [`serve`] — the simulation-as-a-service daemon: line-delimited JSON
+//!   over TCP, a content-addressed result store, warm-state reuse;
 //! * [`stats`] — RNG, samplers, summary statistics.
 //!
 //! # Quickstart
@@ -44,6 +46,7 @@ pub use gossip_core as bounds;
 pub use gossip_dynamics as dynamics;
 pub use gossip_graph as graph;
 pub use gossip_net as net;
+pub use gossip_serve as serve;
 pub use gossip_sim as sim;
 pub use gossip_stats as stats;
 
@@ -55,8 +58,8 @@ pub mod prelude {
     pub use gossip_core::bounds::{corollary_1_6, giakkoupis_bound, theorem_1_1, theorem_1_3};
     pub use gossip_core::profile::StepProfile;
     pub use gossip_core::scenario::{
-        build_any_protocol, run_scenario, FamilySpec, ProtocolSpec, ScenarioReport, ScenarioSpec,
-        SweepPlan, SweepSpec,
+        build_any_protocol, run_scenario, FamilySpec, ProtocolSpec, ScenarioPlan, ScenarioReport,
+        ScenarioSpec, SweepPlan, SweepSpec, TopologyCache,
     };
     pub use gossip_dynamics::{
         AbsoluteDiligentNetwork, AlternatingRegular, CliquePendant, DiligentNetwork,
@@ -69,7 +72,7 @@ pub mod prelude {
         AnyProtocol, AsyncPushPull, CutRateAsync, Engine, EventSimulation, Flooding,
         IncrementalProtocol, JsonlSink, LossyAsync, Protocol, RunConfig, RunPlan, RunReport,
         Runner, Simulation, SpreadOutcome, SummarySink, SyncPushPull, TrajectorySink,
-        TrialObserver, TrialRecord, TrialSummary,
+        TrialObserver, TrialRecord, TrialSummary, WorkspacePool,
     };
     pub use gossip_stats::{Quantiles, RunningMoments, SimRng, SortedSample};
 }
