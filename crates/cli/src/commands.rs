@@ -306,6 +306,24 @@ pub fn net(action: Option<&str>, file: Option<&str>, args: &Args) -> Result<Stri
                     100.0 * live.dropped as f64 / live.messages.max(1) as f64
                 );
             }
+            if live.blocked > 0 {
+                let _ = writeln!(
+                    out,
+                    "blocked   : {} ({:.2}% of messages, partition cuts)",
+                    live.blocked,
+                    100.0 * live.blocked as f64 / live.messages.max(1) as f64
+                );
+            }
+            if live.duplicated > 0 {
+                let _ = writeln!(out, "duplicated: {} extra envelope copies", live.duplicated);
+            }
+            if live.stalled > 0 {
+                let _ = writeln!(
+                    out,
+                    "stalled   : {} trial(s) skipped after repeated udp exchange stalls",
+                    live.stalled
+                );
+            }
             if let Some((records, out_path)) = streamed {
                 let _ = writeln!(out, "wrote {records} trial records to {out_path}");
             }
@@ -342,8 +360,10 @@ pub fn net(action: Option<&str>, file: Option<&str>, args: &Args) -> Result<Stri
 }
 
 /// `gossip serve [--addr host:port] [--store dir]`: the
-/// simulation-as-a-service daemon ([`gossip_serve`]). Blocks forever;
-/// prints a readiness line to stderr once the socket is bound.
+/// simulation-as-a-service daemon ([`gossip_serve`]). Blocks until
+/// SIGTERM or SIGINT, then shuts down gracefully — no new connections,
+/// in-flight sweeps finish and their journals flush before exit.
+/// Prints a readiness line to stderr once the socket is bound.
 pub fn serve(args: &Args) -> Result<String, CliError> {
     let addr = args.opt("addr")?.unwrap_or("127.0.0.1:7373").to_string();
     let store = args.opt("store")?.unwrap_or("gossip-store").to_string();
@@ -353,10 +373,23 @@ pub fn serve(args: &Args) -> Result<String, CliError> {
     let local = server
         .local_addr()
         .map_err(|e| CliError::Scenario(format!("cannot query bound address: {e}")))?;
+    let shutdown = server
+        .shutdown_handle()
+        .map_err(|e| CliError::Scenario(format!("cannot create shutdown handle: {e}")))?;
+    crate::signal::install_termination_handler();
+    std::thread::spawn(move || loop {
+        if crate::signal::termination_requested() {
+            eprintln!("gossip serve: termination signal received, draining in-flight requests");
+            shutdown.shutdown();
+            return;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    });
     eprintln!("gossip serve: listening on {local}, result store at {store}");
     server
         .run()
         .map_err(|e| CliError::Scenario(format!("serve failed: {e}")))?;
+    eprintln!("gossip serve: shut down cleanly (journals flushed)");
     Ok(String::new())
 }
 

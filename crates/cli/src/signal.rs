@@ -1,0 +1,79 @@
+//! Minimal POSIX termination-signal hookup for long-running commands.
+//!
+//! `gossip serve` must turn SIGTERM (systemd stop, `kill`, container
+//! teardown) and SIGINT (ctrl-C) into a *graceful* daemon shutdown —
+//! stop accepting, finish in-flight sweeps, flush journals — instead of
+//! the default instant process death that leaves half-written state.
+//!
+//! The handler does the only async-signal-safe thing possible: it sets
+//! a static [`AtomicBool`]. A watcher thread polls the flag and drives
+//! the actual shutdown from safe code. Registration goes through the
+//! C `signal(2)` entry point directly so the workspace stays free of
+//! new dependencies; this module is the CLI's single, tightly-scoped
+//! exemption from its `unsafe_code` lint. On non-Unix targets
+//! installation is a no-op and the flag simply never fires.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static TERMINATION_REQUESTED: AtomicBool = AtomicBool::new(false);
+
+/// Whether SIGTERM or SIGINT has arrived since
+/// [`install_termination_handler`] ran.
+pub fn termination_requested() -> bool {
+    TERMINATION_REQUESTED.load(Ordering::SeqCst)
+}
+
+/// Installs the SIGTERM + SIGINT handler (idempotent; no-op off Unix).
+pub fn install_termination_handler() {
+    imp::install();
+}
+
+#[cfg(unix)]
+mod imp {
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_termination(_signum: i32) {
+        // Atomic store only: the one operation guaranteed safe inside a
+        // signal handler.
+        super::TERMINATION_REQUESTED.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        let handler = on_termination as extern "C" fn(i32) as usize;
+        unsafe {
+            signal(SIGTERM, handler);
+            signal(SIGINT, handler);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub fn install() {}
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handler_flags_a_raised_signal() {
+        install_termination_handler();
+        assert!(!termination_requested());
+        // Raise SIGTERM at ourselves through the installed handler.
+        extern "C" {
+            fn raise(signum: i32) -> i32;
+        }
+        unsafe {
+            raise(15);
+        }
+        assert!(termination_requested());
+    }
+}

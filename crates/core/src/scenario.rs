@@ -279,7 +279,18 @@ impl SweepSpec {
 /// seed = 1              # dedicated fault stream seed
 /// schedule = [[3, 0]]   # crash node 0 when the window clock reaches 3
 /// target_high_degree = 1  # crash the top-degree up node every window
+/// partition_rate = 0.05 # live only: rate of partitioned unit windows
+/// delay = 0.1           # live only: per-envelope extra-latency probability
+/// delay_epochs = 3      # live only: max extra epochs a delayed envelope waits
+/// duplicate = 0.05      # live only: per-envelope duplication probability
 /// ```
+///
+/// The last four fields model *delivery-layer chaos* — network
+/// partitions, late messages, duplicated messages — which only exists
+/// where messages physically travel: the live runtime (`gossip net
+/// run`). The analytic engines reject them ([`ScenarioPlan::new`]); the
+/// live runtime rejects `target_high_degree` in turn (it needs a global
+/// degree ordering over still-up nodes, an analytic-engine view).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FaultSpec {
     /// Per-message drop probability in `[0, 1]` (default 0).
@@ -298,8 +309,21 @@ pub struct FaultSpec {
     /// crashes when the window clock reaches its entry.
     pub schedule: Option<Vec<(u64, u32)>>,
     /// Adversarial targeting: crash the `k` highest-degree still-up nodes
-    /// at the start of every window (default 0).
+    /// at the start of every window (default 0). Analytic engines only.
     pub target_high_degree: Option<usize>,
+    /// Live only: Poisson rate (per unit time) at which a unit window is
+    /// partitioned into two seeded halves that cannot exchange envelopes
+    /// (default 0).
+    pub partition_rate: Option<f64>,
+    /// Live only: probability in `[0, 1]` that an envelope is delayed by
+    /// extra epochs beyond the one-tick latency (default 0).
+    pub delay: Option<f64>,
+    /// Live only: maximum extra epochs a delayed envelope waits, drawn
+    /// uniformly from `1..=delay_epochs` (default 1; must be ≥ 1).
+    pub delay_epochs: Option<u64>,
+    /// Live only: probability in `[0, 1]` that an envelope is delivered
+    /// twice (default 0).
+    pub duplicate: Option<f64>,
 }
 
 impl FaultSpec {
@@ -312,11 +336,17 @@ impl FaultSpec {
             seed: None,
             schedule: None,
             target_high_degree: None,
+            partition_rate: None,
+            delay: None,
+            delay_epochs: None,
+            duplicate: None,
         }
     }
 
     /// Compiles the spec into the runtime [`FaultModel`], filling
-    /// defaults.
+    /// defaults. The delivery-chaos fields (`partition_rate`, `delay`,
+    /// `delay_epochs`, `duplicate`) have no analytic counterpart and are
+    /// not part of the model; the live runtime compiles them separately.
     pub fn to_model(&self) -> FaultModel {
         FaultModel {
             drop: self.drop.unwrap_or(0.0),
@@ -326,6 +356,14 @@ impl FaultSpec {
             schedule: self.schedule.iter().flatten().copied().collect(),
             target_high_degree: self.target_high_degree.unwrap_or(0),
         }
+    }
+
+    /// Whether any delivery-chaos field (live-runtime-only faults) is
+    /// active: partitions, delays, or duplication.
+    pub fn net_chaos_active(&self) -> bool {
+        self.partition_rate.unwrap_or(0.0) > 0.0
+            || self.delay.unwrap_or(0.0) > 0.0
+            || self.duplicate.unwrap_or(0.0) > 0.0
     }
 }
 
@@ -348,6 +386,8 @@ impl Default for FaultSpec {
 /// delivery = "local"  # "local" in-process channels | "udp" loopback datagrams
 /// horizon = 50.0      # virtual-time cutoff (default: sweep.max_time)
 /// tick = 0.001        # message latency = epoch length (default 1e-3)
+/// exchange_timeout = 1.0  # udp: seconds before a stalled exchange retries
+/// exchange_retries = 3    # udp: retransmission attempts before giving up
 /// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct NetSpec {
@@ -365,6 +405,14 @@ pub struct NetSpec {
     /// analytic zero-latency distributions more closely at the cost of
     /// more exchange rounds.
     pub tick: Option<f64>,
+    /// UDP delivery: how many wall-clock seconds one epoch exchange
+    /// waits for missing peer datagrams before retransmitting (default
+    /// 1.0; the wait doubles per retry).
+    pub exchange_timeout: Option<f64>,
+    /// UDP delivery: retransmission attempts before the exchange fails
+    /// with a structured stall error (default 3; `0` fails on the first
+    /// timeout, restoring pre-retry behavior).
+    pub exchange_retries: Option<u32>,
 }
 
 impl NetSpec {
@@ -375,6 +423,8 @@ impl NetSpec {
             delivery: None,
             horizon: None,
             tick: None,
+            exchange_timeout: None,
+            exchange_retries: None,
         }
     }
 }
@@ -1141,8 +1191,10 @@ impl ScenarioSpec {
         let faults = self.faults.as_ref().and_then(|f| {
             // An inactive fault model runs the fault-free process
             // bit-identically (test-enforced), so it normalizes away —
-            // including its seed, which is never drawn from.
-            if !f.to_model().is_active() {
+            // including its seed, which is never drawn from. Delivery
+            // chaos counts as active: a chaos-only spec is a different
+            // (live) experiment from the fault-free one.
+            if !f.to_model().is_active() && !f.net_chaos_active() {
                 return None;
             }
             Some(FaultSpec {
@@ -1152,6 +1204,10 @@ impl ScenarioSpec {
                 seed: Some(f.seed.unwrap_or(0)),
                 schedule: Some(f.schedule.clone().unwrap_or_default()),
                 target_high_degree: Some(f.target_high_degree.unwrap_or(0)),
+                partition_rate: Some(f.partition_rate.unwrap_or(0.0)),
+                delay: Some(f.delay.unwrap_or(0.0)),
+                delay_epochs: Some(f.delay_epochs.unwrap_or(1)),
+                duplicate: Some(f.duplicate.unwrap_or(0.0)),
             })
         });
         ScenarioSpec {
@@ -1312,6 +1368,29 @@ impl ScenarioSpec {
                     )));
                 }
             }
+            if let Some(rate) = faults.partition_rate {
+                if !rate.is_finite() || rate < 0.0 {
+                    return Err(ScenarioError::Invalid(format!(
+                        "faults.partition_rate must be a finite non-negative rate, got {rate}"
+                    )));
+                }
+            }
+            for (name, p) in [("delay", faults.delay), ("duplicate", faults.duplicate)] {
+                if let Some(p) = p {
+                    if !(0.0..=1.0).contains(&p) {
+                        return Err(ScenarioError::Invalid(format!(
+                            "faults.{name} must be within [0, 1], got {p}"
+                        )));
+                    }
+                }
+            }
+            if faults.delay_epochs == Some(0) {
+                return Err(ScenarioError::Invalid(
+                    "faults.delay_epochs must be at least 1 (a delayed envelope waits \
+                     between 1 and delay_epochs extra epochs)"
+                        .into(),
+                ));
+            }
             let model = faults.to_model();
             if model.is_active() {
                 if engine == Engine::Window {
@@ -1365,7 +1444,11 @@ impl ScenarioSpec {
                 "unknown net.delivery `{delivery}` (local, udp)"
             )));
         }
-        for (name, value) in [("tick", net.tick), ("horizon", net.horizon)] {
+        for (name, value) in [
+            ("tick", net.tick),
+            ("horizon", net.horizon),
+            ("exchange_timeout", net.exchange_timeout),
+        ] {
             if let Some(v) = value {
                 if !(v.is_finite() && v > 0.0) {
                     return Err(ScenarioError::Invalid(format!(
@@ -1404,16 +1487,17 @@ impl ScenarioSpec {
             }
         }
         if let Some(faults) = &self.faults {
-            let model = faults.to_model();
-            if model.crash_rate > 0.0
-                || model.recovery_rate > 0.0
-                || !model.schedule.is_empty()
-                || model.target_high_degree > 0
-            {
+            // The live runtime carries the full crash/recovery/schedule
+            // model as per-node liveness state plus the delivery-chaos
+            // fields; the one analytic-only feature left is adversarial
+            // degree targeting, which needs a global still-up degree
+            // ordering no node group can compute locally.
+            if faults.to_model().target_high_degree > 0 {
                 return Err(ScenarioError::Invalid(
-                    "the live runtime supports only faults.drop (per-envelope loss at the \
-                     delivery layer); crash_rate, recovery_rate, schedule, and \
-                     target_high_degree are analytic-engine features"
+                    "faults.target_high_degree is an analytic-engine feature (it ranks \
+                     all still-up nodes by degree globally); the live runtime supports \
+                     drop, crash_rate, recovery_rate, schedule, partition_rate, delay, \
+                     and duplicate"
                         .into(),
                 ));
             }
@@ -1579,6 +1663,20 @@ impl ScenarioPlan {
     /// error.
     pub fn new(spec: ScenarioSpec) -> Result<Self, ScenarioError> {
         spec.validate()?;
+        // Delivery-layer chaos (partitions, delays, duplication) only
+        // exists where envelopes physically travel; the analytic engines
+        // have no message objects to perturb.
+        if spec
+            .faults
+            .as_ref()
+            .is_some_and(FaultSpec::net_chaos_active)
+        {
+            return Err(ScenarioError::Invalid(
+                "faults.partition_rate / delay / duplicate perturb the delivery layer, \
+                 which only the live runtime has — run this spec with `gossip net run`"
+                    .into(),
+            ));
+        }
         let probe = build_any_protocol(&spec.protocol)?;
         let engine = parse_engine(spec.sweep.engine.as_deref())?;
         // The engine every cell resolves to is a pure function of the

@@ -2,8 +2,9 @@
 //!
 //! The runtime advances in synchronized epochs of one tick each (see
 //! [`crate::runtime`]); at every epoch boundary each group hands its
-//! outbound [`Envelope`]s plus two scalars — its earliest future event
-//! and its informed-node count — to its [`Delivery`] endpoint and gets
+//! outbound [`Envelope`]s plus a handful of scalars — its earliest
+//! future event, its informed-node count, and the liveness reductions
+//! behind `Died` detection — to its [`Delivery`] endpoint and gets
 //! back everything addressed to it along with the global reductions. How
 //! the envelopes and scalars move is the only thing that differs between
 //! transports:
@@ -115,6 +116,14 @@ pub struct EpochFlush {
     pub next_candidate: f64,
     /// Cumulative count of this group's own informed nodes.
     pub informed: u64,
+    /// Count of this group's informed nodes that are also up at their
+    /// last observed liveness state (equals `informed` when crash faults
+    /// are off). Drives the global `Died` detection.
+    pub live_informed: u64,
+    /// Count of rumor-carrying envelopes (push contacts and pull
+    /// replies) this group has in flight — in `outbound` or buffered for
+    /// a future epoch. Only maintained when a trial can die; otherwise 0.
+    pub rumor_in_flight: u64,
 }
 
 /// What the exchange returns to the group for the next epoch.
@@ -127,6 +136,10 @@ pub struct EpochUpdate {
     pub next_time: f64,
     /// Global informed-node count.
     pub informed_total: u64,
+    /// Global sum of every group's `live_informed`.
+    pub live_informed_total: u64,
+    /// Global sum of every group's `rumor_in_flight`.
+    pub rumor_in_flight_total: u64,
 }
 
 /// One group's endpoint of the inter-group transport.
@@ -160,6 +173,10 @@ struct LocalShared {
     /// Per-group cumulative informed counts (each slot written by one
     /// group, read by all).
     informed: Vec<AtomicU64>,
+    /// Per-group informed-and-up counts (same ownership discipline).
+    live_informed: Vec<AtomicU64>,
+    /// Per-group rumor-carrying in-flight envelope counts.
+    in_flight: Vec<AtomicU64>,
 }
 
 /// In-process transport: one mpsc channel per ordered group pair plus a
@@ -188,6 +205,8 @@ impl LocalDelivery {
                 AtomicU64::new(f64::INFINITY.to_bits()),
             ],
             informed: (0..g).map(|_| AtomicU64::new(0)).collect(),
+            live_informed: (0..g).map(|_| AtomicU64::new(0)).collect(),
+            in_flight: (0..g).map(|_| AtomicU64::new(0)).collect(),
         });
         // channels[s][d] carries batches from group s to group d.
         let mut senders: Vec<Vec<Sender<Vec<Envelope>>>> = Vec::with_capacity(g);
@@ -238,6 +257,8 @@ impl Delivery for LocalDelivery {
         }
         self.shared.next_bits[par].fetch_min(flush.next_candidate.to_bits(), Ordering::SeqCst);
         self.shared.informed[self.me].store(flush.informed, Ordering::SeqCst);
+        self.shared.live_informed[self.me].store(flush.live_informed, Ordering::SeqCst);
+        self.shared.in_flight[self.me].store(flush.rumor_in_flight, Ordering::SeqCst);
         self.shared.barrier.wait();
         let mut inbound = Vec::new();
         for rx in &self.from {
@@ -247,18 +268,18 @@ impl Delivery for LocalDelivery {
         }
         let next_time = f64::from_bits(self.shared.next_bits[par].load(Ordering::SeqCst));
         self.shared.next_bits[1 - par].store(f64::INFINITY.to_bits(), Ordering::SeqCst);
-        let informed_total = self
-            .shared
-            .informed
-            .iter()
-            .map(|a| a.load(Ordering::SeqCst))
-            .sum();
+        let sum = |slots: &[AtomicU64]| slots.iter().map(|a| a.load(Ordering::SeqCst)).sum();
+        let informed_total = sum(&self.shared.informed);
+        let live_informed_total = sum(&self.shared.live_informed);
+        let rumor_in_flight_total = sum(&self.shared.in_flight);
         self.shared.barrier.wait();
         self.round += 1;
         Ok(EpochUpdate {
             inbound,
             next_time,
             informed_total,
+            live_informed_total,
+            rumor_in_flight_total,
         })
     }
 }
@@ -277,7 +298,12 @@ pub struct DropGate {
     key: u64,
 }
 
-fn splitmix(mut z: u64) -> u64 {
+/// The 64-bit SplitMix finalizer: the hash behind every delivery-layer
+/// fault coin ([`DropGate`], [`crate::fault::ChaosGate`],
+/// [`crate::fault::Liveness`]). Statistically independent outputs for
+/// distinct inputs, and a pure function — the property that keeps fault
+/// verdicts group-count- and transport-invariant.
+pub(crate) fn splitmix(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -377,6 +403,8 @@ mod tests {
                 outbound: vec![mk(0, 5), mk(1, 2)],
                 next_candidate: 0.7,
                 informed: 3,
+                live_informed: 2,
+                rumor_in_flight: 2,
             })
             .unwrap()
         });
@@ -386,6 +414,8 @@ mod tests {
                 outbound: vec![mk(6, 1)],
                 next_candidate: 0.9,
                 informed: 1,
+                live_informed: 1,
+                rumor_in_flight: 1,
             })
             .unwrap()
         });
@@ -397,6 +427,8 @@ mod tests {
         for u in [&ua, &ub] {
             assert!((u.next_time - 0.7).abs() < 1e-12);
             assert_eq!(u.informed_total, 4);
+            assert_eq!(u.live_informed_total, 3);
+            assert_eq!(u.rumor_in_flight_total, 3);
         }
     }
 }

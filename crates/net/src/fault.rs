@@ -1,0 +1,605 @@
+//! Live-runtime fault injection: per-node liveness (crash / recovery /
+//! scheduled crashes) plus delivery-layer chaos (partitions, delays,
+//! duplication).
+//!
+//! # The liveness state machine
+//!
+//! Each node owned by a group carries a two-state machine — **up** or
+//! **down** — advanced over *unit-time windows*, the same discretization
+//! the analytic event engine uses for its crash/recovery clocks
+//! (`P(transition in a window) = 1 − e^{−rate}`). Within window `w`
+//! (virtual time `[w, w + 1)`) a node's state is constant; the
+//! transitions applied *at* window `w`, in fixed order, are:
+//!
+//! 1. a **recovery coin** if the node is down (`recovery_rate > 0`),
+//! 2. a **crash coin** if the node is up (`crash_rate > 0`),
+//! 3. every explicit `[window, node]` **schedule** entry due at `w`.
+//!
+//! The state is advanced *lazily and on demand*: before a node acts on
+//! an event at time `t` (a clock activation or an envelope arrival), its
+//! machine is advanced to window `⌊t⌋`. A down node's activation still
+//! burns its RNG draws — keeping the activation chain bit-identical to
+//! the fault-free one — but the contact is voided, and an envelope
+//! arriving at a down node is voided entirely (no infection, no pull
+//! reply): exactly the event engine's rate-zero thinning, enacted at the
+//! message layer.
+//!
+//! # Determinism
+//!
+//! Every coin is a pure function of `(fault_seed, trial_seed, node,
+//! window)` — a keyed [`splitmix`] hash seeds a one-shot
+//! [`SimRng`] — never a draw from a shared sequential stream. Two groups
+//! (or two transports) evaluating the same node's liveness therefore
+//! agree bit-for-bit without coordination, which is what keeps faulty
+//! live runs **bit-identical across group counts and transports**
+//! (test-enforced). Against the analytic engine, whose fault stream is
+//! sequential, the contract is *distributional* (KS) equality — the same
+//! contract the scalar and vectorized analytic paths share.
+//!
+//! Delivery chaos ([`ChaosGate`]) is keyed the same way on
+//! `(fault_seed, trial_seed, src, seq)` (and on the send-time window for
+//! partitions), mirroring [`crate::delivery::DropGate`].
+
+use crate::delivery::splitmix;
+use crate::envelope::{Envelope, Payload};
+use crate::error::NetError;
+use gossip_core::scenario::FaultSpec;
+use gossip_graph::NodeId;
+use gossip_stats::SimRng;
+
+/// Domain-separation salts: each fault feature hashes under its own key
+/// so coins never collide across features (or with [`DropGate`]'s
+/// unsalted key).
+///
+/// [`DropGate`]: crate::delivery::DropGate
+const LIVENESS_SALT: u64 = 0x4C49_5645_4E45_5353; // "LIVENESS"
+const PARTITION_SALT: u64 = 0x5041_5254_4954_4E00; // "PARTITN"
+const DELAY_SALT: u64 = 0x4445_4C41_5900_0000; // "DELAY"
+const DUPLICATE_SALT: u64 = 0x4455_504C_4943_4154; // "DUPLICAT"
+
+/// The compiled fault regime of a live run: the shared
+/// `FaultModel` fields the runtime enacts (drop, crash, recovery,
+/// schedule) plus the delivery-chaos fields that only exist where
+/// messages physically travel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetFaults {
+    /// Per-envelope drop probability in `[0, 1]`.
+    pub drop: f64,
+    /// Poisson crash rate per up node per unit time (`≥ 0`).
+    pub crash_rate: f64,
+    /// Poisson recovery rate per down node per unit time (`≥ 0`; `0`
+    /// makes every crash permanent).
+    pub recovery_rate: f64,
+    /// Explicit `(window, node)` crash schedule.
+    pub schedule: Vec<(u64, NodeId)>,
+    /// Poisson rate at which a unit window is partitioned into two
+    /// seeded halves that cannot exchange envelopes (`≥ 0`).
+    pub partition_rate: f64,
+    /// Probability in `[0, 1]` that an envelope is delayed beyond the
+    /// one-tick latency.
+    pub delay: f64,
+    /// Maximum extra epochs a delayed envelope waits (uniform in
+    /// `1..=delay_epochs`; `≥ 1`).
+    pub delay_epochs: u64,
+    /// Probability in `[0, 1]` that an envelope is delivered twice.
+    pub duplicate: f64,
+    /// Seed of the dedicated fault streams.
+    pub seed: u64,
+}
+
+impl Default for NetFaults {
+    fn default() -> Self {
+        NetFaults {
+            drop: 0.0,
+            crash_rate: 0.0,
+            recovery_rate: 0.0,
+            schedule: Vec::new(),
+            partition_rate: 0.0,
+            delay: 0.0,
+            delay_epochs: 1,
+            duplicate: 0.0,
+            seed: 0,
+        }
+    }
+}
+
+impl NetFaults {
+    /// Compiles a scenario `[faults]` table into the live fault regime,
+    /// filling defaults (the inverse of nothing: an absent table is
+    /// `NetFaults::default()`, which is bit-invisible).
+    pub fn from_spec(spec: &FaultSpec) -> NetFaults {
+        NetFaults {
+            drop: spec.drop.unwrap_or(0.0),
+            crash_rate: spec.crash_rate.unwrap_or(0.0),
+            recovery_rate: spec.recovery_rate.unwrap_or(0.0),
+            schedule: spec.schedule.iter().flatten().copied().collect(),
+            partition_rate: spec.partition_rate.unwrap_or(0.0),
+            delay: spec.delay.unwrap_or(0.0),
+            delay_epochs: spec.delay_epochs.unwrap_or(1).max(1),
+            duplicate: spec.duplicate.unwrap_or(0.0),
+            seed: spec.seed.unwrap_or(0),
+        }
+    }
+
+    /// Whether the crash/recovery/schedule machinery is active (a
+    /// [`Liveness`] needs to be tracked at all).
+    pub fn crash_active(&self) -> bool {
+        self.crash_rate > 0.0 || !self.schedule.is_empty()
+    }
+
+    /// Whether a trial can end in `TrialOutcome::Died`: crashes happen
+    /// and recovery is impossible, so "every informed node down with no
+    /// rumor in flight" is a provably final state.
+    pub fn can_die(&self) -> bool {
+        self.crash_active() && self.recovery_rate <= 0.0
+    }
+
+    /// Whether any delivery-chaos feature (partition/delay/duplicate)
+    /// is active.
+    pub fn chaos_active(&self) -> bool {
+        self.partition_rate > 0.0 || self.delay > 0.0 || self.duplicate > 0.0
+    }
+
+    /// Runtime backstop over the numeric parameters (spec validation
+    /// catches these earlier with targeted messages).
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Invalid`] naming the offending parameter.
+    pub fn validate(&self) -> Result<(), NetError> {
+        for (name, p) in [
+            ("drop", self.drop),
+            ("delay", self.delay),
+            ("duplicate", self.duplicate),
+        ] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(NetError::Invalid(format!(
+                    "faults.{name} must be within [0, 1], got {p}"
+                )));
+            }
+        }
+        for (name, r) in [
+            ("crash_rate", self.crash_rate),
+            ("recovery_rate", self.recovery_rate),
+            ("partition_rate", self.partition_rate),
+        ] {
+            if !r.is_finite() || r < 0.0 {
+                return Err(NetError::Invalid(format!(
+                    "faults.{name} must be a finite non-negative rate, got {r}"
+                )));
+            }
+        }
+        if self.delay_epochs == 0 {
+            return Err(NetError::Invalid(
+                "faults.delay_epochs must be at least 1".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// The per-trial fault key every gate derives from: the same
+    /// `splitmix(splitmix(seed) ^ trial_seed)` chain as
+    /// [`crate::delivery::DropGate`], further salted per feature.
+    fn trial_key(&self, trial_seed: u64) -> u64 {
+        splitmix(splitmix(self.seed) ^ trial_seed)
+    }
+}
+
+/// One keyed fault coin: a pure function of `(key, x, p)`.
+fn coin(key: u64, x: u64, p: f64) -> bool {
+    if p <= 0.0 {
+        return false;
+    }
+    if p >= 1.0 {
+        return true;
+    }
+    SimRng::seed_from_u64(splitmix(key ^ x)).chance(p)
+}
+
+/// Per-node crash/recovery state for the nodes one group owns, advanced
+/// lazily over unit-time windows. See the [module docs](self) for the
+/// state machine and its determinism contract.
+#[derive(Debug, Clone)]
+pub struct Liveness {
+    key: u64,
+    crash_p: f64,
+    recover_p: f64,
+    lo: NodeId,
+    /// Current up/down state per owned node.
+    up: Vec<bool>,
+    /// Next window whose transitions have not been applied, per node.
+    next_win: Vec<u64>,
+    /// Scheduled crash windows per owned node, ascending.
+    sched: Vec<Vec<u64>>,
+    /// Next unapplied schedule entry per node (indexes `sched`).
+    sched_idx: Vec<u32>,
+}
+
+impl Liveness {
+    /// Builds the liveness tracker for the nodes of `range`, keyed by
+    /// the fault regime and the trial seed. Every node starts up with
+    /// window 0 still pending, matching the event engine (whose first
+    /// `begin_window(0)` can crash nodes before any event fires).
+    pub fn new(faults: &NetFaults, trial_seed: u64, range: std::ops::Range<NodeId>) -> Liveness {
+        let len = range.len();
+        let lo = range.start;
+        let mut sched: Vec<Vec<u64>> = vec![Vec::new(); len];
+        for &(w, v) in &faults.schedule {
+            if v >= lo && ((v - lo) as usize) < len {
+                sched[(v - lo) as usize].push(w);
+            }
+        }
+        for s in &mut sched {
+            s.sort_unstable();
+        }
+        Liveness {
+            key: splitmix(faults.trial_key(trial_seed) ^ LIVENESS_SALT),
+            crash_p: 1.0 - (-faults.crash_rate).exp(),
+            recover_p: 1.0 - (-faults.recovery_rate).exp(),
+            lo,
+            up: vec![true; len],
+            next_win: vec![0; len],
+            sched,
+            sched_idx: vec![0; len],
+        }
+    }
+
+    /// Whether the owned node at local index `li` is up *as last
+    /// advanced* (callers advance before acting; between advances the
+    /// value is the state at the node's previous event).
+    pub fn is_up(&self, li: usize) -> bool {
+        self.up[li]
+    }
+
+    /// Advances node `li`'s machine through every window `≤ ⌊t⌋` not yet
+    /// applied and returns whether the node is up during `t`'s window.
+    /// Idempotent per window and monotone in `t` per node.
+    pub fn advance(&mut self, li: usize, t: f64) -> bool {
+        let w = t as u64; // t ≥ 0 in the runtime; floor
+        let mut win = self.next_win[li];
+        if win > w {
+            return self.up[li];
+        }
+        self.next_win[li] = w + 1;
+        let v = self.lo + li as NodeId;
+        let vkey = splitmix(self.key ^ u64::from(v));
+        let mut up = self.up[li];
+        let sched = &self.sched[li];
+        let mut si = self.sched_idx[li] as usize;
+        // Pure-schedule regimes (no Poisson coins) can jump windows.
+        if self.crash_p <= 0.0 && self.recover_p <= 0.0 {
+            while si < sched.len() && sched[si] <= w {
+                up = false;
+                si += 1;
+            }
+        } else {
+            while win <= w {
+                if !up {
+                    // Salt bit 0 = recovery coin, 1 = crash coin.
+                    up = coin(vkey, win << 1, self.recover_p);
+                }
+                if up && coin(vkey, (win << 1) | 1, self.crash_p) {
+                    up = false;
+                }
+                while si < sched.len() && sched[si] == win {
+                    up = false;
+                    si += 1;
+                }
+                win += 1;
+            }
+        }
+        self.sched_idx[li] = si as u32;
+        self.up[li] = up;
+        up
+    }
+}
+
+/// Deterministic delivery-layer chaos: seeded partitions, envelope
+/// delay, and envelope duplication. All verdicts are pure functions of
+/// the fault key and the envelope's `(src, seq)` identity (partitions
+/// also key on the send-time unit window), so sender and receiver —
+/// whatever group or transport they live on — always agree.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosGate {
+    part_key: u64,
+    delay_key: u64,
+    dup_key: u64,
+    partition_p: f64,
+    delay: f64,
+    delay_epochs: u64,
+    duplicate: f64,
+    tick: f64,
+}
+
+impl ChaosGate {
+    /// A gate for one trial of a run with epoch length `tick`.
+    pub fn new(faults: &NetFaults, trial_seed: u64, tick: f64) -> ChaosGate {
+        let key = faults.trial_key(trial_seed);
+        ChaosGate {
+            part_key: splitmix(key ^ PARTITION_SALT),
+            delay_key: splitmix(key ^ DELAY_SALT),
+            dup_key: splitmix(key ^ DUPLICATE_SALT),
+            partition_p: 1.0 - (-faults.partition_rate).exp(),
+            delay: faults.delay.clamp(0.0, 1.0),
+            delay_epochs: faults.delay_epochs.max(1),
+            duplicate: faults.duplicate.clamp(0.0, 1.0),
+            tick,
+        }
+    }
+
+    /// Whether the send-time unit window of `env` is partitioned and
+    /// `src`/`dst` fall on opposite halves — in which case the envelope
+    /// is voided at the sender (it would cross the cut).
+    ///
+    /// Halves are re-drawn per partitioned window, so long partitions
+    /// shuffle their membership every unit of virtual time.
+    pub fn blocks(&self, env: &Envelope) -> bool {
+        if self.partition_p <= 0.0 {
+            return false;
+        }
+        let win = env.time as u64;
+        if !coin(self.part_key, win, self.partition_p) {
+            return false;
+        }
+        let wkey = splitmix(self.part_key ^ splitmix(win));
+        let side = |v: NodeId| splitmix(wkey ^ u64::from(v)) & 1;
+        side(env.src) != side(env.dst)
+    }
+
+    /// The arrival time of `env`: one tick after the send, plus the
+    /// seeded extra epochs when the delay coin fires. Sender (for the
+    /// next-event reduction) and receiver (for event ordering) compute
+    /// this independently and agree by construction.
+    pub fn arrival(&self, env: &Envelope) -> f64 {
+        if self.delay <= 0.0 {
+            return env.time + self.tick;
+        }
+        let h = splitmix(self.delay_key ^ ((u64::from(env.src) << 32) | u64::from(env.seq)));
+        let mut rng = SimRng::seed_from_u64(h);
+        let extra = if rng.chance(self.delay) {
+            1 + rng.index(self.delay_epochs as usize) as u64
+        } else {
+            0
+        };
+        env.time + self.tick * (1 + extra) as f64
+    }
+
+    /// Whether the duplication coin fires for `env` (the sender enqueues
+    /// a second identical copy).
+    pub fn duplicates(&self, env: &Envelope) -> bool {
+        if self.duplicate <= 0.0 {
+            return false;
+        }
+        coin(
+            self.dup_key,
+            (u64::from(env.src) << 32) | u64::from(env.seq),
+            self.duplicate,
+        )
+    }
+
+    /// The sort key the runtime orders buffered arrivals by: arrival
+    /// time (delay-adjusted), then source, then sequence number — a
+    /// total order every group computes identically.
+    pub fn order_key(&self, env: &Envelope) -> (u64, NodeId, u32) {
+        (self.arrival(env).to_bits(), env.src, env.seq)
+    }
+}
+
+/// Whether an envelope carries the rumor toward its destination — a
+/// push contact or a pull reply. Pull *requests* don't count: an
+/// in-flight request from an uninformed node cannot inform anyone by
+/// itself, and uninformed nodes emit them forever.
+pub fn carries_rumor(env: &Envelope) -> bool {
+    matches!(
+        env.payload,
+        Payload::Contact { informed: true } | Payload::Rumor
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn faulty() -> NetFaults {
+        NetFaults {
+            crash_rate: 0.3,
+            recovery_rate: 0.4,
+            seed: 9,
+            ..NetFaults::default()
+        }
+    }
+
+    fn env(src: NodeId, dst: NodeId, seq: u32, time: f64) -> Envelope {
+        Envelope {
+            src,
+            dst,
+            seq,
+            time,
+            payload: Payload::Rumor,
+        }
+    }
+
+    #[test]
+    fn liveness_is_group_range_invariant() {
+        // The same node advanced by two differently-cut groups (and in
+        // different window step patterns) lands in the same state.
+        let f = faulty();
+        let mut whole = Liveness::new(&f, 77, 0..32);
+        let mut part = Liveness::new(&f, 77, 16..32);
+        for t in [0.4, 1.7, 2.0, 5.9, 6.1, 40.0] {
+            for v in 16u32..32 {
+                let a = whole.advance(v as usize, t);
+                let b = part.advance((v - 16) as usize, t);
+                assert_eq!(a, b, "node {v} at t={t}");
+            }
+        }
+        // And lazy staggered advances agree with eager ones.
+        let mut eager = Liveness::new(&f, 77, 0..4);
+        let mut lazy = Liveness::new(&f, 77, 0..4);
+        for w in 0..50 {
+            eager.advance(0, w as f64);
+        }
+        lazy.advance(0, 49.0);
+        assert_eq!(eager.is_up(0), lazy.is_up(0));
+    }
+
+    #[test]
+    fn liveness_rates_behave() {
+        // Crash-only: monotone down, and a decent fraction crashed.
+        let f = NetFaults {
+            crash_rate: 0.2,
+            ..NetFaults::default()
+        };
+        let n = 256;
+        let mut l = Liveness::new(&f, 5, 0..n);
+        let mut prev_up = n as usize;
+        for w in 0..10 {
+            let up = (0..n as usize)
+                .filter(|&li| l.advance(li, w as f64))
+                .count();
+            assert!(up <= prev_up, "no recovery ⇒ up-set shrinks");
+            prev_up = up;
+        }
+        // E[up after 10 windows] = n·e^{-2} ≈ 34.6; allow wide slack.
+        assert!(prev_up < n as usize / 2 && prev_up > 0, "{prev_up}");
+        // With recovery, nodes come back somewhere.
+        let f = faulty();
+        let mut l = Liveness::new(&f, 5, 0..64);
+        let mut recovered = false;
+        let mut down_seen = [false; 64];
+        for w in 0..60 {
+            for (li, seen) in down_seen.iter_mut().enumerate() {
+                let up = l.advance(li, w as f64);
+                if !up {
+                    *seen = true;
+                } else if *seen {
+                    recovered = true;
+                }
+            }
+        }
+        assert!(recovered, "recovery coins must revive some node");
+    }
+
+    #[test]
+    fn schedule_applies_at_its_window_even_across_jumps() {
+        let f = NetFaults {
+            schedule: vec![(3, 2), (7, 2)],
+            recovery_rate: 0.0,
+            ..NetFaults::default()
+        };
+        let mut l = Liveness::new(&f, 1, 0..4);
+        assert!(l.advance(2, 2.9), "before the scheduled window");
+        assert!(!l.advance(2, 3.0), "crashes at window 3");
+        // A fresh tracker jumping straight past both entries is down too.
+        let mut jump = Liveness::new(&f, 1, 0..4);
+        assert!(!jump.advance(2, 50.0));
+        // Scheduled crash + recovery: the node can come back later.
+        let f = NetFaults {
+            schedule: vec![(0, 1)],
+            recovery_rate: 5.0,
+            crash_rate: 1e-9,
+            ..NetFaults::default()
+        };
+        let mut l = Liveness::new(&f, 1, 0..4);
+        assert!(!l.advance(1, 0.5));
+        let mut back = false;
+        for w in 1..30 {
+            back |= l.advance(1, w as f64);
+        }
+        assert!(back, "recovery must eventually revive a scheduled crash");
+    }
+
+    #[test]
+    fn chaos_gate_is_deterministic_and_sender_receiver_agree() {
+        let f = NetFaults {
+            partition_rate: 0.5,
+            delay: 0.4,
+            delay_epochs: 3,
+            duplicate: 0.3,
+            seed: 11,
+            ..NetFaults::default()
+        };
+        let a = ChaosGate::new(&f, 42, 1e-3);
+        let b = ChaosGate::new(&f, 42, 1e-3);
+        let mut blocked = 0;
+        let mut delayed = 0;
+        let mut duplicated = 0;
+        for i in 0..2_000u32 {
+            let e = env(i % 64, (i + 1) % 64, i, (i as f64) * 0.37);
+            assert_eq!(a.blocks(&e), b.blocks(&e));
+            assert_eq!(a.arrival(&e).to_bits(), b.arrival(&e).to_bits());
+            assert_eq!(a.duplicates(&e), b.duplicates(&e));
+            blocked += u32::from(a.blocks(&e));
+            duplicated += u32::from(a.duplicates(&e));
+            let arr = a.arrival(&e);
+            assert!(arr >= e.time + 1e-3 - 1e-15);
+            assert!(arr <= e.time + 4.0 * 1e-3 + 1e-15, "≤ 1 + delay_epochs");
+            delayed += u32::from(arr > e.time + 1e-3 + 1e-15);
+        }
+        assert!(blocked > 0, "partitions must block something");
+        assert!((500..1_200).contains(&delayed), "{delayed}");
+        assert!((350..900).contains(&duplicated), "{duplicated}");
+        // Different trial seeds decorrelate the verdicts.
+        let c = ChaosGate::new(&f, 43, 1e-3);
+        let divergent = (0..500u32)
+            .map(|i| env(i % 64, (i + 1) % 64, i, i as f64 * 0.37))
+            .any(|e| a.duplicates(&e) != c.duplicates(&e) || a.blocks(&e) != c.blocks(&e));
+        assert!(divergent);
+    }
+
+    #[test]
+    fn inactive_chaos_is_invisible() {
+        let gate = ChaosGate::new(&NetFaults::default(), 7, 1e-3);
+        for i in 0..100u32 {
+            let e = env(i, i + 1, i, i as f64);
+            assert!(!gate.blocks(&e));
+            assert!(!gate.duplicates(&e));
+            assert_eq!(gate.arrival(&e).to_bits(), (e.time + 1e-3).to_bits());
+        }
+    }
+
+    #[test]
+    fn spec_compilation_and_validation() {
+        let mut spec = FaultSpec::new();
+        spec.crash_rate = Some(0.1);
+        spec.partition_rate = Some(0.2);
+        spec.delay = Some(0.3);
+        spec.seed = Some(4);
+        let f = NetFaults::from_spec(&spec);
+        assert_eq!(f.crash_rate, 0.1);
+        assert_eq!(f.partition_rate, 0.2);
+        assert_eq!(f.delay_epochs, 1, "default max delay is one epoch");
+        assert!(f.crash_active() && f.can_die() && f.chaos_active());
+        f.validate().unwrap();
+        let bad = NetFaults {
+            delay: 1.5,
+            ..NetFaults::default()
+        };
+        assert!(bad.validate().is_err());
+        let bad = NetFaults {
+            partition_rate: -1.0,
+            ..NetFaults::default()
+        };
+        assert!(bad.validate().is_err());
+        let recovering = NetFaults {
+            crash_rate: 0.1,
+            recovery_rate: 0.1,
+            ..NetFaults::default()
+        };
+        assert!(!recovering.can_die(), "recovery makes death non-final");
+    }
+
+    #[test]
+    fn rumor_carriers_are_classified() {
+        let mk = |payload| Envelope {
+            src: 0,
+            dst: 1,
+            seq: 0,
+            time: 0.0,
+            payload,
+        };
+        assert!(carries_rumor(&mk(Payload::Contact { informed: true })));
+        assert!(carries_rumor(&mk(Payload::Rumor)));
+        assert!(!carries_rumor(&mk(Payload::Contact { informed: false })));
+    }
+}

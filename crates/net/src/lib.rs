@@ -26,10 +26,11 @@
 //!              ┌─────────────┐             ┌─────────────┐
 //!              │ node group 0│  Envelopes  │ node group 1│   … one thread
 //!              │ clocks+state│◄───────────►│ clocks+state│     per group
+//!              │  + Liveness │             │  + Liveness │
 //!              └──────┬──────┘             └──────┬──────┘
 //!                     └────────► Delivery ◄───────┘
 //!                        LocalDelivery / UdpDelivery
-//!                      (+ DropGate fault injection)
+//!                 (+ DropGate / ChaosGate fault injection)
 //! ```
 //!
 //! Virtual time advances in epochs of one `tick` (the message latency);
@@ -39,7 +40,12 @@
 //! seed, node, activation)` and every message pays the same one-tick
 //! latency, results are **bit-identical across group counts and
 //! transports** — parallelism and distribution are pure implementation
-//! detail. See [`runtime`] for the full determinism contract.
+//! detail. Fault injection keeps that contract: node crash/recovery
+//! ([`Liveness`]), delivery drop ([`DropGate`]), and partition / delay /
+//! duplication chaos ([`ChaosGate`]) all flip keyed per-`(node, window)`
+//! or per-`(src, seq)` coins rather than drawing from shared streams.
+//! See [`runtime`] for the full determinism contract and [`fault`] for
+//! the fault semantics.
 //!
 //! # Entry points
 //!
@@ -56,6 +62,7 @@
 pub mod delivery;
 pub mod envelope;
 pub mod error;
+pub mod fault;
 pub mod plan;
 pub mod runtime;
 pub mod scenario;
@@ -66,6 +73,7 @@ pub use delivery::{
 };
 pub use envelope::{Envelope, Payload, WIRE_BYTES};
 pub use error::NetError;
+pub use fault::{ChaosGate, Liveness, NetFaults};
 pub use plan::{NetPlan, NetReport};
 pub use runtime::{default_groups, run_trial, NetConfig, NetProtocol, NetTrial, DEFAULT_TICK};
 pub use scenario::{build_live_topology, NetSweep, NetSweepReport};

@@ -14,7 +14,7 @@ use crate::delivery::DeliveryKind;
 use crate::error::NetError;
 use crate::runtime::{run_trial, NetConfig, NetProtocol};
 use gossip_graph::{NodeId, Topology};
-use gossip_sim::{SummarySink, TrialObserver, TrialRecord, TrialSummary};
+use gossip_sim::{SummarySink, TrialError, TrialObserver, TrialRecord, TrialSummary};
 use gossip_stats::SimRng;
 use std::time::{Duration, Instant};
 
@@ -73,11 +73,18 @@ impl NetPlan {
     /// convention as `RunPlan`, so a live batch and an event-engine
     /// batch with equal seeds walk equal per-trial seed sequences.
     ///
+    /// A trial whose exchange [stalls](NetError::Stalled) (a UDP peer
+    /// stopped answering within the retry budget) is re-run once on a
+    /// fresh fabric with the same seed — the run is deterministic, so
+    /// only the transport luck changes. A second stall skips the trial:
+    /// it is recorded in [`NetReport::stalled`], logged, and the batch
+    /// continues rather than aborting the sweep.
+    ///
     /// # Errors
     ///
     /// [`NetError::Invalid`] for a bad configuration, [`NetError::Io`]
-    /// for transport failures, [`NetError::Sim`] when an observer
-    /// rejects a record.
+    /// for structural transport failures, [`NetError::Sim`] when an
+    /// observer rejects a record.
     pub fn execute_observed(
         &self,
         topo: &Topology,
@@ -91,21 +98,50 @@ impl NetPlan {
         let mut events = 0u64;
         let mut messages = 0u64;
         let mut dropped = 0u64;
+        let mut blocked = 0u64;
+        let mut duplicated = 0u64;
+        let mut stalled = Vec::new();
         let clock = Instant::now();
         for i in 0..self.trials {
             let trial_seed = base.derive(i as u64).base_seed();
-            let trial = run_trial(
-                topo,
-                proto,
-                start,
-                trial_seed,
-                &self.config,
-                self.delivery,
-                want_traj,
-            )?;
+            let attempt = || {
+                run_trial(
+                    topo,
+                    proto,
+                    start,
+                    trial_seed,
+                    &self.config,
+                    self.delivery,
+                    want_traj,
+                )
+            };
+            let trial = match attempt() {
+                Ok(t) => t,
+                Err(e) if e.is_retryable() => {
+                    eprintln!("gossip-net: trial {i}: {e}; retrying once on a fresh fabric");
+                    match attempt() {
+                        Ok(t) => t,
+                        Err(e) if e.is_retryable() => {
+                            eprintln!(
+                                "gossip-net: trial {i}: stalled again ({e}); skipping the trial"
+                            );
+                            stalled.push(TrialError {
+                                trial: i,
+                                seed: trial_seed,
+                                message: e.to_string(),
+                            });
+                            continue;
+                        }
+                        Err(e) => return Err(e),
+                    }
+                }
+                Err(e) => return Err(e),
+            };
             events += trial.events;
             messages += trial.messages;
             dropped += trial.dropped;
+            blocked += trial.blocked;
+            duplicated += trial.duplicated;
             let record = TrialRecord {
                 trial: i,
                 seed: trial_seed,
@@ -133,6 +169,9 @@ impl NetPlan {
             events,
             messages,
             dropped,
+            blocked,
+            duplicated,
+            stalled,
             elapsed: clock.elapsed(),
         })
     }
@@ -150,6 +189,9 @@ pub struct NetReport {
     events: u64,
     messages: u64,
     dropped: u64,
+    blocked: u64,
+    duplicated: u64,
+    stalled: Vec<TrialError>,
     elapsed: Duration,
 }
 
@@ -182,6 +224,22 @@ impl NetReport {
     /// Envelopes swallowed by the drop gate.
     pub fn dropped(&self) -> u64 {
         self.dropped
+    }
+
+    /// Envelopes voided at a partition cut.
+    pub fn blocked(&self) -> u64 {
+        self.blocked
+    }
+
+    /// Extra envelope copies injected by the duplication fault.
+    pub fn duplicated(&self) -> u64 {
+        self.duplicated
+    }
+
+    /// Trials skipped after stalling twice on the UDP transport (empty
+    /// on the local transport and on healthy fabrics).
+    pub fn stalled(&self) -> &[TrialError] {
+        &self.stalled
     }
 
     /// Wall-clock time of the whole batch.

@@ -25,12 +25,27 @@
 //! are skipped in one jump — via [`Delivery::exchange`].
 //!
 //! Every random draw comes from a stream keyed by `(trial seed, node,
-//! activation index)`, arrivals are re-sorted by [`Envelope::order_key`],
-//! and in-group messages pay the same one-tick latency as cross-group
-//! ones. Consequently a trial's result is a pure function of
-//! `(topology, protocol, start, trial seed, tick, horizon, drop model)` —
-//! bit-identical across group counts, thread interleavings, and
-//! transports (test-enforced).
+//! activation index)`, arrivals are re-sorted by the delay-adjusted
+//! [`ChaosGate::order_key`], and in-group messages pay the same one-tick
+//! latency as cross-group ones. Consequently a trial's result is a pure
+//! function of `(topology, protocol, start, trial seed, tick, horizon,
+//! fault model)` — bit-identical across group counts, thread
+//! interleavings, and transports (test-enforced).
+//!
+//! # Faults
+//!
+//! The full live fault regime ([`NetFaults`]) is enacted here: the
+//! [`DropGate`] and [`ChaosGate`] (partition / delay / duplication)
+//! filter envelopes at the send and ordering layer, while a per-node
+//! [`Liveness`] machine suspends crashed nodes — a down node's
+//! activation still burns its RNG draws (keeping the activation chain
+//! identical to the fault-free one) but its contact is voided, and
+//! envelopes arriving at a down node are discarded, mirroring the event
+//! engine's rate-zero thinning. When crashes are permanent
+//! (`recovery_rate == 0`) the epoch reductions additionally carry the
+//! informed-and-up count and the rumor-carrying in-flight count, and the
+//! trial ends in [`TrialOutcome::Died`] once someone is informed, no
+//! informed node is up, and no rumor-carrying envelope is in flight.
 //!
 //! [`Payload::Contact`]: crate::envelope::Payload::Contact
 //! [`Payload::Rumor`]: crate::envelope::Payload::Rumor
@@ -38,6 +53,7 @@
 use crate::delivery::{Delivery, DeliveryKind, DropGate, EpochFlush, EpochUpdate, Router};
 use crate::envelope::{Envelope, Payload};
 use crate::error::NetError;
+use crate::fault::{carries_rumor, ChaosGate, Liveness, NetFaults};
 use crate::udp::UdpDelivery;
 use crate::LocalDelivery;
 use gossip_graph::{NodeId, Topology};
@@ -56,8 +72,8 @@ use std::collections::BinaryHeap;
 pub const DEFAULT_TICK: f64 = 1e-3;
 
 /// Runtime parameters of a live run (the compiled form of the spec's
-/// `[net]` table plus the fault model's drop coin).
-#[derive(Debug, Clone, Copy)]
+/// `[net]` table plus the full live fault regime).
+#[derive(Debug, Clone)]
 pub struct NetConfig {
     /// Node groups (actors are multiplexed N-nodes-per-thread); clamped
     /// to `[1, n]` at trial start.
@@ -67,12 +83,24 @@ pub struct NetConfig {
     /// Virtual-time cutoff: the trial stops with
     /// [`TrialOutcome::Budget`] when the next event would fire later.
     pub horizon: f64,
-    /// Per-envelope drop probability (`FaultModel::drop` at the
-    /// Delivery layer).
-    pub drop: f64,
-    /// Seed of the dedicated fault stream.
-    pub fault_seed: u64,
+    /// The live fault regime: drop / crash / recovery / schedule plus
+    /// delivery chaos. [`NetFaults::default()`] is bit-invisible.
+    pub faults: NetFaults,
+    /// Wall-clock seconds a UDP endpoint waits for peer datagrams before
+    /// it starts NACK-driven retries; doubles on every retry. Ignored by
+    /// the in-process transport.
+    pub exchange_timeout: f64,
+    /// UDP retry rounds after the first timeout before the exchange is
+    /// declared [stalled](NetError::Stalled). `0` fails on the first
+    /// timeout.
+    pub exchange_retries: u32,
 }
+
+/// Default [`NetConfig::exchange_timeout`], in seconds.
+pub const DEFAULT_EXCHANGE_TIMEOUT: f64 = 1.0;
+
+/// Default [`NetConfig::exchange_retries`].
+pub const DEFAULT_EXCHANGE_RETRIES: u32 = 3;
 
 impl Default for NetConfig {
     fn default() -> Self {
@@ -80,8 +108,9 @@ impl Default for NetConfig {
             groups: default_groups(),
             tick: DEFAULT_TICK,
             horizon: 1e5,
-            drop: 0.0,
-            fault_seed: 0,
+            faults: NetFaults::default(),
+            exchange_timeout: DEFAULT_EXCHANGE_TIMEOUT,
+            exchange_retries: DEFAULT_EXCHANGE_RETRIES,
         }
     }
 }
@@ -152,9 +181,14 @@ pub struct NetTrial {
     pub messages: u64,
     /// Envelopes the [`DropGate`] swallowed.
     pub dropped: u64,
-    /// How the trial ended ([`TrialOutcome::Spread`] or
-    /// [`TrialOutcome::Budget`]; live trials have no `Died` state —
-    /// crash faults are an analytic-engine feature).
+    /// Envelopes voided at a partition cut ([`ChaosGate::blocks`]).
+    pub blocked: u64,
+    /// Extra envelope copies injected by the duplication fault.
+    pub duplicated: u64,
+    /// How the trial ended: [`TrialOutcome::Spread`],
+    /// [`TrialOutcome::Budget`], or — under unrecoverable crash faults —
+    /// [`TrialOutcome::Died`] when every informed node is down and no
+    /// rumor-carrying envelope is in flight.
     pub outcome: TrialOutcome,
     /// Sorted `(time, |informed|)` curve when requested.
     pub trajectory: Option<Vec<(f64, usize)>>,
@@ -169,6 +203,8 @@ struct GroupOutcome {
     events: u64,
     messages: u64,
     dropped: u64,
+    blocked: u64,
+    duplicated: u64,
     /// Informed times of this group's own nodes (finite entries only);
     /// filled only when a trajectory was requested.
     informed_times: Vec<f64>,
@@ -184,6 +220,13 @@ struct Group<'a> {
     base: SimRng,
     exp: Exponential,
     gate: DropGate,
+    chaos: ChaosGate,
+    /// Crash/recovery state of the owned nodes; `None` when the fault
+    /// regime has no crash machinery (zero overhead on the happy path).
+    liveness: Option<Liveness>,
+    /// Whether [`TrialOutcome::Died`] is reachable (crashes on, recovery
+    /// off) — gates the rumor-in-flight accounting.
+    can_die: bool,
     lo: NodeId,
     /// Informed time per owned node; NaN = uninformed.
     informed_t: Vec<f64>,
@@ -201,10 +244,15 @@ struct Group<'a> {
     /// Earliest arrival among envelopes currently in `outbox`.
     out_min: f64,
     informed_count: u64,
+    /// Owned informed nodes that are up at their last observed liveness
+    /// state; equals `informed_count` when liveness is off.
+    live_informed: u64,
     max_informed: f64,
     events: u64,
     messages: u64,
     dropped: u64,
+    blocked: u64,
+    duplicated: u64,
     record: bool,
 }
 
@@ -222,12 +270,18 @@ impl<'a> Group<'a> {
         let base = SimRng::seed_from_u64(trial_seed);
         let exp = Exponential::new(1.0).expect("rate 1 is valid");
         let len = range.len();
+        let faults = &cfg.faults;
         let mut g = Group {
             topo,
             proto,
             tick: cfg.tick,
             horizon: cfg.horizon,
-            gate: DropGate::new(cfg.drop, cfg.fault_seed, trial_seed),
+            gate: DropGate::new(faults.drop, faults.seed, trial_seed),
+            chaos: ChaosGate::new(faults, trial_seed, cfg.tick),
+            liveness: faults
+                .crash_active()
+                .then(|| Liveness::new(faults, trial_seed, range.clone())),
+            can_die: faults.can_die(),
             base,
             exp,
             lo: range.start,
@@ -239,10 +293,13 @@ impl<'a> Group<'a> {
             outbox: Vec::new(),
             out_min: f64::INFINITY,
             informed_count: 0,
+            live_informed: 0,
             max_informed: f64::NEG_INFINITY,
             events: 0,
             messages: 0,
             dropped: 0,
+            blocked: 0,
+            duplicated: 0,
             record,
         };
         for v in range {
@@ -267,9 +324,34 @@ impl<'a> Group<'a> {
     fn inform(&mut self, li: usize, t: f64) {
         self.informed_t[li] = t;
         self.informed_count += 1;
+        // Callers advance liveness before informing, so the up state is
+        // current at time t.
+        if self.liveness.as_ref().is_none_or(|l| l.is_up(li)) {
+            self.live_informed += 1;
+        }
         if t > self.max_informed {
             self.max_informed = t;
         }
+    }
+
+    /// Advances node `li`'s liveness machine to `t`'s unit window and
+    /// returns whether it is up, keeping the informed-and-up counter in
+    /// sync with observed transitions. Always `true` without crash
+    /// faults.
+    fn live_up(&mut self, li: usize, t: f64) -> bool {
+        let Some(liveness) = self.liveness.as_mut() else {
+            return true;
+        };
+        let was = liveness.is_up(li);
+        let now = liveness.advance(li, t);
+        if was != now && !self.informed_t[li].is_nan() {
+            if now {
+                self.live_informed += 1;
+            } else {
+                self.live_informed -= 1;
+            }
+        }
+        now
     }
 
     fn send(&mut self, src: NodeId, dst: NodeId, time: f64, payload: Payload) {
@@ -288,11 +370,19 @@ impl<'a> Group<'a> {
             self.dropped += 1;
             return;
         }
-        let arrival = time + self.tick;
+        if self.chaos.blocks(&env) {
+            self.blocked += 1;
+            return;
+        }
+        let arrival = self.chaos.arrival(&env);
         if arrival < self.out_min {
             self.out_min = arrival;
         }
         self.outbox.push(env);
+        if self.chaos.duplicates(&env) {
+            self.duplicated += 1;
+            self.outbox.push(env);
+        }
     }
 
     /// The earliest future event this group knows about: next clock
@@ -305,7 +395,7 @@ impl<'a> Group<'a> {
         let pend_t = self
             .pending
             .first()
-            .map_or(f64::INFINITY, |e| e.time + self.tick);
+            .map_or(f64::INFINITY, |e| self.chaos.arrival(e));
         heap_t.min(pend_t).min(self.out_min)
     }
 
@@ -314,6 +404,10 @@ impl<'a> Group<'a> {
         let li = (v - self.lo) as usize;
         let k = self.acts[li];
         self.acts[li] = k + 1;
+        // A down node's activation burns the same draws as an up one —
+        // the chain stays a pure function of (trial seed, v, k) — but
+        // its contact is voided, mirroring rate-zero thinning.
+        let up = self.live_up(li, t);
         let mut rng = self.base.derive(u64::from(v)).derive(u64::from(k) + 1);
         let deg = self.topo.degree(v);
         if deg > 0 {
@@ -324,7 +418,7 @@ impl<'a> Group<'a> {
                 NetProtocol::Push => informed,
                 NetProtocol::Pull => !informed,
             };
-            if speak {
+            if speak && up {
                 self.send(v, u, t, Payload::Contact { informed });
             }
         }
@@ -334,8 +428,13 @@ impl<'a> Group<'a> {
 
     fn process_arrival(&mut self, env: Envelope) {
         self.events += 1;
-        let arrival = env.time + self.tick;
+        let arrival = self.chaos.arrival(&env);
         let li = (env.dst - self.lo) as usize;
+        // Envelopes addressed to a down node are voided: it neither
+        // learns the rumor nor answers pulls while crashed.
+        if !self.live_up(li, arrival) {
+            return;
+        }
         let informed = !self.informed_t[li].is_nan();
         match env.payload {
             Payload::Contact { informed: src_inf } => {
@@ -362,7 +461,7 @@ impl<'a> Group<'a> {
             let arr_t = self
                 .pending
                 .get(cursor)
-                .map(|e| e.time + self.tick)
+                .map(|e| self.chaos.arrival(e))
                 .filter(|&t| t < epoch_end);
             let act = self
                 .heap
@@ -391,10 +490,29 @@ impl<'a> Group<'a> {
     }
 
     fn flush(&mut self) -> EpochFlush {
+        // Rumor-carrying envelopes this group holds: about to enter
+        // transit (outbox) or received but not yet processed (pending).
+        // Across groups every in-flight envelope is counted exactly once
+        // per reduction. Only maintained when `Died` is reachable.
+        let rumor_in_flight = if self.can_die {
+            self.outbox
+                .iter()
+                .chain(self.pending.iter())
+                .filter(|e| carries_rumor(e))
+                .count() as u64
+        } else {
+            0
+        };
         let flush = EpochFlush {
-            outbound: std::mem::take(&mut self.outbox),
             next_candidate: self.next_candidate(),
+            outbound: std::mem::take(&mut self.outbox),
             informed: self.informed_count,
+            live_informed: if self.liveness.is_some() {
+                self.live_informed
+            } else {
+                self.informed_count
+            },
+            rumor_in_flight,
         };
         self.out_min = f64::INFINITY;
         flush
@@ -403,7 +521,9 @@ impl<'a> Group<'a> {
     fn merge_inbound(&mut self, update: &mut EpochUpdate) {
         if !update.inbound.is_empty() {
             self.pending.append(&mut update.inbound);
-            self.pending.sort_unstable_by_key(Envelope::order_key);
+            let chaos = self.chaos;
+            self.pending
+                .sort_unstable_by_key(move |e| chaos.order_key(e));
         }
     }
 
@@ -416,6 +536,18 @@ impl<'a> Group<'a> {
         let outcome = loop {
             if update.informed_total >= n {
                 break TrialOutcome::Spread;
+            }
+            // Under unrecoverable crashes, "every informed node down and
+            // no rumor-carrying envelope in flight" is a provably final
+            // state: nothing can ever inform anyone again. Liveness is
+            // observed lazily, so the break may trail the last crash by
+            // a few activations — deterministically so.
+            if self.can_die
+                && update.informed_total > 0
+                && update.live_informed_total == 0
+                && update.rumor_in_flight_total == 0
+            {
+                break TrialOutcome::Died;
             }
             // `next_time` is +inf when no group has anything scheduled
             // (an idle system with empty groups only) — either way
@@ -443,6 +575,8 @@ impl<'a> Group<'a> {
             events: self.events,
             messages: self.messages,
             dropped: self.dropped,
+            blocked: self.blocked,
+            duplicated: self.duplicated,
             informed_times: if self.record {
                 self.informed_t
                     .iter()
@@ -463,8 +597,9 @@ impl<'a> Group<'a> {
 /// # Errors
 ///
 /// [`NetError::Invalid`] for structural problems (empty topology, start
-/// out of range, non-positive tick/horizon); [`NetError::Io`] when the
-/// transport fails.
+/// out of range, non-positive tick/horizon, malformed fault regime);
+/// [`NetError::Io`] when the transport fails; [`NetError::Stalled`] when
+/// a UDP exchange exhausts its retries waiting for a peer.
 pub fn run_trial(
     topo: &Topology,
     proto: NetProtocol,
@@ -496,16 +631,25 @@ pub fn run_trial(
             cfg.horizon
         )));
     }
+    if !(cfg.exchange_timeout.is_finite() && cfg.exchange_timeout > 0.0) {
+        return Err(NetError::Invalid(format!(
+            "exchange_timeout must be a positive finite duration, got {}",
+            cfg.exchange_timeout
+        )));
+    }
+    cfg.faults.validate()?;
     let router = Router::new(n, cfg.groups);
     let endpoints: Vec<Box<dyn Delivery>> = match kind {
         DeliveryKind::Local => LocalDelivery::fabric(router)
             .into_iter()
             .map(|e| Box::new(e) as Box<dyn Delivery>)
             .collect(),
-        DeliveryKind::Udp => UdpDelivery::fabric(router)?
-            .into_iter()
-            .map(|e| Box::new(e) as Box<dyn Delivery>)
-            .collect(),
+        DeliveryKind::Udp => {
+            UdpDelivery::fabric(router, cfg.exchange_timeout, cfg.exchange_retries)?
+                .into_iter()
+                .map(|e| Box::new(e) as Box<dyn Delivery>)
+                .collect()
+        }
     };
     let outcomes: Result<Vec<GroupOutcome>, NetError> = std::thread::scope(|s| {
         let handles: Vec<_> = endpoints
@@ -564,6 +708,8 @@ pub fn run_trial(
         events: outcomes.iter().map(|o| o.events).sum(),
         messages: outcomes.iter().map(|o| o.messages).sum(),
         dropped: outcomes.iter().map(|o| o.dropped).sum(),
+        blocked: outcomes.iter().map(|o| o.blocked).sum(),
+        duplicated: outcomes.iter().map(|o| o.duplicated).sum(),
         outcome,
         trajectory,
     })
@@ -578,8 +724,7 @@ mod tests {
             groups,
             tick: 1e-3,
             horizon: 1e4,
-            drop: 0.0,
-            fault_seed: 0,
+            ..NetConfig::default()
         }
     }
 
@@ -636,7 +781,7 @@ mod tests {
     fn full_drop_hits_the_horizon() {
         let topo = Topology::complete(16).unwrap();
         let mut c = cfg(2);
-        c.drop = 1.0;
+        c.faults.drop = 1.0;
         c.horizon = 3.0;
         let t = run_trial(
             &topo,
@@ -661,6 +806,95 @@ mod tests {
             let t = run_trial(&topo, proto, 0, 9, &cfg(2), DeliveryKind::Local, false).unwrap();
             assert_eq!(t.outcome, TrialOutcome::Spread, "{proto:?}");
             assert_eq!(t.informed, 32);
+        }
+    }
+
+    #[test]
+    fn scheduled_crash_of_every_node_dies() {
+        // Crash all 8 nodes at window 1: the rumor holder goes down with
+        // no recovery, so the trial must end in Died, well before the
+        // (infinite) horizon.
+        let topo = Topology::complete(8).unwrap();
+        let mut c = cfg(2);
+        c.horizon = f64::INFINITY;
+        c.faults.schedule = (0..8).map(|v| (1, v)).collect();
+        c.faults.seed = 5;
+        let t = run_trial(
+            &topo,
+            NetProtocol::PushPull,
+            0,
+            21,
+            &c,
+            DeliveryKind::Local,
+            false,
+        )
+        .unwrap();
+        assert_eq!(t.outcome, TrialOutcome::Died);
+        assert!(t.informed < 8);
+    }
+
+    #[test]
+    fn recovery_keeps_died_unreachable_and_spreads() {
+        let topo = Topology::complete(24).unwrap();
+        let mut c = cfg(3);
+        c.faults.crash_rate = 0.5;
+        c.faults.recovery_rate = 2.0;
+        c.faults.seed = 13;
+        let t = run_trial(
+            &topo,
+            NetProtocol::PushPull,
+            0,
+            4,
+            &c,
+            DeliveryKind::Local,
+            false,
+        )
+        .unwrap();
+        // With brisk recovery the rumor still reaches everyone.
+        assert_eq!(t.outcome, TrialOutcome::Spread, "{t:?}");
+        assert_eq!(t.informed, 24);
+    }
+
+    #[test]
+    fn faulty_runs_are_group_count_invariant() {
+        let topo = Topology::gnp(48, 0.3, 8).unwrap();
+        let mut c = cfg(1);
+        c.faults = NetFaults {
+            drop: 0.1,
+            crash_rate: 0.2,
+            recovery_rate: 1.0,
+            partition_rate: 0.2,
+            delay: 0.2,
+            delay_epochs: 2,
+            duplicate: 0.1,
+            seed: 7,
+            ..NetFaults::default()
+        };
+        let run = |groups| {
+            let mut c = c.clone();
+            c.groups = groups;
+            run_trial(
+                &topo,
+                NetProtocol::PushPull,
+                0,
+                17,
+                &c,
+                DeliveryKind::Local,
+                false,
+            )
+            .unwrap()
+        };
+        let base = run(1);
+        assert!(base.blocked > 0 || base.duplicated > 0 || base.dropped > 0);
+        for g in [2, 3] {
+            let t = run(g);
+            assert_eq!(t.spread_time, base.spread_time, "groups={g}");
+            assert_eq!(t.events, base.events, "groups={g}");
+            assert_eq!(t.messages, base.messages, "groups={g}");
+            assert_eq!(t.dropped, base.dropped, "groups={g}");
+            assert_eq!(t.blocked, base.blocked, "groups={g}");
+            assert_eq!(t.duplicated, base.duplicated, "groups={g}");
+            assert_eq!(t.outcome, base.outcome, "groups={g}");
         }
     }
 

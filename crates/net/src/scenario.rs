@@ -10,8 +10,12 @@
 
 use crate::delivery::DeliveryKind;
 use crate::error::NetError;
+use crate::fault::NetFaults;
 use crate::plan::{NetPlan, NetReport};
-use crate::runtime::{default_groups, NetConfig, NetProtocol, DEFAULT_TICK};
+use crate::runtime::{
+    default_groups, NetConfig, NetProtocol, DEFAULT_EXCHANGE_RETRIES, DEFAULT_EXCHANGE_TIMEOUT,
+    DEFAULT_TICK,
+};
 use gossip_core::scenario::{build_family, FamilySpec, ScenarioReport, ScenarioRow, ScenarioSpec};
 use gossip_dynamics::DynamicNetwork;
 use gossip_graph::{NodeId, NodeSet, Topology};
@@ -77,15 +81,19 @@ impl<'s> NetSweep<'s> {
         let net = spec.net.clone().unwrap_or_default();
         let delivery = DeliveryKind::parse(net.delivery.as_deref().unwrap_or("local"))
             .expect("validate_net admits known deliveries only");
-        let faults = spec.faults.as_ref().map(|f| f.to_model());
         let config = NetConfig {
             groups: net.groups.unwrap_or_else(default_groups),
             tick: net.tick.unwrap_or(DEFAULT_TICK),
             horizon: net
                 .horizon
                 .unwrap_or_else(|| spec.sweep.max_time_or_default()),
-            drop: faults.as_ref().map_or(0.0, |m| m.drop),
-            fault_seed: faults.as_ref().map_or(0, |m| m.seed),
+            faults: spec
+                .faults
+                .as_ref()
+                .map(NetFaults::from_spec)
+                .unwrap_or_default(),
+            exchange_timeout: net.exchange_timeout.unwrap_or(DEFAULT_EXCHANGE_TIMEOUT),
+            exchange_retries: net.exchange_retries.unwrap_or(DEFAULT_EXCHANGE_RETRIES),
         };
         Ok(NetSweep {
             spec,
@@ -111,7 +119,7 @@ impl<'s> NetSweep<'s> {
 
     /// The compiled runtime configuration the sweep will use.
     pub fn config(&self) -> NetConfig {
-        self.config
+        self.config.clone()
     }
 
     /// The live protocol the sweep will run.
@@ -157,6 +165,9 @@ impl<'s> NetSweep<'s> {
         let mut events = 0u64;
         let mut messages = 0u64;
         let mut dropped = 0u64;
+        let mut blocked = 0u64;
+        let mut duplicated = 0u64;
+        let mut stalled = 0u64;
         let mut node_trials = 0u64;
         let mut elapsed = Duration::ZERO;
         let mut groups = self.config.groups;
@@ -164,12 +175,15 @@ impl<'s> NetSweep<'s> {
             let (topo, suggested) = build_live_topology(&spec.family, n)?;
             let start = spec.sweep.start.unwrap_or(suggested);
             let plan = NetPlan::new(self.trials, self.seed)
-                .config(self.config)
+                .config(self.config.clone())
                 .delivery(self.delivery);
             let report = plan.execute_observed(&topo, self.proto, start, observers)?;
             events += report.events();
             messages += report.messages();
             dropped += report.dropped();
+            blocked += report.blocked();
+            duplicated += report.duplicated();
+            stalled += report.stalled().len() as u64;
             node_trials += (topo.n() as u64) * (self.trials as u64);
             elapsed += report.elapsed();
             groups = report.groups();
@@ -188,6 +202,9 @@ impl<'s> NetSweep<'s> {
             events,
             messages,
             dropped,
+            blocked,
+            duplicated,
+            stalled,
             elapsed,
             node_trials,
         })
@@ -224,6 +241,12 @@ pub struct NetSweepReport {
     pub messages: u64,
     /// Envelopes swallowed by the drop gate.
     pub dropped: u64,
+    /// Envelopes voided at a partition cut.
+    pub blocked: u64,
+    /// Extra envelope copies injected by the duplication fault.
+    pub duplicated: u64,
+    /// Trials skipped after stalling twice on the UDP transport.
+    pub stalled: u64,
     /// Wall-clock time spent in trials.
     pub elapsed: Duration,
     /// `Σ (n × trials)` over the sweep — the denominator of

@@ -3,20 +3,38 @@
 //! Each epoch exchange sends every peer group one or more
 //! length-prefixed datagrams — a fixed header carrying the epoch round,
 //! fragment bookkeeping, and the sender's piggybacked reductions
-//! (next-event candidate, informed count), followed by `count` fixed-width
-//! [`Envelope`] records — then blocks until all fragments from every
-//! peer for the same round are in. The collective therefore doubles as
-//! the epoch barrier; no shared memory is needed, which is what makes
-//! the same runtime span multiple processes.
+//! (next-event candidate, informed count, liveness counters), followed
+//! by `count` fixed-width [`Envelope`] records — then blocks until all
+//! fragments from every peer for the same round are in. The collective
+//! therefore doubles as the epoch barrier; no shared memory is needed,
+//! which is what makes the same runtime span multiple processes.
+//!
+//! # Loss recovery
+//!
+//! UDP datagrams can vanish. Instead of a single long hang-then-die
+//! timeout, an endpoint that has waited [`exchange_timeout`] without
+//! completing its round sends each still-missing peer a `NACK` datagram
+//! naming the round, doubles its wait, and retries — up to
+//! [`exchange_retries`] times. Peers keep their last **two** rounds of
+//! outbound datagrams cached (a peer can be at most one round behind,
+//! because finishing round `r` requires everyone's round-`r` data), so a
+//! NACK is answered by replaying the cached round to the requester;
+//! fragment-level deduplication makes the replay idempotent. When the
+//! retry budget is exhausted the exchange fails with the *structured,
+//! retryable* [`NetError::Stalled`] — naming the observing group, the
+//! stalled round, and the missing peers — which batch drivers use to
+//! re-run the trial on a fresh fabric instead of aborting the sweep.
 //!
 //! The transport is loopback-tested in-process ([`UdpDelivery::fabric`]
 //! binds every group's socket on `127.0.0.1`); true multi-process
 //! clusters construct endpoints with [`UdpDelivery::bound`] from a
 //! shared peer list. Results are bit-identical to [`LocalDelivery`] at
 //! the same group count (test-enforced): inbound batches are re-sorted
-//! by [`Envelope::order_key`] before processing, so datagram arrival
-//! order never matters.
+//! by the runtime before processing, so datagram arrival order never
+//! matters.
 //!
+//! [`exchange_timeout`]: crate::NetConfig::exchange_timeout
+//! [`exchange_retries`]: crate::NetConfig::exchange_retries
 //! [`LocalDelivery`]: crate::LocalDelivery
 
 use crate::delivery::{Delivery, EpochFlush, EpochUpdate, Router};
@@ -26,18 +44,22 @@ use std::net::{SocketAddr, UdpSocket};
 use std::time::Duration;
 
 const MAGIC: u32 = 0x474E_4554; // "GNET"
-const VERSION: u8 = 1;
-/// magic(4) + version(1) + src(2) + frag(2) + frags(2) + count(2)
-/// + round(8) + candidate(8) + informed(8)
-const HEADER_BYTES: usize = 37;
+const VERSION: u8 = 2;
+/// magic(4) + version(1) + kind(1) + src(2) + frag(2) + frags(2)
+/// + count(2) + round(8) + candidate(8) + informed(8)
+/// + live_informed(8) + rumor_in_flight(8)
+const HEADER_BYTES: usize = 54;
 /// Envelopes per datagram: keeps every datagram comfortably under the
 /// 64 KiB UDP payload ceiling (2048 × 21 B + header ≈ 42 KiB).
 const MAX_PER_DATAGRAM: usize = 2048;
-/// How long one exchange waits for a missing peer fragment before the
-/// trial fails loudly instead of hanging.
-const EXCHANGE_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// A regular epoch-data datagram.
+const KIND_DATA: u8 = 0;
+/// A retransmission request: "replay your datagrams for `round` to me".
+const KIND_NACK: u8 = 1;
 
 struct Header {
+    kind: u8,
     src: u16,
     frag: u16,
     frags: u16,
@@ -45,11 +67,14 @@ struct Header {
     round: u64,
     candidate: f64,
     informed: u64,
+    live_informed: u64,
+    rumor_in_flight: u64,
 }
 
 fn encode_header(buf: &mut Vec<u8>, h: &Header) {
     buf.extend_from_slice(&MAGIC.to_le_bytes());
     buf.push(VERSION);
+    buf.push(h.kind);
     buf.extend_from_slice(&h.src.to_le_bytes());
     buf.extend_from_slice(&h.frag.to_le_bytes());
     buf.extend_from_slice(&h.frags.to_le_bytes());
@@ -57,6 +82,8 @@ fn encode_header(buf: &mut Vec<u8>, h: &Header) {
     buf.extend_from_slice(&h.round.to_le_bytes());
     buf.extend_from_slice(&h.candidate.to_bits().to_le_bytes());
     buf.extend_from_slice(&h.informed.to_le_bytes());
+    buf.extend_from_slice(&h.live_informed.to_le_bytes());
+    buf.extend_from_slice(&h.rumor_in_flight.to_le_bytes());
 }
 
 fn decode_header(buf: &[u8]) -> Option<Header> {
@@ -69,13 +96,16 @@ fn decode_header(buf: &[u8]) -> Option<Header> {
     let u16_at = |o: usize| u16::from_le_bytes(buf[o..o + 2].try_into().unwrap());
     let u64_at = |o: usize| u64::from_le_bytes(buf[o..o + 8].try_into().unwrap());
     Some(Header {
-        src: u16_at(5),
-        frag: u16_at(7),
-        frags: u16_at(9),
-        count: u16_at(11),
-        round: u64_at(13),
-        candidate: f64::from_bits(u64_at(21)),
-        informed: u64_at(29),
+        kind: buf[5],
+        src: u16_at(6),
+        frag: u16_at(8),
+        frags: u16_at(10),
+        count: u16_at(12),
+        round: u64_at(14),
+        candidate: f64::from_bits(u64_at(22)),
+        informed: u64_at(30),
+        live_informed: u64_at(38),
+        rumor_in_flight: u64_at(46),
     })
 }
 
@@ -86,6 +116,18 @@ struct Stashed {
     envelopes: Vec<Envelope>,
 }
 
+/// One finished round's outbound data, kept for NACK-driven replay.
+struct SentRound {
+    round: u64,
+    /// Envelopes routed per destination group (`per_dest[me]` is empty —
+    /// self-delivery never touches the socket).
+    per_dest: Vec<Vec<Envelope>>,
+    candidate: f64,
+    informed: u64,
+    live_informed: u64,
+    rumor_in_flight: u64,
+}
+
 /// One group's datagram endpoint. See the [module docs](self).
 pub struct UdpDelivery {
     socket: UdpSocket,
@@ -93,21 +135,41 @@ pub struct UdpDelivery {
     me: usize,
     router: Router,
     round: u64,
+    /// Base wait before the first NACK volley; doubles per retry.
+    timeout: Duration,
+    /// NACK volleys after the first timeout before declaring a stall.
+    retries: u32,
+    /// The read timeout currently programmed on the socket (avoids a
+    /// setsockopt per exchange).
+    armed_timeout: Duration,
     scratch: Vec<Vec<Envelope>>,
+    /// The last two rounds' outbound data, indexed by `round % 2` — the
+    /// replay window for incoming NACKs.
+    sent: [Option<SentRound>; 2],
     stash: Vec<Stashed>,
     recv_buf: Vec<u8>,
     send_buf: Vec<u8>,
+    /// Test hook: silently swallow the next N outbound DATA datagrams to
+    /// exercise the NACK path.
+    #[cfg(test)]
+    lose_sends: std::cell::Cell<u32>,
 }
 
 impl UdpDelivery {
     /// Binds one loopback socket per group of `router` and returns the
     /// fully meshed endpoint set — the in-process (loopback-test) form
-    /// of the transport.
+    /// of the transport. `exchange_timeout` (seconds) is the wait before
+    /// the first retransmission request; `exchange_retries` bounds the
+    /// NACK volleys before a [`NetError::Stalled`].
     ///
     /// # Errors
     ///
     /// [`NetError::Io`] when a socket cannot be bound or configured.
-    pub fn fabric(router: Router) -> Result<Vec<UdpDelivery>, NetError> {
+    pub fn fabric(
+        router: Router,
+        exchange_timeout: f64,
+        exchange_retries: u32,
+    ) -> Result<Vec<UdpDelivery>, NetError> {
         let g = router.groups();
         let sockets: Vec<UdpSocket> = (0..g)
             .map(|_| UdpSocket::bind(("127.0.0.1", 0)))
@@ -119,7 +181,16 @@ impl UdpDelivery {
         sockets
             .into_iter()
             .enumerate()
-            .map(|(me, socket)| UdpDelivery::bound(socket, peers.clone(), me, router))
+            .map(|(me, socket)| {
+                UdpDelivery::bound(
+                    socket,
+                    peers.clone(),
+                    me,
+                    router,
+                    exchange_timeout,
+                    exchange_retries,
+                )
+            })
             .collect()
     }
 
@@ -133,12 +204,15 @@ impl UdpDelivery {
     /// # Errors
     ///
     /// [`NetError::Io`] when the receive timeout cannot be set or the
-    /// peer list does not match the router's group count.
+    /// peer list does not match the router's group count;
+    /// [`NetError::Invalid`] for a non-positive timeout.
     pub fn bound(
         socket: UdpSocket,
         peers: Vec<SocketAddr>,
         me: usize,
         router: Router,
+        exchange_timeout: f64,
+        exchange_retries: u32,
     ) -> Result<UdpDelivery, NetError> {
         let g = router.groups();
         if peers.len() != g || me >= g {
@@ -148,45 +222,126 @@ impl UdpDelivery {
                 g
             )));
         }
-        socket.set_read_timeout(Some(EXCHANGE_TIMEOUT))?;
+        if !(exchange_timeout.is_finite() && exchange_timeout > 0.0) {
+            return Err(NetError::Invalid(format!(
+                "exchange_timeout must be a positive finite duration, got {exchange_timeout}"
+            )));
+        }
+        let timeout = Duration::from_secs_f64(exchange_timeout);
+        socket.set_read_timeout(Some(timeout))?;
         Ok(UdpDelivery {
             socket,
             peers,
             me,
             router,
             round: 0,
+            timeout,
+            retries: exchange_retries,
+            armed_timeout: timeout,
             scratch: (0..g).map(|_| Vec::new()).collect(),
+            sent: [None, None],
             stash: Vec::new(),
             recv_buf: vec![0u8; 65_536],
             send_buf: Vec::with_capacity(HEADER_BYTES + MAX_PER_DATAGRAM * WIRE_BYTES),
+            #[cfg(test)]
+            lose_sends: std::cell::Cell::new(0),
         })
     }
 
-    fn send_to_peer(&mut self, dest: usize, flush: &EpochFlush) -> Result<(), NetError> {
-        let envs = std::mem::take(&mut self.scratch[dest]);
-        let frags = envs.len().div_ceil(MAX_PER_DATAGRAM).max(1) as u16;
-        for (frag, chunk) in envs
-            .chunks(MAX_PER_DATAGRAM)
-            .chain(std::iter::once([].as_slice()).filter(|_| envs.is_empty()))
-            .enumerate()
+    fn arm_timeout(&mut self, wait: Duration) -> Result<(), NetError> {
+        if wait != self.armed_timeout {
+            self.socket.set_read_timeout(Some(wait))?;
+            self.armed_timeout = wait;
+        }
+        Ok(())
+    }
+
+    fn send_datagram(&self, dest: usize) -> Result<(), NetError> {
+        #[cfg(test)]
         {
+            let left = self.lose_sends.get();
+            if left > 0 {
+                self.lose_sends.set(left - 1);
+                return Ok(());
+            }
+        }
+        self.socket.send_to(&self.send_buf, self.peers[dest])?;
+        Ok(())
+    }
+
+    /// (Re)transmits every fragment of the cached round in `sent[slot]`
+    /// to `dest`. An empty round still sends one zero-count fragment —
+    /// the peer needs the piggybacked reductions either way.
+    fn transmit(&mut self, dest: usize, slot: usize) -> Result<(), NetError> {
+        let cached = self.sent[slot].as_ref().expect("transmit of cached round");
+        let (round, candidate, informed, live_informed, rumor_in_flight) = (
+            cached.round,
+            cached.candidate,
+            cached.informed,
+            cached.live_informed,
+            cached.rumor_in_flight,
+        );
+        let len = cached.per_dest[dest].len();
+        let frags = len.div_ceil(MAX_PER_DATAGRAM).max(1) as u16;
+        for frag in 0..frags as usize {
+            let start = frag * MAX_PER_DATAGRAM;
+            let end = (start + MAX_PER_DATAGRAM).min(len);
             self.send_buf.clear();
             encode_header(
                 &mut self.send_buf,
                 &Header {
+                    kind: KIND_DATA,
                     src: self.me as u16,
                     frag: frag as u16,
                     frags,
-                    count: chunk.len() as u16,
-                    round: self.round,
-                    candidate: flush.next_candidate,
-                    informed: flush.informed,
+                    count: (end - start) as u16,
+                    round,
+                    candidate,
+                    informed,
+                    live_informed,
+                    rumor_in_flight,
                 },
             );
-            for env in chunk {
+            let cached = self.sent[slot].as_ref().expect("cached round");
+            for env in &cached.per_dest[dest][start..end] {
                 env.encode_into(&mut self.send_buf);
             }
-            self.socket.send_to(&self.send_buf, self.peers[dest])?;
+            self.send_datagram(dest)?;
+        }
+        Ok(())
+    }
+
+    /// Asks `dest` to replay its datagrams for the current round.
+    fn send_nack(&mut self, dest: usize) -> Result<(), NetError> {
+        self.send_buf.clear();
+        encode_header(
+            &mut self.send_buf,
+            &Header {
+                kind: KIND_NACK,
+                src: self.me as u16,
+                frag: 0,
+                frags: 0,
+                count: 0,
+                round: self.round,
+                candidate: f64::INFINITY,
+                informed: 0,
+                live_informed: 0,
+                rumor_in_flight: 0,
+            },
+        );
+        self.socket.send_to(&self.send_buf, self.peers[dest])?;
+        Ok(())
+    }
+
+    /// Serves an incoming NACK: replays the requested round to the
+    /// requester if it is still in the two-round cache window. Requests
+    /// for rounds not yet sent are ignored (the regular send will cover
+    /// them; the peer re-NACKs if that is lost too).
+    fn serve_nack(&mut self, requester: usize, round: u64) -> Result<(), NetError> {
+        for slot in 0..2 {
+            if self.sent[slot].as_ref().is_some_and(|s| s.round == round) {
+                self.transmit(requester, slot)?;
+            }
         }
         Ok(())
     }
@@ -210,47 +365,72 @@ fn decode_body(header: &Header, body: &[u8]) -> Result<Vec<Envelope>, NetError> 
 
 /// Per-peer collection state for one exchange round.
 struct RoundState {
-    /// Announced fragment totals (None until a peer's first fragment).
-    expected: Vec<Option<u16>>,
-    received: Vec<u16>,
+    /// Per-peer fragment bitmap: `None` until the peer's first fragment
+    /// announces its total (self starts complete with zero fragments).
+    got: Vec<Option<Vec<bool>>>,
     informed: Vec<u64>,
+    live_informed: Vec<u64>,
+    rumor_in_flight: Vec<u64>,
     next_time: f64,
 }
 
 impl RoundState {
     fn new(g: usize, me: usize, flush: &EpochFlush) -> RoundState {
-        let mut expected = vec![None; g];
-        expected[me] = Some(0);
+        let mut got = (0..g).map(|_| None).collect::<Vec<_>>();
+        got[me] = Some(Vec::new());
         let mut informed = vec![0u64; g];
         informed[me] = flush.informed;
+        let mut live_informed = vec![0u64; g];
+        live_informed[me] = flush.live_informed;
+        let mut rumor_in_flight = vec![0u64; g];
+        rumor_in_flight[me] = flush.rumor_in_flight;
         RoundState {
-            expected,
-            received: vec![0; g],
+            got,
             informed,
+            live_informed,
+            rumor_in_flight,
             next_time: flush.next_candidate,
         }
     }
 
+    /// Folds one DATA fragment in; duplicate fragments (NACK replays,
+    /// datagram duplication) are ignored, making retransmission
+    /// idempotent.
     fn absorb(&mut self, header: &Header, envelopes: Vec<Envelope>, inbound: &mut Vec<Envelope>) {
         let s = header.src as usize;
-        match self.expected[s] {
-            None => self.expected[s] = Some(header.frags),
-            // All fragments of one round announce the same total; a
-            // mismatch is a stale datagram that slipped the round check.
-            Some(t) if t != header.frags => return,
-            Some(_) => {}
+        let frags = (header.frags as usize).max(1);
+        let bitmap = self.got[s].get_or_insert_with(|| vec![false; frags]);
+        // All fragments of one round announce the same total; a mismatch
+        // is a stale datagram that slipped the round check.
+        if bitmap.len() != frags {
+            return;
         }
-        self.received[s] += 1;
+        let f = header.frag as usize;
+        if f >= frags || bitmap[f] {
+            return;
+        }
+        bitmap[f] = true;
         self.informed[s] = header.informed;
+        self.live_informed[s] = header.live_informed;
+        self.rumor_in_flight[s] = header.rumor_in_flight;
         self.next_time = self.next_time.min(header.candidate);
         inbound.extend(envelopes);
     }
 
     fn done(&self) -> bool {
-        self.expected
+        self.got
             .iter()
-            .zip(&self.received)
-            .all(|(e, r)| *e == Some(*r) || *e == Some(0) && *r == 0)
+            .all(|g| g.as_ref().is_some_and(|b| b.iter().all(|&x| x)))
+    }
+
+    /// The peers whose rounds are still incomplete.
+    fn missing(&self) -> Vec<usize> {
+        self.got
+            .iter()
+            .enumerate()
+            .filter(|(_, g)| !g.as_ref().is_some_and(|b| b.iter().all(|&x| x)))
+            .map(|(i, _)| i)
+            .collect()
     }
 }
 
@@ -262,9 +442,18 @@ impl Delivery for UdpDelivery {
         }
         // Self-destined envelopes never touch the socket.
         let mut inbound = std::mem::take(&mut self.scratch[self.me]);
+        let slot = (self.round % 2) as usize;
+        self.sent[slot] = Some(SentRound {
+            round: self.round,
+            per_dest: self.scratch.iter_mut().map(std::mem::take).collect(),
+            candidate: flush.next_candidate,
+            informed: flush.informed,
+            live_informed: flush.live_informed,
+            rumor_in_flight: flush.rumor_in_flight,
+        });
         for dest in 0..g {
             if dest != self.me {
-                self.send_to_peer(dest, &flush)?;
+                self.transmit(dest, slot)?;
             }
         }
         let mut state = RoundState::new(g, self.me, &flush);
@@ -276,6 +465,9 @@ impl Delivery for UdpDelivery {
                 self.stash.push(st);
             }
         }
+        let mut retries_left = self.retries;
+        let mut wait = self.timeout;
+        self.arm_timeout(wait)?;
         while !state.done() {
             let len = match self.socket.recv_from(&mut self.recv_buf) {
                 Ok((len, _)) => len,
@@ -283,10 +475,30 @@ impl Delivery for UdpDelivery {
                     if e.kind() == std::io::ErrorKind::WouldBlock
                         || e.kind() == std::io::ErrorKind::TimedOut =>
                 {
-                    return Err(NetError::Io(format!(
-                        "udp exchange timed out waiting for peers at round {} (group {})",
-                        self.round, self.me
-                    )));
+                    let missing = state.missing();
+                    if retries_left == 0 {
+                        return Err(NetError::Stalled {
+                            group: self.me,
+                            round: self.round,
+                            missing,
+                        });
+                    }
+                    retries_left -= 1;
+                    eprintln!(
+                        "gossip-net: group {} round {}: exchange timed out waiting for \
+                         group(s) {:?}; requesting retransmission ({} retr{} left)",
+                        self.me,
+                        self.round,
+                        missing,
+                        retries_left,
+                        if retries_left == 1 { "y" } else { "ies" },
+                    );
+                    for p in missing {
+                        self.send_nack(p)?;
+                    }
+                    wait = wait.saturating_mul(2);
+                    self.arm_timeout(wait)?;
+                    continue;
                 }
                 Err(e) => return Err(NetError::Io(e.to_string())),
             };
@@ -295,6 +507,15 @@ impl Delivery for UdpDelivery {
             };
             if header.src as usize >= g || header.src as usize == self.me {
                 continue;
+            }
+            if header.kind == KIND_NACK {
+                // A peer missed our datagrams for `header.round`; replay
+                // from the cache if the round is still in the window.
+                self.serve_nack(header.src as usize, header.round)?;
+                continue;
+            }
+            if header.kind != KIND_DATA {
+                continue; // unknown kind from a future version; ignore
             }
             let envelopes = decode_body(&header, &self.recv_buf[HEADER_BYTES..len])?;
             if header.round < self.round {
@@ -307,11 +528,15 @@ impl Delivery for UdpDelivery {
             state.absorb(&header, envelopes, &mut inbound);
         }
         let informed_total = state.informed.iter().sum();
+        let live_informed_total = state.live_informed.iter().sum();
+        let rumor_in_flight_total = state.rumor_in_flight.iter().sum();
         self.round += 1;
         Ok(EpochUpdate {
             inbound,
             next_time: state.next_time,
             informed_total,
+            live_informed_total,
+            rumor_in_flight_total,
         })
     }
 }
@@ -321,10 +546,31 @@ mod tests {
     use super::*;
     use crate::envelope::Payload;
 
+    fn flush(outbound: Vec<Envelope>, next_candidate: f64, informed: u64) -> EpochFlush {
+        EpochFlush {
+            outbound,
+            next_candidate,
+            informed,
+            live_informed: informed,
+            rumor_in_flight: 0,
+        }
+    }
+
+    fn mk(src: u32, dst: u32, seq: u32) -> Envelope {
+        Envelope {
+            src,
+            dst,
+            seq,
+            time: 0.25,
+            payload: Payload::Contact { informed: true },
+        }
+    }
+
     #[test]
     fn header_round_trip() {
         let mut buf = Vec::new();
         let h = Header {
+            kind: KIND_DATA,
             src: 3,
             frag: 1,
             frags: 2,
@@ -332,48 +578,36 @@ mod tests {
             round: 99,
             candidate: 1.25,
             informed: 123_456,
+            live_informed: 120_000,
+            rumor_in_flight: 42,
         };
         encode_header(&mut buf, &h);
         assert_eq!(buf.len(), HEADER_BYTES);
         let back = decode_header(&buf).unwrap();
         assert_eq!(
-            (back.src, back.frag, back.frags, back.count, back.round),
-            (3, 1, 2, 17, 99)
+            (back.kind, back.src, back.frag, back.frags, back.count, back.round),
+            (KIND_DATA, 3, 1, 2, 17, 99)
         );
         assert!((back.candidate - 1.25).abs() < 1e-12);
         assert_eq!(back.informed, 123_456);
+        assert_eq!(back.live_informed, 120_000);
+        assert_eq!(back.rumor_in_flight, 42);
     }
 
     #[test]
     fn loopback_exchange_round_trip() {
         let router = Router::new(8, 2);
-        let mut eps = UdpDelivery::fabric(router).unwrap();
+        let mut eps = UdpDelivery::fabric(router, 5.0, 3).unwrap();
         let b = eps.pop().unwrap();
         let a = eps.pop().unwrap();
-        let mk = |src, dst, seq| Envelope {
-            src,
-            dst,
-            seq,
-            time: 0.25,
-            payload: Payload::Contact { informed: true },
-        };
         let ha = std::thread::spawn(move || {
             let mut a = a;
-            a.exchange(EpochFlush {
-                outbound: vec![mk(0, 7, 0), mk(1, 3, 0)],
-                next_candidate: 0.5,
-                informed: 2,
-            })
-            .unwrap()
+            a.exchange(flush(vec![mk(0, 7, 0), mk(1, 3, 0)], 0.5, 2))
+                .unwrap()
         });
         let hb = std::thread::spawn(move || {
             let mut b = b;
-            b.exchange(EpochFlush {
-                outbound: vec![mk(5, 0, 0)],
-                next_candidate: 0.75,
-                informed: 1,
-            })
-            .unwrap()
+            b.exchange(flush(vec![mk(5, 0, 0)], 0.75, 1)).unwrap()
         });
         let ua = ha.join().unwrap();
         let ub = hb.join().unwrap();
@@ -382,6 +616,61 @@ mod tests {
         for u in [&ua, &ub] {
             assert!((u.next_time - 0.5).abs() < 1e-12);
             assert_eq!(u.informed_total, 3);
+            assert_eq!(u.live_informed_total, 3);
+            assert_eq!(u.rumor_in_flight_total, 0);
         }
+    }
+
+    #[test]
+    fn nack_replay_recovers_a_lost_datagram() {
+        let router = Router::new(8, 2);
+        let mut eps = UdpDelivery::fabric(router, 0.1, 5).unwrap();
+        let b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        let ha = std::thread::spawn(move || {
+            let mut a = a;
+            // Swallow a's first DATA datagram: b never sees round 0
+            // until its NACK triggers a replay from a's cache (served
+            // while a waits inside its round-1 exchange).
+            a.lose_sends.set(1);
+            let r0 = a.exchange(flush(vec![mk(0, 6, 0)], 0.5, 1)).unwrap();
+            let r1 = a.exchange(flush(Vec::new(), 1.5, 1)).unwrap();
+            (r0, r1)
+        });
+        let hb = std::thread::spawn(move || {
+            let mut b = b;
+            let r0 = b.exchange(flush(Vec::new(), 0.75, 0)).unwrap();
+            let r1 = b.exchange(flush(Vec::new(), 1.75, 0)).unwrap();
+            (r0, r1)
+        });
+        let (a0, _a1) = ha.join().unwrap();
+        let (b0, b1) = hb.join().unwrap();
+        assert_eq!(a0.inbound.len(), 0);
+        assert_eq!(b0.inbound.len(), 1, "replayed envelope must arrive");
+        assert_eq!(b0.inbound[0].dst, 6);
+        assert!((b0.next_time - 0.5).abs() < 1e-12);
+        assert_eq!(b1.inbound.len(), 0, "dedup: the replay is not re-delivered");
+    }
+
+    #[test]
+    fn exhausted_retries_stall_with_structured_error() {
+        let router = Router::new(8, 2);
+        let mut eps = UdpDelivery::fabric(router, 0.05, 1).unwrap();
+        let _b = eps.pop().unwrap(); // never participates
+        let mut a = eps.pop().unwrap();
+        let err = a.exchange(flush(Vec::new(), 0.5, 1)).unwrap_err();
+        match &err {
+            NetError::Stalled {
+                group,
+                round,
+                missing,
+            } => {
+                assert_eq!((*group, *round), (0, 0));
+                assert_eq!(missing, &vec![1]);
+            }
+            other => panic!("expected Stalled, got {other:?}"),
+        }
+        assert!(err.is_retryable());
+        assert!(err.to_string().contains("round 0"));
     }
 }

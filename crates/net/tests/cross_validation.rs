@@ -185,13 +185,13 @@ fn sweep_rows_are_deterministic_by_spec_and_seed() {
 fn total_drop_never_spreads_and_loss_never_helps() {
     let topo = Topology::complete(32).unwrap();
     let run = |drop: f64, horizon: f64| {
-        let cfg = NetConfig {
+        let mut cfg = NetConfig {
             groups: 2,
             horizon,
-            drop,
-            fault_seed: 9,
             ..NetConfig::default()
         };
+        cfg.faults.drop = drop;
+        cfg.faults.seed = 9;
         NetPlan::new(60, 5)
             .config(cfg)
             .execute(&topo, NetProtocol::PushPull, 0)

@@ -31,6 +31,15 @@
 //! The body is identical across every `cache` state; only the header
 //! differs. The server closes the connection after the footer.
 //!
+//! Connections are defended by a [`ServeConfig`]: the request line is
+//! read under a timeout and a byte cap, and a silent, trickling, or
+//! overlong request gets an in-band `{"kind":"error",…}` line instead
+//! of pinning a thread. A [`ShutdownHandle`] stops the daemon
+//! gracefully — no new connections, in-flight sweeps run to completion
+//! and their journals flush, then [`Server::run`] returns (the CLI
+//! wires this to SIGTERM, so a redeploy mid-sweep leaves a resumable
+//! journal, never a torn one).
+//!
 //! ## Store layout and cache semantics
 //!
 //! The store directory holds one crash-safe journal
@@ -72,8 +81,9 @@ use std::collections::HashMap;
 use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
 
 use gossip_core::journal::Journal;
 use gossip_core::scenario::{
@@ -81,6 +91,34 @@ use gossip_core::scenario::{
 };
 use gossip_sim::{SimError, TrialObserver, TrialRecord, WorkspacePool};
 use serde::{Serialize, Value};
+
+/// Connection-handling limits protecting the daemon from misbehaving
+/// clients.
+///
+/// Requests are one line of JSON, so a well-behaved client transmits
+/// its whole request within milliseconds. A client that connects and
+/// then stays silent, trickles bytes, or streams an unbounded "line"
+/// would otherwise pin a connection thread (and its request buffer)
+/// forever; these limits convert both failure modes into prompt,
+/// in-band `{"kind":"error",…}` responses.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// How long a connection may take to deliver its request line
+    /// before the daemon gives up on it (`None` waits forever).
+    pub read_timeout: Option<Duration>,
+    /// Maximum accepted request-line length in bytes; longer lines are
+    /// rejected without buffering the excess.
+    pub max_request_bytes: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            read_timeout: Some(Duration::from_secs(10)),
+            max_request_bytes: 64 * 1024,
+        }
+    }
+}
 
 /// How a request was served, reported in the response header's `cache`
 /// field.
@@ -419,25 +457,103 @@ enum Role {
     Lead(Arc<InFlight>, CacheStatus),
 }
 
+/// Shutdown coordination between the accept loop, the connection
+/// threads, and whoever holds a [`ShutdownHandle`].
+#[derive(Debug, Default)]
+struct Lifecycle {
+    stop: AtomicBool,
+    active: Mutex<usize>,
+    idle: Condvar,
+}
+
+impl Lifecycle {
+    fn connection_started(&self) {
+        *self.active.lock().expect("lifecycle poisoned") += 1;
+    }
+
+    fn connection_finished(&self) {
+        let mut active = self.active.lock().expect("lifecycle poisoned");
+        *active -= 1;
+        self.idle.notify_all();
+    }
+
+    /// Blocks until every in-flight connection thread has finished —
+    /// which, because sweeps journal as they run, also means every
+    /// result journal is flushed.
+    fn drain(&self) {
+        let mut active = self.active.lock().expect("lifecycle poisoned");
+        while *active > 0 {
+            active = self.idle.wait(active).expect("lifecycle poisoned");
+        }
+    }
+}
+
+/// Asks a running [`Server`] to shut down gracefully: the accept loop
+/// stops taking new connections, in-flight requests run to completion
+/// (journals flushed, responses finished), then [`Server::run`]
+/// returns.
+///
+/// Cloneable and sendable — the CLI hands one to its signal watcher.
+#[derive(Debug, Clone)]
+pub struct ShutdownHandle {
+    lifecycle: Arc<Lifecycle>,
+    addr: SocketAddr,
+}
+
+impl ShutdownHandle {
+    /// Triggers the shutdown. Idempotent; returns immediately (the
+    /// accept loop observes the flag on its next wakeup — a self-
+    /// connection guarantees that wakeup even on an idle listener).
+    pub fn shutdown(&self) {
+        self.lifecycle.stop.store(true, Ordering::SeqCst);
+        // Unblock a listener parked in accept(); the resulting
+        // connection is discarded by the stop check.
+        drop(TcpStream::connect(self.addr));
+    }
+
+    /// Whether a shutdown has been requested.
+    pub fn is_shutting_down(&self) -> bool {
+        self.lifecycle.stop.load(Ordering::SeqCst)
+    }
+}
+
 /// The TCP daemon: accepts connections and serves one request per
-/// connection on its own thread.
+/// connection on its own thread, under the read limits of a
+/// [`ServeConfig`].
 #[derive(Debug)]
 pub struct Server {
     listener: TcpListener,
     state: Arc<ServeState>,
+    config: ServeConfig,
+    lifecycle: Arc<Lifecycle>,
 }
 
 impl Server {
     /// Binds `addr` and opens (creating if needed) the result store at
-    /// `store_dir`.
+    /// `store_dir`, with the default [`ServeConfig`].
     ///
     /// # Errors
     ///
     /// Bind or store-creation failures.
     pub fn bind(addr: impl ToSocketAddrs, store_dir: impl Into<PathBuf>) -> io::Result<Self> {
+        Server::bind_with(addr, store_dir, ServeConfig::default())
+    }
+
+    /// As [`Server::bind`], with explicit connection limits.
+    ///
+    /// # Errors
+    ///
+    /// Bind or store-creation failures.
+    pub fn bind_with(
+        addr: impl ToSocketAddrs,
+        store_dir: impl Into<PathBuf>,
+        config: ServeConfig,
+    ) -> io::Result<Self> {
         Ok(Server {
             listener: TcpListener::bind(addr)?,
             state: Arc::new(ServeState::new(ResultStore::open(store_dir)?)),
+            config,
+            lifecycle: Arc::new(Lifecycle::default()),
         })
     }
 
@@ -455,30 +571,56 @@ impl Server {
         self.state.clone()
     }
 
-    /// Accepts and serves connections forever (until the process
-    /// exits). Per-connection failures are contained; the accept loop
-    /// keeps running.
+    /// A handle that can later stop this server gracefully — take it
+    /// before calling [`Server::run`] (the CLI wires it to SIGTERM).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket address query failure.
+    pub fn shutdown_handle(&self) -> io::Result<ShutdownHandle> {
+        Ok(ShutdownHandle {
+            lifecycle: self.lifecycle.clone(),
+            addr: self.local_addr()?,
+        })
+    }
+
+    /// Accepts and serves connections until a [`ShutdownHandle`] fires
+    /// (or forever without one). Per-connection failures are contained;
+    /// the accept loop keeps running.
+    ///
+    /// On shutdown the loop stops accepting, then blocks until every
+    /// in-flight request has finished — sweeps run to completion and
+    /// their journals are flushed before this returns, so a restart
+    /// replays or resumes them instead of re-running from scratch.
     ///
     /// # Errors
     ///
     /// Only fatal accept-loop failures.
     pub fn run(self) -> io::Result<()> {
         for conn in self.listener.incoming() {
+            if self.lifecycle.stop.load(Ordering::SeqCst) {
+                break;
+            }
             let stream = match conn {
                 Ok(s) => s,
                 Err(_) => continue,
             };
             let state = self.state.clone();
+            let config = self.config.clone();
+            let lifecycle = self.lifecycle.clone();
+            lifecycle.connection_started();
             std::thread::spawn(move || {
-                let _ = handle_connection(&state, stream);
+                let _ = handle_connection(&state, stream, &config);
+                lifecycle.connection_finished();
             });
         }
+        self.lifecycle.drain();
         Ok(())
     }
 
     /// Spawns the accept loop on a background thread and returns a
-    /// handle exposing the bound address and shared state — the
-    /// embedded-daemon form used by tests and benches.
+    /// handle exposing the bound address, shared state, and graceful
+    /// shutdown — the embedded-daemon form used by tests and benches.
     ///
     /// # Errors
     ///
@@ -486,10 +628,14 @@ impl Server {
     pub fn spawn(self) -> io::Result<ServerHandle> {
         let addr = self.local_addr()?;
         let state = self.state.clone();
-        std::thread::spawn(move || {
-            let _ = self.run();
-        });
-        Ok(ServerHandle { addr, state })
+        let shutdown = self.shutdown_handle()?;
+        let thread = std::thread::spawn(move || self.run());
+        Ok(ServerHandle {
+            addr,
+            state,
+            shutdown,
+            thread,
+        })
     }
 }
 
@@ -498,6 +644,8 @@ impl Server {
 pub struct ServerHandle {
     addr: SocketAddr,
     state: Arc<ServeState>,
+    shutdown: ShutdownHandle,
+    thread: std::thread::JoinHandle<io::Result<()>>,
 }
 
 impl ServerHandle {
@@ -510,13 +658,108 @@ impl ServerHandle {
     pub fn state(&self) -> &ServeState {
         &self.state
     }
+
+    /// The graceful-shutdown handle for this daemon.
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        self.shutdown.clone()
+    }
+
+    /// Requests a graceful shutdown and blocks until the accept loop
+    /// has drained every in-flight request and returned.
+    ///
+    /// # Errors
+    ///
+    /// The accept loop's exit status.
+    pub fn shutdown(self) -> io::Result<()> {
+        self.shutdown.shutdown();
+        self.thread
+            .join()
+            .unwrap_or_else(|_| Err(io::Error::other("serve accept loop panicked")))
+    }
 }
 
-fn handle_connection(state: &Arc<ServeState>, stream: TcpStream) -> io::Result<()> {
-    let mut reader = BufReader::new(stream.try_clone()?);
-    let mut line = String::new();
-    reader.read_line(&mut line)?;
+/// Reads the request line under `config`'s limits. The inner `Err` is a
+/// client-facing message (timeout, oversize, empty, non-UTF-8) to be
+/// reported in band; the outer `Err` is a transport failure.
+fn read_request_line(
+    stream: &TcpStream,
+    config: &ServeConfig,
+) -> io::Result<Result<String, String>> {
+    stream.set_read_timeout(config.read_timeout)?;
+    let limit = config.max_request_bytes as u64;
+    let mut reader = BufReader::new(stream.try_clone()?).take(limit + 1);
+    let mut buf = Vec::new();
+    match reader.read_until(b'\n', &mut buf) {
+        Ok(_) if buf.len() as u64 > limit => {
+            // Discard the rest of the overlong line (bounded) before
+            // answering: closing a socket with unread bytes queued
+            // resets the connection and can destroy the error response
+            // before the client reads it.
+            drain_line(&mut reader.into_inner());
+            Ok(Err(format!(
+                "request line exceeds {} bytes",
+                config.max_request_bytes
+            )))
+        }
+        Ok(0) => Ok(Err("empty request".to_string())),
+        Ok(_) => match String::from_utf8(buf) {
+            Ok(line) => Ok(Ok(line)),
+            Err(_) => Ok(Err("request line is not UTF-8".to_string())),
+        },
+        Err(e)
+            if matches!(
+                e.kind(),
+                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+            ) =>
+        {
+            Ok(Err(match config.read_timeout {
+                Some(t) => format!("request timed out after {:.1}s", t.as_secs_f64()),
+                None => "request timed out".to_string(),
+            }))
+        }
+        Err(e) => Err(e),
+    }
+}
+
+/// Consumes buffered input up to the end of the current line, a hard
+/// 1 MiB cap, EOF, or a read error (the armed read timeout bounds each
+/// read) — enough to keep an in-band rejection deliverable without
+/// buffering an adversarial request.
+fn drain_line(reader: &mut BufReader<TcpStream>) {
+    const DRAIN_CAP: usize = 1 << 20;
+    let mut drained = 0usize;
+    loop {
+        let available = match reader.fill_buf() {
+            Ok([]) | Err(_) => return,
+            Ok(b) => b,
+        };
+        if let Some(pos) = available.iter().position(|&b| b == b'\n') {
+            reader.consume(pos + 1);
+            return;
+        }
+        let n = available.len();
+        reader.consume(n);
+        drained += n;
+        if drained > DRAIN_CAP {
+            return;
+        }
+    }
+}
+
+fn handle_connection(
+    state: &Arc<ServeState>,
+    stream: TcpStream,
+    config: &ServeConfig,
+) -> io::Result<()> {
+    let line = read_request_line(&stream, config)?;
     let mut out = BufWriter::new(stream);
+    let line = match line {
+        Ok(line) => line,
+        Err(message) => {
+            out.write_all(error_line(&message).as_bytes())?;
+            return out.flush();
+        }
+    };
     let spec = match ScenarioSpec::from_json_str(&line) {
         Ok(spec) => spec,
         Err(e) => {
@@ -793,6 +1036,103 @@ max_time = 1e4
             b2,
             "resumed body must be bit-identical to the original"
         );
+    }
+
+    #[test]
+    fn oversized_request_lines_are_rejected_in_band() {
+        let server = Server::bind_with(
+            "127.0.0.1:0",
+            temp_dir("oversize"),
+            ServeConfig {
+                max_request_bytes: 2048,
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        let handle = server.spawn().unwrap();
+        let huge = format!("{}\n", "x".repeat(16 * 1024));
+        let response = submit_raw(handle.addr(), &huge).unwrap();
+        let text = String::from_utf8(response).unwrap();
+        assert!(
+            text.contains("\"error\"") && text.contains("exceeds 2048 bytes"),
+            "{text}"
+        );
+        // The daemon survives the abuse: a well-formed request still
+        // works on the next connection.
+        let ok = submit(handle.addr(), &small_spec("serve-after-oversize")).unwrap();
+        assert!(String::from_utf8_lossy(&ok).contains("\"kind\":\"report\""));
+    }
+
+    #[test]
+    fn silent_clients_time_out_in_band() {
+        let server = Server::bind_with(
+            "127.0.0.1:0",
+            temp_dir("silent"),
+            ServeConfig {
+                read_timeout: Some(Duration::from_millis(100)),
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        let handle = server.spawn().unwrap();
+        // Connect and send nothing: the server must answer (with an
+        // in-band error) rather than hold the thread forever.
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        let mut response = Vec::new();
+        stream.read_to_end(&mut response).unwrap();
+        let text = String::from_utf8(response).unwrap();
+        assert!(
+            text.contains("\"error\"") && text.contains("timed out"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn graceful_shutdown_finishes_in_flight_requests() {
+        let spec = small_spec("serve-graceful");
+        let store = temp_dir("graceful");
+        let handle = Server::bind("127.0.0.1:0", store.clone())
+            .unwrap()
+            .spawn()
+            .unwrap();
+        let addr = handle.addr();
+        let shutdown = handle.shutdown_handle();
+
+        // Launch a request, then immediately request shutdown while it
+        // is (plausibly) still executing. The response must still be
+        // complete and the journal fully flushed.
+        let client = std::thread::spawn(move || submit(addr, &spec).unwrap());
+        // Wait until the request has been accepted and its execution
+        // started, so the shutdown provably races a live sweep.
+        while handle.state().executions() == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        shutdown.shutdown();
+        let response = client.join().unwrap();
+        handle.shutdown().unwrap();
+
+        let text = String::from_utf8_lossy(&response);
+        assert!(
+            text.contains("\"kind\":\"report\""),
+            "in-flight request must finish through shutdown: {text}"
+        );
+        // Post-shutdown the daemon is gone: new connections are refused
+        // or reset, never silently accepted.
+        assert!(
+            TcpStream::connect(addr).is_err()
+                || submit(addr, &small_spec("serve-graceful")).is_err(),
+            "daemon accepted work after graceful shutdown"
+        );
+        // The flushed journal makes the next daemon generation replay
+        // the sweep as a pure cache hit.
+        let spec = small_spec("serve-graceful");
+        let restarted = Server::bind("127.0.0.1:0", store).unwrap().spawn().unwrap();
+        let replay = submit(restarted.addr(), &spec).unwrap();
+        assert!(
+            String::from_utf8_lossy(split_response(&replay).0).contains("\"cache\":\"hit\""),
+            "restart must serve the drained journal from cache"
+        );
+        assert_eq!(restarted.state().executions(), 0);
     }
 
     #[test]
